@@ -1,0 +1,105 @@
+//! ABL-2 bench: design-choice ablations.
+//!
+//! Two knobs DESIGN.md calls out:
+//!
+//! 1. **Admission**: exact RTA (RM-TS/light) vs. density threshold (SPA1)
+//!    on the *same* partitioning skeleton — accept rate and speed.
+//! 2. **Fit heuristic** for strict partitioned RM: first/best/worst-fit
+//!    decreasing under identical RTA admission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{light_cfg, SEED};
+use rmts_core::baselines::{spa1, Fit, PartitionedRm, UniAdmission};
+use rmts_core::rmts_light::FitSelect;
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_gen::trial_rng;
+use rmts_taskmodel::TaskSet;
+use std::hint::black_box;
+
+fn sets(m: usize, u: f64, count: u64) -> Vec<TaskSet> {
+    let cfg = light_cfg(m)(u);
+    (0..count)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .collect()
+}
+
+fn accept_rate(alg: &dyn Partitioner, sets: &[TaskSet], m: usize) -> f64 {
+    let ok = sets.iter().filter(|ts| alg.accepts(ts, m)).count();
+    ok as f64 / sets.len() as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let m = 8;
+    let probe = sets(m, 0.85, 60);
+    println!("ABL-2 (quick): light sets, M=8, U_M=0.85, {} sets", probe.len());
+    let light = RmTsLight::new();
+    let s1 = spa1(6 * m);
+    println!(
+        "  admission ablation: exact-RTA accepts {:.1}% | threshold accepts {:.1}%",
+        100.0 * accept_rate(&light, &probe, m),
+        100.0 * accept_rate(&s1, &probe, m)
+    );
+    for fit in [Fit::First, Fit::Best, Fit::Worst] {
+        let alg = PartitionedRm {
+            fit,
+            admission: UniAdmission::ExactRta,
+        };
+        println!(
+            "  fit ablation: {} accepts {:.1}%",
+            alg.name(),
+            100.0 * accept_rate(&alg, &probe, m)
+        );
+    }
+    // The splitting engine's own fit ablation: the paper's worst-fit vs. a
+    // classic first-fit on the same skeleton (guarantee requires worst-fit).
+    let light_ff = RmTsLight::new().with_select(FitSelect::SmallestIndexFirstFit);
+    println!(
+        "  engine fit ablation: {} accepts {:.1}% | {} accepts {:.1}%",
+        light.name(),
+        100.0 * accept_rate(&light, &probe, m),
+        light_ff.name(),
+        100.0 * accept_rate(&light_ff, &probe, m)
+    );
+    println!();
+
+    let mut group = c.benchmark_group("abl2_admission");
+    group.sample_size(20);
+    group.bench_function("exact_rta_skeleton", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probe.len();
+            black_box(light.partition(&probe[i], m).is_ok())
+        })
+    });
+    group.bench_function("threshold_skeleton", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probe.len();
+            black_box(s1.partition(&probe[i], m).is_ok())
+        })
+    });
+    for fit in [Fit::First, Fit::Best, Fit::Worst] {
+        let alg = PartitionedRm {
+            fit,
+            admission: UniAdmission::ExactRta,
+        };
+        group.bench_function(format!("prm_{}", alg.name()), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probe.len();
+                black_box(alg.partition(&probe[i], m).is_ok())
+            })
+        });
+    }
+    group.bench_function("rmts_light_first_fit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probe.len();
+            black_box(light_ff.partition(&probe[i], m).is_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! EXP-1 bench: general task sets — quick reproduction table plus timing
+//! of the partitioning kernels at U_M = 0.80 on M = 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{general_cfg, QUICK_TRIALS, SEED};
+use rmts_core::baselines::{spa2, PartitionedRm};
+use rmts_core::{Partitioner, RmTs};
+use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
+use rmts_exp::CheckLevel;
+use rmts_gen::trial_rng;
+use rmts_taskmodel::TaskSet;
+use std::hint::black_box;
+
+fn print_quick_table() {
+    let m = 8;
+    let rmts = RmTs::new();
+    let spa = spa2(4 * m);
+    let prm = PartitionedRm::ffd_rta();
+    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm];
+    let points = acceptance_sweep(
+        &algs,
+        m,
+        &[0.6, 0.7, 0.8, 0.9, 1.0],
+        QUICK_TRIALS,
+        SEED,
+        &general_cfg(m),
+        CheckLevel::Rta,
+    );
+    println!(
+        "{}",
+        sweep_table("EXP-1 (quick): general task sets, M=8", &points).to_text()
+    );
+}
+
+fn fixed_sets(m: usize, u: f64, count: u64) -> Vec<TaskSet> {
+    let cfg = general_cfg(m)(u);
+    (0..count)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    print_quick_table();
+    let m = 8;
+    let sets = fixed_sets(m, 0.80, 32);
+    assert!(!sets.is_empty());
+    let mut group = c.benchmark_group("exp1_partition");
+    group.sample_size(20);
+    group.bench_function("rmts_m8_u080", |b| {
+        let alg = RmTs::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.bench_function("spa2_m8_u080", |b| {
+        let alg = spa2(4 * m);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.bench_function("prm_ffd_rta_m8_u080", |b| {
+        let alg = PartitionedRm::ffd_rta();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! EXP-3 bench: harmonic light task sets — quick table (the 100%-bound
+//! headline) plus timing of RM-TS/light at full load, U_M = 1.0.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{harmonic_cfg, QUICK_TRIALS, SEED};
+use rmts_core::baselines::spa1;
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
+use rmts_exp::CheckLevel;
+use rmts_gen::trial_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = 4;
+    let light = RmTsLight::new();
+    let s1 = spa1(6 * m);
+    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1];
+    let points = acceptance_sweep(
+        &algs,
+        m,
+        &[0.7, 0.8, 0.9, 1.0],
+        QUICK_TRIALS,
+        SEED,
+        &harmonic_cfg(m),
+        CheckLevel::Rta,
+    );
+    println!(
+        "{}",
+        sweep_table("EXP-3 (quick): harmonic light task sets, M=4", &points).to_text()
+    );
+
+    let cfg = harmonic_cfg(m)(1.0);
+    let sets: Vec<_> = (0..32)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .collect();
+    assert!(!sets.is_empty());
+    let mut group = c.benchmark_group("exp3_partition_harmonic");
+    group.sample_size(20);
+    group.bench_function("rmts_light_m4_u100", |b| {
+        let alg = RmTsLight::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! EXP-2 bench: light task sets — quick table plus timing of RM-TS/light
+//! vs. the SPA1 baseline at U_M = 0.90, where only exact RTA still accepts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{light_cfg, QUICK_TRIALS, SEED};
+use rmts_core::baselines::spa1;
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
+use rmts_exp::CheckLevel;
+use rmts_gen::trial_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = 8;
+    let light = RmTsLight::new();
+    let s1 = spa1(6 * m);
+    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1];
+    let points = acceptance_sweep(
+        &algs,
+        m,
+        &[0.65, 0.75, 0.85, 0.95],
+        QUICK_TRIALS,
+        SEED,
+        &light_cfg(m),
+        CheckLevel::Rta,
+    );
+    println!(
+        "{}",
+        sweep_table("EXP-2 (quick): light task sets, M=8", &points).to_text()
+    );
+
+    let cfg = light_cfg(m)(0.90);
+    let sets: Vec<_> = (0..32)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .collect();
+    assert!(!sets.is_empty());
+    let mut group = c.benchmark_group("exp2_partition_light");
+    group.sample_size(20);
+    group.bench_function("rmts_light_m8_u090", |b| {
+        let alg = RmTsLight::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.bench_function("spa1_m8_u090", |b| {
+        let alg = spa1(6 * m);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! EXP-4 bench: bound verification — quick zero-violation check plus the
+//! cost of one verify pipeline (scale → partition → RTA re-check).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{harmonic_cfg, SEED};
+use rmts_bounds::HarmonicChain;
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_exp::verify::{verify_campaign, BoundDomain};
+use rmts_gen::trial_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = 4;
+    let cfg = harmonic_cfg(m)(1.0);
+    let out = verify_campaign(
+        &RmTsLight::new(),
+        &HarmonicChain,
+        BoundDomain::Light,
+        m,
+        &cfg,
+        40,
+        SEED,
+        Some(2_000_000),
+    );
+    println!(
+        "EXP-4 (quick): {} × {}: tested={} rejections={} rta-fail={} sim-fail={} (expect zeros)\n",
+        out.algorithm, out.bound, out.tested, out.rejections, out.rta_failures, out.sim_failures
+    );
+    assert!(out.clean(), "bound violated: {out:?}");
+
+    let sets: Vec<_> = (0..16)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .map(|ts| ts.deflated(0.98))
+        .collect();
+    assert!(!sets.is_empty());
+    let mut group = c.benchmark_group("exp4_verify_pipeline");
+    group.sample_size(20);
+    group.bench_function("partition_and_reverify_m4", |b| {
+        let alg = RmTsLight::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            let part = alg.partition(&sets[i], m).expect("inside the bound");
+            black_box(part.verify_rta())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! EXP-5 bench: breakdown utilization — quick means plus the cost of one
+//! bisection per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{general_cfg, SEED};
+use rmts_core::baselines::spa2;
+use rmts_core::{Partitioner, RmTs};
+use rmts_exp::breakdown::{average_breakdown, breakdown_of};
+use rmts_gen::trial_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = 4;
+    let cfg = general_cfg(m)(1.0);
+    let rmts = RmTs::new();
+    let spa = spa2(4 * m);
+    for alg in [&rmts as &(dyn Partitioner + Sync), &spa] {
+        let stats = average_breakdown(alg, m, &cfg, 15, SEED);
+        println!(
+            "EXP-5 (quick): {} M={m}: mean breakdown {:.4} (min {:.4}, max {:.4})",
+            alg.name(),
+            stats.mean,
+            stats.min,
+            stats.max
+        );
+    }
+    println!();
+
+    let shape = cfg.generate(&mut trial_rng(SEED, 0)).expect("generate");
+    let mut group = c.benchmark_group("exp5_breakdown_bisection");
+    group.sample_size(10);
+    group.bench_function("rmts_bisect_m4", |b| {
+        b.iter(|| black_box(breakdown_of(&rmts, m, &shape)))
+    });
+    group.bench_function("spa2_bisect_m4", |b| {
+        b.iter(|| black_box(breakdown_of(&spa, m, &shape)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! EXP-7 bench: the Dhall effect — reproduction line plus simulator
+//! throughput on the adversary (global vs. partitioned engines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_core::{Partitioner, RmTs};
+use rmts_sim::global::dhall_adversary;
+use rmts_sim::{simulate_global, simulate_partitioned, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let m = 4;
+    let ts = dhall_adversary(m, 100_000, 10);
+    let global = simulate_global(&ts, m, SimConfig::default());
+    let part = RmTs::new().partition(&ts, m).expect("RM-TS accepts");
+    let part_sim = simulate_partitioned(&part.workloads(), SimConfig::default());
+    println!(
+        "EXP-7 (quick): M={m}, U_M={:.4}: global RM missed={} | RM-TS accepted, missed={}\n",
+        ts.normalized_utilization(m),
+        !global.all_deadlines_met(),
+        !part_sim.all_deadlines_met()
+    );
+    assert!(!global.all_deadlines_met());
+    assert!(part_sim.all_deadlines_met());
+
+    let mut group = c.benchmark_group("exp7_dhall_sim");
+    group.sample_size(20);
+    group.bench_function("global_sim_m4", |b| {
+        b.iter(|| black_box(simulate_global(&ts, m, SimConfig::default()).misses.len()))
+    });
+    group.bench_function("partitioned_sim_m4", |b| {
+        let workloads = part.workloads();
+        b.iter(|| {
+            black_box(
+                simulate_partitioned(&workloads, SimConfig::default())
+                    .jobs_completed,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! EXP-6 bench: partition structure — quick stats row plus timing of the
+//! full RM-TS partitioning (the wall-clock column's kernel) as N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmts_bench::SEED;
+use rmts_core::{Partitioner, RmTs};
+use rmts_exp::structure::structure_stats;
+use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+use std::hint::black_box;
+
+fn cfg(n: usize, m: usize, u: f64) -> GenConfig {
+    GenConfig::new(n, u * m as f64)
+        .with_periods(PeriodGen::LogUniform {
+            min: 10_000,
+            max: 1_000_000,
+            granularity: 10_000,
+        })
+        .with_utilization(UtilizationSpec::any())
+}
+
+fn bench(c: &mut Criterion) {
+    let m = 8;
+    let stats = structure_stats(&RmTs::new(), m, &cfg(4 * m, m, 0.8), 30, SEED);
+    println!(
+        "EXP-6 (quick): M={m} U_M=0.80: accepted {}/{} | mean splits {:.2} (max {}) | \
+         mean pre-assigned {:.2} | mean dedicated {:.2} | mean time {:.0} µs\n",
+        stats.accepted,
+        stats.trials,
+        stats.mean_split_tasks,
+        stats.max_split_tasks,
+        stats.mean_pre_assigned,
+        stats.mean_dedicated,
+        stats.mean_partition_us
+    );
+
+    let mut group = c.benchmark_group("exp6_partition_scaling");
+    group.sample_size(15);
+    for n_per_m in [2usize, 4, 8] {
+        let config = cfg(n_per_m * m, m, 0.8);
+        let sets: Vec<_> = (0..16)
+            .filter_map(|t| config.generate(&mut trial_rng(SEED, t)))
+            .collect();
+        assert!(!sets.is_empty());
+        group.bench_with_input(
+            BenchmarkId::new("rmts_m8_u080_n", n_per_m * m),
+            &sets,
+            |b, sets| {
+                let alg = RmTs::new();
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % sets.len();
+                    black_box(alg.partition(&sets[i], m).is_ok())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

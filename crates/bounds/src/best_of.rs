@@ -1,0 +1,122 @@
+//! The pointwise maximum of deflatable bounds.
+//!
+//! If `Λ₁` and `Λ₂` are D-PUBs, so is `max(Λ₁, Λ₂)`: for a given `τ`, the
+//! bound achieving the maximum already guarantees the schedulability of
+//! every deflation of `τ` with `U ≤ max(Λ₁(τ), Λ₂(τ))` — the deflatable
+//! property (Lemma 1) is inherited directly. System designers therefore
+//! never need to pick a single parametric bound up front: [`BestOf`]
+//! evaluates the whole catalogue and uses whichever wins on the concrete
+//! parameters, which is how the paper envisions PUBs being used during
+//! design-space exploration (Section I).
+
+use crate::{BoundRef, ParametricBound};
+use rmts_taskmodel::TaskSet;
+
+/// The pointwise maximum over a catalogue of deflatable bounds.
+pub struct BestOf {
+    name: String,
+    bounds: Vec<BoundRef>,
+}
+
+impl BestOf {
+    /// Combines the given bounds. Panics if the catalogue is empty.
+    pub fn new(bounds: Vec<BoundRef>) -> Self {
+        assert!(!bounds.is_empty(), "BestOf needs at least one bound");
+        let name = format!(
+            "max({})",
+            bounds
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        BestOf { name, bounds }
+    }
+
+    /// The standard catalogue: L&L, harmonic-chain, T-Bound, R-Bound.
+    pub fn standard() -> Self {
+        BestOf::new(crate::standard_catalogue())
+    }
+
+    /// Which bound attains the maximum for this task set.
+    pub fn winner(&self, ts: &TaskSet) -> (&str, f64) {
+        self.bounds
+            .iter()
+            .map(|b| (b.name(), b.value(ts)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty catalogue")
+    }
+}
+
+impl ParametricBound for BestOf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        self.winner(ts).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ll::ll_bound;
+    use crate::{HarmonicChain, LiuLayland};
+    use rmts_taskmodel::TaskSet;
+    use std::sync::Arc;
+
+    fn set(periods: &[u64]) -> TaskSet {
+        let pairs: Vec<(u64, u64)> = periods.iter().map(|&t| (1, t)).collect();
+        TaskSet::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn picks_the_winning_bound() {
+        let best = BestOf::standard();
+        // Harmonic: HC/T/R all reach 1.0; L&L does not.
+        let harmonic = set(&[4, 8, 16]);
+        assert_eq!(best.value(&harmonic), 1.0);
+        // An antichain of periods: every bound degrades, but none is below
+        // L&L, so the max is ≥ Θ(N).
+        let anti = set(&[40, 60, 90]);
+        assert!(best.value(&anti) >= ll_bound(3));
+    }
+
+    #[test]
+    fn winner_identifies_source() {
+        let best = BestOf::standard();
+        let harmonic = set(&[4, 8, 16]);
+        let (name, v) = best.winner(&harmonic);
+        assert_eq!(v, 1.0);
+        // HC, T and R all reach 1.0; max_by keeps the last maximal element
+        // of the catalogue order — any of the three is acceptable.
+        assert!(["harmonic-chain", "T-Bound", "R-Bound"].contains(&name));
+    }
+
+    #[test]
+    fn dominates_every_member() {
+        let best = BestOf::standard();
+        for periods in [vec![4u64, 8, 12], vec![10, 14, 35], vec![7, 7, 7]] {
+            let ts = set(&periods);
+            let v = best.value(&ts);
+            for b in crate::standard_catalogue() {
+                assert!(v >= b.value(&ts) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_catalogue() {
+        let best = BestOf::new(vec![Arc::new(LiuLayland), Arc::new(HarmonicChain)]);
+        assert!(best.name().contains("Liu&Layland"));
+        assert!(best.name().contains("harmonic-chain"));
+        let ts = set(&[4, 8]);
+        assert_eq!(best.value(&ts), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_catalogue_rejected() {
+        let _ = BestOf::new(vec![]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The harmonic-chain bound `K(2^{1/K} − 1)` (Kuo & Mok).
+//!
+//! `K` is the minimum number of harmonic chains covering the task set's
+//! periods, computed exactly in `rmts_taskmodel::harmonic` via Dilworth's
+//! theorem. The famous **100% bound for harmonic task sets** is the special
+//! case `K = 1`. The paper's RM-TS examples instantiate this bound:
+//! `K = 3 → 77.9%` (below the 81.8% cap, usable as-is) and
+//! `K = 2 → 82.8%` (above the cap, so RM-TS achieves 81.8%).
+
+use crate::ll::ll_bound;
+use crate::ParametricBound;
+use rmts_taskmodel::harmonic::chain_count;
+use rmts_taskmodel::TaskSet;
+
+/// Evaluates `K(2^{1/K} − 1)` for an explicit chain count.
+pub fn hc_bound(k: usize) -> f64 {
+    ll_bound(k)
+}
+
+/// The harmonic-chain bound as a [`ParametricBound`]; the parameter is the
+/// minimum chain count of the set's periods.
+pub struct HarmonicChain;
+
+impl ParametricBound for HarmonicChain {
+    fn name(&self) -> &str {
+        "harmonic-chain"
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        hc_bound(chain_count(ts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskSetBuilder;
+
+    #[test]
+    fn paper_instantiations() {
+        // Section V: "3(2^{1/3} − 1) ≈ 77.9%" and "2(2^{1/2} − 1) ≈ 82.8%".
+        assert!((hc_bound(3) - 0.7798).abs() < 1e-4);
+        assert!((hc_bound(2) - 0.8284).abs() < 1e-4);
+        // K = 1: the 100% bound for harmonic task sets.
+        assert_eq!(hc_bound(1), 1.0);
+    }
+
+    #[test]
+    fn harmonic_set_reaches_one() {
+        let ts = TaskSetBuilder::new()
+            .task(1, 2)
+            .task(1, 4)
+            .task(2, 8)
+            .task(4, 16)
+            .build()
+            .unwrap();
+        assert_eq!(HarmonicChain.value(&ts), 1.0);
+    }
+
+    #[test]
+    fn two_chain_set() {
+        // {2,4,8} ∪ {3,9}: K = 2.
+        let ts = TaskSetBuilder::new()
+            .task(1, 2)
+            .task(1, 4)
+            .task(1, 8)
+            .task(1, 3)
+            .task(1, 9)
+            .build()
+            .unwrap();
+        assert!((HarmonicChain.value(&ts) - hc_bound(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antichain_degrades_to_ll_of_k() {
+        // Pairwise non-dividing periods: K = N, so HC = L&L.
+        let ts = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(1, 6)
+            .task(1, 9)
+            .build()
+            .unwrap();
+        assert!((HarmonicChain.value(&ts) - ll_bound(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hc_never_below_ll_of_n() {
+        // K ≤ N and Θ is decreasing, so HC(τ) ≥ Θ(N): the harmonic-chain
+        // bound dominates the plain L&L bound on every set.
+        let sets = [
+            vec![(1u64, 4u64), (1, 8), (1, 6), (1, 12)],
+            vec![(1, 5), (1, 7), (1, 35), (1, 11)],
+            vec![(1, 10), (1, 20), (1, 40), (1, 80)],
+        ];
+        for pairs in sets {
+            let ts = rmts_taskmodel::TaskSet::from_pairs(&pairs).unwrap();
+            assert!(HarmonicChain.value(&ts) >= ll_bound(ts.len()) - 1e-12);
+        }
+    }
+}

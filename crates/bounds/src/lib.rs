@@ -1,0 +1,211 @@
+//! # `rmts-bounds` — deflatable parametric utilization bounds (D-PUBs)
+//!
+//! A *parametric utilization bound* `Λ(τ)` (paper Section III) is a value
+//! computed from a task set's parameters such that `U(τ) ≤ Λ(τ)` guarantees
+//! RMS schedulability on a uniprocessor. All bounds implemented here are
+//! **deflatable** (Lemma 1): decreasing execution times of tasks in `τ`
+//! never invalidates `Λ(τ)` — the property that makes them usable for
+//! partitioned multiprocessor scheduling with task splitting, because
+//! splitting only ever hands a processor a "deflated" view of `τ`.
+//!
+//! Implemented bounds:
+//!
+//! * [`LiuLayland`] — `Θ(N) = N(2^{1/N} − 1)`, the classic 69.3% bound.
+//! * [`HarmonicChain`] — `K(2^{1/K} − 1)` with `K` the minimum number of
+//!   harmonic chains (Kuo & Mok); the **100% bound for harmonic sets** is
+//!   the special case `K = 1`.
+//! * [`TBound`] — `Σ_{i<N} T'_{i+1}/T'_i + 2·T'_1/T'_N − N` over scaled
+//!   periods (Lauzac, Melhem & Mossé).
+//! * [`RBound`] — `(N−1)(r^{1/(N−1)} − 1) + 2/r − 1` with
+//!   `r = T'_N / T'_1 ∈ [1, 2)`.
+//! * [`CustomBound`] — any user-supplied deflatable bound.
+//!
+//! ```
+//! use rmts_bounds::{HarmonicChain, LiuLayland, ParametricBound};
+//! use rmts_taskmodel::TaskSet;
+//!
+//! let harmonic = TaskSet::from_pairs(&[(1, 4), (2, 8), (4, 16)]).unwrap();
+//! assert_eq!(HarmonicChain.value(&harmonic), 1.0); // the 100% bound
+//! assert!(LiuLayland.value(&harmonic) < 0.78);     // Θ(3) ≈ 0.7798
+//! ```
+//!
+//! [`thresholds`] provides the two structural constants of the paper:
+//! the *light-task threshold* `Θ/(1+Θ)` (Definition 1, → 40.9%) and the
+//! *RM-TS cap* `2Θ/(1+Θ)` (Section V, → 81.8%); [`capped`] combines a bound
+//! with the cap to form the utilization bound RM-TS actually achieves,
+//! `min(Λ(τ), 2Θ/(1+Θ))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod best_of;
+pub mod harmonic_chain;
+pub mod ll;
+pub mod rbound;
+pub mod tbound;
+pub mod thresholds;
+
+pub use best_of::BestOf;
+pub use harmonic_chain::HarmonicChain;
+pub use ll::{ll_bound, LiuLayland, LL_LIMIT};
+pub use rbound::RBound;
+pub use tbound::TBound;
+pub use thresholds::{light_threshold, rmts_cap};
+
+use rmts_taskmodel::TaskSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A deflatable parametric utilization bound (D-PUB).
+///
+/// Implementations promise (paper Lemma 1): for any `τ'` obtained from `τ`
+/// by decreasing execution times, `U(τ') ≤ value(τ)` implies `τ'` is
+/// RMS-schedulable on a uniprocessor. Note the bound is evaluated on the
+/// *original* `τ` but applied to deflations of it — `value(τ)` itself is
+/// pure parameter arithmetic and may well be below `U(τ)`.
+pub trait ParametricBound: Send + Sync {
+    /// Human-readable name (for tables and reports).
+    fn name(&self) -> &str;
+
+    /// Evaluates `Λ(τ)` from the task set's parameters.
+    fn value(&self, ts: &TaskSet) -> f64;
+}
+
+impl fmt::Debug for dyn ParametricBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ParametricBound({})", self.name())
+    }
+}
+
+/// A shareable handle to a bound, convenient for experiment tables.
+pub type BoundRef = Arc<dyn ParametricBound>;
+
+/// A user-supplied deflatable bound.
+pub struct CustomBound<F: Fn(&TaskSet) -> f64 + Send + Sync> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&TaskSet) -> f64 + Send + Sync> CustomBound<F> {
+    /// Wraps a closure as a named bound. The caller asserts deflatability.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        CustomBound {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&TaskSet) -> f64 + Send + Sync> ParametricBound for CustomBound<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        (self.f)(ts)
+    }
+}
+
+/// The bound RM-TS achieves for arbitrary task sets:
+/// `min(Λ(τ), 2Θ/(1+Θ))` where `Θ = Θ(N)` is the L&L bound of the set
+/// (paper Section V).
+pub struct Capped<B> {
+    inner: B,
+    name: String,
+}
+
+impl<B: ParametricBound> Capped<B> {
+    /// Wraps `inner` with the RM-TS cap.
+    pub fn new(inner: B) -> Self {
+        let name = format!("min({}, 2Θ/(1+Θ))", inner.name());
+        Capped { inner, name }
+    }
+
+    /// The uncapped bound.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: ParametricBound> ParametricBound for Capped<B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        self.inner.value(ts).min(rmts_cap(ll_bound(ts.len())))
+    }
+}
+
+/// Convenience constructor for [`Capped`].
+pub fn capped<B: ParametricBound>(inner: B) -> Capped<B> {
+    Capped::new(inner)
+}
+
+/// The standard catalogue of bounds used by the experiments.
+pub fn standard_catalogue() -> Vec<BoundRef> {
+    vec![
+        Arc::new(LiuLayland),
+        Arc::new(HarmonicChain),
+        Arc::new(TBound),
+        Arc::new(RBound),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskSetBuilder;
+
+    fn harmonic_set() -> TaskSet {
+        TaskSetBuilder::new()
+            .task(1, 4)
+            .task(1, 8)
+            .task(2, 16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn custom_bound_delegates() {
+        let b = CustomBound::new("const-0.5", |_ts: &TaskSet| 0.5);
+        assert_eq!(b.name(), "const-0.5");
+        assert_eq!(b.value(&harmonic_set()), 0.5);
+    }
+
+    #[test]
+    fn capped_applies_rmts_cap() {
+        // Harmonic set: HC bound = 1.0; the cap for N = 3 is
+        // 2Θ(3)/(1+Θ(3)) with Θ(3) ≈ 0.7798 → ≈ 0.8763.
+        let ts = harmonic_set();
+        let hc = HarmonicChain;
+        assert!((hc.value(&ts) - 1.0).abs() < 1e-12);
+        let capped = Capped::new(HarmonicChain);
+        let theta = ll_bound(3);
+        let expect = 2.0 * theta / (1.0 + theta);
+        assert!((capped.value(&ts) - expect).abs() < 1e-12);
+        assert!(capped.name().contains("harmonic-chain"));
+    }
+
+    #[test]
+    fn capped_is_identity_below_cap() {
+        // L&L bound is always below the cap, so capping changes nothing.
+        let ts = harmonic_set();
+        let raw = LiuLayland.value(&ts);
+        assert_eq!(Capped::new(LiuLayland).value(&ts), raw);
+    }
+
+    #[test]
+    fn catalogue_contains_four_bounds() {
+        let cat = standard_catalogue();
+        let names: Vec<&str> = cat.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Liu&Layland", "harmonic-chain", "T-Bound", "R-Bound"]
+        );
+    }
+
+    #[test]
+    fn trait_object_debug() {
+        let b: BoundRef = Arc::new(LiuLayland);
+        assert_eq!(format!("{b:?}"), "ParametricBound(Liu&Layland)");
+    }
+}

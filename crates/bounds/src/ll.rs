@@ -1,0 +1,76 @@
+//! The Liu & Layland bound `Θ(N) = N(2^{1/N} − 1)`.
+
+use crate::ParametricBound;
+use rmts_taskmodel::TaskSet;
+
+/// `lim_{N→∞} N(2^{1/N} − 1) = ln 2 ≈ 0.6931` — the asymptotic L&L bound
+/// the paper quotes as "69.3%".
+pub const LL_LIMIT: f64 = std::f64::consts::LN_2;
+
+/// The Liu & Layland utilization bound for `n` tasks,
+/// `Θ(n) = n(2^{1/n} − 1)`, monotonically decreasing in `n` towards
+/// [`LL_LIMIT`]. By convention `Θ(0) = 1`.
+pub fn ll_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// The L&L bound as a [`ParametricBound`]: the parameter is the task count.
+pub struct LiuLayland;
+
+impl ParametricBound for LiuLayland {
+    fn name(&self) -> &str {
+        "Liu&Layland"
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        ll_bound(ts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskSetBuilder;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(ll_bound(1), 1.0);
+        assert!((ll_bound(2) - 0.828_427).abs() < 1e-6); // 2(√2 − 1)
+        assert!((ll_bound(3) - 0.779_763).abs() < 1e-6);
+        assert!((ll_bound(10) - 0.717_734).abs() < 1e-6);
+    }
+
+    #[test]
+    #[allow(clippy::approx_constant)] // 0.6931 is the paper's quoted figure
+    fn asymptote_is_ln2() {
+        // The paper's "69.3%".
+        assert!((LL_LIMIT - 0.6931).abs() < 1e-4);
+        assert!((ll_bound(1_000_000) - LL_LIMIT).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotonically_decreasing() {
+        for n in 1..200 {
+            assert!(
+                ll_bound(n) > ll_bound(n + 1),
+                "Θ({n}) must exceed Θ({})",
+                n + 1
+            );
+        }
+        assert!(ll_bound(500) > LL_LIMIT);
+    }
+
+    #[test]
+    fn bound_object_uses_task_count() {
+        let ts = TaskSetBuilder::new()
+            .task(1, 10)
+            .task(1, 20)
+            .task(1, 30)
+            .build()
+            .unwrap();
+        assert_eq!(LiuLayland.value(&ts), ll_bound(3));
+    }
+}

@@ -1,0 +1,122 @@
+//! The T-Bound of Lauzac, Melhem & Mossé.
+//!
+//! With scaled periods `T'_1 ≤ … ≤ T'_N` (each period halved into the
+//! octave `[T_min, 2·T_min)`, see `rmts_taskmodel::scaled`):
+//!
+//! ```text
+//! T-Bound(τ) = Σ_{i=1}^{N−1} T'_{i+1}/T'_i  +  2·T'_1/T'_N  −  N
+//! ```
+//!
+//! Sanity anchors: a harmonic set scales to a single point, every ratio is
+//! 1, and the bound is `(N−1) + 2 − N = 1` (the 100% bound). Spreading the
+//! scaled periods geometrically (`T'_{i+1}/T'_i = 2^{1/N}`) recovers exactly
+//! the L&L bound `N(2^{1/N} − 1)` — T-Bound is a strict refinement of L&L
+//! that exploits knowledge of the actual periods.
+
+use crate::ParametricBound;
+use rmts_taskmodel::scaled::scaled_periods;
+use rmts_taskmodel::TaskSet;
+
+/// Evaluates the T-Bound for a task set.
+pub fn t_bound(ts: &TaskSet) -> f64 {
+    let scaled = scaled_periods(ts);
+    let n = scaled.len();
+    if n == 1 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for w in scaled.windows(2) {
+        sum += w[1].ratio(&w[0]);
+    }
+    sum += 2.0 * scaled[0].ratio(&scaled[n - 1]);
+    sum - n as f64
+}
+
+/// The T-Bound as a [`ParametricBound`].
+pub struct TBound;
+
+impl ParametricBound for TBound {
+    fn name(&self) -> &str {
+        "T-Bound"
+    }
+    fn value(&self, ts: &TaskSet) -> f64 {
+        t_bound(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ll::ll_bound;
+    use rmts_taskmodel::{TaskSet, TaskSetBuilder};
+
+    fn set(periods: &[u64]) -> TaskSet {
+        let pairs: Vec<(u64, u64)> = periods.iter().map(|&t| (1, t)).collect();
+        TaskSet::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn harmonic_reaches_one() {
+        assert!((t_bound(&set(&[4, 8, 16, 32])) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_is_one() {
+        assert_eq!(t_bound(&set(&[7])), 1.0);
+    }
+
+    #[test]
+    fn geometric_spread_recovers_ll() {
+        // Scaled periods in ratio 2^{1/N} each: T-Bound = N·2^{1/N} − N.
+        // Periods 2^{i/4} can't be integral, so approximate with large
+        // integers: N = 4, periods ≈ 10000·2^{i/4}.
+        let periods: Vec<u64> = (0..4)
+            .map(|i| (10_000.0 * 2f64.powf(i as f64 / 4.0)).round() as u64)
+            .collect();
+        let ts = set(&periods);
+        assert!((t_bound(&ts) - ll_bound(4)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dominates_ll() {
+        // T-Bound ≥ Θ(N) on arbitrary sets (AM–GM over the octave).
+        for periods in [
+            vec![4u64, 5, 6, 7],
+            vec![10, 13, 17, 23, 29],
+            vec![8, 12, 20, 28],
+            vec![3, 11, 19, 64, 100],
+        ] {
+            let ts = set(&periods);
+            assert!(
+                t_bound(&ts) >= ll_bound(ts.len()) - 1e-9,
+                "T-Bound below L&L for {periods:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        for periods in [vec![4u64, 5, 6, 7], vec![5, 9], vec![100, 101, 102]] {
+            let ts = set(&periods);
+            let b = t_bound(&ts);
+            assert!(b <= 1.0 + 1e-12, "T-Bound {b} exceeds 1 for {periods:?}");
+        }
+    }
+
+    #[test]
+    fn near_harmonic_is_near_one() {
+        // Periods 100, 199 (almost 2·100): ratio 1.99; T-Bound =
+        // 1.99 + 2/1.99 − 2 ≈ 0.995.
+        let ts = set(&[100, 199]);
+        assert!((t_bound(&ts) - (1.99 + 2.0 / 1.99 - 2.0)).abs() < 1e-12);
+        assert!(t_bound(&ts) > 0.99);
+    }
+
+    #[test]
+    fn ignores_wcet() {
+        // A PUB depends on the parameters it declares — here, periods only.
+        let a = TaskSetBuilder::new().task(1, 10).task(1, 15).build().unwrap();
+        let b = TaskSetBuilder::new().task(9, 10).task(2, 15).build().unwrap();
+        assert_eq!(t_bound(&a), t_bound(&b));
+    }
+}

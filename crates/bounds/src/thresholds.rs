@@ -1,0 +1,100 @@
+//! The structural thresholds of the paper.
+//!
+//! Two quantities derived from the L&L bound `Θ = Θ(N)` shape both
+//! algorithms:
+//!
+//! * **Light-task threshold** `Θ/(1+Θ)` (Definition 1): a task with
+//!   `U_i ≤ Θ/(1+Θ)` is *light*; RM-TS/light achieves any D-PUB for sets of
+//!   light tasks. As `N → ∞` this is `ln2/(1+ln2) ≈ 40.9%`.
+//! * **RM-TS cap** `2Θ/(1+Θ)` (Section V): RM-TS achieves
+//!   `min(Λ(τ), 2Θ/(1+Θ))` for arbitrary sets. As `N → ∞` this is
+//!   `2·ln2/(1+ln2) ≈ 81.8%`.
+
+use crate::ll::ll_bound;
+use rmts_taskmodel::TaskSet;
+
+/// `Θ/(1+Θ)` for a given L&L bound value `Θ`.
+pub fn light_threshold(theta: f64) -> f64 {
+    theta / (1.0 + theta)
+}
+
+/// `2Θ/(1+Θ)` for a given L&L bound value `Θ`.
+pub fn rmts_cap(theta: f64) -> f64 {
+    2.0 * theta / (1.0 + theta)
+}
+
+/// The light-task threshold of a task set, `Θ(N)/(1+Θ(N))`.
+pub fn light_threshold_of(ts: &TaskSet) -> f64 {
+    light_threshold(ll_bound(ts.len()))
+}
+
+/// The RM-TS cap of a task set, `2Θ(N)/(1+Θ(N))`.
+pub fn rmts_cap_of(ts: &TaskSet) -> f64 {
+    rmts_cap(ll_bound(ts.len()))
+}
+
+/// `true` iff every task in the set is light (Definition 1).
+pub fn is_light_set(ts: &TaskSet) -> bool {
+    ts.is_light(light_threshold_of(ts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ll::LL_LIMIT;
+    use rmts_taskmodel::TaskSetBuilder;
+
+    #[test]
+    fn asymptotic_anchors_from_footnote_1() {
+        // Footnote 1: "When N goes to infinity, 2Θ/(1+Θ) ≈ 81.8%,
+        // Θ ≈ 69.3%, Θ/(1+Θ) ≈ 40.9%".
+        assert!((light_threshold(LL_LIMIT) - 0.409).abs() < 5e-4);
+        assert!((rmts_cap(LL_LIMIT) - 0.818).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cap_is_twice_threshold() {
+        for theta in [0.5, 0.7, 1.0] {
+            assert!((rmts_cap(theta) - 2.0 * light_threshold(theta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thresholds_decrease_with_n() {
+        use crate::ll::ll_bound;
+        let a = light_threshold(ll_bound(2));
+        let b = light_threshold(ll_bound(20));
+        assert!(a > b);
+        assert!(rmts_cap(ll_bound(2)) > rmts_cap(ll_bound(20)));
+    }
+
+    #[test]
+    fn hc2_exceeds_cap_hc3_does_not() {
+        // The paper's Section V examples: HC(2) ≈ 82.8% > 81.8% ≥ cap as
+        // N→∞, while HC(3) ≈ 77.9% < 81.8%.
+        use crate::harmonic_chain::hc_bound;
+        assert!(hc_bound(2) > rmts_cap(LL_LIMIT));
+        assert!(hc_bound(3) < rmts_cap(LL_LIMIT));
+    }
+
+    #[test]
+    fn light_set_classification() {
+        // N = 4: Θ(4) ≈ 0.7568, threshold ≈ 0.4308.
+        let light = TaskSetBuilder::new()
+            .task(4, 10)
+            .task(4, 10)
+            .task(4, 10)
+            .task(4, 10)
+            .build()
+            .unwrap();
+        assert!(is_light_set(&light));
+        let heavy = TaskSetBuilder::new()
+            .task(5, 10)
+            .task(4, 10)
+            .task(4, 10)
+            .task(4, 10)
+            .build()
+            .unwrap();
+        assert!(!is_light_set(&heavy));
+    }
+}

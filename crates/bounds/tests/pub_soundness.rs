@@ -1,0 +1,178 @@
+//! PUB soundness: any task set with `U(τ) ≤ Λ(τ)` must be exactly
+//! schedulable by RMS on a uniprocessor (this is the defining property of a
+//! parametric utilization bound, and deflation by integer rounding is
+//! covered by Lemma 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmts_bounds::standard_catalogue;
+use rmts_rta::is_schedulable;
+use rmts_taskmodel::{Priority, Subtask, Task, TaskSet};
+
+/// Builds the uniprocessor workload view of a task set (every task whole).
+fn workload(ts: &TaskSet) -> Vec<Subtask> {
+    ts.iter_prioritized()
+        .map(|(p, t)| Subtask::whole(t, p))
+        .collect()
+}
+
+/// Random periods: either harmonic (octaves of a base), near-harmonic, or
+/// free log-uniform-ish, to exercise all bounds.
+fn random_periods(rng: &mut StdRng, n: usize, style: u8) -> Vec<u64> {
+    match style {
+        0 => {
+            // Harmonic: base · 2^k.
+            let base = rng.gen_range(100..1000);
+            (0..n).map(|_| base << rng.gen_range(0..5)).collect()
+        }
+        1 => {
+            // Two harmonic chains.
+            let b1 = rng.gen_range(100..500);
+            let b2 = b1 * 3 + 1; // coprime-ish second chain
+            (0..n)
+                .map(|i| {
+                    let b = if i % 2 == 0 { b1 } else { b2 };
+                    b << rng.gen_range(0..4)
+                })
+                .collect()
+        }
+        _ => {
+            // Free periods in [100, 10_000].
+            (0..n).map(|_| rng.gen_range(100..10_000)).collect()
+        }
+    }
+}
+
+/// Scales random utilization weights so the set's total utilization lands
+/// just below `target`, then materializes integral WCETs (≥ 1 tick).
+fn build_set(rng: &mut StdRng, periods: &[u64], target_u: f64) -> Option<TaskSet> {
+    let weights: Vec<f64> = periods.iter().map(|_| rng.gen_range(0.1..1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let tasks: Vec<Task> = periods
+        .iter()
+        .zip(&weights)
+        .enumerate()
+        .map(|(i, (&t, &w))| {
+            let u = target_u * w / wsum;
+            let c = ((t as f64) * u).floor().max(1.0) as u64;
+            Task::from_ticks(i as u32, c.min(t), t).unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).ok()
+}
+
+#[test]
+fn sets_below_their_bound_are_schedulable() {
+    let mut rng = StdRng::seed_from_u64(0xB0BA);
+    let catalogue = standard_catalogue();
+    let mut tested = 0usize;
+    for trial in 0..400 {
+        let n = rng.gen_range(2..10);
+        let style = (trial % 3) as u8;
+        let periods = random_periods(&mut rng, n, style);
+        for bound in &catalogue {
+            // Evaluate the bound on a probe set (periods matter, not C).
+            let probe = build_set(&mut rng, &periods, 0.1).unwrap();
+            let lambda = bound.value(&probe);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&lambda),
+                "{} produced {lambda} outside [0,1]",
+                bound.name()
+            );
+            // Build a set whose utilization is just below Λ.
+            let target = (lambda * 0.995).max(0.05);
+            let Some(ts) = build_set(&mut rng, &periods, target) else {
+                continue;
+            };
+            if ts.total_utilization() > lambda {
+                continue; // integer rounding overshot; skip
+            }
+            tested += 1;
+            assert!(
+                is_schedulable(&workload(&ts)),
+                "{}: set below its bound (U={:.4} ≤ Λ={:.4}) missed a deadline:\n{}",
+                bound.name(),
+                ts.total_utilization(),
+                lambda,
+                ts
+            );
+        }
+    }
+    assert!(tested > 1000, "too few effective trials: {tested}");
+}
+
+#[test]
+fn harmonic_sets_schedulable_at_full_utilization() {
+    // The 100% bound: harmonic sets at U = 1.0 exactly.
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    for _ in 0..100 {
+        let n = rng.gen_range(2..8);
+        let base: u64 = 1 << rng.gen_range(4..8);
+        let mut periods: Vec<u64> = (0..n).map(|_| base << rng.gen_range(0..4)).collect();
+        periods.sort_unstable();
+        // Fill utilization exactly to 1.0: give each task a slice of its
+        // period, using the fact that periods divide each other.
+        let mut remaining = 1.0f64;
+        let mut tasks = Vec::new();
+        for (i, &t) in periods.iter().enumerate() {
+            let u = if i + 1 == periods.len() {
+                remaining
+            } else {
+                rng.gen_range(0.0..remaining / 2.0)
+            };
+            let c = ((t as f64) * u).floor() as u64;
+            remaining -= c as f64 / t as f64;
+            if c > 0 {
+                tasks.push(Task::from_ticks(i as u32, c, t).unwrap());
+            }
+        }
+        if tasks.is_empty() {
+            continue;
+        }
+        let ts = TaskSet::new(tasks).unwrap();
+        assert!(ts.total_utilization() <= 1.0 + 1e-9);
+        assert!(
+            is_schedulable(&workload(&ts)),
+            "harmonic set at U={:.4} unschedulable:\n{}",
+            ts.total_utilization(),
+            ts
+        );
+    }
+}
+
+#[test]
+fn deflation_preserves_bound_validity() {
+    // Lemma 1 exercised end-to-end: take a set at its bound, deflate random
+    // tasks, re-check schedulability against the ORIGINAL bound value.
+    let mut rng = StdRng::seed_from_u64(0xDEF1A7E);
+    let catalogue = standard_catalogue();
+    for _ in 0..100 {
+        let n = rng.gen_range(2..8);
+        let style = rng.gen_range(0..3);
+        let periods = random_periods(&mut rng, n, style);
+        for bound in &catalogue {
+            let probe = build_set(&mut rng, &periods, 0.1).unwrap();
+            let lambda = bound.value(&probe);
+            let Some(ts) = build_set(&mut rng, &periods, (lambda * 0.99).max(0.05)) else {
+                continue;
+            };
+            if ts.total_utilization() > lambda {
+                continue;
+            }
+            let deflated = ts.deflated(rng.gen_range(0.3..1.0));
+            assert!(
+                is_schedulable(&workload(&deflated)),
+                "{}: deflated set violated Lemma 1",
+                bound.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_priorities_follow_rm_order() {
+    let ts = TaskSet::from_pairs(&[(1, 8), (1, 4), (1, 16)]).unwrap();
+    let w = workload(&ts);
+    assert_eq!(w[0].priority, Priority(0));
+    assert!(w[0].period < w[1].period);
+}

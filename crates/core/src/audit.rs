@@ -1,0 +1,281 @@
+//! Independent structural auditing of partitions.
+//!
+//! `Partition::verify_rta` checks the *temporal* property (every synthetic
+//! deadline passes exact RTA). This module checks everything else a
+//! correct partition must satisfy — the structural side of the paper's
+//! model — so that experiment campaigns and downstream users have a single
+//! tripwire for implementation bugs:
+//!
+//! * budget conservation: every task's subtask budgets sum to `C_i`;
+//! * chain shape: subtask `seq` numbers are `1..k` with exactly one tail
+//!   (or a single whole subtask), bodies before the tail;
+//! * placement: subtasks of one task sit on pairwise distinct processors;
+//! * Eq. (1): each recorded synthetic deadline equals
+//!   `T_i − Σ` (recorded responses of preceding bodies), and responses are
+//!   never below budgets;
+//! * consistency: period and priority are uniform across a task's
+//!   subtasks and match the source task set.
+
+use crate::partition::Partition;
+use rmts_taskmodel::{SubtaskKind, TaskId, TaskSet, Time};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One structural defect found by [`audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// A task's subtask budgets do not sum to its execution time.
+    BudgetMismatch {
+        /// The task.
+        task: TaskId,
+        /// Sum of placed budgets.
+        placed: Time,
+        /// The task's execution time.
+        expected: Time,
+    },
+    /// A task from the set has no subtasks in the partition.
+    Missing {
+        /// The task.
+        task: TaskId,
+    },
+    /// The partition hosts a task that is not in the set.
+    Unknown {
+        /// The alien task id.
+        task: TaskId,
+    },
+    /// Subtask sequence numbers have gaps or duplicates.
+    BrokenChain {
+        /// The task.
+        task: TaskId,
+    },
+    /// Two subtasks of one task share a processor.
+    SharedHost {
+        /// The task.
+        task: TaskId,
+    },
+    /// A subtask's kind is inconsistent with its position (e.g. a body
+    /// after the tail, or a whole subtask in a multi-part chain).
+    KindMismatch {
+        /// The task.
+        task: TaskId,
+    },
+    /// A synthetic deadline disagrees with Eq. (1).
+    DeadlineMismatch {
+        /// The task.
+        task: TaskId,
+        /// 1-based subtask index.
+        seq: u32,
+        /// Recorded deadline.
+        found: Time,
+        /// Eq. (1) value.
+        expected: Time,
+    },
+    /// Period or priority differs across a task's subtasks or from the
+    /// source set.
+    Inconsistent {
+        /// The task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::BudgetMismatch {
+                task,
+                placed,
+                expected,
+            } => write!(f, "{task}: placed {placed} ≠ C = {expected}"),
+            AuditError::Missing { task } => write!(f, "{task}: not placed at all"),
+            AuditError::Unknown { task } => write!(f, "{task}: not in the task set"),
+            AuditError::BrokenChain { task } => write!(f, "{task}: seq gaps/duplicates"),
+            AuditError::SharedHost { task } => write!(f, "{task}: subtasks share a processor"),
+            AuditError::KindMismatch { task } => write!(f, "{task}: body/tail/whole misuse"),
+            AuditError::DeadlineMismatch {
+                task,
+                seq,
+                found,
+                expected,
+            } => write!(f, "{task}^{seq}: Δ = {found} ≠ Eq.(1) = {expected}"),
+            AuditError::Inconsistent { task } => {
+                write!(f, "{task}: period/priority inconsistent")
+            }
+        }
+    }
+}
+
+/// Audits the partition against its source task set. Empty result = clean.
+pub fn audit(partition: &Partition, ts: &TaskSet) -> Vec<AuditError> {
+    let mut errors = Vec::new();
+    // Gather subtasks per task with their host processors.
+    let mut per_task: BTreeMap<u32, Vec<(usize, &rmts_taskmodel::Subtask)>> = BTreeMap::new();
+    for proc in &partition.processors {
+        for s in proc.workload() {
+            per_task.entry(s.parent.0).or_default().push((proc.index, s));
+        }
+    }
+    for (id, parts) in &mut per_task {
+        parts.sort_by_key(|&(_, s)| s.seq);
+        let task = TaskId(*id);
+        let Some((prio, source)) = ts.find(task) else {
+            errors.push(AuditError::Unknown { task });
+            continue;
+        };
+        // Chain shape.
+        let contiguous = parts
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, s))| s.seq as usize == i + 1);
+        if !contiguous {
+            errors.push(AuditError::BrokenChain { task });
+            continue;
+        }
+        // Kinds.
+        let n = parts.len();
+        let kinds_ok = if n == 1 {
+            parts[0].1.kind.is_whole()
+        } else {
+            parts[..n - 1]
+                .iter()
+                .all(|&(_, s)| matches!(s.kind, SubtaskKind::Body(_)))
+                && parts[n - 1].1.kind.is_tail()
+        };
+        if !kinds_ok {
+            errors.push(AuditError::KindMismatch { task });
+        }
+        // Distinct hosts.
+        let mut hosts: Vec<usize> = parts.iter().map(|&(q, _)| q).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        if hosts.len() != n {
+            errors.push(AuditError::SharedHost { task });
+        }
+        // Budget conservation.
+        let placed: Time = parts.iter().map(|&(_, s)| s.wcet).sum();
+        if placed != source.wcet {
+            errors.push(AuditError::BudgetMismatch {
+                task,
+                placed,
+                expected: source.wcet,
+            });
+        }
+        // Period/priority consistency.
+        if parts
+            .iter()
+            .any(|&(_, s)| s.period != source.period || s.priority != prio)
+        {
+            errors.push(AuditError::Inconsistent { task });
+        }
+        // Eq. (1) deadlines, cross-checked against the recorded plan when
+        // available (plans hold the recorded responses).
+        if let Some(plan) = partition.plans.get(id) {
+            let expected: Vec<Time> = plan.subtasks().iter().map(|(s, _)| s.deadline).collect();
+            for (&(_, s), want) in parts.iter().zip(&expected) {
+                if s.deadline != *want {
+                    errors.push(AuditError::DeadlineMismatch {
+                        task,
+                        seq: s.seq,
+                        found: s.deadline,
+                        expected: *want,
+                    });
+                }
+            }
+        }
+    }
+    // Missing tasks.
+    for t in ts.tasks() {
+        if !per_task.contains_key(&t.id.0) {
+            errors.push(AuditError::Missing { task: t.id });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::{RmTs, RmTsLight};
+    use rmts_taskmodel::TaskSetBuilder;
+
+    fn split_setup() -> (TaskSet, Partition) {
+        let ts = TaskSetBuilder::new()
+            .task(600, 1000)
+            .task(600, 1000)
+            .task(600, 1000)
+            .build()
+            .unwrap();
+        let p = RmTsLight::new().partition(&ts, 2).unwrap();
+        (ts, p)
+    }
+
+    #[test]
+    fn clean_partitions_audit_clean() {
+        let (ts, p) = split_setup();
+        assert!(audit(&p, &ts).is_empty());
+        let ts2 = TaskSetBuilder::new().task(1, 4).task(2, 8).build().unwrap();
+        let p2 = RmTs::new().partition(&ts2, 2).unwrap();
+        assert!(audit(&p2, &ts2).is_empty());
+    }
+
+    #[test]
+    fn detects_budget_tampering() {
+        let (ts, mut p) = split_setup();
+        p.processors[0].subtasks[0].wcet += rmts_taskmodel::Time::new(1);
+        let errs = audit(&p, &ts);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AuditError::BudgetMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_deadline_tampering() {
+        let (ts, mut p) = split_setup();
+        // Find a tail subtask and stretch its deadline illegally.
+        for proc in &mut p.processors {
+            for s in &mut proc.subtasks {
+                if s.kind.is_tail() {
+                    s.deadline = s.period;
+                }
+            }
+        }
+        let errs = audit(&p, &ts);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AuditError::DeadlineMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_missing_and_unknown_tasks() {
+        let (_ts, p) = split_setup();
+        let smaller = TaskSetBuilder::new()
+            .task(600, 1000)
+            .task(600, 1000)
+            .build()
+            .unwrap();
+        // Partition hosts τ2 which `smaller` does not contain.
+        let errs = audit(&p, &smaller);
+        assert!(errs.iter().any(|e| matches!(e, AuditError::Unknown { .. })));
+        // And the other direction: a bigger set has a missing task.
+        let bigger = TaskSetBuilder::new()
+            .task(600, 1000)
+            .task(600, 1000)
+            .task(600, 1000)
+            .task(1, 1000)
+            .build()
+            .unwrap();
+        let errs = audit(&p, &bigger);
+        assert!(errs.iter().any(|e| matches!(e, AuditError::Missing { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AuditError::BudgetMismatch {
+            task: TaskId(3),
+            placed: rmts_taskmodel::Time::new(5),
+            expected: rmts_taskmodel::Time::new(7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("τ3") && s.contains("5t") && s.contains("7t"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Strict partitioned RM (no task splitting).
+//!
+//! Tasks are considered in decreasing utilization order (the classic
+//! bin-packing heuristic) and each is placed whole on a processor chosen by
+//! the configured fit strategy, subject to a per-processor uniprocessor
+//! admission test. If no processor can take a task, partitioning fails —
+//! there is no splitting fallback, which is exactly why strict partitioning
+//! is limited to a 50% worst-case utilization bound.
+
+use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
+use crate::processor::ProcessorState;
+use rmts_bounds::ll_bound;
+use rmts_rta::budget::{admits_budget, NewcomerSpec};
+use rmts_taskmodel::{SplitPlan, Subtask, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Bin-packing placement heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fit {
+    /// First processor (by index) that admits the task.
+    First,
+    /// Admitting processor with the largest current utilization.
+    Best,
+    /// Admitting processor with the smallest current utilization.
+    Worst,
+}
+
+/// Per-processor admission test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UniAdmission {
+    /// Exact response-time analysis.
+    ExactRta,
+    /// Utilization ≤ `Θ(n)` where `n` counts the tasks on the processor
+    /// including the newcomer (Liu & Layland).
+    LiuLayland,
+    /// Hyperbolic bound (Bini, Buttazzo & Buttazzo):
+    /// `Π (U_i + 1) ≤ 2`.
+    Hyperbolic,
+}
+
+/// Strict partitioned rate-monotonic scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionedRm {
+    /// Placement heuristic.
+    pub fit: Fit,
+    /// Admission test.
+    pub admission: UniAdmission,
+}
+
+impl PartitionedRm {
+    /// First-fit-decreasing with exact RTA admission — the strongest
+    /// strict-partitioning baseline.
+    pub fn ffd_rta() -> Self {
+        PartitionedRm {
+            fit: Fit::First,
+            admission: UniAdmission::ExactRta,
+        }
+    }
+
+    /// First-fit-decreasing with L&L admission — the textbook baseline.
+    pub fn ffd_ll() -> Self {
+        PartitionedRm {
+            fit: Fit::First,
+            admission: UniAdmission::LiuLayland,
+        }
+    }
+
+    fn admits(&self, proc: &ProcessorState, candidate: &Subtask) -> bool {
+        match self.admission {
+            UniAdmission::ExactRta => {
+                let spec = NewcomerSpec {
+                    parent: candidate.parent,
+                    period: candidate.period,
+                    deadline: candidate.deadline,
+                    priority: candidate.priority,
+                };
+                admits_budget(proc.workload(), &spec, candidate.wcet)
+            }
+            UniAdmission::LiuLayland => {
+                let n = proc.len() + 1;
+                proc.utilization() + candidate.utilization() <= ll_bound(n) + 1e-9
+            }
+            UniAdmission::Hyperbolic => {
+                let prod: f64 = proc
+                    .workload()
+                    .iter()
+                    .map(|s| s.utilization() + 1.0)
+                    .product::<f64>()
+                    * (candidate.utilization() + 1.0);
+                prod <= 2.0 + 1e-9
+            }
+        }
+    }
+}
+
+impl Partitioner for PartitionedRm {
+    fn name(&self) -> String {
+        let fit = match self.fit {
+            Fit::First => "FFD",
+            Fit::Best => "BFD",
+            Fit::Worst => "WFD",
+        };
+        let adm = match self.admission {
+            UniAdmission::ExactRta => "RTA",
+            UniAdmission::LiuLayland => "L&L",
+            UniAdmission::Hyperbolic => "HYP",
+        };
+        format!("P-RM-{fit}/{adm}")
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
+        assert!(m > 0, "need at least one processor");
+        let mut processors: Vec<ProcessorState> = (0..m).map(ProcessorState::new).collect();
+        let mut plans = Vec::with_capacity(ts.len());
+        let mut unassigned = Vec::new();
+
+        // Decreasing utilization, ties by priority for determinism.
+        let mut order: Vec<_> = ts.iter_prioritized().collect();
+        order.sort_by(|a, b| {
+            b.1.utilization()
+                .total_cmp(&a.1.utilization())
+                .then(a.0.cmp(&b.0))
+        });
+
+        for (prio, task) in order {
+            let candidate = Subtask::whole(task, prio);
+            let fits: Vec<usize> = processors
+                .iter()
+                .filter(|p| self.admits(p, &candidate))
+                .map(|p| p.index)
+                .collect();
+            let choice = match self.fit {
+                Fit::First => fits.first().copied(),
+                Fit::Best => fits.iter().copied().max_by(|&a, &b| {
+                    processors[a]
+                        .utilization()
+                        .total_cmp(&processors[b].utilization())
+                        .then(b.cmp(&a)) // ties towards smaller index
+                }),
+                Fit::Worst => fits.iter().copied().min_by(|&a, &b| {
+                    processors[a]
+                        .utilization()
+                        .total_cmp(&processors[b].utilization())
+                        .then(a.cmp(&b))
+                }),
+            };
+            match choice {
+                Some(q) => {
+                    processors[q].push(candidate);
+                    let mut plan = SplitPlan::new(*task, prio);
+                    plan.seal_tail(q, candidate.wcet)
+                        .expect("whole task has positive budget");
+                    plans.push(plan);
+                }
+                None => unassigned.push(task.id),
+            }
+        }
+
+        if unassigned.is_empty() {
+            Ok(Partition::new(processors, plans))
+        } else {
+            Err(Box::new(PartitionFailure {
+                unassigned,
+                partial: Partition::new(processors, plans),
+                reason: "no processor admits the task (no splitting)".to_string(),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskSetBuilder;
+
+    fn light_set() -> TaskSet {
+        TaskSetBuilder::new()
+            .task(1, 4)
+            .task(2, 8)
+            .task(2, 8)
+            .task(4, 16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_variants_partition_an_easy_set() {
+        for fit in [Fit::First, Fit::Best, Fit::Worst] {
+            for adm in [
+                UniAdmission::ExactRta,
+                UniAdmission::LiuLayland,
+                UniAdmission::Hyperbolic,
+            ] {
+                let alg = PartitionedRm {
+                    fit,
+                    admission: adm,
+                };
+                let part = alg.partition(&light_set(), 2).unwrap();
+                assert!(part.covers(&light_set()), "{} lost budget", alg.name());
+                assert!(part.verify_rta(), "{} produced an invalid partition", alg.name());
+                assert!(part.split_tasks().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn rta_admission_beats_ll_admission() {
+        // A harmonic set at 100% per processor: RTA packs it, L&L refuses.
+        let ts = TaskSetBuilder::new()
+            .task(2, 4)
+            .task(2, 8)
+            .task(2, 8)
+            .build()
+            .unwrap(); // U = 1.0 exactly, harmonic
+        assert!(PartitionedRm::ffd_rta().accepts(&ts, 1));
+        assert!(!PartitionedRm::ffd_ll().accepts(&ts, 1));
+    }
+
+    #[test]
+    fn hyperbolic_between_ll_and_rta() {
+        // U1 = 0.5, U2 = 0.333: Π(U+1) = 1.5 · 4/3 = 2.0 ≤ 2 → accepted by
+        // hyperbolic; L&L: 0.833 > Θ(2) = 0.828 → rejected.
+        let ts = TaskSetBuilder::new().task(2, 4).task(2, 6).build().unwrap();
+        let hyp = PartitionedRm {
+            fit: Fit::First,
+            admission: UniAdmission::Hyperbolic,
+        };
+        assert!(hyp.accepts(&ts, 1));
+        assert!(!PartitionedRm::ffd_ll().accepts(&ts, 1));
+        assert!(PartitionedRm::ffd_rta().accepts(&ts, 1));
+    }
+
+    #[test]
+    fn splitting_free_failure_on_the_classic_adversary() {
+        // M+1 tasks of utilization just over 50% on M processors: strict
+        // partitioning fails (the bin-packing 50% wall), although
+        // U_M ≈ 0.75 only.
+        let ts = TaskSetBuilder::new()
+            .task(51, 100)
+            .task(51, 100)
+            .task(51, 100)
+            .build()
+            .unwrap();
+        let err = PartitionedRm::ffd_rta().partition(&ts, 2).unwrap_err();
+        assert_eq!(err.unassigned.len(), 1);
+        // ... while RM-TS with splitting succeeds on the same input.
+        let part = crate::RmTs::new().partition(&ts, 2).unwrap();
+        assert!(part.verify_rta());
+        assert_eq!(part.split_tasks().len(), 1);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PartitionedRm::ffd_rta().name(), "P-RM-FFD/RTA");
+        let wfd = PartitionedRm {
+            fit: Fit::Worst,
+            admission: UniAdmission::Hyperbolic,
+        };
+        assert_eq!(wfd.name(), "P-RM-WFD/HYP");
+    }
+}

@@ -1,0 +1,335 @@
+//! The shared partitioning skeleton (paper Algorithms 1–2, reused by
+//! phases 2–3 of Algorithm 3).
+//!
+//! A *phase* repeatedly takes the next work item (a task, or the remainder
+//! of a task already partially split), selects an eligible processor, and
+//! calls `Assign`: admit the whole remaining budget if it fits, otherwise
+//! place the `MaxSplit` first part and mark the processor full. The work
+//! queue survives across phases, so a task may be split across RM-TS's
+//! normal and pre-assigned processors exactly as the paper's pseudo-code
+//! allows.
+
+use crate::admission::AdmissionPolicy;
+use crate::processor::ProcessorState;
+use rmts_rta::budget::NewcomerSpec;
+use rmts_taskmodel::{ModelError, SplitPlan, SubtaskKind, TaskId, TaskSet};
+use std::collections::VecDeque;
+
+/// Processor selection rule for a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Select {
+    /// Paper phases: "pick the processor with minimal `U(P_q)`" —
+    /// utilization-balancing worst-fit. Ties break towards smaller index.
+    WorstFit,
+    /// RM-TS phase 3: "pick the non-full pre-assigned processor with the
+    /// largest index" — a first-fit that drains one processor at a time.
+    LargestIndexFirstFit,
+    /// Ablation only: classic first-fit (smallest index). Not used by the
+    /// paper's algorithms — the utilization-bound proofs need worst-fit —
+    /// but exposed so ABL-2 can measure what the choice costs empirically.
+    SmallestIndexFirstFit,
+}
+
+/// A phase-level failure: some task's remaining budget can no longer be
+/// given a positive synthetic deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The task whose split became infeasible.
+    pub task: TaskId,
+    /// The underlying model error.
+    pub cause: ModelError,
+}
+
+/// Builds the phase work queue: the given tasks in **increasing priority
+/// order** (paper Algorithm 1, line 1 — lowest priority first).
+pub fn queue_increasing_priority(
+    ts: &TaskSet,
+    include: impl Fn(TaskId) -> bool,
+) -> VecDeque<SplitPlan> {
+    let mut items: Vec<SplitPlan> = ts
+        .iter_prioritized()
+        .filter(|(_, t)| include(t.id))
+        .map(|(p, t)| SplitPlan::new(*t, p))
+        .collect();
+    items.reverse(); // index N−1 (lowest priority) first
+    items.into()
+}
+
+/// Picks the next processor for a phase, or `None` when every eligible
+/// processor is full.
+pub fn pick_processor(
+    processors: &[ProcessorState],
+    eligible: &dyn Fn(&ProcessorState) -> bool,
+    select: Select,
+) -> Option<usize> {
+    let candidates = processors.iter().filter(|p| !p.full && eligible(p));
+    match select {
+        Select::WorstFit => candidates
+            .min_by(|a, b| {
+                a.utilization()
+                    .total_cmp(&b.utilization())
+                    .then(a.index.cmp(&b.index))
+            })
+            .map(|p| p.index),
+        Select::LargestIndexFirstFit => candidates.map(|p| p.index).max(),
+        Select::SmallestIndexFirstFit => candidates.map(|p| p.index).min(),
+    }
+}
+
+/// Runs one assignment phase. Work items are consumed from the front of
+/// `queue`; fully placed plans are appended to `sealed`. The phase ends
+/// when the queue is empty or no eligible processor remains non-full
+/// (leftover items stay in the queue for a later phase).
+pub fn run_phase(
+    processors: &mut [ProcessorState],
+    eligible: &dyn Fn(&ProcessorState) -> bool,
+    select: Select,
+    queue: &mut VecDeque<SplitPlan>,
+    policy: &AdmissionPolicy,
+    sealed: &mut Vec<SplitPlan>,
+) -> Result<(), EngineError> {
+    while !queue.is_empty() {
+        let Some(q) = pick_processor(processors, &eligible, select) else {
+            return Ok(()); // all eligible processors full; leftovers remain
+        };
+        let plan = queue.front_mut().expect("queue checked non-empty");
+        let deadline = plan.next_deadline().map_err(|cause| EngineError {
+            task: plan.task().id,
+            cause,
+        })?;
+        let spec = NewcomerSpec {
+            parent: plan.task().id,
+            period: plan.task().period,
+            deadline,
+            priority: plan.priority(),
+        };
+        let cap = plan.remaining();
+        let seq = (plan.body_count() + 1) as u32;
+        let proc = &mut processors[q];
+        if policy.fits_whole(proc, &spec, cap) {
+            // The entire remaining budget fits: this piece is the tail (or
+            // the whole task if never split).
+            let kind = if plan.is_split() {
+                SubtaskKind::Tail
+            } else {
+                SubtaskKind::Whole
+            };
+            proc.push(spec.with_budget(cap, seq, kind));
+            let response = policy.record_response(proc, proc.len() - 1);
+            plan.seal_tail(q, response).map_err(|cause| EngineError {
+                task: spec.parent,
+                cause,
+            })?;
+            sealed.push(queue.pop_front().expect("front exists"));
+        } else {
+            // MaxSplit: place the largest feasible first part, then close
+            // the processor (Definition 3 guarantees a bottleneck exists).
+            let x = policy.max_budget(proc, &spec, cap);
+            debug_assert!(x < cap, "fits_whole was false, so x must be < cap");
+            if !x.is_zero() {
+                proc.push(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
+                let response = policy.record_response(proc, proc.len() - 1);
+                plan.push_body(x, q, response).map_err(|cause| EngineError {
+                    task: spec.parent,
+                    cause,
+                })?;
+            }
+            proc.full = true;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::ProcessorRole;
+    use rmts_taskmodel::{Time, TaskSetBuilder};
+
+    fn procs(n: usize) -> Vec<ProcessorState> {
+        (0..n).map(ProcessorState::new).collect()
+    }
+
+    #[test]
+    fn queue_orders_lowest_priority_first() {
+        let ts = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(1, 8)
+            .task(1, 16)
+            .build()
+            .unwrap();
+        let q = queue_increasing_priority(&ts, |_| true);
+        let periods: Vec<u64> = q.iter().map(|p| p.task().period.ticks()).collect();
+        assert_eq!(periods, vec![16, 8, 4]);
+    }
+
+    #[test]
+    fn queue_filter() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(1, 8).build().unwrap();
+        let q = queue_increasing_priority(&ts, |id| id.0 == 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].task().id.0, 1);
+    }
+
+    #[test]
+    fn worst_fit_balances() {
+        let mut ps = procs(3);
+        ps[0].push(rmts_taskmodel::Subtask {
+            parent: TaskId(9),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(1),
+            period: Time::new(2),
+            deadline: Time::new(2),
+            priority: rmts_taskmodel::Priority(0),
+        });
+        assert_eq!(pick_processor(&ps, &|_| true, Select::WorstFit), Some(1));
+        ps[1].full = true;
+        assert_eq!(pick_processor(&ps, &|_| true, Select::WorstFit), Some(2));
+    }
+
+    #[test]
+    fn smallest_index_first_fit() {
+        let mut ps = procs(3);
+        ps[0].push(rmts_taskmodel::Subtask {
+            parent: TaskId(9),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(1),
+            period: Time::new(2),
+            deadline: Time::new(2),
+            priority: rmts_taskmodel::Priority(0),
+        });
+        // Unlike worst-fit, first-fit sticks with P0 while it is non-full.
+        assert_eq!(
+            pick_processor(&ps, &|_| true, Select::SmallestIndexFirstFit),
+            Some(0)
+        );
+        ps[0].full = true;
+        assert_eq!(
+            pick_processor(&ps, &|_| true, Select::SmallestIndexFirstFit),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn largest_index_first_fit() {
+        let mut ps = procs(4);
+        assert_eq!(
+            pick_processor(&ps, &|_| true, Select::LargestIndexFirstFit),
+            Some(3)
+        );
+        ps[3].full = true;
+        assert_eq!(
+            pick_processor(&ps, &|_| true, Select::LargestIndexFirstFit),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn eligibility_filters() {
+        let mut ps = procs(2);
+        ps[0].role = ProcessorRole::PreAssigned;
+        let only_normal =
+            pick_processor(&ps, &|p| p.role == ProcessorRole::Normal, Select::WorstFit);
+        assert_eq!(only_normal, Some(1));
+    }
+
+    #[test]
+    fn none_when_all_full() {
+        let mut ps = procs(2);
+        ps[0].full = true;
+        ps[1].full = true;
+        assert_eq!(pick_processor(&ps, &|_| true, Select::WorstFit), None);
+    }
+
+    #[test]
+    fn simple_phase_places_everything() {
+        // Two processors, three light tasks: no splitting needed.
+        let ts = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(2, 8)
+            .task(4, 16)
+            .build()
+            .unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+        )
+        .unwrap();
+        assert!(q.is_empty());
+        assert_eq!(sealed.len(), 3);
+        assert!(sealed.iter().all(SplitPlan::is_sealed));
+        let total: usize = ps.iter().map(ProcessorState::len).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn overload_splits_and_fills() {
+        // (3,8) + (6,8) + (6,8) on two processors: U_M = 0.9375, the last
+        // (highest-priority) task must split. Expected trace: τ2 → P0,
+        // τ1 → P1 whole; τ0 gets body 5 on P0 (3 + x ≤ 8) and tail 1 on P1.
+        let ts = TaskSetBuilder::new()
+            .task(6, 8)
+            .task(6, 8)
+            .task(3, 8)
+            .build()
+            .unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+        )
+        .unwrap();
+        assert!(q.is_empty());
+        assert_eq!(sealed.len(), 3);
+        let split: Vec<_> = sealed.iter().filter(|p| p.is_split()).collect();
+        assert_eq!(split.len(), 1, "exactly one task must be split");
+        assert_eq!(split[0].task().id.0, 0, "the highest-priority task splits");
+        // Budget conservation.
+        let placed: u64 = ps
+            .iter()
+            .flat_map(|p| p.workload())
+            .map(|s| s.wcet.ticks())
+            .sum();
+        assert_eq!(placed, 15);
+    }
+
+    #[test]
+    fn phase_stops_when_processors_exhausted() {
+        // Overload: 3 full-utilization tasks on 2 processors.
+        let ts = TaskSetBuilder::new()
+            .task(8, 8)
+            .task(8, 8)
+            .task(8, 8)
+            .build()
+            .unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+        )
+        .unwrap();
+        assert!(!q.is_empty(), "the third task cannot fit");
+        assert!(ps.iter().all(|p| p.full));
+    }
+}

@@ -1,0 +1,198 @@
+//! Overhead-aware re-verification of partitions.
+//!
+//! The paper's model is overhead-free, and its related-work section uses
+//! context-switch cost as the argument against Pfair-style schemes. Task
+//! splitting itself introduces *migration* points (one per body→successor
+//! handoff), so a production user will ask: how much real-world overhead
+//! does an RM-TS partition tolerate before the exact analysis stops
+//! holding? This module answers that with the standard inflation
+//! technique:
+//!
+//! * every subtask's budget is inflated by `2 × preemption_cost` (one
+//!   context switch in, one out — the classic charging argument), and
+//! * each stage of a split task is additionally inflated by
+//!   `migration_cost` (state transfer at the handoff).
+//!
+//! [`inflate`] produces the inflated partition; [`overhead_tolerance`]
+//! binary-searches the largest uniform cost the partition absorbs while
+//! every synthetic deadline still passes exact RTA.
+
+use crate::partition::Partition;
+use rmts_taskmodel::Time;
+use serde::{Deserialize, Serialize};
+
+/// Per-event overhead costs (ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Cost charged twice per job per subtask (switch in + out).
+    pub preemption: Time,
+    /// Extra cost per stage of a *split* task (cross-processor handoff).
+    pub migration: Time,
+}
+
+impl OverheadModel {
+    /// A uniform model where both costs equal `c`.
+    pub fn uniform(c: Time) -> Self {
+        OverheadModel {
+            preemption: c,
+            migration: c,
+        }
+    }
+}
+
+/// Returns a copy of the partition with every budget inflated according to
+/// the model. Budgets are clamped to the synthetic deadline (an inflation
+/// beyond the deadline is unschedulable anyway and RTA will say so).
+#[must_use]
+pub fn inflate(partition: &Partition, model: &OverheadModel) -> Partition {
+    let mut out = partition.clone();
+    // Split tasks pay migration costs; whole tasks only context switches.
+    let split: std::collections::BTreeSet<u32> = partition
+        .plans
+        .values()
+        .filter(|p| p.is_split())
+        .map(|p| p.task().id.0)
+        .collect();
+    for proc in &mut out.processors {
+        for s in &mut proc.subtasks {
+            let mut c = s.wcet + 2 * model.preemption;
+            if split.contains(&s.parent.0) {
+                c += model.migration;
+            }
+            s.wcet = c.min(s.deadline);
+        }
+    }
+    out
+}
+
+/// The largest uniform overhead cost `c` (with `preemption = migration =
+/// c`) such that the inflated partition still passes exact RTA. Returns
+/// `Time::ZERO` if the partition has no slack at all (it may still be
+/// schedulable at zero overhead).
+pub fn overhead_tolerance(partition: &Partition) -> Time {
+    if !inflate(partition, &OverheadModel::uniform(Time::ZERO)).verify_rta() {
+        return Time::ZERO;
+    }
+    // Upper bound: the smallest deadline (inflating one subtask past its
+    // deadline is certainly fatal).
+    let hi_bound = partition
+        .processors
+        .iter()
+        .flat_map(|p| p.workload())
+        .map(|s| s.deadline)
+        .min()
+        .unwrap_or(Time::ZERO);
+    let mut lo = Time::ZERO;
+    let mut hi = hi_bound;
+    if inflate(partition, &OverheadModel::uniform(hi)).verify_rta() {
+        return hi;
+    }
+    while hi.ticks() - lo.ticks() > 1 {
+        let mid = Time::new((lo.ticks() + hi.ticks()) / 2);
+        if inflate(partition, &OverheadModel::uniform(mid)).verify_rta() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::{RmTs, RmTsLight};
+    use rmts_taskmodel::TaskSetBuilder;
+
+    fn light_partition() -> Partition {
+        let ts = TaskSetBuilder::new()
+            .task(100, 1000)
+            .task(200, 2000)
+            .task(400, 4000)
+            .build()
+            .unwrap();
+        RmTs::new().partition(&ts, 1).unwrap()
+    }
+
+    #[test]
+    fn zero_overhead_is_identity() {
+        let p = light_partition();
+        let q = inflate(&p, &OverheadModel::default());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn inflation_grows_budgets() {
+        let p = light_partition();
+        let q = inflate(&p, &OverheadModel::uniform(Time::new(10)));
+        for (a, b) in p.processors[0]
+            .workload()
+            .iter()
+            .zip(q.processors[0].workload())
+        {
+            assert_eq!(b.wcet, a.wcet + Time::new(20)); // 2 × preemption
+        }
+    }
+
+    #[test]
+    fn split_tasks_pay_migration() {
+        // Force a split: three fat tasks on two processors.
+        let ts = TaskSetBuilder::new()
+            .task(600, 1000)
+            .task(600, 1000)
+            .task(600, 1000)
+            .build()
+            .unwrap();
+        let p = RmTsLight::new().partition(&ts, 2).unwrap();
+        assert_eq!(p.split_tasks().len(), 1);
+        let split_id = p.split_tasks()[0];
+        let q = inflate(
+            &p,
+            &OverheadModel {
+                preemption: Time::new(5),
+                migration: Time::new(7),
+            },
+        );
+        for (proc_a, proc_b) in p.processors.iter().zip(&q.processors) {
+            for (a, b) in proc_a.workload().iter().zip(proc_b.workload()) {
+                let expected = if a.parent == split_id { 10 + 7 } else { 10 };
+                assert_eq!(b.wcet, a.wcet + Time::new(expected), "{}", a.parent);
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_is_tight() {
+        let p = light_partition();
+        let tol = overhead_tolerance(&p);
+        assert!(tol > Time::ZERO, "an underloaded partition has headroom");
+        assert!(inflate(&p, &OverheadModel::uniform(tol)).verify_rta());
+        assert!(!inflate(&p, &OverheadModel::uniform(tol + Time::new(1))).verify_rta());
+    }
+
+    #[test]
+    fn saturated_partition_has_zero_tolerance() {
+        // Exactly 100% utilization: any inflation breaks it.
+        let ts = TaskSetBuilder::new()
+            .task(500, 1000)
+            .task(1000, 2000)
+            .build()
+            .unwrap();
+        let p = RmTs::new().partition(&ts, 1).unwrap();
+        assert_eq!(overhead_tolerance(&p), Time::ZERO);
+    }
+
+    #[test]
+    fn unsplit_partition_ignores_migration_cost() {
+        let p = light_partition();
+        let only_migration = inflate(
+            &p,
+            &OverheadModel {
+                preemption: Time::ZERO,
+                migration: Time::new(50),
+            },
+        );
+        assert_eq!(p, only_migration, "no split tasks → no migration charge");
+    }
+}

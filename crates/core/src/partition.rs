@@ -1,0 +1,246 @@
+//! Partition results, failure reporting, and the `Partitioner` trait.
+
+use crate::processor::{ProcessorRole, ProcessorState};
+use rmts_rta::is_schedulable;
+use rmts_taskmodel::{SplitPlan, Subtask, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A completed assignment of every task (or subtask) to a processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Per-processor assignment state.
+    pub processors: Vec<ProcessorState>,
+    /// Split history per task (only tasks that were actually split, plus
+    /// pre-assigned/dedicated bookkeeping is visible via the processors).
+    pub plans: BTreeMap<u32, SplitPlan>,
+}
+
+impl Partition {
+    /// Builds a partition from final processor states and sealed plans.
+    pub fn new(processors: Vec<ProcessorState>, plans: Vec<SplitPlan>) -> Self {
+        Partition {
+            processors,
+            plans: plans.into_iter().map(|p| (p.task().id.0, p)).collect(),
+        }
+    }
+
+    /// Number of processors.
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Tasks that were split into more than one subtask.
+    pub fn split_tasks(&self) -> Vec<TaskId> {
+        self.plans
+            .values()
+            .filter(|p| p.is_split())
+            .map(|p| p.task().id)
+            .collect()
+    }
+
+    /// Total number of subtasks across all processors.
+    pub fn subtask_count(&self) -> usize {
+        self.processors.iter().map(ProcessorState::len).sum()
+    }
+
+    /// Sum of assigned utilizations over all processors.
+    pub fn assigned_utilization(&self) -> f64 {
+        self.processors.iter().map(ProcessorState::utilization).sum()
+    }
+
+    /// Per-processor workloads (for the simulator and verification).
+    pub fn workloads(&self) -> Vec<&[Subtask]> {
+        self.processors.iter().map(ProcessorState::workload).collect()
+    }
+
+    /// Independent verification: every (sub)task on every processor meets
+    /// its synthetic deadline under exact RTA. RM-TS partitions satisfy
+    /// this by construction (Lemma 4); threshold-based baselines may not on
+    /// inputs outside their proven domain.
+    pub fn verify_rta(&self) -> bool {
+        self.processors.iter().all(|p| is_schedulable(p.workload()))
+    }
+
+    /// Number of processors in each role: `(normal, pre-assigned,
+    /// dedicated)`.
+    pub fn role_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for p in &self.processors {
+            match p.role {
+                ProcessorRole::Normal => counts.0 += 1,
+                ProcessorRole::PreAssigned => counts.1 += 1,
+                ProcessorRole::Dedicated => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The processor hosting a task's first (or only) subtask, if present.
+    pub fn processor_of(&self, task: TaskId) -> Option<usize> {
+        self.processors.iter().find_map(|p| {
+            p.workload()
+                .iter()
+                .find(|s| s.parent == task && s.seq == 1)
+                .map(|_| p.index)
+        })
+    }
+
+    /// Total number of run-time migration points: one per body subtask
+    /// (each body→successor handoff crosses processors).
+    pub fn migration_points(&self) -> usize {
+        self.plans.values().map(SplitPlan::body_count).sum()
+    }
+
+    /// Consistency check: every task of `ts` appears with its full budget.
+    pub fn covers(&self, ts: &TaskSet) -> bool {
+        let mut budget: BTreeMap<u32, u64> = BTreeMap::new();
+        for p in &self.processors {
+            for s in p.workload() {
+                *budget.entry(s.parent.0).or_insert(0) += s.wcet.ticks();
+            }
+        }
+        ts.tasks()
+            .iter()
+            .all(|t| budget.get(&t.id.0) == Some(&t.wcet.ticks()))
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Partition over {} processors:", self.num_processors())?;
+        for p in &self.processors {
+            writeln!(
+                f,
+                "  P{} [{:?}{}] U={:.4}",
+                p.index,
+                p.role,
+                if p.full { ", full" } else { "" },
+                p.utilization()
+            )?;
+            for s in p.workload() {
+                writeln!(f, "    {s} ({})", s.priority)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why and where partitioning failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionFailure {
+    /// Tasks (by id) that could not be (fully) assigned.
+    pub unassigned: Vec<TaskId>,
+    /// The state of the processors at failure, for diagnostics.
+    pub partial: Partition,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for PartitionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "partitioning failed ({}); unassigned tasks: {:?}",
+            self.reason,
+            self.unassigned.iter().map(|t| t.0).collect::<Vec<_>>()
+        )
+    }
+}
+
+impl std::error::Error for PartitionFailure {}
+
+/// Outcome of a partitioning attempt.
+pub type PartitionResult = Result<Partition, Box<PartitionFailure>>;
+
+/// A partitioned-scheduling algorithm (with or without task splitting).
+pub trait Partitioner {
+    /// Algorithm name for tables and reports.
+    fn name(&self) -> String;
+
+    /// Attempts to partition `ts` onto `m` processors.
+    fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult;
+
+    /// Convenience: did partitioning succeed?
+    fn accepts(&self, ts: &TaskSet, m: usize) -> bool {
+        self.partition(ts, m).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{Priority, SubtaskKind, Task, Time};
+
+    fn sub(parent: u32, prio: u32, c: u64, t: u64) -> Subtask {
+        Subtask {
+            parent: TaskId(parent),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(c),
+            period: Time::new(t),
+            deadline: Time::new(t),
+            priority: Priority(prio),
+        }
+    }
+
+    fn demo_partition() -> Partition {
+        let mut p0 = ProcessorState::new(0);
+        p0.push(sub(0, 0, 1, 4));
+        let mut p1 = ProcessorState::new(1);
+        p1.push(sub(1, 1, 2, 8));
+        let mut plan = SplitPlan::new(Task::from_ticks(1, 2, 8).unwrap(), Priority(1));
+        plan.seal_tail(1, Time::new(2)).unwrap();
+        Partition::new(vec![p0, p1], vec![plan])
+    }
+
+    #[test]
+    fn structural_accessors() {
+        let part = demo_partition();
+        assert_eq!(part.num_processors(), 2);
+        assert_eq!(part.subtask_count(), 2);
+        assert!(part.split_tasks().is_empty());
+        assert!((part.assigned_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(part.role_counts(), (2, 0, 0));
+    }
+
+    #[test]
+    fn verification_passes_for_feasible_partition() {
+        assert!(demo_partition().verify_rta());
+    }
+
+    #[test]
+    fn verification_fails_for_overload() {
+        let mut p0 = ProcessorState::new(0);
+        p0.push(sub(0, 0, 3, 4));
+        p0.push(sub(1, 1, 2, 4));
+        let part = Partition::new(vec![p0], vec![]);
+        assert!(!part.verify_rta());
+    }
+
+    #[test]
+    fn coverage_check() {
+        let part = demo_partition();
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8)]).unwrap();
+        assert!(part.covers(&ts));
+        let ts_bigger = TaskSet::from_pairs(&[(1, 4), (3, 8)]).unwrap();
+        assert!(!part.covers(&ts_bigger));
+    }
+
+    #[test]
+    fn processor_lookup_and_migrations() {
+        let part = demo_partition();
+        assert_eq!(part.processor_of(TaskId(0)), Some(0));
+        assert_eq!(part.processor_of(TaskId(1)), Some(1));
+        assert_eq!(part.processor_of(TaskId(9)), None);
+        assert_eq!(part.migration_points(), 0);
+    }
+
+    #[test]
+    fn display_contains_processors() {
+        let s = demo_partition().to_string();
+        assert!(s.contains("P0"));
+        assert!(s.contains("P1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-processor assignment state.
+
+use rmts_taskmodel::{Subtask, Time};
+use serde::{Deserialize, Serialize};
+
+/// How a processor is used by the partitioning algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProcessorRole {
+    /// Receives tasks in the ordinary (phase-2 style) assignment.
+    Normal,
+    /// Holds one pre-assigned heavy task (RM-TS phase 1) and receives
+    /// overflow tasks in phase 3.
+    PreAssigned,
+    /// Hosts exactly one task whose utilization exceeds the bound
+    /// `Λ(τ)` (footnote 5 of the paper).
+    Dedicated,
+}
+
+/// The evolving state of one processor during and after partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorState {
+    /// Platform index (`P_1 … P_M` in the paper, 0-based here).
+    pub index: usize,
+    /// Current role.
+    pub role: ProcessorRole,
+    /// `true` once `MaxSplit` has been used on this processor (or it was
+    /// otherwise closed): no further tasks may be assigned.
+    pub full: bool,
+    /// The (sub)tasks assigned so far.
+    pub subtasks: Vec<Subtask>,
+}
+
+impl ProcessorState {
+    /// A fresh, empty, normal processor.
+    pub fn new(index: usize) -> Self {
+        ProcessorState {
+            index,
+            role: ProcessorRole::Normal,
+            full: false,
+            subtasks: Vec::new(),
+        }
+    }
+
+    /// Assigned utilization `U(P_q) = Σ C_s / T_s` over hosted subtasks.
+    pub fn utilization(&self) -> f64 {
+        self.subtasks.iter().map(Subtask::utilization).sum()
+    }
+
+    /// Assigned density `Σ C_s / Δ_s` (utilization against synthetic
+    /// deadlines) — the quantity threshold-based admission reasons about.
+    pub fn density(&self) -> f64 {
+        self.subtasks.iter().map(Subtask::density).sum()
+    }
+
+    /// Sum of assigned execution budgets.
+    pub fn budget(&self) -> Time {
+        self.subtasks.iter().map(|s| s.wcet).sum()
+    }
+
+    /// Number of hosted subtasks.
+    pub fn len(&self) -> usize {
+        self.subtasks.len()
+    }
+
+    /// `true` iff nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.subtasks.is_empty()
+    }
+
+    /// The workload slice for analysis.
+    pub fn workload(&self) -> &[Subtask] {
+        &self.subtasks
+    }
+
+    /// Adds a subtask (no admission check here; the engine does that).
+    pub fn push(&mut self, s: Subtask) {
+        self.subtasks.push(s);
+    }
+
+    /// The hosted subtask with the lowest priority, if any.
+    pub fn lowest_priority(&self) -> Option<&Subtask> {
+        self.subtasks.iter().max_by_key(|s| s.priority)
+    }
+
+    /// The hosted subtask with the highest priority, if any.
+    pub fn highest_priority(&self) -> Option<&Subtask> {
+        self.subtasks.iter().min_by_key(|s| s.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{Priority, Subtask, SubtaskKind, TaskId};
+
+    fn sub(prio: u32, c: u64, t: u64, d: u64) -> Subtask {
+        Subtask {
+            parent: TaskId(prio),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(c),
+            period: Time::new(t),
+            deadline: Time::new(d),
+            priority: Priority(prio),
+        }
+    }
+
+    #[test]
+    fn fresh_state() {
+        let p = ProcessorState::new(3);
+        assert_eq!(p.index, 3);
+        assert_eq!(p.role, ProcessorRole::Normal);
+        assert!(!p.full);
+        assert!(p.is_empty());
+        assert_eq!(p.utilization(), 0.0);
+        assert!(p.lowest_priority().is_none());
+    }
+
+    #[test]
+    fn utilization_and_density_diverge_for_constrained_deadlines() {
+        let mut p = ProcessorState::new(0);
+        p.push(sub(1, 2, 8, 4));
+        assert_eq!(p.utilization(), 0.25);
+        assert_eq!(p.density(), 0.5);
+        assert_eq!(p.budget(), Time::new(2));
+    }
+
+    #[test]
+    fn priority_extremes() {
+        let mut p = ProcessorState::new(0);
+        p.push(sub(5, 1, 10, 10));
+        p.push(sub(2, 1, 10, 10));
+        p.push(sub(9, 1, 10, 10));
+        assert_eq!(p.highest_priority().unwrap().priority, Priority(2));
+        assert_eq!(p.lowest_priority().unwrap().priority, Priority(9));
+        assert_eq!(p.len(), 3);
+    }
+}

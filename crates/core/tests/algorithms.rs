@@ -1,0 +1,209 @@
+//! Integration tests of the partitioning algorithms: edge cases, phase
+//! interactions, determinism, serialization.
+
+use rmts_bounds::HarmonicChain;
+use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
+use rmts_core::{AdmissionPolicy, Partition, Partitioner, ProcessorRole, RmTs, RmTsLight};
+use rmts_taskmodel::{TaskId, TaskSet, TaskSetBuilder};
+
+fn harmonic(n: usize, c: u64, t: u64) -> TaskSet {
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..n {
+        b = b.task(c, t);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn single_processor_single_task() {
+    let ts = harmonic(1, 1, 10);
+    for alg in [
+        &RmTs::new() as &dyn Partitioner,
+        &RmTsLight::new(),
+        &PartitionedRm::ffd_rta(),
+    ] {
+        let p = alg.partition(&ts, 1).unwrap();
+        assert_eq!(p.subtask_count(), 1);
+        assert!(p.verify_rta());
+    }
+}
+
+#[test]
+fn m_equals_one_matches_uniprocessor_rta() {
+    // On one processor, RM-TS acceptance must coincide with plain
+    // uniprocessor RTA schedulability.
+    let schedulable = TaskSetBuilder::new()
+        .task(1, 4)
+        .task(2, 6)
+        .task(3, 12)
+        .build()
+        .unwrap();
+    assert!(RmTs::new().accepts(&schedulable, 1));
+    let unschedulable = TaskSetBuilder::new().task(2, 4).task(3, 6).build().unwrap();
+    assert!(!RmTs::new().accepts(&unschedulable, 1));
+    assert!(!RmTsLight::new().accepts(&unschedulable, 1));
+}
+
+#[test]
+fn all_heavy_set_uses_pre_assignment_or_dedication() {
+    // Six tasks of U = 0.6 on 6 processors: trivially one per processor,
+    // and all are heavy, so RM-TS pre-assigns aggressively.
+    let ts = harmonic(6, 6, 10);
+    let part = RmTs::new().partition(&ts, 6).unwrap();
+    assert!(part.verify_rta());
+    let (_, pre, ded) = part.role_counts();
+    assert!(pre + ded >= 1, "heavy tasks should trigger special handling");
+    assert!(part.split_tasks().is_empty());
+}
+
+#[test]
+fn more_processors_than_tasks() {
+    let ts = harmonic(2, 5, 10);
+    let part = RmTs::new().partition(&ts, 8).unwrap();
+    assert_eq!(part.num_processors(), 8);
+    let used = part.processors.iter().filter(|p| !p.is_empty()).count();
+    assert_eq!(used, 2);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let ts = TaskSetBuilder::new()
+        .task(3, 10)
+        .task(4, 12)
+        .task(6, 15)
+        .task(7, 20)
+        .task(9, 30)
+        .build()
+        .unwrap();
+    let a = RmTs::new().partition(&ts, 2).unwrap();
+    let b = RmTs::new().partition(&ts, 2).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn partition_serde_roundtrip() {
+    let ts = TaskSetBuilder::new()
+        .task(6, 8)
+        .task(6, 8)
+        .task(3, 8)
+        .build()
+        .unwrap();
+    let part = RmTsLight::new().partition(&ts, 2).unwrap();
+    let json = serde_json::to_string(&part).unwrap();
+    let back: Partition = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, part);
+    assert!(back.verify_rta());
+}
+
+#[test]
+fn admission_policy_serde_roundtrip() {
+    for pol in [AdmissionPolicy::exact(), AdmissionPolicy::threshold(0.69)] {
+        let json = serde_json::to_string(&pol).unwrap();
+        let back: AdmissionPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pol);
+    }
+}
+
+#[test]
+fn spa_variants_accept_within_their_bound() {
+    // Θ(N) for N = 8 ≈ 0.7241; a light set at U_M = 0.70 must be accepted
+    // by both SPA variants (their proven domain).
+    let ts = harmonic(8, 175, 1000); // 8 × 0.175 = 1.4 on M = 2 → 0.70
+    assert!(spa1(8).accepts(&ts, 2));
+    assert!(spa2(8).accepts(&ts, 2));
+    // And the partitions they produce on light sets are genuinely valid.
+    assert!(spa1(8).partition(&ts, 2).unwrap().verify_rta());
+}
+
+#[test]
+fn best_fit_prefers_fuller_processors() {
+    // 4 tasks that all fit anywhere: BFD should stack them while WFD
+    // spreads them.
+    let ts = harmonic(4, 1, 10);
+    let bfd = PartitionedRm {
+        fit: Fit::Best,
+        admission: UniAdmission::ExactRta,
+    }
+    .partition(&ts, 4)
+    .unwrap();
+    let used_bfd = bfd.processors.iter().filter(|p| !p.is_empty()).count();
+    assert_eq!(used_bfd, 1, "best-fit must stack onto one processor");
+    let wfd = PartitionedRm {
+        fit: Fit::Worst,
+        admission: UniAdmission::ExactRta,
+    }
+    .partition(&ts, 4)
+    .unwrap();
+    let used_wfd = wfd.processors.iter().filter(|p| !p.is_empty()).count();
+    assert_eq!(used_wfd, 4, "worst-fit must spread across all processors");
+}
+
+#[test]
+fn rmts_with_harmonic_bound_beats_ll_bound_guarantee() {
+    // A harmonic set at U_M = 0.84 (above Θ, below the cap): guaranteed by
+    // RM-TS[HC] but outside the guarantee of plain Θ. Both should in fact
+    // accept (exact RTA), but the *effective bounds* must order correctly.
+    // cap for N = 12 is 2Θ(12)/(1+Θ(12)) ≈ 0.8328; pick U_M = 0.828.
+    let ts = harmonic(12, 138, 1000); // 12 × 0.138 = 1.656 → U_M = 0.828 on 2
+    let with_hc = RmTs::with_bound(HarmonicChain);
+    let with_ll = RmTs::new();
+    assert!(with_hc.effective_bound(&ts) > with_ll.effective_bound(&ts));
+    assert!(ts.normalized_utilization(2) <= with_hc.effective_bound(&ts));
+    let part = with_hc.partition(&ts, 2).unwrap();
+    assert!(part.verify_rta());
+}
+
+#[test]
+fn failure_reports_unassigned_ids_exactly_once() {
+    let ts = harmonic(5, 9, 10); // 4.5 of load on 2 processors
+    let err = RmTs::new().partition(&ts, 2).unwrap_err();
+    let mut ids: Vec<TaskId> = err.unassigned.clone();
+    ids.dedup();
+    assert_eq!(ids.len(), err.unassigned.len(), "no duplicate ids");
+    assert!(!err.unassigned.is_empty());
+    // The partial partition is still internally consistent.
+    for proc in &err.partial.processors {
+        assert!(proc.role == ProcessorRole::Normal || !proc.is_empty());
+    }
+}
+
+#[test]
+fn phase3_first_fit_drains_largest_index_first() {
+    // Two pre-assigned processors; overflow must land on the
+    // larger-indexed one first (the lowest-priority pre-assigned task).
+    // τ0, τ1 heavy lowest-priority (periods 50, 60 → lowest priorities);
+    // lights saturate the remaining normal processor and spill.
+    let ts = TaskSetBuilder::new()
+        .task(2, 8) // lights, highest priority
+        .task(2, 8)
+        .task(2, 8)
+        .task(2, 8)
+        .task(2, 8)
+        .task(30, 50) // heavy U = 0.6
+        .task(36, 60) // heavy U = 0.6, lowest priority
+        .build()
+        .unwrap();
+    let m = 3;
+    let part = RmTs::new().partition(&ts, m).unwrap();
+    assert!(part.verify_rta());
+    let pre: Vec<_> = part
+        .processors
+        .iter()
+        .filter(|p| p.role == ProcessorRole::PreAssigned)
+        .collect();
+    assert_eq!(pre.len(), 2, "both heavy tasks pre-assigned");
+    // The overflow light task must sit on the pre-assigned processor with
+    // the LARGER index (phase 3 order), not the smaller one.
+    let overflow_hosts: Vec<usize> = pre
+        .iter()
+        .filter(|p| p.len() > 1)
+        .map(|p| p.index)
+        .collect();
+    if let Some(&host) = overflow_hosts.first() {
+        let other = pre.iter().map(|p| p.index).find(|&i| i != host).unwrap();
+        assert!(
+            host > other || overflow_hosts.len() == 2,
+            "phase 3 must drain the largest index first (host {host}, other {other})"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Acceptance-ratio sweeps (EXP-1, EXP-2, EXP-3).
+//!
+//! For each point of a normalized-utilization grid, generate many task
+//! sets and report, per algorithm, the fraction it successfully
+//! partitions. Optionally each successful partition is re-verified by
+//! exact RTA and/or executed in the simulator — RM-TS partitions always
+//! verify (Lemma 4); threshold baselines may be run outside their proven
+//! domain, in which case the `verified` column is the honest number.
+
+use crate::parallel::parallel_map;
+use crate::table::{pct, Table};
+use rmts_core::Partitioner;
+use rmts_gen::{trial_rng, GenConfig};
+use rmts_sim::{simulate_partitioned, SimConfig};
+use rmts_taskmodel::Time;
+
+/// How much double-checking to apply to accepted partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// Count algorithmic acceptance only.
+    None,
+    /// Re-verify accepted partitions with exact RTA.
+    Rta,
+    /// RTA plus a capped-horizon simulation run.
+    Sim {
+        /// Simulation horizon cap in ticks.
+        horizon: u64,
+    },
+}
+
+/// Per-algorithm counts at one grid point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptanceRate {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Successful partitionings.
+    pub accepted: usize,
+    /// Accepted *and* passed the configured checks.
+    pub verified: usize,
+    /// Task sets attempted.
+    pub trials: usize,
+}
+
+/// One grid point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Normalized utilization `U_M(τ)` targeted.
+    pub u_norm: f64,
+    /// Per-algorithm results, in input order.
+    pub rates: Vec<AcceptanceRate>,
+}
+
+/// Runs an acceptance sweep.
+///
+/// * `algorithms` — the contenders (in the order columns should appear);
+/// * `m` — processor count;
+/// * `grid` — normalized utilizations `U_M` to test;
+/// * `trials` — task sets per grid point;
+/// * `seed` — master seed (trials derive their own RNGs);
+/// * `make_config` — task-set template for a given `U_M` (it must set
+///   `total_utilization = u_norm · m` itself, so that templates can also
+///   vary `n` and period style with `u_norm`);
+/// * `check` — how strictly accepted partitions are double-checked.
+pub fn acceptance_sweep(
+    algorithms: &[&(dyn Partitioner + Sync)],
+    m: usize,
+    grid: &[f64],
+    trials: u64,
+    seed: u64,
+    make_config: &(dyn Fn(f64) -> GenConfig + Sync),
+    check: CheckLevel,
+) -> Vec<SweepPoint> {
+    grid.iter()
+        .map(|&u_norm| {
+            let cfg = make_config(u_norm);
+            // One trial = one task set evaluated under every algorithm, so
+            // all columns see identical inputs. Generation failures (the
+            // UUniFast-discard target was infeasible or too tight) yield
+            // `None` and are excluded from the denominator — they say
+            // nothing about any algorithm.
+            let per_trial: Vec<Option<Vec<(bool, bool)>>> = parallel_map(trials, |t| {
+                // Mix the grid index into the seed so points are independent.
+                let mut rng = trial_rng(seed ^ (u_norm * 1e6) as u64, t);
+                let ts = cfg.generate(&mut rng)?;
+                let row = algorithms
+                    .iter()
+                    .map(|alg| match alg.partition(&ts, m) {
+                        Ok(part) => {
+                            let ok = match check {
+                                CheckLevel::None => true,
+                                CheckLevel::Rta => part.verify_rta(),
+                                CheckLevel::Sim { horizon } => {
+                                    part.verify_rta()
+                                        && simulate_partitioned(
+                                            &part.workloads(),
+                                            SimConfig {
+                                                horizon: Some(Time::new(horizon)),
+                                                ..SimConfig::default()
+                                            },
+                                        )
+                                        .all_deadlines_met()
+                                }
+                            };
+                            (true, ok)
+                        }
+                        Err(_) => (false, false),
+                    })
+                    .collect();
+                Some(row)
+            });
+            let generated = per_trial.iter().flatten().count();
+            let mut rates: Vec<AcceptanceRate> = algorithms
+                .iter()
+                .map(|a| AcceptanceRate {
+                    algorithm: a.name(),
+                    accepted: 0,
+                    verified: 0,
+                    trials: generated,
+                })
+                .collect();
+            for trial in per_trial.iter().flatten() {
+                for (rate, &(acc, ver)) in rates.iter_mut().zip(trial) {
+                    rate.accepted += acc as usize;
+                    rate.verified += ver as usize;
+                }
+            }
+            SweepPoint { u_norm, rates }
+        })
+        .collect()
+}
+
+/// Renders a sweep as a table: one row per grid point, one column per
+/// algorithm (acceptance %; `verified` in parentheses when it differs).
+pub fn sweep_table(title: &str, points: &[SweepPoint]) -> Table {
+    let mut headers = vec!["U_M".to_string()];
+    if let Some(p0) = points.first() {
+        headers.extend(p0.rates.iter().map(|r| r.algorithm.clone()));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &hdr_refs);
+    for p in points {
+        let mut row = vec![format!("{:.3}", p.u_norm)];
+        for r in &p.rates {
+            let cell = if r.verified == r.accepted {
+                pct(r.accepted, r.trials)
+            } else {
+                format!("{} ({})", pct(r.accepted, r.trials), pct(r.verified, r.trials))
+            };
+            row.push(cell);
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_core::baselines::PartitionedRm;
+    use rmts_core::{RmTs, RmTsLight};
+    use rmts_gen::{PeriodGen, UtilizationSpec};
+
+    fn quick_cfg(m: usize) -> impl Fn(f64) -> GenConfig + Sync {
+        move |u| {
+            GenConfig::new(4 * m, u * m as f64)
+                .with_periods(PeriodGen::Choice(vec![10_000, 20_000, 40_000, 80_000]))
+                .with_utilization(UtilizationSpec::capped(0.5))
+        }
+    }
+
+    #[test]
+    fn sweep_shapes_and_monotonicity() {
+        let rmts = RmTs::new();
+        let light = RmTsLight::new();
+        let prm = PartitionedRm::ffd_rta();
+        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &light, &prm];
+        let points = acceptance_sweep(
+            &algs,
+            2,
+            &[0.5, 0.95],
+            40,
+            7,
+            &quick_cfg(2),
+            CheckLevel::Rta,
+        );
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.rates.len(), 3);
+            for r in &p.rates {
+                assert!(r.accepted <= r.trials);
+                // RTA-admitted algorithms always verify what they accept.
+                assert_eq!(r.verified, r.accepted, "{} accepted≠verified", r.algorithm);
+            }
+        }
+        // At U_M = 0.5 everything accepts everything (harmonic periods).
+        assert_eq!(points[0].rates[0].accepted, 40);
+        // Splitting algorithms dominate strict partitioning at high load.
+        let rmts_hi = points[1].rates[0].accepted;
+        let prm_hi = points[1].rates[2].accepted;
+        assert!(
+            rmts_hi >= prm_hi,
+            "RM-TS ({rmts_hi}) must beat P-RM ({prm_hi}) at U_M=0.95"
+        );
+        assert!(rmts_hi > 30, "harmonic sets at 0.95 should mostly fit: {rmts_hi}");
+    }
+
+    #[test]
+    fn sim_check_level_runs() {
+        let rmts = RmTs::new();
+        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts];
+        let points = acceptance_sweep(
+            &algs,
+            2,
+            &[0.7],
+            10,
+            11,
+            &quick_cfg(2),
+            CheckLevel::Sim { horizon: 1_000_000 },
+        );
+        let r = &points[0].rates[0];
+        assert_eq!(
+            r.verified, r.accepted,
+            "simulation must confirm RTA-verified partitions"
+        );
+    }
+
+    #[test]
+    fn table_rendering() {
+        let points = vec![SweepPoint {
+            u_norm: 0.8,
+            rates: vec![AcceptanceRate {
+                algorithm: "X".into(),
+                accepted: 9,
+                verified: 8,
+                trials: 10,
+            }],
+        }];
+        let t = sweep_table("t", &points);
+        let s = t.to_text();
+        assert!(s.contains("90.0% (80.0%)"));
+    }
+}

@@ -1,0 +1,107 @@
+//! EXP-10: period harmonization — buying the 100% bound.
+//!
+//! The 100% bound creates a design lever the paper's framework makes
+//! usable on multiprocessors: shrink near-harmonic periods onto a
+//! harmonic grid (a bounded utilization inflation η) and in exchange
+//! apply the 100% bound instead of ~70%. The trade targets *bound-based*
+//! (instant, design-space-exploration) admission: the guaranteed capacity
+//! rises from Λ(τ) to 1/η. Exact RTA admission, by contrast, already sees
+//! through near-harmonic structure, so harmonization can only cost there —
+//! both effects are shown side by side.
+
+use rand::Rng;
+use rmts_bounds::thresholds::rmts_cap_of;
+use rmts_bounds::{HarmonicChain, ParametricBound};
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_exp::cli::ExpOptions;
+use rmts_exp::parallel_map;
+use rmts_exp::table::{f, pct, Table};
+use rmts_gen::trial_rng;
+use rmts_taskmodel::transform::{best_harmonization_base, harmonize};
+use rmts_taskmodel::{Task, TaskSet, Time};
+
+/// Near-harmonic periods: grid 10 ms · 2^k, each stretched by up to 30%.
+fn near_harmonic_set(rng: &mut impl Rng, n: usize, total_u: f64) -> Option<TaskSet> {
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.2..1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let tasks: Vec<Task> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let base = 10_000u64 << rng.gen_range(0..4);
+            let stretch = rng.gen_range(1.0..1.3);
+            let period = ((base as f64) * stretch) as u64;
+            let u = (total_u * w / wsum).min(0.4);
+            let c = (((period as f64) * u).floor() as u64).max(1);
+            Task::from_ticks(i as u32, c, period).unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).ok()
+}
+
+fn main() {
+    let opts = ExpOptions::from_env(400, 40);
+    let m = 4usize;
+    let n = 6 * m;
+    let mut table = Table::new(
+        format!(
+            "EXP-10: harmonization trade (M={m}, N={n}, near-harmonic periods, {} trials/row)",
+            opts.trials
+        ),
+        &[
+            "U_M",
+            "orig Λ_HC (bound)",
+            "harm Λ/η (bound)",
+            "orig accept (RTA)",
+            "harm accept (RTA)",
+        ],
+    );
+    for i in 0..=6 {
+        let u_m = 0.60 + 0.05 * i as f64;
+        // Per trial: (generated, orig_bound, harm_bound_effective,
+        //             orig_accept, harm_accept).
+        let rows: Vec<(bool, f64, f64, bool, bool)> = parallel_map(opts.trials, |t| {
+            let mut rng = trial_rng(opts.seed ^ i, t);
+            let Some(ts) = near_harmonic_set(&mut rng, n, u_m * m as f64) else {
+                return (false, 0.0, 0.0, false, false);
+            };
+            // Guaranteed capacity of the original: the capped HC bound.
+            let orig_bound = HarmonicChain.value(&ts).min(rmts_cap_of(&ts));
+            let original = RmTsLight::new().accepts(&ts, m);
+            match best_harmonization_base(&ts, Time::new(5_000))
+                .and_then(|(base, cost)| harmonize(&ts, base).ok().map(|h| (h, cost)))
+            {
+                Some((h, cost)) => {
+                    // Guaranteed capacity after harmonization: the 100%
+                    // bound net of the inflation η (demand grows by η).
+                    let harm_bound = 1.0 / cost;
+                    (true, orig_bound, harm_bound, original, RmTsLight::new().accepts(&h, m))
+                }
+                None => (true, orig_bound, f64::NAN, original, false),
+            }
+        });
+        let generated = rows.iter().filter(|r| r.0).count();
+        let orig = rows.iter().filter(|r| r.0 && r.3).count();
+        let harm = rows.iter().filter(|r| r.0 && r.4).count();
+        let mean = |vals: Vec<f64>| {
+            let v: Vec<f64> = vals.into_iter().filter(|x| !x.is_nan()).collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        let orig_bound = mean(rows.iter().filter(|r| r.0).map(|r| r.1).collect());
+        let harm_bound = mean(rows.iter().filter(|r| r.0).map(|r| r.2).collect());
+        table.push_row(vec![
+            f(u_m, 2),
+            f(orig_bound, 3),
+            f(harm_bound, 3),
+            pct(orig, generated),
+            pct(harm, generated),
+        ]);
+    }
+    opts.emit("exp10_harmonization", &table);
+    println!(
+        "(the win is in *guaranteed* capacity: the 100%/η column beats the original\n\
+          capped HC bound by a wide margin, enabling instant bound-based sizing near\n\
+          U_M ≈ 0.85; exact-RTA admission already sees through near-harmonic structure,\n\
+          so harmonizing only costs there — use the lever during design, not at run time)"
+    );
+}

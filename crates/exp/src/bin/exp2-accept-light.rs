@@ -1,0 +1,55 @@
+//! EXP-2: acceptance ratio vs. normalized utilization, *light* task sets
+//! (every `U_i ≤ 0.40 ≈ Θ/(1+Θ)` — Definition 1's domain).
+//!
+//! This is RM-TS/light's theorem domain: with log-uniform periods its
+//! achievable bound is the L&L/T-/R-bound family (≈70%+), but exact RTA
+//! admission keeps the *empirical* curve high far beyond that. The SPA1
+//! baseline degrades right at Θ(N) by construction.
+
+use rmts_core::baselines::{spa1, spa2};
+use rmts_core::{Partitioner, RmTs, RmTsLight};
+use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
+use rmts_exp::cli::ExpOptions;
+use rmts_exp::CheckLevel;
+use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
+
+fn config_for(m: usize) -> impl Fn(f64) -> GenConfig + Sync {
+    move |u| {
+        GenConfig::new(6 * m, u * m as f64)
+            .with_periods(PeriodGen::LogUniform {
+                min: 10_000,
+                max: 1_000_000,
+                granularity: 10_000,
+            })
+            .with_utilization(UtilizationSpec::capped(0.40))
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::from_env(500, 40);
+    let grid: Vec<f64> = (0..=8).map(|i| 0.65 + 0.04 * i as f64).collect();
+    let m = 8usize;
+    let n = 6 * m;
+    let light = RmTsLight::new();
+    let rmts = RmTs::new();
+    let s1 = spa1(n);
+    let s2 = spa2(n);
+    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &rmts, &s1, &s2];
+    let points = acceptance_sweep(
+        &algs,
+        m,
+        &grid,
+        opts.trials,
+        opts.seed,
+        &config_for(m),
+        CheckLevel::Rta,
+    );
+    let table = sweep_table(
+        &format!(
+            "EXP-2: acceptance ratio, light task sets (M={m}, N={n}, U_i ≤ 0.40, {} trials/point)",
+            opts.trials
+        ),
+        &points,
+    );
+    opts.emit("exp2_light", &table);
+}

@@ -1,0 +1,54 @@
+//! EXP-3: the 100% bound for harmonic task sets on multiprocessors.
+//!
+//! The paper's headline instantiation (Section IV): a *harmonic* light task
+//! set is schedulable by RM-TS/light whenever `U_M(τ) ≤ 100%`. The sweep
+//! runs the grid all the way to 1.0 and RM-TS/light's row should stay at
+//! 100% acceptance; SPA1 (threshold Θ(N) ≈ 69–72%) collapses two fifths of
+//! the axis earlier, which is precisely the value of parametric bounds.
+
+use rmts_core::baselines::{spa1, PartitionedRm};
+use rmts_core::{Partitioner, RmTsLight};
+use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
+use rmts_exp::cli::ExpOptions;
+use rmts_exp::CheckLevel;
+use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
+
+fn config_for(m: usize) -> impl Fn(f64) -> GenConfig + Sync {
+    move |u| {
+        GenConfig::new(6 * m, u * m as f64)
+            .with_periods(PeriodGen::Harmonic {
+                base: 10_000,
+                octaves: 5,
+            })
+            .with_utilization(UtilizationSpec::capped(0.40))
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::from_env(500, 40);
+    let grid: Vec<f64> = (0..=7).map(|i| 0.65 + 0.05 * i as f64).collect();
+    for m in [4usize, 8] {
+        let n = 6 * m;
+        let light = RmTsLight::new();
+        let s1 = spa1(n);
+        let prm = PartitionedRm::ffd_rta();
+        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1, &prm];
+        let points = acceptance_sweep(
+            &algs,
+            m,
+            &grid,
+            opts.trials,
+            opts.seed,
+            &config_for(m),
+            CheckLevel::Rta,
+        );
+        let table = sweep_table(
+            &format!(
+                "EXP-3: harmonic light task sets up to U_M = 1.0 (M={m}, N={n}, {} trials/point)",
+                opts.trials
+            ),
+            &points,
+        );
+        opts.emit(&format!("exp3_m{m}"), &table);
+    }
+}

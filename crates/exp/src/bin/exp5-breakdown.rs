@@ -1,0 +1,56 @@
+//! EXP-5: average breakdown utilization.
+//!
+//! The multiprocessor analogue of the classic uniprocessor observation the
+//! paper leans on: by exact analysis "the average breakdown utilization of
+//! RMS is around 88%, much higher than its worst-case bound 69.3%"
+//! (Section I, citing \[24\]). The M = 1 row of this table reproduces that
+//! number directly; the multiprocessor rows show RM-TS inheriting the
+//! advantage over the threshold-admission baseline and strict P-RM.
+
+use rmts_core::baselines::{spa2, PartitionedRm};
+use rmts_core::{Partitioner, RmTs};
+use rmts_exp::breakdown::average_breakdown;
+use rmts_exp::cli::ExpOptions;
+use rmts_exp::table::{f, Table};
+use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
+
+fn main() {
+    let opts = ExpOptions::from_env(200, 20);
+    let mut table = Table::new(
+        format!(
+            "EXP-5: average normalized breakdown utilization ({} shapes/cell, log-uniform periods)",
+            opts.trials
+        ),
+        &["M", "algorithm", "mean", "min", "max"],
+    );
+    for m in [1usize, 2, 4, 8] {
+        let n = (4 * m).max(10);
+        let cfg = GenConfig::new(n, m as f64)
+            .with_periods(PeriodGen::LogUniform {
+                min: 10_000,
+                max: 1_000_000,
+                granularity: 10_000,
+            })
+            .with_utilization(UtilizationSpec::any());
+        let rmts = RmTs::new();
+        let spa = spa2(n);
+        let prm_rta = PartitionedRm::ffd_rta();
+        let prm_ll = PartitionedRm::ffd_ll();
+        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm_rta, &prm_ll];
+        for alg in algs {
+            let stats = average_breakdown(alg, m, &cfg, opts.trials, opts.seed);
+            table.push_row(vec![
+                m.to_string(),
+                alg.name(),
+                f(stats.mean, 4),
+                f(stats.min, 4),
+                f(stats.max, 4),
+            ]);
+        }
+    }
+    opts.emit("exp5_breakdown", &table);
+    println!(
+        "(anchors: exact-RTA rows sit ≈ 0.88–0.96, the [24]-style average-case headroom — the exact\n\
+          mean depends on the period distribution; threshold rows pin to Θ(N) ≈ 0.69–0.72 by design)"
+    );
+}

@@ -1,0 +1,109 @@
+//! EXP-9: overhead tolerance — the cost of splitting, quantified.
+//!
+//! The paper's model is overhead-free; its related work dismisses
+//! Pfair-style schemes for their context-switch cost. The fair question
+//! back: how much per-event overhead do RM-TS partitions absorb compared
+//! to strict P-RM partitions (which never migrate) at the same load?
+//! For each load level this table reports the mean maximum uniform
+//! overhead (ticks; 1 tick = 1 µs) each algorithm's accepted partitions
+//! tolerate before exact RTA fails, and the acceptance rates themselves —
+//! the trade is capacity (splitting wins) vs. robustness margin (fewer
+//! migration points win).
+
+use rmts_core::baselines::PartitionedRm;
+use rmts_core::{overhead_tolerance, Partitioner, RmTs};
+use rmts_exp::cli::ExpOptions;
+use rmts_exp::parallel_map;
+use rmts_exp::table::{f, pct, Table};
+use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+
+struct Cell {
+    accepted: usize,
+    generated: usize,
+    tolerance_sum: f64,
+    splits_sum: f64,
+}
+
+fn measure(
+    alg: &(dyn Partitioner + Sync),
+    m: usize,
+    cfg: &GenConfig,
+    trials: u64,
+    seed: u64,
+) -> Cell {
+    let rows: Vec<(bool, bool, f64, f64)> = parallel_map(trials, |t| {
+        let mut rng = trial_rng(seed, t);
+        let Some(ts) = cfg.generate(&mut rng) else {
+            return (false, false, 0.0, 0.0);
+        };
+        match alg.partition(&ts, m) {
+            Ok(part) => {
+                let tol = overhead_tolerance(&part).ticks() as f64;
+                let splits = part.split_tasks().len() as f64;
+                (true, true, tol, splits)
+            }
+            Err(_) => (true, false, 0.0, 0.0),
+        }
+    });
+    let mut cell = Cell {
+        accepted: 0,
+        generated: 0,
+        tolerance_sum: 0.0,
+        splits_sum: 0.0,
+    };
+    for (generated, accepted, tol, splits) in rows {
+        cell.generated += generated as usize;
+        cell.accepted += accepted as usize;
+        cell.tolerance_sum += tol;
+        cell.splits_sum += splits;
+    }
+    cell
+}
+
+fn main() {
+    let opts = ExpOptions::from_env(200, 20);
+    let m = 4usize;
+    let n = 4 * m;
+    let mut table = Table::new(
+        format!(
+            "EXP-9: overhead tolerance, M={m}, N={n} ({} sets/row; tolerance in µs)",
+            opts.trials
+        ),
+        &[
+            "U_M",
+            "RM-TS accept",
+            "RM-TS mean tol",
+            "RM-TS mean splits",
+            "P-RM accept",
+            "P-RM mean tol",
+        ],
+    );
+    for i in 0..=5 {
+        let u = 0.65 + 0.05 * i as f64;
+        let cfg = GenConfig::new(n, u * m as f64)
+            .with_periods(PeriodGen::LogUniform {
+                min: 10_000,
+                max: 1_000_000,
+                granularity: 10_000,
+            })
+            .with_utilization(UtilizationSpec::any());
+        let rmts = measure(&RmTs::new(), m, &cfg, opts.trials, opts.seed);
+        let prm = measure(&PartitionedRm::ffd_rta(), m, &cfg, opts.trials, opts.seed);
+        table.push_row(vec![
+            f(u, 2),
+            pct(rmts.accepted, rmts.generated),
+            f(rmts.tolerance_sum / rmts.accepted.max(1) as f64, 0),
+            f(rmts.splits_sum / rmts.accepted.max(1) as f64, 2),
+            pct(prm.accepted, prm.generated),
+            f(prm.tolerance_sum / prm.accepted.max(1) as f64, 0),
+        ]);
+    }
+    opts.emit("exp9_overhead", &table);
+    println!(
+        "(two structural effects: RM-TS's worst-fit spreading yields a large margin at\n\
+          moderate load that shrinks as splits multiply; FFD's first-fit packing\n\
+          saturates its first processors at every load, pinning its margin low and\n\
+          flat. At loads where only splitting still accepts, any positive RM-TS\n\
+          tolerance beats P-RM's outright rejection.)"
+    );
+}

@@ -1,0 +1,135 @@
+//! Breakdown utilization (EXP-5).
+//!
+//! For a random task-set *shape* (periods and relative utilization
+//! weights), the breakdown utilization of an algorithm is the largest
+//! normalized utilization at which it still accepts, found by scaling all
+//! execution times. Averaged over many shapes this is the multiprocessor
+//! analogue of the classic uniprocessor observation the paper cites:
+//! exact-analysis admission reaches ≈88% on average while the worst-case
+//! L&L bound is 69.3% — and correspondingly RM-TS beats the
+//! threshold-based \[16\] baseline on average, not just in the bound.
+
+use crate::parallel::parallel_map;
+use rmts_core::Partitioner;
+use rmts_gen::{trial_rng, GenConfig};
+use rmts_taskmodel::TaskSet;
+
+/// Summary statistics of a breakdown campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownStats {
+    /// Mean normalized breakdown utilization.
+    pub mean: f64,
+    /// Minimum across shapes.
+    pub min: f64,
+    /// Maximum across shapes.
+    pub max: f64,
+    /// Number of shapes measured.
+    pub shapes: usize,
+}
+
+/// The normalized breakdown utilization of `alg` for one base shape.
+///
+/// `base` must be generated at full load (`U(base) ≈ m`). The search
+/// bisects the scale factor; acceptance is re-evaluated from scratch at
+/// every probe (12 iterations ≈ 0.02% resolution). Bin-packing acceptance
+/// is not perfectly monotone in utilization, so the result is the standard
+/// "bisection breakdown" estimate used in this literature, not a certified
+/// supremum.
+pub fn breakdown_of(alg: &dyn Partitioner, m: usize, base: &TaskSet) -> f64 {
+    let full = base.total_utilization();
+    // Establish a feasible floor; if even 5% load is rejected, report 0.
+    let mut lo = 0.05;
+    if !alg.accepts(&base.deflated(lo), m) {
+        return 0.0;
+    }
+    let mut hi = 1.0;
+    if alg.accepts(base, m) {
+        return full / m as f64;
+    }
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if alg.accepts(&base.deflated(mid), m) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo * full / m as f64
+}
+
+/// Runs a breakdown campaign: `shapes` random base sets from `cfg` (which
+/// should target `total_utilization ≈ m`), bisected per algorithm.
+pub fn average_breakdown(
+    alg: &(dyn Partitioner + Sync),
+    m: usize,
+    cfg: &GenConfig,
+    shapes: u64,
+    seed: u64,
+) -> BreakdownStats {
+    let values: Vec<f64> = parallel_map(shapes, |t| {
+        let mut rng = trial_rng(seed, t);
+        match cfg.generate(&mut rng) {
+            Some(ts) => breakdown_of(alg, m, &ts),
+            None => f64::NAN,
+        }
+    })
+    .into_iter()
+    .filter(|v| !v.is_nan())
+    .collect();
+    let n = values.len();
+    assert!(n > 0, "no shapes could be generated");
+    BreakdownStats {
+        mean: values.iter().sum::<f64>() / n as f64,
+        min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: values.iter().cloned().fold(0.0, f64::max),
+        shapes: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_core::baselines::spa1;
+    use rmts_core::RmTsLight;
+    use rmts_gen::{PeriodGen, UtilizationSpec};
+
+    fn cfg(m: usize, n: usize) -> GenConfig {
+        GenConfig::new(n, m as f64)
+            .with_periods(PeriodGen::Choice(vec![10_000, 20_000, 40_000]))
+            .with_utilization(UtilizationSpec::capped(0.45))
+    }
+
+    #[test]
+    fn breakdown_of_harmonic_shapes_is_high_for_rta() {
+        // Harmonic periods: RM-TS/light should break down near 100%.
+        let stats = average_breakdown(&RmTsLight::new(), 2, &cfg(2, 10), 10, 3);
+        assert_eq!(stats.shapes, 10);
+        assert!(
+            stats.mean > 0.9,
+            "harmonic breakdown should be ≈1.0, got {}",
+            stats.mean
+        );
+        assert!(stats.max <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn exact_rta_beats_threshold_admission() {
+        // The paper's average-case claim, in miniature.
+        let rta = average_breakdown(&RmTsLight::new(), 2, &cfg(2, 10), 10, 3);
+        let thr = average_breakdown(&spa1(10), 2, &cfg(2, 10), 10, 3);
+        assert!(
+            rta.mean > thr.mean + 0.05,
+            "RM-TS/light mean {} must clearly beat SPA1 mean {}",
+            rta.mean,
+            thr.mean
+        );
+    }
+
+    #[test]
+    fn breakdown_values_bounded() {
+        let stats = average_breakdown(&RmTsLight::new(), 2, &cfg(2, 10), 5, 9);
+        assert!(stats.min >= 0.0);
+        assert!(stats.max <= 1.0 + 1e-9);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal argument handling shared by the `exp-*` binaries.
+//!
+//! Every experiment binary accepts:
+//!
+//! * `--quick` — reduced trial counts (smoke-test mode, used by CI);
+//! * `--trials N` — explicit trials per grid point / campaign cell;
+//! * `--seed S` — master seed (default the workspace seed);
+//! * `--csv DIR` — also write each table as CSV into `DIR`.
+
+use crate::table::Table;
+use std::path::PathBuf;
+
+/// The workspace-wide default seed ("RMTS").
+pub const DEFAULT_SEED: u64 = 0x52_4D_54_53;
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Trials per grid point / cell.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// CSV output directory, if requested.
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args`, given the experiment's full and quick trial
+    /// counts.
+    pub fn from_env(full_trials: u64, quick_trials: u64) -> Self {
+        Self::parse(std::env::args().skip(1), full_trials, quick_trials)
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+        full_trials: u64,
+        quick_trials: u64,
+    ) -> Self {
+        let mut opts = ExpOptions {
+            trials: full_trials,
+            seed: DEFAULT_SEED,
+            csv_dir: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => opts.trials = quick_trials,
+                "--trials" => {
+                    let v = it.next().expect("--trials needs a value");
+                    opts.trials = v.parse().expect("--trials must be an integer");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--csv" => {
+                    let v = it.next().expect("--csv needs a directory");
+                    opts.csv_dir = Some(PathBuf::from(v));
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Prints a table and, if configured, writes it as `name.csv`.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.to_text());
+        if let Some(dir) = &self.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            table.write_csv(&path).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = ExpOptions::parse(args(&[]), 1000, 50);
+        assert_eq!(o.trials, 1000);
+        assert_eq!(o.seed, DEFAULT_SEED);
+        assert!(o.csv_dir.is_none());
+    }
+
+    #[test]
+    fn quick_mode() {
+        let o = ExpOptions::parse(args(&["--quick"]), 1000, 50);
+        assert_eq!(o.trials, 50);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let o = ExpOptions::parse(
+            args(&["--trials", "123", "--seed", "9", "--csv", "/tmp/x"]),
+            1000,
+            50,
+        );
+        assert_eq!(o.trials, 123);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.csv_dir.unwrap().to_str().unwrap(), "/tmp/x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        let _ = ExpOptions::parse(args(&["--frobnicate"]), 10, 5);
+    }
+}

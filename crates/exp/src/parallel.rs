@@ -1,0 +1,82 @@
+//! Deterministic coarse-grained parallelism for experiment trials.
+//!
+//! Trials are embarrassingly parallel and each derives its own RNG from
+//! `(seed, trial_index)` (see `rmts_gen::seeded`), so results are
+//! bit-identical regardless of worker count. Following the HPC guidance to
+//! parallelize at the coarsest grain with no shared mutable state, workers
+//! process contiguous chunks and the chunks are concatenated in order.
+
+use crossbeam::thread;
+
+/// Maps `f` over `0..trials` using all available cores; the result vector
+/// is in trial order. `f` must be deterministic in its argument for
+/// reproducibility (give it a derived RNG, not a shared one).
+pub fn parallel_map<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials as usize)
+        .max(1);
+    if workers == 1 {
+        return (0..trials).map(f).collect();
+    }
+    let chunk = trials.div_ceil(workers as u64);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                s.spawn(move |_| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(trials);
+                    (lo..hi).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(trials as usize);
+        for h in handles {
+            out.extend(h.join().expect("worker panicked"));
+        }
+        out
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let v = parallel_map(1000, |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let v: Vec<u64> = parallel_map(0, |i| i);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn single() {
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn deterministic_with_derived_rngs() {
+        use rand::Rng;
+        use rmts_gen::trial_rng;
+        let run = || parallel_map(64, |t| trial_rng(5, t).gen::<u64>());
+        assert_eq!(run(), run());
+    }
+}

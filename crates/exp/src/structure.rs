@@ -1,0 +1,129 @@
+//! Structural statistics of produced partitions (EXP-6).
+//!
+//! Beyond accept/reject, the cost of semi-partitioned scheduling shows up
+//! in *structure*: how many tasks were split (each split implies one extra
+//! migration point at run time), how many processors were pre-assigned or
+//! dedicated, and how long partitioning takes.
+
+use crate::parallel::parallel_map;
+use rmts_core::Partitioner;
+use rmts_gen::{trial_rng, GenConfig};
+use std::time::Instant;
+
+/// Aggregated structure statistics over many accepted partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureStats {
+    /// Task sets attempted.
+    pub trials: usize,
+    /// Task sets accepted.
+    pub accepted: usize,
+    /// Mean number of split tasks per accepted partition.
+    pub mean_split_tasks: f64,
+    /// Maximum number of split tasks seen.
+    pub max_split_tasks: usize,
+    /// Mean number of pre-assigned processors per accepted partition.
+    pub mean_pre_assigned: f64,
+    /// Mean number of dedicated processors per accepted partition.
+    pub mean_dedicated: f64,
+    /// Mean wall-clock partitioning time in microseconds (accepted or not).
+    pub mean_partition_us: f64,
+}
+
+/// Measures partition structure for `alg` over random sets from `cfg`.
+pub fn structure_stats(
+    alg: &(dyn Partitioner + Sync),
+    m: usize,
+    cfg: &GenConfig,
+    trials: u64,
+    seed: u64,
+) -> StructureStats {
+    struct Row {
+        generated: bool,
+        accepted: bool,
+        split: usize,
+        pre: usize,
+        ded: usize,
+        micros: f64,
+    }
+    let rows: Vec<Row> = parallel_map(trials, |t| {
+        let mut rng = trial_rng(seed, t);
+        let Some(ts) = cfg.generate(&mut rng) else {
+            return Row {
+                generated: false,
+                accepted: false,
+                split: 0,
+                pre: 0,
+                ded: 0,
+                micros: 0.0,
+            };
+        };
+        let start = Instant::now();
+        let result = alg.partition(&ts, m);
+        let micros = start.elapsed().as_secs_f64() * 1e6;
+        match result {
+            Ok(part) => {
+                let (_, pre, ded) = part.role_counts();
+                Row {
+                    generated: true,
+                    accepted: true,
+                    split: part.split_tasks().len(),
+                    pre,
+                    ded,
+                    micros,
+                }
+            }
+            Err(_) => Row {
+                generated: true,
+                accepted: false,
+                split: 0,
+                pre: 0,
+                ded: 0,
+                micros,
+            },
+        }
+    });
+    let generated: Vec<&Row> = rows.iter().filter(|r| r.generated).collect();
+    let accepted: Vec<&&Row> = generated.iter().filter(|r| r.accepted).collect();
+    let n_acc = accepted.len().max(1) as f64;
+    StructureStats {
+        trials: generated.len(),
+        accepted: accepted.len(),
+        mean_split_tasks: accepted.iter().map(|r| r.split as f64).sum::<f64>() / n_acc,
+        max_split_tasks: accepted.iter().map(|r| r.split).max().unwrap_or(0),
+        mean_pre_assigned: accepted.iter().map(|r| r.pre as f64).sum::<f64>() / n_acc,
+        mean_dedicated: accepted.iter().map(|r| r.ded as f64).sum::<f64>() / n_acc,
+        mean_partition_us: generated.iter().map(|r| r.micros).sum::<f64>()
+            / generated.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_core::RmTs;
+    use rmts_gen::{PeriodGen, UtilizationSpec};
+
+    #[test]
+    fn stats_have_sane_ranges() {
+        let cfg = GenConfig::new(8, 1.4)
+            .with_periods(PeriodGen::Choice(vec![10_000, 20_000, 40_000]))
+            .with_utilization(UtilizationSpec::capped(0.6));
+        let stats = structure_stats(&RmTs::new(), 2, &cfg, 30, 5);
+        assert!(stats.trials > 0);
+        assert!(stats.accepted <= stats.trials);
+        // Splitting is bounded by M − 1 per the splitting discipline (each
+        // split closes a processor).
+        assert!(stats.max_split_tasks <= 2);
+        assert!(stats.mean_partition_us > 0.0);
+    }
+
+    #[test]
+    fn low_load_partitions_quickly_without_splits() {
+        let cfg = GenConfig::new(6, 0.8)
+            .with_periods(PeriodGen::Choice(vec![10_000, 20_000]))
+            .with_utilization(UtilizationSpec::capped(0.4));
+        let stats = structure_stats(&RmTs::new(), 2, &cfg, 20, 6);
+        assert_eq!(stats.accepted, stats.trials);
+        assert_eq!(stats.mean_split_tasks, 0.0);
+    }
+}

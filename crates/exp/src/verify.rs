@@ -1,0 +1,221 @@
+//! Bound-verification campaigns (EXP-4).
+//!
+//! The paper's theorems are universally quantified: *every* (light) task
+//! set at `U_M(τ) ≤ Λ(τ)` must be accepted. This module hammers each
+//! (bound × algorithm) cell with random task sets scaled to sit just below
+//! the claimed bound and counts rejections — the expected count is **zero**
+//! — and optionally cross-checks accepted partitions in the simulator.
+
+use crate::parallel::parallel_map;
+use rmts_bounds::thresholds::{light_threshold_of, rmts_cap_of};
+use rmts_bounds::ParametricBound;
+use rmts_core::{audit, Partitioner};
+use rmts_gen::{trial_rng, GenConfig};
+use rmts_sim::{simulate_partitioned, SimConfig};
+use rmts_taskmodel::{TaskSet, Time};
+
+/// Which theorem domain to target when scaling the generated sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundDomain {
+    /// RM-TS/light (Theorem 8): light sets at `U_M ≤ Λ(τ)`.
+    Light,
+    /// RM-TS (Section V): any set at `U_M ≤ min(Λ(τ), 2Θ/(1+Θ))`.
+    Capped,
+}
+
+/// Result of one verification campaign cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Algorithm under test.
+    pub algorithm: String,
+    /// Bound instantiated.
+    pub bound: String,
+    /// Task sets tested (after discarding generation failures).
+    pub tested: usize,
+    /// Rejections of sets inside the bound (theorem violations — expect 0).
+    pub rejections: usize,
+    /// Accepted partitions that failed RTA re-verification (expect 0).
+    pub rta_failures: usize,
+    /// Accepted partitions that missed a deadline in simulation (expect 0).
+    pub sim_failures: usize,
+    /// Accepted partitions with structural audit defects (expect 0).
+    pub audit_failures: usize,
+}
+
+impl VerifyOutcome {
+    /// `true` iff the cell is fully clean.
+    pub fn clean(&self) -> bool {
+        self.rejections == 0
+            && self.rta_failures == 0
+            && self.sim_failures == 0
+            && self.audit_failures == 0
+    }
+}
+
+/// Scales `ts` so its normalized utilization sits at `margin` of the
+/// applicable bound (the bound is re-evaluated on `ts` itself; scaling
+/// preserves periods, so the bound value is unchanged). Returns `None` if
+/// the realized set is degenerate or ends up outside the domain.
+fn scale_into_bound(
+    ts: &TaskSet,
+    m: usize,
+    bound: &dyn ParametricBound,
+    domain: BoundDomain,
+    margin: f64,
+) -> Option<TaskSet> {
+    let lambda = match domain {
+        BoundDomain::Light => bound.value(ts),
+        BoundDomain::Capped => bound.value(ts).min(rmts_cap_of(ts)),
+    };
+    let target_norm = lambda * margin;
+    let current_norm = ts.normalized_utilization(m);
+    if current_norm < target_norm {
+        return None; // generation fell short; cannot inflate
+    }
+    let scaled = ts.deflated(target_norm / current_norm);
+    // Rounding drift check: must genuinely be inside the bound.
+    if scaled.normalized_utilization(m) > lambda {
+        return None;
+    }
+    if domain == BoundDomain::Light && !scaled.is_light(light_threshold_of(&scaled)) {
+        return None;
+    }
+    Some(scaled)
+}
+
+/// Runs one campaign cell.
+///
+/// `cfg` should generate sets at roughly full load (`U(τ) ≈ m`) so that
+/// scaling down into the bound is always possible; for `BoundDomain::Light`
+/// it must also cap individual utilizations at the light threshold.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_campaign(
+    alg: &(dyn Partitioner + Sync),
+    bound: &(dyn ParametricBound + Sync),
+    domain: BoundDomain,
+    m: usize,
+    cfg: &GenConfig,
+    trials: u64,
+    seed: u64,
+    sim_horizon: Option<u64>,
+) -> VerifyOutcome {
+    #[derive(Default, Clone, Copy)]
+    struct Cell {
+        tested: usize,
+        rejections: usize,
+        rta_failures: usize,
+        sim_failures: usize,
+        audit_failures: usize,
+    }
+    let cells: Vec<Cell> = parallel_map(trials, |t| {
+        let mut rng = trial_rng(seed, t);
+        let mut cell = Cell::default();
+        let Some(raw) = cfg.generate(&mut rng) else {
+            return cell;
+        };
+        let Some(ts) = scale_into_bound(&raw, m, bound, domain, 0.995) else {
+            return cell;
+        };
+        cell.tested = 1;
+        match alg.partition(&ts, m) {
+            Err(_) => cell.rejections = 1,
+            Ok(part) => {
+                if !part.verify_rta() {
+                    cell.rta_failures = 1;
+                }
+                if !audit(&part, &ts).is_empty() {
+                    cell.audit_failures = 1;
+                }
+                if let Some(h) = sim_horizon {
+                    let report = simulate_partitioned(
+                        &part.workloads(),
+                        SimConfig {
+                            horizon: Some(Time::new(h)),
+                            ..SimConfig::default()
+                        },
+                    );
+                    if !report.all_deadlines_met() {
+                        cell.sim_failures = 1;
+                    }
+                }
+            }
+        }
+        cell
+    });
+    let mut out = VerifyOutcome {
+        algorithm: alg.name(),
+        bound: bound.name().to_string(),
+        tested: 0,
+        rejections: 0,
+        rta_failures: 0,
+        sim_failures: 0,
+        audit_failures: 0,
+    };
+    for c in cells {
+        out.tested += c.tested;
+        out.rejections += c.rejections;
+        out.rta_failures += c.rta_failures;
+        out.sim_failures += c.sim_failures;
+        out.audit_failures += c.audit_failures;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_bounds::{HarmonicChain, LiuLayland};
+    use rmts_core::{RmTs, RmTsLight};
+    use rmts_gen::{PeriodGen, UtilizationSpec};
+
+    #[test]
+    fn rmts_light_theorem8_holds_on_harmonic_sets() {
+        let m = 2;
+        let cfg = GenConfig::new(12, m as f64)
+            .with_periods(PeriodGen::Harmonic {
+                base: 10_000,
+                octaves: 4,
+            })
+            .with_utilization(UtilizationSpec::capped(0.40));
+        let out = verify_campaign(
+            &RmTsLight::new(),
+            &HarmonicChain,
+            BoundDomain::Light,
+            m,
+            &cfg,
+            60,
+            21,
+            Some(2_000_000),
+        );
+        assert!(out.tested >= 50, "too few effective trials: {}", out.tested);
+        assert!(out.clean(), "Theorem 8 violated: {out:?}");
+    }
+
+    #[test]
+    fn rmts_capped_bound_holds_on_general_sets() {
+        let m = 2;
+        let cfg = GenConfig::new(8, m as f64)
+            .with_periods(PeriodGen::Choice(vec![
+                10_000, 25_000, 40_000, 50_000, 80_000, 100_000,
+            ]))
+            .with_utilization(UtilizationSpec::any());
+        let out = verify_campaign(
+            &RmTs::new(),
+            &LiuLayland,
+            BoundDomain::Capped,
+            m,
+            &cfg,
+            60,
+            22,
+            Some(2_000_000),
+        );
+        assert!(out.tested >= 40, "too few effective trials: {}", out.tested);
+        assert!(out.clean(), "RM-TS bound violated: {out:?}");
+    }
+
+    #[test]
+    fn scale_into_bound_rejects_underfull_sets() {
+        let ts = TaskSet::from_pairs(&[(1, 100), (1, 100)]).unwrap(); // U = 0.02
+        assert!(scale_into_bound(&ts, 2, &LiuLayland, BoundDomain::Capped, 0.99).is_none());
+    }
+}

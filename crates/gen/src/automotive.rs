@@ -1,0 +1,126 @@
+//! Automotive benchmark workloads (WATERS/Kramer-style).
+//!
+//! Kramer, Ziegenbein & Hamann's "Real world automotive benchmarks for
+//! free" (WATERS 2015) published the period distribution of production
+//! engine-management software; it has become the community's standard
+//! "realistic workload" generator. Periods come from a fixed menu with
+//! highly non-uniform weights, dominated by 10/20/100 ms rate groups —
+//! note the menu is *nearly* harmonic ({1,2,10,20,100,200,1000} chain with
+//! 5/50 off-chain), which is exactly the regime where parametric bounds
+//! and harmonization shine.
+
+use rand::Rng;
+use rmts_taskmodel::{Task, TaskSet, Time};
+
+/// The WATERS period menu (milliseconds) with occurrence weights (‰).
+pub const AUTOMOTIVE_PERIODS_MS: [(u64, u32); 9] = [
+    (1, 30),
+    (2, 20),
+    (5, 20),
+    (10, 250),
+    (20, 250),
+    (50, 30),
+    (100, 200),
+    (200, 150),
+    (1000, 50),
+];
+
+/// Draws one period from the weighted automotive menu.
+pub fn automotive_period<R: Rng + ?Sized>(rng: &mut R) -> Time {
+    let total: u32 = AUTOMOTIVE_PERIODS_MS.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(ms, w) in &AUTOMOTIVE_PERIODS_MS {
+        if roll < w {
+            return Time::from_ms(ms);
+        }
+        roll -= w;
+    }
+    unreachable!("weights exhausted");
+}
+
+/// Generates an automotive-style task set: `n` runnables-clusters with
+/// weighted periods and UUniFast utilizations summing to `total_u`
+/// (per-task cap `u_max`). Returns `None` when the target is infeasible.
+pub fn automotive_taskset<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    total_u: f64,
+    u_max: f64,
+) -> Option<TaskSet> {
+    let utils = crate::uunifast::uunifast_discard(rng, n, total_u, 0.001, u_max, 10_000)?;
+    let tasks: Vec<Task> = utils
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            let period = automotive_period(rng);
+            let c = (((period.ticks() as f64) * u).floor() as u64).max(1);
+            Task::new(i as u32, Time::new(c.min(period.ticks())), period)
+                .expect("validated construction")
+        })
+        .collect();
+    TaskSet::new(tasks).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded::trial_rng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn periods_come_from_the_menu() {
+        let mut rng = trial_rng(1, 0);
+        let menu: Vec<u64> = AUTOMOTIVE_PERIODS_MS
+            .iter()
+            .map(|&(ms, _)| ms * 1000)
+            .collect();
+        for _ in 0..500 {
+            let t = automotive_period(&mut rng).ticks();
+            assert!(menu.contains(&t), "period {t} not in menu");
+        }
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        // 10 ms and 20 ms together carry half the mass; 1 ms only 3%.
+        let mut rng = trial_rng(2, 0);
+        let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+        let trials = 20_000;
+        for _ in 0..trials {
+            *counts.entry(automotive_period(&mut rng).ticks()).or_insert(0) += 1;
+        }
+        let frac = |ms: u64| *counts.get(&(ms * 1000)).unwrap_or(&0) as f64 / trials as f64;
+        assert!((frac(10) + frac(20) - 0.5).abs() < 0.03);
+        assert!(frac(1) < 0.06);
+        assert!(frac(1000) < 0.09);
+    }
+
+    #[test]
+    fn taskset_generation() {
+        let mut rng = trial_rng(3, 0);
+        let ts = automotive_taskset(&mut rng, 30, 3.0, 0.4).unwrap();
+        assert_eq!(ts.len(), 30);
+        assert!(ts.max_utilization() <= 0.405);
+        assert!((ts.total_utilization() - 3.0).abs() < 0.05);
+        // Hyperperiod of the menu is 1 s — simulable.
+        assert!(ts.hyperperiod() <= Time::from_secs(1));
+    }
+
+    #[test]
+    fn near_harmonic_structure() {
+        // The dominant menu {1,2,10,20,100,200,1000} is a single chain;
+        // 5 and 50 add at most one more. K ≤ 3 for any draw.
+        use rmts_taskmodel::harmonic::chain_count;
+        let mut rng = trial_rng(4, 0);
+        for _ in 0..20 {
+            let ts = automotive_taskset(&mut rng, 25, 2.0, 0.5).unwrap();
+            assert!(chain_count(&ts) <= 3, "K = {}", chain_count(&ts));
+        }
+    }
+
+    #[test]
+    fn infeasible_target() {
+        let mut rng = trial_rng(5, 0);
+        assert!(automotive_taskset(&mut rng, 4, 3.0, 0.4).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The one-stop task-set factory used by the experiment harness.
+
+use crate::periods::PeriodGen;
+use crate::uunifast::uunifast_discard;
+use rand::Rng;
+use rmts_taskmodel::{Task, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+/// How individual utilizations are constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSpec {
+    /// Per-task minimum (avoids degenerate near-zero tasks).
+    pub u_min: f64,
+    /// Per-task maximum. Set to the light threshold `Θ/(1+Θ)` to generate
+    /// light task sets; 1.0 for unconstrained sets.
+    pub u_max: f64,
+}
+
+impl UtilizationSpec {
+    /// Unconstrained: `(0.001, 1.0]`.
+    pub fn any() -> Self {
+        UtilizationSpec {
+            u_min: 0.001,
+            u_max: 1.0,
+        }
+    }
+
+    /// Capped at `u_max` (e.g. the light-task threshold).
+    pub fn capped(u_max: f64) -> Self {
+        UtilizationSpec {
+            u_min: 0.001,
+            u_max,
+        }
+    }
+}
+
+/// A task-set generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Number of tasks `N`.
+    pub n: usize,
+    /// Target **total** utilization `U(τ)` (multiply a normalized target by
+    /// `M` before passing it here).
+    pub total_utilization: f64,
+    /// Period generation strategy.
+    pub periods: PeriodGen,
+    /// Per-task utilization constraints.
+    pub utilization: UtilizationSpec,
+    /// UUniFast-discard retry budget.
+    pub max_attempts: usize,
+}
+
+impl GenConfig {
+    /// A reasonable default: `n` tasks, log-uniform periods, unconstrained
+    /// utilizations at the given total.
+    pub fn new(n: usize, total_utilization: f64) -> Self {
+        GenConfig {
+            n,
+            total_utilization,
+            periods: PeriodGen::default_log_uniform(),
+            utilization: UtilizationSpec::any(),
+            max_attempts: 10_000,
+        }
+    }
+
+    /// Replaces the period generator.
+    #[must_use]
+    pub fn with_periods(mut self, periods: PeriodGen) -> Self {
+        self.periods = periods;
+        self
+    }
+
+    /// Replaces the utilization constraints.
+    #[must_use]
+    pub fn with_utilization(mut self, spec: UtilizationSpec) -> Self {
+        self.utilization = spec;
+        self
+    }
+
+    /// Generates one task set, or `None` if the utilization vector is
+    /// infeasible under the constraints (e.g. `U > n · u_max`).
+    ///
+    /// WCETs are `max(1, round(u · T))` — integer rounding may move the
+    /// realized total utilization slightly *below* the target (never more
+    /// than `n / T_min` above it; with the default grids the drift is
+    /// ≪ 0.1%). Callers that need the realized value use
+    /// [`TaskSet::total_utilization`].
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<TaskSet> {
+        let utils = uunifast_discard(
+            rng,
+            self.n,
+            self.total_utilization,
+            self.utilization.u_min,
+            self.utilization.u_max,
+            self.max_attempts,
+        )?;
+        let mut tasks = Vec::with_capacity(self.n);
+        for (i, &u) in utils.iter().enumerate() {
+            let period = self.periods.sample(rng);
+            // Floor, not round: rounding up could push the realized total
+            // utilization above the target, silently generating infeasible
+            // sets at U_M = 1.0 (harmonic full-load experiments).
+            let c = ((period.ticks() as f64) * u).floor().max(1.0) as u64;
+            let c = c.min(period.ticks());
+            tasks.push(Task::new(i as u32, Time::new(c), period).expect("validated above"));
+        }
+        Some(TaskSet::new(tasks).expect("ids are unique by construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded::trial_rng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let mut rng = trial_rng(1, 0);
+        let cfg = GenConfig::new(12, 3.0);
+        let ts = cfg.generate(&mut rng).unwrap();
+        assert_eq!(ts.len(), 12);
+        // Realized utilization close to the target (rounding drift small
+        // because the default periods are ≥ 10^4 ticks).
+        assert!((ts.total_utilization() - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn light_sets_respect_cap() {
+        let mut rng = trial_rng(2, 0);
+        let cfg = GenConfig::new(16, 3.5).with_utilization(UtilizationSpec::capped(0.41));
+        for _ in 0..20 {
+            let ts = cfg.generate(&mut rng).unwrap();
+            assert!(ts.max_utilization() <= 0.415, "cap violated");
+        }
+    }
+
+    #[test]
+    fn infeasible_target_returns_none() {
+        let mut rng = trial_rng(3, 0);
+        let cfg = GenConfig::new(4, 3.0).with_utilization(UtilizationSpec::capped(0.4));
+        assert!(cfg.generate(&mut rng).is_none());
+    }
+
+    #[test]
+    fn harmonic_periods_produce_harmonic_sets() {
+        use rmts_taskmodel::harmonic::taskset_is_harmonic;
+        let mut rng = trial_rng(4, 0);
+        let cfg = GenConfig::new(8, 2.0).with_periods(PeriodGen::Harmonic {
+            base: 10_000,
+            octaves: 4,
+        });
+        let ts = cfg.generate(&mut rng).unwrap();
+        assert!(taskset_is_harmonic(&ts));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GenConfig::new(6, 2.0);
+        let a = cfg.generate(&mut trial_rng(9, 5)).unwrap();
+        let b = cfg.generate(&mut trial_rng(9, 5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = GenConfig::new(6, 2.0);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GenConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,174 @@
+//! Period generators.
+//!
+//! Periods determine both the difficulty of bin packing and the value of
+//! the parametric bounds, so the experiments need several styles:
+//!
+//! * [`PeriodGen::LogUniform`] — the literature's default: log-uniformly
+//!   distributed periods, snapped to a divisor-friendly grid so that
+//!   hyperperiods stay simulable.
+//! * [`PeriodGen::Harmonic`] — one harmonic chain `base · 2^k` (the 100%
+//!   bound's domain).
+//! * [`PeriodGen::Chains`] — a mixture of `k` harmonic chains (the
+//!   harmonic-chain bound's domain).
+//! * [`PeriodGen::Choice`] — an explicit menu of periods.
+
+use rand::Rng;
+use rmts_taskmodel::Time;
+use serde::{Deserialize, Serialize};
+
+/// A period-generation strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeriodGen {
+    /// Log-uniform in `[min, max]`, snapped down to a multiple of
+    /// `granularity`.
+    LogUniform {
+        /// Smallest period (ticks).
+        min: u64,
+        /// Largest period (ticks).
+        max: u64,
+        /// Snap grid (ticks); keeps hyperperiods tractable.
+        granularity: u64,
+    },
+    /// A single harmonic chain: `base · 2^k`, `k` uniform in `0..octaves`.
+    Harmonic {
+        /// The chain's base period (ticks).
+        base: u64,
+        /// Number of octaves (distinct period values).
+        octaves: u32,
+    },
+    /// `k` harmonic chains with the given base periods; each task picks a
+    /// chain uniformly, then an octave.
+    Chains {
+        /// Base period of each chain (ticks). Bases should be pairwise
+        /// non-dividing for the chain count to be exactly `bases.len()`.
+        bases: Vec<u64>,
+        /// Number of octaves per chain.
+        octaves: u32,
+    },
+    /// Uniform choice from an explicit menu.
+    Choice(Vec<u64>),
+}
+
+impl PeriodGen {
+    /// The default used by the general-task-set experiments: periods from
+    /// 10 ms to 1 s (at 1 µs ticks) on a 10 ms grid.
+    pub fn default_log_uniform() -> Self {
+        PeriodGen::LogUniform {
+            min: 10_000,
+            max: 1_000_000,
+            granularity: 10_000,
+        }
+    }
+
+    /// Draws one period.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Time {
+        match self {
+            PeriodGen::LogUniform {
+                min,
+                max,
+                granularity,
+            } => {
+                assert!(min <= max && *min > 0 && *granularity > 0);
+                let lo = (*min as f64).ln();
+                let hi = (*max as f64).ln();
+                let raw = (lo + rng.gen::<f64>() * (hi - lo)).exp();
+                let snapped = ((raw / *granularity as f64).round() as u64) * granularity;
+                Time::new(snapped.clamp(*min, *max))
+            }
+            PeriodGen::Harmonic { base, octaves } => {
+                assert!(*base > 0 && *octaves > 0);
+                let k = rng.gen_range(0..*octaves);
+                Time::new(base << k)
+            }
+            PeriodGen::Chains { bases, octaves } => {
+                assert!(!bases.is_empty() && *octaves > 0);
+                let b = bases[rng.gen_range(0..bases.len())];
+                let k = rng.gen_range(0..*octaves);
+                Time::new(b << k)
+            }
+            PeriodGen::Choice(menu) => {
+                assert!(!menu.is_empty());
+                Time::new(menu[rng.gen_range(0..menu.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmts_taskmodel::harmonic::is_harmonic;
+
+    #[test]
+    fn log_uniform_in_range_and_snapped() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = PeriodGen::default_log_uniform();
+        for _ in 0..500 {
+            let t = g.sample(&mut rng).ticks();
+            assert!((10_000..=1_000_000).contains(&t));
+            assert_eq!(t % 10_000, 0);
+        }
+    }
+
+    #[test]
+    fn log_uniform_spreads_over_decades() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = PeriodGen::default_log_uniform();
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..2000 {
+            let t = g.sample(&mut rng).ticks();
+            if t <= 100_000 {
+                small += 1;
+            }
+            if t >= 500_000 {
+                large += 1;
+            }
+        }
+        // Log-uniform: ~half the mass below 100k (one decade of two).
+        assert!(small > 600, "too few small periods: {small}");
+        assert!(large > 100, "too few large periods: {large}");
+    }
+
+    #[test]
+    fn harmonic_samples_form_a_chain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = PeriodGen::Harmonic {
+            base: 5_000,
+            octaves: 5,
+        };
+        let samples: Vec<Time> = (0..100).map(|_| g.sample(&mut rng)).collect();
+        assert!(is_harmonic(&samples));
+        assert!(samples.iter().all(|t| t.ticks() % 5_000 == 0));
+    }
+
+    #[test]
+    fn chains_use_all_bases() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = PeriodGen::Chains {
+            bases: vec![1_000, 1_700, 2_300],
+            octaves: 3,
+        };
+        let mut hit = [false; 3];
+        for _ in 0..300 {
+            let t = g.sample(&mut rng).ticks();
+            for (i, b) in [1_000u64, 1_700, 2_300].iter().enumerate() {
+                if t.is_multiple_of(*b) && (t / b).is_power_of_two() {
+                    hit[i] = true;
+                }
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "not all chains sampled: {hit:?}");
+    }
+
+    #[test]
+    fn choice_stays_in_menu() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = PeriodGen::Choice(vec![40, 50, 60]);
+        for _ in 0..100 {
+            assert!([40u64, 50, 60].contains(&g.sample(&mut rng).ticks()));
+        }
+    }
+}

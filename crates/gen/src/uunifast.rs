@@ -1,0 +1,120 @@
+//! UUniFast and UUniFast-discard utilization generation.
+//!
+//! Bini & Buttazzo's UUniFast draws `n` utilizations summing to `u_total`,
+//! uniformly over the valid simplex. The *discard* variant rejects and
+//! redraws whole vectors until every component lies within `[u_min, u_max]`
+//! — the standard way to generate *light* task sets (`u_max = Θ/(1+Θ)`)
+//! without biasing the distribution shape.
+
+use rand::Rng;
+
+/// Draws `n` utilizations summing to `u_total` (UUniFast).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `u_total <= 0`.
+pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, u_total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(u_total > 0.0, "total utilization must be positive");
+    let mut out = Vec::with_capacity(n);
+    let mut sum = u_total;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// UUniFast-discard: redraws until every utilization is in
+/// `[u_min, u_max]`. Returns `None` after `max_attempts` failures (the
+/// target may be infeasible, e.g. `u_total > n·u_max`).
+pub fn uunifast_discard<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    u_total: f64,
+    u_min: f64,
+    u_max: f64,
+    max_attempts: usize,
+) -> Option<Vec<f64>> {
+    if u_total > n as f64 * u_max || u_total < n as f64 * u_min {
+        return None; // infeasible outright
+    }
+    for _ in 0..max_attempts {
+        let candidate = uunifast(rng, n, u_total);
+        if candidate.iter().all(|&u| u >= u_min && u <= u_max) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            for u in [0.5, 1.0, 3.7] {
+                let v = uunifast(&mut rng, n, u);
+                assert_eq!(v.len(), n);
+                let s: f64 = v.iter().sum();
+                assert!((s - u).abs() < 1e-9, "n={n} u={u} sum={s}");
+                assert!(v.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(uunifast(&mut rng, 1, 0.7), vec![0.7]);
+    }
+
+    #[test]
+    fn discard_respects_caps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = uunifast_discard(&mut rng, 16, 3.0, 0.01, 0.41, 10_000).unwrap();
+            assert!(v.iter().all(|&u| (0.01..=0.41).contains(&u)));
+            let s: f64 = v.iter().sum();
+            assert!((s - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn discard_detects_infeasible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 4 tasks capped at 0.4 can't reach 2.0 total.
+        assert!(uunifast_discard(&mut rng, 4, 2.0, 0.0, 0.4, 100).is_none());
+        // Nor can they be below the floor.
+        assert!(uunifast_discard(&mut rng, 4, 0.1, 0.2, 1.0, 100).is_none());
+    }
+
+    #[test]
+    fn distribution_is_roughly_symmetric() {
+        // Over many draws, each position has the same mean U/n (UUniFast is
+        // exchangeable). Loose check: means within 20% of each other.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 4;
+        let mut means = vec![0.0f64; n];
+        let trials = 4000;
+        for _ in 0..trials {
+            let v = uunifast(&mut rng, n, 2.0);
+            for (m, x) in means.iter_mut().zip(&v) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= trials as f64;
+        }
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo < 1.2, "position means too skewed: {means:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Synchronous busy periods.
+//!
+//! The level-i busy period bounds how far a fixed-priority analysis or a
+//! simulation must look: for constrained-deadline workloads the critical
+//! instant is the synchronous release, and the longest level-i busy period
+//! is the least fixed point of `L = Σ_{j ∈ hep(i)} ⌈L / T_j⌉ · C_j`.
+//! The crate's simulator uses the *level-lowest* (whole-processor) busy
+//! period plus the hyperperiod as a safe simulation horizon.
+
+use rmts_taskmodel::{Subtask, Time};
+
+/// Least fixed point of `L = Σ ⌈L/T_j⌉·C_j` over the given `(C, T)` pairs,
+/// starting from `Σ C_j`. Returns `None` if it exceeds `horizon` (which
+/// happens iff utilization ≥ 1 would make it unbounded, or the horizon is
+/// simply too small).
+pub fn busy_period(pairs: &[(Time, Time)], horizon: Time) -> Option<Time> {
+    let total: Time = pairs.iter().map(|&(c, _)| c).sum();
+    if total.is_zero() {
+        return Some(Time::ZERO);
+    }
+    let mut l = total;
+    loop {
+        if l > horizon {
+            return None;
+        }
+        let next: Time = pairs
+            .iter()
+            .map(|&(c, t)| c.checked_mul(l.div_ceil(t)).unwrap_or(Time::MAX))
+            .fold(Time::ZERO, Time::saturating_add);
+        if next == l {
+            return Some(l);
+        }
+        l = next;
+    }
+}
+
+/// The level-i busy period for `workload[index]`: the busy period of the
+/// tasks with priority higher than or equal to `workload[index]`'s.
+pub fn level_busy_period(workload: &[Subtask], index: usize, horizon: Time) -> Option<Time> {
+    let me = &workload[index];
+    let pairs: Vec<(Time, Time)> = workload
+        .iter()
+        .filter(|s| !s.priority.is_lower_than(me.priority))
+        .map(|s| (s.wcet, s.period))
+        .collect();
+    busy_period(&pairs, horizon)
+}
+
+/// The whole-processor busy period (all subtasks).
+pub fn processor_busy_period(workload: &[Subtask], horizon: Time) -> Option<Time> {
+    let pairs: Vec<(Time, Time)> = workload.iter().map(|s| (s.wcet, s.period)).collect();
+    busy_period(&pairs, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{Priority, SubtaskKind, TaskId};
+
+    fn sub(prio: u32, c: u64, t: u64) -> Subtask {
+        Subtask {
+            parent: TaskId(prio),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(c),
+            period: Time::new(t),
+            deadline: Time::new(t),
+            priority: Priority(prio),
+        }
+    }
+
+    #[test]
+    fn single_task() {
+        let bp = busy_period(&[(Time::new(3), Time::new(10))], Time::new(1000));
+        assert_eq!(bp, Some(Time::new(3)));
+    }
+
+    #[test]
+    fn textbook_busy_period() {
+        // (2,4) + (2,6): L = 2⌈L/4⌉ + 2⌈L/6⌉; L0=4 → 2·1+2·1=4? ⌈4/4⌉=1,
+        // ⌈4/6⌉=1 → 4 ✓.
+        let bp = busy_period(
+            &[(Time::new(2), Time::new(4)), (Time::new(2), Time::new(6))],
+            Time::new(1000),
+        );
+        assert_eq!(bp, Some(Time::new(4)));
+    }
+
+    #[test]
+    fn full_utilization_runs_to_hyperperiod() {
+        // (2,4) + (2,8) + (2,8): U = 1. Busy period = 8 (the hyperperiod).
+        let bp = busy_period(
+            &[
+                (Time::new(2), Time::new(4)),
+                (Time::new(2), Time::new(8)),
+                (Time::new(2), Time::new(8)),
+            ],
+            Time::new(1000),
+        );
+        assert_eq!(bp, Some(Time::new(8)));
+    }
+
+    #[test]
+    fn overload_exceeds_horizon() {
+        // U > 1: the busy period never closes.
+        let bp = busy_period(
+            &[(Time::new(3), Time::new(4)), (Time::new(2), Time::new(4))],
+            Time::new(100_000),
+        );
+        assert_eq!(bp, None);
+    }
+
+    #[test]
+    fn empty_workload() {
+        assert_eq!(busy_period(&[], Time::new(10)), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn level_filters_by_priority() {
+        let w = [sub(0, 2, 4), sub(1, 2, 6), sub(2, 2, 20)]; // U ≈ 0.93
+        // Level-0: just (2,4) → 2. Level-1: (2,4)+(2,6) → 4.
+        assert_eq!(level_busy_period(&w, 0, Time::new(1000)), Some(Time::new(2)));
+        assert_eq!(level_busy_period(&w, 1, Time::new(1000)), Some(Time::new(4)));
+        // Whole processor: L = 2⌈L/4⌉ + 2⌈L/6⌉ + 2⌈L/20⌉ → 12.
+        let whole = processor_busy_period(&w, Time::new(1000)).unwrap();
+        assert_eq!(whole, Time::new(12));
+    }
+}

@@ -1,0 +1,183 @@
+//! Time-demand analysis (TDA) at scheduling points.
+//!
+//! Lehoczky, Sha & Ding's exact test: `τ_i` (with constrained deadline `Δ`)
+//! is schedulable iff there exists a time `t ∈ (0, Δ]` with
+//!
+//! ```text
+//! W_i(t) = C_i + Σ_j ⌈t / T_j⌉ · C_j ≤ t
+//! ```
+//!
+//! Since `W_i` only changes value at multiples of the interferers' periods,
+//! it suffices to check the *scheduling points*
+//! `{ m·T_j : j ∈ hp(i), m ≥ 1, m·T_j ≤ Δ } ∪ {Δ}`.
+//!
+//! This is an independent implementation of the same exact criterion as
+//! [`crate::rta`]; the two are cross-checked against each other by property
+//! tests, and TDA's scheduling-point enumeration is reused by the efficient
+//! admissible-budget computation in [`crate::budget`].
+
+use crate::rta::interference;
+use rmts_taskmodel::{Subtask, Time};
+
+/// Enumerates the scheduling points for a deadline `d` and a set of
+/// higher-priority periods: all multiples of each period in `(0, d]`, plus
+/// `d` itself. Sorted ascending, deduplicated.
+pub fn scheduling_points(deadline: Time, hp_periods: &[Time]) -> Vec<Time> {
+    let mut pts = Vec::new();
+    for &t in hp_periods {
+        if t.is_zero() {
+            continue;
+        }
+        let max_m = deadline.div_floor(t);
+        for m in 1..=max_m {
+            pts.push(t * m);
+        }
+    }
+    pts.push(deadline);
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// The time-demand function `W(t) = c + Σ ⌈t/T_j⌉·C_j`.
+pub fn time_demand(c: Time, hp: &[(Time, Time)], t: Time) -> Time {
+    hp.iter()
+        .fold(c, |acc, &(cj, tj)| acc.saturating_add(interference(cj, tj, t)))
+}
+
+/// TDA test for a single "virtual task" `(c, deadline)` against
+/// higher-priority `(C_j, T_j)` interferers.
+pub fn tda_feasible(c: Time, deadline: Time, hp: &[(Time, Time)]) -> bool {
+    if c > deadline {
+        return false;
+    }
+    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
+    scheduling_points(deadline, &periods)
+        .into_iter()
+        .any(|t| time_demand(c, hp, t) <= t)
+}
+
+/// TDA schedulability of `workload[index]` against its synthetic deadline.
+pub fn tda_task_schedulable(workload: &[Subtask], index: usize) -> bool {
+    let me = &workload[index];
+    let hp: Vec<(Time, Time)> = workload
+        .iter()
+        .enumerate()
+        .filter(|&(j, s)| j != index && s.priority.is_higher_than(me.priority))
+        .map(|(_, s)| (s.wcet, s.period))
+        .collect();
+    tda_feasible(me.wcet, me.deadline, &hp)
+}
+
+/// TDA schedulability of the whole workload.
+pub fn tda_schedulable(workload: &[Subtask]) -> bool {
+    (0..workload.len()).all(|i| tda_task_schedulable(workload, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rta::{is_schedulable, response_time};
+    use proptest::prelude::*;
+    use rmts_taskmodel::{Priority, SubtaskKind, TaskId};
+
+    fn sub(id: u32, prio: u32, c: u64, t: u64, d: u64) -> Subtask {
+        Subtask {
+            parent: TaskId(id),
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: Time::new(c),
+            period: Time::new(t),
+            deadline: Time::new(d),
+            priority: Priority(prio),
+        }
+    }
+
+    #[test]
+    fn scheduling_points_enumeration() {
+        let pts = scheduling_points(Time::new(12), &[Time::new(4), Time::new(6)]);
+        let raw: Vec<u64> = pts.iter().map(|t| t.ticks()).collect();
+        assert_eq!(raw, vec![4, 6, 8, 12]);
+    }
+
+    #[test]
+    fn scheduling_points_include_deadline_only_for_no_hp() {
+        let pts = scheduling_points(Time::new(7), &[]);
+        assert_eq!(pts, vec![Time::new(7)]);
+    }
+
+    #[test]
+    fn agrees_with_rta_on_textbook_set() {
+        let w = [
+            sub(0, 0, 1, 4, 4),
+            sub(1, 1, 2, 6, 6),
+            sub(2, 2, 3, 12, 12),
+        ];
+        assert!(tda_schedulable(&w));
+        assert!(is_schedulable(&w));
+    }
+
+    #[test]
+    fn agrees_with_rta_on_miss() {
+        let w = [sub(0, 0, 2, 4, 4), sub(1, 1, 3, 6, 6)];
+        assert!(!tda_task_schedulable(&w, 1));
+        assert!(response_time(&w, 1).is_none());
+    }
+
+    #[test]
+    fn boundary_demand_equal_t() {
+        // Demand exactly meets supply at a scheduling point.
+        let hp = [(Time::new(2), Time::new(4))];
+        assert!(tda_feasible(Time::new(2), Time::new(4), &hp));
+        assert!(!tda_feasible(Time::new(3), Time::new(4), &hp));
+    }
+
+    proptest! {
+        /// RTA and TDA are both exact tests, hence must agree on random
+        /// constrained-deadline workloads.
+        #[test]
+        fn rta_equals_tda(
+            raw in proptest::collection::vec((1u64..20, 1u64..6, 0u64..10), 1..7)
+        ) {
+            // Build a workload with strictly decreasing priorities; periods
+            // derived multiplicatively to vary interference patterns.
+            let mut w = Vec::new();
+            for (i, &(c_seed, t_mul, d_slack)) in raw.iter().enumerate() {
+                let t = 4 * t_mul + c_seed % 5; // period in [4, 28]
+                let c = 1 + c_seed % t;          // 1 ≤ c ≤ t
+                let d = (c + d_slack).min(t).max(c); // c ≤ d ≤ t
+                w.push(sub(i as u32, i as u32, c, t, d));
+            }
+            for i in 0..w.len() {
+                let rta_ok = response_time(&w, i).is_some();
+                let tda_ok = tda_task_schedulable(&w, i);
+                prop_assert_eq!(rta_ok, tda_ok, "disagreement at index {}", i);
+            }
+        }
+
+        /// When RTA reports a response time R, the time-demand at R is
+        /// exactly R (fixed-point property), and demand at any earlier
+        /// scheduling point exceeds supply ... i.e. R is minimal.
+        #[test]
+        fn response_time_is_least_fixed_point(
+            raw in proptest::collection::vec((1u64..15, 1u64..5), 1..6)
+        ) {
+            let mut w = Vec::new();
+            for (i, &(c_seed, t_mul)) in raw.iter().enumerate() {
+                let t = 5 * t_mul + c_seed % 7;
+                let c = 1 + c_seed % ((t / 2).max(1));
+                w.push(sub(i as u32, i as u32, c, t, t));
+            }
+            let idx = w.len() - 1;
+            if let Some(r) = response_time(&w, idx) {
+                let hp: Vec<(Time, Time)> = w[..idx].iter().map(|s| (s.wcet, s.period)).collect();
+                prop_assert_eq!(time_demand(w[idx].wcet, &hp, r), r);
+                // Minimality: every t < R has demand > t.
+                for t in 1..r.ticks() {
+                    let t = Time::new(t);
+                    prop_assert!(time_demand(w[idx].wcet, &hp, t) > t);
+                }
+            }
+        }
+    }
+}

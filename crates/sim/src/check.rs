@@ -1,0 +1,188 @@
+//! Simulation configuration and reporting.
+
+use rmts_taskmodel::{TaskId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default cap on the simulation horizon (ticks) when the hyperperiod is
+/// enormous. 100 million ticks ≈ 100 s of simulated time at 1 µs ticks.
+pub const DEFAULT_HORIZON_CAP: u64 = 100_000_000;
+
+/// How job releases are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReleaseModel {
+    /// Strictly periodic from a synchronous start — the pessimistic
+    /// arrival pattern for the sporadic model (critical instant).
+    #[default]
+    Periodic,
+    /// Sporadic: each release is delayed by a deterministic pseudo-random
+    /// amount in `[0, max_delay]` beyond the minimum separation `T`.
+    /// Absolute deadlines remain `release + T`.
+    Sporadic {
+        /// Maximum extra inter-release delay (ticks).
+        max_delay: u64,
+        /// Seed for the per-task delay streams (runs are reproducible).
+        seed: u64,
+    },
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulate up to this time. `None` = one hyperperiod, capped at
+    /// [`DEFAULT_HORIZON_CAP`].
+    pub horizon: Option<Time>,
+    /// Stop at the first deadline miss (default) or keep going and collect
+    /// all misses within the horizon.
+    pub stop_on_first_miss: bool,
+    /// Release spacing (periodic by default).
+    pub release: ReleaseModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: None,
+            stop_on_first_miss: true,
+            release: ReleaseModel::Periodic,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A sporadic-release configuration with the given maximum extra delay
+    /// and seed. With sporadic releases the hyperperiod is no longer a
+    /// natural horizon, so pass an explicit one or accept the default cap.
+    pub fn sporadic(max_delay: u64, seed: u64, horizon: Time) -> Self {
+        SimConfig {
+            horizon: Some(horizon),
+            stop_on_first_miss: true,
+            release: ReleaseModel::Sporadic { max_delay, seed },
+        }
+    }
+}
+
+/// One observed deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlineMiss {
+    /// The task whose job missed.
+    pub task: TaskId,
+    /// 0-based job index (release at `job · T`).
+    pub job: u64,
+    /// The absolute deadline that was missed.
+    pub deadline: Time,
+    /// Completion time, if the job did complete late within the horizon.
+    pub completed_at: Option<Time>,
+}
+
+/// Aggregated response-time statistics of one task over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Smallest observed response time.
+    pub min: Time,
+    /// Largest observed response time.
+    pub max: Time,
+    /// Sum of all response times (for the mean).
+    pub sum: Time,
+    /// Number of completed jobs.
+    pub count: u64,
+}
+
+impl ResponseStats {
+    /// Starts the statistics with a first observation.
+    pub fn first(r: Time) -> Self {
+        ResponseStats {
+            min: r,
+            max: r,
+            sum: r,
+            count: 1,
+        }
+    }
+
+    /// Folds in another observation.
+    pub fn record(&mut self, r: Time) {
+        self.min = self.min.min(r);
+        self.max = self.max.max(r);
+        self.sum = self.sum.saturating_add(r);
+        self.count += 1;
+    }
+
+    /// Mean response time in ticks.
+    pub fn mean(&self) -> f64 {
+        self.sum.ticks() as f64 / self.count.max(1) as f64
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimReport {
+    /// The horizon actually simulated.
+    pub horizon: Time,
+    /// Deadline misses observed (first one only if `stop_on_first_miss`).
+    pub misses: Vec<DeadlineMiss>,
+    /// Number of jobs that completed within the horizon.
+    pub jobs_completed: u64,
+    /// Largest observed response time (completion − release) per task.
+    pub max_response: BTreeMap<u32, Time>,
+    /// Full response-time statistics per task (min/mean/max over all
+    /// completed jobs).
+    pub response_stats: BTreeMap<u32, ResponseStats>,
+    /// Number of preemptions observed across all processors.
+    pub preemptions: u64,
+}
+
+impl SimReport {
+    /// `true` iff no deadline was missed.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.misses.is_empty()
+    }
+
+    /// Max observed response time of one task, if it completed any job.
+    pub fn response_of(&self, task: TaskId) -> Option<Time> {
+        self.max_response.get(&task.0).copied()
+    }
+
+    /// Response statistics of one task, if it completed any job.
+    pub fn stats_of(&self, task: TaskId) -> Option<&ResponseStats> {
+        self.response_stats.get(&task.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let c = SimConfig::default();
+        assert!(c.horizon.is_none());
+        assert!(c.stop_on_first_miss);
+    }
+
+    #[test]
+    fn response_stats_fold() {
+        let mut s = ResponseStats::first(Time::new(5));
+        s.record(Time::new(3));
+        s.record(Time::new(10));
+        assert_eq!(s.min, Time::new(3));
+        assert_eq!(s.max, Time::new(10));
+        assert_eq!(s.count, 3);
+        assert!((s.mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_queries() {
+        let mut r = SimReport::default();
+        assert!(r.all_deadlines_met());
+        r.max_response.insert(3, Time::new(7));
+        assert_eq!(r.response_of(TaskId(3)), Some(Time::new(7)));
+        assert_eq!(r.response_of(TaskId(4)), None);
+        r.misses.push(DeadlineMiss {
+            task: TaskId(1),
+            job: 0,
+            deadline: Time::new(10),
+            completed_at: None,
+        });
+        assert!(!r.all_deadlines_met());
+    }
+}

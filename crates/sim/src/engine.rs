@@ -1,0 +1,281 @@
+//! Shared simulation plumbing: task chains, horizons, job bookkeeping.
+
+use crate::check::{DeadlineMiss, SimReport, DEFAULT_HORIZON_CAP};
+use rmts_taskmodel::time::lcm;
+use rmts_taskmodel::{Priority, Subtask, TaskId, Time};
+
+/// One stage of a task's execution: a subtask pinned to a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Host processor.
+    pub processor: usize,
+    /// Execution budget of this stage.
+    pub wcet: Time,
+}
+
+/// The execution chain of one task: its subtasks in precedence order with
+/// their host processors, plus period and priority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskChain {
+    /// The task.
+    pub id: TaskId,
+    /// Period (= relative deadline).
+    pub period: Time,
+    /// Global RM priority.
+    pub priority: Priority,
+    /// Stages in precedence order (`τ^1 … τ^B, τ^t`).
+    pub stages: Vec<Stage>,
+}
+
+impl TaskChain {
+    /// Total execution time across stages.
+    pub fn total_wcet(&self) -> Time {
+        self.stages.iter().map(|s| s.wcet).sum()
+    }
+}
+
+/// Reconstructs task chains from per-processor workloads. Subtasks of the
+/// same parent are linked by their `seq` numbers; the result is sorted by
+/// priority (highest first).
+///
+/// # Panics
+///
+/// Panics if the workloads are inconsistent: duplicate `(parent, seq)`,
+/// gaps in a chain, or differing periods/priorities within one parent.
+pub fn build_chains(workloads: &[&[Subtask]]) -> Vec<TaskChain> {
+    use std::collections::BTreeMap;
+    let mut by_parent: BTreeMap<u32, Vec<(u32, usize, &Subtask)>> = BTreeMap::new();
+    for (q, w) in workloads.iter().enumerate() {
+        for s in *w {
+            by_parent.entry(s.parent.0).or_default().push((s.seq, q, s));
+        }
+    }
+    let mut chains = Vec::with_capacity(by_parent.len());
+    for (id, mut parts) in by_parent {
+        parts.sort_by_key(|&(seq, _, _)| seq);
+        let first = parts[0].2;
+        for (i, &(seq, _, s)) in parts.iter().enumerate() {
+            assert_eq!(
+                seq as usize,
+                i + 1,
+                "task {id}: subtask chain has gaps or duplicates"
+            );
+            assert_eq!(s.period, first.period, "task {id}: inconsistent periods");
+            assert_eq!(
+                s.priority, first.priority,
+                "task {id}: inconsistent priorities"
+            );
+        }
+        chains.push(TaskChain {
+            id: TaskId(id),
+            period: first.period,
+            priority: first.priority,
+            stages: parts
+                .iter()
+                .map(|&(_, q, s)| Stage {
+                    processor: q,
+                    wcet: s.wcet,
+                })
+                .collect(),
+        });
+    }
+    chains.sort_by_key(|c| c.priority);
+    chains
+}
+
+/// The simulation horizon: one hyperperiod of the chains, capped.
+pub fn horizon_for(chains: &[TaskChain], requested: Option<Time>) -> Time {
+    if let Some(h) = requested {
+        return h;
+    }
+    let hyper = chains
+        .iter()
+        .fold(1u64, |acc, c| lcm(acc, c.period.ticks()));
+    Time::new(hyper.min(DEFAULT_HORIZON_CAP))
+}
+
+/// Mutable per-task job state during a run.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// Next release instant.
+    pub next_release: Time,
+    /// 0-based index of the job released next.
+    pub next_job: u64,
+    /// The active job, if any: (job index, release time, current stage,
+    /// remaining budget of that stage).
+    pub active: Option<ActiveJob>,
+}
+
+/// The in-flight job of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveJob {
+    /// 0-based job index.
+    pub job: u64,
+    /// Release instant.
+    pub released: Time,
+    /// Index into the chain's `stages`.
+    pub stage: usize,
+    /// Remaining budget of the current stage.
+    pub remaining: Time,
+}
+
+impl JobState {
+    /// Initial state: first release at time 0.
+    pub fn new() -> Self {
+        JobState {
+            next_release: Time::ZERO,
+            next_job: 0,
+            active: None,
+        }
+    }
+}
+
+impl Default for JobState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// SplitMix64 step — the simulator's deterministic jitter source (keeps
+/// `rmts-sim` free of external RNG dependencies).
+#[derive(Debug, Clone, Copy)]
+pub struct Jitter(u64);
+
+impl Jitter {
+    /// One stream per (seed, task id).
+    pub fn new(seed: u64, task: u64) -> Jitter {
+        Jitter(seed ^ task.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D)
+    }
+
+    /// The next delay in `[0, max]`.
+    pub fn next(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.0 = z;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % (max + 1)
+    }
+}
+
+/// Records a completed job in the report.
+pub fn record_completion(report: &mut SimReport, chain: &TaskChain, released: Time, now: Time) {
+    report.jobs_completed += 1;
+    let response = now - released;
+    report
+        .max_response
+        .entry(chain.id.0)
+        .and_modify(|r| *r = (*r).max(response))
+        .or_insert(response);
+    report
+        .response_stats
+        .entry(chain.id.0)
+        .and_modify(|s| s.record(response))
+        .or_insert_with(|| crate::check::ResponseStats::first(response));
+}
+
+/// Records a deadline miss (a job still incomplete at its deadline).
+pub fn record_miss(
+    report: &mut SimReport,
+    chain: &TaskChain,
+    job: u64,
+    released: Time,
+    completed_at: Option<Time>,
+) {
+    report.misses.push(DeadlineMiss {
+        task: chain.id,
+        job,
+        deadline: released + chain.period,
+        completed_at,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{SubtaskKind, Task};
+
+    fn whole(id: u32, prio: u32, c: u64, t: u64) -> Subtask {
+        Subtask::whole(
+            &Task::from_ticks(id, c, t).unwrap(),
+            Priority(prio),
+        )
+    }
+
+    #[test]
+    fn chains_from_whole_tasks() {
+        let w0 = vec![whole(0, 0, 1, 4)];
+        let w1 = vec![whole(1, 1, 2, 8)];
+        let chains = build_chains(&[&w0, &w1]);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].id, TaskId(0));
+        assert_eq!(chains[0].stages.len(), 1);
+        assert_eq!(chains[0].stages[0].processor, 0);
+        assert_eq!(chains[1].stages[0].processor, 1);
+    }
+
+    #[test]
+    fn chains_link_split_subtasks_across_processors() {
+        let mut body = whole(7, 2, 3, 10);
+        body.seq = 1;
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(7, 2, 2, 10);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        tail.deadline = Time::new(7);
+        let w0 = vec![body];
+        let w1 = vec![tail];
+        let chains = build_chains(&[&w0, &w1]);
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.stages.len(), 2);
+        assert_eq!(c.stages[0].processor, 0);
+        assert_eq!(c.stages[1].processor, 1);
+        assert_eq!(c.total_wcet(), Time::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "gaps")]
+    fn chain_gaps_rejected() {
+        let mut tail = whole(7, 2, 2, 10);
+        tail.seq = 3; // missing seq 2
+        let mut body = whole(7, 2, 3, 10);
+        body.seq = 1;
+        let w0 = vec![body, tail];
+        let _ = build_chains(&[&w0]);
+    }
+
+    #[test]
+    fn chains_sorted_by_priority() {
+        let w0 = vec![whole(5, 9, 1, 40), whole(2, 0, 1, 4)];
+        let chains = build_chains(&[&w0]);
+        assert_eq!(chains[0].id, TaskId(2));
+        assert_eq!(chains[1].id, TaskId(5));
+    }
+
+    #[test]
+    fn horizon_is_hyperperiod() {
+        let w0 = vec![whole(0, 0, 1, 6), whole(1, 1, 1, 10)];
+        let chains = build_chains(&[&w0]);
+        assert_eq!(horizon_for(&chains, None), Time::new(30));
+        assert_eq!(
+            horizon_for(&chains, Some(Time::new(99))),
+            Time::new(99)
+        );
+    }
+
+    #[test]
+    fn horizon_capped() {
+        let w0 = vec![
+            whole(0, 0, 1, 999_999_937), // large prime
+            whole(1, 1, 1, 999_999_893),
+        ];
+        let chains = build_chains(&[&w0]);
+        assert_eq!(
+            horizon_for(&chains, None),
+            Time::new(DEFAULT_HORIZON_CAP)
+        );
+    }
+}

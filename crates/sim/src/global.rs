@@ -1,0 +1,232 @@
+//! Event-driven simulation of **global** fixed-priority scheduling.
+//!
+//! At every instant the `m` highest-priority ready jobs execute, with free
+//! migration and no migration cost. This is the model under which the
+//! Dhall effect arises (paper Section I): `m` short high-priority tasks
+//! plus one long low-priority task can miss deadlines at total utilization
+//! arbitrarily close to 1 (normalized `1/m`), which motivates the
+//! partitioned approach.
+
+use crate::check::{ReleaseModel, SimConfig, SimReport};
+use crate::engine::{horizon_for, record_completion, record_miss, Jitter, TaskChain};
+use rmts_taskmodel::{Task, TaskSet, Time};
+
+/// Simulates global preemptive fixed-priority scheduling of `ts` (RM
+/// priorities) on `m` identical processors.
+pub fn simulate_global(ts: &TaskSet, m: usize, config: SimConfig) -> SimReport {
+    assert!(m > 0, "need at least one processor");
+    let chains: Vec<TaskChain> = ts
+        .iter_prioritized()
+        .map(|(p, t)| TaskChain {
+            id: t.id,
+            period: t.period,
+            priority: p,
+            stages: vec![crate::engine::Stage {
+                processor: 0, // unused under global scheduling
+                wcet: t.wcet,
+            }],
+        })
+        .collect();
+    let horizon = horizon_for(&chains, config.horizon);
+    let mut report = SimReport {
+        horizon,
+        ..SimReport::default()
+    };
+
+    // Per-task state: (next_release, next_job, active: Option<(job, released,
+    // remaining)>). Chains are in priority order already.
+    struct St {
+        next_release: Time,
+        next_job: u64,
+        active: Option<(u64, Time, Time)>,
+    }
+    let mut jitter: Vec<Jitter> = chains
+        .iter()
+        .map(|c| match config.release {
+            ReleaseModel::Periodic => Jitter::new(0, 0),
+            ReleaseModel::Sporadic { seed, .. } => Jitter::new(seed, c.id.0 as u64),
+        })
+        .collect();
+    let mut st: Vec<St> = chains
+        .iter()
+        .zip(&mut jitter)
+        .map(|(_, j)| St {
+            next_release: match config.release {
+                ReleaseModel::Periodic => Time::ZERO,
+                ReleaseModel::Sporadic { max_delay, .. } => Time::new(j.next(max_delay)),
+            },
+            next_job: 0,
+            active: None,
+        })
+        .collect();
+    let mut prev_running: Vec<bool> = vec![false; chains.len()];
+
+    let mut now = Time::ZERO;
+    loop {
+        // The m highest-priority active jobs run.
+        let running: Vec<usize> = st
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active.is_some())
+            .map(|(i, _)| i)
+            .take(m)
+            .collect();
+        // Preemption accounting: a job that was running and is now ready
+        // but not running was preempted.
+        for (i, s) in st.iter().enumerate() {
+            let runs_now = running.contains(&i);
+            if prev_running[i] && !runs_now && s.active.is_some() {
+                report.preemptions += 1;
+            }
+            prev_running[i] = runs_now;
+        }
+
+        let mut t_next = Time::MAX;
+        for &i in &running {
+            let (_, _, rem) = st[i].active.expect("running jobs are active");
+            t_next = t_next.min(now + rem);
+        }
+        for s in &st {
+            t_next = t_next.min(s.next_release);
+        }
+        if t_next > horizon {
+            break;
+        }
+        let dt = t_next - now;
+        if !dt.is_zero() {
+            for &i in &running {
+                if let Some((_, _, rem)) = st[i].active.as_mut() {
+                    *rem = rem.saturating_sub(dt);
+                }
+            }
+        }
+        now = t_next;
+
+        // Completions.
+        for (i, s) in st.iter_mut().enumerate() {
+            if !running.contains(&i) {
+                continue;
+            }
+            if let Some((job, released, rem)) = s.active {
+                if rem.is_zero() {
+                    s.active = None;
+                    record_completion(&mut report, &chains[i], released, now);
+                    if now > released + chains[i].period {
+                        record_miss(&mut report, &chains[i], job, released, Some(now));
+                    }
+                }
+            }
+        }
+        if config.stop_on_first_miss && !report.misses.is_empty() {
+            return report;
+        }
+
+        // Releases.
+        for (i, s) in st.iter_mut().enumerate() {
+            if s.next_release != now {
+                continue;
+            }
+            if let Some((job, released, _)) = s.active.take() {
+                record_miss(&mut report, &chains[i], job, released, None);
+            }
+            s.active = Some((s.next_job, now, chains[i].stages[0].wcet));
+            s.next_job += 1;
+            let extra = match config.release {
+                ReleaseModel::Periodic => Time::ZERO,
+                ReleaseModel::Sporadic { max_delay, .. } => {
+                    Time::new(jitter[i].next(max_delay))
+                }
+            };
+            s.next_release = now + chains[i].period + extra;
+        }
+        if config.stop_on_first_miss && !report.misses.is_empty() {
+            return report;
+        }
+    }
+
+    for (i, s) in st.iter().enumerate() {
+        if let Some((job, released, _)) = s.active {
+            if released + chains[i].period <= horizon {
+                record_miss(&mut report, &chains[i], job, released, None);
+            }
+        }
+    }
+    report
+}
+
+/// Builds the classic Dhall adversary: `m` light tasks `(2ε, T)` plus one
+/// task `(T, T+ε̃)` that saturates a processor. Under global RM the long
+/// task misses although `U_M → 1/m`; under any reasonable partitioning it
+/// is trivially schedulable. `epsilon` is in ticks.
+pub fn dhall_adversary(m: usize, period: u64, epsilon: u64) -> TaskSet {
+    assert!(m >= 1 && epsilon >= 1 && period > 2 * epsilon);
+    let mut tasks = Vec::with_capacity(m + 1);
+    for i in 0..m {
+        tasks.push(Task::from_ticks(i as u32, 2 * epsilon, period).unwrap());
+    }
+    // The long task: period just above the short ones so it gets the lowest
+    // RM priority, and C = period (it needs a whole processor's worth).
+    tasks.push(Task::from_ticks(m as u32, period, period + epsilon).unwrap());
+    TaskSet::new(tasks).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{TaskId, TaskSetBuilder};
+
+    #[test]
+    fn single_processor_global_equals_uniprocessor() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(2, 6).build().unwrap();
+        let report = simulate_global(&ts, 1, SimConfig::default());
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(1)));
+        assert_eq!(report.response_of(TaskId(1)), Some(Time::new(3)));
+    }
+
+    #[test]
+    fn two_processors_run_in_parallel() {
+        // Two heavy tasks that would overload one processor run fine on two.
+        let ts = TaskSetBuilder::new().task(3, 4).task(3, 4).build().unwrap();
+        assert!(!simulate_global(&ts, 1, SimConfig::default()).all_deadlines_met());
+        assert!(simulate_global(&ts, 2, SimConfig::default()).all_deadlines_met());
+    }
+
+    #[test]
+    fn dhall_effect_reproduced() {
+        // m = 2: short tasks (2, 1000) ×2 and a long task (1000, 1001).
+        // Global RM: at t = 0 both processors run the short tasks for 2
+        // ticks; the long task then has 1000 ticks of work and only 999
+        // ticks to its deadline... it misses despite U_M ≈ 0.5.
+        let ts = dhall_adversary(2, 1000, 1);
+        let u_m = ts.normalized_utilization(2);
+        assert!(u_m < 0.51, "Dhall set should have low utilization, got {u_m}");
+        let report = simulate_global(&ts, 2, SimConfig::default());
+        assert!(!report.all_deadlines_met(), "Dhall effect must bite");
+        assert_eq!(report.misses[0].task, TaskId(2));
+    }
+
+    #[test]
+    fn dhall_set_fine_when_long_task_isolated() {
+        // The same adversary, simulated as a partition: long task alone on
+        // P0, short tasks on P1 — everything meets its deadline.
+        use crate::partitioned::simulate_partitioned;
+        use rmts_taskmodel::Subtask;
+        let ts = dhall_adversary(2, 1000, 1);
+        let chains: Vec<Subtask> = ts
+            .iter_prioritized()
+            .map(|(p, t)| Subtask::whole(t, p))
+            .collect();
+        let w0 = vec![chains[2]]; // the long task
+        let w1 = vec![chains[0], chains[1]];
+        let report = simulate_partitioned(&[&w0, &w1], SimConfig::default());
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn more_processors_than_tasks() {
+        let ts = TaskSetBuilder::new().task(1, 4).build().unwrap();
+        let report = simulate_global(&ts, 8, SimConfig::default());
+        assert!(report.all_deadlines_met());
+    }
+}

@@ -1,0 +1,445 @@
+//! Event-driven simulation of partitioned fixed-priority scheduling with
+//! task splitting.
+//!
+//! Semantics (paper Section IV, "Scheduling at Run Time"):
+//!
+//! * every processor runs preemptive fixed-priority scheduling among the
+//!   stages that are ready on it, with the tasks' **original** RM
+//!   priorities;
+//! * stage `k+1` of a job becomes ready the instant stage `k` completes
+//!   (possibly on a different processor);
+//! * jobs are released periodically from a synchronous start; the job of
+//!   `τ_i` released at `r` must finish all stages by `r + T_i`.
+//!
+//! A job still incomplete when its successor is released is recorded as a
+//! deadline miss; the stale job is then aborted so the model keeps its
+//! one-active-job-per-task invariant (standard overrun-kill semantics).
+
+use crate::check::{ReleaseModel, SimConfig, SimReport};
+use crate::engine::{
+    build_chains, horizon_for, record_completion, record_miss, ActiveJob, Jitter, JobState,
+};
+use crate::trace::{Segment, Trace};
+use rmts_taskmodel::{Subtask, Time};
+
+/// Simulates the given per-processor workloads. See module docs.
+pub fn simulate_partitioned(workloads: &[&[Subtask]], config: SimConfig) -> SimReport {
+    run(workloads, config, None)
+}
+
+/// Like [`simulate_partitioned`], but also records an execution [`Trace`]
+/// (who ran where, when) for visualization and invariant checking.
+pub fn simulate_partitioned_traced(
+    workloads: &[&[Subtask]],
+    config: SimConfig,
+) -> (SimReport, Trace) {
+    let mut trace = Trace::default();
+    let report = run(workloads, config, Some(&mut trace));
+    (report, trace)
+}
+
+fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace>) -> SimReport {
+    let chains = build_chains(workloads);
+    let horizon = horizon_for(&chains, config.horizon);
+    let mut report = SimReport {
+        horizon,
+        ..SimReport::default()
+    };
+    if chains.is_empty() {
+        return report;
+    }
+    let n_proc = workloads.len();
+    let mut jobs: Vec<JobState> = chains.iter().map(|_| JobState::new()).collect();
+    let mut jitter: Vec<Jitter> = chains
+        .iter()
+        .map(|c| match config.release {
+            ReleaseModel::Periodic => Jitter::new(0, 0),
+            ReleaseModel::Sporadic { seed, .. } => Jitter::new(seed, c.id.0 as u64),
+        })
+        .collect();
+    // The first releases may already be jittered under the sporadic model.
+    if let ReleaseModel::Sporadic { max_delay, .. } = config.release {
+        for (j, job) in jitter.iter_mut().zip(&mut jobs) {
+            job.next_release = Time::new(j.next(max_delay));
+        }
+    }
+    // Which chain's stage is currently running on each processor (index
+    // into `chains`), for preemption accounting.
+    let mut running: Vec<Option<usize>> = vec![None; n_proc];
+    // Open trace segments per processor: (chain, stage, start).
+    let mut open: Vec<Option<(usize, usize, Time)>> = vec![None; n_proc];
+
+    let mut now = Time::ZERO;
+    loop {
+        // The ready stage with the highest priority on each processor.
+        // Chains are sorted by priority, so the smallest chain index wins.
+        let mut top: Vec<Option<usize>> = vec![None; n_proc];
+        for (ci, (chain, job)) in chains.iter().zip(&jobs).enumerate() {
+            if let Some(active) = &job.active {
+                let q = chain.stages[active.stage].processor;
+                if top[q].is_none() {
+                    top[q] = Some(ci);
+                }
+            }
+        }
+        // Preemption accounting: a processor switching to a different chain
+        // while the previous one is still active counts as a preemption.
+        for q in 0..n_proc {
+            if let (Some(prev), Some(new)) = (running[q], top[q]) {
+                if prev != new && jobs[prev].active.is_some() {
+                    report.preemptions += 1;
+                }
+            }
+            running[q] = top[q];
+        }
+
+        // Trace bookkeeping: close/open segments whenever the occupant of a
+        // processor changes.
+        if let Some(tr) = trace.as_deref_mut() {
+            for q in 0..n_proc {
+                let occupant = top[q].map(|ci| {
+                    let stage = jobs[ci].active.as_ref().expect("running is active").stage;
+                    (ci, stage)
+                });
+                let open_ident = open[q].map(|(ci, st, _)| (ci, st));
+                if occupant != open_ident {
+                    if let Some((ci, stage, start)) = open[q].take() {
+                        if start < now {
+                            tr.segments.push(Segment {
+                                processor: q,
+                                task: chains[ci].id,
+                                stage,
+                                start,
+                                end: now,
+                            });
+                        }
+                    }
+                    if let Some((ci, stage)) = occupant {
+                        open[q] = Some((ci, stage, now));
+                    }
+                }
+            }
+        }
+
+        // Next event: earliest stage completion or job release.
+        let mut t_next = Time::MAX;
+        for ci in top.iter().flatten() {
+            let rem = jobs[*ci].active.as_ref().expect("running is active").remaining;
+            t_next = t_next.min(now + rem);
+        }
+        for job in &jobs {
+            t_next = t_next.min(job.next_release);
+        }
+        if t_next > horizon {
+            // Uninterrupted execution continues to the horizon; close the
+            // open trace segments there.
+            if let Some(tr) = trace.as_deref_mut() {
+                close_open(tr, &chains, &mut open, horizon);
+            }
+            break;
+        }
+        let dt = t_next - now;
+
+        // Advance the running stages.
+        if !dt.is_zero() {
+            for ci in top.iter().flatten() {
+                let active = jobs[*ci].active.as_mut().expect("running is active");
+                active.remaining = active.remaining.saturating_sub(dt);
+            }
+        }
+        now = t_next;
+
+        // Stage completions at `now`.
+        for ci in 0..chains.len() {
+            let chain = &chains[ci];
+            let Some(active) = jobs[ci].active else {
+                continue;
+            };
+            if !active.remaining.is_zero() {
+                continue;
+            }
+            // Only a stage that was actually running can have drained.
+            let q = chain.stages[active.stage].processor;
+            if top[q] != Some(ci) {
+                continue;
+            }
+            if active.stage + 1 < chain.stages.len() {
+                // Precedence: hand over to the next stage.
+                jobs[ci].active = Some(ActiveJob {
+                    stage: active.stage + 1,
+                    remaining: chain.stages[active.stage + 1].wcet,
+                    ..active
+                });
+            } else {
+                jobs[ci].active = None;
+                record_completion(&mut report, chain, active.released, now);
+                if now > active.released + chain.period {
+                    record_miss(
+                        &mut report,
+                        chain,
+                        active.job,
+                        active.released,
+                        Some(now),
+                    );
+                }
+            }
+        }
+        if config.stop_on_first_miss && !report.misses.is_empty() {
+            if let Some(tr) = trace.as_deref_mut() {
+                close_open(tr, &chains, &mut open, now);
+            }
+            return report;
+        }
+
+        // Releases at `now`.
+        for ci in 0..chains.len() {
+            if jobs[ci].next_release != now {
+                continue;
+            }
+            let chain = &chains[ci];
+            if let Some(stale) = jobs[ci].active.take() {
+                // Previous job overran its period: deadline miss; abort it.
+                record_miss(&mut report, chain, stale.job, stale.released, None);
+            }
+            let job_idx = jobs[ci].next_job;
+            jobs[ci].active = Some(ActiveJob {
+                job: job_idx,
+                released: now,
+                stage: 0,
+                remaining: chain.stages[0].wcet,
+            });
+            jobs[ci].next_job += 1;
+            let extra = match config.release {
+                ReleaseModel::Periodic => Time::ZERO,
+                ReleaseModel::Sporadic { max_delay, .. } => {
+                    Time::new(jitter[ci].next(max_delay))
+                }
+            };
+            jobs[ci].next_release = now + chain.period + extra;
+        }
+        if config.stop_on_first_miss && !report.misses.is_empty() {
+            if let Some(tr) = trace.as_deref_mut() {
+                close_open(tr, &chains, &mut open, now);
+            }
+            return report;
+        }
+    }
+
+    // Audit jobs whose deadlines fell inside the horizon but never finished.
+    for (ci, job) in jobs.iter().enumerate() {
+        if let Some(active) = &job.active {
+            let deadline = active.released + chains[ci].period;
+            if deadline <= horizon {
+                record_miss(&mut report, &chains[ci], active.job, active.released, None);
+            }
+        }
+    }
+    report
+}
+
+/// Closes every open trace segment at `end`.
+fn close_open(
+    trace: &mut Trace,
+    chains: &[crate::engine::TaskChain],
+    open: &mut [Option<(usize, usize, Time)>],
+    end: Time,
+) {
+    for (q, slot) in open.iter_mut().enumerate() {
+        if let Some((ci, stage, start)) = slot.take() {
+            if start < end {
+                trace.segments.push(Segment {
+                    processor: q,
+                    task: chains[ci].id,
+                    stage,
+                    start,
+                    end,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::{Priority, Subtask, SubtaskKind, Task, TaskId};
+
+    fn whole(id: u32, prio: u32, c: u64, t: u64) -> Subtask {
+        Subtask::whole(&Task::from_ticks(id, c, t).unwrap(), Priority(prio))
+    }
+
+    #[test]
+    fn single_task_single_processor() {
+        let w0 = vec![whole(0, 0, 3, 10)];
+        let report = simulate_partitioned(&[&w0], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.horizon, Time::new(10));
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(3)));
+    }
+
+    #[test]
+    fn textbook_uniprocessor_responses_match_rta() {
+        let w0 = vec![whole(0, 0, 1, 4), whole(1, 1, 2, 6), whole(2, 2, 3, 12)];
+        let report = simulate_partitioned(&[&w0], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        // Synchronous release = critical instant: observed equals RTA.
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(1)));
+        assert_eq!(report.response_of(TaskId(1)), Some(Time::new(3)));
+        assert_eq!(report.response_of(TaskId(2)), Some(Time::new(10)));
+        // Hyperperiod 12: 3 + 2 + 1 jobs.
+        assert_eq!(report.jobs_completed, 6);
+        // Distribution stats: τ0's three jobs all take exactly 1 tick; τ2's
+        // single job is the 10-tick worst case.
+        let s0 = report.stats_of(TaskId(0)).unwrap();
+        assert_eq!((s0.min, s0.max, s0.count), (Time::new(1), Time::new(1), 3));
+        let s2 = report.stats_of(TaskId(2)).unwrap();
+        assert_eq!(s2.count, 1);
+        assert_eq!(s2.mean(), 10.0);
+    }
+
+    #[test]
+    fn overload_misses() {
+        let w0 = vec![whole(0, 0, 3, 4), whole(1, 1, 3, 6)];
+        let report = simulate_partitioned(&[&w0], SimConfig::default());
+        assert!(!report.all_deadlines_met());
+        assert_eq!(report.misses[0].task, TaskId(1));
+    }
+
+    #[test]
+    fn collect_all_misses_when_configured() {
+        let w0 = vec![whole(0, 0, 3, 4), whole(1, 1, 3, 6)];
+        let config = SimConfig {
+            stop_on_first_miss: false,
+            ..SimConfig::default()
+        };
+        let report = simulate_partitioned(&[&w0], config);
+        assert!(report.misses.len() >= 2);
+    }
+
+    #[test]
+    fn split_task_respects_precedence() {
+        // τ0 split: body (2 ticks) on P0, tail (2 ticks) on P1; a hog on P1
+        // with *lower* priority cannot delay the tail. Tail becomes ready
+        // at t = 2, so completion at t = 4: response 4.
+        let mut body = whole(0, 0, 2, 10);
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(0, 0, 2, 10);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        tail.deadline = Time::new(8);
+        let w0 = vec![body];
+        let w1 = vec![tail, whole(1, 3, 5, 10)];
+        let report = simulate_partitioned(&[&w0, &w1], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(4)));
+        // The hog is preempted by the tail's arrival at t = 2 and still
+        // finishes: 5 ticks of work in [0,2) ∪ [4,7): response 7.
+        assert_eq!(report.response_of(TaskId(1)), Some(Time::new(7)));
+        assert!(report.preemptions >= 1);
+    }
+
+    #[test]
+    fn tail_waits_even_when_its_processor_is_idle() {
+        // Body (4 ticks) on busy P0; tail on empty P1 must still wait for
+        // the body: response = 4 (body) + 1 (tail) = 5.
+        let mut body = whole(0, 1, 4, 20);
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(0, 1, 1, 20);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        let w0 = vec![body, whole(1, 0, 2, 20)]; // higher-priority hog on P0
+        let w1 = vec![tail];
+        let report = simulate_partitioned(&[&w0, &w1], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        // Body runs [2,6) after the hog [0,2); tail [6,7): response 7.
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(7)));
+    }
+
+    #[test]
+    fn full_utilization_harmonic_meets_every_deadline() {
+        let w0 = vec![whole(0, 0, 2, 4), whole(1, 1, 2, 8), whole(2, 2, 2, 8)];
+        let report = simulate_partitioned(&[&w0], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        // U = 1.0: the processor is never idle over the hyperperiod, and
+        // the lowest-priority task finishes exactly at its deadline.
+        assert_eq!(report.response_of(TaskId(2)), Some(Time::new(8)));
+    }
+
+    #[test]
+    fn parallel_processors_do_not_interfere() {
+        let w0 = vec![whole(0, 0, 3, 4)];
+        let w1 = vec![whole(1, 1, 5, 6)];
+        let report = simulate_partitioned(&[&w0, &w1], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.response_of(TaskId(0)), Some(Time::new(3)));
+        assert_eq!(report.response_of(TaskId(1)), Some(Time::new(5)));
+    }
+
+    #[test]
+    fn empty_system() {
+        let report = simulate_partitioned(&[], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        assert_eq!(report.jobs_completed, 0);
+    }
+
+    #[test]
+    fn trace_records_execution() {
+        let w0 = vec![whole(0, 0, 1, 4), whole(1, 1, 2, 6)];
+        let (report, trace) = simulate_partitioned_traced(&[&w0], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        // Busy time equals the total executed work over the hyperperiod 12:
+        // 3 jobs of τ0 (1 tick) + 2 jobs of τ1 (2 ticks) = 7.
+        assert_eq!(trace.busy_time(0), Time::new(7));
+        assert!(trace.no_self_overlap());
+        // τ1's first job is preempted by τ0's second release at t = 4:
+        // segments [1,4) and [4,5)? No — τ1 runs [1,3) uninterrupted.
+        let t1 = trace.of_task(TaskId(1));
+        assert_eq!(t1[0].start, Time::new(1));
+    }
+
+    #[test]
+    fn trace_shows_split_task_migrating() {
+        let mut body = whole(0, 0, 2, 10);
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(0, 0, 2, 10);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        tail.deadline = Time::new(8);
+        let w0 = vec![body];
+        let w1 = vec![tail, whole(1, 3, 5, 10)];
+        let (report, trace) = simulate_partitioned_traced(&[&w0, &w1], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        // τ0's job: stage 0 on P0 for [0,2), stage 1 on P1 for [2,4).
+        let segs = trace.of_task(TaskId(0));
+        assert_eq!(segs[0].processor, 0);
+        assert_eq!(segs[0].end, Time::new(2));
+        assert_eq!(segs[1].processor, 1);
+        assert_eq!(segs[1].start, Time::new(2));
+        assert!(trace.no_self_overlap());
+        // The Gantt chart renders without panicking and shows both rows.
+        let g = trace.gantt(2, report.horizon, 40);
+        assert!(g.contains("P0 |") && g.contains("P1 |"));
+    }
+
+    #[test]
+    fn traced_and_untraced_reports_agree() {
+        let w0 = vec![whole(0, 0, 2, 4), whole(1, 1, 2, 8), whole(2, 2, 2, 8)];
+        let plain = simulate_partitioned(&[&w0], SimConfig::default());
+        let (traced, trace) = simulate_partitioned_traced(&[&w0], SimConfig::default());
+        assert_eq!(plain, traced);
+        // Full utilization: the processor is busy for the whole hyperperiod.
+        assert_eq!(trace.busy_time(0), traced.horizon);
+    }
+
+    #[test]
+    fn custom_horizon_limits_jobs() {
+        let w0 = vec![whole(0, 0, 1, 4)];
+        let config = SimConfig {
+            horizon: Some(Time::new(40)),
+            ..SimConfig::default()
+        };
+        let report = simulate_partitioned(&[&w0], config);
+        assert_eq!(report.jobs_completed, 10);
+    }
+}

@@ -1,0 +1,251 @@
+//! A deliberately naive tick-by-tick reference simulator.
+//!
+//! The event-driven engine in [`crate::partitioned`] is the fast production
+//! path; this module re-implements the same semantics by brute force — one
+//! tick at a time, no events, no cleverness — purely as a differential
+//! oracle. It is `O(horizon × tasks)` and only suitable for small tests,
+//! where it must agree with the event-driven engine *exactly* (same
+//! completions, same response times, same misses).
+
+use crate::check::{ReleaseModel, SimConfig, SimReport};
+use crate::engine::{build_chains, horizon_for, Jitter};
+use rmts_taskmodel::{Subtask, Time};
+
+/// Tick-by-tick simulation of partitioned fixed-priority scheduling with
+/// subtask precedence. Semantics identical to
+/// [`crate::partitioned::simulate_partitioned`].
+pub fn simulate_reference(workloads: &[&[Subtask]], config: SimConfig) -> SimReport {
+    let chains = build_chains(workloads);
+    let horizon = horizon_for(&chains, config.horizon);
+    let mut report = SimReport {
+        horizon,
+        ..SimReport::default()
+    };
+    if chains.is_empty() {
+        return report;
+    }
+    let n_proc = workloads.len();
+
+    struct St {
+        next_release: Time,
+        next_job: u64,
+        // (job, released, stage, remaining)
+        active: Option<(u64, Time, usize, Time)>,
+    }
+    let mut jitter: Vec<Jitter> = chains
+        .iter()
+        .map(|c| match config.release {
+            ReleaseModel::Periodic => Jitter::new(0, 0),
+            ReleaseModel::Sporadic { seed, .. } => Jitter::new(seed, c.id.0 as u64),
+        })
+        .collect();
+    let mut st: Vec<St> = chains
+        .iter()
+        .zip(&mut jitter)
+        .map(|(_, j)| St {
+            next_release: match config.release {
+                ReleaseModel::Periodic => Time::ZERO,
+                ReleaseModel::Sporadic { max_delay, .. } => Time::new(j.next(max_delay)),
+            },
+            next_job: 0,
+            active: None,
+        })
+        .collect();
+    let mut prev_running: Vec<Option<usize>> = vec![None; n_proc];
+
+    let mut tick = 0u64;
+    while Time::new(tick) <= horizon {
+        let now = Time::new(tick);
+
+        // Releases at `now` (kill overrunning predecessors, as the
+        // event-driven engine does).
+        for (i, s) in st.iter_mut().enumerate() {
+            if s.next_release != now {
+                continue;
+            }
+            if let Some((job, released, _, _)) = s.active.take() {
+                crate::engine::record_miss(&mut report, &chains[i], job, released, None);
+            }
+            s.active = Some((s.next_job, now, 0, chains[i].stages[0].wcet));
+            s.next_job += 1;
+            let extra = match config.release {
+                ReleaseModel::Periodic => Time::ZERO,
+                ReleaseModel::Sporadic { max_delay, .. } => {
+                    Time::new(jitter[i].next(max_delay))
+                }
+            };
+            s.next_release = now + chains[i].period + extra;
+        }
+        if config.stop_on_first_miss && !report.misses.is_empty() {
+            return report;
+        }
+        if Time::new(tick) == horizon {
+            break; // the horizon tick itself is not executed
+        }
+
+        // Pick the highest-priority ready stage per processor and run it
+        // for one tick. (Chains are priority-sorted: first match wins.)
+        let mut chosen: Vec<Option<usize>> = vec![None; n_proc];
+        for (ci, (chain, s)) in chains.iter().zip(&st).enumerate() {
+            if let Some((_, _, stage, _)) = s.active {
+                let q = chain.stages[stage].processor;
+                if chosen[q].is_none() {
+                    chosen[q] = Some(ci);
+                }
+            }
+        }
+        for q in 0..n_proc {
+            if let (Some(prev), Some(new)) = (prev_running[q], chosen[q]) {
+                if prev != new && st[prev].active.is_some() {
+                    report.preemptions += 1;
+                }
+            }
+            prev_running[q] = chosen[q];
+        }
+        for ci in chosen.into_iter().flatten() {
+            let (job, released, stage, remaining) =
+                st[ci].active.expect("chosen chains are active");
+            let remaining = remaining - Time::new(1);
+            if !remaining.is_zero() {
+                st[ci].active = Some((job, released, stage, remaining));
+                continue;
+            }
+            // Stage complete at tick+1.
+            let end = Time::new(tick + 1);
+            if stage + 1 < chains[ci].stages.len() {
+                st[ci].active =
+                    Some((job, released, stage + 1, chains[ci].stages[stage + 1].wcet));
+            } else {
+                st[ci].active = None;
+                crate::engine::record_completion(&mut report, &chains[ci], released, end);
+                if end > released + chains[ci].period {
+                    crate::engine::record_miss(
+                        &mut report,
+                        &chains[ci],
+                        job,
+                        released,
+                        Some(end),
+                    );
+                }
+                if config.stop_on_first_miss && !report.misses.is_empty() {
+                    return report;
+                }
+            }
+        }
+        tick += 1;
+    }
+
+    for (i, s) in st.iter().enumerate() {
+        if let Some((job, released, _, _)) = s.active {
+            if released + chains[i].period <= horizon {
+                crate::engine::record_miss(&mut report, &chains[i], job, released, None);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioned::simulate_partitioned;
+    use proptest::prelude::*;
+    use rmts_taskmodel::{Priority, SubtaskKind, Task};
+
+    fn whole(id: u32, prio: u32, c: u64, t: u64) -> Subtask {
+        Subtask::whole(&Task::from_ticks(id, c, t).unwrap(), Priority(prio))
+    }
+
+    #[test]
+    fn agrees_on_textbook_set() {
+        let w0 = vec![whole(0, 0, 1, 4), whole(1, 1, 2, 6), whole(2, 2, 3, 12)];
+        let fast = simulate_partitioned(&[&w0], SimConfig::default());
+        let slow = simulate_reference(&[&w0], SimConfig::default());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn agrees_on_split_chain() {
+        let mut body = whole(0, 0, 2, 10);
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(0, 0, 2, 10);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        tail.deadline = Time::new(8);
+        let w0 = vec![body];
+        let w1 = vec![tail, whole(1, 3, 5, 10)];
+        let fast = simulate_partitioned(&[&w0, &w1], SimConfig::default());
+        let slow = simulate_reference(&[&w0, &w1], SimConfig::default());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn agrees_on_overload_miss() {
+        let w0 = vec![whole(0, 0, 3, 4), whole(1, 1, 3, 6)];
+        for stop in [true, false] {
+            let cfg = SimConfig {
+                stop_on_first_miss: stop,
+                ..SimConfig::default()
+            };
+            let fast = simulate_partitioned(&[&w0], cfg);
+            let slow = simulate_reference(&[&w0], cfg);
+            assert_eq!(fast.misses, slow.misses, "stop={stop}");
+            assert_eq!(fast.max_response, slow.max_response, "stop={stop}");
+        }
+    }
+
+    #[test]
+    fn agrees_under_sporadic_releases() {
+        let w0 = vec![whole(0, 0, 2, 7), whole(1, 1, 3, 11)];
+        for seed in 0..10 {
+            let cfg = SimConfig::sporadic(5, seed, Time::new(300));
+            let fast = simulate_partitioned(&[&w0], cfg);
+            let slow = simulate_reference(&[&w0], cfg);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential fuzzing: the event-driven engine and the tick-wise
+        /// oracle agree exactly on random small systems, split chains
+        /// included.
+        #[test]
+        fn event_driven_equals_tickwise(
+            raw in proptest::collection::vec((1u64..5, 2u64..7, 0usize..2), 1..5),
+            split_c in 2u64..6,
+        ) {
+            // Random whole tasks across two processors.
+            let mut w0: Vec<Subtask> = Vec::new();
+            let mut w1: Vec<Subtask> = Vec::new();
+            for (i, &(c_seed, t_mul, proc)) in raw.iter().enumerate() {
+                let t = 4 * t_mul;
+                let c = 1 + c_seed % (t / 3).max(1);
+                let s = whole(i as u32 + 1, i as u32 + 1, c, t);
+                if proc == 0 { w0.push(s) } else { w1.push(s) }
+            }
+            // Plus one split task with the highest priority.
+            let t_split = 20u64;
+            let mut body = whole(0, 0, split_c / 2 + 1, t_split);
+            body.kind = SubtaskKind::Body(1);
+            let mut tail = whole(0, 0, split_c / 2 + 1, t_split);
+            tail.seq = 2;
+            tail.kind = SubtaskKind::Tail;
+            tail.deadline = Time::new(t_split - (split_c / 2 + 1));
+            w0.push(body);
+            w1.push(tail);
+
+            let cfg = SimConfig {
+                horizon: Some(Time::new(400)),
+                stop_on_first_miss: false,
+                ..SimConfig::default()
+            };
+            let fast = simulate_partitioned(&[&w0, &w1], cfg);
+            let slow = simulate_reference(&[&w0, &w1], cfg);
+            prop_assert_eq!(&fast.misses, &slow.misses);
+            prop_assert_eq!(&fast.max_response, &slow.max_response);
+            prop_assert_eq!(fast.jobs_completed, slow.jobs_completed);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Execution traces and ASCII Gantt rendering.
+//!
+//! The partitioned simulator can record which (sub)task occupied each
+//! processor over time. Traces make splitting *visible*: a split task's
+//! job appears as consecutive segments hopping across processors, never
+//! overlapping in time (the precedence constraint of paper Fig. 1).
+
+use rmts_taskmodel::{TaskId, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One contiguous execution interval of a task's stage on a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Host processor.
+    pub processor: usize,
+    /// Executing task.
+    pub task: TaskId,
+    /// 0-based index of the stage within the task's subtask chain.
+    pub stage: usize,
+    /// Segment start (inclusive).
+    pub start: Time,
+    /// Segment end (exclusive).
+    pub end: Time,
+}
+
+impl Segment {
+    /// Length of the segment.
+    pub fn len(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// `true` for degenerate zero-length segments (never recorded).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Segments in completion order.
+    pub segments: Vec<Segment>,
+}
+
+impl Trace {
+    /// Total busy time of one processor.
+    pub fn busy_time(&self, processor: usize) -> Time {
+        self.segments
+            .iter()
+            .filter(|s| s.processor == processor)
+            .map(Segment::len)
+            .sum()
+    }
+
+    /// All segments of one task, in time order.
+    pub fn of_task(&self, task: TaskId) -> Vec<Segment> {
+        let mut v: Vec<Segment> = self
+            .segments
+            .iter()
+            .copied()
+            .filter(|s| s.task == task)
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// `true` iff no two segments of the same task overlap in time — the
+    /// correctness invariant of sequential task splitting (a job's stages
+    /// may migrate but never run in parallel with themselves).
+    pub fn no_self_overlap(&self) -> bool {
+        use std::collections::BTreeMap;
+        let mut per_task: BTreeMap<u32, Vec<(Time, Time)>> = BTreeMap::new();
+        for s in &self.segments {
+            per_task.entry(s.task.0).or_default().push((s.start, s.end));
+        }
+        for intervals in per_task.values_mut() {
+            intervals.sort();
+            for w in intervals.windows(2) {
+                if w[1].0 < w[0].1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders an ASCII Gantt chart: one row per processor, time mapped to
+    /// `width` columns over `[0, horizon]`. Tasks are labelled `0-9a-z`
+    /// (id mod 36); idle time is `·`.
+    pub fn gantt(&self, n_processors: usize, horizon: Time, width: usize) -> String {
+        assert!(width > 0 && !horizon.is_zero());
+        let mut out = String::new();
+        let scale = horizon.ticks() as f64 / width as f64;
+        for q in 0..n_processors {
+            let mut row = vec!['·'; width];
+            for s in self.segments.iter().filter(|s| s.processor == q) {
+                let a = ((s.start.ticks() as f64 / scale) as usize).min(width - 1);
+                let b = ((s.end.ticks() as f64 / scale).ceil() as usize).clamp(a + 1, width);
+                let label = Self::label(s.task);
+                for cell in &mut row[a..b] {
+                    *cell = label;
+                }
+            }
+            let _ = writeln!(out, "P{q} |{}|", row.into_iter().collect::<String>());
+        }
+        let _ = writeln!(out, "    0{:>w$}", horizon, w = width);
+        out
+    }
+
+    fn label(task: TaskId) -> char {
+        const SYMS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+        SYMS[(task.0 as usize) % SYMS.len()] as char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(q: usize, task: u32, start: u64, end: u64) -> Segment {
+        Segment {
+            processor: q,
+            task: TaskId(task),
+            stage: 0,
+            start: Time::new(start),
+            end: Time::new(end),
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_per_processor() {
+        let t = Trace {
+            segments: vec![seg(0, 1, 0, 3), seg(0, 2, 5, 9), seg(1, 1, 3, 4)],
+        };
+        assert_eq!(t.busy_time(0), Time::new(7));
+        assert_eq!(t.busy_time(1), Time::new(1));
+        assert_eq!(t.busy_time(2), Time::ZERO);
+    }
+
+    #[test]
+    fn self_overlap_detection() {
+        let ok = Trace {
+            segments: vec![seg(0, 1, 0, 3), seg(1, 1, 3, 5)],
+        };
+        assert!(ok.no_self_overlap());
+        let bad = Trace {
+            segments: vec![seg(0, 1, 0, 3), seg(1, 1, 2, 5)],
+        };
+        assert!(!bad.no_self_overlap());
+        // Touching intervals are fine (end exclusive).
+        let touch = Trace {
+            segments: vec![seg(0, 1, 0, 3), seg(1, 1, 3, 3 + 1)],
+        };
+        assert!(touch.no_self_overlap());
+    }
+
+    #[test]
+    fn of_task_sorted() {
+        let t = Trace {
+            segments: vec![seg(1, 7, 5, 6), seg(0, 7, 0, 2), seg(0, 9, 2, 5)],
+        };
+        let v = t.of_task(TaskId(7));
+        assert_eq!(v.len(), 2);
+        assert!(v[0].start < v[1].start);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let t = Trace {
+            segments: vec![seg(0, 1, 0, 5), seg(1, 11, 5, 10)],
+        };
+        let g = t.gantt(2, Time::new(10), 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("P0 |11111"));
+        assert!(lines[1].contains("bbbbb|")); // 11 mod 36 → 'b'
+        assert!(lines[0].contains('·'));
+    }
+}

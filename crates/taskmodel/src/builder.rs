@@ -1,0 +1,139 @@
+//! Fluent construction of task sets.
+
+use crate::error::ModelError;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::time::Time;
+
+/// A fluent builder for [`TaskSet`]s; ids are assigned in insertion order.
+///
+/// ```
+/// use rmts_taskmodel::TaskSetBuilder;
+///
+/// let ts = TaskSetBuilder::new()
+///     .task_ms(1, 4)   // C = 1 ms, T = 4 ms
+///     .task_ms(2, 8)
+///     .task_us(500, 16_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(ts.len(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct TaskSetBuilder {
+    tasks: Vec<Result<Task, ModelError>>,
+}
+
+impl TaskSetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a task from raw ticks.
+    #[must_use]
+    pub fn task(mut self, wcet: u64, period: u64) -> Self {
+        let id = self.tasks.len() as u32;
+        self.tasks.push(Task::from_ticks(id, wcet, period));
+        self
+    }
+
+    /// Adds a task specified in milliseconds.
+    #[must_use]
+    pub fn task_ms(self, wcet_ms: u64, period_ms: u64) -> Self {
+        self.task_time(Time::from_ms(wcet_ms), Time::from_ms(period_ms))
+    }
+
+    /// Adds a task specified in microseconds.
+    #[must_use]
+    pub fn task_us(self, wcet_us: u64, period_us: u64) -> Self {
+        self.task_time(Time::from_us(wcet_us), Time::from_us(period_us))
+    }
+
+    /// Adds a task from [`Time`] values.
+    #[must_use]
+    pub fn task_time(mut self, wcet: Time, period: Time) -> Self {
+        let id = self.tasks.len() as u32;
+        self.tasks.push(Task::new(id, wcet, period));
+        self
+    }
+
+    /// Adds a task with utilization `u` of a given period (`C = ⌊u·T⌋`,
+    /// clamped to at least 1 tick).
+    #[must_use]
+    pub fn task_with_utilization(self, utilization: f64, period: Time) -> Self {
+        let c = ((period.ticks() as f64) * utilization).floor().max(1.0) as u64;
+        self.task_time(Time::new(c), period)
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff no task has been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Finalizes the set, surfacing the first construction error if any.
+    pub fn build(self) -> Result<TaskSet, ModelError> {
+        let tasks = self.tasks.into_iter().collect::<Result<Vec<_>, _>>()?;
+        TaskSet::new(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_in_order() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(2, 8).build().unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.tasks()[0].wcet, Time::new(1));
+    }
+
+    #[test]
+    fn unit_helpers() {
+        let ts = TaskSetBuilder::new()
+            .task_ms(1, 4)
+            .task_us(500, 8_000)
+            .build()
+            .unwrap();
+        assert_eq!(ts.tasks()[0].wcet, Time::new(1_000));
+        assert_eq!(ts.tasks()[1].wcet, Time::new(500));
+    }
+
+    #[test]
+    fn utilization_helper() {
+        let ts = TaskSetBuilder::new()
+            .task_with_utilization(0.25, Time::new(100))
+            .build()
+            .unwrap();
+        assert_eq!(ts.tasks()[0].wcet, Time::new(25));
+    }
+
+    #[test]
+    fn utilization_helper_clamps_to_one_tick() {
+        let ts = TaskSetBuilder::new()
+            .task_with_utilization(0.001, Time::new(100))
+            .build()
+            .unwrap();
+        assert_eq!(ts.tasks()[0].wcet, Time::new(1));
+    }
+
+    #[test]
+    fn surfaces_first_error() {
+        let err = TaskSetBuilder::new().task(5, 4).task(1, 8).build().unwrap_err();
+        assert!(matches!(err, ModelError::WcetExceedsPeriod { id: 0, .. }));
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert_eq!(
+            TaskSetBuilder::new().build().unwrap_err(),
+            ModelError::EmptyTaskSet
+        );
+        assert!(TaskSetBuilder::new().is_empty());
+    }
+}

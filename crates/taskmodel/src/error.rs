@@ -1,0 +1,99 @@
+//! Validation errors for task-model construction.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Errors raised while building or validating tasks and task sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A task's worst-case execution time is zero.
+    ZeroWcet {
+        /// Identifier of the offending task.
+        id: u32,
+    },
+    /// A task's period is zero.
+    ZeroPeriod {
+        /// Identifier of the offending task.
+        id: u32,
+    },
+    /// A task's execution time exceeds its period, i.e. `U_i > 1`.
+    WcetExceedsPeriod {
+        /// Identifier of the offending task.
+        id: u32,
+        /// The worst-case execution time.
+        wcet: Time,
+        /// The period.
+        period: Time,
+    },
+    /// Two tasks share the same identifier.
+    DuplicateId {
+        /// The identifier that appears more than once.
+        id: u32,
+    },
+    /// The task set is empty where a non-empty set is required.
+    EmptyTaskSet,
+    /// A split budget does not add up to the original execution time.
+    SplitBudgetMismatch {
+        /// Identifier of the task being split.
+        id: u32,
+        /// Sum of subtask execution times.
+        parts: Time,
+        /// Original execution time.
+        whole: Time,
+    },
+    /// A subtask's synthetic deadline would be non-positive, i.e. the body
+    /// subtasks already consume the entire period (the split is infeasible).
+    SyntheticDeadlineUnderflow {
+        /// Identifier of the task being split.
+        id: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroWcet { id } => write!(f, "task {id}: worst-case execution time is 0"),
+            ModelError::ZeroPeriod { id } => write!(f, "task {id}: period is 0"),
+            ModelError::WcetExceedsPeriod { id, wcet, period } => write!(
+                f,
+                "task {id}: execution time {wcet} exceeds period {period} (utilization > 1)"
+            ),
+            ModelError::DuplicateId { id } => write!(f, "duplicate task id {id}"),
+            ModelError::EmptyTaskSet => write!(f, "task set is empty"),
+            ModelError::SplitBudgetMismatch { id, parts, whole } => write!(
+                f,
+                "task {id}: subtask budgets sum to {parts} but the task's execution time is {whole}"
+            ),
+            ModelError::SyntheticDeadlineUnderflow { id } => write!(
+                f,
+                "task {id}: body subtasks consume the whole period; tail synthetic deadline would be ≤ 0"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::WcetExceedsPeriod {
+            id: 7,
+            wcet: Time::new(5),
+            period: Time::new(4),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("task 7"));
+        assert!(msg.contains("5t"));
+        assert!(msg.contains("4t"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::EmptyTaskSet);
+        assert_eq!(e.to_string(), "task set is empty");
+    }
+}

@@ -1,0 +1,325 @@
+//! Harmonic-chain analysis of period sets.
+//!
+//! A set of periods is *harmonic* if every pair divides one another (after
+//! sorting, each period divides the next). The harmonic-chain bound of Kuo &
+//! Mok — `HC-Bound(τ) = K(2^{1/K} − 1)` where `K` is the number of harmonic
+//! chains — needs the **minimum** number of chains covering the task set's
+//! periods. Divisibility is a partial order, so by Dilworth's theorem the
+//! minimum chain cover equals the maximum antichain, and because
+//! divisibility is transitive it can be computed exactly as a minimum path
+//! cover of the divisibility DAG: `K = n − |maximum bipartite matching|`.
+//! We implement Hopcroft–Karp for the matching, which is `O(E·√V)` — ample
+//! for the period counts that occur in schedulability experiments.
+
+use crate::taskset::TaskSet;
+use crate::time::Time;
+
+/// `true` iff the period multiset is harmonic: sorted ascending, every
+/// period divides the next (equivalently: any two periods divide).
+pub fn is_harmonic(periods: &[Time]) -> bool {
+    let mut p: Vec<u64> = periods.iter().map(|t| t.ticks()).collect();
+    p.sort_unstable();
+    p.windows(2).all(|w| w[0] != 0 && w[1] % w[0] == 0)
+}
+
+/// `true` iff all task periods in the set form a single harmonic chain.
+pub fn taskset_is_harmonic(ts: &TaskSet) -> bool {
+    is_harmonic(&ts.distinct_periods())
+}
+
+/// The result of a minimum harmonic-chain decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainCover {
+    /// The chains; each chain lists distinct periods ascending, each
+    /// dividing the next. Chains are sorted by their first element.
+    pub chains: Vec<Vec<Time>>,
+}
+
+impl ChainCover {
+    /// Number of chains `K` — the parameter of the harmonic-chain bound.
+    pub fn count(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+/// Computes a *minimum* harmonic-chain cover of the distinct periods of a
+/// task set (Dilworth via Hopcroft–Karp maximum matching on the
+/// divisibility DAG).
+pub fn min_chain_cover(ts: &TaskSet) -> ChainCover {
+    min_chain_cover_of_periods(&ts.distinct_periods())
+}
+
+/// Minimum chain cover of an explicit set of **distinct** periods.
+pub fn min_chain_cover_of_periods(periods: &[Time]) -> ChainCover {
+    let mut p: Vec<u64> = periods.iter().map(|t| t.ticks()).collect();
+    p.sort_unstable();
+    p.dedup();
+    let n = p.len();
+    if n == 0 {
+        return ChainCover { chains: vec![] };
+    }
+
+    // adj[u] = all v (as indices) with p[u] | p[v], u ≠ v. Since the list is
+    // strictly ascending, only v > u can be divisible by p[u].
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|u| (u + 1..n).filter(|&v| p[v].is_multiple_of(p[u])).collect())
+        .collect();
+
+    let match_left = hopcroft_karp(n, n, &adj);
+
+    // Extract chains: `match_left[u] = Some(v)` links u → v. Heads are
+    // vertices never used as a right endpoint.
+    let mut is_linked_to = vec![false; n];
+    for v in match_left.iter().flatten() {
+        is_linked_to[*v] = true;
+    }
+    let mut chains = Vec::new();
+    for (head, _) in is_linked_to.iter().enumerate().filter(|&(_, &linked)| !linked) {
+        let mut chain = Vec::new();
+        let mut cur = Some(head);
+        while let Some(u) = cur {
+            chain.push(Time::new(p[u]));
+            cur = match_left[u];
+        }
+        chains.push(chain);
+    }
+    chains.sort_by_key(|c| c[0]);
+    ChainCover { chains }
+}
+
+/// Convenience: the chain count `K` for a task set.
+pub fn chain_count(ts: &TaskSet) -> usize {
+    min_chain_cover(ts).count()
+}
+
+/// Hopcroft–Karp maximum bipartite matching.
+///
+/// `adj[u]` lists the right-side neighbours of left vertex `u`. Returns, for
+/// each left vertex, its matched right vertex (or `None`).
+fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
+    const INF: u32 = u32::MAX;
+    let mut match_l: Vec<Option<usize>> = vec![None; n_left];
+    let mut match_r: Vec<Option<usize>> = vec![None; n_right];
+    let mut dist = vec![INF; n_left];
+    let mut queue = std::collections::VecDeque::with_capacity(n_left);
+
+    loop {
+        // BFS layering from free left vertices.
+        queue.clear();
+        let mut found_augmenting_layer = false;
+        for u in 0..n_left {
+            if match_l[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                match match_r[v] {
+                    None => found_augmenting_layer = true,
+                    Some(u2) if dist[u2] == INF => {
+                        dist[u2] = dist[u] + 1;
+                        queue.push_back(u2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS along layered graph for vertex-disjoint augmenting paths.
+        fn try_augment(
+            u: usize,
+            adj: &[Vec<usize>],
+            dist: &mut [u32],
+            match_l: &mut [Option<usize>],
+            match_r: &mut [Option<usize>],
+        ) -> bool {
+            for i in 0..adj[u].len() {
+                let v = adj[u][i];
+                let ok = match match_r[v] {
+                    None => true,
+                    Some(u2) => {
+                        dist[u2] == dist[u] + 1
+                            && try_augment(u2, adj, dist, match_l, match_r)
+                    }
+                };
+                if ok {
+                    match_l[u] = Some(v);
+                    match_r[v] = Some(u);
+                    return true;
+                }
+            }
+            dist[u] = u32::MAX;
+            false
+        }
+        for u in 0..n_left {
+            if match_l[u].is_none() && dist[u] == 0 {
+                try_augment(u, adj, &mut dist, &mut match_l, &mut match_r);
+            }
+        }
+    }
+    match_l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(v: &[u64]) -> Vec<Time> {
+        v.iter().copied().map(Time::new).collect()
+    }
+
+    fn set_with_periods(periods: &[u64]) -> TaskSet {
+        let pairs: Vec<(u64, u64)> = periods.iter().map(|&t| (1, t)).collect();
+        TaskSet::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn harmonic_detection() {
+        assert!(is_harmonic(&times(&[2, 4, 8, 16])));
+        assert!(is_harmonic(&times(&[5, 10, 30])));
+        assert!(!is_harmonic(&times(&[4, 6])));
+        assert!(is_harmonic(&times(&[7]))); // singleton
+        assert!(is_harmonic(&times(&[]))); // vacuous
+        assert!(is_harmonic(&times(&[8, 4, 2]))); // order-insensitive
+        assert!(is_harmonic(&times(&[4, 4, 8]))); // duplicates fine
+    }
+
+    #[test]
+    fn single_chain_for_harmonic_set() {
+        let ts = set_with_periods(&[2, 4, 8, 16]);
+        let cover = min_chain_cover(&ts);
+        assert_eq!(cover.count(), 1);
+        assert_eq!(cover.chains[0], times(&[2, 4, 8, 16]));
+        assert!(taskset_is_harmonic(&ts));
+    }
+
+    #[test]
+    fn two_interleaved_chains() {
+        // {2,4,8} and {3,9,27} share no divisibility links across chains.
+        let ts = set_with_periods(&[2, 4, 8, 3, 9, 27]);
+        assert_eq!(chain_count(&ts), 2);
+    }
+
+    #[test]
+    fn antichain_needs_one_chain_each() {
+        // Pairwise non-dividing periods: the maximum antichain is the whole
+        // set, so K = n.
+        let ts = set_with_periods(&[4, 6, 9, 10]);
+        assert_eq!(chain_count(&ts), 4);
+    }
+
+    #[test]
+    fn dilworth_beats_greedy() {
+        // Periods: 2, 3, 4, 12. Greedy grabbing the longest chain first
+        // (2,4,12) leaves 3 alone → 2 chains; minimum is also 2 here, but
+        // with 2,3,4,6,12: chains {2,4,12},{3,6}: K=2. A naive "group by
+        // smallest divisor" would give 3. Verify the matching finds 2.
+        let ts = set_with_periods(&[2, 3, 4, 6, 12]);
+        assert_eq!(chain_count(&ts), 2);
+    }
+
+    #[test]
+    fn chains_partition_the_periods() {
+        let ts = set_with_periods(&[2, 3, 4, 6, 12, 5, 25, 7]);
+        let cover = min_chain_cover(&ts);
+        let mut all: Vec<Time> = cover.chains.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, times(&[2, 3, 4, 5, 6, 7, 12, 25]));
+        // Every chain is itself harmonic.
+        for chain in &cover.chains {
+            assert!(is_harmonic(chain));
+        }
+    }
+
+    #[test]
+    fn duplicate_periods_collapse() {
+        let ts = set_with_periods(&[4, 4, 4, 8]);
+        assert_eq!(chain_count(&ts), 1);
+    }
+
+    #[test]
+    fn figure2_task_set_is_harmonic() {
+        // Paper Fig. 2: τ1 and τ2 with harmonic periods; after splitting,
+        // the deadline-as-period trick yields a non-harmonic set. Here we
+        // check the original set is recognized as harmonic.
+        let ts = set_with_periods(&[4, 8]);
+        assert!(taskset_is_harmonic(&ts));
+        // Deadline 6 in place of period 8 breaks harmonicity (Section III).
+        assert!(!is_harmonic(&times(&[4, 6])));
+    }
+
+    /// Brute-force maximum antichain for small period sets (Dilworth's
+    /// theorem: min chain cover = max antichain).
+    fn max_antichain_brute(periods: &[u64]) -> usize {
+        let n = periods.len();
+        assert!(n <= 16, "brute force only for small sets");
+        let mut best = 0;
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<u64> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| periods[i])
+                .collect();
+            let is_antichain = subset.iter().enumerate().all(|(i, &a)| {
+                subset
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &b)| i == j || (a % b != 0 && b % a != 0))
+            });
+            if is_antichain {
+                best = best.max(subset.len());
+            }
+        }
+        best
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// The Hopcroft–Karp chain cover is exactly Dilworth-optimal:
+        /// K equals the brute-force maximum antichain on random small sets.
+        #[test]
+        fn chain_cover_is_dilworth_optimal(
+            raw in proptest::collection::btree_set(1u64..60, 1..9)
+        ) {
+            let periods: Vec<u64> = raw.into_iter().collect();
+            let times: Vec<Time> = periods.iter().copied().map(Time::new).collect();
+            let cover = min_chain_cover_of_periods(&times);
+            let antichain = max_antichain_brute(&periods);
+            proptest::prop_assert_eq!(
+                cover.count(), antichain,
+                "periods {:?}: cover {} ≠ antichain {}",
+                periods, cover.count(), antichain
+            );
+            // And the cover is structurally valid.
+            for chain in &cover.chains {
+                proptest::prop_assert!(is_harmonic(chain));
+            }
+        }
+    }
+
+    #[test]
+    fn large_random_cover_is_valid() {
+        // Structural sanity on a bigger instance: chains are harmonic and
+        // partition the set; K is at most n and at least the size of an
+        // obvious antichain (primes).
+        let periods: Vec<u64> = vec![
+            2, 4, 8, 16, 32, 3, 9, 27, 5, 25, 7, 49, 11, 13, 6, 12, 24, 10, 20, 40,
+        ];
+        let ts = set_with_periods(&periods);
+        let cover = min_chain_cover(&ts);
+        for chain in &cover.chains {
+            assert!(is_harmonic(chain));
+        }
+        let total: usize = cover.chains.iter().map(Vec::len).sum();
+        assert_eq!(total, ts.distinct_periods().len());
+        // {7,11,13,49∤...}: at least the primes 7, 11, 13 plus one of the
+        // 2/3/5 chains form antichains; bound loosely.
+        assert!(cover.count() >= 3);
+        assert!(cover.count() <= periods.len());
+    }
+}

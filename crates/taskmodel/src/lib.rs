@@ -1,0 +1,54 @@
+//! # `rmts-taskmodel` — the Liu & Layland task model with task splitting
+//!
+//! This crate is the foundation substrate of the `rmts` workspace, which
+//! reproduces *Guan, Stigge, Yi, Yu — "Parametric Utilization Bounds for
+//! Fixed-Priority Multiprocessor Scheduling" (IPDPS 2012)*.
+//!
+//! It provides:
+//!
+//! * [`Time`] — exact integer time (ticks). All schedulability analysis in
+//!   the workspace is performed over integers, so there are no floating-point
+//!   soundness gaps.
+//! * [`Task`] — a Liu & Layland (implicit-deadline, sporadic) task `⟨C, T⟩`.
+//! * [`TaskSet`] — a rate-monotonically ordered collection of tasks with the
+//!   utilization views used throughout the paper (`U(τ)`, `U_M(τ)`).
+//! * [`Subtask`] — the pieces produced by task splitting, carrying the
+//!   *synthetic deadline* `Δ_i^k = T_i − Σ_{l<k} R_i^l` of Eq. (1).
+//! * [`split::SplitPlan`] — bookkeeping for a task split across processors
+//!   into body subtasks and a tail subtask (paper Fig. 1).
+//! * [`harmonic`] — harmonic-chain analysis (minimum chain cover of the
+//!   period divisibility poset, via Hopcroft–Karp matching), needed by the
+//!   harmonic-chain parametric bound `K(2^{1/K} − 1)`.
+//! * [`scaled`] — scaled periods and the period ratio `r` used by the
+//!   T-Bound and R-Bound of Lauzac, Melhem & Mossé.
+//!
+//! ## Conventions
+//!
+//! Tasks in a [`TaskSet`] are sorted by non-decreasing period; the index of a
+//! task is its rate-monotonic priority, **index 0 being the highest
+//! priority** (shortest period). The paper writes `i < j ⇒ τ_i` has higher
+//! priority than `τ_j`; we keep exactly that convention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod harmonic;
+pub mod priority;
+pub mod scaled;
+pub mod split;
+pub mod subtask;
+pub mod task;
+pub mod taskset;
+pub mod time;
+pub mod transform;
+
+pub use builder::TaskSetBuilder;
+pub use error::ModelError;
+pub use priority::Priority;
+pub use split::SplitPlan;
+pub use subtask::{Subtask, SubtaskKind};
+pub use task::{Task, TaskId};
+pub use taskset::TaskSet;
+pub use time::Time;

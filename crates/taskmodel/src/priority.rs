@@ -1,0 +1,79 @@
+//! Rate-monotonic priorities.
+//!
+//! The paper sorts tasks in non-decreasing period order and uses the index as
+//! the priority: `i < j` means `τ_i` has *higher* priority. We mirror that:
+//! a [`Priority`] is the task's index in its RM-sorted
+//! [`TaskSet`](crate::TaskSet), **smaller value = higher priority**. Period ties are
+//! broken by [`TaskId`](crate::TaskId) so that orderings are deterministic
+//! across runs and platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rate-monotonic priority level; smaller is more urgent.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// Highest possible priority.
+    pub const HIGHEST: Priority = Priority(0);
+
+    /// `true` iff `self` is more urgent than `other`.
+    #[inline]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+
+    /// `true` iff `self` is less urgent than `other`.
+    #[inline]
+    pub fn is_lower_than(self, other: Priority) -> bool {
+        self.0 > other.0
+    }
+
+    /// The priority's raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for Priority {
+    fn from(i: usize) -> Self {
+        Priority(u32::try_from(i).expect("priority index fits in u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_semantics() {
+        let hi = Priority(0);
+        let lo = Priority(5);
+        assert!(hi.is_higher_than(lo));
+        assert!(lo.is_lower_than(hi));
+        assert!(!hi.is_higher_than(hi));
+        assert!(hi < lo); // Ord agrees: smaller = higher priority sorts first
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(Priority::from(3usize), Priority(3));
+        assert_eq!(Priority::from(3usize).index(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Priority(2).to_string(), "p2");
+    }
+}

@@ -1,0 +1,190 @@
+//! Scaled periods for the T-Bound and R-Bound.
+//!
+//! Lauzac, Melhem & Mossé's parametric bounds use *scaled periods*: each
+//! period is repeatedly halved until it falls into `[T_min, 2·T_min)`, where
+//! `T_min` is the smallest period of the set. Formally
+//! `T'_i = T_i / 2^{k_i}` with `k_i = ⌊log₂(T_i / T_min)⌋`.
+//!
+//! Halving a period corresponds to replacing a task by a (pessimistic)
+//! double-rate variant, which preserves RM schedulability analysis; the
+//! resulting bound is a deflatable PUB (paper Section III lists both T-Bound
+//! and R-Bound as examples).
+//!
+//! To keep period comparisons exact we represent a scaled period as the
+//! rational `T_i / 2^{k_i}` (numerator + shift) and compare by u128
+//! cross-multiplication; floating point only enters when the bound formula
+//! itself is evaluated.
+
+use crate::taskset::TaskSet;
+use crate::time::Time;
+use std::cmp::Ordering;
+
+/// A scaled period `T / 2^shift`, kept exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledPeriod {
+    /// The original period `T`.
+    pub original: Time,
+    /// The halving count `k` with `T / 2^k ∈ [T_min, 2·T_min)`.
+    pub shift: u32,
+}
+
+impl ScaledPeriod {
+    /// The scaled value as a float (for bound formulas).
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.original.ticks() as f64 / (1u64 << self.shift) as f64
+    }
+
+    /// Exact three-way comparison of two scaled periods:
+    /// `a/2^i ⋛ b/2^j ⟺ a·2^j ⋛ b·2^i`.
+    pub fn cmp_exact(&self, other: &ScaledPeriod) -> Ordering {
+        let lhs = (self.original.ticks() as u128) << other.shift;
+        let rhs = (other.original.ticks() as u128) << self.shift;
+        lhs.cmp(&rhs)
+    }
+
+    /// Exact ratio `self / other` as a float.
+    pub fn ratio(&self, other: &ScaledPeriod) -> f64 {
+        let num = (self.original.ticks() as u128) << other.shift;
+        let den = (other.original.ticks() as u128) << self.shift;
+        num as f64 / den as f64
+    }
+}
+
+/// Scales every distinct period of the task set into `[T_min, 2·T_min)`.
+/// The result is sorted ascending by exact scaled value; one entry per task
+/// (not deduplicated), matching the `Σ_{i<N} T'_{i+1}/T'_i` sum shape of the
+/// T-Bound.
+pub fn scaled_periods(ts: &TaskSet) -> Vec<ScaledPeriod> {
+    let t_min = ts
+        .tasks()
+        .iter()
+        .map(|t| t.period)
+        .min()
+        .expect("task sets are non-empty");
+    let mut out: Vec<ScaledPeriod> = ts
+        .tasks()
+        .iter()
+        .map(|t| scale_into(t.period, t_min))
+        .collect();
+    out.sort_by(|a, b| a.cmp_exact(b));
+    out
+}
+
+/// Scales one period into `[t_min, 2·t_min)`.
+pub fn scale_into(period: Time, t_min: Time) -> ScaledPeriod {
+    debug_assert!(period >= t_min, "t_min must be the smallest period");
+    let p = period.ticks();
+    let m = t_min.ticks();
+    // Largest k with p ≥ m · 2^k  ⇔  p / 2^k ≥ m.
+    let mut shift = 0u32;
+    while let Some(doubled) = m.checked_shl(shift + 1) {
+        if doubled == 0 || p < doubled {
+            break;
+        }
+        shift += 1;
+    }
+    ScaledPeriod {
+        original: period,
+        shift,
+    }
+}
+
+/// The ratio `r = T'_max / T'_min ∈ [1, 2)` between the largest and smallest
+/// scaled period (the parameter of the R-Bound).
+pub fn period_ratio(ts: &TaskSet) -> f64 {
+    let scaled = scaled_periods(ts);
+    let first = scaled.first().expect("non-empty");
+    let last = scaled.last().expect("non-empty");
+    last.ratio(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(periods: &[u64]) -> TaskSet {
+        let pairs: Vec<(u64, u64)> = periods.iter().map(|&t| (1, t)).collect();
+        TaskSet::from_pairs(&pairs).unwrap()
+    }
+
+    #[test]
+    fn scaling_lands_in_octave() {
+        let ts = set(&[4, 10, 9, 33]);
+        for sp in scaled_periods(&ts) {
+            let v = sp.value();
+            assert!((4.0..8.0).contains(&v), "scaled {v} out of [4, 8)");
+        }
+    }
+
+    #[test]
+    fn harmonic_set_scales_to_a_point() {
+        let ts = set(&[4, 8, 16, 32]);
+        let scaled = scaled_periods(&ts);
+        assert!(scaled.iter().all(|sp| sp.value() == 4.0));
+        assert_eq!(period_ratio(&ts), 1.0);
+    }
+
+    #[test]
+    fn shifts_are_floor_log2() {
+        assert_eq!(scale_into(Time::new(4), Time::new(4)).shift, 0);
+        assert_eq!(scale_into(Time::new(7), Time::new(4)).shift, 0);
+        assert_eq!(scale_into(Time::new(8), Time::new(4)).shift, 1);
+        assert_eq!(scale_into(Time::new(9), Time::new(4)).shift, 1);
+        assert_eq!(scale_into(Time::new(16), Time::new(4)).shift, 2);
+        assert_eq!(scale_into(Time::new(31), Time::new(4)).shift, 2);
+        assert_eq!(scale_into(Time::new(32), Time::new(4)).shift, 3);
+    }
+
+    #[test]
+    fn exact_comparison_avoids_float_ties() {
+        // 9/2 = 4.5 vs 18/4 = 4.5: exactly equal as rationals.
+        let a = ScaledPeriod {
+            original: Time::new(9),
+            shift: 1,
+        };
+        let b = ScaledPeriod {
+            original: Time::new(18),
+            shift: 2,
+        };
+        assert_eq!(a.cmp_exact(&b), Ordering::Equal);
+        assert_eq!(a.ratio(&b), 1.0);
+    }
+
+    #[test]
+    fn sorted_ascending() {
+        let ts = set(&[4, 33, 10, 9]);
+        let vals: Vec<f64> = scaled_periods(&ts).iter().map(ScaledPeriod::value).collect();
+        // 4 → 4, 9 → 4.5, 10 → 5, 33 → 4.125.
+        assert_eq!(vals, vec![4.0, 4.125, 4.5, 5.0]);
+    }
+
+    #[test]
+    fn ratio_is_strictly_below_two() {
+        let ts = set(&[4, 7]); // r = 7/4 = 1.75
+        assert_eq!(period_ratio(&ts), 1.75);
+        let ts2 = set(&[4, 8]); // 8 scales to 4
+        assert_eq!(period_ratio(&ts2), 1.0);
+        let ts3 = set(&[5, 9, 33, 64]);
+        let r = period_ratio(&ts3);
+        assert!((1.0..2.0).contains(&r));
+    }
+
+    #[test]
+    fn singleton() {
+        let ts = set(&[17]);
+        assert_eq!(period_ratio(&ts), 1.0);
+        assert_eq!(scaled_periods(&ts)[0].shift, 0);
+    }
+
+    #[test]
+    fn large_periods_no_overflow() {
+        let ts = set(&[1_000_000, (1 << 40) + 123, 3_000_000_000]);
+        for sp in scaled_periods(&ts) {
+            let v = sp.value();
+            assert!((1.0e6..2.0e6).contains(&v));
+        }
+        let r = period_ratio(&ts);
+        assert!((1.0..2.0).contains(&r));
+    }
+}

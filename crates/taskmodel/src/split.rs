@@ -1,0 +1,343 @@
+//! Split plans: how one task is divided into body subtasks and a tail.
+//!
+//! During partitioning, a task that does not fit entirely on the current
+//! processor is split (paper Algorithm 2 / `MaxSplit`): the maximal feasible
+//! first part stays, and the remainder moves on, possibly being split again.
+//! A [`SplitPlan`] accumulates that history and produces the final
+//! [`Subtask`]s with their synthetic deadlines
+//! `Δ_i^k = T_i − Σ_{l∈[1,k−1]} R_i^l` (Eq. (1)).
+//!
+//! Body subtasks have the highest priority on their host processors
+//! (Lemma 2), so their response times equal their budgets and Lemma 3 gives
+//! the tail deadline `Δ_i^t = T_i − C_i^{body}`. We nevertheless record the
+//! *actual* response time of each body subtask as computed by RTA on its
+//! host: the general Eq. (1) with true response times is safe in every code
+//! path (including RM-TS phase 3 before Lemma 11's precondition has been
+//! established), and coincides with Lemma 3 whenever Lemma 2 applies.
+
+use crate::error::ModelError;
+use crate::priority::Priority;
+use crate::subtask::{Subtask, SubtaskKind};
+use crate::task::Task;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// One placed piece of a split task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitPart {
+    /// Execution budget of this piece.
+    pub budget: Time,
+    /// Index of the processor hosting this piece.
+    pub processor: usize,
+    /// Worst-case response time of this piece on its host, as established by
+    /// exact analysis at assignment time. For body subtasks under Lemma 2
+    /// this equals `budget`.
+    pub response: Time,
+}
+
+/// The split history of one task: zero or more body parts followed by a
+/// tail part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    task: Task,
+    priority: Priority,
+    bodies: Vec<SplitPart>,
+    tail: Option<SplitPart>,
+}
+
+impl SplitPlan {
+    /// Starts a plan for `task` with its global RM `priority`.
+    pub fn new(task: Task, priority: Priority) -> SplitPlan {
+        SplitPlan {
+            task,
+            priority,
+            bodies: Vec::new(),
+            tail: None,
+        }
+    }
+
+    /// The task being split.
+    #[inline]
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// The parent's global RM priority.
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Budget not yet placed on any processor.
+    pub fn remaining(&self) -> Time {
+        let placed: Time = self
+            .bodies
+            .iter()
+            .chain(self.tail.iter())
+            .map(|p| p.budget)
+            .sum();
+        self.task.wcet.saturating_sub(placed)
+    }
+
+    /// Sum of body budgets placed so far (`C_i^{body}` in Lemma 3's terms).
+    pub fn body_budget(&self) -> Time {
+        self.bodies.iter().map(|p| p.budget).sum()
+    }
+
+    /// Sum of recorded body response times (`Σ_l R_i^l`), which determines
+    /// the next synthetic deadline via Eq. (1).
+    pub fn body_response(&self) -> Time {
+        self.bodies.iter().map(|p| p.response).sum()
+    }
+
+    /// The synthetic deadline the *next* piece would get:
+    /// `Δ = T − Σ R_i^l` over the bodies placed so far.
+    pub fn next_deadline(&self) -> Result<Time, ModelError> {
+        self.task
+            .period
+            .checked_sub(self.body_response())
+            .filter(|d| !d.is_zero())
+            .ok_or(ModelError::SyntheticDeadlineUnderflow {
+                id: self.task.id.0,
+            })
+    }
+
+    /// Records a body piece. `response` is the piece's worst-case response
+    /// time on its host processor (equal to `budget` under Lemma 2).
+    pub fn push_body(
+        &mut self,
+        budget: Time,
+        processor: usize,
+        response: Time,
+    ) -> Result<(), ModelError> {
+        assert!(self.tail.is_none(), "cannot add a body after the tail");
+        assert!(!budget.is_zero(), "body budget must be positive");
+        assert!(
+            response >= budget,
+            "a response time below the budget is impossible"
+        );
+        if budget > self.remaining() {
+            return Err(ModelError::SplitBudgetMismatch {
+                id: self.task.id.0,
+                parts: self.body_budget() + budget,
+                whole: self.task.wcet,
+            });
+        }
+        self.bodies.push(SplitPart {
+            budget,
+            processor,
+            response,
+        });
+        // The *next* piece must still have a positive synthetic deadline.
+        self.next_deadline().map(|_| ())
+    }
+
+    /// Seals the plan by placing all remaining budget as the tail on
+    /// `processor`. `response` is the tail's response time on its host (may
+    /// be `Time::MAX` if not yet known; it does not influence deadlines).
+    pub fn seal_tail(&mut self, processor: usize, response: Time) -> Result<(), ModelError> {
+        assert!(self.tail.is_none(), "tail already sealed");
+        let budget = self.remaining();
+        if budget.is_zero() {
+            return Err(ModelError::SplitBudgetMismatch {
+                id: self.task.id.0,
+                parts: self.body_budget(),
+                whole: self.task.wcet,
+            });
+        }
+        self.tail = Some(SplitPart {
+            budget,
+            processor,
+            response,
+        });
+        Ok(())
+    }
+
+    /// `true` once the tail is placed and all budget is accounted for.
+    pub fn is_sealed(&self) -> bool {
+        self.tail.is_some()
+    }
+
+    /// `true` iff the task was actually split (at least one body part).
+    pub fn is_split(&self) -> bool {
+        !self.bodies.is_empty()
+    }
+
+    /// Number of body parts `B`.
+    pub fn body_count(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// The recorded parts: bodies in order, then the tail (if sealed).
+    pub fn parts(&self) -> impl Iterator<Item = &SplitPart> {
+        self.bodies.iter().chain(self.tail.iter())
+    }
+
+    /// Produces the final subtasks with synthetic deadlines, paired with
+    /// their host processor indices. Panics if the plan is not sealed.
+    pub fn subtasks(&self) -> Vec<(Subtask, usize)> {
+        let tail = self.tail.as_ref().expect("plan must be sealed");
+        if self.bodies.is_empty() {
+            // Never split: a single Whole subtask.
+            return vec![(
+                Subtask::whole(&self.task, self.priority),
+                tail.processor,
+            )];
+        }
+        let mut out = Vec::with_capacity(self.bodies.len() + 1);
+        let mut elapsed = Time::ZERO; // Σ_{l<k} R_i^l
+        for (j, part) in self.bodies.iter().enumerate() {
+            let deadline = self.task.period - elapsed;
+            out.push((
+                Subtask {
+                    parent: self.task.id,
+                    seq: (j + 1) as u32,
+                    kind: SubtaskKind::Body((j + 1) as u32),
+                    wcet: part.budget,
+                    period: self.task.period,
+                    deadline,
+                    priority: self.priority,
+                },
+                part.processor,
+            ));
+            elapsed += part.response;
+        }
+        out.push((
+            Subtask {
+                parent: self.task.id,
+                seq: (self.bodies.len() + 1) as u32,
+                kind: SubtaskKind::Tail,
+                wcet: tail.budget,
+                period: self.task.period,
+                deadline: self.task.period - elapsed,
+                priority: self.priority,
+            },
+            tail.processor,
+        ));
+        out
+    }
+
+    /// Lemma 3's closed form for the tail deadline, `Δ_i^t = T_i − C_i^{body}`,
+    /// valid when every body subtask has the highest priority on its host
+    /// (Lemma 2). Exposed for tests and cross-checking.
+    pub fn tail_deadline_lemma3(&self) -> Time {
+        self.task.period.saturating_sub(self.body_budget())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn task() -> Task {
+        Task::from_ticks(7, 6, 12).unwrap()
+    }
+
+    #[test]
+    fn unsplit_task_yields_whole_subtask() {
+        let mut plan = SplitPlan::new(task(), Priority(3));
+        plan.seal_tail(2, Time::new(6)).unwrap();
+        assert!(!plan.is_split());
+        let subs = plan.subtasks();
+        assert_eq!(subs.len(), 1);
+        let (s, host) = subs[0];
+        assert!(s.kind.is_whole());
+        assert_eq!(host, 2);
+        assert_eq!(s.deadline, Time::new(12));
+    }
+
+    #[test]
+    fn three_way_split_matches_figure_1() {
+        // τ split into body1, body2 and tail across P1, P2, P3 (Fig. 1).
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        plan.push_body(Time::new(2), 0, Time::new(2)).unwrap();
+        plan.push_body(Time::new(3), 1, Time::new(3)).unwrap();
+        plan.seal_tail(2, Time::new(1)).unwrap();
+        let subs = plan.subtasks();
+        assert_eq!(subs.len(), 3);
+        // Body 1: full period as deadline.
+        assert_eq!(subs[0].0.deadline, Time::new(12));
+        assert!(subs[0].0.kind.is_body());
+        // Body 2: deferred by R^1 = 2.
+        assert_eq!(subs[1].0.deadline, Time::new(10));
+        // Tail: deferred by R^1 + R^2 = 5; budget is the remainder 1.
+        assert_eq!(subs[2].0.deadline, Time::new(7));
+        assert_eq!(subs[2].0.wcet, Time::new(1));
+        assert!(subs[2].0.kind.is_tail());
+        // Budgets add back to C.
+        let total: Time = subs.iter().map(|(s, _)| s.wcet).sum();
+        assert_eq!(total, Time::new(6));
+    }
+
+    #[test]
+    fn lemma3_matches_eq1_when_responses_equal_budgets() {
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        plan.push_body(Time::new(2), 0, Time::new(2)).unwrap();
+        plan.push_body(Time::new(3), 1, Time::new(3)).unwrap();
+        plan.seal_tail(2, Time::new(1)).unwrap();
+        let tail = &plan.subtasks()[2].0;
+        assert_eq!(tail.deadline, plan.tail_deadline_lemma3());
+    }
+
+    #[test]
+    fn eq1_with_inflated_responses_shrinks_deadlines() {
+        // If a body's response exceeded its budget (possible in RM-TS phase 3
+        // corner cases), Eq. (1) must use the response, not the budget.
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        plan.push_body(Time::new(2), 0, Time::new(5)).unwrap();
+        plan.seal_tail(1, Time::new(4)).unwrap();
+        let tail = &plan.subtasks()[1].0;
+        assert_eq!(tail.deadline, Time::new(7)); // 12 − 5, not 12 − 2
+        assert!(tail.deadline < plan.tail_deadline_lemma3());
+    }
+
+    #[test]
+    fn overdraft_rejected() {
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        let err = plan
+            .push_body(Time::new(7), 0, Time::new(7))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::SplitBudgetMismatch { id: 7, .. }));
+    }
+
+    #[test]
+    fn deadline_underflow_rejected() {
+        // Body responses consume the whole period: the next piece would have
+        // Δ ≤ 0.
+        let t = Task::from_ticks(1, 6, 8).unwrap();
+        let mut plan = SplitPlan::new(t, Priority(0));
+        let err = plan.push_body(Time::new(3), 0, Time::new(8)).unwrap_err();
+        assert_eq!(err, ModelError::SyntheticDeadlineUnderflow { id: 1 });
+    }
+
+    #[test]
+    fn remaining_tracks_budget() {
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        assert_eq!(plan.remaining(), Time::new(6));
+        plan.push_body(Time::new(2), 0, Time::new(2)).unwrap();
+        assert_eq!(plan.remaining(), Time::new(4));
+        plan.seal_tail(1, Time::new(4)).unwrap();
+        assert_eq!(plan.remaining(), Time::ZERO);
+        assert!(plan.is_sealed());
+    }
+
+    #[test]
+    fn sealing_with_nothing_left_fails() {
+        let mut plan = SplitPlan::new(task(), Priority(0));
+        plan.push_body(Time::new(6), 0, Time::new(6)).unwrap();
+        assert!(plan.seal_tail(1, Time::new(1)).is_err());
+    }
+
+    #[test]
+    fn identity_flows_into_subtasks() {
+        let mut plan = SplitPlan::new(task(), Priority(4));
+        plan.push_body(Time::new(1), 0, Time::new(1)).unwrap();
+        plan.seal_tail(1, Time::new(5)).unwrap();
+        for (s, _) in plan.subtasks() {
+            assert_eq!(s.parent, TaskId(7));
+            assert_eq!(s.priority, Priority(4));
+            assert_eq!(s.period, Time::new(12));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Subtasks produced by task splitting.
+//!
+//! A split task `τ_i` becomes subtasks `τ_i^1, …, τ_i^B, τ_i^t` (paper
+//! Fig. 1): the *body* subtasks `τ_i^1..τ_i^B` and the *tail* subtask
+//! `τ_i^t`. Each subtask is represented by the 3-tuple `⟨C_i^k, T_i, Δ_i^k⟩`
+//! where the *synthetic deadline* `Δ_i^k = T_i − Σ_{l∈[1,k−1]} R_i^l`
+//! (Eq. (1)) accounts for the synchronization delay inherited from its
+//! predecessors on other processors. A non-split task is the degenerate
+//! single subtask `τ_i^1` with `C_i^1 = C_i` and `Δ_i^1 = T_i`.
+
+use crate::priority::Priority;
+use crate::task::{Task, TaskId};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role of a subtask within its parent task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubtaskKind {
+    /// The only subtask of a task that was never split.
+    Whole,
+    /// The `j`-th body subtask `τ_i^{b_j}` of a split task (1-based).
+    Body(u32),
+    /// The tail (last) subtask `τ_i^t` of a split task.
+    Tail,
+}
+
+impl SubtaskKind {
+    /// `true` for body subtasks.
+    #[inline]
+    pub fn is_body(self) -> bool {
+        matches!(self, SubtaskKind::Body(_))
+    }
+
+    /// `true` for tail subtasks.
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, SubtaskKind::Tail)
+    }
+
+    /// `true` for whole (non-split) tasks.
+    #[inline]
+    pub fn is_whole(self) -> bool {
+        matches!(self, SubtaskKind::Whole)
+    }
+}
+
+/// A subtask `τ_i^k = ⟨C_i^k, T_i, Δ_i^k⟩` together with the identity and
+/// global RM priority of its parent task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subtask {
+    /// Parent task id.
+    pub parent: TaskId,
+    /// 1-based position `k` in the parent's subtask chain.
+    pub seq: u32,
+    /// Role within the parent (whole / body / tail).
+    pub kind: SubtaskKind,
+    /// Execution budget `C_i^k` of this piece.
+    pub wcet: Time,
+    /// The parent's period `T_i` (release separation is unchanged by
+    /// splitting).
+    pub period: Time,
+    /// The synthetic deadline `Δ_i^k ≤ T_i`.
+    pub deadline: Time,
+    /// The parent task's priority in the *global* RM order. Scheduling on
+    /// each processor uses original priorities (paper Section IV: "tasks
+    /// will be scheduled according to the RMS priority order on each
+    /// processor locally, i.e., with their original priorities").
+    pub priority: Priority,
+}
+
+impl Subtask {
+    /// Wraps a non-split task as its own single subtask (`C^1 = C`,
+    /// `Δ^1 = T`).
+    pub fn whole(task: &Task, priority: Priority) -> Subtask {
+        Subtask {
+            parent: task.id,
+            seq: 1,
+            kind: SubtaskKind::Whole,
+            wcet: task.wcet,
+            period: task.period,
+            deadline: task.period,
+            priority,
+        }
+    }
+
+    /// The subtask's utilization `U_i^k = C_i^k / T_i`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.ratio(self.period)
+    }
+
+    /// The *density* `C_i^k / Δ_i^k` — utilization against the synthetic
+    /// deadline. Useful for diagnostics; densities above 1 are trivially
+    /// unschedulable.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.wcet.ratio(self.deadline)
+    }
+
+    /// `true` iff the synthetic deadline is shorter than the period, i.e.
+    /// the subtask does not comply with the plain L&L model. This is
+    /// exactly the complication that breaks naive reuse of parametric
+    /// bounds (paper Section III, Fig. 2).
+    #[inline]
+    pub fn is_deadline_constrained(&self) -> bool {
+        self.deadline < self.period
+    }
+}
+
+impl fmt::Display for Subtask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.kind {
+            SubtaskKind::Whole => String::new(),
+            SubtaskKind::Body(j) => format!("^b{j}"),
+            SubtaskKind::Tail => "^t".to_string(),
+        };
+        write!(
+            f,
+            "{}{tag}⟨C={}, T={}, Δ={}⟩",
+            self.parent, self.wcet, self.period, self.deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::from_ticks(3, 4, 10).unwrap()
+    }
+
+    #[test]
+    fn whole_wraps_task() {
+        let s = Subtask::whole(&task(), Priority(2));
+        assert_eq!(s.parent, TaskId(3));
+        assert_eq!(s.seq, 1);
+        assert!(s.kind.is_whole());
+        assert_eq!(s.wcet, Time::new(4));
+        assert_eq!(s.deadline, Time::new(10));
+        assert_eq!(s.priority, Priority(2));
+        assert!(!s.is_deadline_constrained());
+    }
+
+    #[test]
+    fn utilization_and_density() {
+        let mut s = Subtask::whole(&task(), Priority(0));
+        assert_eq!(s.utilization(), 0.4);
+        assert_eq!(s.density(), 0.4);
+        s.deadline = Time::new(5);
+        assert_eq!(s.density(), 0.8);
+        assert!(s.is_deadline_constrained());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(SubtaskKind::Body(1).is_body());
+        assert!(!SubtaskKind::Body(1).is_tail());
+        assert!(SubtaskKind::Tail.is_tail());
+        assert!(SubtaskKind::Whole.is_whole());
+    }
+
+    #[test]
+    fn display_tags() {
+        let t = task();
+        let mut s = Subtask::whole(&t, Priority(0));
+        assert!(s.to_string().starts_with("τ3⟨"));
+        s.kind = SubtaskKind::Body(2);
+        assert!(s.to_string().contains("^b2"));
+        s.kind = SubtaskKind::Tail;
+        assert!(s.to_string().contains("^t"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The Liu & Layland task `⟨C, T⟩`.
+
+use crate::error::ModelError;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a task, independent of its position (priority) in a
+/// [`TaskSet`](crate::TaskSet). Identifiers survive sorting and splitting:
+/// every subtask of `τ_i` carries `τ_i`'s id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A sporadic Liu & Layland task: worst-case execution time `C`, minimum
+/// inter-release separation (period) `T`, implicit relative deadline `D = T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    /// Stable identifier.
+    pub id: TaskId,
+    /// Worst-case execution time `C`.
+    pub wcet: Time,
+    /// Period / minimum inter-release separation `T` (also the relative
+    /// deadline).
+    pub period: Time,
+}
+
+impl Task {
+    /// Creates a task, validating `0 < C ≤ T`.
+    pub fn new(id: u32, wcet: Time, period: Time) -> Result<Self, ModelError> {
+        if period.is_zero() {
+            return Err(ModelError::ZeroPeriod { id });
+        }
+        if wcet.is_zero() {
+            return Err(ModelError::ZeroWcet { id });
+        }
+        if wcet > period {
+            return Err(ModelError::WcetExceedsPeriod { id, wcet, period });
+        }
+        Ok(Task {
+            id: TaskId(id),
+            wcet,
+            period,
+        })
+    }
+
+    /// Creates a task from raw tick counts, validating `0 < C ≤ T`.
+    pub fn from_ticks(id: u32, wcet: u64, period: u64) -> Result<Self, ModelError> {
+        Task::new(id, Time::new(wcet), Time::new(period))
+    }
+
+    /// The task's utilization `U_i = C_i / T_i ∈ (0, 1]`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.ratio(self.period)
+    }
+
+    /// Whether the task is *light* with respect to a threshold (paper
+    /// Definition 1: `U_i ≤ Θ/(1+Θ)` where `Θ` is the L&L bound of the task
+    /// set). The threshold is a parameter because `Θ` depends on `N`.
+    #[inline]
+    pub fn is_light(&self, threshold: f64) -> bool {
+        self.utilization() <= threshold
+    }
+
+    /// Whether the task is *heavy* (the complement of [`Task::is_light`]).
+    #[inline]
+    pub fn is_heavy(&self, threshold: f64) -> bool {
+        !self.is_light(threshold)
+    }
+
+    /// Returns a copy with the execution time replaced (used by deflation
+    /// arguments and by the splitting machinery). Panics in debug builds if
+    /// the new budget exceeds the period.
+    #[must_use]
+    pub fn with_wcet(&self, wcet: Time) -> Task {
+        debug_assert!(wcet <= self.period, "deflated budget must stay ≤ T");
+        Task { wcet, ..*self }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⟨C={}, T={}⟩", self.id, self.wcet, self.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_task() {
+        let t = Task::from_ticks(1, 2, 8).unwrap();
+        assert_eq!(t.utilization(), 0.25);
+        assert_eq!(t.id, TaskId(1));
+    }
+
+    #[test]
+    fn rejects_zero_wcet() {
+        assert_eq!(
+            Task::from_ticks(3, 0, 8).unwrap_err(),
+            ModelError::ZeroWcet { id: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_period() {
+        assert_eq!(
+            Task::from_ticks(3, 1, 0).unwrap_err(),
+            ModelError::ZeroPeriod { id: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_over_utilization() {
+        let err = Task::from_ticks(3, 9, 8).unwrap_err();
+        assert!(matches!(err, ModelError::WcetExceedsPeriod { id: 3, .. }));
+    }
+
+    #[test]
+    fn full_utilization_allowed() {
+        let t = Task::from_ticks(0, 8, 8).unwrap();
+        assert_eq!(t.utilization(), 1.0);
+    }
+
+    #[test]
+    fn light_heavy_classification() {
+        let t = Task::from_ticks(0, 4, 10).unwrap(); // U = 0.4
+        assert!(t.is_light(0.409));
+        assert!(t.is_heavy(0.39));
+        // Boundary: U == threshold counts as light (Definition 1 uses ≤).
+        assert!(t.is_light(0.4));
+    }
+
+    #[test]
+    fn with_wcet_preserves_identity() {
+        let t = Task::from_ticks(5, 4, 10).unwrap();
+        let d = t.with_wcet(Time::new(2));
+        assert_eq!(d.id, t.id);
+        assert_eq!(d.period, t.period);
+        assert_eq!(d.wcet, Time::new(2));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Task::from_ticks(2, 1, 4).unwrap();
+        assert_eq!(t.to_string(), "τ2⟨C=1t, T=4t⟩");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Task::from_ticks(2, 1, 4).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

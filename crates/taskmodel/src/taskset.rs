@@ -1,0 +1,349 @@
+//! Rate-monotonically ordered task sets.
+
+use crate::error::ModelError;
+use crate::priority::Priority;
+use crate::task::{Task, TaskId};
+use crate::time::{lcm, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Index;
+
+/// A set of Liu & Layland tasks, kept sorted by non-decreasing period
+/// (rate-monotonic priority order, ties broken by id). The index of a task
+/// in the set *is* its priority: index 0 is the highest priority, matching
+/// the paper's convention that `i < j ⇒ τ_i` has higher priority than `τ_j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Task>", into = "Vec<Task>")]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Builds a task set from tasks in any order; they are sorted into RM
+    /// priority order. Fails on duplicate ids or an empty input.
+    pub fn new(mut tasks: Vec<Task>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyTaskSet);
+        }
+        let mut seen = HashSet::with_capacity(tasks.len());
+        for t in &tasks {
+            if !seen.insert(t.id) {
+                return Err(ModelError::DuplicateId { id: t.id.0 });
+            }
+        }
+        tasks.sort_by_key(|t| (t.period, t.id));
+        Ok(TaskSet { tasks })
+    }
+
+    /// Convenience constructor from `(wcet, period)` tick pairs; ids are
+    /// assigned from position in the input slice (before sorting).
+    pub fn from_pairs(pairs: &[(u64, u64)]) -> Result<Self, ModelError> {
+        let tasks = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, t))| Task::from_ticks(i as u32, c, t))
+            .collect::<Result<Vec<_>, _>>()?;
+        TaskSet::new(tasks)
+    }
+
+    /// Number of tasks `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff the set has no tasks. (Construction forbids this, so this
+    /// is only ever `false`; provided for API completeness and clippy.)
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The tasks in RM priority order (highest priority first).
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Iterates over `(priority, task)` pairs, highest priority first.
+    pub fn iter_prioritized(&self) -> impl Iterator<Item = (Priority, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Priority::from(i), t))
+    }
+
+    /// The task at a given priority level.
+    #[inline]
+    pub fn at(&self, prio: Priority) -> &Task {
+        &self.tasks[prio.index()]
+    }
+
+    /// Finds a task by id, returning its priority and the task.
+    pub fn find(&self, id: TaskId) -> Option<(Priority, &Task)> {
+        self.iter_prioritized().find(|(_, t)| t.id == id)
+    }
+
+    /// Total utilization `U(τ) = Σ U_i`.
+    pub fn total_utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Normalized utilization on `m` processors, `U_M(τ) = U(τ) / M`
+    /// (paper Section II). Panics if `m == 0`.
+    pub fn normalized_utilization(&self, m: usize) -> f64 {
+        assert!(m > 0, "platform must have at least one processor");
+        self.total_utilization() / m as f64
+    }
+
+    /// The largest individual task utilization `max_i U_i`.
+    pub fn max_utilization(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(Task::utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every task is light with respect to `threshold` (paper
+    /// Definition 1 instantiates `threshold = Θ/(1+Θ)`).
+    pub fn is_light(&self, threshold: f64) -> bool {
+        self.tasks.iter().all(|t| t.is_light(threshold))
+    }
+
+    /// The hyperperiod `lcm(T_1, …, T_N)`, saturating at `u64::MAX`.
+    pub fn hyperperiod(&self) -> Time {
+        Time::new(
+            self.tasks
+                .iter()
+                .fold(1u64, |acc, t| lcm(acc, t.period.ticks())),
+        )
+    }
+
+    /// All distinct periods, ascending.
+    pub fn distinct_periods(&self) -> Vec<Time> {
+        let mut p: Vec<Time> = self.tasks.iter().map(|t| t.period).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    }
+
+    /// Removes the task with the given id, returning it. Returns `None` and
+    /// leaves the set untouched if the id is absent or the set would become
+    /// empty.
+    pub fn remove(&mut self, id: TaskId) -> Option<Task> {
+        if self.tasks.len() == 1 {
+            return None;
+        }
+        let pos = self.tasks.iter().position(|t| t.id == id)?;
+        Some(self.tasks.remove(pos))
+    }
+
+    /// A copy of the set with every execution time scaled by `factor ∈ (0,1]`
+    /// (rounding down, clamping to ≥ 1 tick). Used by deflation arguments
+    /// and by breakdown-utilization search.
+    pub fn deflated(&self, factor: f64) -> TaskSet {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "deflation factor must be in (0, 1], got {factor}"
+        );
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let c = ((t.wcet.ticks() as f64) * factor).floor() as u64;
+                t.with_wcet(Time::new(c.max(1)))
+            })
+            .collect();
+        TaskSet { tasks }
+    }
+
+    /// A copy of the set with execution times scaled so that the total
+    /// utilization becomes (approximately, by integer rounding-down)
+    /// `target`. Requires `target ≤ U(τ)`.
+    pub fn scaled_to_utilization(&self, target: f64) -> TaskSet {
+        let current = self.total_utilization();
+        assert!(
+            target <= current,
+            "cannot inflate: target {target} > current {current}"
+        );
+        self.deflated(target / current)
+    }
+}
+
+impl Index<usize> for TaskSet {
+    type Output = Task;
+    fn index(&self, i: usize) -> &Task {
+        &self.tasks[i]
+    }
+}
+
+impl TryFrom<Vec<Task>> for TaskSet {
+    type Error = ModelError;
+    fn try_from(v: Vec<Task>) -> Result<Self, Self::Error> {
+        TaskSet::new(v)
+    }
+}
+
+impl From<TaskSet> for Vec<Task> {
+    fn from(ts: TaskSet) -> Vec<Task> {
+        ts.tasks
+    }
+}
+
+impl fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TaskSet (N={}, U={:.4}):", self.len(), self.total_utilization())?;
+        for (p, t) in self.iter_prioritized() {
+            writeln!(f, "  {p}: {t}  U={:.4}", t.utilization())?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> TaskSet {
+        // Unsorted on purpose: periods 8, 4, 16.
+        TaskSet::from_pairs(&[(2, 8), (1, 4), (4, 16)]).unwrap()
+    }
+
+    #[test]
+    fn sorted_by_period() {
+        let ts = demo();
+        let periods: Vec<u64> = ts.tasks().iter().map(|t| t.period.ticks()).collect();
+        assert_eq!(periods, vec![4, 8, 16]);
+        // Index 0 (highest priority) is the shortest period.
+        assert_eq!(ts.at(Priority(0)).period, Time::new(4));
+    }
+
+    #[test]
+    fn ids_survive_sorting() {
+        let ts = demo();
+        // (1,4) was the second input so it has id 1 but priority 0.
+        assert_eq!(ts.at(Priority(0)).id, TaskId(1));
+        let (p, t) = ts.find(TaskId(2)).unwrap();
+        assert_eq!(p, Priority(2));
+        assert_eq!(t.period, Time::new(16));
+    }
+
+    #[test]
+    fn period_ties_broken_by_id() {
+        let ts = TaskSet::from_pairs(&[(1, 8), (1, 8), (1, 8)]).unwrap();
+        let ids: Vec<u32> = ts.tasks().iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn utilization_views() {
+        let ts = demo();
+        let u = ts.total_utilization();
+        assert!((u - (0.25 + 0.25 + 0.25)).abs() < 1e-12);
+        assert!((ts.normalized_utilization(3) - 0.25).abs() < 1e-12);
+        assert!((ts.max_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        let t0 = Task::from_ticks(0, 1, 4).unwrap();
+        let t0b = Task::from_ticks(0, 2, 8).unwrap();
+        assert_eq!(
+            TaskSet::new(vec![t0, t0b]).unwrap_err(),
+            ModelError::DuplicateId { id: 0 }
+        );
+        assert_eq!(TaskSet::new(vec![]).unwrap_err(), ModelError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn hyperperiod() {
+        let ts = demo();
+        assert_eq!(ts.hyperperiod(), Time::new(16));
+        let ts2 = TaskSet::from_pairs(&[(1, 6), (1, 10)]).unwrap();
+        assert_eq!(ts2.hyperperiod(), Time::new(30));
+    }
+
+    #[test]
+    fn distinct_periods() {
+        let ts = TaskSet::from_pairs(&[(1, 8), (1, 4), (1, 8)]).unwrap();
+        assert_eq!(
+            ts.distinct_periods(),
+            vec![Time::new(4), Time::new(8)]
+        );
+    }
+
+    #[test]
+    fn light_classification() {
+        let ts = demo(); // all U_i = 0.25
+        assert!(ts.is_light(0.25));
+        assert!(!ts.is_light(0.2));
+    }
+
+    #[test]
+    fn deflation_preserves_structure() {
+        let ts = TaskSet::from_pairs(&[(4, 8), (8, 16)]).unwrap();
+        let d = ts.deflated(0.5);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.tasks()[0].wcet, Time::new(2));
+        assert_eq!(d.tasks()[0].period, Time::new(8));
+        assert_eq!(d.tasks()[1].wcet, Time::new(4));
+    }
+
+    #[test]
+    fn deflation_clamps_to_one_tick() {
+        let ts = TaskSet::from_pairs(&[(1, 100)]).unwrap();
+        let d = ts.deflated(0.01);
+        assert_eq!(d.tasks()[0].wcet, Time::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "deflation factor")]
+    fn deflation_rejects_inflation() {
+        demo().deflated(1.5);
+    }
+
+    #[test]
+    fn scale_to_target_utilization() {
+        let ts = TaskSet::from_pairs(&[(40, 100), (40, 100)]).unwrap(); // U = 0.8
+        let s = ts.scaled_to_utilization(0.4);
+        assert!((s.total_utilization() - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn remove_keeps_nonempty_invariant() {
+        let mut ts = demo();
+        assert!(ts.remove(TaskId(0)).is_some());
+        assert!(ts.remove(TaskId(1)).is_some());
+        // Last task cannot be removed.
+        assert!(ts.remove(TaskId(2)).is_none());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip_revalidates() {
+        let ts = demo();
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TaskSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+        // Deserialization of an invalid set fails (duplicate ids).
+        let bad = r#"[{"id":0,"wcet":1,"period":4},{"id":0,"wcet":1,"period":8}]"#;
+        assert!(serde_json::from_str::<TaskSet>(bad).is_err());
+    }
+
+    #[test]
+    fn iteration() {
+        let ts = demo();
+        assert_eq!((&ts).into_iter().count(), 3);
+        let prios: Vec<Priority> = ts.iter_prioritized().map(|(p, _)| p).collect();
+        assert_eq!(prios, vec![Priority(0), Priority(1), Priority(2)]);
+    }
+}

@@ -1,0 +1,353 @@
+//! Exact integer time.
+//!
+//! All worst-case execution times, periods, deadlines and response times in
+//! the workspace are integral *ticks*. Exact response-time analysis iterates
+//! over integers, so using a `u64` newtype (rather than `f64`) removes an
+//! entire class of soundness bugs from the schedulability analysis.
+//!
+//! One tick has no fixed physical meaning; the convenience constructors
+//! [`Time::from_ms`] / [`Time::from_us`] adopt 1 tick = 1 µs, which gives
+//! comfortable headroom for the period ranges used in the paper's evaluation
+//! (periods of milliseconds to seconds, hyperperiods well below `u64::MAX`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An exact, non-negative instant or duration measured in integer ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+/// Ticks per microsecond under the 1 tick = 1 µs convention.
+pub const TICKS_PER_US: u64 = 1;
+/// Ticks per millisecond under the 1 tick = 1 µs convention.
+pub const TICKS_PER_MS: u64 = 1_000;
+/// Ticks per second under the 1 tick = 1 µs convention.
+pub const TICKS_PER_SEC: u64 = 1_000_000;
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time. Used as an "unschedulable" sentinel by
+    /// analyses that report response times.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Creates a time from microseconds (1 tick = 1 µs).
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * TICKS_PER_US)
+    }
+
+    /// Creates a time from milliseconds (1 tick = 1 µs).
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * TICKS_PER_MS)
+    }
+
+    /// Creates a time from seconds (1 tick = 1 µs).
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * TICKS_PER_SEC)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// `true` iff this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `max(self − rhs, 0)`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(t) => Some(Time(t)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(t) => Some(Time(t)),
+            None => None,
+        }
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[inline]
+    pub const fn checked_mul(self, k: u64) -> Option<Time> {
+        match self.0.checked_mul(k) {
+            Some(t) => Some(Time(t)),
+            None => None,
+        }
+    }
+
+    /// Ceiling division `⌈self / rhs⌉`, the workhorse of response-time
+    /// analysis (`⌈R / T_j⌉ · C_j`). Panics if `rhs` is zero.
+    #[inline]
+    pub const fn div_ceil(self, rhs: Time) -> u64 {
+        self.0.div_ceil(rhs.0)
+    }
+
+    /// Floor division `⌊self / rhs⌋`. Panics if `rhs` is zero.
+    #[inline]
+    pub const fn div_floor(self, rhs: Time) -> u64 {
+        self.0 / rhs.0
+    }
+
+    /// The utilization-style ratio `self / rhs` as a float. Panics if `rhs`
+    /// is zero.
+    #[inline]
+    pub fn ratio(self, rhs: Time) -> f64 {
+        assert!(rhs.0 != 0, "ratio denominator must be non-zero");
+        self.0 as f64 / rhs.0 as f64
+    }
+
+    /// Minimum of two times.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        Time(self.0.min(rhs.0))
+    }
+
+    /// Maximum of two times.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        Time(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, k: u64) -> Time {
+        Time(self.0 * k)
+    }
+}
+
+impl Mul<Time> for u64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, t: Time) -> Time {
+        Time(self * t.0)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, k: u64) -> Time {
+        Time(self.0 / k)
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    #[inline]
+    fn from(t: u64) -> Time {
+        Time(t)
+    }
+}
+
+impl From<Time> for u64 {
+    #[inline]
+    fn from(t: Time) -> u64 {
+        t.0
+    }
+}
+
+/// Greatest common divisor of two tick counts (binary-free Euclid; periods
+/// are small enough that the classic algorithm is optimal here).
+#[inline]
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, saturating at `u64::MAX` on overflow. The
+/// saturation matters for hyperperiod computation on adversarial period
+/// choices; callers treat `u64::MAX` as "effectively unbounded horizon".
+#[inline]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units() {
+        assert_eq!(Time::from_us(3).ticks(), 3);
+        assert_eq!(Time::from_ms(3).ticks(), 3_000);
+        assert_eq!(Time::from_secs(2).ticks(), 2_000_000);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Time::new(10);
+        let b = Time::new(4);
+        assert_eq!(a + b, Time::new(14));
+        assert_eq!(a - b, Time::new(6));
+        assert_eq!(a * 3, Time::new(30));
+        assert_eq!(3 * a, Time::new(30));
+        assert_eq!(a / 2, Time::new(5));
+        assert_eq!(a % b, Time::new(2));
+    }
+
+    #[test]
+    fn div_ceil_and_floor() {
+        assert_eq!(Time::new(10).div_ceil(Time::new(4)), 3);
+        assert_eq!(Time::new(8).div_ceil(Time::new(4)), 2);
+        assert_eq!(Time::new(10).div_floor(Time::new(4)), 2);
+        assert_eq!(Time::new(0).div_ceil(Time::new(4)), 0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::new(3).saturating_sub(Time::new(5)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
+        assert_eq!(
+            Time::new(5).checked_sub(Time::new(3)),
+            Some(Time::new(2))
+        );
+        assert_eq!(Time::MAX.checked_add(Time::new(1)), None);
+        assert_eq!(Time::MAX.checked_mul(2), None);
+        assert_eq!(Time::new(4).checked_mul(3), Some(Time::new(12)));
+    }
+
+    #[test]
+    fn ratio_is_exact_for_small_values() {
+        assert_eq!(Time::new(1).ratio(Time::new(4)), 0.25);
+        assert_eq!(Time::new(3).ratio(Time::new(4)), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn ratio_zero_denominator_panics() {
+        let _ = Time::new(1).ratio(Time::ZERO);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(u64::MAX, 2), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        assert!(Time::new(3) < Time::new(4));
+        assert_eq!(Time::new(3).min(Time::new(4)), Time::new(3));
+        assert_eq!(Time::new(3).max(Time::new(4)), Time::new(4));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Time = [1u64, 2, 3].into_iter().map(Time::new).sum();
+        assert_eq!(total, Time::new(6));
+    }
+
+    #[test]
+    fn display_and_serde_roundtrip() {
+        assert_eq!(Time::new(42).to_string(), "42t");
+        let json = serde_json::to_string(&Time::new(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: Time = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Time::new(42));
+    }
+}

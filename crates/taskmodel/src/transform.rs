@@ -1,0 +1,182 @@
+//! Task-set transformations: period harmonization.
+//!
+//! The 100% bound for harmonic task sets creates a design incentive: if a
+//! workload's periods are *almost* harmonic, a designer can **shrink**
+//! periods down onto a harmonic grid (`base · 2^k`) and trade a bounded
+//! utilization increase for a much larger parametric bound — frequently a
+//! net capacity win. (Shrinking is the sound direction: running a task
+//! *more* often than required never violates its original timing
+//! requirement, whereas stretching periods would.)
+//!
+//! [`harmonize`] performs the transformation; [`harmonization_cost`]
+//! reports the utilization inflation, which is bounded by a factor of 2
+//! in the worst case (just missing a grid point) and is typically ≪ that
+//! when the base is chosen with [`best_harmonization_base`].
+
+use crate::error::ModelError;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::time::Time;
+
+/// Rounds each period **down** to the nearest `base · 2^k` (`k ≥ 0`).
+/// Execution times are unchanged, so utilizations can only grow. Fails
+/// with [`ModelError::WcetExceedsPeriod`] if some task's budget no longer
+/// fits in its shrunk period, and panics if `base` is zero or larger than
+/// the smallest period.
+pub fn harmonize(ts: &TaskSet, base: Time) -> Result<TaskSet, ModelError> {
+    assert!(!base.is_zero(), "base period must be positive");
+    let t_min = ts
+        .tasks()
+        .iter()
+        .map(|t| t.period)
+        .min()
+        .expect("task sets are non-empty");
+    assert!(
+        base <= t_min,
+        "base {base} exceeds the smallest period {t_min}"
+    );
+    let tasks = ts
+        .tasks()
+        .iter()
+        .map(|t| {
+            let shrunk = grid_floor(t.period, base);
+            Task::new(t.id.0, t.wcet, shrunk)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    TaskSet::new(tasks)
+}
+
+/// The largest `base · 2^k ≤ period`.
+fn grid_floor(period: Time, base: Time) -> Time {
+    debug_assert!(base <= period);
+    let mut g = base;
+    while let Some(doubled) = g.checked_mul(2) {
+        if doubled > period {
+            break;
+        }
+        g = doubled;
+    }
+    g
+}
+
+/// The multiplicative utilization cost of harmonizing onto `base`:
+/// `U(harmonize(τ)) / U(τ) ∈ [1, 2)`. Returns `None` if the
+/// harmonization itself is infeasible.
+pub fn harmonization_cost(ts: &TaskSet, base: Time) -> Option<f64> {
+    let h = harmonize(ts, base).ok()?;
+    Some(h.total_utilization() / ts.total_utilization())
+}
+
+/// Searches candidate bases (each original period divided by every power
+/// of two that keeps it ≥ `min_base`) for the one minimizing utilization
+/// inflation. Returns `(base, cost)`.
+pub fn best_harmonization_base(ts: &TaskSet, min_base: Time) -> Option<(Time, f64)> {
+    let t_min = ts.tasks().iter().map(|t| t.period).min()?;
+    let mut candidates: Vec<Time> = Vec::new();
+    for t in ts.tasks() {
+        let mut p = t.period;
+        while p >= min_base {
+            if p <= t_min {
+                candidates.push(p);
+            }
+            if p.ticks() % 2 != 0 {
+                break;
+            }
+            p = p / 2;
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+        .into_iter()
+        .filter_map(|b| harmonization_cost(ts, b).map(|c| (b, c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harmonic::taskset_is_harmonic;
+    use crate::TaskSetBuilder;
+
+    #[test]
+    fn harmonize_produces_harmonic_set() {
+        let ts = TaskSetBuilder::new()
+            .task(1, 10)
+            .task(2, 23)
+            .task(3, 47)
+            .build()
+            .unwrap();
+        assert!(!taskset_is_harmonic(&ts));
+        let h = harmonize(&ts, Time::new(10)).unwrap();
+        assert!(taskset_is_harmonic(&h));
+        // Periods shrank onto the grid {10, 20, 40}.
+        let periods: Vec<u64> = h.tasks().iter().map(|t| t.period.ticks()).collect();
+        assert_eq!(periods, vec![10, 20, 40]);
+    }
+
+    #[test]
+    fn budgets_preserved_utilization_grows() {
+        let ts = TaskSetBuilder::new().task(2, 10).task(3, 25).build().unwrap();
+        let h = harmonize(&ts, Time::new(10)).unwrap();
+        // 25 → 20: same C, higher U.
+        let (_, t) = h.find(crate::TaskId(1)).unwrap();
+        assert_eq!(t.wcet, Time::new(3));
+        assert_eq!(t.period, Time::new(20));
+        assert!(h.total_utilization() > ts.total_utilization());
+        let cost = harmonization_cost(&ts, Time::new(10)).unwrap();
+        assert!((cost - (h.total_utilization() / ts.total_utilization())).abs() < 1e-12);
+        assert!((1.0..2.0).contains(&cost));
+    }
+
+    #[test]
+    fn already_harmonic_is_free() {
+        let ts = TaskSetBuilder::new().task(1, 8).task(1, 16).build().unwrap();
+        let cost = harmonization_cost(&ts, Time::new(8)).unwrap();
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn infeasible_shrink_detected() {
+        // C = 9 with period 10: base 4 puts the grid at {4, 8}, so the
+        // period shrinks to 8 < 9.
+        let ts = TaskSetBuilder::new().task(9, 10).build().unwrap();
+        let err = harmonize(&ts, Time::new(4)).unwrap_err();
+        assert!(matches!(err, ModelError::WcetExceedsPeriod { .. }));
+        assert!(harmonization_cost(&ts, Time::new(4)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the smallest period")]
+    fn oversized_base_rejected() {
+        let ts = TaskSetBuilder::new().task(1, 10).build().unwrap();
+        let _ = harmonize(&ts, Time::new(11));
+    }
+
+    #[test]
+    fn best_base_minimizes_cost() {
+        let ts = TaskSetBuilder::new()
+            .task(1, 12)
+            .task(1, 25)
+            .task(1, 50)
+            .build()
+            .unwrap();
+        let (base, cost) = best_harmonization_base(&ts, Time::new(4)).unwrap();
+        // Exhaustive check: no candidate base beats the reported one.
+        for b in 4..=12u64 {
+            if let Some(c) = harmonization_cost(&ts, Time::new(b)) {
+                assert!(cost <= c + 1e-12, "base {b} beats reported {base}");
+            }
+        }
+        let h = harmonize(&ts, base).unwrap();
+        assert!(taskset_is_harmonic(&h));
+    }
+
+    #[test]
+    fn grid_floor_values() {
+        assert_eq!(grid_floor(Time::new(10), Time::new(10)), Time::new(10));
+        assert_eq!(grid_floor(Time::new(39), Time::new(10)), Time::new(20));
+        assert_eq!(grid_floor(Time::new(40), Time::new(10)), Time::new(40));
+        assert_eq!(grid_floor(Time::new(41), Time::new(10)), Time::new(40));
+    }
+}

@@ -1,0 +1,51 @@
+//! The Dhall effect, live: why the paper partitions instead of scheduling
+//! globally (Section I, related work).
+//!
+//! Global RM on `m` processors fails the classic adversary — `m` short
+//! high-rate tasks plus one long task — at normalized utilization barely
+//! above `1/m`, because every processor busies itself with a short task at
+//! the critical instant and the long task can never catch up. RM-TS
+//! partitions the same set trivially (the long task gets a dedicated
+//! processor via footnote 5).
+//!
+//! ```text
+//! cargo run --example dhall_effect
+//! ```
+
+use rmts::prelude::*;
+use rmts::sim::global::dhall_adversary;
+
+fn main() {
+    for m in [2usize, 4, 8] {
+        let ts = dhall_adversary(m, 100_000, 10);
+        println!(
+            "M = {m}: adversary with N = {} tasks, U_M = {:.4}",
+            ts.len(),
+            ts.normalized_utilization(m)
+        );
+
+        // Global RM: free migration, m highest-priority jobs run — misses.
+        let global = simulate_global(&ts, m, SimConfig::default());
+        match global.misses.first() {
+            Some(miss) => println!(
+                "  global RM : task τ{} misses its deadline at t = {} ✗",
+                miss.task.0, miss.deadline
+            ),
+            None => println!("  global RM : unexpectedly met all deadlines"),
+        }
+
+        // RM-TS: partitioning isolates the long task.
+        let partition = RmTs::new().partition(&ts, m).expect("trivially partitionable");
+        let (_, _, dedicated) = partition.role_counts();
+        let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+        assert!(report.all_deadlines_met());
+        println!(
+            "  RM-TS     : accepted ({dedicated} dedicated processor), simulation clean ✓\n"
+        );
+    }
+    println!(
+        "The adversary's utilization tends to 1/M + ε as the short tasks shrink,\n\
+         yet global RM always fails — the Dhall effect. Any partitioned approach\n\
+         (and in particular RM-TS) is immune, because priorities act per-processor."
+    );
+}

@@ -1,0 +1,79 @@
+//! Avionics-style harmonic rate groups: the 100% parametric bound on a
+//! multiprocessor.
+//!
+//! Integrated modular avionics workloads classically run in harmonic rate
+//! groups (e.g. 80/40/20/10 Hz). On a uniprocessor, harmonic task sets are
+//! RMS-schedulable up to 100% utilization — and the paper's RM-TS/light
+//! carries that *parametric* bound to multiprocessors: any light harmonic
+//! set with `U_M(τ) ≤ 100%` is schedulable (Theorem 8 instantiated with the
+//! harmonic-chain bound, K = 1).
+//!
+//! This example packs a 4-processor system to 97% and shows that
+//! (a) RM-TS/light succeeds, (b) the prior L&L-threshold approach \[16\]
+//! cannot get past ~70%, and (c) plain partitioned RM without splitting
+//! also fails at this density.
+//!
+//! ```text
+//! cargo run --example harmonic_avionics
+//! ```
+
+use rmts::prelude::*;
+use rmts::taskmodel::harmonic::{chain_count, taskset_is_harmonic};
+
+fn build_rate_groups() -> TaskSet {
+    // Periods in µs: 12.5 ms, 25 ms, 50 ms, 100 ms (80/40/20/10 Hz).
+    let periods: [u64; 4] = [12_500, 25_000, 50_000, 100_000];
+    let mut b = TaskSetBuilder::new();
+    // 6 functions per rate group; per-task utilization ≈ 0.1617 so that
+    // 24 tasks land at U ≈ 3.88 on M = 4 → U_M ≈ 0.97.
+    for &t in &periods {
+        for _ in 0..6 {
+            b = b.task_with_utilization(0.1617, Time::from_us(t));
+        }
+    }
+    b.build().expect("valid avionics set")
+}
+
+fn main() {
+    let ts = build_rate_groups();
+    let m = 4;
+
+    assert!(taskset_is_harmonic(&ts));
+    let k = chain_count(&ts);
+    let hc = HarmonicChain.value(&ts);
+    println!(
+        "avionics rate groups: N = {}, harmonic (K = {k}), HC-bound Λ(τ) = {hc:.1}",
+        ts.len()
+    );
+    println!(
+        "U_M on {m} processors = {:.4}  — far above the L&L bound Θ(N) = {:.4}\n",
+        ts.normalized_utilization(m),
+        ll_bound(ts.len())
+    );
+
+    // (a) RM-TS/light: guaranteed by the 100% harmonic bound.
+    let partition = RmTsLight::new().partition(&ts, m).expect("Theorem 8");
+    println!("RM-TS/light: accepted ✓");
+    for p in &partition.processors {
+        println!("  P{}: U = {:.4}, {} subtasks", p.index, p.utilization(), p.len());
+    }
+    assert!(partition.verify_rta());
+    let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+    assert!(report.all_deadlines_met());
+    println!(
+        "  simulated one hyperperiod ({}): {} jobs, 0 misses ✓\n",
+        report.horizon, report.jobs_completed
+    );
+
+    // (b) The [16]-style threshold algorithm is capped at Θ(N) ≈ 69–72%.
+    match spa1(ts.len()).partition(&ts, m) {
+        Ok(_) => println!("SPA1 [16]: accepted (unexpected at this density!)"),
+        Err(e) => println!("SPA1 [16]: rejected ✗ — {e}"),
+    }
+
+    // (c) Strict partitioned RM cannot split, so perfect packing fails.
+    match PartitionedRm::ffd_rta().partition(&ts, m) {
+        Ok(_) => println!("P-RM-FFD/RTA: accepted (lucky packing)"),
+        Err(e) => println!("P-RM-FFD/RTA: rejected ✗ — {e}"),
+    }
+}

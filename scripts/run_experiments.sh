@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (EXP-1..EXP-10) into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+EXTRA="${1:-}"
+cargo build --release -p rmts-exp --bins
+mkdir -p results
+{
+  for b in exp1-accept-general exp2-accept-light exp3-accept-harmonic \
+           exp4-bound-verify exp5-breakdown exp6-structure exp7-dhall \
+           exp8-granularity exp9-overhead exp10-harmonization exp11-automotive; do
+    echo "===== $b ====="
+    "./target/release/$b" $EXTRA --csv results
+    echo
+  done
+} | tee results/full_run.txt

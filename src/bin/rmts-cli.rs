@@ -1,0 +1,252 @@
+//! `rmts-cli` — analyze, partition, simulate and generate task sets.
+//!
+//! ```text
+//! rmts-cli bounds    <taskset.json>
+//! rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm]
+//!                    [--bound ll|hc|t|r] [--simulate] [--gantt]
+//! rmts-cli check     <taskset.json> -m M          # all algorithms side by side
+//! rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic]
+//!                    [--seed S] [--cap U]          # JSON on stdout
+//! ```
+//!
+//! Task sets are JSON arrays of `{ "id": u32, "wcet": ticks, "period": ticks }`
+//! (1 tick = 1 µs by convention).
+
+use rmts::bounds::thresholds::{light_threshold_of, rmts_cap_of};
+use rmts::bounds::{standard_catalogue, BoundRef, HarmonicChain, LiuLayland, RBound, TBound};
+use rmts::gen::trial_rng;
+use rmts::prelude::*;
+use rmts::sim::simulate_partitioned_traced;
+use rmts::taskmodel::harmonic::min_chain_cover;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rmts-cli bounds    <taskset.json>
+  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r] [--simulate] [--gantt]
+  rmts-cli check     <taskset.json> -m M
+  rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn load(path: &str) -> Result<TaskSet, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_m(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "-m")
+        .ok_or("missing -m <processors>".to_string())?
+        .parse()
+        .map_err(|e| format!("-m: {e}"))
+}
+
+fn pick_bound(args: &[String]) -> Result<BoundRef, String> {
+    Ok(match flag_value(args, "--bound").unwrap_or("hc") {
+        "ll" => std::sync::Arc::new(LiuLayland),
+        "hc" => std::sync::Arc::new(HarmonicChain),
+        "t" => std::sync::Arc::new(TBound),
+        "r" => std::sync::Arc::new(RBound),
+        other => return Err(format!("unknown bound {other:?} (ll|hc|t|r)")),
+    })
+}
+
+fn cmd_bounds(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <taskset.json>")?;
+    let ts = load(path)?;
+    println!("{ts}");
+    let cover = min_chain_cover(&ts);
+    println!("harmonic chains: K = {}", cover.count());
+    for (i, chain) in cover.chains.iter().enumerate() {
+        let p: Vec<u64> = chain.iter().map(|t| t.ticks()).collect();
+        println!("  chain {i}: {p:?}");
+    }
+    println!();
+    println!("{:<16} {:>8}", "bound", "Λ(τ)");
+    println!("{}", "-".repeat(25));
+    for b in standard_catalogue() {
+        println!("{:<16} {:>8.4}", b.name(), b.value(&ts));
+    }
+    println!();
+    println!(
+        "light threshold Θ/(1+Θ) = {:.4}; RM-TS cap 2Θ/(1+Θ) = {:.4}",
+        light_threshold_of(&ts),
+        rmts_cap_of(&ts)
+    );
+    let heavy: Vec<u32> = ts
+        .tasks()
+        .iter()
+        .filter(|t| t.utilization() > light_threshold_of(&ts))
+        .map(|t| t.id.0)
+        .collect();
+    println!("heavy tasks: {heavy:?}");
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <taskset.json>")?;
+    let ts = load(path)?;
+    let m = parse_m(args)?;
+    let alg_name = flag_value(args, "--alg").unwrap_or("rmts");
+    let bound = pick_bound(args)?;
+
+    struct DynBound(BoundRef);
+    impl ParametricBound for DynBound {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn value(&self, ts: &TaskSet) -> f64 {
+            self.0.value(ts)
+        }
+    }
+    let alg: Box<dyn Partitioner> = match alg_name {
+        "rmts" => Box::new(RmTs::with_bound(DynBound(bound))),
+        "light" => Box::new(RmTsLight::new()),
+        "spa1" => Box::new(spa1(ts.len())),
+        "spa2" => Box::new(spa2(ts.len())),
+        "prm" => Box::new(PartitionedRm::ffd_rta()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+
+    println!(
+        "{}: partitioning N = {} tasks (U_M = {:.4}) onto M = {m}",
+        alg.name(),
+        ts.len(),
+        ts.normalized_utilization(m)
+    );
+    let partition = alg
+        .partition(&ts, m)
+        .map_err(|e| format!("partitioning failed: {e}"))?;
+    println!("{partition}");
+    println!(
+        "splits: {:?}; RTA verification: {}",
+        partition.split_tasks().iter().map(|t| t.0).collect::<Vec<_>>(),
+        if partition.verify_rta() { "OK" } else { "FAILED" }
+    );
+
+    if has_flag(args, "--simulate") || has_flag(args, "--gantt") {
+        let (report, trace) =
+            simulate_partitioned_traced(&partition.workloads(), SimConfig::default());
+        println!(
+            "simulation over {}: {} jobs, {} preemptions, {} misses",
+            report.horizon,
+            report.jobs_completed,
+            report.preemptions,
+            report.misses.len()
+        );
+        if has_flag(args, "--gantt") {
+            println!();
+            print!("{}", trace.gantt(m, report.horizon, 72));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("missing <taskset.json>")?;
+    let ts = load(path)?;
+    let m = parse_m(args)?;
+    let n = ts.len();
+    let algs: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(RmTs::new()),
+        Box::new(RmTs::with_bound(HarmonicChain)),
+        Box::new(RmTsLight::new()),
+        Box::new(spa1(n)),
+        Box::new(spa2(n)),
+        Box::new(PartitionedRm::ffd_rta()),
+        Box::new(PartitionedRm::ffd_ll()),
+    ];
+    println!(
+        "N = {n}, U_M = {:.4} on M = {m}\n",
+        ts.normalized_utilization(m)
+    );
+    println!("{:<24} {:>10} {:>8} {:>8}", "algorithm", "result", "splits", "RTA");
+    println!("{}", "-".repeat(54));
+    for alg in algs {
+        match alg.partition(&ts, m) {
+            Ok(p) => println!(
+                "{:<24} {:>10} {:>8} {:>8}",
+                alg.name(),
+                "accepted",
+                p.split_tasks().len(),
+                if p.verify_rta() { "ok" } else { "FAIL" }
+            ),
+            Err(_) => println!("{:<24} {:>10} {:>8} {:>8}", alg.name(), "rejected", "-", "-"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let n: usize = flag_value(args, "-n")
+        .ok_or("missing -n <tasks>")?
+        .parse()
+        .map_err(|e| format!("-n: {e}"))?;
+    let u: f64 = flag_value(args, "-u")
+        .ok_or("missing -u <total utilization>")?
+        .parse()
+        .map_err(|e| format!("-u: {e}"))?;
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let cap: f64 = flag_value(args, "--cap")
+        .unwrap_or("1.0")
+        .parse()
+        .map_err(|e| format!("--cap: {e}"))?;
+    let periods = match flag_value(args, "--periods").unwrap_or("loguniform") {
+        "loguniform" => PeriodGen::default_log_uniform(),
+        "harmonic" => PeriodGen::Harmonic {
+            base: 10_000,
+            octaves: 5,
+        },
+        other => return Err(format!("unknown period style {other:?}")),
+    };
+    let cfg = GenConfig::new(n, u)
+        .with_periods(periods)
+        .with_utilization(UtilizationSpec::capped(cap));
+    let ts = cfg
+        .generate(&mut trial_rng(seed, 0))
+        .ok_or("generation infeasible under the given constraints")?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&ts).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}

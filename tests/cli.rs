@@ -1,0 +1,135 @@
+//! End-to-end tests of the `rmts-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rmts-cli"))
+}
+
+fn write_demo_taskset() -> temppath::TempPath {
+    let json = r#"[
+        {"id": 0, "wcet": 2000, "period": 10000},
+        {"id": 1, "wcet": 5000, "period": 20000},
+        {"id": 2, "wcet": 10000, "period": 40000},
+        {"id": 3, "wcet": 4000, "period": 10000}
+    ]"#;
+    temppath::TempPath::new("rmts_cli_demo.json", json)
+}
+
+/// Minimal self-cleaning temp-file helper (std only).
+mod temppath {
+    use std::path::PathBuf;
+
+    pub struct TempPath(PathBuf);
+
+    impl TempPath {
+        pub fn new(name: &str, contents: &str) -> TempPath {
+            let p = std::env::temp_dir().join(format!("{}_{name}", std::process::id()));
+            std::fs::write(&p, contents).expect("write temp file");
+            TempPath(p)
+        }
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 path")
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn bounds_command_reports_catalogue() {
+    let ts = write_demo_taskset();
+    let out = cli().args(["bounds", ts.as_str()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Liu&Layland"));
+    assert!(stdout.contains("harmonic-chain"));
+    assert!(stdout.contains("T-Bound"));
+    assert!(stdout.contains("R-Bound"));
+    assert!(stdout.contains("harmonic chains: K = 1"));
+}
+
+#[test]
+fn partition_simulate_gantt() {
+    let ts = write_demo_taskset();
+    let out = cli()
+        .args(["partition", ts.as_str(), "-m", "2", "--alg", "rmts", "--gantt"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RTA verification: OK"));
+    assert!(stdout.contains("0 misses"));
+    assert!(stdout.contains("P0 |"));
+    assert!(stdout.contains("P1 |"));
+}
+
+#[test]
+fn check_command_lists_all_algorithms() {
+    let ts = write_demo_taskset();
+    let out = cli().args(["check", ts.as_str(), "-m", "2"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["RM-TS[Liu&Layland]", "RM-TS/light", "SPA1", "SPA2", "P-RM-FFD/RTA"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn generate_roundtrips_through_partition() {
+    let out = cli()
+        .args(["generate", "-n", "8", "-u", "1.5", "--seed", "3", "--cap", "0.5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let ts = temppath::TempPath::new(
+        "rmts_cli_gen.json",
+        &String::from_utf8_lossy(&out.stdout),
+    );
+    let out2 = cli()
+        .args(["partition", ts.as_str(), "-m", "2", "--simulate"])
+        .output()
+        .unwrap();
+    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    assert!(String::from_utf8_lossy(&out2.stdout).contains("0 misses"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+
+    let out = cli().args(["partition", "/nonexistent.json", "-m", "2"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn overloaded_set_reports_failure() {
+    let ts = temppath::TempPath::new(
+        "rmts_cli_overload.json",
+        r#"[
+            {"id": 0, "wcet": 9000, "period": 10000},
+            {"id": 1, "wcet": 9000, "period": 10000},
+            {"id": 2, "wcet": 9000, "period": 10000}
+        ]"#,
+    );
+    let out = cli()
+        .args(["partition", ts.as_str(), "-m", "2", "--alg", "rmts"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("partitioning failed"));
+}

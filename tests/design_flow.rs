@@ -1,0 +1,87 @@
+//! An end-to-end "design flow" exercise, chaining the extension APIs the
+//! way a system designer would: harmonize → size by bound → partition →
+//! audit → overhead check → simulate.
+
+use rmts::core::audit::audit;
+use rmts::core::overhead::{inflate, overhead_tolerance, OverheadModel};
+use rmts::exp::sizing::{min_processors_by_bound, min_processors_by_partitioning};
+use rmts::prelude::*;
+use rmts::taskmodel::harmonic::taskset_is_harmonic;
+use rmts::taskmodel::transform::{best_harmonization_base, harmonize};
+
+/// A near-harmonic industrial-looking workload.
+fn workload() -> TaskSet {
+    TaskSetBuilder::new()
+        .task_us(2_000, 10_000)
+        .task_us(3_500, 11_000)
+        .task_us(4_000, 21_000)
+        .task_us(5_000, 23_000)
+        .task_us(9_000, 42_000)
+        .task_us(8_000, 44_000)
+        .task_us(15_000, 85_000)
+        .task_us(20_000, 90_000)
+        .task_us(2_500, 10_500)
+        .task_us(6_000, 22_000)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn full_design_flow() {
+    let ts = workload();
+    assert!(!taskset_is_harmonic(&ts));
+
+    // 1. Harmonize onto the best base.
+    let (base, cost) = best_harmonization_base(&ts, Time::from_us(5_000)).unwrap();
+    assert!((1.0..1.5).contains(&cost), "inflation {cost} out of range");
+    let h = harmonize(&ts, base).unwrap();
+    assert!(taskset_is_harmonic(&h));
+
+    // 2. Size the platform by the (now 100%) harmonic-chain bound.
+    let m = min_processors_by_bound(&h, &HarmonicChain);
+    assert!(m >= (h.total_utilization().ceil() as usize));
+
+    // 3. Partition on the sized platform; the bound guarantees success.
+    let alg = RmTs::with_bound(HarmonicChain);
+    assert!(h.normalized_utilization(m) <= alg.effective_bound(&h) + 1e-12);
+    let partition = alg.partition(&h, m).expect("guaranteed by the bound");
+
+    // 4. Structural audit: clean.
+    assert!(audit(&partition, &h).is_empty());
+
+    // 5. Overhead budget: the partition absorbs a measurable per-event
+    //    cost, and the inflated partition still audits/verifies.
+    let tol = overhead_tolerance(&partition);
+    let inflated = inflate(&partition, &OverheadModel::uniform(tol));
+    assert!(inflated.verify_rta());
+
+    // 6. Execute one hyperperiod of the (uninflated) partition.
+    let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+    assert!(report.all_deadlines_met());
+
+    // 7. Exact sizing can never need more processors than the bound said.
+    let exact = min_processors_by_partitioning(&h, &alg, m).unwrap();
+    assert!(exact <= m);
+}
+
+#[test]
+fn bound_sizing_matches_theorem_on_the_original_set() {
+    // Without harmonizing, sizing must use the original (lower) bound, and
+    // RM-TS must still accept on that many processors.
+    let ts = workload();
+    let m = min_processors_by_bound(&ts, &HarmonicChain);
+    let alg = RmTs::with_bound(HarmonicChain);
+    assert!(ts.normalized_utilization(m) <= alg.effective_bound(&ts) + 1e-12);
+    let partition = alg.partition(&ts, m).expect("inside the bound");
+    assert!(audit(&partition, &ts).is_empty());
+    assert!(partition.verify_rta());
+}
+
+#[test]
+fn best_of_bound_dominates_in_the_flow() {
+    let ts = workload();
+    let best = BestOf::standard();
+    let m_best = min_processors_by_bound(&ts, &best);
+    let m_ll = min_processors_by_bound(&ts, &LiuLayland);
+    assert!(m_best <= m_ll, "a better bound can only shrink the platform");
+}

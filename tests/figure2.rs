@@ -1,0 +1,78 @@
+//! Paper Figure 2: why naive deadline-as-period reasoning breaks parametric
+//! bounds, and how the paper's machinery handles it.
+//!
+//! The figure's scenario: a harmonic task set is partitioned; τ2 is split
+//! into τ2¹ (on P1) and τ2² (on P2). Synchronizing τ2² behind τ2¹
+//! effectively shortens τ2²'s deadline. Representing the shortened deadline
+//! as a period (Fig. 2-(d)) destroys harmonicity, so the 100% bound no
+//! longer applies on P2 — the problem RM-TS's proof technique solves.
+
+use rmts::prelude::*;
+use rmts::taskmodel::harmonic::{is_harmonic, taskset_is_harmonic};
+use rmts::taskmodel::SplitPlan;
+
+/// The flavor of Figure 2: τ1 = (1, 4) and τ2 = (6, 8) harmonic; splitting
+/// τ2 leaves a tail with synthetic deadline 6, and {4, 6} is not harmonic.
+#[test]
+fn splitting_a_harmonic_set_breaks_harmonicity_of_the_deadline_view() {
+    let ts = TaskSetBuilder::new().task(1, 4).task(6, 8).build().unwrap();
+    assert!(taskset_is_harmonic(&ts));
+
+    // Split τ2 (id 1, priority 1): body of 2 ticks on P1, tail on P2.
+    let (prio, task) = ts.find(TaskId(1)).unwrap();
+    let mut plan = SplitPlan::new(*task, prio);
+    plan.push_body(Time::new(2), 0, Time::new(2)).unwrap();
+    plan.seal_tail(1, Time::new(4)).unwrap();
+    let subs = plan.subtasks();
+    let tail = subs[1].0;
+    assert_eq!(tail.deadline, Time::new(6)); // 8 − 2
+    assert!(tail.is_deadline_constrained());
+
+    // Fig. 2-(d): representing the tail's period by its deadline gives the
+    // period multiset {4, 6} on P2's side — no longer harmonic, so the
+    // 100% bound is NOT applicable to that transformed set.
+    assert!(!is_harmonic(&[Time::new(4), tail.deadline]));
+    // The original periods of course still are.
+    assert!(is_harmonic(&[Time::new(4), tail.period]));
+}
+
+/// RM-TS/light nevertheless achieves the 100% bound on such sets: exact
+/// RTA against synthetic deadlines does not need the transformed set to be
+/// harmonic (the paper's Lemma 6 / period-shrinking proof).
+#[test]
+fn rmts_light_still_achieves_the_harmonic_bound_despite_splitting() {
+    // Light harmonic set at exactly U_M = 1.0 on 2 processors; worst-fit
+    // placement will force at least one split.
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..8 {
+        b = b.task(1, 4); // U = 0.25 each, 8 tasks → U = 2.0
+    }
+    let ts = b.build().unwrap();
+    assert!(taskset_is_harmonic(&ts));
+    assert!((ts.normalized_utilization(2) - 1.0).abs() < 1e-12);
+
+    let partition = RmTsLight::new().partition(&ts, 2).unwrap();
+    assert!(partition.covers(&ts));
+    assert!(partition.verify_rta());
+
+    // Dynamic confirmation over the hyperperiod.
+    let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+    assert!(report.all_deadlines_met());
+}
+
+/// The SPA1 baseline applies the L&L bound through the deadline-as-period
+/// transformation (the [16] resolution of Figure 2) and therefore cannot
+/// exceed Θ(N) on this harmonic set — the exact gap the paper closes.
+#[test]
+fn threshold_baseline_stuck_at_ll_even_on_harmonic_sets() {
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..8 {
+        b = b.task(100, 400); // 1-tick WCETs cannot deflate; use 100 ticks
+    }
+    let ts = b.build().unwrap();
+    // At U_M = 1.0 SPA1 must reject...
+    assert!(!spa1(ts.len()).accepts(&ts, 2));
+    // ...but below Θ(N) it accepts (its proven domain).
+    let below = ts.deflated(0.69);
+    assert!(spa1(below.len()).accepts(&below, 2));
+}

@@ -1,0 +1,102 @@
+//! Numeric anchors stated in the paper's text, verified exactly.
+
+use rmts::bounds::harmonic_chain::hc_bound;
+use rmts::bounds::thresholds::{light_threshold, rmts_cap};
+use rmts::prelude::*;
+
+/// Footnote 1: "When N goes to infinity, 2Θ/(1+Θ) ≈ 81.8%, Θ ≈ 69.3%,
+/// Θ/(1+Θ) ≈ 40.9%".
+#[test]
+fn footnote_1_asymptotics() {
+    let theta = std::f64::consts::LN_2;
+    assert!((theta - 0.693).abs() < 5e-4);
+    assert!((light_threshold(theta) - 0.409).abs() < 5e-4);
+    assert!((rmts_cap(theta) - 0.818).abs() < 1e-3);
+}
+
+/// Section I: "the famous N(2^{1/N} − 1) bound for RMS".
+#[test]
+fn ll_bound_values() {
+    assert_eq!(ll_bound(1), 1.0);
+    // Θ(2) = 2(√2 − 1).
+    assert!((ll_bound(2) - 2.0 * (2f64.sqrt() - 1.0)).abs() < 1e-12);
+    // "in the worst case 69.3%".
+    assert!(ll_bound(100_000) > 0.693 && ll_bound(100_000) < 0.6932);
+}
+
+/// Section V examples: "K = 3: 3(2^{1/3} − 1) ≈ 77.9% < 81.8%" and
+/// "K = 2: 2(2^{1/2} − 1) ≈ 82.8% > 81.8%".
+#[test]
+fn section_v_harmonic_chain_instantiations() {
+    assert!((hc_bound(3) - 0.779).abs() < 1e-3);
+    assert!((hc_bound(2) - 0.828).abs() < 5e-4);
+    let cap_at_infinity = rmts_cap(std::f64::consts::LN_2);
+    assert!(hc_bound(3) < cap_at_infinity);
+    assert!(hc_bound(2) > cap_at_infinity);
+}
+
+/// Section V example as an executable claim: a task set with at most 3
+/// harmonic chains and `U_M ≤ 77.9%` is schedulable by RM-TS.
+#[test]
+fn three_chain_bound_is_achieved() {
+    // Chains {10,20,40} × {15,30} × {7,14}: K = 3 distinct chains.
+    let ts = TaskSetBuilder::new()
+        .task_with_utilization(0.30, Time::new(10_000))
+        .task_with_utilization(0.30, Time::new(20_000))
+        .task_with_utilization(0.20, Time::new(40_000))
+        .task_with_utilization(0.30, Time::new(15_000))
+        .task_with_utilization(0.20, Time::new(30_000))
+        .task_with_utilization(0.15, Time::new(7_000))
+        .task_with_utilization(0.10, Time::new(14_000))
+        .build()
+        .unwrap();
+    use rmts::taskmodel::harmonic::chain_count;
+    assert_eq!(chain_count(&ts), 3);
+
+    let m = 2;
+    let alg = RmTs::with_bound(HarmonicChain);
+    let lambda = alg.effective_bound(&ts);
+    // The effective bound is min(HC(3), 2Θ(7)/(1+Θ(7))).
+    assert!(lambda >= hc_bound(3).min(rmts_cap(ll_bound(7))) - 1e-12);
+    // This set's U_M ≈ 0.775 ≤ λ: must be accepted and valid.
+    assert!(ts.normalized_utilization(m) <= lambda);
+    let partition = alg.partition(&ts, m).expect("within the 3-chain bound");
+    assert!(partition.verify_rta());
+    assert!(
+        simulate_partitioned(&partition.workloads(), SimConfig::default()).all_deadlines_met()
+    );
+}
+
+/// Definition 1 boundary behavior: a task at exactly `Θ/(1+Θ)` is light.
+#[test]
+fn light_definition_boundary() {
+    use rmts::bounds::thresholds::is_light_set;
+    // N = 4 → Θ ≈ 0.7568, threshold ≈ 0.43075. Build tasks at just below.
+    let thr = light_threshold(ll_bound(4));
+    let period = 1_000_000u64;
+    let c = ((period as f64) * thr).floor() as u64;
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..4 {
+        b = b.task(c, period);
+    }
+    let ts = b.build().unwrap();
+    assert!(is_light_set(&ts));
+}
+
+/// Section I: strict partitioned scheduling cannot exceed 50% in the worst
+/// case; splitting overcomes it. The classic M+1 adversary at U_i = 0.5+ε.
+#[test]
+fn fifty_percent_wall_and_its_removal() {
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..5 {
+        b = b.task(501, 1000);
+    }
+    let ts = b.build().unwrap(); // 5 tasks of U = 0.501 on M = 4
+    let m = 4;
+    // No-splitting partitioned RM fails although U_M ≈ 0.626.
+    assert!(!PartitionedRm::ffd_rta().accepts(&ts, m));
+    // RM-TS splits one task and succeeds.
+    let partition = RmTs::new().partition(&ts, m).unwrap();
+    assert_eq!(partition.split_tasks().len(), 1);
+    assert!(partition.verify_rta());
+}

@@ -1,0 +1,131 @@
+//! Analysis ↔ execution cross-checks: the simulator must never observe a
+//! response time above what RTA promised, and RTA-verified partitions must
+//! never miss a deadline when executed.
+
+use rand::Rng;
+use rmts::gen::trial_rng;
+use rmts::prelude::*;
+use rmts::rta::response_time;
+
+/// Random schedulable partitions: simulated responses are bounded by the
+/// analyzed worst case, per subtask chain (for non-split tasks the RTA
+/// bound on the single stage; for split tasks the tail bound applies to
+/// the whole chain because synthetic deadlines already absorb predecessor
+/// delays).
+#[test]
+fn observed_response_never_exceeds_analyzed_bound_for_whole_tasks() {
+    for trial in 0..40u64 {
+        let mut rng = trial_rng(0xC0DE, trial);
+        let cfg = GenConfig::new(6, 0.9).with_periods(PeriodGen::Choice(vec![
+            4_000, 8_000, 12_000, 24_000,
+        ]));
+        let Some(ts) = cfg.generate(&mut rng) else {
+            continue;
+        };
+        // Uniprocessor workload (no splitting): clean per-task comparison.
+        let workload: Vec<Subtask> = ts
+            .iter_prioritized()
+            .map(|(p, t)| Subtask::whole(t, p))
+            .collect();
+        let Some(rtas) = (0..workload.len())
+            .map(|i| response_time(&workload, i))
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue; // unschedulable shape; nothing to compare
+        };
+        let report = simulate_partitioned(&[&workload], SimConfig::default());
+        assert!(report.all_deadlines_met());
+        for (s, bound) in workload.iter().zip(&rtas) {
+            let observed = report.response_of(s.parent).expect("task ran");
+            assert!(
+                observed <= *bound,
+                "trial {trial}: τ{} observed {} > analyzed {}",
+                s.parent.0,
+                observed,
+                bound
+            );
+            // Synchronous release is the critical instant: the bound is hit
+            // exactly on the first job, so observed == analyzed here.
+            assert_eq!(observed, *bound, "critical instant must be tight");
+        }
+    }
+}
+
+/// End-to-end: every partition RM-TS produces (across random loads) passes
+/// both static verification and dynamic execution.
+#[test]
+fn every_accepted_partition_executes_cleanly() {
+    let mut accepted = 0;
+    for trial in 0..60u64 {
+        let mut rng = trial_rng(0xFACE, trial);
+        let m = 2 + (trial % 3) as usize; // 2..4 processors
+        let u = rng.gen_range(0.5..0.95);
+        let cfg = GenConfig::new(4 * m, u * m as f64).with_periods(PeriodGen::Choice(vec![
+            5_000, 10_000, 20_000, 40_000, 80_000,
+        ]));
+        let Some(ts) = cfg.generate(&mut rng) else {
+            continue;
+        };
+        let Ok(partition) = RmTs::new().partition(&ts, m) else {
+            continue;
+        };
+        accepted += 1;
+        assert!(partition.covers(&ts), "trial {trial}: budget lost");
+        assert!(partition.verify_rta(), "trial {trial}: RTA verification failed");
+        let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+        assert!(
+            report.all_deadlines_met(),
+            "trial {trial}: simulated deadline miss in an RTA-verified partition:\n{partition}"
+        );
+    }
+    assert!(accepted >= 30, "too few accepted partitions: {accepted}");
+}
+
+/// The same end-to-end property for RM-TS/light on light sets — including
+/// saturated harmonic sets at exactly U_M = 1.0, the hardest feasible case.
+#[test]
+fn saturated_harmonic_partitions_execute_cleanly() {
+    for trial in 0..25u64 {
+        let mut rng = trial_rng(0xBEEF, trial);
+        let m = 2 + (trial % 2) as usize;
+        let cfg = GenConfig::new(6 * m, m as f64)
+            .with_periods(PeriodGen::Harmonic {
+                base: 8_000,
+                octaves: 4,
+            })
+            .with_utilization(UtilizationSpec::capped(0.40));
+        let Some(ts) = cfg.generate(&mut rng) else {
+            continue;
+        };
+        let partition = RmTsLight::new()
+            .partition(&ts, m)
+            .expect("Theorem 8 with the 100% harmonic bound");
+        assert!(partition.verify_rta());
+        let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
+        assert!(report.all_deadlines_met(), "trial {trial} missed");
+    }
+}
+
+/// Global-vs-partitioned agreement on trivially parallel workloads: when
+/// every processor would run one task, both simulators see identical
+/// response times.
+#[test]
+fn global_and_partitioned_agree_on_independent_tasks() {
+    let ts = TaskSetBuilder::new()
+        .task(3, 10)
+        .task(5, 14)
+        .task(7, 22)
+        .build()
+        .unwrap();
+    let g = simulate_global(&ts, 3, SimConfig::default());
+    let workloads: Vec<Vec<Subtask>> = ts
+        .iter_prioritized()
+        .map(|(p, t)| vec![Subtask::whole(t, p)])
+        .collect();
+    let refs: Vec<&[Subtask]> = workloads.iter().map(Vec::as_slice).collect();
+    let p = simulate_partitioned(&refs, SimConfig::default());
+    assert!(g.all_deadlines_met() && p.all_deadlines_met());
+    for t in ts.tasks() {
+        assert_eq!(g.response_of(t.id), p.response_of(t.id));
+    }
+}
