@@ -31,7 +31,10 @@ fn accept_rate(alg: &dyn Partitioner, sets: &[TaskSet], m: usize) -> f64 {
 fn bench(c: &mut Criterion) {
     let m = 8;
     let probe = sets(m, 0.85, 60);
-    println!("ABL-2 (quick): light sets, M=8, U_M=0.85, {} sets", probe.len());
+    println!(
+        "ABL-2 (quick): light sets, M=8, U_M=0.85, {} sets",
+        probe.len()
+    );
     let light = RmTsLight::new();
     let s1 = spa1(6 * m);
     println!(

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rmts_bench::{light_cfg, QUICK_TRIALS, SEED};
 use rmts_core::baselines::spa1;
-use rmts_core::{Partitioner, RmTsLight};
+use rmts_core::{AdmissionPolicy, Partitioner, RmTsLight};
 use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
 use rmts_exp::CheckLevel;
 use rmts_gen::trial_rng;
@@ -38,6 +38,16 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("rmts_light_m8_u090", |b| {
         let alg = RmTsLight::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(alg.partition(&sets[i], m).is_ok())
+        })
+    });
+    // Same engine with the scratch (uncached) exact-RTA policy: decision-
+    // identical, isolates what the incremental admission cache saves here.
+    group.bench_function("rmts_light_scratch_m8_u090", |b| {
+        let alg = RmTsLight::with_policy(AdmissionPolicy::exact_scratch());
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % sets.len();

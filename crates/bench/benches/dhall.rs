@@ -29,12 +29,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("partitioned_sim_m4", |b| {
         let workloads = part.workloads();
-        b.iter(|| {
-            black_box(
-                simulate_partitioned(&workloads, SimConfig::default())
-                    .jobs_completed,
-            )
-        })
+        b.iter(|| black_box(simulate_partitioned(&workloads, SimConfig::default()).jobs_completed))
     });
     group.finish();
 }

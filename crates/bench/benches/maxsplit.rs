@@ -3,7 +3,9 @@
 //! The paper remarks that a binary search over `[0, C]` suffices but that
 //! \[22\]'s scheduling-point evaluation is more efficient. Both are exact
 //! (property-tested equal in `rmts-rta`); this ablation quantifies the
-//! speed gap on realistic processor workloads.
+//! speed gap on realistic processor workloads, for the scratch
+//! implementations and for their warm-started [`RtaCache`] counterparts
+//! (the path the partitioning engine actually uses).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
@@ -11,6 +13,7 @@ use rmts_bench::SEED;
 use rmts_core::MaxSplitStrategy;
 use rmts_gen::trial_rng;
 use rmts_rta::budget::NewcomerSpec;
+use rmts_rta::RtaCache;
 use rmts_taskmodel::{Priority, Subtask, SubtaskKind, TaskId, Time};
 use std::hint::black_box;
 
@@ -43,15 +46,28 @@ fn scenario(n: usize, trial: u64) -> (Vec<Subtask>, NewcomerSpec) {
 }
 
 fn bench(c: &mut Criterion) {
-    // Correctness gate before timing: both strategies agree on 100 cases.
+    // Correctness gate before timing: both strategies agree on 100 cases,
+    // through the scratch path and through the cache.
     for trial in 0..100 {
         let (w, spec) = scenario(6, trial);
         let cap = Time::new(spec.deadline.ticks());
+        let x = MaxSplitStrategy::BinarySearch.max_budget(&w, &spec, cap);
         assert_eq!(
-            MaxSplitStrategy::BinarySearch.max_budget(&w, &spec, cap),
+            x,
             MaxSplitStrategy::SchedulingPoints.max_budget(&w, &spec, cap),
             "strategies disagreed on trial {trial}"
         );
+        let mut cache = RtaCache::from_workload(&w);
+        for strategy in [
+            MaxSplitStrategy::BinarySearch,
+            MaxSplitStrategy::SchedulingPoints,
+        ] {
+            assert_eq!(
+                x,
+                strategy.max_budget_cached(&mut cache, &spec, cap),
+                "cached {strategy:?} disagreed on trial {trial}"
+            );
+        }
     }
     println!("ABL-1: strategies agree on 100 random scenarios; timing them now\n");
 
@@ -64,11 +80,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 i = (i + 1) % sc.len();
                 let (w, spec) = &sc[i];
-                black_box(MaxSplitStrategy::BinarySearch.max_budget(
-                    w,
-                    spec,
-                    spec.deadline,
-                ))
+                black_box(MaxSplitStrategy::BinarySearch.max_budget(w, spec, spec.deadline))
             })
         });
         group.bench_with_input(
@@ -79,14 +91,31 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     i = (i + 1) % sc.len();
                     let (w, spec) = &sc[i];
-                    black_box(MaxSplitStrategy::SchedulingPoints.max_budget(
-                        w,
-                        spec,
-                        spec.deadline,
-                    ))
+                    black_box(MaxSplitStrategy::SchedulingPoints.max_budget(w, spec, spec.deadline))
                 })
             },
         );
+
+        // The same two strategies served from a warm RtaCache — what the
+        // engine's `AdmissionPolicy::exact()` path runs.
+        for (label, strategy) in [
+            ("binary_search_cached", MaxSplitStrategy::BinarySearch),
+            (
+                "scheduling_points_cached",
+                MaxSplitStrategy::SchedulingPoints,
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &scenarios, |b, sc| {
+                let mut caches: Vec<RtaCache> =
+                    sc.iter().map(|(w, _)| RtaCache::from_workload(w)).collect();
+                let mut i = 0;
+                b.iter(|| {
+                    i = (i + 1) % sc.len();
+                    let spec = &sc[i].1;
+                    black_box(strategy.max_budget_cached(&mut caches[i], spec, spec.deadline))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -18,7 +18,10 @@ use rmts_taskmodel::TaskSet;
 /// Evaluates the R-Bound formula for explicit `n` and `r`.
 pub fn r_bound_formula(n: usize, r: f64) -> f64 {
     assert!(n >= 1, "R-Bound needs at least one task");
-    assert!((1.0..2.0).contains(&r), "scaled ratio must be in [1,2), got {r}");
+    assert!(
+        (1.0..2.0).contains(&r),
+        "scaled ratio must be in [1,2), got {r}"
+    );
     if n == 1 {
         return 1.0;
     }
@@ -92,7 +95,11 @@ mod tests {
 
     #[test]
     fn dominates_ll() {
-        for periods in [vec![4u64, 5, 6, 7], vec![10, 13, 17, 23, 29], vec![5, 9, 33, 64]] {
+        for periods in [
+            vec![4u64, 5, 6, 7],
+            vec![10, 13, 17, 23, 29],
+            vec![5, 9, 33, 64],
+        ] {
             let ts = set(&periods);
             assert!(
                 r_bound(&ts) >= ll_bound(ts.len()) - 1e-9,

@@ -115,8 +115,16 @@ mod tests {
     #[test]
     fn ignores_wcet() {
         // A PUB depends on the parameters it declares — here, periods only.
-        let a = TaskSetBuilder::new().task(1, 10).task(1, 15).build().unwrap();
-        let b = TaskSetBuilder::new().task(9, 10).task(2, 15).build().unwrap();
+        let a = TaskSetBuilder::new()
+            .task(1, 10)
+            .task(1, 15)
+            .build()
+            .unwrap();
+        let b = TaskSetBuilder::new()
+            .task(9, 10)
+            .task(2, 15)
+            .build()
+            .unwrap();
         assert_eq!(t_bound(&a), t_bound(&b));
     }
 }

@@ -22,12 +22,12 @@ fn random_periods(rng: &mut StdRng, n: usize, style: u8) -> Vec<u64> {
     match style {
         0 => {
             // Harmonic: base · 2^k.
-            let base = rng.gen_range(100..1000);
+            let base: u64 = rng.gen_range(100..1000);
             (0..n).map(|_| base << rng.gen_range(0..5)).collect()
         }
         1 => {
             // Two harmonic chains.
-            let b1 = rng.gen_range(100..500);
+            let b1: u64 = rng.gen_range(100..500);
             let b2 = b1 * 3 + 1; // coprime-ish second chain
             (0..n)
                 .map(|i| {
@@ -107,7 +107,7 @@ fn harmonic_sets_schedulable_at_full_utilization() {
     let mut rng = StdRng::seed_from_u64(0xFEED);
     for _ in 0..100 {
         let n = rng.gen_range(2..8);
-        let base: u64 = 1 << rng.gen_range(4..8);
+        let base: u64 = 1u64 << rng.gen_range(4..8);
         let mut periods: Vec<u64> = (0..n).map(|_| base << rng.gen_range(0..4)).collect();
         periods.sort_unstable();
         // Fill utilization exactly to 1.0: give each task a slice of its

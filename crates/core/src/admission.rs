@@ -14,6 +14,13 @@
 //!
 //! Both expose the same interface, so the engine in [`crate::engine`] is
 //! generic over them and experiments isolate exactly this difference.
+//!
+//! Exact-RTA admission runs through the processor's incremental
+//! [`RtaCache`](rmts_rta::RtaCache) by default: probes warm-start from
+//! cached response times and skip subtasks the newcomer cannot affect. The
+//! `cached: false` variant ([`AdmissionPolicy::exact_scratch`]) re-analyzes
+//! from scratch on every probe; it exists to benchmark the cache and to
+//! property-test that both paths make bit-identical decisions.
 
 use crate::maxsplit::MaxSplitStrategy;
 use crate::processor::ProcessorState;
@@ -32,6 +39,11 @@ pub enum AdmissionPolicy {
     ExactRta {
         /// Which `MaxSplit` implementation to use.
         strategy: MaxSplitStrategy,
+        /// Route admission through the processor's incremental RTA cache
+        /// (default). `false` re-analyzes from scratch on every probe —
+        /// same decisions, no reuse; kept for benchmarks and equivalence
+        /// tests.
+        cached: bool,
     },
     /// Density threshold (the \[16\]-style SPA family).
     DensityThreshold {
@@ -41,10 +53,22 @@ pub enum AdmissionPolicy {
 }
 
 impl AdmissionPolicy {
-    /// Exact RTA with the default (scheduling-point) `MaxSplit`.
+    /// Exact RTA with the default (scheduling-point) `MaxSplit`, served
+    /// from the incremental admission cache.
     pub fn exact() -> Self {
         AdmissionPolicy::ExactRta {
             strategy: MaxSplitStrategy::default(),
+            cached: true,
+        }
+    }
+
+    /// Exact RTA that re-analyzes from scratch on every probe. Decision-
+    /// equivalent to [`AdmissionPolicy::exact`]; used as the baseline in
+    /// the `admission_cache` bench and the cache-equivalence tests.
+    pub fn exact_scratch() -> Self {
+        AdmissionPolicy::ExactRta {
+            strategy: MaxSplitStrategy::default(),
+            cached: false,
         }
     }
 
@@ -54,23 +78,34 @@ impl AdmissionPolicy {
     }
 
     /// Would the processor accept the newcomer with the given full budget?
-    pub fn fits_whole(&self, proc: &ProcessorState, new: &NewcomerSpec, budget: Time) -> bool {
+    pub fn fits_whole(&self, proc: &mut ProcessorState, new: &NewcomerSpec, budget: Time) -> bool {
         match *self {
-            AdmissionPolicy::ExactRta { .. } => admits_budget(proc.workload(), new, budget),
+            AdmissionPolicy::ExactRta { cached: true, .. } => {
+                // `probe_remember` memoizes the computed fixed points so an
+                // immediately following push of this newcomer is free.
+                proc.rta_cache_mut().probe_remember(new, budget)
+            }
+            AdmissionPolicy::ExactRta { cached: false, .. } => {
+                admits_budget(proc.workload(), new, budget)
+            }
             AdmissionPolicy::DensityThreshold { theta } => {
-                budget <= new.deadline
-                    && proc.density() + budget.ratio(new.deadline) <= theta + EPS
+                budget <= new.deadline && proc.density() + budget.ratio(new.deadline) <= theta + EPS
             }
         }
     }
 
     /// The largest admissible first-part budget `≤ cap` (Definition 3's
     /// `MaxSplit` quantity under this admission test).
-    pub fn max_budget(&self, proc: &ProcessorState, new: &NewcomerSpec, cap: Time) -> Time {
+    pub fn max_budget(&self, proc: &mut ProcessorState, new: &NewcomerSpec, cap: Time) -> Time {
         match *self {
-            AdmissionPolicy::ExactRta { strategy } => {
-                strategy.max_budget(proc.workload(), new, cap)
-            }
+            AdmissionPolicy::ExactRta {
+                strategy,
+                cached: true,
+            } => strategy.max_budget_cached(proc.rta_cache_mut(), new, cap),
+            AdmissionPolicy::ExactRta {
+                strategy,
+                cached: false,
+            } => strategy.max_budget(proc.workload(), new, cap),
             AdmissionPolicy::DensityThreshold { theta } => {
                 let slack = theta - proc.density();
                 if slack <= EPS {
@@ -91,10 +126,15 @@ impl AdmissionPolicy {
     /// density threshold the \[16\] analysis assumes body subtasks run at the
     /// highest local priority (Lemma 2), so the response equals the budget;
     /// we keep that convention to reproduce the baseline faithfully.
-    pub fn record_response(&self, proc: &ProcessorState, index: usize) -> Time {
+    pub fn record_response(&self, proc: &mut ProcessorState, index: usize) -> Time {
         match *self {
-            AdmissionPolicy::ExactRta { .. } => response_time(proc.workload(), index)
+            AdmissionPolicy::ExactRta { cached: true, .. } => proc
+                .cached_response(index)
                 .expect("admission just verified schedulability"),
+            AdmissionPolicy::ExactRta { cached: false, .. } => {
+                response_time(proc.workload(), index)
+                    .expect("admission just verified schedulability")
+            }
             AdmissionPolicy::DensityThreshold { .. } => proc.workload()[index].wcet,
         }
     }
@@ -133,13 +173,14 @@ mod tests {
 
     #[test]
     fn exact_policy_accepts_what_rta_accepts() {
-        let mut p = ProcessorState::new(0);
-        p.push(sub(5, 3, 12, 12));
-        let pol = AdmissionPolicy::exact();
-        let new = newcomer(0, 4, 4);
-        assert!(pol.fits_whole(&p, &new, Time::new(3)));
-        assert!(!pol.fits_whole(&p, &new, Time::new(4)));
-        assert_eq!(pol.max_budget(&p, &new, Time::new(100)), Time::new(3));
+        for pol in [AdmissionPolicy::exact(), AdmissionPolicy::exact_scratch()] {
+            let mut p = ProcessorState::new(0);
+            p.push(sub(5, 3, 12, 12));
+            let new = newcomer(0, 4, 4);
+            assert!(pol.fits_whole(&mut p, &new, Time::new(3)));
+            assert!(!pol.fits_whole(&mut p, &new, Time::new(4)));
+            assert_eq!(pol.max_budget(&mut p, &new, Time::new(100)), Time::new(3));
+        }
     }
 
     #[test]
@@ -149,9 +190,9 @@ mod tests {
         let pol = AdmissionPolicy::threshold(0.69);
         let new = newcomer(0, 10, 10);
         // 0.25 + b/10 ≤ 0.69 → b ≤ 4.4 → 4.
-        assert!(pol.fits_whole(&p, &new, Time::new(4)));
-        assert!(!pol.fits_whole(&p, &new, Time::new(5)));
-        assert_eq!(pol.max_budget(&p, &new, Time::new(100)), Time::new(4));
+        assert!(pol.fits_whole(&mut p, &new, Time::new(4)));
+        assert!(!pol.fits_whole(&mut p, &new, Time::new(5)));
+        assert_eq!(pol.max_budget(&mut p, &new, Time::new(100)), Time::new(4));
     }
 
     #[test]
@@ -162,7 +203,7 @@ mod tests {
         p.push(sub(5, 3, 12, 6)); // density 0.5, utilization 0.25
         let pol = AdmissionPolicy::threshold(0.6);
         let new = newcomer(0, 10, 10);
-        assert_eq!(pol.max_budget(&p, &new, Time::new(100)), Time::new(1));
+        assert_eq!(pol.max_budget(&mut p, &new, Time::new(100)), Time::new(1));
     }
 
     #[test]
@@ -175,8 +216,8 @@ mod tests {
         let exact = AdmissionPolicy::exact();
         let thresh = AdmissionPolicy::threshold(theta);
         let new = newcomer(0, 8, 8);
-        let x_exact = exact.max_budget(&p, &new, Time::new(100));
-        let x_thresh = thresh.max_budget(&p, &new, Time::new(100));
+        let x_exact = exact.max_budget(&mut p, &new, Time::new(100));
+        let x_thresh = thresh.max_budget(&mut p, &new, Time::new(100));
         // RTA: the (3,4) task tolerates R = 3 + ⌈R/8⌉X ≤ 4 → X = 1,
         // pushing utilization to 0.875.
         assert_eq!(x_exact, Time::new(1));
@@ -189,21 +230,48 @@ mod tests {
         let mut p = ProcessorState::new(0);
         p.push(sub(0, 2, 8, 8));
         p.push(sub(3, 3, 12, 12));
-        // Exact: the low-priority subtask's response includes interference.
-        let exact = AdmissionPolicy::exact();
-        assert_eq!(exact.record_response(&p, 1), Time::new(5));
+        // Exact: the low-priority subtask's response includes interference
+        // (both the cached and the scratch path).
+        assert_eq!(
+            AdmissionPolicy::exact().record_response(&mut p, 1),
+            Time::new(5)
+        );
+        assert_eq!(
+            AdmissionPolicy::exact_scratch().record_response(&mut p, 1),
+            Time::new(5)
+        );
         // Threshold: response = budget by the Lemma-2 convention.
         let thresh = AdmissionPolicy::threshold(0.9);
-        assert_eq!(thresh.record_response(&p, 1), Time::new(3));
+        assert_eq!(thresh.record_response(&mut p, 1), Time::new(3));
     }
 
     #[test]
     fn max_budget_never_exceeds_cap_or_deadline() {
-        let p = ProcessorState::new(0);
-        for pol in [AdmissionPolicy::exact(), AdmissionPolicy::threshold(1.0)] {
+        let mut p = ProcessorState::new(0);
+        for pol in [
+            AdmissionPolicy::exact(),
+            AdmissionPolicy::exact_scratch(),
+            AdmissionPolicy::threshold(1.0),
+        ] {
             let new = newcomer(0, 20, 12);
-            assert_eq!(pol.max_budget(&p, &new, Time::new(5)), Time::new(5));
-            assert_eq!(pol.max_budget(&p, &new, Time::new(100)), Time::new(12));
+            assert_eq!(pol.max_budget(&mut p, &new, Time::new(5)), Time::new(5));
+            assert_eq!(pol.max_budget(&mut p, &new, Time::new(100)), Time::new(12));
+        }
+    }
+
+    #[test]
+    fn cached_and_scratch_paths_agree_after_mutation() {
+        // Out-of-band mutation invalidates the cache; the lazy rebuild must
+        // bring both paths back in sync.
+        let mut p = ProcessorState::new(0);
+        p.push(sub(5, 3, 12, 12));
+        let new = newcomer(0, 4, 4);
+        assert!(AdmissionPolicy::exact().fits_whole(&mut p, &new, Time::new(3)));
+        p.mutate_workload(|subs| subs[0].wcet = Time::new(6));
+        for x in 0..=4 {
+            let cached = AdmissionPolicy::exact().fits_whole(&mut p, &new, Time::new(x));
+            let scratch = AdmissionPolicy::exact_scratch().fits_whole(&mut p, &new, Time::new(x));
+            assert_eq!(cached, scratch, "budget {x}");
         }
     }
 }

@@ -111,7 +111,10 @@ pub fn audit(partition: &Partition, ts: &TaskSet) -> Vec<AuditError> {
     let mut per_task: BTreeMap<u32, Vec<(usize, &rmts_taskmodel::Subtask)>> = BTreeMap::new();
     for proc in &partition.processors {
         for s in proc.workload() {
-            per_task.entry(s.parent.0).or_default().push((proc.index, s));
+            per_task
+                .entry(s.parent.0)
+                .or_default()
+                .push((proc.index, s));
         }
     }
     for (id, parts) in &mut per_task {
@@ -221,7 +224,7 @@ mod tests {
     #[test]
     fn detects_budget_tampering() {
         let (ts, mut p) = split_setup();
-        p.processors[0].subtasks[0].wcet += rmts_taskmodel::Time::new(1);
+        p.processors[0].mutate_workload(|subs| subs[0].wcet += rmts_taskmodel::Time::new(1));
         let errs = audit(&p, &ts);
         assert!(errs
             .iter()
@@ -233,11 +236,13 @@ mod tests {
         let (ts, mut p) = split_setup();
         // Find a tail subtask and stretch its deadline illegally.
         for proc in &mut p.processors {
-            for s in &mut proc.subtasks {
-                if s.kind.is_tail() {
-                    s.deadline = s.period;
+            proc.mutate_workload(|subs| {
+                for s in subs {
+                    if s.kind.is_tail() {
+                        s.deadline = s.period;
+                    }
                 }
-            }
+            });
         }
         let errs = audit(&p, &ts);
         assert!(errs

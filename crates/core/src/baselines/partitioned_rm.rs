@@ -10,7 +10,7 @@
 use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
 use crate::processor::ProcessorState;
 use rmts_bounds::ll_bound;
-use rmts_rta::budget::{admits_budget, NewcomerSpec};
+use rmts_rta::budget::NewcomerSpec;
 use rmts_taskmodel::{SplitPlan, Subtask, TaskSet};
 use serde::{Deserialize, Serialize};
 
@@ -65,7 +65,7 @@ impl PartitionedRm {
         }
     }
 
-    fn admits(&self, proc: &ProcessorState, candidate: &Subtask) -> bool {
+    fn admits(&self, proc: &mut ProcessorState, candidate: &Subtask) -> bool {
         match self.admission {
             UniAdmission::ExactRta => {
                 let spec = NewcomerSpec {
@@ -74,7 +74,7 @@ impl PartitionedRm {
                     deadline: candidate.deadline,
                     priority: candidate.priority,
                 };
-                admits_budget(proc.workload(), &spec, candidate.wcet)
+                proc.rta_cache_mut().probe_remember(&spec, candidate.wcet)
             }
             UniAdmission::LiuLayland => {
                 let n = proc.len() + 1;
@@ -124,10 +124,8 @@ impl Partitioner for PartitionedRm {
 
         for (prio, task) in order {
             let candidate = Subtask::whole(task, prio);
-            let fits: Vec<usize> = processors
-                .iter()
-                .filter(|p| self.admits(p, &candidate))
-                .map(|p| p.index)
+            let fits: Vec<usize> = (0..processors.len())
+                .filter(|&q| self.admits(&mut processors[q], &candidate))
                 .collect();
             let choice = match self.fit {
                 Fit::First => fits.first().copied(),
@@ -197,7 +195,11 @@ mod tests {
                 };
                 let part = alg.partition(&light_set(), 2).unwrap();
                 assert!(part.covers(&light_set()), "{} lost budget", alg.name());
-                assert!(part.verify_rta(), "{} produced an invalid partition", alg.name());
+                assert!(
+                    part.verify_rta(),
+                    "{} produced an invalid partition",
+                    alg.name()
+                );
                 assert!(part.split_tasks().is_empty());
             }
         }

@@ -129,10 +129,11 @@ pub fn run_phase(
             if !x.is_zero() {
                 proc.push(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
                 let response = policy.record_response(proc, proc.len() - 1);
-                plan.push_body(x, q, response).map_err(|cause| EngineError {
-                    task: spec.parent,
-                    cause,
-                })?;
+                plan.push_body(x, q, response)
+                    .map_err(|cause| EngineError {
+                        task: spec.parent,
+                        cause,
+                    })?;
             }
             proc.full = true;
         }
@@ -144,7 +145,7 @@ pub fn run_phase(
 mod tests {
     use super::*;
     use crate::processor::ProcessorRole;
-    use rmts_taskmodel::{Time, TaskSetBuilder};
+    use rmts_taskmodel::{TaskSetBuilder, Time};
 
     fn procs(n: usize) -> Vec<ProcessorState> {
         (0..n).map(ProcessorState::new).collect()

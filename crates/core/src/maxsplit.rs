@@ -9,6 +9,7 @@
 //! they agree, and the ablation bench (`ABL-1`) measures the speed gap.
 
 use rmts_rta::budget::{max_admissible_budget, max_admissible_budget_bsearch, NewcomerSpec};
+use rmts_rta::RtaCache;
 use rmts_taskmodel::{Subtask, Time};
 use serde::{Deserialize, Serialize};
 
@@ -28,10 +29,21 @@ impl MaxSplitStrategy {
     /// the newcomer with budget `X` stays fully schedulable.
     pub fn max_budget(self, workload: &[Subtask], new: &NewcomerSpec, cap: Time) -> Time {
         match self {
-            MaxSplitStrategy::BinarySearch => {
-                max_admissible_budget_bsearch(workload, new, cap)
-            }
+            MaxSplitStrategy::BinarySearch => max_admissible_budget_bsearch(workload, new, cap),
             MaxSplitStrategy::SchedulingPoints => max_admissible_budget(workload, new, cap),
+        }
+    }
+
+    /// The same quantity, computed through the processor's incremental
+    /// admission cache: binary-search probes warm-start from cached
+    /// response times; scheduling-point evaluation streams interferer
+    /// prefixes off the priority-sorted slice and reuses the cache's
+    /// internal point buffer. Bit-identical to [`Self::max_budget`]
+    /// (property-tested in `rmts-rta`).
+    pub fn max_budget_cached(self, cache: &mut RtaCache, new: &NewcomerSpec, cap: Time) -> Time {
+        match self {
+            MaxSplitStrategy::BinarySearch => cache.max_budget_bsearch(new, cap),
+            MaxSplitStrategy::SchedulingPoints => cache.max_budget_points(new, cap),
         }
     }
 }
@@ -67,6 +79,31 @@ mod tests {
             MaxSplitStrategy::BinarySearch.max_budget(&w, &new, cap),
             MaxSplitStrategy::SchedulingPoints.max_budget(&w, &new, cap)
         );
+    }
+
+    #[test]
+    fn cached_variants_agree_with_scratch() {
+        let w = [sub(4, 3, 12), sub(6, 2, 24)];
+        let new = NewcomerSpec {
+            parent: TaskId(0),
+            period: Time::new(4),
+            deadline: Time::new(4),
+            priority: Priority(0),
+        };
+        let mut cache = RtaCache::from_workload(&w);
+        for cap in [0u64, 2, 5, 100] {
+            let cap = Time::new(cap);
+            for strat in [
+                MaxSplitStrategy::BinarySearch,
+                MaxSplitStrategy::SchedulingPoints,
+            ] {
+                assert_eq!(
+                    strat.max_budget(&w, &new, cap),
+                    strat.max_budget_cached(&mut cache, &new, cap),
+                    "{strat:?} cap {cap:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -54,13 +54,15 @@ pub fn inflate(partition: &Partition, model: &OverheadModel) -> Partition {
         .map(|p| p.task().id.0)
         .collect();
     for proc in &mut out.processors {
-        for s in &mut proc.subtasks {
-            let mut c = s.wcet + 2 * model.preemption;
-            if split.contains(&s.parent.0) {
-                c += model.migration;
+        proc.mutate_workload(|subs| {
+            for s in subs {
+                let mut c = s.wcet + 2 * model.preemption;
+                if split.contains(&s.parent.0) {
+                    c += model.migration;
+                }
+                s.wcet = c.min(s.deadline);
             }
-            s.wcet = c.min(s.deadline);
-        }
+        });
     }
     out
 }

@@ -47,12 +47,18 @@ impl Partition {
 
     /// Sum of assigned utilizations over all processors.
     pub fn assigned_utilization(&self) -> f64 {
-        self.processors.iter().map(ProcessorState::utilization).sum()
+        self.processors
+            .iter()
+            .map(ProcessorState::utilization)
+            .sum()
     }
 
     /// Per-processor workloads (for the simulator and verification).
     pub fn workloads(&self) -> Vec<&[Subtask]> {
-        self.processors.iter().map(ProcessorState::workload).collect()
+        self.processors
+            .iter()
+            .map(ProcessorState::workload)
+            .collect()
     }
 
     /// Independent verification: every (sub)task on every processor meets

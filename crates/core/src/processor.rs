@@ -1,7 +1,24 @@
 //! Per-processor assignment state.
+//!
+//! [`ProcessorState`] is the partitioning engine's hot data structure: every
+//! `Assign` step probes it with admission queries, and worst-fit selection
+//! compares processor utilizations on every placement. To keep those paths
+//! cheap it maintains, incrementally:
+//!
+//! * **running totals** of utilization, density and budget — `O(1)` reads
+//!   where the seed recomputed `O(n)` sums per worst-fit comparison;
+//! * an embedded [`RtaCache`] — the priority-sorted workload with cached
+//!   exact response times that admission probes warm-start from;
+//! * a **workload revision counter** — bumped on every mutation, so staleness
+//!   of derived state is detectable; out-of-band mutation (only possible via
+//!   [`ProcessorState::mutate_workload`]) marks the cache for a lazy rebuild.
+//!
+//! The subtask list itself is now private: `push` and `mutate_workload` are
+//! the only ways to change it, which is what makes the cached state sound.
 
+use rmts_rta::RtaCache;
 use rmts_taskmodel::{Subtask, Time};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// How a processor is used by the partitioning algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,7 +34,7 @@ pub enum ProcessorRole {
 }
 
 /// The evolving state of one processor during and after partitioning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProcessorState {
     /// Platform index (`P_1 … P_M` in the paper, 0-based here).
     pub index: usize,
@@ -26,35 +43,68 @@ pub struct ProcessorState {
     /// `true` once `MaxSplit` has been used on this processor (or it was
     /// otherwise closed): no further tasks may be assigned.
     pub full: bool,
-    /// The (sub)tasks assigned so far.
-    pub subtasks: Vec<Subtask>,
+    /// The (sub)tasks assigned so far, in assignment order.
+    subtasks: Vec<Subtask>,
+    /// Running `Σ C_s / T_s`, accumulated in assignment order.
+    util_sum: f64,
+    /// Running `Σ C_s / Δ_s`, accumulated in assignment order.
+    density_sum: f64,
+    /// Running `Σ C_s`.
+    budget_sum: Time,
+    /// Bumped on every workload mutation (`push` or `mutate_workload`).
+    revision: u64,
+    /// Incremental admission cache over the current workload.
+    cache: RtaCache,
+    /// `false` after `mutate_workload` until the cache is lazily rebuilt.
+    cache_fresh: bool,
 }
 
 impl ProcessorState {
     /// A fresh, empty, normal processor.
     pub fn new(index: usize) -> Self {
-        ProcessorState {
+        Self::from_parts(index, ProcessorRole::Normal, false, Vec::new())
+    }
+
+    /// Reassembles a processor from explicit parts (deserialization, tests).
+    /// Totals are recomputed; the admission cache is rebuilt lazily.
+    pub fn from_parts(
+        index: usize,
+        role: ProcessorRole,
+        full: bool,
+        subtasks: Vec<Subtask>,
+    ) -> Self {
+        let mut p = ProcessorState {
             index,
-            role: ProcessorRole::Normal,
-            full: false,
-            subtasks: Vec::new(),
-        }
+            role,
+            full,
+            subtasks,
+            util_sum: 0.0,
+            density_sum: 0.0,
+            budget_sum: Time::ZERO,
+            revision: 0,
+            cache: RtaCache::new(),
+            cache_fresh: false,
+        };
+        p.recompute_totals();
+        p
     }
 
     /// Assigned utilization `U(P_q) = Σ C_s / T_s` over hosted subtasks.
+    /// `O(1)`: maintained incrementally in assignment order.
     pub fn utilization(&self) -> f64 {
-        self.subtasks.iter().map(Subtask::utilization).sum()
+        self.util_sum
     }
 
     /// Assigned density `Σ C_s / Δ_s` (utilization against synthetic
     /// deadlines) — the quantity threshold-based admission reasons about.
+    /// `O(1)`: maintained incrementally in assignment order.
     pub fn density(&self) -> f64 {
-        self.subtasks.iter().map(Subtask::density).sum()
+        self.density_sum
     }
 
-    /// Sum of assigned execution budgets.
+    /// Sum of assigned execution budgets. `O(1)`.
     pub fn budget(&self) -> Time {
-        self.subtasks.iter().map(|s| s.wcet).sum()
+        self.budget_sum
     }
 
     /// Number of hosted subtasks.
@@ -67,14 +117,61 @@ impl ProcessorState {
         self.subtasks.is_empty()
     }
 
-    /// The workload slice for analysis.
+    /// The workload slice for analysis, in assignment order.
     pub fn workload(&self) -> &[Subtask] {
         &self.subtasks
     }
 
+    /// The number of workload mutations this processor has seen. Derived
+    /// state tagged with an older revision is stale.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Adds a subtask (no admission check here; the engine does that).
+    /// Totals and the admission cache are updated incrementally.
     pub fn push(&mut self, s: Subtask) {
         self.subtasks.push(s);
+        self.util_sum += s.utilization();
+        self.density_sum += s.density();
+        self.budget_sum += s.wcet;
+        self.revision += 1;
+        if self.cache_fresh {
+            self.cache.push(s);
+        }
+    }
+
+    /// Arbitrary in-place mutation of the workload (overhead inflation,
+    /// tampering tests). Bumps the revision, recomputes the running totals
+    /// and invalidates the admission cache, which is rebuilt from scratch
+    /// on its next use.
+    pub fn mutate_workload<R>(&mut self, f: impl FnOnce(&mut Vec<Subtask>) -> R) -> R {
+        let out = f(&mut self.subtasks);
+        self.revision += 1;
+        self.cache_fresh = false;
+        self.recompute_totals();
+        out
+    }
+
+    /// The admission cache for the current workload, rebuilding it first if
+    /// an out-of-band mutation invalidated it.
+    pub fn rta_cache(&mut self) -> &RtaCache {
+        self.ensure_cache();
+        &self.cache
+    }
+
+    /// Mutable access to the admission cache (scheduling-point `MaxSplit`
+    /// reuses its internal scratch buffers).
+    pub fn rta_cache_mut(&mut self) -> &mut RtaCache {
+        self.ensure_cache();
+        &mut self.cache
+    }
+
+    /// The cached exact response time of `workload()[index]`, or `None` if
+    /// that subtask misses its synthetic deadline.
+    pub fn cached_response(&mut self, index: usize) -> Option<Time> {
+        self.ensure_cache();
+        self.cache.response_of(&self.subtasks[index])
     }
 
     /// The hosted subtask with the lowest priority, if any.
@@ -85,6 +182,63 @@ impl ProcessorState {
     /// The hosted subtask with the highest priority, if any.
     pub fn highest_priority(&self) -> Option<&Subtask> {
         self.subtasks.iter().min_by_key(|s| s.priority)
+    }
+
+    /// Recomputes the running totals with the same fold (assignment order,
+    /// from zero) the incremental path uses, so the sums stay bit-identical.
+    fn recompute_totals(&mut self) {
+        self.util_sum = self.subtasks.iter().map(Subtask::utilization).sum();
+        self.density_sum = self.subtasks.iter().map(Subtask::density).sum();
+        self.budget_sum = self.subtasks.iter().map(|s| s.wcet).sum();
+    }
+
+    fn ensure_cache(&mut self) {
+        if !self.cache_fresh {
+            self.cache = RtaCache::from_workload(&self.subtasks);
+            self.cache_fresh = true;
+        }
+    }
+}
+
+/// Equality ignores derived state (totals, cache, revision): two processors
+/// are equal iff their observable assignment state is.
+impl PartialEq for ProcessorState {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+            && self.role == other.role
+            && self.full == other.full
+            && self.subtasks == other.subtasks
+    }
+}
+
+/// Serializes only the observable fields (same JSON shape as before the
+/// derived-state fields existed: `{index, role, full, subtasks}`).
+impl Serialize for ProcessorState {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("index".to_string(), self.index.to_value()),
+            ("role".to_string(), self.role.to_value()),
+            ("full".to_string(), self.full.to_value()),
+            ("subtasks".to_string(), self.subtasks.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ProcessorState {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom("ProcessorState: expected an object"))?;
+        let field = |name: &str| {
+            serde::get_field(obj, name)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+        };
+        Ok(ProcessorState::from_parts(
+            usize::from_value(field("index")?)?,
+            ProcessorRole::from_value(field("role")?)?,
+            bool::from_value(field("full")?)?,
+            Vec::<Subtask>::from_value(field("subtasks")?)?,
+        ))
     }
 }
 
@@ -113,6 +267,7 @@ mod tests {
         assert!(!p.full);
         assert!(p.is_empty());
         assert_eq!(p.utilization(), 0.0);
+        assert_eq!(p.revision(), 0);
         assert!(p.lowest_priority().is_none());
     }
 
@@ -134,5 +289,67 @@ mod tests {
         assert_eq!(p.highest_priority().unwrap().priority, Priority(2));
         assert_eq!(p.lowest_priority().unwrap().priority, Priority(9));
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn running_totals_match_recomputation() {
+        let mut p = ProcessorState::new(0);
+        let subs = [sub(3, 2, 7, 7), sub(1, 3, 11, 9), sub(8, 1, 13, 13)];
+        for s in subs {
+            p.push(s);
+        }
+        // Bit-identical to the same left-to-right fold from zero.
+        let util: f64 = subs.iter().map(Subtask::utilization).sum();
+        let density: f64 = subs.iter().map(Subtask::density).sum();
+        assert_eq!(p.utilization().to_bits(), util.to_bits());
+        assert_eq!(p.density().to_bits(), density.to_bits());
+        assert_eq!(p.budget(), Time::new(6));
+        assert_eq!(p.revision(), 3);
+    }
+
+    #[test]
+    fn mutate_workload_refreshes_totals_and_cache() {
+        let mut p = ProcessorState::new(0);
+        p.push(sub(0, 2, 8, 8));
+        p.push(sub(3, 3, 12, 12));
+        assert_eq!(p.cached_response(1), Some(Time::new(5)));
+        let r0 = p.revision();
+        p.mutate_workload(|subs| subs[0].wcet = Time::new(4));
+        assert!(p.revision() > r0);
+        assert_eq!(p.utilization(), 4.0 / 8.0 + 3.0 / 12.0);
+        // Cache rebuilt lazily: R = 3 + 4⌈R/8⌉ → 7.
+        assert_eq!(p.cached_response(1), Some(Time::new(7)));
+    }
+
+    #[test]
+    fn cache_tracks_pushes_incrementally() {
+        let mut p = ProcessorState::new(0);
+        p.push(sub(2, 3, 12, 12));
+        assert_eq!(p.cached_response(0), Some(Time::new(3)));
+        p.push(sub(0, 1, 4, 4)); // higher priority: index-0 entry updates
+        assert_eq!(p.cached_response(0), Some(Time::new(4)));
+        assert_eq!(p.cached_response(1), Some(Time::new(1)));
+        assert!(p.rta_cache().is_schedulable());
+    }
+
+    #[test]
+    fn equality_ignores_derived_state() {
+        let mut a = ProcessorState::new(0);
+        a.push(sub(1, 1, 4, 4));
+        let b = ProcessorState::from_parts(0, ProcessorRole::Normal, false, a.workload().to_vec());
+        // Different revision histories, same observable state.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_observable_state() {
+        let mut p = ProcessorState::new(2);
+        p.push(sub(1, 2, 8, 6));
+        p.full = true;
+        let json = serde_json::to_string(&p).unwrap();
+        let q: ProcessorState = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.utilization(), p.utilization());
+        assert_eq!(q.budget(), p.budget());
     }
 }

@@ -131,7 +131,8 @@ impl<B: ParametricBound> RmTs<B> {
         policy: &AdmissionPolicy,
     ) -> SplitPlan {
         processors[q].push(Subtask::whole(task, prio));
-        let response = policy.record_response(&processors[q], processors[q].len() - 1);
+        let last = processors[q].len() - 1;
+        let response = policy.record_response(&mut processors[q], last);
         let mut plan = SplitPlan::new(*task, prio);
         plan.seal_tail(q, response)
             .expect("whole task always has positive remaining budget");
@@ -295,7 +296,11 @@ mod tests {
         // τ0 = (3,5): U = 0.6 > Θ(2)/(1+Θ(2)) ≈ 0.453 → heavy; the only
         // lower-priority task contributes 0.1 ≤ (2−1)·Λ, so τ0 is
         // pre-assigned to P0.
-        let ts = TaskSetBuilder::new().task(3, 5).task(1, 10).build().unwrap();
+        let ts = TaskSetBuilder::new()
+            .task(3, 5)
+            .task(1, 10)
+            .build()
+            .unwrap();
         let part = RmTs::new().partition(&ts, 2).unwrap();
         let (normal, pre, dedicated) = part.role_counts();
         assert_eq!((normal, pre, dedicated), (1, 1, 0));

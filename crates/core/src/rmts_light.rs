@@ -12,8 +12,8 @@
 //! its deadline at run time (Lemma 4).
 
 use crate::admission::AdmissionPolicy;
-use crate::engine::{queue_increasing_priority, run_phase, Select};
 pub use crate::engine::Select as FitSelect;
+use crate::engine::{queue_increasing_priority, run_phase, Select};
 use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
 use crate::processor::ProcessorState;
 use rmts_taskmodel::TaskSet;
@@ -172,10 +172,7 @@ mod tests {
         // Subtasks of one task live on different processors.
         assert_ne!(subs[0].1, subs[1].1);
         // Tail synthetic deadline = T − R_body (Lemma 3 with R = C).
-        assert_eq!(
-            subs[1].0.deadline,
-            Time::new(8) - subs[0].0.wcet
-        );
+        assert_eq!(subs[1].0.deadline, Time::new(8) - subs[0].0.wcet);
         assert!(part.verify_rta());
     }
 
@@ -196,7 +193,12 @@ mod tests {
 
     #[test]
     fn single_processor_degenerates_to_uniprocessor_rta() {
-        let ts = TaskSetBuilder::new().task(1, 4).task(2, 6).task(3, 12).build().unwrap();
+        let ts = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(2, 6)
+            .task(3, 12)
+            .build()
+            .unwrap();
         let part = RmTsLight::new().partition(&ts, 1).unwrap();
         assert_eq!(part.num_processors(), 1);
         assert!(part.split_tasks().is_empty());
@@ -228,7 +230,12 @@ mod tests {
         assert!(RmTsLight::new().accepts(&ts, 2), "worst-fit must accept");
         assert!(!ff.accepts(&ts, 2), "first-fit must fail here");
         // On easy sets the ablation variant still produces valid partitions.
-        let easy = TaskSetBuilder::new().task(1, 4).task(2, 8).task(2, 8).build().unwrap();
+        let easy = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(2, 8)
+            .task(2, 8)
+            .build()
+            .unwrap();
         let part = ff.partition(&easy, 2).unwrap();
         assert!(part.covers(&easy));
         assert!(part.verify_rta());

@@ -52,7 +52,10 @@ fn all_heavy_set_uses_pre_assignment_or_dedication() {
     let part = RmTs::new().partition(&ts, 6).unwrap();
     assert!(part.verify_rta());
     let (_, pre, ded) = part.role_counts();
-    assert!(pre + ded >= 1, "heavy tasks should trigger special handling");
+    assert!(
+        pre + ded >= 1,
+        "heavy tasks should trigger special handling"
+    );
     assert!(part.split_tasks().is_empty());
 }
 

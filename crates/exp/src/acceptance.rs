@@ -144,7 +144,11 @@ pub fn sweep_table(title: &str, points: &[SweepPoint]) -> Table {
             let cell = if r.verified == r.accepted {
                 pct(r.accepted, r.trials)
             } else {
-                format!("{} ({})", pct(r.accepted, r.trials), pct(r.verified, r.trials))
+                format!(
+                    "{} ({})",
+                    pct(r.accepted, r.trials),
+                    pct(r.verified, r.trials)
+                )
             };
             row.push(cell);
         }
@@ -201,7 +205,10 @@ mod tests {
             rmts_hi >= prm_hi,
             "RM-TS ({rmts_hi}) must beat P-RM ({prm_hi}) at U_M=0.95"
         );
-        assert!(rmts_hi > 30, "harmonic sets at 0.95 should mostly fit: {rmts_hi}");
+        assert!(
+            rmts_hi > 30,
+            "harmonic sets at 0.95 should mostly fit: {rmts_hi}"
+        );
     }
 
     #[test]

@@ -75,7 +75,13 @@ fn main() {
                     // Guaranteed capacity after harmonization: the 100%
                     // bound net of the inflation η (demand grows by η).
                     let harm_bound = 1.0 / cost;
-                    (true, orig_bound, harm_bound, original, RmTsLight::new().accepts(&h, m))
+                    (
+                        true,
+                        orig_bound,
+                        harm_bound,
+                        original,
+                        RmTsLight::new().accepts(&h, m),
+                    )
                 }
                 None => (true, orig_bound, f64::NAN, original, false),
             }

@@ -29,14 +29,12 @@ fn main() {
         &["N", "RM-TS[HC]", "SPA2", "P-RM-FFD/RTA", "mean Λ(τ) (guarantee)"],
     );
     for n in [16usize, 24, 32, 48] {
-        let make = |rng: &mut rand::rngs::StdRng, u: f64| {
-            automotive_taskset(rng, n, u * m as f64, 0.8)
-        };
+        let make =
+            |rng: &mut rand::rngs::StdRng, u: f64| automotive_taskset(rng, n, u * m as f64, 0.8);
         let rmts_alg = RmTs::with_bound(HarmonicChain);
         let w_rmts =
             weighted_schedulability(&rmts_alg, m, (0.5, 1.0), opts.trials, opts.seed, &make);
-        let w_spa =
-            weighted_schedulability(&spa2(n), m, (0.5, 1.0), opts.trials, opts.seed, &make);
+        let w_spa = weighted_schedulability(&spa2(n), m, (0.5, 1.0), opts.trials, opts.seed, &make);
         let w_prm = weighted_schedulability(
             &PartitionedRm::ffd_rta(),
             m,

@@ -87,7 +87,14 @@ fn main() {
             let cfg_any = GenConfig::new(4 * m, m as f64)
                 .with_periods(periods.clone())
                 .with_utilization(UtilizationSpec::any());
-            let out = run_rmts_cell(bound.as_ref(), m, &cfg_any, opts.trials, opts.seed, sim_horizon);
+            let out = run_rmts_cell(
+                bound.as_ref(),
+                m,
+                &cfg_any,
+                opts.trials,
+                opts.seed,
+                sim_horizon,
+            );
             table.push_row(vec![
                 format!("{} × {style_name}", bound.name()),
                 out.0,

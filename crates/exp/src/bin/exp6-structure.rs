@@ -17,7 +17,10 @@ fn main() {
     let m = 8usize;
     let n = 4 * m;
     let mut table = Table::new(
-        format!("EXP-6: RM-TS partition structure (M={m}, N={n}, {} sets/row)", opts.trials),
+        format!(
+            "EXP-6: RM-TS partition structure (M={m}, N={n}, {} sets/row)",
+            opts.trials
+        ),
         &[
             "U_M",
             "accepted",

@@ -34,8 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod acceptance;
-pub mod cli;
 pub mod breakdown;
+pub mod cli;
 pub mod parallel;
 pub mod sizing;
 pub mod structure;
@@ -46,9 +46,9 @@ pub mod weighted;
 pub use acceptance::{acceptance_sweep, AcceptanceRate, CheckLevel, SweepPoint};
 pub use breakdown::{average_breakdown, BreakdownStats};
 pub use parallel::parallel_map;
-pub use table::Table;
 pub use sizing::{min_processors_by_bound, min_processors_by_partitioning};
 pub use structure::{structure_stats, StructureStats};
 pub use table::wilson95;
+pub use table::Table;
 pub use verify::{verify_campaign, VerifyOutcome};
 pub use weighted::{weighted_schedulability, Weighted};

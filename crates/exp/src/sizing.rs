@@ -41,7 +41,9 @@ pub fn min_processors_by_bound(ts: &TaskSet, bound: &dyn ParametricBound) -> usi
         .filter(|&u| u > lambda + 1e-12)
         .collect();
     let rest: f64 = ts.total_utilization() - dedicated.iter().sum::<f64>();
-    let shared = (rest / lambda).ceil().max(if rest > 0.0 { 1.0 } else { 0.0 }) as usize;
+    let shared = (rest / lambda)
+        .ceil()
+        .max(if rest > 0.0 { 1.0 } else { 0.0 }) as usize;
     dedicated.len() + shared
 }
 

@@ -87,7 +87,9 @@ mod tests {
         let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
         let trials = 20_000;
         for _ in 0..trials {
-            *counts.entry(automotive_period(&mut rng).ticks()).or_insert(0) += 1;
+            *counts
+                .entry(automotive_period(&mut rng).ticks())
+                .or_insert(0) += 1;
         }
         let frac = |ms: u64| *counts.get(&(ms * 1000)).unwrap_or(&0) as f64 / trials as f64;
         assert!((frac(10) + frac(20) - 0.5).abs() < 0.03);

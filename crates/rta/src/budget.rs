@@ -94,11 +94,7 @@ fn admits(workload: &[Subtask], new: &NewcomerSpec, x: Time) -> bool {
 ///
 /// Returns `Time::ZERO` when nothing fits (including when the workload is
 /// already unschedulable on its own).
-pub fn max_admissible_budget_bsearch(
-    workload: &[Subtask],
-    new: &NewcomerSpec,
-    cap: Time,
-) -> Time {
+pub fn max_admissible_budget_bsearch(workload: &[Subtask], new: &NewcomerSpec, cap: Time) -> Time {
     if !admits(workload, new, Time::ZERO) {
         return Time::ZERO;
     }
@@ -233,10 +229,7 @@ mod tests {
     #[test]
     fn cap_limits_result() {
         let new = newcomer(0, 10, 10);
-        assert_eq!(
-            max_admissible_budget(&[], &new, Time::new(3)),
-            Time::new(3)
-        );
+        assert_eq!(max_admissible_budget(&[], &new, Time::new(3)), Time::new(3));
     }
 
     #[test]

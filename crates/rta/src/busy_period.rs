@@ -118,9 +118,15 @@ mod tests {
     #[test]
     fn level_filters_by_priority() {
         let w = [sub(0, 2, 4), sub(1, 2, 6), sub(2, 2, 20)]; // U ≈ 0.93
-        // Level-0: just (2,4) → 2. Level-1: (2,4)+(2,6) → 4.
-        assert_eq!(level_busy_period(&w, 0, Time::new(1000)), Some(Time::new(2)));
-        assert_eq!(level_busy_period(&w, 1, Time::new(1000)), Some(Time::new(4)));
+                                                             // Level-0: just (2,4) → 2. Level-1: (2,4)+(2,6) → 4.
+        assert_eq!(
+            level_busy_period(&w, 0, Time::new(1000)),
+            Some(Time::new(2))
+        );
+        assert_eq!(
+            level_busy_period(&w, 1, Time::new(1000)),
+            Some(Time::new(4))
+        );
         // Whole processor: L = 2⌈L/4⌉ + 2⌈L/6⌉ + 2⌈L/20⌉ → 12.
         let whole = processor_busy_period(&w, Time::new(1000)).unwrap();
         assert_eq!(whole, Time::new(12));

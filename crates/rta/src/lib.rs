@@ -16,6 +16,10 @@
 //!   solved both by monotone binary search and by closed evaluation at
 //!   scheduling points (the efficient implementation of \[22\] the paper
 //!   refers to).
+//! * [`cache`] — the incremental admission cache used by the partitioning
+//!   engine: a priority-sorted workload with cached response times whose
+//!   probes warm-start the fixed-point iteration and skip unaffected
+//!   subtasks, bit-identical to the scratch analysis above.
 //! * [`busy_period`] — synchronous level-i busy periods, used for horizon
 //!   bounds and diagnostics.
 //! * [`sensitivity`] — exact critical scaling factors and per-task WCET
@@ -45,11 +49,13 @@
 
 pub mod budget;
 pub mod busy_period;
+pub mod cache;
 pub mod rta;
 pub mod sensitivity;
 pub mod tda;
 
 pub use budget::{max_admissible_budget, max_admissible_budget_bsearch, NewcomerSpec};
+pub use cache::RtaCache;
 pub use rta::{is_schedulable, response_time, response_times};
 pub use sensitivity::{scaling_factor, wcet_slack};
 pub use tda::{tda_schedulable, tda_task_schedulable};

@@ -31,13 +31,35 @@ pub fn interference(wcet: Time, period: Time, window: Time) -> Time {
 /// The least fixed point of `R = c + Σ ⌈R/T_j⌉·C_j`, or `None` if it
 /// exceeds `deadline`. `hp` lists the higher-priority `(C_j, T_j)` pairs.
 pub fn fixed_point(c: Time, deadline: Time, hp: &[(Time, Time)]) -> Option<Time> {
+    fixed_point_from(c, c, deadline, hp.iter().copied())
+}
+
+/// The least fixed point of `R = c + Σ ⌈R/T_j⌉·C_j`, iterated from a
+/// warm-start value `start`, or `None` if it exceeds `deadline`.
+///
+/// **Soundness of warm starts.** The demand function
+/// `g(t) = c + Σ ⌈t/T_j⌉·C_j` is monotone, so an ascending iteration from
+/// any `start ≤ lfp(g)` stays below `lfp(g)` and converges to exactly
+/// `lfp(g)` — the same value the cold iteration from `c` reaches. The cached
+/// response time of a subtask is the least fixed point of its *previous*
+/// demand function `f ≤ g` (adding an interferer or growing a budget only
+/// increases demand), hence `lfp(f) ≤ lfp(g)` and is a valid warm start.
+/// Passing `start > lfp(g)` is a contract violation (caught by a debug
+/// assertion: the iteration would descend).
+///
+/// `hp` is any re-iterable sequence of `(C_j, T_j)` pairs, so callers can
+/// stream interferers straight out of a slice without collecting them.
+pub fn fixed_point_from<I>(start: Time, c: Time, deadline: Time, hp: I) -> Option<Time>
+where
+    I: Iterator<Item = (Time, Time)> + Clone,
+{
     if c > deadline {
         return None;
     }
-    let mut r = c;
+    let mut r = start.max(c);
     loop {
         let mut next = c;
-        for &(cj, tj) in hp {
+        for (cj, tj) in hp.clone() {
             next = next.saturating_add(interference(cj, tj, r));
             if next > deadline {
                 return None;
@@ -46,29 +68,35 @@ pub fn fixed_point(c: Time, deadline: Time, hp: &[(Time, Time)]) -> Option<Time>
         if next == r {
             return Some(r);
         }
-        debug_assert!(next > r, "RTA iteration must ascend");
+        debug_assert!(next > r, "RTA iteration must ascend (warm start ≤ lfp)");
         r = next;
     }
 }
 
-/// Collects the higher-priority `(C, T)` pairs for the subtask at `index`
-/// within `workload`.
-fn higher_priority_of(workload: &[Subtask], index: usize) -> Vec<(Time, Time)> {
-    let me = &workload[index];
+/// Streams the higher-priority `(C, T)` pairs for the subtask at `index`
+/// within `workload` — no per-call allocation.
+fn higher_priority_of(
+    workload: &[Subtask],
+    index: usize,
+) -> impl Iterator<Item = (Time, Time)> + Clone + '_ {
+    let me = workload[index].priority;
     workload
         .iter()
         .enumerate()
-        .filter(|&(j, s)| j != index && s.priority.is_higher_than(me.priority))
+        .filter(move |&(j, s)| j != index && s.priority.is_higher_than(me))
         .map(|(_, s)| (s.wcet, s.period))
-        .collect()
 }
 
 /// Exact worst-case response time of `workload[index]` against its
 /// synthetic deadline; `None` if the deadline is missed.
 pub fn response_time(workload: &[Subtask], index: usize) -> Option<Time> {
     let me = &workload[index];
-    let hp = higher_priority_of(workload, index);
-    fixed_point(me.wcet, me.deadline, &hp)
+    fixed_point_from(
+        me.wcet,
+        me.wcet,
+        me.deadline,
+        higher_priority_of(workload, index),
+    )
 }
 
 /// Response times of every subtask in the workload; `None` if any subtask
@@ -193,6 +221,37 @@ mod tests {
         let w = [sub(0, 0, 2, 10), sub(1, 1, 2, 10)];
         assert_eq!(response_time(&w, 0), Some(Time::new(2)));
         assert_eq!(response_time(&w, 1), Some(Time::new(4)));
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point() {
+        // τ3 = (3,12) under (1,4) and (2,6): R = 10 (textbook). Warm-start
+        // the iteration from every valid lower value and from the fixed
+        // point itself; all must land on 10.
+        let hp = [(Time::new(1), Time::new(4)), (Time::new(2), Time::new(6))];
+        let cold = fixed_point(Time::new(3), Time::new(12), &hp).unwrap();
+        assert_eq!(cold, Time::new(10));
+        for start in 0..=10 {
+            let warm = fixed_point_from(
+                Time::new(start),
+                Time::new(3),
+                Time::new(12),
+                hp.iter().copied(),
+            );
+            assert_eq!(warm, Some(cold), "start {start}");
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_misses() {
+        // (2,4) + newcomer interference (3,6) on c=3, Δ=6: diverges past 6
+        // regardless of the warm start.
+        let hp = [(Time::new(2), Time::new(4))];
+        assert_eq!(fixed_point(Time::new(3), Time::new(6), &hp), None);
+        assert_eq!(
+            fixed_point_from(Time::new(5), Time::new(3), Time::new(6), hp.iter().copied()),
+            None
+        );
     }
 
     #[test]

@@ -24,25 +24,38 @@ use rmts_taskmodel::{Subtask, Time};
 /// `d` itself. Sorted ascending, deduplicated.
 pub fn scheduling_points(deadline: Time, hp_periods: &[Time]) -> Vec<Time> {
     let mut pts = Vec::new();
-    for &t in hp_periods {
+    scheduling_points_into(deadline, hp_periods.iter().copied(), &mut pts);
+    pts
+}
+
+/// Allocation-free variant of [`scheduling_points`]: clears `out` and fills
+/// it with the same sorted, deduplicated point set, reusing its capacity.
+/// Used by the incremental admission cache on the partitioning hot path.
+pub fn scheduling_points_into(
+    deadline: Time,
+    hp_periods: impl Iterator<Item = Time>,
+    out: &mut Vec<Time>,
+) {
+    out.clear();
+    for t in hp_periods {
         if t.is_zero() {
             continue;
         }
         let max_m = deadline.div_floor(t);
         for m in 1..=max_m {
-            pts.push(t * m);
+            out.push(t * m);
         }
     }
-    pts.push(deadline);
-    pts.sort_unstable();
-    pts.dedup();
-    pts
+    out.push(deadline);
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// The time-demand function `W(t) = c + Σ ⌈t/T_j⌉·C_j`.
 pub fn time_demand(c: Time, hp: &[(Time, Time)], t: Time) -> Time {
-    hp.iter()
-        .fold(c, |acc, &(cj, tj)| acc.saturating_add(interference(cj, tj, t)))
+    hp.iter().fold(c, |acc, &(cj, tj)| {
+        acc.saturating_add(interference(cj, tj, t))
+    })
 }
 
 /// TDA test for a single "virtual task" `(c, deadline)` against
@@ -108,11 +121,7 @@ mod tests {
 
     #[test]
     fn agrees_with_rta_on_textbook_set() {
-        let w = [
-            sub(0, 0, 1, 4, 4),
-            sub(1, 1, 2, 6, 6),
-            sub(2, 2, 3, 12, 12),
-        ];
+        let w = [sub(0, 0, 1, 4, 4), sub(1, 1, 2, 6, 6), sub(2, 2, 3, 12, 12)];
         assert!(tda_schedulable(&w));
         assert!(is_schedulable(&w));
     }

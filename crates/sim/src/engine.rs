@@ -198,10 +198,7 @@ mod tests {
     use rmts_taskmodel::{SubtaskKind, Task};
 
     fn whole(id: u32, prio: u32, c: u64, t: u64) -> Subtask {
-        Subtask::whole(
-            &Task::from_ticks(id, c, t).unwrap(),
-            Priority(prio),
-        )
+        Subtask::whole(&Task::from_ticks(id, c, t).unwrap(), Priority(prio))
     }
 
     #[test]
@@ -260,10 +257,7 @@ mod tests {
         let w0 = vec![whole(0, 0, 1, 6), whole(1, 1, 1, 10)];
         let chains = build_chains(&[&w0]);
         assert_eq!(horizon_for(&chains, None), Time::new(30));
-        assert_eq!(
-            horizon_for(&chains, Some(Time::new(99))),
-            Time::new(99)
-        );
+        assert_eq!(horizon_for(&chains, Some(Time::new(99))), Time::new(99));
     }
 
     #[test]
@@ -273,9 +267,6 @@ mod tests {
             whole(1, 1, 1, 999_999_893),
         ];
         let chains = build_chains(&[&w0]);
-        assert_eq!(
-            horizon_for(&chains, None),
-            Time::new(DEFAULT_HORIZON_CAP)
-        );
+        assert_eq!(horizon_for(&chains, None), Time::new(DEFAULT_HORIZON_CAP));
     }
 }

@@ -133,9 +133,7 @@ pub fn simulate_global(ts: &TaskSet, m: usize, config: SimConfig) -> SimReport {
             s.next_job += 1;
             let extra = match config.release {
                 ReleaseModel::Periodic => Time::ZERO,
-                ReleaseModel::Sporadic { max_delay, .. } => {
-                    Time::new(jitter[i].next(max_delay))
-                }
+                ReleaseModel::Sporadic { max_delay, .. } => Time::new(jitter[i].next(max_delay)),
             };
             s.next_release = now + chains[i].period + extra;
         }
@@ -200,7 +198,10 @@ mod tests {
         // ticks to its deadline... it misses despite U_M ≈ 0.5.
         let ts = dhall_adversary(2, 1000, 1);
         let u_m = ts.normalized_utilization(2);
-        assert!(u_m < 0.51, "Dhall set should have low utilization, got {u_m}");
+        assert!(
+            u_m < 0.51,
+            "Dhall set should have low utilization, got {u_m}"
+        );
         let report = simulate_global(&ts, 2, SimConfig::default());
         assert!(!report.all_deadlines_met(), "Dhall effect must bite");
         assert_eq!(report.misses[0].task, TaskId(2));

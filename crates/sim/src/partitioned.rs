@@ -124,7 +124,11 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
         // Next event: earliest stage completion or job release.
         let mut t_next = Time::MAX;
         for ci in top.iter().flatten() {
-            let rem = jobs[*ci].active.as_ref().expect("running is active").remaining;
+            let rem = jobs[*ci]
+                .active
+                .as_ref()
+                .expect("running is active")
+                .remaining;
             t_next = t_next.min(now + rem);
         }
         for job in &jobs {
@@ -174,13 +178,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
                 jobs[ci].active = None;
                 record_completion(&mut report, chain, active.released, now);
                 if now > active.released + chain.period {
-                    record_miss(
-                        &mut report,
-                        chain,
-                        active.job,
-                        active.released,
-                        Some(now),
-                    );
+                    record_miss(&mut report, chain, active.job, active.released, Some(now));
                 }
             }
         }
@@ -211,9 +209,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             jobs[ci].next_job += 1;
             let extra = match config.release {
                 ReleaseModel::Periodic => Time::ZERO,
-                ReleaseModel::Sporadic { max_delay, .. } => {
-                    Time::new(jitter[ci].next(max_delay))
-                }
+                ReleaseModel::Sporadic { max_delay, .. } => Time::new(jitter[ci].next(max_delay)),
             };
             jobs[ci].next_release = now + chain.period + extra;
         }

@@ -70,9 +70,7 @@ pub fn simulate_reference(workloads: &[&[Subtask]], config: SimConfig) -> SimRep
             s.next_job += 1;
             let extra = match config.release {
                 ReleaseModel::Periodic => Time::ZERO,
-                ReleaseModel::Sporadic { max_delay, .. } => {
-                    Time::new(jitter[i].next(max_delay))
-                }
+                ReleaseModel::Sporadic { max_delay, .. } => Time::new(jitter[i].next(max_delay)),
             };
             s.next_release = now + chains[i].period + extra;
         }
@@ -113,19 +111,12 @@ pub fn simulate_reference(workloads: &[&[Subtask]], config: SimConfig) -> SimRep
             // Stage complete at tick+1.
             let end = Time::new(tick + 1);
             if stage + 1 < chains[ci].stages.len() {
-                st[ci].active =
-                    Some((job, released, stage + 1, chains[ci].stages[stage + 1].wcet));
+                st[ci].active = Some((job, released, stage + 1, chains[ci].stages[stage + 1].wcet));
             } else {
                 st[ci].active = None;
                 crate::engine::record_completion(&mut report, &chains[ci], released, end);
                 if end > released + chains[ci].period {
-                    crate::engine::record_miss(
-                        &mut report,
-                        &chains[ci],
-                        job,
-                        released,
-                        Some(end),
-                    );
+                    crate::engine::record_miss(&mut report, &chains[ci], job, released, Some(end));
                 }
                 if config.stop_on_first_miss && !report.misses.is_empty() {
                     return report;

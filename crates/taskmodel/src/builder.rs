@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn surfaces_first_error() {
-        let err = TaskSetBuilder::new().task(5, 4).task(1, 8).build().unwrap_err();
+        let err = TaskSetBuilder::new()
+            .task(5, 4)
+            .task(1, 8)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, ModelError::WcetExceedsPeriod { id: 0, .. }));
     }
 

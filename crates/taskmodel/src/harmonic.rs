@@ -74,7 +74,11 @@ pub fn min_chain_cover_of_periods(periods: &[Time]) -> ChainCover {
         is_linked_to[*v] = true;
     }
     let mut chains = Vec::new();
-    for (head, _) in is_linked_to.iter().enumerate().filter(|&(_, &linked)| !linked) {
+    for (head, _) in is_linked_to
+        .iter()
+        .enumerate()
+        .filter(|&(_, &linked)| !linked)
+    {
         let mut chain = Vec::new();
         let mut cur = Some(head);
         while let Some(u) = cur {
@@ -143,8 +147,7 @@ fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<Optio
                 let ok = match match_r[v] {
                     None => true,
                     Some(u2) => {
-                        dist[u2] == dist[u] + 1
-                            && try_augment(u2, adj, dist, match_l, match_r)
+                        dist[u2] == dist[u] + 1 && try_augment(u2, adj, dist, match_l, match_r)
                     }
                 };
                 if ok {

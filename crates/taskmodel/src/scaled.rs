@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn sorted_ascending() {
         let ts = set(&[4, 33, 10, 9]);
-        let vals: Vec<f64> = scaled_periods(&ts).iter().map(ScaledPeriod::value).collect();
+        let vals: Vec<f64> = scaled_periods(&ts)
+            .iter()
+            .map(ScaledPeriod::value)
+            .collect();
         // 4 → 4, 9 → 4.5, 10 → 5, 33 → 4.125.
         assert_eq!(vals, vec![4.0, 4.125, 4.5, 5.0]);
     }

@@ -97,9 +97,7 @@ impl SplitPlan {
             .period
             .checked_sub(self.body_response())
             .filter(|d| !d.is_zero())
-            .ok_or(ModelError::SyntheticDeadlineUnderflow {
-                id: self.task.id.0,
-            })
+            .ok_or(ModelError::SyntheticDeadlineUnderflow { id: self.task.id.0 })
     }
 
     /// Records a body piece. `response` is the piece's worst-case response
@@ -179,10 +177,7 @@ impl SplitPlan {
         let tail = self.tail.as_ref().expect("plan must be sealed");
         if self.bodies.is_empty() {
             // Never split: a single Whole subtask.
-            return vec![(
-                Subtask::whole(&self.task, self.priority),
-                tail.processor,
-            )];
+            return vec![(Subtask::whole(&self.task, self.priority), tail.processor)];
         }
         let mut out = Vec::with_capacity(self.bodies.len() + 1);
         let mut elapsed = Time::ZERO; // Σ_{l<k} R_i^l
@@ -295,9 +290,7 @@ mod tests {
     #[test]
     fn overdraft_rejected() {
         let mut plan = SplitPlan::new(task(), Priority(0));
-        let err = plan
-            .push_body(Time::new(7), 0, Time::new(7))
-            .unwrap_err();
+        let err = plan.push_body(Time::new(7), 0, Time::new(7)).unwrap_err();
         assert!(matches!(err, ModelError::SplitBudgetMismatch { id: 7, .. }));
     }
 

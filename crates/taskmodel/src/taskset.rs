@@ -99,10 +99,7 @@ impl TaskSet {
 
     /// The largest individual task utilization `max_i U_i`.
     pub fn max_utilization(&self) -> f64 {
-        self.tasks
-            .iter()
-            .map(Task::utilization)
-            .fold(0.0, f64::max)
+        self.tasks.iter().map(Task::utilization).fold(0.0, f64::max)
     }
 
     /// Whether every task is light with respect to `threshold` (paper
@@ -193,7 +190,12 @@ impl From<TaskSet> for Vec<Task> {
 
 impl fmt::Display for TaskSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TaskSet (N={}, U={:.4}):", self.len(), self.total_utilization())?;
+        writeln!(
+            f,
+            "TaskSet (N={}, U={:.4}):",
+            self.len(),
+            self.total_utilization()
+        )?;
         for (p, t) in self.iter_prioritized() {
             writeln!(f, "  {p}: {t}  U={:.4}", t.utilization())?;
         }
@@ -275,10 +277,7 @@ mod tests {
     #[test]
     fn distinct_periods() {
         let ts = TaskSet::from_pairs(&[(1, 8), (1, 4), (1, 8)]).unwrap();
-        assert_eq!(
-            ts.distinct_periods(),
-            vec![Time::new(4), Time::new(8)]
-        );
+        assert_eq!(ts.distinct_periods(), vec![Time::new(4), Time::new(8)]);
     }
 
     #[test]

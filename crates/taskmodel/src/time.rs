@@ -298,10 +298,7 @@ mod tests {
     #[test]
     fn checked_ops() {
         assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
-        assert_eq!(
-            Time::new(5).checked_sub(Time::new(3)),
-            Some(Time::new(2))
-        );
+        assert_eq!(Time::new(5).checked_sub(Time::new(3)), Some(Time::new(2)));
         assert_eq!(Time::MAX.checked_add(Time::new(1)), None);
         assert_eq!(Time::MAX.checked_mul(2), None);
         assert_eq!(Time::new(4).checked_mul(3), Some(Time::new(12)));

@@ -117,7 +117,11 @@ mod tests {
 
     #[test]
     fn budgets_preserved_utilization_grows() {
-        let ts = TaskSetBuilder::new().task(2, 10).task(3, 25).build().unwrap();
+        let ts = TaskSetBuilder::new()
+            .task(2, 10)
+            .task(3, 25)
+            .build()
+            .unwrap();
         let h = harmonize(&ts, Time::new(10)).unwrap();
         // 25 → 20: same C, higher U.
         let (_, t) = h.find(crate::TaskId(1)).unwrap();
@@ -131,7 +135,11 @@ mod tests {
 
     #[test]
     fn already_harmonic_is_free() {
-        let ts = TaskSetBuilder::new().task(1, 8).task(1, 16).build().unwrap();
+        let ts = TaskSetBuilder::new()
+            .task(1, 8)
+            .task(1, 16)
+            .build()
+            .unwrap();
         let cost = harmonization_cost(&ts, Time::new(8)).unwrap();
         assert_eq!(cost, 1.0);
     }

@@ -36,8 +36,14 @@ fn main() {
 
     let by_ll = min_processors_by_bound(&ts, &LiuLayland);
     let by_hc = min_processors_by_bound(&ts, &HarmonicChain);
-    println!("sizing by L&L bound            : M = {by_ll}   (Λ = {:.4})", LiuLayland.value(&ts));
-    println!("sizing by harmonic-chain bound : M = {by_hc}   (Λ = {:.4})", HarmonicChain.value(&ts));
+    println!(
+        "sizing by L&L bound            : M = {by_ll}   (Λ = {:.4})",
+        LiuLayland.value(&ts)
+    );
+    println!(
+        "sizing by harmonic-chain bound : M = {by_hc}   (Λ = {:.4})",
+        HarmonicChain.value(&ts)
+    );
 
     let exact = min_processors_by_partitioning(&ts, &RmTs::with_bound(HarmonicChain), 32)
         .expect("feasible");

@@ -35,13 +35,13 @@ fn main() {
         }
 
         // RM-TS: partitioning isolates the long task.
-        let partition = RmTs::new().partition(&ts, m).expect("trivially partitionable");
+        let partition = RmTs::new()
+            .partition(&ts, m)
+            .expect("trivially partitionable");
         let (_, _, dedicated) = partition.role_counts();
         let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
         assert!(report.all_deadlines_met());
-        println!(
-            "  RM-TS     : accepted ({dedicated} dedicated processor), simulation clean ✓\n"
-        );
+        println!("  RM-TS     : accepted ({dedicated} dedicated processor), simulation clean ✓\n");
     }
     println!(
         "The adversary's utilization tends to 1/M + ε as the short tasks shrink,\n\

@@ -21,7 +21,10 @@ fn main() {
         .unwrap();
     let m = 2;
     println!("{ts}");
-    println!("U_M on {m} processors = {:.3}\n", ts.normalized_utilization(m));
+    println!(
+        "U_M on {m} processors = {:.3}\n",
+        ts.normalized_utilization(m)
+    );
 
     let partition = RmTsLight::new().partition(&ts, m).expect("schedulable");
     println!("{partition}");
@@ -31,10 +34,7 @@ fn main() {
         split.iter().map(|t| t.0).collect::<Vec<_>>()
     );
 
-    let (report, trace) = simulate_partitioned_traced(
-        &partition.workloads(),
-        SimConfig::default(),
-    );
+    let (report, trace) = simulate_partitioned_traced(&partition.workloads(), SimConfig::default());
     assert!(report.all_deadlines_met());
     assert!(trace.no_self_overlap());
 

@@ -55,7 +55,12 @@ fn main() {
     let partition = RmTsLight::new().partition(&ts, m).expect("Theorem 8");
     println!("RM-TS/light: accepted ✓");
     for p in &partition.processors {
-        println!("  P{}: U = {:.4}, {} subtasks", p.index, p.utilization(), p.len());
+        println!(
+            "  P{}: U = {:.4}, {} subtasks",
+            p.index,
+            p.utilization(),
+            p.len()
+        );
     }
     assert!(partition.verify_rta());
     let report = simulate_partitioned(&partition.workloads(), SimConfig::default());

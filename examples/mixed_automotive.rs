@@ -12,9 +12,9 @@
 //! cargo run --example mixed_automotive
 //! ```
 
-use rmts::prelude::*;
 use rmts::bounds::thresholds::{light_threshold_of, rmts_cap_of};
 use rmts::core::ProcessorRole;
+use rmts::prelude::*;
 use rmts::taskmodel::harmonic::chain_count;
 
 fn build_ecu_workload() -> TaskSet {
@@ -23,7 +23,7 @@ fn build_ecu_workload() -> TaskSet {
     // U_i > Θ/(1+Θ) ≈ 0.42).
     b = b.task_us(4_400, 10_000); // crank-synchronous control, U = 0.44
     b = b.task_us(9_000, 20_000); // knock-control DSP pass, U = 0.45
-    // Two harmonic chains of periods (µs): {10k, 20k, 40k} and {25k, 50k, 100k}.
+                                  // Two harmonic chains of periods (µs): {10k, 20k, 40k} and {25k, 50k, 100k}.
     for _ in 0..4 {
         b = b.task_us(1_200, 10_000); // sensor fusion, U = 0.12
         b = b.task_us(3_000, 25_000); // CAN RX handlers, U = 0.12
@@ -59,7 +59,10 @@ fn main() {
         alg.effective_bound(&ts),
         rmts_cap_of(&ts)
     );
-    println!("U_M on {m} processors = {:.4}", ts.normalized_utilization(m));
+    println!(
+        "U_M on {m} processors = {:.4}",
+        ts.normalized_utilization(m)
+    );
     println!(
         "(note: U_M exceeds the worst-case bound — acceptance below showcases the\n\
           average-case headroom of exact-RTA admission over the bound itself)\n"
@@ -83,14 +86,15 @@ fn main() {
     }
     println!(
         "\nsplit tasks: {:?}",
-        partition.split_tasks().iter().map(|t| t.0).collect::<Vec<_>>()
+        partition
+            .split_tasks()
+            .iter()
+            .map(|t| t.0)
+            .collect::<Vec<_>>()
     );
 
     assert!(partition.verify_rta());
-    let report = simulate_partitioned(
-        &partition.workloads(),
-        SimConfig::default(),
-    );
+    let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
     assert!(report.all_deadlines_met());
     println!(
         "verified: RTA ✓ and simulation over {} ({} jobs, {} preemptions) ✓",

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Record the admission-cache baseline: runs the cached-vs-scratch admission
+# bench and captures the paired speedup report in BENCH_admission.json at
+# the repository root (the bench target writes the file itself).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo bench -p rmts-bench --bench admission_cache "$@"
+
+echo
+echo "Recorded: $(pwd)/BENCH_admission.json"

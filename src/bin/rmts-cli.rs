@@ -156,8 +156,16 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     println!("{partition}");
     println!(
         "splits: {:?}; RTA verification: {}",
-        partition.split_tasks().iter().map(|t| t.0).collect::<Vec<_>>(),
-        if partition.verify_rta() { "OK" } else { "FAILED" }
+        partition
+            .split_tasks()
+            .iter()
+            .map(|t| t.0)
+            .collect::<Vec<_>>(),
+        if partition.verify_rta() {
+            "OK"
+        } else {
+            "FAILED"
+        }
     );
 
     if has_flag(args, "--simulate") || has_flag(args, "--gantt") {
@@ -196,7 +204,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         "N = {n}, U_M = {:.4} on M = {m}\n",
         ts.normalized_utilization(m)
     );
-    println!("{:<24} {:>10} {:>8} {:>8}", "algorithm", "result", "splits", "RTA");
+    println!(
+        "{:<24} {:>10} {:>8} {:>8}",
+        "algorithm", "result", "splits", "RTA"
+    );
     println!("{}", "-".repeat(54));
     for alg in algs {
         match alg.partition(&ts, m) {
@@ -207,7 +218,13 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 p.split_tasks().len(),
                 if p.verify_rta() { "ok" } else { "FAIL" }
             ),
-            Err(_) => println!("{:<24} {:>10} {:>8} {:>8}", alg.name(), "rejected", "-", "-"),
+            Err(_) => println!(
+                "{:<24} {:>10} {:>8} {:>8}",
+                alg.name(),
+                "rejected",
+                "-",
+                "-"
+            ),
         }
     }
     Ok(())

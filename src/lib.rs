@@ -60,8 +60,8 @@ pub mod prelude {
     };
     pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
     pub use rmts_core::{
-        audit, AdmissionPolicy, MaxSplitStrategy, OverheadModel, Partition, Partitioner,
-        RmTs, RmTsLight,
+        audit, AdmissionPolicy, MaxSplitStrategy, OverheadModel, Partition, Partitioner, RmTs,
+        RmTsLight,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_sim::{simulate_global, simulate_partitioned, SimConfig, SimReport};

@@ -1,0 +1,111 @@
+//! End-to-end property test: full partitioning runs driven through the
+//! incremental admission cache produce *identical* partitions to runs that
+//! re-analyze every admission from scratch.
+//!
+//! The per-call parity (probe ≡ `admits_budget`, cached MaxSplit ≡ scratch
+//! MaxSplit) is proven in `rmts-rta`'s `cache_equivalence` suite; this test
+//! closes the loop at the engine level, where cache state is carried across
+//! thousands of admission decisions, invalidated on mutation, and consulted
+//! by both whole-task placement and tail splitting. Any drift — a stale
+//! response, a wrongly warm-started fixed point, a missed invalidation —
+//! shows up as a structurally different partition.
+
+use proptest::prelude::*;
+use rmts::core::admission::AdmissionPolicy;
+use rmts::prelude::*;
+use rmts::taskmodel::TaskSet;
+
+/// A feasible-ish random task set plus a processor count (same shape as the
+/// `splitting_invariants` generator: utilization 40–95% of capacity, so both
+/// accepted and rejected instances occur).
+fn arb_instance() -> impl Strategy<Value = (TaskSet, usize)> {
+    (2usize..=4, 4usize..=12, 40u64..95).prop_flat_map(|(m, n, u_pct)| {
+        let total = u_pct as f64 / 100.0 * m as f64;
+        proptest::collection::vec((1u64..=4, 1u64..100), n).prop_map(move |raw| {
+            let menu = [5_000u64, 10_000, 15_000, 20_000, 30_000, 60_000];
+            let wsum: f64 = raw.iter().map(|&(_, w)| w as f64).sum();
+            let tasks: Vec<Task> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(pm, w))| {
+                    let t = menu[(pm as usize + i) % menu.len()];
+                    let u = (total * w as f64 / wsum).min(0.95);
+                    let c = ((t as f64) * u).floor().max(1.0) as u64;
+                    Task::from_ticks(i as u32, c.min(t), t).unwrap()
+                })
+                .collect();
+            (TaskSet::new(tasks).unwrap(), m)
+        })
+    })
+}
+
+/// Both ExactRta variants for one MaxSplit strategy.
+fn policy_pair(strategy: MaxSplitStrategy) -> (AdmissionPolicy, AdmissionPolicy) {
+    (
+        AdmissionPolicy::ExactRta {
+            strategy,
+            cached: true,
+        },
+        AdmissionPolicy::ExactRta {
+            strategy,
+            cached: false,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RM-TS/light: cached and scratch admission yield identical outcomes —
+    /// same accept/reject verdict, and bit-identical partitions (processor
+    /// workloads, recorded responses via synthetic deadlines, split plans).
+    #[test]
+    fn rmts_light_cached_equals_scratch((ts, m) in arb_instance()) {
+        for strategy in [MaxSplitStrategy::BinarySearch, MaxSplitStrategy::SchedulingPoints] {
+            let (cached, scratch) = policy_pair(strategy);
+            let a = RmTsLight::with_policy(cached).partition(&ts, m);
+            let b = RmTsLight::with_policy(scratch).partition(&ts, m);
+            match (a, b) {
+                (Ok(pa), Ok(pb)) => prop_assert_eq!(pa, pb, "{:?}: partitions differ", strategy),
+                (Err(fa), Err(fb)) => {
+                    prop_assert_eq!(&fa.unassigned, &fb.unassigned, "{:?}", strategy);
+                    prop_assert_eq!(&fa.partial, &fb.partial, "{:?}", strategy);
+                }
+                (a, b) => prop_assert!(false,
+                    "{:?}: verdicts differ (cached ok={}, scratch ok={})",
+                    strategy, a.is_ok(), b.is_ok()),
+            }
+        }
+    }
+
+    /// RM-TS (the parametric-bound algorithm, with pre-assignment and
+    /// dedicated processors): cached ≡ scratch, both strategies.
+    #[test]
+    fn rmts_cached_equals_scratch((ts, m) in arb_instance()) {
+        for strategy in [MaxSplitStrategy::BinarySearch, MaxSplitStrategy::SchedulingPoints] {
+            let (cached, scratch) = policy_pair(strategy);
+            let a = RmTs::new().with_policy(cached).partition(&ts, m);
+            let b = RmTs::new().with_policy(scratch).partition(&ts, m);
+            match (a, b) {
+                (Ok(pa), Ok(pb)) => prop_assert_eq!(pa, pb, "{:?}: partitions differ", strategy),
+                (Err(fa), Err(fb)) => {
+                    prop_assert_eq!(&fa.unassigned, &fb.unassigned, "{:?}", strategy);
+                    prop_assert_eq!(&fa.partial, &fb.partial, "{:?}", strategy);
+                }
+                (a, b) => prop_assert!(false,
+                    "{:?}: verdicts differ (cached ok={}, scratch ok={})",
+                    strategy, a.is_ok(), b.is_ok()),
+            }
+        }
+    }
+
+    /// The strict-partitioning baseline also routes its RTA admission
+    /// through the processor cache; its decisions must match a scratch
+    /// uniprocessor analysis of each host's workload.
+    #[test]
+    fn partitioned_rm_cache_is_sound((ts, m) in arb_instance()) {
+        let Ok(part) = PartitionedRm::ffd_rta().partition(&ts, m) else { return Ok(()) };
+        prop_assert!(part.verify_rta());
+        prop_assert!(audit(&part, &ts).is_empty());
+    }
+}

@@ -44,7 +44,11 @@ mod temppath {
 fn bounds_command_reports_catalogue() {
     let ts = write_demo_taskset();
     let out = cli().args(["bounds", ts.as_str()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Liu&Layland"));
     assert!(stdout.contains("harmonic-chain"));
@@ -57,10 +61,22 @@ fn bounds_command_reports_catalogue() {
 fn partition_simulate_gantt() {
     let ts = write_demo_taskset();
     let out = cli()
-        .args(["partition", ts.as_str(), "-m", "2", "--alg", "rmts", "--gantt"])
+        .args([
+            "partition",
+            ts.as_str(),
+            "-m",
+            "2",
+            "--alg",
+            "rmts",
+            "--gantt",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("RTA verification: OK"));
     assert!(stdout.contains("0 misses"));
@@ -71,10 +87,19 @@ fn partition_simulate_gantt() {
 #[test]
 fn check_command_lists_all_algorithms() {
     let ts = write_demo_taskset();
-    let out = cli().args(["check", ts.as_str(), "-m", "2"]).output().unwrap();
+    let out = cli()
+        .args(["check", ts.as_str(), "-m", "2"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["RM-TS[Liu&Layland]", "RM-TS/light", "SPA1", "SPA2", "P-RM-FFD/RTA"] {
+    for name in [
+        "RM-TS[Liu&Layland]",
+        "RM-TS/light",
+        "SPA1",
+        "SPA2",
+        "P-RM-FFD/RTA",
+    ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
 }
@@ -82,19 +107,22 @@ fn check_command_lists_all_algorithms() {
 #[test]
 fn generate_roundtrips_through_partition() {
     let out = cli()
-        .args(["generate", "-n", "8", "-u", "1.5", "--seed", "3", "--cap", "0.5"])
+        .args([
+            "generate", "-n", "8", "-u", "1.5", "--seed", "3", "--cap", "0.5",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
-    let ts = temppath::TempPath::new(
-        "rmts_cli_gen.json",
-        &String::from_utf8_lossy(&out.stdout),
-    );
+    let ts = temppath::TempPath::new("rmts_cli_gen.json", &String::from_utf8_lossy(&out.stdout));
     let out2 = cli()
         .args(["partition", ts.as_str(), "-m", "2", "--simulate"])
         .output()
         .unwrap();
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
     assert!(String::from_utf8_lossy(&out2.stdout).contains("0 misses"));
 }
 
@@ -112,7 +140,10 @@ fn bad_usage_fails_cleanly() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage"));
 
-    let out = cli().args(["partition", "/nonexistent.json", "-m", "2"]).output().unwrap();
+    let out = cli()
+        .args(["partition", "/nonexistent.json", "-m", "2"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

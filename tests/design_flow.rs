@@ -83,5 +83,8 @@ fn best_of_bound_dominates_in_the_flow() {
     let best = BestOf::standard();
     let m_best = min_processors_by_bound(&ts, &best);
     let m_ll = min_processors_by_bound(&ts, &LiuLayland);
-    assert!(m_best <= m_ll, "a better bound can only shrink the platform");
+    assert!(
+        m_best <= m_ll,
+        "a better bound can only shrink the platform"
+    );
 }

@@ -62,9 +62,7 @@ fn three_chain_bound_is_achieved() {
     assert!(ts.normalized_utilization(m) <= lambda);
     let partition = alg.partition(&ts, m).expect("within the 3-chain bound");
     assert!(partition.verify_rta());
-    assert!(
-        simulate_partitioned(&partition.workloads(), SimConfig::default()).all_deadlines_met()
-    );
+    assert!(simulate_partitioned(&partition.workloads(), SimConfig::default()).all_deadlines_met());
 }
 
 /// Definition 1 boundary behavior: a task at exactly `Θ/(1+Θ)` is light.

@@ -16,9 +16,8 @@ use rmts::rta::response_time;
 fn observed_response_never_exceeds_analyzed_bound_for_whole_tasks() {
     for trial in 0..40u64 {
         let mut rng = trial_rng(0xC0DE, trial);
-        let cfg = GenConfig::new(6, 0.9).with_periods(PeriodGen::Choice(vec![
-            4_000, 8_000, 12_000, 24_000,
-        ]));
+        let cfg = GenConfig::new(6, 0.9)
+            .with_periods(PeriodGen::Choice(vec![4_000, 8_000, 12_000, 24_000]));
         let Some(ts) = cfg.generate(&mut rng) else {
             continue;
         };
@@ -71,7 +70,10 @@ fn every_accepted_partition_executes_cleanly() {
         };
         accepted += 1;
         assert!(partition.covers(&ts), "trial {trial}: budget lost");
-        assert!(partition.verify_rta(), "trial {trial}: RTA verification failed");
+        assert!(
+            partition.verify_rta(),
+            "trial {trial}: RTA verification failed"
+        );
         let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
         assert!(
             report.all_deadlines_met(),

@@ -15,9 +15,8 @@ fn sporadic_releases_never_hurt_verified_partitions() {
     for trial in 0..30u64 {
         let mut rng = trial_rng(0x5B0, trial);
         let m = 2 + (trial % 3) as usize;
-        let cfg = GenConfig::new(4 * m, 0.85 * m as f64).with_periods(PeriodGen::Choice(vec![
-            5_000, 10_000, 20_000, 40_000,
-        ]));
+        let cfg = GenConfig::new(4 * m, 0.85 * m as f64)
+            .with_periods(PeriodGen::Choice(vec![5_000, 10_000, 20_000, 40_000]));
         let Some(ts) = cfg.generate(&mut rng) else {
             continue;
         };
@@ -57,14 +56,11 @@ fn sporadic_responses_bounded_by_periodic_worst_case() {
     let periodic = simulate_partitioned(&[&workload], SimConfig::default());
     assert!(periodic.all_deadlines_met());
     for seed in 0..20u64 {
-        let sporadic = simulate_partitioned(
-            &[&workload],
-            SimConfig::sporadic(9, seed, Time::new(3_000)),
-        );
+        let sporadic =
+            simulate_partitioned(&[&workload], SimConfig::sporadic(9, seed, Time::new(3_000)));
         assert!(sporadic.all_deadlines_met());
         for t in ts.tasks() {
-            if let (Some(s), Some(p)) = (sporadic.response_of(t.id), periodic.response_of(t.id))
-            {
+            if let (Some(s), Some(p)) = (sporadic.response_of(t.id), periodic.response_of(t.id)) {
                 assert!(
                     s <= p,
                     "seed {seed}: τ{} sporadic response {s} exceeds periodic worst case {p}",
@@ -77,7 +73,11 @@ fn sporadic_responses_bounded_by_periodic_worst_case() {
 
 #[test]
 fn sporadic_model_is_deterministic_per_seed() {
-    let ts = TaskSetBuilder::new().task(2, 10).task(5, 14).build().unwrap();
+    let ts = TaskSetBuilder::new()
+        .task(2, 10)
+        .task(5, 14)
+        .build()
+        .unwrap();
     let workload: Vec<Subtask> = ts
         .iter_prioritized()
         .map(|(p, t)| Subtask::whole(t, p))

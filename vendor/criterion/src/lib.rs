@@ -1,0 +1,291 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides the macros and types the workspace's bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`criterion_group!`], [`criterion_main!`], [`black_box`] — backed by a
+//! simple adaptive wall-clock timer instead of criterion's statistical
+//! machinery. Results are printed per benchmark and collected on the
+//! [`Criterion`] value so bench targets can post-process them (e.g. the
+//! `admission_cache` bench writes `BENCH_admission.json`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty for top-level `bench_function`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured (after warm-up).
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// `group/name`, the display label.
+    pub fn label(&self) -> String {
+        if self.group.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+}
+
+/// Measurement budget knobs (a shadow of criterion's sampling config).
+#[derive(Debug, Clone, Copy)]
+struct Budget {
+    /// Target measurement time once warmed up.
+    measure: Duration,
+    /// Warm-up time.
+    warmup: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            measure: Duration::from_millis(400),
+            warmup: Duration::from_millis(80),
+        }
+    }
+}
+
+/// Timer handed to bench closures.
+pub struct Bencher<'a> {
+    budget: Budget,
+    out: &'a mut Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, adaptively choosing an iteration count to fill the
+    /// measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, tracking cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.budget.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target =
+            ((self.budget.measure.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        let mean_ns = total.as_nanos() as f64 / target as f64;
+        *self.out = Some((mean_ns, target));
+    }
+}
+
+/// The bench context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+fn run_one(
+    group: &str,
+    name: &str,
+    budget: Budget,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> BenchResult {
+    let mut out = None;
+    let mut b = Bencher {
+        budget,
+        out: &mut out,
+    };
+    f(&mut b);
+    let (mean_ns, iters) = out.unwrap_or((f64::NAN, 0));
+    let res = BenchResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        mean_ns,
+        iters,
+    };
+    println!(
+        "{:<48} time: {:>12.1} ns/iter  ({} iters)",
+        res.label(),
+        res.mean_ns,
+        res.iters
+    );
+    res
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let res = run_one("", &id.into(), Budget::default(), &mut f);
+        self.results.push(res);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            budget: Budget::default(),
+        }
+    }
+
+    /// All results measured so far (vendored extension used by bench
+    /// targets that persist their numbers).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    budget: Budget,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; scales the measurement budget so
+    /// smaller sample sizes run faster, as with real criterion.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self.budget.measure = Duration::from_secs_f64(0.4 * scale);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchLabel>,
+        mut f: F,
+    ) -> &mut Self {
+        let label: BenchLabel = id.into();
+        let res = run_one(&self.name, &label.0, self.budget, &mut f);
+        self.c.results.push(res);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchLabel>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label: BenchLabel = id.into();
+        let res = run_one(&self.name, &label.0, self.budget, &mut |b| f(b, input));
+        self.c.results.push(res);
+        self
+    }
+
+    /// Ends the group (no-op; results live on the parent `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function name` + `parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Internal label unifying `&str`, `String`, and [`BenchmarkId`] ids.
+pub struct BenchLabel(String);
+
+impl From<&str> for BenchLabel {
+    fn from(s: &str) -> Self {
+        BenchLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchLabel {
+    fn from(s: String) -> Self {
+        BenchLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchLabel(id.0)
+    }
+}
+
+/// Declares a bench group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let r = &c.results()[0];
+        assert!(r.mean_ns.is_finite() && r.mean_ns > 0.0);
+        assert!(r.iters > 0);
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        g.finish();
+        assert_eq!(c.results()[0].label(), "g/param/4");
+    }
+}

@@ -1,0 +1,544 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace uses:
+//!
+//! * named structs (missing `Option` fields deserialize to `None`)
+//! * tuple structs (1-field newtypes are transparent, matching serde_json)
+//! * enums with unit, tuple, and struct variants (external tagging)
+//! * container attrs `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`
+//!
+//! Generics and field-level serde attributes are not supported and fail
+//! loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: just names and shapes — field *types* are never
+/// needed because generated code lets struct literals / constructors
+/// drive `from_value` inference.
+struct Input {
+    name: String,
+    data: Data,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Data {
+    /// Field names, in declaration order.
+    NamedStruct(Vec<String>),
+    /// Field count.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("derive(Deserialize): generated code failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Outer attributes: capture #[serde(...)], skip the rest (#[doc], ...).
+    while is_punct(toks.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            parse_container_attr(&g.stream(), &mut try_from, &mut into);
+            i += 2;
+        } else {
+            panic!("serde derive: malformed attribute");
+        }
+    }
+
+    skip_visibility(&toks, &mut i);
+
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if is_punct(toks.get(i), '<') {
+        panic!("serde derive: generic types are not supported by the vendored serde");
+    }
+
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+
+    Input {
+        name,
+        data,
+        try_from,
+        into,
+    }
+}
+
+/// Extracts `transparent` / `try_from` / `into` from one attribute's
+/// bracket-group contents, ignoring non-serde attributes.
+///
+/// `transparent` needs no bookkeeping: 1-field tuple structs are already
+/// serialized transparently (serde_json newtype behaviour).
+fn parse_container_attr(
+    stream: &TokenStream,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                if is_punct(args.get(i + 1), '=') {
+                    let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                        panic!("serde derive: expected string after `{key} =`");
+                    };
+                    let val = unquote(&lit.to_string());
+                    match key.as_str() {
+                        "try_from" => *try_from = Some(val),
+                        "into" => *into = Some(val),
+                        other => panic!("serde derive: unsupported attr `{other}`"),
+                    }
+                    i += 3;
+                } else {
+                    match key.as_str() {
+                        "transparent" => {}
+                        other => panic!("serde derive: unsupported attr `{other}`"),
+                    }
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde derive: unexpected token in serde attr: {other:?}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while is_punct(toks.get(*i), '#') {
+        *i += 2;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type (or any tokens) up to a top-level comma, tracking
+/// angle-bracket depth so `BTreeMap<u32, SplitPlan>` counts as one field.
+/// Consumes the comma. Returns whether any tokens were consumed.
+fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut depth = 0i32;
+    let mut any = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return any;
+            }
+            _ => {}
+        }
+        any = true;
+        *i += 1;
+    }
+    any
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        skip_to_top_level_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if skip_to_top_level_comma(&toks, &mut i) {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skips #[doc] and helper attrs like #[default] on variants.
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skips an optional `= discriminant` and the trailing comma.
+        skip_to_top_level_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (string-based; parsed back into a TokenStream at the end)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.into {
+        format!(
+            "let __proxy: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &input.data {
+            Data::NamedStruct(fields) => {
+                let entries = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Object(::std::vec![{entries}])")
+            }
+            Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Data::TupleStruct(n) => {
+                let items = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            }
+            Data::UnitStruct => "::serde::Value::Null".to_string(),
+            Data::Enum(variants) => {
+                let arms = variants
+                    .iter()
+                    .map(|v| serialize_variant_arm(name, v))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),")
+        }
+        VariantKind::Tuple(n) => {
+            let binds = (0..*n)
+                .map(|k| format!("__f{k}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), {payload})]),"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vn}\"), \
+                 ::serde::Value::Object(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+/// Generates the expression reading field `f` out of object entries bound
+/// to `obj`, mapping a missing field through `Null` so `Option` fields
+/// default to `None` while anything else reports the field name.
+fn named_field_read(f: &str) -> String {
+    format!(
+        "{f}: match ::serde::get_field(obj, \"{f}\") {{\n\
+             ::std::option::Option::Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                 .map_err(|_| ::serde::DeError::custom(\"missing field `{f}`\"))?,\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(try_ty) = &input.try_from {
+        format!(
+            "let __proxy: {try_ty} = ::serde::Deserialize::from_value(v)?;\n\
+             ::std::convert::TryFrom::try_from(__proxy).map_err(::serde::DeError::custom)"
+        )
+    } else {
+        match &input.data {
+            Data::NamedStruct(fields) => {
+                let reads = fields
+                    .iter()
+                    .map(|f| named_field_read(f))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{reads}\n}})"
+                )
+            }
+            Data::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Data::TupleStruct(n) => {
+                let reads = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&a[{k}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "let a = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                     if a.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({reads}))"
+                )
+            }
+            Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            Data::Enum(variants) => gen_enum_deserialize(name, variants),
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let mut arms = Vec::new();
+    if !unit.is_empty() {
+        let vars = unit
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        arms.push(format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n{vars}\n\
+             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+             ::std::format!(\"unknown {name} variant `{{s}}`\"))),\n}},"
+        ));
+    }
+    if !payload.is_empty() {
+        let vars = payload
+            .iter()
+            .map(|v| deserialize_payload_variant(name, v))
+            .collect::<Vec<_>>()
+            .join("\n");
+        arms.push(format!(
+            "::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{vars}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{tag}}`\"))),\n}}\n}},"
+        ));
+    }
+    let arms = arms.join("\n");
+    format!(
+        "match v {{\n{arms}\n\
+         _ => ::std::result::Result::Err(::serde::DeError::custom(\
+         \"bad encoding for enum {name}\")),\n}}"
+    )
+}
+
+fn deserialize_payload_variant(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!(),
+        VariantKind::Tuple(1) => format!(
+            "\"{vn}\" => ::std::result::Result::Ok(\
+             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let reads = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&a[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "\"{vn}\" => {{\n\
+                     let a = inner.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                     if a.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"wrong tuple arity for {name}::{vn}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({reads}))\n\
+                 }},"
+            )
+        }
+        VariantKind::Named(fields) => {
+            let reads = fields
+                .iter()
+                .map(|f| named_field_read(f))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "\"{vn}\" => {{\n\
+                     let obj = inner.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{reads}\n}})\n\
+                 }},"
+            )
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Provides [`to_string`], [`to_string_pretty`], and [`from_str`] over the
+//! vendored serde's [`Value`] model, with a hand-rolled JSON writer and a
+//! recursive-descent parser. Number semantics match what this workspace
+//! needs: non-negative integers stay `u64`-precise, floats round-trip via
+//! Rust's shortest-representation `Display`.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in entries.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..(w * level) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's f64 Display prints the shortest decimal that round-trips.
+        let s = f.to_string();
+        out.push_str(&s);
+        // Keep a float marker so the value re-parses as Float, matching
+        // serde_json's `1.0` for integral floats.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/inf; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Copies unescaped runs wholesale.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0C}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::new("lone surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            s.push(c);
+                        }
+                        _ => return Err(Error::new("unknown escape")),
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("bad number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integer; `-0` normalizes to UInt(0).
+            match stripped.parse::<u64>() {
+                Ok(0) => Ok(Value::UInt(0)),
+                _ => text
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| Error::new(format!("integer out of range `{text}`"))),
+            }
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("integer out of range `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-5i32).unwrap(), "-5");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![vec![1u64, 2], vec![3]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<u64>>>(&s).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(7u32, "x\ny\"z".to_string());
+        let s = to_string(&m).unwrap();
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<u32, String>>(&s).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = vec![(1u64, true), (2, false)];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str::<Vec<(u64, bool)>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        for &f in &[0.1, 1.0 / 3.0, f64::MAX, 5e-324, 0.0] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), f, "via {s}");
+        }
+    }
+
+    #[test]
+    fn u64_precision_roundtrips() {
+        let big = u64::MAX - 3;
+        assert_eq!(from_str::<u64>(&to_string(&big).unwrap()).unwrap(), big);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{08}\u{0C}\u{1}é𝄞";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        // Surrogate-pair escape decoding.
+        assert_eq!(from_str::<String>("\"\\ud834\\udd1e\"").unwrap(), "𝄞");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("4 2").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}
