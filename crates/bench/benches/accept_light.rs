@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
     // Same engine with the scratch (uncached) exact-RTA policy: decision-
     // identical, isolates what the incremental admission cache saves here.
     group.bench_function("rmts_light_scratch_m8_u090", |b| {
-        let alg = RmTsLight::with_policy(AdmissionPolicy::exact_scratch());
+        let alg = RmTsLight::with_policy(AdmissionPolicy::exact().uncached());
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % sets.len();

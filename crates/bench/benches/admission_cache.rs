@@ -15,7 +15,8 @@
 //! Workloads use the EXP-1 generator mix (log-uniform periods on a 10 ms
 //! grid, UUniFast utilizations). After timing, the harness pairs each
 //! cached/scratch measurement, computes speedups, and writes everything to
-//! `BENCH_admission.json` at the repository root.
+//! `BENCH_admission.json` at the repository root, plus a recorded
+//! observability snapshot (`rmts-obs`) to `BENCH_admission_stats.json`.
 
 use criterion::{BenchmarkId, Criterion};
 use rand::Rng;
@@ -187,7 +188,7 @@ fn bench(c: &mut Criterion) {
     let sets = exp1_sets(m, 8);
     for (label, policy) in [
         ("partition_cached", AdmissionPolicy::exact()),
-        ("partition_scratch", AdmissionPolicy::exact_scratch()),
+        ("partition_scratch", AdmissionPolicy::exact().uncached()),
     ] {
         group.bench_with_input(BenchmarkId::new(label, m), &sets, |b, sets| {
             let alg = RmTsLight::with_policy(policy);
@@ -203,7 +204,7 @@ fn bench(c: &mut Criterion) {
     // Replay sanity on the partition kernel inputs: identical outcomes.
     for ts in &exp1_sets(m, 8) {
         let a = RmTsLight::with_policy(AdmissionPolicy::exact()).partition(ts, m);
-        let b = RmTsLight::with_policy(AdmissionPolicy::exact_scratch()).partition(ts, m);
+        let b = RmTsLight::with_policy(AdmissionPolicy::exact().uncached()).partition(ts, m);
         assert_eq!(a.is_ok(), b.is_ok(), "cached/scratch verdicts diverged");
     }
 
@@ -218,6 +219,25 @@ fn bench(c: &mut Criterion) {
     };
     let mut p = empty.clone();
     assert!(AdmissionPolicy::exact().fits_whole(&mut p, &spec, Time::new(5_000)));
+}
+
+/// One recorded RM-TS/light partition pass over the EXP-1 sets: the
+/// observability snapshot (partitioner phases, RTA-cache hit/miss/re-step
+/// counters) that ships alongside the timing report. Recording is active
+/// only here — the timed kernels above run with the no-op recorder.
+fn record_stats(m: usize, sets: &[TaskSet]) -> String {
+    let alg = RmTsLight::new();
+    let (_, snap) = rmts_obs::record(|| {
+        for ts in sets {
+            black_box(alg.partition(ts, m).is_ok());
+        }
+    });
+    assert_eq!(
+        snap.counter("rta.cache.hits") + snap.counter("rta.cache.misses"),
+        snap.counter("rta.cache.probes"),
+        "cache probe accounting out of balance"
+    );
+    serde_json::to_string_pretty(&snap).expect("render stats JSON")
 }
 
 /// Pairs `*_cached`/`*_scratch` results and renders the JSON report.
@@ -317,4 +337,11 @@ fn main() {
     for line in json.lines().filter(|l| l.contains("speedup")) {
         println!("  {}", line.trim());
     }
+    let stats_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_admission_stats.json"
+    );
+    let stats = record_stats(8, &exp1_sets(8, 8));
+    std::fs::write(stats_path, &stats).expect("write BENCH_admission_stats.json");
+    println!("observability snapshot written to {stats_path}");
 }

@@ -18,9 +18,15 @@
 //! Exact-RTA admission runs through the processor's incremental
 //! [`RtaCache`](rmts_rta::RtaCache) by default: probes warm-start from
 //! cached response times and skip subtasks the newcomer cannot affect. The
-//! `cached: false` variant ([`AdmissionPolicy::exact_scratch`]) re-analyzes
-//! from scratch on every probe; it exists to benchmark the cache and to
-//! property-test that both paths make bit-identical decisions.
+//! `cached: false` variant ([`AdmissionPolicy::exact`]`.`[`uncached`](AdmissionPolicy::uncached))
+//! re-analyzes from scratch on every probe; it exists to benchmark the
+//! cache and to property-test that both paths make bit-identical decisions.
+//!
+//! When a [`rmts_obs::Recording`] is live, every [`AdmissionPolicy::fits_whole`]
+//! call contributes to the `core.admission.*` decision counters. They count
+//! *decisions*, not analysis work, so the cached and scratch exact paths
+//! produce identical values on identical inputs (the `rta.cache.*` counters
+//! are where the two paths differ).
 
 use crate::maxsplit::MaxSplitStrategy;
 use crate::processor::ProcessorState;
@@ -62,14 +68,49 @@ impl AdmissionPolicy {
         }
     }
 
-    /// Exact RTA that re-analyzes from scratch on every probe. Decision-
-    /// equivalent to [`AdmissionPolicy::exact`]; used as the baseline in
-    /// the `admission_cache` bench and the cache-equivalence tests.
-    pub fn exact_scratch() -> Self {
-        AdmissionPolicy::ExactRta {
-            strategy: MaxSplitStrategy::default(),
-            cached: false,
+    /// Builder step: re-analyze from scratch on every probe instead of
+    /// using the incremental cache. Decision-equivalent to the cached
+    /// default; used as the baseline in the `admission_cache` bench and the
+    /// cache-equivalence tests. No-op on threshold policies.
+    pub fn uncached(self) -> Self {
+        match self {
+            AdmissionPolicy::ExactRta { strategy, .. } => AdmissionPolicy::ExactRta {
+                strategy,
+                cached: false,
+            },
+            other => other,
         }
+    }
+
+    /// Builder step: route admission through the processor's incremental
+    /// RTA cache (the default for [`AdmissionPolicy::exact`]). No-op on
+    /// threshold policies.
+    pub fn cached(self) -> Self {
+        match self {
+            AdmissionPolicy::ExactRta { strategy, .. } => AdmissionPolicy::ExactRta {
+                strategy,
+                cached: true,
+            },
+            other => other,
+        }
+    }
+
+    /// Builder step: select the `MaxSplit` implementation. No-op on
+    /// threshold policies.
+    pub fn with_strategy(self, strategy: MaxSplitStrategy) -> Self {
+        match self {
+            AdmissionPolicy::ExactRta { cached, .. } => {
+                AdmissionPolicy::ExactRta { strategy, cached }
+            }
+            other => other,
+        }
+    }
+
+    /// Former spelling of [`AdmissionPolicy::exact`]`.`[`uncached`](AdmissionPolicy::uncached),
+    /// kept for one release.
+    #[deprecated(since = "0.2.0", note = "use `AdmissionPolicy::exact().uncached()`")]
+    pub fn exact_scratch() -> Self {
+        AdmissionPolicy::exact().uncached()
     }
 
     /// Density threshold at `θ`.
@@ -79,7 +120,7 @@ impl AdmissionPolicy {
 
     /// Would the processor accept the newcomer with the given full budget?
     pub fn fits_whole(&self, proc: &mut ProcessorState, new: &NewcomerSpec, budget: Time) -> bool {
-        match *self {
+        let fits = match *self {
             AdmissionPolicy::ExactRta { cached: true, .. } => {
                 // `probe_remember` memoizes the computed fixed points so an
                 // immediately following push of this newcomer is free.
@@ -91,12 +132,25 @@ impl AdmissionPolicy {
             AdmissionPolicy::DensityThreshold { theta } => {
                 budget <= new.deadline && proc.density() + budget.ratio(new.deadline) <= theta + EPS
             }
+        };
+        if rmts_obs::enabled() {
+            rmts_obs::count("core.admission.probes", 1);
+            rmts_obs::count(
+                if fits {
+                    "core.admission.admitted"
+                } else {
+                    "core.admission.rejected"
+                },
+                1,
+            );
         }
+        fits
     }
 
     /// The largest admissible first-part budget `≤ cap` (Definition 3's
     /// `MaxSplit` quantity under this admission test).
     pub fn max_budget(&self, proc: &mut ProcessorState, new: &NewcomerSpec, cap: Time) -> Time {
+        rmts_obs::count("core.maxsplit.calls", 1);
         match *self {
             AdmissionPolicy::ExactRta {
                 strategy,
@@ -173,7 +227,10 @@ mod tests {
 
     #[test]
     fn exact_policy_accepts_what_rta_accepts() {
-        for pol in [AdmissionPolicy::exact(), AdmissionPolicy::exact_scratch()] {
+        for pol in [
+            AdmissionPolicy::exact(),
+            AdmissionPolicy::exact().uncached(),
+        ] {
             let mut p = ProcessorState::new(0);
             p.push(sub(5, 3, 12, 12));
             let new = newcomer(0, 4, 4);
@@ -237,7 +294,9 @@ mod tests {
             Time::new(5)
         );
         assert_eq!(
-            AdmissionPolicy::exact_scratch().record_response(&mut p, 1),
+            AdmissionPolicy::exact()
+                .uncached()
+                .record_response(&mut p, 1),
             Time::new(5)
         );
         // Threshold: response = budget by the Lemma-2 convention.
@@ -250,7 +309,7 @@ mod tests {
         let mut p = ProcessorState::new(0);
         for pol in [
             AdmissionPolicy::exact(),
-            AdmissionPolicy::exact_scratch(),
+            AdmissionPolicy::exact().uncached(),
             AdmissionPolicy::threshold(1.0),
         ] {
             let new = newcomer(0, 20, 12);
@@ -270,8 +329,41 @@ mod tests {
         p.mutate_workload(|subs| subs[0].wcet = Time::new(6));
         for x in 0..=4 {
             let cached = AdmissionPolicy::exact().fits_whole(&mut p, &new, Time::new(x));
-            let scratch = AdmissionPolicy::exact_scratch().fits_whole(&mut p, &new, Time::new(x));
+            let scratch =
+                AdmissionPolicy::exact()
+                    .uncached()
+                    .fits_whole(&mut p, &new, Time::new(x));
             assert_eq!(cached, scratch, "budget {x}");
         }
+    }
+
+    #[test]
+    fn builder_steps_compose_and_shim_matches() {
+        let uncached = AdmissionPolicy::exact().uncached();
+        assert_eq!(
+            uncached,
+            AdmissionPolicy::ExactRta {
+                strategy: MaxSplitStrategy::default(),
+                cached: false,
+            }
+        );
+        assert_eq!(uncached.cached(), AdmissionPolicy::exact());
+        let bsearch = AdmissionPolicy::exact().with_strategy(MaxSplitStrategy::BinarySearch);
+        assert_eq!(
+            bsearch,
+            AdmissionPolicy::ExactRta {
+                strategy: MaxSplitStrategy::BinarySearch,
+                cached: true,
+            }
+        );
+        // Builder steps are no-ops on threshold policies.
+        let thresh = AdmissionPolicy::threshold(0.5);
+        assert_eq!(thresh.uncached(), thresh);
+        assert_eq!(thresh.cached(), thresh);
+        assert_eq!(thresh.with_strategy(MaxSplitStrategy::BinarySearch), thresh);
+        // The deprecated shim stays decision-identical for one release.
+        #[allow(deprecated)]
+        let shim = AdmissionPolicy::exact_scratch();
+        assert_eq!(shim, uncached);
     }
 }

@@ -7,7 +7,7 @@
 //! there is no splitting fallback, which is exactly why strict partitioning
 //! is limited to a 50% worst-case utilization bound.
 
-use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
+use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::ProcessorState;
 use rmts_bounds::ll_bound;
 use rmts_rta::budget::NewcomerSpec;
@@ -157,11 +157,14 @@ impl Partitioner for PartitionedRm {
         if unassigned.is_empty() {
             Ok(Partition::new(processors, plans))
         } else {
-            Err(Box::new(PartitionFailure {
+            let rejected = unassigned.first().copied();
+            Err(PartitionReject::new(
+                PartitionPhase::Place,
+                rejected,
                 unassigned,
-                partial: Partition::new(processors, plans),
-                reason: "no processor admits the task (no splitting)".to_string(),
-            }))
+                Partition::new(processors, plans),
+                "no processor admits the task (no splitting)",
+            ))
         }
     }
 }

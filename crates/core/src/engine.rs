@@ -121,6 +121,7 @@ pub fn run_phase(
                 cause,
             })?;
             sealed.push(queue.pop_front().expect("front exists"));
+            rmts_obs::count("core.engine.whole_assignments", 1);
         } else {
             // MaxSplit: place the largest feasible first part, then close
             // the processor (Definition 3 guarantees a bottleneck exists).
@@ -134,8 +135,10 @@ pub fn run_phase(
                         task: spec.parent,
                         cause,
                     })?;
+                rmts_obs::count("core.engine.splits", 1);
             }
             proc.full = true;
+            rmts_obs::count("core.engine.processors_closed", 1);
         }
     }
     Ok(())

@@ -60,7 +60,11 @@ pub use admission::AdmissionPolicy;
 pub use audit::{audit, AuditError};
 pub use maxsplit::MaxSplitStrategy;
 pub use overhead::{inflate, overhead_tolerance, OverheadModel};
-pub use partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
+#[allow(deprecated)]
+pub use partition::PartitionFailure;
+pub use partition::{
+    Bottleneck, Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner,
+};
 pub use processor::{ProcessorRole, ProcessorState};
 pub use rmts::RmTs;
 pub use rmts_light::RmTsLight;

@@ -1,8 +1,9 @@
-//! Partition results, failure reporting, and the `Partitioner` trait.
+//! Partition results, typed rejection diagnostics, and the `Partitioner`
+//! trait.
 
 use crate::processor::{ProcessorRole, ProcessorState};
-use rmts_rta::is_schedulable;
-use rmts_taskmodel::{SplitPlan, Subtask, TaskId, TaskSet};
+use rmts_rta::{is_schedulable, response_time};
+use rmts_taskmodel::{SplitPlan, Subtask, TaskId, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -99,6 +100,33 @@ impl Partition {
         self.plans.values().map(SplitPlan::body_count).sum()
     }
 
+    /// Per-processor bottleneck tasks in the sense of the paper's
+    /// Definition 2: for each non-empty processor, the subtask with the
+    /// least RTA slack — the task that would turn the processor
+    /// unschedulable first if any budget on it grew. Used for rejection
+    /// diagnostics; this is a cold path (full RTA per subtask).
+    pub fn bottlenecks(&self) -> Vec<Bottleneck> {
+        self.processors
+            .iter()
+            .filter_map(|p| {
+                let workload = p.workload();
+                (0..workload.len())
+                    .map(|i| {
+                        let s = &workload[i];
+                        let response = response_time(workload, i).filter(|&r| r <= s.deadline);
+                        Bottleneck {
+                            processor: p.index,
+                            task: s.parent,
+                            response,
+                            deadline: s.deadline,
+                            slack: response.map(|r| Time::new(s.deadline.ticks() - r.ticks())),
+                        }
+                    })
+                    .min_by_key(|b| b.slack.map_or(0, |s| s.ticks() + 1))
+            })
+            .collect()
+    }
+
     /// Consistency check: every task of `ts` appears with its full budget.
     pub fn covers(&self, ts: &TaskSet) -> bool {
         let mut budget: BTreeMap<u32, u64> = BTreeMap::new();
@@ -133,32 +161,161 @@ impl fmt::Display for Partition {
     }
 }
 
-/// Why and where partitioning failed.
+/// The algorithm phase in which a partitioning attempt was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionPhase {
+    /// Dedicating whole processors to tasks with `U_i > Λ` (footnote 5):
+    /// more such tasks than processors.
+    Dedicate,
+    /// Pre-assignment of heavy tasks to the highest-indexed processors
+    /// (Eq. 8). Pre-assignment itself never rejects in RM-TS — the phase is
+    /// here so the diagnostic vocabulary covers the whole pipeline.
+    PreAssign,
+    /// Assigning the priority-ordered queue onto normal processors (RM-TS
+    /// phase 2, or the single phase of RM-TS/light).
+    AssignNormal,
+    /// Draining leftovers onto pre-assigned processors (RM-TS phase 3).
+    AssignPreAssigned,
+    /// Whole-task placement without splitting (strict partitioned
+    /// baselines): no processor admits the task.
+    Place,
+}
+
+impl PartitionPhase {
+    /// Stable lower-case name for tables and JSON-ish output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PartitionPhase::Dedicate => "dedicate",
+            PartitionPhase::PreAssign => "pre-assign",
+            PartitionPhase::AssignNormal => "assign-normal",
+            PartitionPhase::AssignPreAssigned => "assign-pre-assigned",
+            PartitionPhase::Place => "place",
+        }
+    }
+}
+
+impl fmt::Display for PartitionPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A processor's bottleneck task (Definition 2): the subtask with the least
+/// RTA slack, i.e. the first to become unschedulable if load on the
+/// processor grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bottleneck {
+    /// Processor index.
+    pub processor: usize,
+    /// Parent task of the bottleneck subtask.
+    pub task: TaskId,
+    /// Its exact response time, or `None` if it already misses its
+    /// (synthetic) deadline.
+    pub response: Option<Time>,
+    /// Its (synthetic) deadline.
+    pub deadline: Time,
+    /// `deadline − response`, or `None` on a miss. Zero slack means the
+    /// processor is saturated exactly as `MaxSplit` intends.
+    pub slack: Option<Time>,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.slack {
+            Some(s) => write!(
+                f,
+                "P{}: task {} slack {} (R={}, D={})",
+                self.processor,
+                self.task.0,
+                s,
+                self.response.unwrap_or(Time::ZERO),
+                self.deadline
+            ),
+            None => write!(
+                f,
+                "P{}: task {} misses its deadline {}",
+                self.processor, self.task.0, self.deadline
+            ),
+        }
+    }
+}
+
+/// Typed diagnostics for a rejected partitioning attempt: which phase gave
+/// up, on which task, what remained unassigned, and where each processor's
+/// schedulability bottleneck (Definition 2) sits.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PartitionFailure {
-    /// Tasks (by id) that could not be (fully) assigned.
+pub struct PartitionReject {
+    /// The phase that rejected.
+    pub phase: PartitionPhase,
+    /// The task whose placement triggered the rejection (the head of the
+    /// remaining queue), when one is identifiable.
+    pub task: Option<TaskId>,
+    /// All tasks (by id, sorted, deduplicated) that could not be (fully)
+    /// assigned.
     pub unassigned: Vec<TaskId>,
+    /// Per-processor bottleneck tasks of the partial assignment at the
+    /// moment of rejection (Definition 2).
+    pub bottlenecks: Vec<Bottleneck>,
     /// The state of the processors at failure, for diagnostics.
     pub partial: Partition,
     /// Human-readable reason.
     pub reason: String,
 }
 
-impl fmt::Display for PartitionFailure {
+impl PartitionReject {
+    /// Builds the full diagnostic record: sorts and dedups `unassigned`,
+    /// defaults `task` to the first unassigned id, and computes the
+    /// per-processor bottlenecks from the partial assignment. Boxed because
+    /// the partial partition makes the error large relative to the `Ok`
+    /// payload of [`PartitionResult`].
+    pub fn new(
+        phase: PartitionPhase,
+        task: Option<TaskId>,
+        mut unassigned: Vec<TaskId>,
+        partial: Partition,
+        reason: impl Into<String>,
+    ) -> Box<Self> {
+        unassigned.sort_unstable();
+        unassigned.dedup();
+        let task = task.or_else(|| unassigned.first().copied());
+        let bottlenecks = partial.bottlenecks();
+        Box::new(PartitionReject {
+            phase,
+            task,
+            unassigned,
+            bottlenecks,
+            partial,
+            reason: reason.into(),
+        })
+    }
+}
+
+impl fmt::Display for PartitionReject {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "partitioning failed ({}); unassigned tasks: {:?}",
-            self.reason,
+            "partitioning failed in {} phase ({})",
+            self.phase, self.reason
+        )?;
+        if let Some(task) = self.task {
+            write!(f, "; rejected task: {}", task.0)?;
+        }
+        write!(
+            f,
+            "; unassigned tasks: {:?}",
             self.unassigned.iter().map(|t| t.0).collect::<Vec<_>>()
         )
     }
 }
 
-impl std::error::Error for PartitionFailure {}
+impl std::error::Error for PartitionReject {}
+
+/// Former name of [`PartitionReject`], kept for one release.
+#[deprecated(since = "0.2.0", note = "renamed to `PartitionReject`")]
+pub type PartitionFailure = PartitionReject;
 
 /// Outcome of a partitioning attempt.
-pub type PartitionResult = Result<Partition, Box<PartitionFailure>>;
+pub type PartitionResult = Result<Partition, Box<PartitionReject>>;
 
 /// A partitioned-scheduling algorithm (with or without task splitting).
 pub trait Partitioner {

@@ -23,7 +23,7 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::engine::{queue_increasing_priority, run_phase, EngineError, Select};
-use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
+use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::{ProcessorRole, ProcessorState};
 use rmts_bounds::thresholds::{light_threshold, rmts_cap};
 use rmts_bounds::{ll_bound, LiuLayland, ParametricBound};
@@ -92,21 +92,24 @@ impl<B: ParametricBound> RmTs<B> {
     }
 
     fn fail(
+        phase: PartitionPhase,
+        task: Option<TaskId>,
         processors: Vec<ProcessorState>,
         sealed: Vec<SplitPlan>,
-        mut unassigned: Vec<TaskId>,
+        unassigned: Vec<TaskId>,
         reason: String,
     ) -> PartitionResult {
-        unassigned.sort_unstable();
-        unassigned.dedup();
-        Err(Box::new(PartitionFailure {
+        Err(PartitionReject::new(
+            phase,
+            task,
             unassigned,
-            partial: Partition::new(processors, sealed),
+            Partition::new(processors, sealed),
             reason,
-        }))
+        ))
     }
 
     fn engine_failure(
+        phase: PartitionPhase,
         e: EngineError,
         processors: Vec<ProcessorState>,
         sealed: Vec<SplitPlan>,
@@ -115,6 +118,8 @@ impl<B: ParametricBound> RmTs<B> {
         let mut unassigned = queue_rest;
         unassigned.push(e.task);
         Self::fail(
+            phase,
+            Some(e.task),
             processors,
             sealed,
             unassigned,
@@ -159,6 +164,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
         let mut reserved: HashSet<TaskId> = HashSet::new();
 
         // Phase 0 (footnote 5): dedicated processors for over-Λ tasks.
+        let phase0 = rmts_obs::span("core.phase.dedicate_ns");
         for (prio, task) in ts.iter_prioritized() {
             if task.utilization() <= lambda + EPS {
                 continue;
@@ -170,6 +176,8 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 .max()
             else {
                 return Self::fail(
+                    PartitionPhase::Dedicate,
+                    Some(task.id),
                     processors,
                     sealed,
                     vec![task.id],
@@ -186,11 +194,14 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
             processors[q].role = ProcessorRole::Dedicated;
             processors[q].full = true;
             reserved.insert(task.id);
+            rmts_obs::count("core.rmts.dedicated", 1);
         }
+        drop(phase0);
 
         // Phase 1: pre-assignment, in decreasing priority order.
         // Precompute suffix sums of utilization over non-dedicated tasks so
         // Σ_{j>i} U_j is O(1) per task.
+        let phase1 = rmts_obs::span("core.phase.preassign_ns");
         let tasks: Vec<(Priority, &Task)> = ts
             .iter_prioritized()
             .filter(|(_, t)| !reserved.contains(&t.id))
@@ -224,43 +235,60 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 ));
                 processors[q].role = ProcessorRole::PreAssigned;
                 reserved.insert(task.id);
+                rmts_obs::count("core.rmts.preassigned", 1);
             }
         }
+        drop(phase1);
 
         // Phases 2 and 3 share one work queue, in increasing priority order.
         let mut queue = queue_increasing_priority(ts, |id| !reserved.contains(&id));
 
-        let phase2 = run_phase(
-            &mut processors,
-            &|p: &ProcessorState| p.role == ProcessorRole::Normal,
-            Select::WorstFit,
-            &mut queue,
-            &self.policy,
-            &mut sealed,
-        );
+        let phase2 = {
+            let _span = rmts_obs::span("core.phase.assign_normal_ns");
+            run_phase(
+                &mut processors,
+                &|p: &ProcessorState| p.role == ProcessorRole::Normal,
+                Select::WorstFit,
+                &mut queue,
+                &self.policy,
+                &mut sealed,
+            )
+        };
         if let Err(e) = phase2 {
             let rest = queue.iter().map(|p| p.task().id).collect();
-            return Self::engine_failure(e, processors, sealed, rest);
+            return Self::engine_failure(PartitionPhase::AssignNormal, e, processors, sealed, rest);
         }
 
-        let phase3 = run_phase(
-            &mut processors,
-            &|p: &ProcessorState| p.role == ProcessorRole::PreAssigned,
-            Select::LargestIndexFirstFit,
-            &mut queue,
-            &self.policy,
-            &mut sealed,
-        );
+        let phase3 = {
+            let _span = rmts_obs::span("core.phase.assign_preassigned_ns");
+            run_phase(
+                &mut processors,
+                &|p: &ProcessorState| p.role == ProcessorRole::PreAssigned,
+                Select::LargestIndexFirstFit,
+                &mut queue,
+                &self.policy,
+                &mut sealed,
+            )
+        };
         if let Err(e) = phase3 {
             let rest = queue.iter().map(|p| p.task().id).collect();
-            return Self::engine_failure(e, processors, sealed, rest);
+            return Self::engine_failure(
+                PartitionPhase::AssignPreAssigned,
+                e,
+                processors,
+                sealed,
+                rest,
+            );
         }
 
         if queue.is_empty() {
             Ok(Partition::new(processors, sealed))
         } else {
             let rest: Vec<TaskId> = queue.iter().map(|p| p.task().id).collect();
+            let head = rest.first().copied();
             Self::fail(
+                PartitionPhase::AssignPreAssigned,
+                head,
                 processors,
                 sealed,
                 rest,

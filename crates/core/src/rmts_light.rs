@@ -14,7 +14,7 @@
 use crate::admission::AdmissionPolicy;
 pub use crate::engine::Select as FitSelect;
 use crate::engine::{queue_increasing_priority, run_phase, Select};
-use crate::partition::{Partition, PartitionFailure, PartitionResult, Partitioner};
+use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::ProcessorState;
 use rmts_taskmodel::TaskSet;
 
@@ -81,32 +81,40 @@ impl Partitioner for RmTsLight {
         let mut processors: Vec<ProcessorState> = (0..m).map(ProcessorState::new).collect();
         let mut queue = queue_increasing_priority(ts, |_| true);
         let mut sealed = Vec::with_capacity(ts.len());
-        let phase = run_phase(
-            &mut processors,
-            &|_| true,
-            self.select,
-            &mut queue,
-            &self.policy,
-            &mut sealed,
-        );
+        let phase = {
+            let _span = rmts_obs::span("core.phase.assign_normal_ns");
+            run_phase(
+                &mut processors,
+                &|_| true,
+                self.select,
+                &mut queue,
+                &self.policy,
+                &mut sealed,
+            )
+        };
         let mut unassigned: Vec<_> = queue.iter().map(|p| p.task().id).collect();
-        let reason = match phase {
+        let rejected = unassigned.first().copied();
+        let (rejected, reason) = match phase {
             Err(e) => {
                 unassigned.push(e.task);
-                format!("synthetic deadline underflow for {}: {}", e.task, e.cause)
+                let reason = format!("synthetic deadline underflow for {}: {}", e.task, e.cause);
+                (Some(e.task), reason)
             }
             Ok(()) if unassigned.is_empty() => {
                 return Ok(Partition::new(processors, sealed));
             }
-            Ok(()) => "all processors full with tasks remaining".to_string(),
+            Ok(()) => (
+                rejected,
+                "all processors full with tasks remaining".to_string(),
+            ),
         };
-        unassigned.sort_unstable();
-        unassigned.dedup();
-        Err(Box::new(PartitionFailure {
+        Err(PartitionReject::new(
+            PartitionPhase::AssignNormal,
+            rejected,
             unassigned,
-            partial: Partition::new(processors, sealed),
+            Partition::new(processors, sealed),
             reason,
-        }))
+        ))
     }
 }
 

@@ -13,6 +13,7 @@ use rmts_core::Partitioner;
 use rmts_gen::{trial_rng, GenConfig};
 use rmts_sim::{simulate_partitioned, SimConfig};
 use rmts_taskmodel::Time;
+use std::time::Instant;
 
 /// How much double-checking to apply to accepted partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +71,11 @@ pub fn acceptance_sweep(
     make_config: &(dyn Fn(f64) -> GenConfig + Sync),
     check: CheckLevel,
 ) -> Vec<SweepPoint> {
+    // The recorder is thread-local: worker threads cannot see an active
+    // recording, so trials report their wall time back through the row and
+    // the calling thread feeds the histogram. Sampled here once so the
+    // workers skip the clock entirely when nobody is recording.
+    let recording = rmts_obs::enabled();
     grid.iter()
         .map(|&u_norm| {
             let cfg = make_config(u_norm);
@@ -78,11 +84,15 @@ pub fn acceptance_sweep(
             // UUniFast-discard target was infeasible or too tight) yield
             // `None` and are excluded from the denominator — they say
             // nothing about any algorithm.
-            let per_trial: Vec<Option<Vec<(bool, bool)>>> = parallel_map(trials, |t| {
+            // One row per generated trial: (per-algorithm (accepted,
+            // verified) flags, wall time in µs when recording).
+            type TrialRow = (Vec<(bool, bool)>, u64);
+            let per_trial: Vec<Option<TrialRow>> = parallel_map(trials, |t| {
                 // Mix the grid index into the seed so points are independent.
                 let mut rng = trial_rng(seed ^ (u_norm * 1e6) as u64, t);
                 let ts = cfg.generate(&mut rng)?;
-                let row = algorithms
+                let start = recording.then(Instant::now);
+                let row: Vec<(bool, bool)> = algorithms
                     .iter()
                     .map(|alg| match alg.partition(&ts, m) {
                         Ok(part) => {
@@ -106,9 +116,16 @@ pub fn acceptance_sweep(
                         Err(_) => (false, false),
                     })
                     .collect();
-                Some(row)
+                let micros = start.map_or(0, |s| s.elapsed().as_micros() as u64);
+                Some((row, micros))
             });
+            if recording {
+                for (_, micros) in per_trial.iter().flatten() {
+                    rmts_obs::observe("exp.trial_us", *micros);
+                }
+            }
             let generated = per_trial.iter().flatten().count();
+            rmts_obs::count("exp.trials", generated as u64);
             let mut rates: Vec<AcceptanceRate> = algorithms
                 .iter()
                 .map(|a| AcceptanceRate {
@@ -118,7 +135,7 @@ pub fn acceptance_sweep(
                     trials: generated,
                 })
                 .collect();
-            for trial in per_trial.iter().flatten() {
+            for (trial, _) in per_trial.iter().flatten() {
                 for (rate, &(acc, ver)) in rates.iter_mut().zip(trial) {
                     rate.accepted += acc as usize;
                     rate.verified += ver as usize;
@@ -228,6 +245,22 @@ mod tests {
         assert_eq!(
             r.verified, r.accepted,
             "simulation must confirm RTA-verified partitions"
+        );
+    }
+
+    #[test]
+    fn recording_captures_trial_timings() {
+        let rmts = RmTs::new();
+        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts];
+        let (points, snap) = rmts_obs::record(|| {
+            acceptance_sweep(&algs, 2, &[0.5], 10, 3, &quick_cfg(2), CheckLevel::None)
+        });
+        let generated = points[0].rates[0].trials as u64;
+        assert!(generated > 0);
+        assert_eq!(snap.counter("exp.trials"), generated);
+        assert_eq!(
+            snap.histogram("exp.trial_us").map(|h| h.count),
+            Some(generated)
         );
     }
 

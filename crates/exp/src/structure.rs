@@ -82,6 +82,14 @@ pub fn structure_stats(
             },
         }
     });
+    // Timing histograms are observed here on the calling thread: the
+    // recorder is thread-local, so worker threads inside `parallel_map`
+    // cannot see an active recording.
+    if rmts_obs::enabled() {
+        for r in rows.iter().filter(|r| r.generated) {
+            rmts_obs::observe("exp.partition_us", r.micros as u64);
+        }
+    }
     let generated: Vec<&Row> = rows.iter().filter(|r| r.generated).collect();
     let accepted: Vec<&&Row> = generated.iter().filter(|r| r.accepted).collect();
     let n_acc = accepted.len().max(1) as f64;
@@ -115,6 +123,21 @@ mod tests {
         // split closes a processor).
         assert!(stats.max_split_tasks <= 2);
         assert!(stats.mean_partition_us > 0.0);
+    }
+
+    #[test]
+    fn recording_captures_partition_timings() {
+        let cfg = GenConfig::new(6, 0.8)
+            .with_periods(PeriodGen::Choice(vec![10_000, 20_000]))
+            .with_utilization(UtilizationSpec::capped(0.4));
+        let (stats, snap) = rmts_obs::record(|| structure_stats(&RmTs::new(), 2, &cfg, 10, 9));
+        let h = snap
+            .histogram("exp.partition_us")
+            .expect("timing histogram");
+        assert_eq!(h.count as usize, stats.trials);
+        // The histogram's mean and the aggregate mean describe the same
+        // sample, up to microsecond truncation.
+        assert!(h.mean() <= stats.mean_partition_us + 1.0);
     }
 
     #[test]

@@ -1,0 +1,607 @@
+//! # `rmts-obs` — opt-in observability for the analysis engine
+//!
+//! Lightweight counters, power-of-two histograms, and span timers that the
+//! analysis crates (`rmts-rta`, `rmts-core`, `rmts-sim`, `rmts-exp`) thread
+//! through their hot paths. The design goals, in order:
+//!
+//! 1. **Strictly opt-in.** Nothing is recorded unless a [`Recording`] guard
+//!    is live on the current thread. The disabled fast path is a single
+//!    thread-local boolean load ([`enabled`]), so instrumented code costs
+//!    nothing measurable when observability is off — the cached-admission
+//!    benchmarks must not move.
+//! 2. **Zero allocation on hot paths.** Metric keys are `&'static str`;
+//!    counters and histograms live in small pre-sized tables keyed by
+//!    pointer-stable static strings; a histogram observation touches a fixed
+//!    `[u64; 65]` bucket array. Allocation happens only on the first touch
+//!    of a previously unseen key (and at [`Recording::finish`], which is off
+//!    the hot path by definition).
+//! 3. **No external dependencies.** Serialization targets the workspace's
+//!    vendored `serde` value model, so [`StatsSnapshot`] round-trips through
+//!    `serde_json` without pulling anything new into the build.
+//!
+//! ## Usage
+//!
+//! ```
+//! let rec = rmts_obs::Recording::start();
+//! rmts_obs::count("demo.widgets", 3);
+//! rmts_obs::observe("demo.latency_ns", 512);
+//! {
+//!     let _span = rmts_obs::span("demo.phase_ns");
+//!     // ... timed region ...
+//! }
+//! let snap = rec.finish();
+//! assert_eq!(snap.counter("demo.widgets"), 3);
+//! assert_eq!(snap.histogram("demo.latency_ns").unwrap().count, 1);
+//! ```
+//!
+//! Recordings nest: an inner [`Recording`] captures events into its own
+//! snapshot and events resume flowing to the outer recording once it
+//! finishes. Recorders are **per thread**: worker threads (e.g. under
+//! `crossbeam` fan-out) do not see the main thread's recorder, so layers
+//! that parallelize must carry measurements back to the recording thread
+//! themselves (see `rmts-exp`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Number of power-of-two histogram buckets: bucket `0` holds the value 0,
+/// bucket `i` (1 ≤ i ≤ 64) holds values `v` with `2^(i-1) <= v < 2^i`.
+const NUM_BUCKETS: usize = 65;
+
+/// Pre-sized capacity for the per-recording metric tables; the engine's
+/// whole counter vocabulary fits, so steady-state recording never
+/// reallocates.
+const TABLE_CAPACITY: usize = 48;
+
+/// Fixed-shape power-of-two histogram: counts per log2 bucket plus running
+/// count/sum/min/max. Observing a value is a handful of integer ops and
+/// never allocates.
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| (i as u32, c))
+                .collect(),
+        }
+    }
+}
+
+/// Log2 bucket index of a value: 0 for 0, otherwise `64 - leading_zeros`.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a log2 bucket (used for quantile estimates).
+fn bucket_upper(index: u32) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// One recording's in-flight state. Tables are keyed by `&'static str` and
+/// scanned linearly: the vocabulary is a few dozen keys, and a scan over a
+/// dense `Vec` beats hashing at that size — with no per-event allocation.
+struct RecorderState {
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl RecorderState {
+    fn new() -> Self {
+        RecorderState {
+            counters: Vec::with_capacity(TABLE_CAPACITY),
+            histograms: Vec::with_capacity(TABLE_CAPACITY),
+        }
+    }
+
+    fn count(&mut self, key: &'static str, n: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 += n;
+        } else {
+            self.counters.push((key, n));
+        }
+    }
+
+    fn observe(&mut self, key: &'static str, value: u64) {
+        if let Some(slot) = self.histograms.iter_mut().find(|(k, _)| *k == key) {
+            slot.1.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            self.histograms.push((key, h));
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+thread_local! {
+    /// Mirrors `RECORDINGS.is_empty()` so the disabled fast path is a single
+    /// `Cell` load with no `RefCell` borrow bookkeeping.
+    static RECORDING_ON: Cell<bool> = const { Cell::new(false) };
+    /// Stack of live recordings (innermost last); events go to the top.
+    static RECORDINGS: RefCell<Vec<RecorderState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether a [`Recording`] is live on this thread.
+///
+/// Instrumented code may use this to skip *batches* of work (building a
+/// tally, calling `Instant::now`). The individual primitives ([`count`],
+/// [`observe`]) already check it themselves.
+#[inline]
+pub fn enabled() -> bool {
+    RECORDING_ON.with(|on| on.get())
+}
+
+/// Add `n` to the counter named `key` on the innermost live recording.
+/// No-op when no recording is live.
+#[inline]
+pub fn count(key: &'static str, n: u64) {
+    if enabled() {
+        RECORDINGS.with(|stack| {
+            if let Some(state) = stack.borrow_mut().last_mut() {
+                state.count(key, n);
+            }
+        });
+    }
+}
+
+/// Record one observation of `value` into the histogram named `key` on the
+/// innermost live recording. No-op when no recording is live.
+#[inline]
+pub fn observe(key: &'static str, value: u64) {
+    if enabled() {
+        RECORDINGS.with(|stack| {
+            if let Some(state) = stack.borrow_mut().last_mut() {
+                state.observe(key, value);
+            }
+        });
+    }
+}
+
+/// Start an RAII span timer: elapsed nanoseconds are recorded into the
+/// histogram named `key` when the returned [`Span`] drops. When no recording
+/// is live the span is inert and never reads the clock.
+#[inline]
+pub fn span(key: &'static str) -> Span {
+    Span {
+        key,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// RAII guard produced by [`span`]; records its elapsed wall time (in
+/// nanoseconds) on drop.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    key: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            observe(self.key, ns);
+        }
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("key", &self.key)
+            .field("active", &self.start.is_some())
+            .finish()
+    }
+}
+
+/// RAII guard that turns recording on for the current thread.
+///
+/// Created with [`Recording::start`]; consumed by [`Recording::finish`],
+/// which returns the [`StatsSnapshot`] of everything recorded while the
+/// guard was live. Dropping without `finish` discards the data. Recordings
+/// nest (the innermost captures), but guards must be finished/dropped in
+/// LIFO order — which the borrow checker already enforces for stack-held
+/// guards.
+#[derive(Debug)]
+pub struct Recording {
+    finished: bool,
+}
+
+impl Recording {
+    /// Begin recording on the current thread.
+    pub fn start() -> Recording {
+        RECORDINGS.with(|stack| stack.borrow_mut().push(RecorderState::new()));
+        RECORDING_ON.with(|on| on.set(true));
+        Recording { finished: false }
+    }
+
+    /// Stop recording and return everything captured since [`Recording::start`].
+    pub fn finish(mut self) -> StatsSnapshot {
+        self.finished = true;
+        Recording::pop().map(|s| s.snapshot()).unwrap_or_default()
+    }
+
+    fn pop() -> Option<RecorderState> {
+        RECORDINGS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let top = stack.pop();
+            RECORDING_ON.with(|on| on.set(!stack.is_empty()));
+            top
+        })
+    }
+}
+
+impl Drop for Recording {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = Recording::pop();
+        }
+    }
+}
+
+/// Run `f` under a fresh [`Recording`] and return its result together with
+/// the captured snapshot.
+pub fn record<T>(f: impl FnOnce() -> T) -> (T, StatsSnapshot) {
+    let rec = Recording::start();
+    let out = f();
+    (out, rec.finish())
+}
+
+/// Serializable summary of one histogram: running aggregates plus the
+/// non-empty log2 buckets as `(bucket_index, count)` pairs. Bucket `0`
+/// holds the value 0; bucket `i` holds values in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Sparse `(log2 bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the inclusive upper bound
+    /// of the log2 bucket containing the ⌈q·count⌉-th observation, clamped
+    /// to the exact observed `max`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for &(index, count) in &other.buckets {
+            match self.buckets.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += count,
+                Err(pos) => self.buckets.insert(pos, (index, count)),
+            }
+        }
+    }
+}
+
+/// Labelled snapshot of everything one [`Recording`] captured: named
+/// counters and named histograms. Serializes to JSON via the vendored
+/// `serde`/`serde_json` (keys sorted, so output is deterministic).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Monotonic event counters, keyed by dotted metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value distributions, keyed by dotted metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Value of the counter named `key`, or 0 if it was never touched.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `key`, if any observation was recorded under it.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(key)
+    }
+
+    /// Counters whose names start with `prefix` (dotted-name subtree view).
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Fold another snapshot into this one: counters add, histograms merge.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (key, &value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    /// Compact human-readable rendering: one `key = value` line per counter,
+    /// then one summary line per histogram.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (key, value) in &self.counters {
+            writeln!(f, "{key} = {value}")?;
+        }
+        for (key, h) in &self.histograms {
+            writeln!(
+                f,
+                "{key}: count={} mean={:.1} min={} p50≈{} p95≈{} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_noop() {
+        assert!(!enabled());
+        count("t.counter", 5);
+        observe("t.hist", 10);
+        let _span = span("t.span");
+        // Nothing panics, nothing is recorded anywhere.
+        let rec = Recording::start();
+        let snap = rec.finish();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = Recording::start();
+        count("t.a", 1);
+        count("t.a", 2);
+        count("t.b", 7);
+        let snap = rec.finish();
+        assert_eq!(snap.counter("t.a"), 3);
+        assert_eq!(snap.counter("t.b"), 7);
+        assert_eq!(snap.counter("t.never"), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn histogram_aggregates_and_buckets() {
+        let rec = Recording::start();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            observe("t.h", v);
+        }
+        let snap = rec.finish();
+        let h = snap.histogram("t.h").expect("histogram recorded");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0 -> bucket 0; 1 -> 1; 2,3 -> 2; 4 -> 3; 1000 -> 10.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.5) <= 3);
+    }
+
+    #[test]
+    fn span_records_elapsed_ns() {
+        let rec = Recording::start();
+        {
+            let _s = span("t.span_ns");
+            std::hint::black_box(0u64);
+        }
+        let snap = rec.finish();
+        let h = snap.histogram("t.span_ns").expect("span recorded");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn recordings_nest_and_restore() {
+        let outer = Recording::start();
+        count("t.outer", 1);
+        {
+            let inner = Recording::start();
+            count("t.inner", 1);
+            let snap = inner.finish();
+            assert_eq!(snap.counter("t.inner"), 1);
+            assert_eq!(snap.counter("t.outer"), 0);
+        }
+        assert!(enabled());
+        count("t.outer", 1);
+        let snap = outer.finish();
+        assert_eq!(snap.counter("t.outer"), 2);
+        assert_eq!(snap.counter("t.inner"), 0);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn drop_without_finish_discards() {
+        {
+            let _rec = Recording::start();
+            count("t.dropped", 1);
+        }
+        assert!(!enabled());
+        let (_, snap) = record(|| count("t.kept", 1));
+        assert_eq!(snap.counter("t.kept"), 1);
+        assert_eq!(snap.counter("t.dropped"), 0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let (_, a) = record(|| {
+            count("t.c", 2);
+            observe("t.h", 8);
+        });
+        let (_, b) = record(|| {
+            count("t.c", 3);
+            count("t.only_b", 1);
+            observe("t.h", 1);
+            observe("t.h", 100);
+        });
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("t.c"), 5);
+        assert_eq!(merged.counter("t.only_b"), 1);
+        let h = merged.histogram("t.h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 109);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+    }
+
+    #[test]
+    fn quantile_on_merged_histogram() {
+        let mut h = HistogramSnapshot::default();
+        let single = HistogramSnapshot {
+            count: 1,
+            sum: 7,
+            min: 7,
+            max: 7,
+            buckets: vec![(3, 1)],
+        };
+        for _ in 0..10 {
+            h.merge(&single);
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.mean(), 7.0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v) as u32;
+            assert!(v <= bucket_upper(i), "v={v} above bucket {i} upper");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "v={v} not above bucket {}", i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let (_, snap) = record(|| {
+            count("t.c1", 42);
+            count("t.c2", 0);
+            observe("t.h", 5);
+            observe("t.h", 500);
+        });
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: StatsSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, snap);
+    }
+}

@@ -57,6 +57,22 @@ impl NewcomerSpec {
 
 /// `true` iff `workload ∪ {newcomer with budget x}` is fully schedulable.
 fn admits(workload: &[Subtask], new: &NewcomerSpec, x: Time) -> bool {
+    let mut fixed_points = 0u64;
+    let ok = admits_counted(workload, new, x, &mut fixed_points);
+    if fixed_points != 0 && rmts_obs::enabled() {
+        // Scratch analysis runs a cold fixed point per affected subtask;
+        // contrast with the `rta.cache.*` hit/miss split of the cached path.
+        rmts_obs::count("rta.scratch.fixed_points", fixed_points);
+    }
+    ok
+}
+
+fn admits_counted(
+    workload: &[Subtask],
+    new: &NewcomerSpec,
+    x: Time,
+    fixed_points: &mut u64,
+) -> bool {
     if x > new.deadline {
         return false;
     }
@@ -66,6 +82,7 @@ fn admits(workload: &[Subtask], new: &NewcomerSpec, x: Time) -> bool {
         .filter(|s| s.priority.is_higher_than(new.priority))
         .map(|s| (s.wcet, s.period))
         .collect();
+    *fixed_points += 1;
     if fixed_point(x, new.deadline, &hp_new).is_none() {
         return false;
     }
@@ -83,6 +100,7 @@ fn admits(workload: &[Subtask], new: &NewcomerSpec, x: Time) -> bool {
         if !x.is_zero() {
             hp.push((x, new.period));
         }
+        *fixed_points += 1;
         if fixed_point(s.wcet, s.deadline, &hp).is_none() {
             return false;
         }
@@ -104,7 +122,9 @@ pub fn max_admissible_budget_bsearch(workload: &[Subtask], new: &NewcomerSpec, c
         return hi;
     }
     // Invariant: lo feasible, hi infeasible.
+    let mut iters = 0u64;
     while hi.ticks() - lo.ticks() > 1 {
+        iters += 1;
         let mid = Time::new((lo.ticks() + hi.ticks()) / 2);
         if admits(workload, new, mid) {
             lo = mid;
@@ -112,6 +132,7 @@ pub fn max_admissible_budget_bsearch(workload: &[Subtask], new: &NewcomerSpec, c
             hi = mid;
         }
     }
+    rmts_obs::count("rta.maxsplit.bsearch_iters", iters);
     lo
 }
 

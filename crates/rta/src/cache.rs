@@ -30,6 +30,52 @@ use crate::rta::{fixed_point_from, interference};
 use crate::tda::scheduling_points_into;
 use rmts_taskmodel::{Subtask, Time};
 
+/// Local tally of one probe (or probe batch): accumulated in plain stack
+/// integers on the hot path and flushed to `rmts-obs` in one step, so a
+/// disabled recorder costs a single thread-local check per public call.
+///
+/// Counter semantics (the `rta.cache.*` vocabulary): every per-subtask
+/// evaluation — the newcomer's own response plus each strictly-lower suffix
+/// member — counts as one *probe*. An evaluation resolved in O(1) without
+/// running a fixed-point routine (early deadline overshoot, pre-existing
+/// miss, safe-horizon confirmation) is a *hit*; one that ran
+/// `fixed_point_from`/`fp_prefix_plus` is a *miss*. Hence
+/// `hits + misses == probes` holds structurally. *Re-steps* count the
+/// evaluations that warm-started from a previous feasible probe of the same
+/// newcomer (the binary-search ladder).
+#[derive(Debug, Default)]
+struct ProbeTally {
+    probes: u64,
+    hits: u64,
+    resteps: u64,
+}
+
+impl ProbeTally {
+    /// Evaluation resolved in O(1), no fixed-point routine ran.
+    #[inline]
+    fn hit(&mut self) {
+        self.probes += 1;
+        self.hits += 1;
+    }
+
+    /// Evaluation ran a full fixed-point routine.
+    #[inline]
+    fn miss(&mut self) {
+        self.probes += 1;
+    }
+
+    fn flush(&self) {
+        if self.probes != 0 && rmts_obs::enabled() {
+            rmts_obs::count("rta.cache.probes", self.probes);
+            rmts_obs::count("rta.cache.hits", self.hits);
+            rmts_obs::count("rta.cache.misses", self.probes - self.hits);
+            // Always emitted (even at 0) so recorded snapshots have a
+            // stable schema for the cache-mechanism counters.
+            rmts_obs::count("rta.cache.resteps", self.resteps);
+        }
+    }
+}
+
 /// A processor workload kept priority-sorted with cached exact response
 /// times, supporting incremental admission probes.
 ///
@@ -83,6 +129,7 @@ impl RtaCache {
     /// every subtask in turn (full analysis; used after out-of-band
     /// workload mutation invalidates an existing cache).
     pub fn from_workload(workload: &[Subtask]) -> Self {
+        rmts_obs::count("rta.cache.rebuilds", 1);
         let mut cache = RtaCache {
             sorted: Vec::with_capacity(workload.len()),
             resp: Vec::with_capacity(workload.len()),
@@ -192,9 +239,11 @@ impl RtaCache {
                         stable_until(&self.sorted[..h], r)
                     };
                 }
+                rmts_obs::count("rta.cache.memo_hits", 1);
                 return Some(own);
             }
         }
+        rmts_obs::count("rta.cache.memo_misses", 1);
         let lt = self.lt_end(s.priority.0);
         let pos = self.le_end(s.priority.0);
         let own = fixed_point_from(s.wcet, s.wcet, s.deadline, pairs(&self.sorted[..lt]));
@@ -260,11 +309,21 @@ impl RtaCache {
     /// entirely; strictly-lower ones are re-analyzed with the newcomer's
     /// interference added, warm-starting from their cached response times.
     pub fn probe(&self, new: &NewcomerSpec, x: Time) -> bool {
+        let mut tally = ProbeTally::default();
+        let ok = self.probe_counted(new, x, &mut tally);
+        tally.flush();
+        ok
+    }
+
+    /// [`Self::probe`] body, accumulating the `rta.cache.*` tally locally
+    /// (flushed once by the public wrappers).
+    fn probe_counted(&self, new: &NewcomerSpec, x: Time, tally: &mut ProbeTally) -> bool {
         if x > new.deadline {
             return false;
         }
         // Newcomer's own response against its strictly-higher prefix.
         let lt = self.lt_end(new.priority.0);
+        tally.miss();
         if fixed_point_from(x, x, new.deadline, pairs(&self.sorted[..lt])).is_none() {
             return false;
         }
@@ -272,6 +331,7 @@ impl RtaCache {
         let mut h = 0;
         for k in self.le_end(new.priority.0)..self.sorted.len() {
             let Some(prev) = self.resp[k] else {
+                tally.hit();
                 return false; // already missing without the newcomer
             };
             let me = &self.sorted[k];
@@ -281,6 +341,7 @@ impl RtaCache {
             // without evaluating the prefix even once.
             let start = prev.saturating_add(interference(x, new.period, prev));
             if start > me.deadline {
+                tally.hit();
                 return false;
             }
             // O(1) confirmation: the step crosses no prefix period multiple
@@ -289,11 +350,13 @@ impl RtaCache {
             // new least fixed point — no prefix scan at all.
             let n_bound = Time::new(new.period.ticks().saturating_mul(prev.div_ceil(new.period)));
             if start <= self.safe[k] && start <= n_bound {
+                tally.hit();
                 continue;
             }
             while self.sorted[h].priority.0 < me.priority.0 {
                 h += 1;
             }
+            tally.miss();
             if fp_prefix_plus(
                 start,
                 me.wcet,
@@ -319,7 +382,9 @@ impl RtaCache {
         if let Some(old) = self.memo.take() {
             warm.scratch = old.resp; // reuse the allocation
         }
-        let ok = self.probe_warm(new, x, &mut warm);
+        let mut tally = ProbeTally::default();
+        let ok = self.probe_warm(new, x, &mut warm, &mut tally);
+        tally.flush();
         if ok {
             self.memo = Some(ProbeMemo {
                 priority: new.priority,
@@ -338,24 +403,40 @@ impl RtaCache {
     /// [`crate::budget::max_admissible_budget_bsearch`].
     ///
     /// On top of the per-subtask warm starts every probe gets from the
-    /// cache, the search threads a [`WarmProbe`] through its probes: all
+    /// cache, the search threads a `WarmProbe` through its probes: all
     /// response times are monotone in the probed budget, so the fixed
     /// points found by the last *feasible* probe are valid (and much
     /// tighter) starting points for every later, larger budget.
     pub fn max_budget_bsearch(&self, new: &NewcomerSpec, cap: Time) -> Time {
+        let mut tally = ProbeTally::default();
+        let mut iters = 0u64;
+        let out = self.max_budget_bsearch_counted(new, cap, &mut tally, &mut iters);
+        tally.flush();
+        rmts_obs::count("rta.maxsplit.bsearch_iters", iters);
+        out
+    }
+
+    fn max_budget_bsearch_counted(
+        &self,
+        new: &NewcomerSpec,
+        cap: Time,
+        tally: &mut ProbeTally,
+        iters: &mut u64,
+    ) -> Time {
         let mut warm = WarmProbe::default();
-        if !self.probe_warm(new, Time::ZERO, &mut warm) {
+        if !self.probe_warm(new, Time::ZERO, &mut warm, tally) {
             return Time::ZERO;
         }
         let mut lo = Time::ZERO; // feasible
         let mut hi = cap.min(new.deadline); // candidate upper end
-        if self.probe_warm(new, hi, &mut warm) {
+        if self.probe_warm(new, hi, &mut warm, tally) {
             return hi;
         }
         // Invariant: lo feasible, hi infeasible.
         while hi.ticks() - lo.ticks() > 1 {
+            *iters += 1;
             let mid = Time::new((lo.ticks() + hi.ticks()) / 2);
-            if self.probe_warm(new, mid, &mut warm) {
+            if self.probe_warm(new, mid, &mut warm, tally) {
                 lo = mid;
             } else {
                 hi = mid;
@@ -368,7 +449,13 @@ impl RtaCache {
     /// the *same* newcomer at ascending budgets (the binary-search inner
     /// loop). Bit-identical verdicts — only the fixed-point starting values
     /// differ, and every start stays ≤ the least fixed point it seeks.
-    fn probe_warm(&self, new: &NewcomerSpec, x: Time, warm: &mut WarmProbe) -> bool {
+    fn probe_warm(
+        &self,
+        new: &NewcomerSpec,
+        x: Time,
+        warm: &mut WarmProbe,
+        tally: &mut ProbeTally,
+    ) -> bool {
         if x > new.deadline {
             return false;
         }
@@ -388,13 +475,16 @@ impl RtaCache {
         // `x₁`, the demand at `r₁` under budget `x` is exactly `r₁ + (x −
         // x₁)` — an O(1) re-step.
         let start = if seeded {
+            tally.resteps += 1;
             warm.resp[0].saturating_add(dx)
         } else {
             x
         };
         if start > new.deadline {
+            tally.hit();
             return false;
         }
+        tally.miss();
         let Some(own) = fixed_point_from(start, x, new.deadline, pairs(&self.sorted[..lt])) else {
             return false;
         };
@@ -406,16 +496,19 @@ impl RtaCache {
         let mut h = 0;
         for k in suffix0..self.sorted.len() {
             let Some(prev) = self.resp[k] else {
+                tally.hit();
                 return false; // already missing without the newcomer
             };
             let me = &self.sorted[k];
             let start = if seeded {
+                tally.resteps += 1;
                 let r1 = warm.resp[1 + k - suffix0];
                 r1.saturating_add(interference(dx, new.period, r1))
             } else {
                 prev.saturating_add(interference(x, new.period, prev))
             };
             if start > me.deadline {
+                tally.hit();
                 return false;
             }
             // O(1) confirmation for unseeded steps (see [`Self::probe`]).
@@ -423,6 +516,7 @@ impl RtaCache {
                 let n_bound =
                     Time::new(new.period.ticks().saturating_mul(prev.div_ceil(new.period)));
                 if start <= self.safe[k] && start <= n_bound {
+                    tally.hit();
                     warm.scratch.push(start);
                     continue;
                 }
@@ -430,6 +524,7 @@ impl RtaCache {
             while self.sorted[h].priority.0 < me.priority.0 {
                 h += 1;
             }
+            tally.miss();
             let Some(r) = fp_prefix_plus(
                 start,
                 me.wcet,
@@ -455,6 +550,7 @@ impl RtaCache {
     /// off the sorted slice and reusing one internal point buffer instead
     /// of allocating per affected subtask.
     pub fn max_budget_points(&mut self, new: &NewcomerSpec, cap: Time) -> Time {
+        rmts_obs::count("rta.maxsplit.points_calls", 1);
         let cap = cap.min(new.deadline);
         if cap.is_zero() {
             return Time::ZERO;

@@ -38,7 +38,34 @@ pub fn simulate_partitioned_traced(
     (report, trace)
 }
 
+/// Local event tallies, flushed to the [`rmts_obs`] recorder in one batch
+/// when the simulation ends. Keeps the event loop free of per-event
+/// recorder lookups: the only recurring obs call is the `sim.slack`
+/// histogram sample, and [`rmts_obs::observe`] is a no-op unless a
+/// recording is active.
+#[derive(Default)]
+struct SimTally {
+    events: u64,
+    releases: u64,
+    completions: u64,
+    preemptions: u64,
+    migrations: u64,
+}
+
+impl SimTally {
+    fn flush(&self) {
+        if self.events != 0 && rmts_obs::enabled() {
+            rmts_obs::count("sim.events", self.events);
+            rmts_obs::count("sim.releases", self.releases);
+            rmts_obs::count("sim.completions", self.completions);
+            rmts_obs::count("sim.preemptions", self.preemptions);
+            rmts_obs::count("sim.migrations", self.migrations);
+        }
+    }
+}
+
 fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace>) -> SimReport {
+    let mut tally = SimTally::default();
     let chains = build_chains(workloads);
     let horizon = horizon_for(&chains, config.horizon);
     let mut report = SimReport {
@@ -88,6 +115,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             if let (Some(prev), Some(new)) = (running[q], top[q]) {
                 if prev != new && jobs[prev].active.is_some() {
                     report.preemptions += 1;
+                    tally.preemptions += 1;
                 }
             }
             running[q] = top[q];
@@ -142,6 +170,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             }
             break;
         }
+        tally.events += 1;
         let dt = t_next - now;
 
         // Advance the running stages.
@@ -169,6 +198,10 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             }
             if active.stage + 1 < chain.stages.len() {
                 // Precedence: hand over to the next stage.
+                if chain.stages[active.stage + 1].processor != chain.stages[active.stage].processor
+                {
+                    tally.migrations += 1;
+                }
                 jobs[ci].active = Some(ActiveJob {
                     stage: active.stage + 1,
                     remaining: chain.stages[active.stage + 1].wcet,
@@ -176,9 +209,13 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
                 });
             } else {
                 jobs[ci].active = None;
+                tally.completions += 1;
                 record_completion(&mut report, chain, active.released, now);
-                if now > active.released + chain.period {
+                let deadline = active.released + chain.period;
+                if now > deadline {
                     record_miss(&mut report, chain, active.job, active.released, Some(now));
+                } else {
+                    rmts_obs::observe("sim.slack", (deadline - now).ticks());
                 }
             }
         }
@@ -186,6 +223,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             if let Some(tr) = trace.as_deref_mut() {
                 close_open(tr, &chains, &mut open, now);
             }
+            tally.flush();
             return report;
         }
 
@@ -207,6 +245,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
                 remaining: chain.stages[0].wcet,
             });
             jobs[ci].next_job += 1;
+            tally.releases += 1;
             let extra = match config.release {
                 ReleaseModel::Periodic => Time::ZERO,
                 ReleaseModel::Sporadic { max_delay, .. } => Time::new(jitter[ci].next(max_delay)),
@@ -217,6 +256,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             if let Some(tr) = trace.as_deref_mut() {
                 close_open(tr, &chains, &mut open, now);
             }
+            tally.flush();
             return report;
         }
     }
@@ -230,6 +270,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
             }
         }
     }
+    tally.flush();
     report
 }
 
@@ -426,6 +467,42 @@ mod tests {
         assert_eq!(plain, traced);
         // Full utilization: the processor is busy for the whole hyperperiod.
         assert_eq!(trace.busy_time(0), traced.horizon);
+    }
+
+    #[test]
+    fn recording_captures_event_counters() {
+        let w0 = vec![whole(0, 0, 1, 4), whole(1, 1, 2, 6)];
+        let (report, snap) =
+            rmts_obs::record(|| simulate_partitioned(&[&w0], SimConfig::default()));
+        assert!(report.all_deadlines_met());
+        // Hyperperiod 12: 3 jobs of τ0 + 2 jobs of τ1 complete; the
+        // releases at t = 12 (the horizon itself) are also counted.
+        assert_eq!(snap.counter("sim.releases"), 7);
+        assert_eq!(snap.counter("sim.completions"), 5);
+        assert!(snap.counter("sim.events") >= 5);
+        let slack = snap.histogram("sim.slack").expect("slack histogram");
+        assert_eq!(slack.count, 5);
+        // τ0's jobs finish 1 tick after release: slack 3 each; all slacks
+        // are positive and bounded by the longest period.
+        assert!(slack.min >= 1 && slack.max <= 6);
+    }
+
+    #[test]
+    fn recording_counts_migrations_of_split_tasks() {
+        let mut body = whole(0, 0, 2, 10);
+        body.kind = SubtaskKind::Body(1);
+        let mut tail = whole(0, 0, 2, 10);
+        tail.seq = 2;
+        tail.kind = SubtaskKind::Tail;
+        tail.deadline = Time::new(8);
+        let w0 = vec![body];
+        let w1 = vec![tail, whole(1, 3, 5, 10)];
+        let (report, snap) =
+            rmts_obs::record(|| simulate_partitioned(&[&w0, &w1], SimConfig::default()));
+        assert!(report.all_deadlines_met());
+        // τ0's single job hands over from P0 to P1 exactly once.
+        assert_eq!(snap.counter("sim.migrations"), 1);
+        assert_eq!(snap.counter("sim.preemptions"), report.preemptions);
     }
 
     #[test]

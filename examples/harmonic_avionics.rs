@@ -71,14 +71,31 @@ fn main() {
     );
 
     // (b) The [16]-style threshold algorithm is capped at Θ(N) ≈ 69–72%.
+    // The typed rejection says exactly where it gave up: which phase,
+    // which task, and how little slack each processor had left.
     match spa1(ts.len()).partition(&ts, m) {
         Ok(_) => println!("SPA1 [16]: accepted (unexpected at this density!)"),
-        Err(e) => println!("SPA1 [16]: rejected ✗ — {e}"),
+        Err(e) => {
+            println!(
+                "SPA1 [16]: rejected ✗ in the {} phase ({} tasks left over)",
+                e.phase,
+                e.unassigned.len()
+            );
+            for b in &e.bottlenecks {
+                println!("  {b}");
+            }
+        }
     }
 
     // (c) Strict partitioned RM cannot split, so perfect packing fails.
     match PartitionedRm::ffd_rta().partition(&ts, m) {
         Ok(_) => println!("P-RM-FFD/RTA: accepted (lucky packing)"),
-        Err(e) => println!("P-RM-FFD/RTA: rejected ✗ — {e}"),
+        Err(e) => {
+            let stuck = e.task.map(|t| format!(" on {t}")).unwrap_or_default();
+            println!(
+                "P-RM-FFD/RTA: rejected ✗ in the {} phase{stuck} — {e}",
+                e.phase
+            );
+        }
     }
 }

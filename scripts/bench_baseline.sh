@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Record the admission-cache baseline: runs the cached-vs-scratch admission
 # bench and captures the paired speedup report in BENCH_admission.json at
-# the repository root (the bench target writes the file itself).
+# the repository root, plus the recorded observability snapshot in
+# BENCH_admission_stats.json (the bench target writes both files itself).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,3 +11,4 @@ cargo bench -p rmts-bench --bench admission_cache "$@"
 
 echo
 echo "Recorded: $(pwd)/BENCH_admission.json"
+echo "Recorded: $(pwd)/BENCH_admission_stats.json"

@@ -3,7 +3,7 @@
 //! ```text
 //! rmts-cli bounds    <taskset.json>
 //! rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm]
-//!                    [--bound ll|hc|t|r] [--simulate] [--gantt]
+//!                    [--bound ll|hc|t|r] [--simulate] [--gantt] [--stats]
 //! rmts-cli check     <taskset.json> -m M          # all algorithms side by side
 //! rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic]
 //!                    [--seed S] [--cap U]          # JSON on stdout
@@ -35,7 +35,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rmts-cli bounds    <taskset.json>
-  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r] [--simulate] [--gantt]
+  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r] [--simulate] [--gantt] [--stats]
   rmts-cli check     <taskset.json> -m M
   rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]";
 
@@ -150,9 +150,21 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         ts.len(),
         ts.normalized_utilization(m)
     );
-    let partition = alg
-        .partition(&ts, m)
-        .map_err(|e| format!("partitioning failed: {e}"))?;
+    // `--stats` records every layer the run touches (partitioner phases,
+    // RTA cache, simulator events) and prints the snapshot as JSON at the
+    // end. It implies a simulation run so the snapshot covers `sim.*`.
+    let want_stats = has_flag(args, "--stats");
+    let recording = want_stats.then(rmts::obs::Recording::start);
+    let partition = match alg.partition(&ts, m) {
+        Ok(p) => p,
+        Err(e) => {
+            let mut msg = e.to_string();
+            for b in &e.bottlenecks {
+                msg.push_str(&format!("\n  bottleneck {b}"));
+            }
+            return Err(msg);
+        }
+    };
     println!("{partition}");
     println!(
         "splits: {:?}; RTA verification: {}",
@@ -168,7 +180,7 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         }
     );
 
-    if has_flag(args, "--simulate") || has_flag(args, "--gantt") {
+    if has_flag(args, "--simulate") || has_flag(args, "--gantt") || want_stats {
         let (report, trace) =
             simulate_partitioned_traced(&partition.workloads(), SimConfig::default());
         println!(
@@ -182,6 +194,14 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             println!();
             print!("{}", trace.gantt(m, report.horizon, 72));
         }
+    }
+    if let Some(rec) = recording {
+        let snap = rec.finish();
+        println!();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        );
     }
     Ok(())
 }
@@ -205,10 +225,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         ts.normalized_utilization(m)
     );
     println!(
-        "{:<24} {:>10} {:>8} {:>8}",
+        "{:<24} {:>10} {:>8} {:>8}  detail",
         "algorithm", "result", "splits", "RTA"
     );
-    println!("{}", "-".repeat(54));
+    println!("{}", "-".repeat(72));
     for alg in algs {
         match alg.partition(&ts, m) {
             Ok(p) => println!(
@@ -218,12 +238,16 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 p.split_tasks().len(),
                 if p.verify_rta() { "ok" } else { "FAIL" }
             ),
-            Err(_) => println!(
-                "{:<24} {:>10} {:>8} {:>8}",
+            Err(e) => println!(
+                "{:<24} {:>10} {:>8} {:>8}  {} phase{}",
                 alg.name(),
                 "rejected",
                 "-",
-                "-"
+                "-",
+                e.phase,
+                e.task
+                    .map(|t| format!(", stuck on {t}"))
+                    .unwrap_or_default()
             ),
         }
     }

@@ -19,6 +19,7 @@
 //! | [`sim`] | discrete-event partitioned/global scheduling simulator |
 //! | [`gen`] | synthetic task-set generation (UUniFast-discard etc.) |
 //! | [`exp`] | experiment harness regenerating the paper's evaluation |
+//! | [`obs`] | opt-in observability: counters, histograms, span timers |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use rmts_bounds as bounds;
 pub use rmts_core as core;
 pub use rmts_exp as exp;
 pub use rmts_gen as gen;
+pub use rmts_obs as obs;
 pub use rmts_rta as rta;
 pub use rmts_sim as sim;
 pub use rmts_taskmodel as taskmodel;
@@ -60,10 +62,11 @@ pub mod prelude {
     };
     pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
     pub use rmts_core::{
-        audit, AdmissionPolicy, MaxSplitStrategy, OverheadModel, Partition, Partitioner, RmTs,
-        RmTsLight,
+        audit, AdmissionPolicy, Bottleneck, MaxSplitStrategy, OverheadModel, Partition,
+        PartitionPhase, PartitionReject, Partitioner, RmTs, RmTsLight,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
+    pub use rmts_obs::{Recording, StatsSnapshot};
     pub use rmts_sim::{simulate_global, simulate_partitioned, SimConfig, SimReport};
     pub use rmts_taskmodel::{
         Priority, Subtask, SubtaskKind, Task, TaskId, TaskSet, TaskSetBuilder, Time,

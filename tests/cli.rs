@@ -148,6 +148,33 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
+fn partition_stats_emits_snapshot_json() {
+    let ts = write_demo_taskset();
+    let out = cli()
+        .args(["partition", ts.as_str(), "-m", "2", "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // `--stats` implies a simulation run, so the snapshot spans all layers.
+    assert!(stdout.contains("simulation over"));
+    let json_start = stdout.find('{').expect("JSON snapshot in output");
+    let snap: rmts::obs::StatsSnapshot =
+        serde_json::from_str(&stdout[json_start..]).expect("snapshot parses");
+    assert!(snap.counter("core.admission.probes") > 0);
+    assert_eq!(
+        snap.counter("rta.cache.hits") + snap.counter("rta.cache.misses"),
+        snap.counter("rta.cache.probes")
+    );
+    assert!(snap.counter("sim.events") > 0);
+    assert!(snap.histogram("core.phase.assign_normal_ns").is_some());
+}
+
+#[test]
 fn overloaded_set_reports_failure() {
     let ts = temppath::TempPath::new(
         "rmts_cli_overload.json",

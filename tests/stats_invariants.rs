@@ -1,0 +1,144 @@
+//! Observability invariants across the stack.
+//!
+//! The recorder is strictly opt-in, so these tests pin down the properties
+//! the counters must keep once a recording *is* active:
+//!
+//! * cache accounting balances: every probe is either a hit or a miss;
+//! * cached and scratch admission report identical *decision* counters
+//!   (`core.admission.*`) — the cache may change how a verdict is reached,
+//!   never which verdict;
+//! * snapshots survive a JSON round trip through the vendored serde_json;
+//! * rejected partitionings carry typed diagnostics (phase, task,
+//!   per-processor bottlenecks).
+
+use rmts::obs;
+use rmts::prelude::*;
+
+/// A light task set that RM-TS/light accepts on 2 processors with at least
+/// one split (near-breakdown harmonic load).
+fn tight_set() -> TaskSet {
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..8 {
+        b = b.task_ms(19, 80);
+    }
+    b.build().unwrap()
+}
+
+/// An overloaded set every algorithm must reject.
+fn overloaded_set() -> TaskSet {
+    let mut b = TaskSetBuilder::new();
+    for _ in 0..6 {
+        b = b.task_ms(70, 100);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn cache_hits_plus_misses_equal_probes() {
+    let ts = tight_set();
+    let (result, snap) = obs::record(|| RmTsLight::new().partition(&ts, 2));
+    assert!(result.is_ok());
+    let probes = snap.counter("rta.cache.probes");
+    assert!(probes > 0, "a partitioning run must issue probes");
+    assert_eq!(
+        snap.counter("rta.cache.hits") + snap.counter("rta.cache.misses"),
+        probes
+    );
+}
+
+#[test]
+fn cached_and_scratch_report_identical_decision_counters() {
+    let sets = [tight_set(), overloaded_set()];
+    for (i, ts) in sets.iter().enumerate() {
+        let (a, cached) =
+            obs::record(|| RmTsLight::with_policy(AdmissionPolicy::exact()).partition(ts, 2));
+        let (b, scratch) = obs::record(|| {
+            RmTsLight::with_policy(AdmissionPolicy::exact().uncached()).partition(ts, 2)
+        });
+        assert_eq!(a.is_ok(), b.is_ok(), "set {i}: verdicts diverged");
+        for key in [
+            "core.admission.probes",
+            "core.admission.admitted",
+            "core.admission.rejected",
+            "core.maxsplit.calls",
+            "core.engine.whole_assignments",
+            "core.engine.splits",
+        ] {
+            assert_eq!(
+                cached.counter(key),
+                scratch.counter(key),
+                "set {i}: {key} differs between cached and scratch admission"
+            );
+        }
+        // The *mechanism* counters must belong to exactly one path.
+        assert!(cached.counter("rta.cache.probes") > 0);
+        assert_eq!(scratch.counter("rta.cache.probes"), 0);
+        assert_eq!(cached.counter("rta.scratch.fixed_points"), 0);
+        assert!(scratch.counter("rta.scratch.fixed_points") > 0);
+    }
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let ts = tight_set();
+    let (_, snap) = obs::record(|| {
+        let part = RmTsLight::new().partition(&ts, 2).unwrap();
+        simulate_partitioned(&part.workloads(), SimConfig::default())
+    });
+    assert!(!snap.is_empty());
+    assert!(snap.counter("sim.events") > 0, "simulation must be visible");
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+    // Pretty printing parses back too (the CLI uses this form).
+    let pretty = serde_json::to_string_pretty(&snap).unwrap();
+    let back2: StatsSnapshot = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(back2, snap);
+}
+
+#[test]
+fn rejection_carries_phase_task_and_bottlenecks() {
+    let ts = overloaded_set();
+    let err = RmTsLight::new()
+        .partition(&ts, 2)
+        .expect_err("overloaded set must be rejected");
+    assert_eq!(err.phase, PartitionPhase::AssignNormal);
+    assert!(err.task.is_some(), "a rejected task must be named");
+    assert!(!err.unassigned.is_empty());
+    assert!(err.unassigned.contains(&err.task.unwrap()));
+    // Every non-empty processor of the partial partition reports its most
+    // critical task (Definition 2's bottleneck notion applied per host).
+    let busy = err
+        .partial
+        .processors
+        .iter()
+        .filter(|w| !w.is_empty())
+        .count();
+    assert_eq!(err.bottlenecks.len(), busy);
+    for b in &err.bottlenecks {
+        assert!(b.processor < err.partial.processors.len());
+        if let (Some(resp), Some(slack)) = (b.response, b.slack) {
+            assert_eq!(resp + slack, b.deadline);
+        }
+    }
+}
+
+#[test]
+fn strict_partitioning_rejects_in_place_phase() {
+    let ts = overloaded_set();
+    let err = PartitionedRm::ffd_rta()
+        .partition(&ts, 2)
+        .expect_err("overloaded set must be rejected");
+    assert_eq!(err.phase, PartitionPhase::Place);
+    assert!(err.task.is_some());
+}
+
+#[test]
+fn recorder_is_off_by_default() {
+    let ts = tight_set();
+    assert!(!obs::enabled());
+    let _ = RmTsLight::new().partition(&ts, 2).unwrap();
+    // A recording opened *afterwards* sees none of that work.
+    let (_, snap) = obs::record(|| ());
+    assert!(snap.is_empty());
+}
