@@ -46,7 +46,7 @@ pub mod tbound;
 pub mod thresholds;
 
 pub use best_of::BestOf;
-pub use harmonic_chain::HarmonicChain;
+pub use harmonic_chain::{hc_bound, HarmonicChain};
 pub use ll::{ll_bound, LiuLayland, LL_LIMIT};
 pub use rbound::RBound;
 pub use tbound::TBound;

@@ -1,0 +1,86 @@
+//! Property tests for the bound catalogue (vendored `proptest` with
+//! integrated shrinking — failures print the original and the minimal
+//! input).
+
+use proptest::prelude::*;
+use rmts_bounds::thresholds::{light_threshold_of, rmts_cap_of};
+use rmts_bounds::{hc_bound, ll_bound, standard_catalogue, BestOf, ParametricBound, LL_LIMIT};
+use rmts_taskmodel::TaskSet;
+
+/// Builds a valid task set from raw `(wcet_seed, period_seed)` pairs; the
+/// modulus keeps every task well-formed (`0 < C ≤ T`).
+fn set_from_raw(raw: &[(u64, u64)]) -> TaskSet {
+    let pairs: Vec<(u64, u64)> = raw
+        .iter()
+        .map(|&(c_seed, t_seed)| {
+            let t = 2 + t_seed % 120;
+            (1 + c_seed % t, t)
+        })
+        .collect();
+    TaskSet::from_pairs(&pairs).expect("moduli keep the pairs well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Θ(N) = N(2^{1/N} − 1)` is monotonically decreasing and bounded
+    /// below by its limit `ln 2`.
+    #[test]
+    fn ll_bound_is_decreasing_toward_ln2(n in 1usize..500) {
+        prop_assert!(ll_bound(n + 1) <= ll_bound(n) + 1e-12,
+            "Θ({}) = {} > Θ({}) = {}", n + 1, ll_bound(n + 1), n, ll_bound(n));
+        prop_assert!(ll_bound(n) >= LL_LIMIT,
+            "Θ({}) = {} dipped below ln 2 = {LL_LIMIT}", n, ll_bound(n));
+        prop_assert!(ll_bound(n) <= 1.0);
+    }
+
+    /// The tail actually converges: past N = 100 the bound sits within
+    /// 0.5% of `ln 2`.
+    #[test]
+    fn ll_bound_limit_is_ln2(n in 100usize..10_000) {
+        prop_assert!((ll_bound(n) - LL_LIMIT).abs() < 0.005,
+            "Θ({}) = {} is not near ln 2", n, ll_bound(n));
+    }
+
+    /// `HC(K)` is exactly the closed form `K(2^{1/K} − 1)`, with the 100%
+    /// harmonic special case at `K = 1`.
+    #[test]
+    fn hc_bound_matches_closed_form(k in 1usize..64) {
+        let expected = k as f64 * (2f64.powf(1.0 / k as f64) - 1.0);
+        prop_assert!((hc_bound(k) - expected).abs() < 1e-12,
+            "HC({k}) = {} ≠ closed form {expected}", hc_bound(k));
+    }
+
+    /// `BestOf` is the pointwise maximum: never below any constituent
+    /// bound, never above 100%, and its winner is one of the constituents.
+    #[test]
+    fn best_of_dominates_constituents(raw in proptest::collection::vec((1u64..200, 1u64..200), 1..10)) {
+        let ts = set_from_raw(&raw);
+        let best = BestOf::standard();
+        let v = best.value(&ts);
+        prop_assert!(v <= 1.0 + 1e-12, "BestOf = {v} > 1 on {ts}");
+        for b in standard_catalogue() {
+            prop_assert!(v >= b.value(&ts) - 1e-12,
+                "BestOf = {v} < {} = {} on {ts}", b.name(), b.value(&ts));
+        }
+        let (winner, wv) = best.winner(&ts);
+        prop_assert!((wv - v).abs() < 1e-12);
+        prop_assert!(standard_catalogue().iter().any(|b| b.name() == winner));
+    }
+
+    /// The RM-TS thresholds derive from `Θ = Θ(N)` by the paper's
+    /// formulas: light threshold `Θ/(1+Θ)` (Definition 1) and cap
+    /// `2Θ/(1+Θ)` (Section V), so the cap is exactly twice the threshold
+    /// and both stay in `(0, 1]`.
+    #[test]
+    fn thresholds_are_consistent_with_ll_bound(raw in proptest::collection::vec((1u64..200, 1u64..200), 1..10)) {
+        let ts = set_from_raw(&raw);
+        let light = light_threshold_of(&ts);
+        let cap = rmts_cap_of(&ts);
+        prop_assert!((cap - 2.0 * light).abs() < 1e-12, "cap {cap} ≠ 2·{light}");
+        prop_assert!(light > 0.0 && light <= 0.5 + 1e-12);
+        prop_assert!(cap <= 1.0 + 1e-12);
+        let theta = ll_bound(ts.len());
+        prop_assert!((light - theta / (1.0 + theta)).abs() < 1e-12);
+    }
+}

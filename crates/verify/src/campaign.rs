@@ -1,0 +1,364 @@
+//! Seeded differential-fuzzing campaigns.
+//!
+//! A campaign sweeps `trials` seeded inputs through every configured
+//! (SUT × oracle) cell, shrinks each divergence to a locally minimal
+//! [`Reproducer`], and aggregates a deterministic report: same seed and
+//! configuration ⇒ bit-identical [`CampaignReport`] (and hence identical
+//! rendered text/JSON), regardless of worker-thread count, because trials
+//! derive their RNG from [`trial_rng`] and run through the
+//! order-preserving [`parallel_map`].
+//!
+//! Inputs rotate over three generator families per trial — UUniFast on a
+//! divisor-friendly period grid, harmonic chains, and the automotive
+//! period mix — and sweep total utilization from lightly loaded to
+//! overloaded (~1.25·m), so both acceptance and rejection paths are
+//! exercised. Period grids are chosen so hyperperiods stay small enough
+//! for the exhaustive simulation oracle to be a complete witness.
+
+use crate::corpus::{Expectation, Reproducer, REPRO_SCHEMA};
+use crate::oracle::{run_check, CheckKind};
+use crate::shrink::shrink;
+use crate::sut::SystemUnderTest;
+use rmts_exp::parallel::parallel_map;
+use rmts_gen::{automotive_taskset, trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+use rmts_taskmodel::TaskSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which workload family a trial draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorKind {
+    /// UUniFast utilizations, periods from a small divisor-friendly grid.
+    UUniFast,
+    /// One harmonic chain (power-of-two octaves over a base period).
+    Harmonic,
+    /// The automotive period mix.
+    Automotive,
+}
+
+impl GeneratorKind {
+    /// All generator families, in rotation order.
+    pub const ALL: [GeneratorKind; 3] = [
+        GeneratorKind::UUniFast,
+        GeneratorKind::Harmonic,
+        GeneratorKind::Automotive,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::UUniFast => "uunifast",
+            GeneratorKind::Harmonic => "harmonic",
+            GeneratorKind::Automotive => "automotive",
+        }
+    }
+
+    /// Parses a [`GeneratorKind::name`] back (CLI `--gen`).
+    pub fn parse(s: &str) -> Option<Self> {
+        GeneratorKind::ALL.into_iter().find(|g| g.name() == s)
+    }
+}
+
+/// Full configuration of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed; every trial RNG derives from it.
+    pub seed: u64,
+    /// Number of generated inputs.
+    pub trials: u64,
+    /// Tasks per input.
+    pub n: usize,
+    /// Processors per input.
+    pub m: usize,
+    /// Workload families, rotated per trial.
+    pub generators: Vec<GeneratorKind>,
+    /// Partitioner configurations for the per-SUT checks.
+    pub suts: Vec<SystemUnderTest>,
+    /// Oracles to run.
+    pub checks: Vec<CheckKind>,
+    /// Horizon cap (ticks) for the event-driven admission oracle.
+    pub sim_cap: u64,
+    /// Harder horizon cap for the `O(horizon × tasks)` reference simulator.
+    pub ref_sim_cap: u64,
+}
+
+impl CampaignConfig {
+    /// The standard campaign: all generators, production SUTs, all checks.
+    pub fn new(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            trials: 2_000,
+            n: 8,
+            m: 2,
+            generators: GeneratorKind::ALL.to_vec(),
+            suts: SystemUnderTest::PRODUCTION.to_vec(),
+            checks: CheckKind::ALL.to_vec(),
+            sim_cap: 2_000_000,
+            ref_sim_cap: 200_000,
+        }
+    }
+
+    /// A fast smoke configuration (CI pre-merge, `fuzz --quick`).
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig {
+            trials: 200,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Horizon cap applicable to `check`.
+    fn cap_for(&self, check: CheckKind) -> u64 {
+        if check == CheckKind::SimEngines {
+            self.ref_sim_cap
+        } else {
+            self.sim_cap
+        }
+    }
+
+    /// The deterministic input of trial `t`, or `None` when generation is
+    /// infeasible under the drawn constraints.
+    pub fn generate_trial(&self, t: u64) -> Option<TaskSet> {
+        let mut rng = trial_rng(self.seed, t);
+        // Sweep total utilization over [0.30, 1.25]·m in 16 deterministic
+        // steps so every load regime (trivial, near-bound, overloaded)
+        // recurs throughout the campaign.
+        let step = (t % 16) as f64 / 15.0;
+        let total_u = self.m as f64 * (0.30 + 0.95 * step);
+        let kind = self.generators[(t % self.generators.len() as u64) as usize];
+        match kind {
+            GeneratorKind::UUniFast => GenConfig::new(self.n, total_u)
+                .with_periods(PeriodGen::Choice(vec![
+                    4_000, 8_000, 12_000, 16_000, 24_000, 48_000,
+                ]))
+                .with_utilization(UtilizationSpec::any())
+                .generate(&mut rng),
+            GeneratorKind::Harmonic => GenConfig::new(self.n, total_u)
+                .with_periods(PeriodGen::Harmonic {
+                    base: 5_000,
+                    octaves: 5,
+                })
+                .with_utilization(UtilizationSpec::any())
+                .generate(&mut rng),
+            GeneratorKind::Automotive => automotive_taskset(&mut rng, self.n, total_u, 0.90),
+        }
+    }
+}
+
+/// Deterministic aggregate of one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+    /// Trials whose generation succeeded.
+    pub generated: u64,
+    /// Individual oracle executions.
+    pub checks_run: u64,
+    /// Divergence tally by [`Divergence::kind`] (empty when clean).
+    pub divergence_counts: BTreeMap<String, u64>,
+    /// Shrunk reproducers, in trial order.
+    pub reproducers: Vec<Reproducer>,
+}
+
+impl CampaignReport {
+    /// `true` iff no oracle diverged.
+    pub fn clean(&self) -> bool {
+        self.reproducers.is_empty()
+    }
+
+    /// Renders the deterministic human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rmts-verify campaign: seed={} trials={} n={} m={}",
+            self.config.seed, self.config.trials, self.config.n, self.config.m
+        );
+        let _ = writeln!(
+            out,
+            "  generators: {}",
+            self.config
+                .generators
+                .iter()
+                .map(|g| g.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = writeln!(
+            out,
+            "  suts: {}  checks: {}",
+            self.config
+                .suts
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.config
+                .checks
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = writeln!(
+            out,
+            "  generated {}/{} task sets, ran {} oracle checks",
+            self.generated, self.config.trials, self.checks_run
+        );
+        for (kind, count) in &self.divergence_counts {
+            let _ = writeln!(out, "  divergence[{kind}] = {count}");
+        }
+        for r in &self.reproducers {
+            let _ = writeln!(
+                out,
+                "  repro {}: n={} m={} ({} shrink steps): {}",
+                r.name,
+                r.taskset.len(),
+                r.m,
+                r.shrink_steps,
+                r.divergence
+                    .as_ref()
+                    .map(|d| d.to_string())
+                    .unwrap_or_default()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "status: {}",
+            if self.clean() {
+                "CLEAN".to_string()
+            } else {
+                format!("{} DIVERGENCES", self.reproducers.len())
+            }
+        );
+        out
+    }
+}
+
+#[derive(Default)]
+struct TrialOutcome {
+    generated: u64,
+    checks_run: u64,
+    reproducers: Vec<Reproducer>,
+}
+
+/// Runs the campaign. Deterministic per configuration; parallel over
+/// trials.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let outcomes: Vec<TrialOutcome> = parallel_map(cfg.trials, |t| {
+        let mut out = TrialOutcome::default();
+        let Some(ts) = cfg.generate_trial(t) else {
+            return out;
+        };
+        out.generated = 1;
+        // (SUT × check) cells for the per-SUT oracles; input-global
+        // oracles run once per trial under a fixed placeholder SUT.
+        let mut cells: Vec<(SystemUnderTest, CheckKind)> = Vec::new();
+        for &check in &cfg.checks {
+            if check.is_input_global() {
+                cells.push((SystemUnderTest::RmTs, check));
+            } else {
+                for &sut in &cfg.suts {
+                    cells.push((sut, check));
+                }
+            }
+        }
+        for (sut, check) in cells {
+            out.checks_run += 1;
+            let cap = cfg.cap_for(check);
+            if run_check(check, sut, &ts, cfg.m, cap).is_none() {
+                continue;
+            }
+            let shrunk = shrink(&ts, cfg.m, |ts2, m2| run_check(check, sut, ts2, m2, cap))
+                .expect("check diverged on the unshrunk input");
+            out.reproducers.push(Reproducer {
+                schema: REPRO_SCHEMA.to_string(),
+                name: format!("s{}-t{}-{}-{}", cfg.seed, t, sut.name(), check.name()),
+                sut,
+                check,
+                m: shrunk.m,
+                taskset: shrunk.taskset,
+                expect: Expectation::Diverges,
+                divergence: Some(shrunk.divergence),
+                shrink_steps: shrunk.steps,
+            });
+        }
+        out
+    });
+
+    let mut report = CampaignReport {
+        config: cfg.clone(),
+        generated: 0,
+        checks_run: 0,
+        divergence_counts: BTreeMap::new(),
+        reproducers: Vec::new(),
+    };
+    for o in outcomes {
+        report.generated += o.generated;
+        report.checks_run += o.checks_run;
+        for r in o.reproducers {
+            if let Some(d) = &r.divergence {
+                *report
+                    .divergence_counts
+                    .entry(d.kind().to_string())
+                    .or_insert(0) += 1;
+            }
+            report.reproducers.push(r);
+        }
+    }
+    // Counters only (no span timings): visible to a live `--stats`
+    // recording without perturbing report determinism.
+    if rmts_obs::enabled() {
+        rmts_obs::count("verify.campaign.trials", report.config.trials);
+        rmts_obs::count("verify.campaign.generated", report.generated);
+        rmts_obs::count("verify.campaign.checks", report.checks_run);
+        rmts_obs::count(
+            "verify.campaign.divergences",
+            report.reproducers.len() as u64,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_trial() {
+        let cfg = CampaignConfig::quick(11);
+        for t in [0u64, 1, 2, 17] {
+            assert_eq!(cfg.generate_trial(t), cfg.generate_trial(t));
+        }
+    }
+
+    #[test]
+    fn generator_rotation_covers_all_families() {
+        let cfg = CampaignConfig::quick(3);
+        let mut seen = [false; 3];
+        for t in 0..30 {
+            if cfg.generate_trial(t).is_some() {
+                seen[(t % 3) as usize] = true;
+            }
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn tiny_campaign_is_clean_and_bit_identical() {
+        let cfg = CampaignConfig {
+            trials: 30,
+            ..CampaignConfig::quick(5)
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert!(a.clean(), "unexpected divergences:\n{}", a.render());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.generated > 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! Self-contained reproducers and the on-disk corpus.
+//!
+//! A [`Reproducer`] freezes everything needed to re-run one oracle check on
+//! one input: the SUT name, the check kind, the processor count and the
+//! task set, plus the *expected outcome*. Divergent reproducers (shrunk
+//! campaign counterexamples) assert the divergence still occurs — they are
+//! regression tripwires for the fault-injection hook and for any future
+//! real bug. Clean reproducers assert the check still passes — they pin
+//! known-good anchors.
+//!
+//! The corpus is a directory of pretty-printed JSON files (one reproducer
+//! each) under `tests/corpus/`, replayed by the tier-1 suite and by CI's
+//! `fuzz-smoke` job. Schema versioned via the `schema` field; loaders
+//! reject unknown schemas loudly rather than mis-replaying them.
+
+use crate::divergence::Divergence;
+use crate::oracle::{run_check, CheckKind};
+use crate::sut::SystemUnderTest;
+use rmts_taskmodel::TaskSet;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The schema tag every current-format reproducer carries.
+pub const REPRO_SCHEMA: &str = "rmts-verify/repro-v1";
+
+/// What replaying a reproducer must observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The check passes (known-good anchor).
+    Clean,
+    /// The check reports a divergence (regression tripwire).
+    Diverges,
+}
+
+/// A frozen, self-contained oracle run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// Format tag; must equal [`REPRO_SCHEMA`].
+    pub schema: String,
+    /// Unique, file-name-safe identifier (`s<seed>-t<trial>-<sut>-<check>`).
+    pub name: String,
+    /// The partitioner configuration under test.
+    pub sut: SystemUnderTest,
+    /// The oracle to run.
+    pub check: CheckKind,
+    /// Processor count.
+    pub m: usize,
+    /// The (shrunk) input task set.
+    pub taskset: TaskSet,
+    /// Expected replay outcome.
+    pub expect: Expectation,
+    /// The divergence recorded when the reproducer was minted (informational;
+    /// replay accepts any divergence, since analysis refinements may shift
+    /// the variant without fixing the underlying disagreement).
+    pub divergence: Option<Divergence>,
+    /// Shrink steps taken from the original campaign counterexample.
+    pub shrink_steps: usize,
+}
+
+impl Reproducer {
+    /// Re-runs the frozen check and compares against the expectation.
+    pub fn replay(&self, sim_cap: u64) -> Result<(), String> {
+        if self.schema != REPRO_SCHEMA {
+            return Err(format!(
+                "{}: unknown schema {:?} (expected {REPRO_SCHEMA:?})",
+                self.name, self.schema
+            ));
+        }
+        let observed = run_check(self.check, self.sut, &self.taskset, self.m, sim_cap);
+        match (self.expect, observed) {
+            (Expectation::Clean, None) => Ok(()),
+            (Expectation::Diverges, Some(_)) => Ok(()),
+            (Expectation::Clean, Some(d)) => Err(format!(
+                "{}: expected clean, observed divergence: {d}",
+                self.name
+            )),
+            (Expectation::Diverges, None) => Err(format!(
+                "{}: expected a divergence, check passed",
+                self.name
+            )),
+        }
+    }
+}
+
+/// Writes each reproducer to `<dir>/<name>.json` (pretty-printed, stable
+/// field order). Creates the directory if needed.
+pub fn save_corpus(dir: &Path, repros: &[Reproducer]) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(repros.len());
+    for r in repros {
+        let path = dir.join(format!("{}.json", r.name));
+        let json = serde_json::to_string_pretty(r).map_err(std::io::Error::other)?;
+        std::fs::write(&path, json + "\n")?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Loads every `*.json` reproducer in `dir`, sorted by file name. A file
+/// that fails to parse is an error, not a skip — a corrupt corpus must not
+/// silently shrink.
+pub fn load_corpus(dir: &Path) -> Result<Vec<Reproducer>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let data =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let repro: Reproducer =
+            serde_json::from_str(&data).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        out.push(repro);
+    }
+    Ok(out)
+}
+
+/// Replays every reproducer in `dir`; returns the number replayed or the
+/// collected failures.
+pub fn replay_corpus(dir: &Path, sim_cap: u64) -> Result<usize, Vec<String>> {
+    let repros = load_corpus(dir).map_err(|e| vec![e])?;
+    let failures: Vec<String> = repros
+        .iter()
+        .filter_map(|r| r.replay(sim_cap).err())
+        .collect();
+    if failures.is_empty() {
+        Ok(repros.len())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(expect: Expectation) -> Reproducer {
+        Reproducer {
+            schema: REPRO_SCHEMA.to_string(),
+            name: "s1-t0-weakened-admission".to_string(),
+            sut: SystemUnderTest::WeakenedAdmission,
+            check: CheckKind::Admission,
+            m: 1,
+            taskset: TaskSet::from_pairs(&[(2, 4), (3, 6)]).unwrap(),
+            expect,
+            divergence: None,
+            shrink_steps: 0,
+        }
+    }
+
+    #[test]
+    fn replay_matches_expectation() {
+        assert!(sample(Expectation::Diverges).replay(1_000_000).is_ok());
+        assert!(sample(Expectation::Clean).replay(1_000_000).is_err());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let mut r = sample(Expectation::Diverges);
+        r.schema = "rmts-verify/repro-v99".to_string();
+        let err = r.replay(1_000_000).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn corpus_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "rmts-verify-corpus-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let repro = sample(Expectation::Diverges);
+        let written = save_corpus(&dir, std::slice::from_ref(&repro)).unwrap();
+        assert_eq!(written.len(), 1);
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded, vec![repro]);
+        assert_eq!(replay_corpus(&dir, 1_000_000), Ok(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

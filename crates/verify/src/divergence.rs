@@ -1,0 +1,174 @@
+//! The vocabulary of differential-testing failures.
+//!
+//! A [`Divergence`] is one concrete, reproducible disagreement between two
+//! components that the paper's theorems (or the workspace's own invariants)
+//! say must agree. Divergences are serializable so shrunk counterexamples
+//! can be persisted verbatim in the corpus.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One observed disagreement on a concrete `(task set, m)` input.
+///
+/// Every variant carries enough context to render a useful one-line
+/// diagnostic; the input itself travels alongside in the
+/// [`Reproducer`](crate::Reproducer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Divergence {
+    /// An accepted partition does not carry every task at full budget.
+    CoverageGap {
+        /// Partitioner that produced the partition.
+        algorithm: String,
+    },
+    /// An accepted partition fails exact RTA re-verification — the
+    /// admission path claimed schedulability the analysis refutes.
+    RtaVerifyFailed {
+        /// Partitioner that produced the partition.
+        algorithm: String,
+    },
+    /// An accepted partition has structural defects (budget conservation,
+    /// split-chain shape, Eq. (1) deadlines, …).
+    AuditFailed {
+        /// Partitioner that produced the partition.
+        algorithm: String,
+        /// Rendered audit errors.
+        errors: Vec<String>,
+    },
+    /// An accepted partition missed a deadline in hyperperiod simulation —
+    /// the strongest possible refutation of an admission decision.
+    DeadlineMiss {
+        /// Partitioner that produced the partition.
+        algorithm: String,
+        /// Task whose job missed.
+        task: u32,
+        /// Absolute miss time (ticks).
+        at: u64,
+    },
+    /// A rejection record violates its own well-formedness contract
+    /// (empty unassigned set, rejected task outside it, no bottlenecks,
+    /// or a "partial" partition that actually covers the whole set).
+    RejectMalformed {
+        /// Partitioner that produced the rejection.
+        algorithm: String,
+        /// Which contract clause failed.
+        detail: String,
+    },
+    /// Cached and uncached exact-RTA admission reached different
+    /// partitioning outcomes on the same input.
+    CacheDisagreement {
+        /// Partitioner family being compared.
+        algorithm: String,
+        /// Human-readable summary of the two outcomes.
+        detail: String,
+    },
+    /// A task set deflated strictly inside a claimed parametric utilization
+    /// bound was rejected by the algorithm the theorem covers.
+    BoundUnsound {
+        /// The bound (`Λ`) that made the claim.
+        bound: String,
+        /// The algorithm the theorem quantifies over.
+        algorithm: String,
+        /// Normalized utilization of the deflated set.
+        normalized_utilization: f64,
+        /// The claimed bound value on that set.
+        lambda: f64,
+    },
+    /// The exact RTA and the independent TDA implementation disagree on
+    /// uniprocessor schedulability of the same workload.
+    RtaTdaDisagreement {
+        /// What RTA said.
+        rta_schedulable: bool,
+    },
+    /// The event-driven simulator and the tick-wise reference simulator
+    /// produced different reports for the same partition.
+    EngineMismatch {
+        /// Human-readable summary of the first difference.
+        detail: String,
+    },
+}
+
+impl Divergence {
+    /// Stable short label for aggregation (report counters, file names).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Divergence::CoverageGap { .. } => "coverage-gap",
+            Divergence::RtaVerifyFailed { .. } => "rta-verify-failed",
+            Divergence::AuditFailed { .. } => "audit-failed",
+            Divergence::DeadlineMiss { .. } => "deadline-miss",
+            Divergence::RejectMalformed { .. } => "reject-malformed",
+            Divergence::CacheDisagreement { .. } => "cache-disagreement",
+            Divergence::BoundUnsound { .. } => "bound-unsound",
+            Divergence::RtaTdaDisagreement { .. } => "rta-tda-disagreement",
+            Divergence::EngineMismatch { .. } => "engine-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::CoverageGap { algorithm } => {
+                write!(f, "{algorithm}: accepted partition does not cover the set")
+            }
+            Divergence::RtaVerifyFailed { algorithm } => {
+                write!(
+                    f,
+                    "{algorithm}: accepted partition fails RTA re-verification"
+                )
+            }
+            Divergence::AuditFailed { algorithm, errors } => {
+                write!(f, "{algorithm}: audit defects: {}", errors.join("; "))
+            }
+            Divergence::DeadlineMiss {
+                algorithm,
+                task,
+                at,
+            } => write!(
+                f,
+                "{algorithm}: task {task} missed a deadline at t={at} in simulation"
+            ),
+            Divergence::RejectMalformed { algorithm, detail } => {
+                write!(f, "{algorithm}: malformed rejection: {detail}")
+            }
+            Divergence::CacheDisagreement { algorithm, detail } => {
+                write!(f, "{algorithm}: cached vs uncached admission: {detail}")
+            }
+            Divergence::BoundUnsound {
+                bound,
+                algorithm,
+                normalized_utilization,
+                lambda,
+            } => write!(
+                f,
+                "{algorithm} rejected a set at U_M={normalized_utilization:.4} \
+                 inside the {bound} bound Λ={lambda:.4}"
+            ),
+            Divergence::RtaTdaDisagreement { rta_schedulable } => write!(
+                f,
+                "RTA says schedulable={rta_schedulable}, TDA says the opposite"
+            ),
+            Divergence::EngineMismatch { detail } => {
+                write!(f, "event-driven vs reference simulator: {detail}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip_preserves_variant() {
+        let d = Divergence::BoundUnsound {
+            bound: "HC".into(),
+            algorithm: "RM-TS/light".into(),
+            normalized_utilization: 0.93,
+            lambda: 0.94,
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Divergence = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.kind(), "bound-unsound");
+    }
+}

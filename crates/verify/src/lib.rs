@@ -1,0 +1,50 @@
+//! # `rmts-verify` — differential oracles, shrinking, fuzz campaigns
+//!
+//! The paper's guarantees are falsifiable claims: RM-TS never accepts a
+//! task set the exact RTA rejects, accepted partitions never miss a
+//! deadline, every parametric bound is sound against exact analysis. This
+//! crate is the workspace's correctness backbone — it *tries to falsify*
+//! those claims systematically instead of spot-checking them:
+//!
+//! * [`oracle`] — the oracle hierarchy. Exhaustive hyperperiod simulation
+//!   (complete for synchronous periodic releases) sits at the top; exact
+//!   RTA/TDA analysis and the structural audit below it; the claimed
+//!   parametric bounds at the bottom. Each [`CheckKind`] cross-checks one
+//!   pair of components that must agree.
+//! * [`shrink`](mod@shrink) — greedy minimization of counterexamples: drop
+//!   processors and tasks, shave WCETs, snap periods toward harmonic, while
+//!   the divergence persists.
+//! * [`campaign`] — seeded fuzz campaigns over the `rmts-gen` families
+//!   through the deterministic `parallel_map`; same seed ⇒ bit-identical
+//!   report.
+//! * [`corpus`] — self-contained JSON reproducers under `tests/corpus/`,
+//!   replayed by the tier-1 suite.
+//! * [`sut`] — named, serializable partitioner configurations, including
+//!   the deliberately unsound [`SystemUnderTest::WeakenedAdmission`]
+//!   fault-injection hook that proves the oracles catch real bugs.
+//!
+//! ```
+//! use rmts_verify::{run_campaign, CampaignConfig};
+//!
+//! let mut cfg = CampaignConfig::quick(42);
+//! cfg.trials = 20;
+//! let report = run_campaign(&cfg);
+//! assert!(report.clean(), "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod divergence;
+pub mod oracle;
+pub mod shrink;
+pub mod sut;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, GeneratorKind};
+pub use corpus::{load_corpus, replay_corpus, save_corpus, Expectation, Reproducer, REPRO_SCHEMA};
+pub use divergence::Divergence;
+pub use oracle::{run_check, CheckKind};
+pub use shrink::{shrink, Shrunk, MAX_SHRINK_STEPS};
+pub use sut::SystemUnderTest;

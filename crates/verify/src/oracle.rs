@@ -1,0 +1,390 @@
+//! The oracle hierarchy: what "correct" means for one input.
+//!
+//! Each check takes a concrete `(task set, m)` and returns the first
+//! [`Divergence`] it can prove, or `None`. The hierarchy is ordered by
+//! authority:
+//!
+//! 1. **Exhaustive simulation** — for synchronous periodic releases,
+//!    simulating one hyperperiod is a complete witness: any partition that
+//!    survives it schedulable is genuinely schedulable for that release
+//!    pattern, and the synchronous pattern is the worst case for the
+//!    sporadic model (critical-instant argument). This is the ground truth
+//!    that every acceptance decision is checked against.
+//! 2. **Exact analysis** — RTA re-verification and the structural audit,
+//!    cross-checked against the independent TDA implementation.
+//! 3. **Claimed bounds** — every bound in `rmts-bounds` is a universally
+//!    quantified theorem; a deflated-inside-the-bound set that the covered
+//!    algorithm rejects refutes the theorem (or, far more likely, the
+//!    implementation).
+//!
+//! Checks are pure functions of their input — no clocks, no global state —
+//! which is what makes campaign reports bit-identical per seed.
+
+use crate::divergence::Divergence;
+use crate::sut::SystemUnderTest;
+use rmts_bounds::thresholds::{light_threshold_of, rmts_cap_of};
+use rmts_bounds::{standard_catalogue, BestOf, BoundRef, ParametricBound};
+use rmts_core::{audit, Partitioner, RmTs, RmTsLight};
+use rmts_rta::is_schedulable;
+use rmts_rta::tda::tda_schedulable;
+use rmts_sim::{simulate_partitioned, simulate_reference, SimConfig, SimReport};
+use rmts_taskmodel::{Subtask, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+/// Safety margin when deflating a set into a bound, absorbing the integer
+/// rounding `deflated` performs (same convention as `rmts_exp::verify`).
+const BOUND_MARGIN: f64 = 0.995;
+
+/// Which oracle to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CheckKind {
+    /// Accepted partitions must cover, re-verify, audit clean and survive
+    /// hyperperiod simulation; rejections must be well-formed diagnostics.
+    Admission,
+    /// Cached and uncached exact-RTA admission must reach identical
+    /// outcomes (skipped for SUTs that do not admit by exact RTA).
+    CacheEquivalence,
+    /// Deflating inside any catalogue bound must yield acceptance by the
+    /// covered algorithm. Input-global: independent of the SUT.
+    BoundSoundness,
+    /// RTA and TDA must agree on uniprocessor schedulability. Input-global.
+    RtaTda,
+    /// Event-driven and tick-wise reference simulators must agree exactly.
+    /// Input-global.
+    SimEngines,
+}
+
+impl CheckKind {
+    /// All checks, in campaign execution order.
+    pub const ALL: [CheckKind; 5] = [
+        CheckKind::Admission,
+        CheckKind::CacheEquivalence,
+        CheckKind::BoundSoundness,
+        CheckKind::RtaTda,
+        CheckKind::SimEngines,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Admission => "admission",
+            CheckKind::CacheEquivalence => "cache",
+            CheckKind::BoundSoundness => "bounds",
+            CheckKind::RtaTda => "rta-tda",
+            CheckKind::SimEngines => "sim-engines",
+        }
+    }
+
+    /// Parses a [`CheckKind::name`] back (CLI `--check`).
+    pub fn parse(s: &str) -> Option<Self> {
+        CheckKind::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// `true` for checks that depend only on the input, not on which SUT
+    /// the campaign is currently exercising.
+    pub fn is_input_global(self) -> bool {
+        matches!(
+            self,
+            CheckKind::BoundSoundness | CheckKind::RtaTda | CheckKind::SimEngines
+        )
+    }
+}
+
+/// Simulation horizon for an exhaustive run: one hyperperiod, capped so a
+/// degenerate period mix cannot stall a campaign. Below the cap the run is
+/// a complete schedulability witness; above it, a (still sound) prefix.
+pub fn oracle_horizon(ts: &TaskSet, cap: u64) -> Time {
+    Time::new(ts.hyperperiod().ticks().min(cap))
+}
+
+/// Runs one check. `sim_cap` bounds every simulation horizon (ticks).
+///
+/// For input-global checks the `sut` argument is ignored.
+pub fn run_check(
+    check: CheckKind,
+    sut: SystemUnderTest,
+    ts: &TaskSet,
+    m: usize,
+    sim_cap: u64,
+) -> Option<Divergence> {
+    match check {
+        CheckKind::Admission => check_admission(sut, ts, m, sim_cap),
+        CheckKind::CacheEquivalence => check_cache_equivalence(sut, ts, m),
+        CheckKind::BoundSoundness => check_bound_soundness(ts, m),
+        CheckKind::RtaTda => check_rta_tda(ts),
+        CheckKind::SimEngines => check_sim_engines(ts, m, sim_cap),
+    }
+}
+
+/// Oracle 1+2 against one SUT's acceptance decision.
+pub fn check_admission(
+    sut: SystemUnderTest,
+    ts: &TaskSet,
+    m: usize,
+    sim_cap: u64,
+) -> Option<Divergence> {
+    let alg = sut.build();
+    let algorithm = alg.name();
+    match alg.partition(ts, m) {
+        Ok(partition) => {
+            if !partition.covers(ts) {
+                return Some(Divergence::CoverageGap { algorithm });
+            }
+            if !partition.verify_rta() {
+                return Some(Divergence::RtaVerifyFailed { algorithm });
+            }
+            let defects = audit(&partition, ts);
+            if !defects.is_empty() {
+                return Some(Divergence::AuditFailed {
+                    algorithm,
+                    errors: defects.iter().map(|e| e.to_string()).collect(),
+                });
+            }
+            // Only the existence of a miss matters here, so the run may
+            // stop at the first one; clean runs still cover the horizon.
+            let report = simulate_partitioned(
+                &partition.workloads(),
+                SimConfig {
+                    horizon: Some(oracle_horizon(ts, sim_cap)),
+                    stop_on_first_miss: true,
+                    ..SimConfig::default()
+                },
+            );
+            if let Some(miss) = report.misses.first() {
+                return Some(Divergence::DeadlineMiss {
+                    algorithm,
+                    task: miss.task.0,
+                    at: miss.deadline.ticks(),
+                });
+            }
+            None
+        }
+        Err(reject) => {
+            let malformed = |detail: &str| {
+                Some(Divergence::RejectMalformed {
+                    algorithm: algorithm.clone(),
+                    detail: detail.to_string(),
+                })
+            };
+            if reject.unassigned.is_empty() {
+                return malformed("empty unassigned set");
+            }
+            if let Some(task) = reject.task {
+                if !reject.unassigned.contains(&task) {
+                    return malformed("rejected task not in unassigned set");
+                }
+            }
+            if reject.bottlenecks.is_empty() {
+                return malformed("empty bottleneck set");
+            }
+            if reject.partial.covers(ts) {
+                return malformed("partial partition covers the full set");
+            }
+            None
+        }
+    }
+}
+
+/// Cached vs uncached exact-RTA admission must be decision-identical —
+/// same accepted partition bit for bit, or same rejection diagnosis.
+pub fn check_cache_equivalence(sut: SystemUnderTest, ts: &TaskSet, m: usize) -> Option<Divergence> {
+    let (cached, uncached) = sut.cache_pair()?;
+    let a = cached.partition(ts, m);
+    let b = uncached.partition(ts, m);
+    let detail = match (&a, &b) {
+        (Ok(pa), Ok(pb)) if pa == pb => return None,
+        (Ok(_), Ok(_)) => "both accepted, different partitions".to_string(),
+        (Err(ea), Err(eb)) => {
+            if ea.phase == eb.phase && ea.task == eb.task && ea.unassigned == eb.unassigned {
+                return None;
+            }
+            format!(
+                "both rejected, different diagnoses ({} vs {})",
+                ea.phase, eb.phase
+            )
+        }
+        (Ok(_), Err(_)) => "cached accepted, uncached rejected".to_string(),
+        (Err(_), Ok(_)) => "cached rejected, uncached accepted".to_string(),
+    };
+    Some(Divergence::CacheDisagreement {
+        algorithm: sut.name().to_string(),
+        detail,
+    })
+}
+
+/// Deflates `ts` to sit at [`BOUND_MARGIN`] of `lambda` (normalized), or
+/// `None` when the set is already below the target (nothing to test) or
+/// rounding pushed it back outside.
+fn deflate_to(ts: &TaskSet, m: usize, lambda: f64) -> Option<TaskSet> {
+    if lambda <= 0.0 {
+        return None;
+    }
+    let target = lambda * BOUND_MARGIN;
+    let current = ts.normalized_utilization(m);
+    if current < target {
+        return None;
+    }
+    let scaled = ts.deflated(target / current);
+    (scaled.normalized_utilization(m) <= lambda).then_some(scaled)
+}
+
+/// Theorem 8 + Section V soundness for every bound in the catalogue (plus
+/// their pointwise maximum): inside the bound ⇒ accepted.
+pub fn check_bound_soundness(ts: &TaskSet, m: usize) -> Option<Divergence> {
+    struct Dyn(BoundRef);
+    impl ParametricBound for Dyn {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn value(&self, ts: &TaskSet) -> f64 {
+            self.0.value(ts)
+        }
+    }
+
+    let mut bounds = standard_catalogue();
+    bounds.push(std::sync::Arc::new(BestOf::standard()));
+    for bound in bounds {
+        // Theorem 8 (RM-TS/light): light sets at U_M ≤ Λ(τ).
+        let lambda = bound.value(ts);
+        if let Some(scaled) = deflate_to(ts, m, lambda) {
+            if scaled.is_light(light_threshold_of(&scaled))
+                && RmTsLight::new().partition(&scaled, m).is_err()
+            {
+                return Some(Divergence::BoundUnsound {
+                    bound: bound.name().to_string(),
+                    algorithm: "RM-TS/light".to_string(),
+                    normalized_utilization: scaled.normalized_utilization(m),
+                    lambda,
+                });
+            }
+        }
+        // Section V (RM-TS): any set at U_M ≤ min(Λ(τ), 2Θ/(1+Θ)).
+        let capped = lambda.min(rmts_cap_of(ts));
+        if let Some(scaled) = deflate_to(ts, m, capped) {
+            if RmTs::with_bound(Dyn(bound.clone()))
+                .partition(&scaled, m)
+                .is_err()
+            {
+                return Some(Divergence::BoundUnsound {
+                    bound: bound.name().to_string(),
+                    algorithm: "RM-TS".to_string(),
+                    normalized_utilization: scaled.normalized_utilization(m),
+                    lambda: capped,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The whole-task uniprocessor workload of `ts` (RM priorities).
+fn whole_workload(ts: &TaskSet) -> Vec<Subtask> {
+    ts.iter_prioritized()
+        .map(|(p, t)| Subtask::whole(t, p))
+        .collect()
+}
+
+/// RTA and TDA are independent exact tests; they must agree everywhere.
+pub fn check_rta_tda(ts: &TaskSet) -> Option<Divergence> {
+    let workload = whole_workload(ts);
+    let rta = is_schedulable(&workload);
+    let tda = tda_schedulable(&workload);
+    if rta != tda {
+        return Some(Divergence::RtaTdaDisagreement {
+            rta_schedulable: rta,
+        });
+    }
+    None
+}
+
+/// Summarizes the first *semantic* difference between two reports: misses,
+/// completed jobs and response times must match exactly. The preemption
+/// counter is deliberately excluded — it is a diagnostic whose value
+/// depends on when the scheduler state is sampled (per event vs per tick),
+/// and the two engines legitimately disagree on it around split-chain
+/// stage handoffs; the engines' equality contract covers scheduling
+/// outcomes, not sampling-rate-dependent instrumentation.
+fn report_diff(a: &SimReport, b: &SimReport) -> Option<String> {
+    if a.misses != b.misses {
+        return Some(format!("{} vs {} misses", a.misses.len(), b.misses.len()));
+    }
+    if a.jobs_completed != b.jobs_completed {
+        return Some(format!(
+            "{} vs {} jobs completed",
+            a.jobs_completed, b.jobs_completed
+        ));
+    }
+    if a.max_response != b.max_response {
+        return Some("max response times differ".to_string());
+    }
+    if a.response_stats != b.response_stats {
+        return Some("response statistics differ".to_string());
+    }
+    if a.horizon != b.horizon {
+        return Some(format!("horizon {} vs {}", a.horizon, b.horizon));
+    }
+    None
+}
+
+/// Differential check of the two simulator implementations on whatever
+/// partition RM-TS/light produces (skipped on rejection). The reference
+/// simulator is `O(horizon × tasks)`, so the horizon is capped harder than
+/// the admission oracle's.
+pub fn check_sim_engines(ts: &TaskSet, m: usize, sim_cap: u64) -> Option<Divergence> {
+    let partition = RmTsLight::new().partition(ts, m).ok()?;
+    let workloads = partition.workloads();
+    let config = SimConfig {
+        horizon: Some(oracle_horizon(ts, sim_cap)),
+        ..SimConfig::default()
+    };
+    let fast = simulate_partitioned(&workloads, config);
+    let slow = simulate_reference(&workloads, config);
+    report_diff(&fast, &slow).map(|detail| Divergence::EngineMismatch { detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_suts_pass_every_check_on_a_schedulable_set() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
+        for sut in SystemUnderTest::PRODUCTION {
+            for check in CheckKind::ALL {
+                assert_eq!(run_check(check, sut, &ts, 2, 1_000_000), None, "{check:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejections_are_well_formed_diagnostics() {
+        // U = 2.0 on m = 1: must be rejected, and the rejection record must
+        // satisfy its contract.
+        let ts = TaskSet::from_pairs(&[(4, 8), (4, 8), (8, 16), (8, 16)]).unwrap();
+        for sut in SystemUnderTest::PRODUCTION {
+            assert!(sut.build().partition(&ts, 1).is_err());
+            assert_eq!(check_admission(sut, &ts, 1, 1_000_000), None);
+        }
+    }
+
+    #[test]
+    fn weakened_admission_is_refuted_by_the_simulation_oracle() {
+        let ts = TaskSet::from_pairs(&[(2, 4), (3, 6)]).unwrap();
+        let d = check_admission(SystemUnderTest::WeakenedAdmission, &ts, 1, 1_000_000)
+            .expect("the unsound admission must diverge");
+        assert!(
+            matches!(
+                d,
+                Divergence::RtaVerifyFailed { .. } | Divergence::DeadlineMiss { .. }
+            ),
+            "unexpected divergence: {d}"
+        );
+    }
+
+    #[test]
+    fn oracle_horizon_caps_hyperperiod() {
+        let ts = TaskSet::from_pairs(&[(1, 7), (1, 11), (1, 13)]).unwrap();
+        assert_eq!(oracle_horizon(&ts, 1_000_000).ticks(), 1_001);
+        assert_eq!(oracle_horizon(&ts, 500).ticks(), 500);
+    }
+}

@@ -1,0 +1,190 @@
+//! Greedy counterexample shrinking.
+//!
+//! A raw campaign counterexample is typically an 8-task set with five-digit
+//! periods — correct, but hostile to debugging. [`shrink`] reduces it to a
+//! *locally minimal* failing input under a fixed candidate order:
+//!
+//! 1. drop a processor (`m − 1`);
+//! 2. drop one task (structural shrinks strictly dominate value shrinks);
+//! 3. halve one task's WCET, then step it down by an eighth (geometric
+//!    steps keep the descent `O(log C)` per value — a unary `C − 1`
+//!    ladder would grind through thousands of oracle calls);
+//! 4. snap one task's period down to the previous power of two (toward a
+//!    harmonic set — harmonic counterexamples are the easiest to reason
+//!    about by hand), then halve it.
+//!
+//! Each accepted step must keep the *check* failing — not necessarily with
+//! the same [`Divergence`](crate::Divergence) variant, since a shrink can
+//! legitimately convert e.g. an RTA-verification failure into the
+//! underlying deadline miss. The descent is a fixpoint iteration: a pass
+//! with zero accepted candidates terminates it. Candidate order and
+//! acceptance are deterministic, so shrinking is reproducible per seed.
+
+use crate::divergence::Divergence;
+use rmts_taskmodel::{Task, TaskSet, Time};
+
+/// Hard cap on accepted shrink steps (a backstop; real descents take tens).
+pub const MAX_SHRINK_STEPS: usize = 10_000;
+
+/// A shrunk counterexample.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The locally minimal failing task set.
+    pub taskset: TaskSet,
+    /// The (possibly reduced) processor count.
+    pub m: usize,
+    /// The divergence the minimal input produces.
+    pub divergence: Divergence,
+    /// Accepted shrink steps taken from the original input.
+    pub steps: usize,
+}
+
+/// Rebuilds a task set from mutated tasks, discarding candidates the model
+/// itself rejects (`C > T`, empty set, …).
+fn rebuild(tasks: Vec<Task>) -> Option<TaskSet> {
+    TaskSet::new(tasks).ok()
+}
+
+/// Largest power of two strictly below `v` (0 if none).
+fn prev_pow2(v: u64) -> u64 {
+    if v <= 1 {
+        return 0;
+    }
+    let mut p = 1u64;
+    while p.checked_mul(2).is_some_and(|n| n < v) {
+        p *= 2;
+    }
+    p
+}
+
+/// All candidate simplifications of `(ts, m)`, most aggressive first.
+fn candidates(ts: &TaskSet, m: usize) -> Vec<(TaskSet, usize)> {
+    let mut out: Vec<(TaskSet, usize)> = Vec::new();
+    if m > 1 {
+        out.push((ts.clone(), m - 1));
+    }
+    let tasks = ts.tasks();
+    if tasks.len() > 1 {
+        for drop in 0..tasks.len() {
+            let kept: Vec<Task> = tasks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, t)| *t)
+                .collect();
+            if let Some(smaller) = rebuild(kept) {
+                out.push((smaller, m));
+            }
+        }
+    }
+    for (i, t) in tasks.iter().enumerate() {
+        let c = t.wcet.ticks();
+        for new_c in [c / 2, c - (c / 8).max(1)] {
+            if new_c == 0 || new_c >= c {
+                continue;
+            }
+            let mut v = tasks.to_vec();
+            v[i] = Task {
+                wcet: Time::new(new_c),
+                ..*t
+            };
+            if let Some(ts2) = rebuild(v) {
+                out.push((ts2, m));
+            }
+        }
+    }
+    for (i, t) in tasks.iter().enumerate() {
+        let p = t.period.ticks();
+        for new_p in [prev_pow2(p), p / 2] {
+            if new_p < t.wcet.ticks() || new_p == 0 || new_p >= p {
+                continue;
+            }
+            let mut v = tasks.to_vec();
+            v[i] = Task {
+                period: Time::new(new_p),
+                ..*t
+            };
+            if let Some(ts2) = rebuild(v) {
+                out.push((ts2, m));
+            }
+        }
+    }
+    out
+}
+
+/// Shrinks `(ts, m)` to a locally minimal input on which `check` still
+/// reports a divergence. The initial input must itself fail `check`;
+/// returns `None` if it does not.
+pub fn shrink<F>(ts: &TaskSet, m: usize, check: F) -> Option<Shrunk>
+where
+    F: Fn(&TaskSet, usize) -> Option<Divergence>,
+{
+    let mut divergence = check(ts, m)?;
+    let mut current = (ts.clone(), m);
+    let mut steps = 0usize;
+    'descent: while steps < MAX_SHRINK_STEPS {
+        for (cand_ts, cand_m) in candidates(&current.0, current.1) {
+            if let Some(d) = check(&cand_ts, cand_m) {
+                current = (cand_ts, cand_m);
+                divergence = d;
+                steps += 1;
+                continue 'descent;
+            }
+        }
+        break;
+    }
+    Some(Shrunk {
+        taskset: current.0,
+        m: current.1,
+        divergence,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_admission;
+    use crate::sut::SystemUnderTest;
+
+    #[test]
+    fn prev_pow2_is_strictly_below() {
+        assert_eq!(prev_pow2(1), 0);
+        assert_eq!(prev_pow2(2), 1);
+        assert_eq!(prev_pow2(17), 16);
+        assert_eq!(prev_pow2(16), 8);
+    }
+
+    #[test]
+    fn shrink_requires_a_failing_input() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (1, 8)]).unwrap();
+        assert!(shrink(&ts, 1, |_, _| None).is_none());
+        // A trivially failing check shrinks to the structural minimum:
+        // one task, one processor.
+        let s = shrink(&ts, 2, |_, _| {
+            Some(Divergence::CoverageGap {
+                algorithm: "stub".into(),
+            })
+        })
+        .unwrap();
+        assert_eq!(s.taskset.len(), 1);
+        assert_eq!(s.m, 1);
+        assert_eq!(s.taskset.tasks()[0].wcet.ticks(), 1);
+    }
+
+    #[test]
+    fn weakened_admission_counterexample_shrinks_small() {
+        // A padded 4-task set around the RM-infeasible {(3,6),(4,9)} core
+        // (density 0.99 ≤ 1.0, so the weakened SUT accepts the whole set);
+        // the descent must strip it back to a handful of tasks.
+        let ts = TaskSet::from_pairs(&[(3, 6), (4, 9), (1, 36), (1, 48)]).unwrap();
+        let check = |ts: &TaskSet, m: usize| {
+            check_admission(SystemUnderTest::WeakenedAdmission, ts, m, 1_000_000)
+        };
+        let s = shrink(&ts, 1, check).expect("initial input diverges");
+        assert!(s.taskset.len() <= 3, "not minimal: {:?}", s.taskset);
+        assert!(s.steps >= 3, "suspiciously few steps: {}", s.steps);
+        // Still a genuine counterexample.
+        assert!(check(&s.taskset, s.m).is_some());
+    }
+}

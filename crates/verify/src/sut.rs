@@ -1,0 +1,127 @@
+//! Systems under test: the acceptance deciders the oracles cross-check.
+//!
+//! A [`SystemUnderTest`] is a *name* for a partitioner configuration, not
+//! the partitioner itself — campaigns run trials on worker threads, and
+//! `dyn Partitioner` is neither `Send` nor cheap to share, so each worker
+//! rebuilds its partitioner from the name. Names are serializable, which is
+//! what lets a corpus [`Reproducer`](crate::Reproducer) reconstruct the
+//! exact configuration that diverged, months later, from JSON alone.
+
+use rmts_core::baselines::PartitionedRm;
+use rmts_core::{AdmissionPolicy, Partitioner, RmTs, RmTsLight};
+use serde::{Deserialize, Serialize};
+
+/// A named, reconstructible partitioner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemUnderTest {
+    /// RM-TS (Section V) with the Liu & Layland bound.
+    RmTs,
+    /// RM-TS/light (Section IV).
+    RmTsLight,
+    /// Strictly partitioned RM, first-fit-decreasing with exact RTA.
+    PartitionedRm,
+    /// **Fault-injection hook**: RM-TS/light with admission weakened to a
+    /// density threshold of 1.0 — unsound for RM (e.g. `{(2,4),(3,6)}` has
+    /// density exactly 1.0 yet misses a deadline), so every campaign that
+    /// includes this SUT must diverge. Exists so the test suite can prove
+    /// the oracles actually catch bugs; never part of
+    /// [`SystemUnderTest::PRODUCTION`].
+    WeakenedAdmission,
+}
+
+impl SystemUnderTest {
+    /// The three production algorithm pairs the clean campaign quantifies
+    /// over.
+    pub const PRODUCTION: [SystemUnderTest; 3] = [
+        SystemUnderTest::RmTs,
+        SystemUnderTest::RmTsLight,
+        SystemUnderTest::PartitionedRm,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemUnderTest::RmTs => "rmts",
+            SystemUnderTest::RmTsLight => "light",
+            SystemUnderTest::PartitionedRm => "prm",
+            SystemUnderTest::WeakenedAdmission => "weakened",
+        }
+    }
+
+    /// Parses a [`SystemUnderTest::name`] back (CLI `--sut`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rmts" => Some(SystemUnderTest::RmTs),
+            "light" => Some(SystemUnderTest::RmTsLight),
+            "prm" => Some(SystemUnderTest::PartitionedRm),
+            "weakened" => Some(SystemUnderTest::WeakenedAdmission),
+            _ => None,
+        }
+    }
+
+    /// Builds the partitioner this name denotes.
+    pub fn build(self) -> Box<dyn Partitioner> {
+        match self {
+            SystemUnderTest::RmTs => Box::new(RmTs::new()),
+            SystemUnderTest::RmTsLight => Box::new(RmTsLight::new()),
+            SystemUnderTest::PartitionedRm => Box::new(PartitionedRm::ffd_rta()),
+            SystemUnderTest::WeakenedAdmission => {
+                Box::new(RmTsLight::with_policy(AdmissionPolicy::threshold(1.0)))
+            }
+        }
+    }
+
+    /// The cached/uncached exact-RTA admission pair for this SUT, when the
+    /// configuration admits by exact RTA (the cache-equivalence oracle has
+    /// nothing to compare on threshold-admission SUTs).
+    #[allow(clippy::type_complexity)]
+    pub fn cache_pair(self) -> Option<(Box<dyn Partitioner>, Box<dyn Partitioner>)> {
+        match self {
+            SystemUnderTest::RmTs => Some((
+                Box::new(RmTs::new().with_policy(AdmissionPolicy::exact().cached())),
+                Box::new(RmTs::new().with_policy(AdmissionPolicy::exact().uncached())),
+            )),
+            SystemUnderTest::RmTsLight => Some((
+                Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().cached())),
+                Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().uncached())),
+            )),
+            SystemUnderTest::PartitionedRm | SystemUnderTest::WeakenedAdmission => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskSet;
+
+    #[test]
+    fn names_round_trip() {
+        for sut in [
+            SystemUnderTest::RmTs,
+            SystemUnderTest::RmTsLight,
+            SystemUnderTest::PartitionedRm,
+            SystemUnderTest::WeakenedAdmission,
+        ] {
+            assert_eq!(SystemUnderTest::parse(sut.name()), Some(sut));
+            let json = serde_json::to_string(&sut).unwrap();
+            assert_eq!(serde_json::from_str::<SystemUnderTest>(&json).unwrap(), sut);
+        }
+        assert_eq!(SystemUnderTest::parse("nope"), None);
+    }
+
+    #[test]
+    fn weakened_admission_accepts_a_known_rm_infeasible_set() {
+        // Density exactly 1.0, RM-unschedulable: demand in [0,6) is
+        // 2·2 + 3 = 7 > 6. The sound SUTs reject; the weakened one accepts.
+        let ts = TaskSet::from_pairs(&[(2, 4), (3, 6)]).unwrap();
+        assert!(SystemUnderTest::WeakenedAdmission
+            .build()
+            .partition(&ts, 1)
+            .is_ok());
+        assert!(SystemUnderTest::RmTsLight
+            .build()
+            .partition(&ts, 1)
+            .is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! The clean campaigns: production SUTs through every oracle, zero
+//! divergences expected.
+//!
+//! The tier-1 test keeps the trial count modest so debug builds stay
+//! quick; the `#[ignore]`d acceptance campaign runs the full ≥10k-task-set
+//! sweep across all three algorithm pairs (run it in release:
+//! `cargo test -p rmts-verify --release -- --ignored`).
+
+use rmts_verify::{run_campaign, CampaignConfig};
+
+#[test]
+fn production_suts_survive_a_seeded_campaign() {
+    let cfg = CampaignConfig {
+        trials: 120,
+        ..CampaignConfig::new(101)
+    };
+    let report = run_campaign(&cfg);
+    assert!(report.clean(), "{}", report.render());
+    assert!(
+        report.generated >= 100,
+        "generator mostly infeasible: {}/{} trials",
+        report.generated,
+        cfg.trials
+    );
+    // 2 per-SUT checks × 3 SUTs + 3 input-global checks per generated set.
+    assert_eq!(report.checks_run, report.generated * 9);
+}
+
+#[test]
+fn wider_processor_counts_are_also_clean() {
+    for (m, seed) in [(1usize, 31u64), (4, 33), (8, 37)] {
+        let cfg = CampaignConfig {
+            trials: 40,
+            m,
+            n: 2 * m + 4,
+            ..CampaignConfig::new(seed)
+        };
+        let report = run_campaign(&cfg);
+        assert!(report.clean(), "m={m}:\n{}", report.render());
+        assert!(report.generated >= 20, "m={m}: too few sets generated");
+    }
+}
+
+/// The acceptance-criteria campaign: ≥ 10 000 task sets, all three
+/// production algorithm pairs, every oracle, zero divergences.
+#[test]
+#[ignore = "release-mode acceptance campaign (~10k task sets); run with --ignored"]
+fn ten_thousand_task_sets_zero_divergences() {
+    let cfg = CampaignConfig {
+        trials: 10_500,
+        ..CampaignConfig::new(1)
+    };
+    let report = run_campaign(&cfg);
+    assert!(report.clean(), "{}", report.render());
+    assert!(
+        report.generated >= 10_000,
+        "fewer than 10k effective task sets: {}",
+        report.generated
+    );
+}

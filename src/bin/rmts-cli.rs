@@ -7,6 +7,9 @@
 //! rmts-cli check     <taskset.json> -m M          # all algorithms side by side
 //! rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic]
 //!                    [--seed S] [--cap U]          # JSON on stdout
+//! rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M]
+//!                    [--save-corpus DIR] [--json] [--stats]
+//! rmts-cli fuzz      --replay DIR                  # replay saved reproducers
 //! ```
 //!
 //! Task sets are JSON arrays of `{ "id": u32, "wcet": ticks, "period": ticks }`
@@ -23,7 +26,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -37,17 +40,25 @@ const USAGE: &str = "usage:
   rmts-cli bounds    <taskset.json>
   rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r] [--simulate] [--gantt] [--stats]
   rmts-cli check     <taskset.json> -m M
-  rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]";
+  rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]
+  rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M] [--save-corpus DIR] [--json] [--stats]
+  rmts-cli fuzz      --replay DIR
 
-fn run(args: &[String]) -> Result<(), String> {
+fuzz runs a seeded differential campaign (exit code 2 on divergence):
+  rmts-cli fuzz --quick --seed 42          # 200-trial smoke, deterministic per seed
+  rmts-cli fuzz --trials 10000 --seed 1    # acceptance-scale sweep
+  rmts-cli fuzz --replay tests/corpus      # replay shrunk reproducers";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
-        Some("bounds") => cmd_bounds(&args[1..]),
-        Some("partition") => cmd_partition(&args[1..]),
-        Some("check") => cmd_check(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("partition") => cmd_partition(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("check") => cmd_check(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".into()),
@@ -252,6 +263,75 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    use rmts::verify::{replay_corpus, run_campaign, save_corpus, CampaignConfig};
+    use std::path::Path;
+
+    if let Some(dir) = flag_value(args, "--replay") {
+        let cap = CampaignConfig::new(0).sim_cap;
+        return match replay_corpus(Path::new(dir), cap) {
+            Ok(n) => {
+                println!("replayed {n} reproducer(s) from {dir}: all match expectations");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("replay failure: {f}");
+                }
+                Err(format!("{} reproducer(s) failed to replay", failures.len()))
+            }
+        };
+    }
+
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let mut cfg = if has_flag(args, "--quick") {
+        CampaignConfig::quick(seed)
+    } else {
+        CampaignConfig::new(seed)
+    };
+    if let Some(t) = flag_value(args, "--trials") {
+        cfg.trials = t.parse().map_err(|e| format!("--trials: {e}"))?;
+    }
+    if let Some(n) = flag_value(args, "-n") {
+        cfg.n = n.parse().map_err(|e| format!("-n: {e}"))?;
+    }
+    if let Some(m) = flag_value(args, "-m") {
+        cfg.m = m.parse().map_err(|e| format!("-m: {e}"))?;
+    }
+
+    let recording = has_flag(args, "--stats").then(rmts::obs::Recording::start);
+    let report = run_campaign(&cfg);
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(dir) = flag_value(args, "--save-corpus") {
+        let paths = save_corpus(Path::new(dir), &report.reproducers)
+            .map_err(|e| format!("save corpus to {dir}: {e}"))?;
+        println!("saved {} reproducer(s) to {dir}", paths.len());
+    }
+    if let Some(rec) = recording {
+        let snap = rec.finish();
+        println!();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {

@@ -20,6 +20,7 @@
 //! | [`gen`] | synthetic task-set generation (UUniFast-discard etc.) |
 //! | [`exp`] | experiment harness regenerating the paper's evaluation |
 //! | [`obs`] | opt-in observability: counters, histograms, span timers |
+//! | [`verify`] | differential oracles, counterexample shrinking, fuzz campaigns |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use rmts_obs as obs;
 pub use rmts_rta as rta;
 pub use rmts_sim as sim;
 pub use rmts_taskmodel as taskmodel;
+pub use rmts_verify as verify;
 
 /// The common imports for working with the library.
 pub mod prelude {
@@ -71,4 +73,5 @@ pub mod prelude {
     pub use rmts_taskmodel::{
         Priority, Subtask, SubtaskKind, Task, TaskId, TaskSet, TaskSetBuilder, Time,
     };
+    pub use rmts_verify::{run_campaign, CampaignConfig, CampaignReport, CheckKind, Divergence};
 }

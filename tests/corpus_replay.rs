@@ -1,0 +1,55 @@
+//! Replays the checked-in reproducer corpus (`tests/corpus/`).
+//!
+//! Every file is a self-contained [`rmts::verify::Reproducer`]: a shrunk
+//! task set plus the oracle that produced it and the expected outcome
+//! (`Diverges` for fault-injection counterexamples, `Clean` for anchors).
+//! Replaying them in tier-1 pins past divergences forever: a regression
+//! that re-opens one, or an oracle change that silences one, fails here.
+
+use rmts::verify::{load_corpus, replay_corpus, Expectation, REPRO_SCHEMA};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_and_matches_expectations() {
+    let replayed = replay_corpus(&corpus_dir(), 2_000_000)
+        .unwrap_or_else(|failures| panic!("corpus replay failed:\n{}", failures.join("\n")));
+    assert!(
+        replayed >= 2,
+        "corpus unexpectedly small: {replayed} reproducer(s)"
+    );
+}
+
+#[test]
+fn corpus_is_well_formed() {
+    let repros = load_corpus(&corpus_dir()).expect("corpus parses");
+    let mut has_divergent = false;
+    let mut has_clean = false;
+    for r in &repros {
+        assert_eq!(r.schema, REPRO_SCHEMA, "{}: stale schema", r.name);
+        assert!(!r.taskset.is_empty(), "{}: empty task set", r.name);
+        assert!(r.m >= 1, "{}: zero processors", r.name);
+        match r.expect {
+            Expectation::Diverges => {
+                has_divergent = true;
+                assert!(
+                    r.divergence.is_some(),
+                    "{}: divergent reproducer without a recorded divergence",
+                    r.name
+                );
+                assert!(
+                    r.taskset.len() <= 4,
+                    "{}: reproducer not shrunk ({} tasks)",
+                    r.name,
+                    r.taskset.len()
+                );
+            }
+            Expectation::Clean => has_clean = true,
+        }
+    }
+    assert!(has_divergent, "corpus lost its divergent reproducers");
+    assert!(has_clean, "corpus lost its clean anchor");
+}

@@ -1,0 +1,137 @@
+//! Cross-crate coverage for the typed [`PartitionReject`] diagnostics:
+//! every rejection must carry an actionable, internally consistent
+//! explanation, across algorithms and load shapes.
+
+use rmts::prelude::*;
+
+/// Overloaded inputs that every algorithm must reject, from mildly
+/// infeasible to absurd.
+fn overloaded_sets() -> Vec<(TaskSet, usize)> {
+    vec![
+        // Three near-full tasks on two processors.
+        (
+            TaskSet::from_pairs(&[(9_000, 10_000), (9_000, 10_000), (9_000, 10_000)]).unwrap(),
+            2,
+        ),
+        // Total utilization 3.0 on one processor.
+        (
+            TaskSet::from_pairs(&[(1, 2), (2, 4), (4, 8), (8, 16), (16, 32), (32, 64)]).unwrap(),
+            1,
+        ),
+        // Many medium tasks just over capacity.
+        (
+            TaskSet::from_pairs(&[
+                (3_000, 10_000),
+                (3_000, 10_000),
+                (3_000, 10_000),
+                (3_000, 10_000),
+                (3_000, 10_000),
+                (3_000, 10_000),
+                (3_000, 10_000),
+            ])
+            .unwrap(),
+            2,
+        ),
+    ]
+}
+
+fn algorithms(n: usize) -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(RmTs::new()),
+        Box::new(RmTsLight::new()),
+        Box::new(spa1(n)),
+        Box::new(spa2(n)),
+        Box::new(PartitionedRm::ffd_rta()),
+    ]
+}
+
+#[test]
+fn rejections_carry_consistent_diagnostics() {
+    for (ts, m) in overloaded_sets() {
+        for alg in algorithms(ts.len()) {
+            let reject = alg
+                .partition(&ts, m)
+                .err()
+                .unwrap_or_else(|| panic!("{} accepted an overloaded set: {ts}", alg.name()));
+            // The unassigned remainder is non-empty and names real tasks.
+            assert!(
+                !reject.unassigned.is_empty(),
+                "{}: rejection with empty unassigned set",
+                alg.name()
+            );
+            for id in &reject.unassigned {
+                assert!(
+                    ts.tasks().iter().any(|t| t.id == *id),
+                    "{}: unassigned {id} not in the input",
+                    alg.name()
+                );
+            }
+            // The blamed task is one of the unassigned ones.
+            if let Some(task) = reject.task {
+                assert!(
+                    reject.unassigned.contains(&task),
+                    "{}: blamed task {task} missing from unassigned {:?}",
+                    alg.name(),
+                    reject.unassigned
+                );
+            }
+            // Bottlenecks point at actual processors of the partial
+            // partition, with at most one entry per processor.
+            assert!(
+                !reject.bottlenecks.is_empty(),
+                "{}: rejection with no bottleneck processors",
+                alg.name()
+            );
+            let mut procs: Vec<usize> = reject.bottlenecks.iter().map(|b| b.processor).collect();
+            procs.sort_unstable();
+            procs.dedup();
+            assert_eq!(
+                procs.len(),
+                reject.bottlenecks.len(),
+                "{}: duplicate bottleneck processors",
+                alg.name()
+            );
+            for b in &reject.bottlenecks {
+                assert!(
+                    b.processor < m,
+                    "{}: bottleneck on nonexistent processor {}",
+                    alg.name(),
+                    b.processor
+                );
+            }
+            // The human-readable rendering names the phase.
+            let msg = reject.to_string();
+            assert!(
+                msg.contains(&reject.phase.to_string()),
+                "{}: display {msg:?} does not mention phase {}",
+                alg.name(),
+                reject.phase
+            );
+        }
+    }
+}
+
+#[test]
+fn reject_round_trips_through_serde_json() {
+    let (ts, m) = overloaded_sets().remove(0);
+    for alg in algorithms(ts.len()) {
+        let reject = alg.partition(&ts, m).expect_err("overloaded set rejects");
+        let json = serde_json::to_string(&reject).expect("serializes");
+        let back: PartitionReject = serde_json::from_str(&json).expect("parses back");
+        assert_eq!(*reject, back, "{}: lossy serde round-trip", alg.name());
+    }
+}
+
+#[test]
+fn acceptance_never_produces_reject_diagnostics() {
+    // Sanity inverse: a comfortably schedulable set is accepted by all
+    // algorithms, so the diagnostics path stays cold.
+    let ts = TaskSet::from_pairs(&[(1_000, 10_000), (2_000, 20_000), (4_000, 40_000)]).unwrap();
+    for alg in algorithms(ts.len()) {
+        assert!(
+            alg.partition(&ts, 2).is_ok(),
+            "{} rejected a trivially feasible set",
+            alg.name()
+        );
+    }
+}

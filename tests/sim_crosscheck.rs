@@ -14,6 +14,7 @@ use rmts::rta::response_time;
 /// delays).
 #[test]
 fn observed_response_never_exceeds_analyzed_bound_for_whole_tasks() {
+    let mut compared = 0u32;
     for trial in 0..40u64 {
         let mut rng = trial_rng(0xC0DE, trial);
         let cfg = GenConfig::new(6, 0.9)
@@ -32,6 +33,7 @@ fn observed_response_never_exceeds_analyzed_bound_for_whole_tasks() {
         else {
             continue; // unschedulable shape; nothing to compare
         };
+        compared += 1;
         let report = simulate_partitioned(&[&workload], SimConfig::default());
         assert!(report.all_deadlines_met());
         for (s, bound) in workload.iter().zip(&rtas) {
@@ -48,6 +50,13 @@ fn observed_response_never_exceeds_analyzed_bound_for_whole_tasks() {
             assert_eq!(observed, *bound, "critical instant must be tight");
         }
     }
+    // Guard against the whole loop silently degenerating: if generation
+    // (or schedulability) starts failing on every trial, the property
+    // above would vacuously "pass" having compared nothing.
+    assert!(
+        compared >= 10,
+        "only {compared}/40 trials produced a comparable workload"
+    );
 }
 
 /// End-to-end: every partition RM-TS produces (across random loads) passes
@@ -87,6 +96,7 @@ fn every_accepted_partition_executes_cleanly() {
 /// saturated harmonic sets at exactly U_M = 1.0, the hardest feasible case.
 #[test]
 fn saturated_harmonic_partitions_execute_cleanly() {
+    let mut executed = 0u32;
     for trial in 0..25u64 {
         let mut rng = trial_rng(0xBEEF, trial);
         let m = 2 + (trial % 2) as usize;
@@ -99,6 +109,7 @@ fn saturated_harmonic_partitions_execute_cleanly() {
         let Some(ts) = cfg.generate(&mut rng) else {
             continue;
         };
+        executed += 1;
         let partition = RmTsLight::new()
             .partition(&ts, m)
             .expect("Theorem 8 with the 100% harmonic bound");
@@ -106,6 +117,12 @@ fn saturated_harmonic_partitions_execute_cleanly() {
         let report = simulate_partitioned(&partition.workloads(), SimConfig::default());
         assert!(report.all_deadlines_met(), "trial {trial} missed");
     }
+    // Saturated harmonic generation is delicate (U_M exactly 1.0 under a
+    // per-task cap); fail loudly if it quietly stops producing sets.
+    assert!(
+        executed >= 8,
+        "only {executed}/25 trials generated a saturated harmonic set"
+    );
 }
 
 /// Global-vs-partitioned agreement on trivially parallel workloads: when

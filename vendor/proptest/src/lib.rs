@@ -4,9 +4,15 @@
 //! [`proptest!`] macro (with `#![proptest_config(...)]`), integer-range /
 //! tuple / [`collection`] strategies, [`Strategy::prop_map`] and
 //! [`Strategy::prop_flat_map`], and the `prop_assert*` / `prop_assume!`
-//! macros. Cases are generated from a deterministic per-test PRNG; there
-//! is no shrinking — failures instead report every generated input in
-//! full, which the small strategies used here keep readable.
+//! macros. Cases are generated from a deterministic per-test PRNG.
+//!
+//! Failing cases are **shrunk**: the runner greedily walks
+//! [`Strategy::shrink`] candidates (smaller integers, shorter vectors,
+//! componentwise-smaller tuples) as long as the property keeps failing, and
+//! reports both the original and the locally minimal input. Mapped
+//! strategies (`prop_map` / `prop_flat_map`) are opaque — their outputs
+//! cannot be inverted, so they do not shrink; the raw range/vec/tuple
+//! strategies the suites compose from are the ones that do.
 
 #![forbid(unsafe_code)]
 
@@ -28,6 +34,8 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Total `prop_assume!` rejections tolerated before giving up.
     pub max_global_rejects: u32,
+    /// Upper bound on accepted shrink steps for one failure.
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
@@ -45,6 +53,7 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 256,
             max_global_rejects: 65536,
+            max_shrink_iters: 4096,
         }
     }
 }
@@ -87,13 +96,22 @@ impl TestRng {
     }
 }
 
-/// A value generator, mirroring `proptest::strategy::Strategy`.
+/// A value generator, mirroring `proptest::strategy::Strategy` (with the
+/// value-tree machinery collapsed into a direct [`Strategy::shrink`] step).
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a generated value, most aggressive
+    /// first. Every candidate must itself be a value this strategy could
+    /// have generated. The default (used by opaque strategies such as
+    /// [`Strategy::prop_map`]) is "no candidates".
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -159,6 +177,12 @@ macro_rules! int_range_strategies {
                 let span = (self.end as i128 - lo) as u128;
                 (lo + rng.gen_below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -168,18 +192,50 @@ macro_rules! int_range_strategies {
                 let span = (*self.end() as i128 - lo) as u128 + 1;
                 (lo + rng.gen_below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Integer shrink candidates toward the range start: the start itself, the
+/// midpoint, and the predecessor — each strictly below `value`.
+fn shrink_int(lo: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    for cand in [lo, lo + (value - lo) / 2, value - 1] {
+        if cand >= lo && cand < value && !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
 macro_rules! tuple_strategies {
     ($(($($n:tt $t:ident),+))+) => {$(
-        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+)
+        where
+            $($t::Value: Clone),+
+        {
             type Value = ($($t::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$n.shrink(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -245,11 +301,35 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.pick(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural shrinks first: drop one element (length stays
+            // within the size window).
+            if value.len() > self.size.min {
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            // Then element-wise shrinks at unchanged length.
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -269,7 +349,7 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
     where
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         type Value = BTreeSet<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
@@ -284,13 +364,28 @@ pub mod collection {
             }
             set
         }
+        fn shrink(&self, value: &BTreeSet<S::Value>) -> Vec<BTreeSet<S::Value>> {
+            // Removal only: replacing elements can collide and re-shrink the
+            // set below the window, which removal never does.
+            if value.len() <= self.size.min {
+                return Vec::new();
+            }
+            value
+                .iter()
+                .map(|e| {
+                    let mut smaller = value.clone();
+                    smaller.remove(e);
+                    smaller
+                })
+                .collect()
+        }
     }
 
     /// `BTreeSet`s of `element` values with a size drawn from `size`
     /// (best-effort when the element domain is small).
     pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
     where
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         BTreeSetStrategy {
             element,
@@ -299,20 +394,56 @@ pub mod collection {
     }
 }
 
+/// Greedy shrink descent: repeatedly move to the first candidate that still
+/// fails the property, until no candidate fails or the step budget is hit.
+/// Returns the minimal failing value, its failure message, and the number
+/// of accepted steps.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    prop: &F,
+    mut current: S::Value,
+    mut message: String,
+    max_steps: u32,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    'descent: while steps < max_steps {
+        for candidate in strategy.shrink(&current) {
+            // A candidate counts only if it reproduces the failure;
+            // passing and `prop_assume!`-rejected candidates are skipped.
+            if let Err(TestCaseError::Fail(msg)) = prop(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'descent;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
 /// The case-loop driver invoked by [`proptest!`]-generated tests.
 ///
-/// `f` generates one case, pushing a debug rendering of each input into
-/// the provided vector before running the property body.
-pub fn run_property<F>(config: ProptestConfig, name: &str, mut f: F)
+/// `strategy` generates one case per iteration; `prop` runs the property
+/// body against a borrowed case. On failure the case is shrunk via
+/// [`Strategy::shrink`] and the panic reports both the original and the
+/// minimal input (labeled with `args`, the stringified argument pattern).
+pub fn run_property<S, F>(config: ProptestConfig, name: &str, args: &str, strategy: &S, prop: F)
 where
-    F: FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
 {
     let mut rng = TestRng::from_name(name);
     let mut passed = 0u32;
     let mut rejects = 0u32;
     while passed < config.cases {
-        let mut inputs = Vec::new();
-        match f(&mut rng, &mut inputs) {
+        let value = strategy.generate(&mut rng);
+        match prop(&value) {
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(why)) => {
                 rejects += 1;
@@ -324,10 +455,13 @@ where
                 }
             }
             Err(TestCaseError::Fail(msg)) => {
+                let (minimal, min_msg, steps) =
+                    shrink_failure(strategy, &prop, value.clone(), msg, config.max_shrink_iters);
                 panic!(
                     "property `{name}` failed after {passed} passing case(s)\n\
-                     inputs:\n  {}\n{msg}",
-                    inputs.join("\n  ")
+                     original input: {args} = {value:?}\n\
+                     minimal input ({steps} shrink step(s)): {args} = {minimal:?}\n\
+                     {min_msg}"
                 );
             }
         }
@@ -366,14 +500,10 @@ macro_rules! __proptest_items {
             $crate::run_property(
                 $cfg,
                 concat!(module_path!(), "::", stringify!($name)),
-                |__rng, __inputs| {
-                    $(
-                        let __value = $crate::Strategy::generate(&($strat), __rng);
-                        __inputs.push(::std::format!(
-                            "{} = {:?}", stringify!($arg), __value
-                        ));
-                        let $arg = __value;
-                    )+
+                stringify!(($($arg),+)),
+                &($($strat,)+),
+                |__values| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__values);
                     $body
                     ::std::result::Result::Ok(())
                 },
@@ -507,18 +637,118 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "inputs")]
+    #[should_panic(expected = "minimal input")]
     fn failures_report_inputs() {
         crate::run_property(
             ProptestConfig::with_cases(10),
             "always_fails",
-            |rng, inputs| {
-                let v = Strategy::generate(&(0u64..10), rng);
-                inputs.push(format!("v = {v:?}"));
+            "(v)",
+            &(0u64..10,),
+            |&(v,)| {
                 prop_assert!(v > 100);
                 Ok(())
             },
         );
+    }
+
+    #[test]
+    fn range_shrink_candidates_move_toward_start() {
+        let strat = 3u64..100;
+        let cands = Strategy::shrink(&strat, &40);
+        assert!(cands.contains(&3));
+        assert!(cands.iter().all(|&c| (3..40).contains(&c)));
+        assert!(Strategy::shrink(&strat, &3).is_empty());
+        // Signed inclusive ranges shrink toward their start, not zero.
+        let cands = Strategy::shrink(&(-5i32..=5), &5);
+        assert!(cands.contains(&-5));
+        assert!(cands.iter().all(|&c| (-5..5).contains(&c)));
+    }
+
+    #[test]
+    fn shrink_finds_boundary_integer() {
+        // Property: v < 10. The minimal counterexample is exactly 10, and
+        // the greedy descent must land on it regardless of the first
+        // failing sample.
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(
+                ProptestConfig::with_cases(64),
+                "boundary",
+                "(v)",
+                &(0u64..1000,),
+                |&(v,)| {
+                    prop_assert!(v < 10, "v = {v}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal input"), "no shrink report:\n{msg}");
+        assert!(
+            msg.contains("(v) = (10,)"),
+            "shrink did not reach the boundary:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_minimizes_vectors() {
+        // Property: no element is ≥ 7. Minimal counterexample: the
+        // single-element vector [7].
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(
+                ProptestConfig::with_cases(64),
+                "vec_min",
+                "(v)",
+                &(collection::vec(0u64..50, 0..8),),
+                |(v,)| {
+                    prop_assert!(v.iter().all(|&x| x < 7), "bad element in {v:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("([7],)"),
+            "vector was not fully minimized:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn shrink_respects_vec_min_size() {
+        let strat = collection::vec(0u64..10, 2..5);
+        let cands = Strategy::shrink(&strat, &vec![5, 6]);
+        // Length 2 is the window minimum: only element-wise shrinks remain.
+        assert!(cands.iter().all(|c| c.len() == 2));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let strat = (1u64..10, 0u32..4);
+        let cands = Strategy::shrink(&strat, &(9, 3));
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (9, 3)));
+        assert!(cands.iter().any(|&(a, b)| a < 9 && b == 3));
+        assert!(cands.iter().any(|&(a, b)| a == 9 && b < 3));
+    }
+
+    #[test]
+    fn rejected_candidates_do_not_count_as_shrinks() {
+        // The assume-guard vetoes everything below 20, so shrinking stops
+        // at 20 even though smaller raw candidates exist.
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property(
+                ProptestConfig::with_cases(64),
+                "assume_floor",
+                "(v)",
+                &(0u64..1000,),
+                |&(v,)| {
+                    prop_assume!(v >= 20);
+                    prop_assert!(v < 15, "v = {v}"); // fails for every admitted v
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("(v) = (20,)"), "assume floor ignored:\n{msg}");
     }
 
     #[test]
