@@ -28,11 +28,12 @@
 //! produce identical values on identical inputs (the `rta.cache.*` counters
 //! are where the two paths differ).
 
+use crate::ladder::{AnalysisControl, Rung};
 use crate::maxsplit::MaxSplitStrategy;
 use crate::processor::ProcessorState;
-use rmts_rta::budget::{admits_budget, NewcomerSpec};
-use rmts_rta::response_time;
-use rmts_taskmodel::Time;
+use rmts_rta::budget::{admits_budget, admits_budget_metered, NewcomerSpec};
+use rmts_rta::{response_time, tda_admits_metered, tda_response_bound};
+use rmts_taskmodel::{AnalysisError, BudgetMeter, Subtask, SubtaskKind, Time};
 use serde::{Deserialize, Serialize};
 
 /// Tolerance for floating-point threshold comparisons.
@@ -106,13 +107,6 @@ impl AdmissionPolicy {
         }
     }
 
-    /// Former spelling of [`AdmissionPolicy::exact`]`.`[`uncached`](AdmissionPolicy::uncached),
-    /// kept for one release.
-    #[deprecated(since = "0.2.0", note = "use `AdmissionPolicy::exact().uncached()`")]
-    pub fn exact_scratch() -> Self {
-        AdmissionPolicy::exact().uncached()
-    }
-
     /// Density threshold at `θ`.
     pub fn threshold(theta: f64) -> Self {
         AdmissionPolicy::DensityThreshold { theta }
@@ -133,17 +127,7 @@ impl AdmissionPolicy {
                 budget <= new.deadline && proc.density() + budget.ratio(new.deadline) <= theta + EPS
             }
         };
-        if rmts_obs::enabled() {
-            rmts_obs::count("core.admission.probes", 1);
-            rmts_obs::count(
-                if fits {
-                    "core.admission.admitted"
-                } else {
-                    "core.admission.rejected"
-                },
-                1,
-            );
-        }
+        Self::count_decision(fits);
         fits
     }
 
@@ -182,6 +166,9 @@ impl AdmissionPolicy {
     /// we keep that convention to reproduce the baseline faithfully.
     pub fn record_response(&self, proc: &mut ProcessorState, index: usize) -> Time {
         match *self {
+            // Invariant: the engine calls this only right after a successful
+            // exact admission of `workload()[index]`, so the fixed point
+            // exists and lies at or below the synthetic deadline.
             AdmissionPolicy::ExactRta { cached: true, .. } => proc
                 .cached_response(index)
                 .expect("admission just verified schedulability"),
@@ -197,6 +184,204 @@ impl AdmissionPolicy {
     pub fn is_exact(&self) -> bool {
         matches!(self, AdmissionPolicy::ExactRta { .. })
     }
+
+    /// Budget-aware [`Self::fits_whole`]: rung 1 of the degradation ladder
+    /// with typed fallbacks.
+    ///
+    /// With an unlimited control this is bit-identical to `fits_whole`.
+    /// Under a finite budget, exact RTA charges the control's meter; on
+    /// exhaustion the verdict falls to TDA (independent accounting), then
+    /// to the infallible `Θ(n)` density threshold — or, when degradation is
+    /// disabled, surfaces the exhaustion as an error. The threshold policy
+    /// is `O(1)` and never interacts with the budget.
+    pub fn fits_whole_ctl(
+        &self,
+        proc: &mut ProcessorState,
+        new: &NewcomerSpec,
+        budget: Time,
+        ctl: &AnalysisControl,
+    ) -> Result<bool, AnalysisError> {
+        if !ctl.is_limited() || !self.is_exact() {
+            ctl.note_verdict(Rung::Exact, true);
+            return Ok(self.fits_whole(proc, new, budget));
+        }
+        let rung1 = match *self {
+            AdmissionPolicy::ExactRta { cached: true, .. } => proc
+                .rta_cache_mut()
+                .probe_remember_metered(new, budget, ctl.meter()),
+            AdmissionPolicy::ExactRta { cached: false, .. } => {
+                admits_budget_metered(proc.workload(), new, budget, ctl.meter())
+            }
+            // Handled by the early return above.
+            AdmissionPolicy::DensityThreshold { .. } => unreachable!("threshold is never metered"),
+        };
+        let fits = match rung1 {
+            Ok(fits) => {
+                ctl.note_verdict(Rung::Exact, fits);
+                fits
+            }
+            Err(e) => {
+                ctl.note_exhaustion(e);
+                if !ctl.degrade() {
+                    return Err(e);
+                }
+                let candidate = new.with_budget(budget, 1, SubtaskKind::Whole);
+                match tda_admits_metered(proc.workload(), &candidate, ctl.tda_meter()) {
+                    Ok(fits) => {
+                        ctl.note_verdict(Rung::Tda, fits);
+                        fits
+                    }
+                    Err(e2) => {
+                        ctl.note_exhaustion(e2);
+                        let fits = self.threshold_fits(proc, new, budget, ctl);
+                        ctl.note_verdict(Rung::Threshold, fits);
+                        fits
+                    }
+                }
+            }
+        };
+        Self::count_decision(fits);
+        Ok(fits)
+    }
+
+    /// The ladder's rung-3 test: admit iff the processor's density
+    /// (including the newcomer) stays at or below `Θ(n)` — RM-TS/light's
+    /// parametric threshold from the \[16\] lineage. `O(1)`, infallible.
+    fn threshold_fits(
+        &self,
+        proc: &ProcessorState,
+        new: &NewcomerSpec,
+        budget: Time,
+        ctl: &AnalysisControl,
+    ) -> bool {
+        let theta = ctl.theta(proc.len() + 1);
+        budget <= new.deadline && proc.density() + budget.ratio(new.deadline) <= theta + EPS
+    }
+
+    /// Budget-aware [`Self::max_budget`] walking the same ladder: metered
+    /// exact `MaxSplit`, then a binary search over metered TDA admission,
+    /// then the closed-form density-slack budget at `Θ(n)`.
+    pub fn max_budget_ctl(
+        &self,
+        proc: &mut ProcessorState,
+        new: &NewcomerSpec,
+        cap: Time,
+        ctl: &AnalysisControl,
+    ) -> Result<Time, AnalysisError> {
+        if !ctl.is_limited() || !self.is_exact() {
+            ctl.note_verdict(Rung::Exact, true);
+            return Ok(self.max_budget(proc, new, cap));
+        }
+        rmts_obs::count("core.maxsplit.calls", 1);
+        let rung1 = match *self {
+            // Both metered implementations are exact and agree bit-for-bit
+            // with their unmetered counterparts (property-tested in
+            // `rmts-rta`), so strategy choice collapses here.
+            AdmissionPolicy::ExactRta { cached: true, .. } => proc
+                .rta_cache_mut()
+                .max_budget_bsearch_metered(new, cap, ctl.meter()),
+            AdmissionPolicy::ExactRta { cached: false, .. } => {
+                rmts_rta::budget::max_admissible_budget_metered(
+                    proc.workload(),
+                    new,
+                    cap,
+                    ctl.meter(),
+                )
+            }
+            AdmissionPolicy::DensityThreshold { .. } => unreachable!("threshold is never metered"),
+        };
+        match rung1 {
+            Ok(x) => {
+                ctl.note_verdict(Rung::Exact, !x.is_zero());
+                Ok(x)
+            }
+            Err(e) => {
+                ctl.note_exhaustion(e);
+                if !ctl.degrade() {
+                    return Err(e);
+                }
+                match tda_max_budget_metered(proc.workload(), new, cap, ctl.tda_meter()) {
+                    Ok(x) => {
+                        ctl.note_verdict(Rung::Tda, !x.is_zero());
+                        Ok(x)
+                    }
+                    Err(e2) => {
+                        ctl.note_exhaustion(e2);
+                        let theta = ctl.theta(proc.len() + 1);
+                        let slack = theta - proc.density();
+                        let x = if slack <= EPS {
+                            Time::ZERO
+                        } else {
+                            let raw = ((new.deadline.ticks() as f64) * slack + 1e-6).floor() as u64;
+                            Time::new(raw).min(cap).min(new.deadline)
+                        };
+                        ctl.note_verdict(Rung::Threshold, !x.is_zero());
+                        Ok(x)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Budget-aware [`Self::record_response`]: when the verdict that
+    /// admitted `workload()[index]` came from below rung 1, the exact
+    /// response is unknown — record the minimal feasible TDA scheduling
+    /// point instead (a sound upper bound on the response), falling back to
+    /// the subtask's synthetic deadline, which is sound whenever the accept
+    /// itself was.
+    pub fn record_response_ctl(
+        &self,
+        proc: &mut ProcessorState,
+        index: usize,
+        ctl: &AnalysisControl,
+    ) -> Time {
+        match (self.is_exact(), ctl.last_rung()) {
+            (true, Rung::Tda) | (true, Rung::Threshold) => {
+                let w = proc.workload();
+                tda_response_bound(w, index).unwrap_or(w[index].deadline)
+            }
+            _ => self.record_response(proc, index),
+        }
+    }
+
+    fn count_decision(fits: bool) {
+        if rmts_obs::enabled() {
+            rmts_obs::count("core.admission.probes", 1);
+            rmts_obs::count(
+                if fits {
+                    "core.admission.admitted"
+                } else {
+                    "core.admission.rejected"
+                },
+                1,
+            );
+        }
+    }
+}
+
+/// The largest budget `X ≤ min(cap, Δ)` such that TDA admits the newcomer
+/// with budget `X`: a monotone binary search over metered TDA probes (rung 2
+/// of the ladder's `MaxSplit`). `X = 0` (place nothing) is the trivially
+/// sound floor and is never probed.
+fn tda_max_budget_metered(
+    workload: &[Subtask],
+    new: &NewcomerSpec,
+    cap: Time,
+    meter: &BudgetMeter,
+) -> Result<Time, AnalysisError> {
+    let mut lo = Time::ZERO;
+    let mut hi = cap.min(new.deadline);
+    while lo < hi {
+        // Midpoint biased upward so `lo` strictly advances.
+        let mid = Time::new((lo.ticks() + hi.ticks()).div_ceil(2));
+        let candidate = new.with_budget(mid, 1, SubtaskKind::Whole);
+        if tda_admits_metered(workload, &candidate, meter)? {
+            lo = mid;
+        } else {
+            hi = mid - Time::new(1);
+        }
+    }
+    Ok(lo)
 }
 
 #[cfg(test)]
@@ -338,7 +523,7 @@ mod tests {
     }
 
     #[test]
-    fn builder_steps_compose_and_shim_matches() {
+    fn builder_steps_compose() {
         let uncached = AdmissionPolicy::exact().uncached();
         assert_eq!(
             uncached,
@@ -361,9 +546,5 @@ mod tests {
         assert_eq!(thresh.uncached(), thresh);
         assert_eq!(thresh.cached(), thresh);
         assert_eq!(thresh.with_strategy(MaxSplitStrategy::BinarySearch), thresh);
-        // The deprecated shim stays decision-identical for one release.
-        #[allow(deprecated)]
-        let shim = AdmissionPolicy::exact_scratch();
-        assert_eq!(shim, uncached);
     }
 }

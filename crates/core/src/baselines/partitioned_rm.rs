@@ -146,6 +146,9 @@ impl Partitioner for PartitionedRm {
                 Some(q) => {
                     processors[q].push(candidate);
                     let mut plan = SplitPlan::new(*task, prio);
+                    // Invariant: strict partitioning never splits, so the
+                    // plan's full (positive) budget remains and sealing
+                    // cannot underflow the synthetic deadline.
                     plan.seal_tail(q, candidate.wcet)
                         .expect("whole task has positive budget");
                     plans.push(plan);

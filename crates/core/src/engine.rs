@@ -10,10 +10,12 @@
 //! allows.
 
 use crate::admission::AdmissionPolicy;
+use crate::ladder::AnalysisControl;
 use crate::processor::ProcessorState;
 use rmts_rta::budget::NewcomerSpec;
-use rmts_taskmodel::{ModelError, SplitPlan, SubtaskKind, TaskId, TaskSet};
+use rmts_taskmodel::{AnalysisError, ModelError, SplitPlan, SubtaskKind, TaskId, TaskSet};
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Processor selection rule for a phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,14 +32,45 @@ pub enum Select {
     SmallestIndexFirstFit,
 }
 
-/// A phase-level failure: some task's remaining budget can no longer be
-/// given a positive synthetic deadline.
+/// A phase-level failure: either some task's remaining budget can no longer
+/// be given a positive synthetic deadline, or the analysis budget ran out
+/// with degradation disabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineError {
-    /// The task whose split became infeasible.
+    /// The task whose placement failed.
     pub task: TaskId,
-    /// The underlying model error.
-    pub cause: ModelError,
+    /// What went wrong.
+    pub cause: EngineFault,
+}
+
+/// The underlying cause of an [`EngineError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineFault {
+    /// Synthetic deadline underflow (Eq. (1) left no positive deadline for
+    /// the next piece).
+    Model(ModelError),
+    /// The [`AnalysisBudget`](rmts_taskmodel::AnalysisBudget) was exhausted
+    /// and the control forbids degradation.
+    Budget(AnalysisError),
+}
+
+impl fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineFault::Model(e) => write!(f, "synthetic deadline underflow: {e}"),
+            EngineFault::Budget(e) => write!(f, "analysis budget exhausted: {e}"),
+        }
+    }
+}
+
+impl EngineError {
+    /// The typed analysis error, when the failure was budget exhaustion.
+    pub fn analysis(&self) -> Option<AnalysisError> {
+        match self.cause {
+            EngineFault::Budget(e) => Some(e),
+            EngineFault::Model(_) => None,
+        }
+    }
 }
 
 /// Builds the phase work queue: the given tasks in **increasing priority
@@ -80,6 +113,10 @@ pub fn pick_processor(
 /// `queue`; fully placed plans are appended to `sealed`. The phase ends
 /// when the queue is empty or no eligible processor remains non-full
 /// (leftover items stay in the queue for a later phase).
+///
+/// `ctl` carries the per-run analysis budget and degradation switch; with
+/// [`AnalysisControl::unlimited`] the phase is bit-identical to the
+/// historical unbudgeted engine.
 pub fn run_phase(
     processors: &mut [ProcessorState],
     eligible: &dyn Fn(&ProcessorState) -> bool,
@@ -87,15 +124,18 @@ pub fn run_phase(
     queue: &mut VecDeque<SplitPlan>,
     policy: &AdmissionPolicy,
     sealed: &mut Vec<SplitPlan>,
+    ctl: &AnalysisControl,
 ) -> Result<(), EngineError> {
     while !queue.is_empty() {
         let Some(q) = pick_processor(processors, &eligible, select) else {
             return Ok(()); // all eligible processors full; leftovers remain
         };
+        // Invariant: the loop guard checked `!queue.is_empty()`, so a front
+        // element exists (both here and at the `pop_front` below).
         let plan = queue.front_mut().expect("queue checked non-empty");
         let deadline = plan.next_deadline().map_err(|cause| EngineError {
             task: plan.task().id,
-            cause,
+            cause: EngineFault::Model(cause),
         })?;
         let spec = NewcomerSpec {
             parent: plan.task().id,
@@ -106,7 +146,13 @@ pub fn run_phase(
         let cap = plan.remaining();
         let seq = (plan.body_count() + 1) as u32;
         let proc = &mut processors[q];
-        if policy.fits_whole(proc, &spec, cap) {
+        let fits = policy
+            .fits_whole_ctl(proc, &spec, cap, ctl)
+            .map_err(|e| EngineError {
+                task: spec.parent,
+                cause: EngineFault::Budget(e),
+            })?;
+        if fits {
             // The entire remaining budget fits: this piece is the tail (or
             // the whole task if never split).
             let kind = if plan.is_split() {
@@ -115,25 +161,35 @@ pub fn run_phase(
                 SubtaskKind::Whole
             };
             proc.push(spec.with_budget(cap, seq, kind));
-            let response = policy.record_response(proc, proc.len() - 1);
+            let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
             plan.seal_tail(q, response).map_err(|cause| EngineError {
                 task: spec.parent,
-                cause,
+                cause: EngineFault::Model(cause),
             })?;
             sealed.push(queue.pop_front().expect("front exists"));
             rmts_obs::count("core.engine.whole_assignments", 1);
         } else {
             // MaxSplit: place the largest feasible first part, then close
             // the processor (Definition 3 guarantees a bottleneck exists).
-            let x = policy.max_budget(proc, &spec, cap);
-            debug_assert!(x < cap, "fits_whole was false, so x must be < cap");
+            let x = policy
+                .max_budget_ctl(proc, &spec, cap, ctl)
+                .map_err(|e| EngineError {
+                    task: spec.parent,
+                    cause: EngineFault::Budget(e),
+                })?;
+            // With a single operative test, `fits_whole == false` implies
+            // `x < cap`. Mixed-rung verdicts under a degrading budget can
+            // nominate `x == cap` (fits decided on one rung, the budget on a
+            // cheaper one); MaxSplit semantics require a strict split, so
+            // clamp — a no-op on the exact path.
+            let x = x.min(cap - rmts_taskmodel::Time::new(1));
             if !x.is_zero() {
                 proc.push(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
-                let response = policy.record_response(proc, proc.len() - 1);
+                let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
                 plan.push_body(x, q, response)
                     .map_err(|cause| EngineError {
                         task: spec.parent,
-                        cause,
+                        cause: EngineFault::Model(cause),
                     })?;
                 rmts_obs::count("core.engine.splits", 1);
             }
@@ -148,6 +204,7 @@ pub fn run_phase(
 mod tests {
     use super::*;
     use crate::processor::ProcessorRole;
+    use rmts_taskmodel::AnalysisBudget;
     use rmts_taskmodel::{TaskSetBuilder, Time};
 
     fn procs(n: usize) -> Vec<ProcessorState> {
@@ -266,6 +323,7 @@ mod tests {
             &mut q,
             &AdmissionPolicy::exact(),
             &mut sealed,
+            &AnalysisControl::unlimited(),
         )
         .unwrap();
         assert!(q.is_empty());
@@ -296,6 +354,7 @@ mod tests {
             &mut q,
             &AdmissionPolicy::exact(),
             &mut sealed,
+            &AnalysisControl::unlimited(),
         )
         .unwrap();
         assert!(q.is_empty());
@@ -310,6 +369,104 @@ mod tests {
             .map(|s| s.wcet.ticks())
             .sum();
         assert_eq!(placed, 15);
+    }
+
+    #[test]
+    fn iteration_starved_phase_degrades_to_tda() {
+        // A 0-iteration budget starves every RTA fixed point, but the TDA
+        // rung (own meter, no iteration cap) still answers exactly: the
+        // phase completes, labeled degraded, without touching rung 3.
+        let ts = TaskSetBuilder::new()
+            .task(6, 8)
+            .task(6, 8)
+            .task(3, 8)
+            .build()
+            .unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        let ctl = AnalysisControl::new(AnalysisBudget::unlimited().with_max_iterations(0), true);
+        run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+            &ctl,
+        )
+        .unwrap();
+        assert!(q.is_empty());
+        assert_eq!(sealed.len(), 3);
+        assert!(!ctl.exactness().is_exact());
+        let (tda, threshold, _) = ctl.ladder_counts();
+        assert!(tda > 0, "TDA must have produced the verdicts");
+        assert_eq!(threshold, 0, "rung 3 must not be reached");
+        // TDA decides the same predicate as RTA, so the split structure
+        // matches the exact run: one split task, full budget placed.
+        assert_eq!(sealed.iter().filter(|p| p.is_split()).count(), 1);
+        let placed: u64 = ps
+            .iter()
+            .flat_map(|p| p.workload())
+            .map(|s| s.wcet.ticks())
+            .sum();
+        assert_eq!(placed, 15);
+    }
+
+    #[test]
+    fn probe_starved_phase_lands_on_threshold() {
+        // A 0-probe budget starves rungs 1 and 2 (the TDA meter carries the
+        // probe cap); only the infallible Θ(n) threshold can answer.
+        let ts = TaskSetBuilder::new()
+            .task(1, 4)
+            .task(2, 8)
+            .task(4, 16)
+            .build()
+            .unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        let ctl = AnalysisControl::new(AnalysisBudget::unlimited().with_max_probes(0), true);
+        run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+            &ctl,
+        )
+        .unwrap();
+        assert!(q.is_empty(), "the light set passes the threshold test");
+        let (_, threshold, degraded_accepts) = ctl.ladder_counts();
+        assert!(threshold > 0);
+        assert!(degraded_accepts > 0);
+        assert!(!ctl.exactness().is_exact());
+    }
+
+    #[test]
+    fn budget_exhaustion_without_degrade_is_a_typed_error() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(2, 8).build().unwrap();
+        let mut ps = procs(2);
+        let mut q = queue_increasing_priority(&ts, |_| true);
+        let mut sealed = Vec::new();
+        let ctl = AnalysisControl::new(AnalysisBudget::unlimited().with_max_iterations(0), false);
+        let err = run_phase(
+            &mut ps,
+            &|_| true,
+            Select::WorstFit,
+            &mut q,
+            &AdmissionPolicy::exact(),
+            &mut sealed,
+            &ctl,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.cause,
+            EngineFault::Budget(rmts_taskmodel::AnalysisError::BudgetExhausted { .. })
+        ));
+        assert!(err.analysis().is_some());
+        assert!(err.cause.to_string().contains("budget exhausted"));
     }
 
     #[test]
@@ -331,6 +488,7 @@ mod tests {
             &mut q,
             &AdmissionPolicy::exact(),
             &mut sealed,
+            &AnalysisControl::unlimited(),
         )
         .unwrap();
         assert!(!q.is_empty(), "the third task cannot fit");

@@ -49,6 +49,7 @@ pub mod admission;
 pub mod audit;
 pub mod baselines;
 pub mod engine;
+pub mod ladder;
 pub mod maxsplit;
 pub mod overhead;
 pub mod partition;
@@ -58,6 +59,7 @@ pub mod rmts_light;
 
 pub use admission::AdmissionPolicy;
 pub use audit::{audit, AuditError};
+pub use ladder::{AnalysisControl, Exactness};
 pub use maxsplit::MaxSplitStrategy;
 pub use overhead::{inflate, overhead_tolerance, OverheadModel};
 #[allow(deprecated)]
@@ -68,3 +70,4 @@ pub use partition::{
 pub use processor::{ProcessorRole, ProcessorState};
 pub use rmts::RmTs;
 pub use rmts_light::RmTsLight;
+pub use rmts_taskmodel::{AnalysisBudget, AnalysisError, BudgetResource};

@@ -1,9 +1,10 @@
 //! Partition results, typed rejection diagnostics, and the `Partitioner`
 //! trait.
 
+use crate::ladder::Exactness;
 use crate::processor::{ProcessorRole, ProcessorState};
 use rmts_rta::{is_schedulable, response_time};
-use rmts_taskmodel::{SplitPlan, Subtask, TaskId, TaskSet, Time};
+use rmts_taskmodel::{AnalysisError, SplitPlan, Subtask, TaskId, TaskSet, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -16,15 +17,33 @@ pub struct Partition {
     /// Split history per task (only tasks that were actually split, plus
     /// pre-assigned/dedicated bookkeeping is visible via the processors).
     pub plans: BTreeMap<u32, SplitPlan>,
+    /// Whether every admission verdict came from exact analysis, or the
+    /// degradation ladder had to fall back under budget exhaustion.
+    pub exactness: Exactness,
 }
 
 impl Partition {
     /// Builds a partition from final processor states and sealed plans.
+    /// Labeled [`Exactness::Exact`]; budgeted partitioners re-label via
+    /// [`Partition::with_exactness`].
     pub fn new(processors: Vec<ProcessorState>, plans: Vec<SplitPlan>) -> Self {
         Partition {
             processors,
             plans: plans.into_iter().map(|p| (p.task().id.0, p)).collect(),
+            exactness: Exactness::Exact,
         }
+    }
+
+    /// Relabels the partition's exactness (budgeted partitioners call this
+    /// with the analysis control's verdict after the run).
+    pub fn with_exactness(mut self, exactness: Exactness) -> Self {
+        self.exactness = exactness;
+        self
+    }
+
+    /// `true` when every admission verdict came from exact analysis.
+    pub fn is_exact(&self) -> bool {
+        self.exactness.is_exact()
     }
 
     /// Number of processors.
@@ -260,6 +279,9 @@ pub struct PartitionReject {
     pub partial: Partition,
     /// Human-readable reason.
     pub reason: String,
+    /// The typed analysis error when the rejection was caused by budget
+    /// exhaustion (with degradation disabled), rather than by infeasibility.
+    pub analysis: Option<AnalysisError>,
 }
 
 impl PartitionReject {
@@ -286,7 +308,15 @@ impl PartitionReject {
             bottlenecks,
             partial,
             reason: reason.into(),
+            analysis: None,
         })
+    }
+
+    /// Attaches the typed analysis error behind a budget-exhaustion
+    /// rejection.
+    pub fn with_analysis(mut self: Box<Self>, e: Option<AnalysisError>) -> Box<Self> {
+        self.analysis = e;
+        self
     }
 }
 
@@ -299,6 +329,9 @@ impl fmt::Display for PartitionReject {
         )?;
         if let Some(task) = self.task {
             write!(f, "; rejected task: {}", task.0)?;
+        }
+        if let Some(e) = self.analysis {
+            write!(f, "; analysis: {e}")?;
         }
         write!(
             f,

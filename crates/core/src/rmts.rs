@@ -23,11 +23,12 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::engine::{queue_increasing_priority, run_phase, EngineError, Select};
+use crate::ladder::{AnalysisControl, Exactness};
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::{ProcessorRole, ProcessorState};
 use rmts_bounds::thresholds::{light_threshold, rmts_cap};
 use rmts_bounds::{ll_bound, LiuLayland, ParametricBound};
-use rmts_taskmodel::{Priority, SplitPlan, Subtask, Task, TaskId, TaskSet};
+use rmts_taskmodel::{AnalysisBudget, Priority, SplitPlan, Subtask, Task, TaskId, TaskSet};
 use std::collections::HashSet;
 
 /// Float tolerance for threshold classification.
@@ -46,6 +47,14 @@ pub struct RmTs<B = LiuLayland> {
     /// Apply the `2Θ/(1+Θ)` cap (Section V). On by default; experiments
     /// can disable it to study what breaks without it.
     pub apply_cap: bool,
+    /// Analysis budget for one `partition()` call. Unlimited by default.
+    pub budget: AnalysisBudget,
+    /// On budget exhaustion, walk the degradation ladder (RTA → TDA →
+    /// `Θ(n)` threshold) instead of rejecting with a typed error.
+    pub degrade: bool,
+    /// Fault-injection override for the ladder's rung-3 threshold (verify
+    /// harness only; `None` = the sound `Θ(n)` default).
+    pub degrade_theta: Option<f64>,
 }
 
 impl Default for RmTs<LiuLayland> {
@@ -54,6 +63,9 @@ impl Default for RmTs<LiuLayland> {
             bound: LiuLayland,
             policy: AdmissionPolicy::exact(),
             apply_cap: true,
+            budget: AnalysisBudget::unlimited(),
+            degrade: false,
+            degrade_theta: None,
         }
     }
 }
@@ -72,6 +84,9 @@ impl<B: ParametricBound> RmTs<B> {
             bound,
             policy: AdmissionPolicy::exact(),
             apply_cap: true,
+            budget: AnalysisBudget::unlimited(),
+            degrade: false,
+            degrade_theta: None,
         }
     }
 
@@ -79,6 +94,33 @@ impl<B: ParametricBound> RmTs<B> {
     pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Caps the analysis work of each `partition()` call.
+    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables (or disables) the degradation ladder on budget exhaustion.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Fault injection: overrides the ladder's rung-3 density threshold
+    /// (verify harness only).
+    pub fn with_degrade_theta(mut self, theta: f64) -> Self {
+        self.degrade_theta = Some(theta);
+        self
+    }
+
+    fn control(&self) -> AnalysisControl {
+        let ctl = AnalysisControl::new(self.budget, self.degrade);
+        match self.degrade_theta {
+            Some(theta) => ctl.with_theta_override(theta),
+            None => ctl,
+        }
     }
 
     /// The effective bound value `Λ(τ) = min(Λ'(τ), 2Θ/(1+Θ))`.
@@ -98,12 +140,13 @@ impl<B: ParametricBound> RmTs<B> {
         sealed: Vec<SplitPlan>,
         unassigned: Vec<TaskId>,
         reason: String,
+        exactness: Exactness,
     ) -> PartitionResult {
         Err(PartitionReject::new(
             phase,
             task,
             unassigned,
-            Partition::new(processors, sealed),
+            Partition::new(processors, sealed).with_exactness(exactness),
             reason,
         ))
     }
@@ -114,17 +157,22 @@ impl<B: ParametricBound> RmTs<B> {
         processors: Vec<ProcessorState>,
         sealed: Vec<SplitPlan>,
         queue_rest: Vec<TaskId>,
+        exactness: Exactness,
     ) -> PartitionResult {
         let mut unassigned = queue_rest;
         unassigned.push(e.task);
+        let reason = format!("placement of {} failed: {}", e.task, e.cause);
+        let analysis = e.analysis();
         Self::fail(
             phase,
             Some(e.task),
             processors,
             sealed,
             unassigned,
-            format!("synthetic deadline underflow for {}: {}", e.task, e.cause),
+            reason,
+            exactness,
         )
+        .map_err(|r| r.with_analysis(analysis))
     }
 
     /// Places `task` alone on processor `q` and returns its sealed plan.
@@ -139,6 +187,8 @@ impl<B: ParametricBound> RmTs<B> {
         let last = processors[q].len() - 1;
         let response = policy.record_response(&mut processors[q], last);
         let mut plan = SplitPlan::new(*task, prio);
+        // Invariant: a whole task was never split, so its full (positive)
+        // budget remains and seal_tail cannot underflow the deadline.
         plan.seal_tail(q, response)
             .expect("whole task always has positive remaining budget");
         plan
@@ -155,6 +205,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
 
     fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
+        let ctl = self.control();
         let theta = ll_bound(ts.len());
         let light_thr = light_threshold(theta);
         let lambda = self.effective_bound(ts);
@@ -182,6 +233,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                     sealed,
                     vec![task.id],
                     format!("no processor left to dedicate to {} (U > Λ)", task.id),
+                    ctl.exactness(),
                 );
             };
             sealed.push(Self::place_whole(
@@ -252,11 +304,19 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut queue,
                 &self.policy,
                 &mut sealed,
+                &ctl,
             )
         };
         if let Err(e) = phase2 {
             let rest = queue.iter().map(|p| p.task().id).collect();
-            return Self::engine_failure(PartitionPhase::AssignNormal, e, processors, sealed, rest);
+            return Self::engine_failure(
+                PartitionPhase::AssignNormal,
+                e,
+                processors,
+                sealed,
+                rest,
+                ctl.exactness(),
+            );
         }
 
         let phase3 = {
@@ -268,6 +328,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut queue,
                 &self.policy,
                 &mut sealed,
+                &ctl,
             )
         };
         if let Err(e) = phase3 {
@@ -278,11 +339,12 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 processors,
                 sealed,
                 rest,
+                ctl.exactness(),
             );
         }
 
         if queue.is_empty() {
-            Ok(Partition::new(processors, sealed))
+            Ok(Partition::new(processors, sealed).with_exactness(ctl.exactness()))
         } else {
             let rest: Vec<TaskId> = queue.iter().map(|p| p.task().id).collect();
             let head = rest.first().copied();
@@ -293,6 +355,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 sealed,
                 rest,
                 "all processors full with tasks remaining".to_string(),
+                ctl.exactness(),
             )
         }
     }
@@ -445,6 +508,26 @@ mod tests {
             .unwrap();
         let err = RmTs::new().partition(&ts, 2).unwrap_err();
         assert!(!err.unassigned.is_empty());
+    }
+
+    #[test]
+    fn iteration_starved_rmts_degrades_across_phases() {
+        // Heavy + light mix under a 0-iteration budget with degradation:
+        // pre-assignment is unmetered (O(1) placements on empty
+        // processors), the metered phases fall to TDA, and the result is
+        // labeled degraded but still passes exact verification.
+        let ts = TaskSetBuilder::new()
+            .task(3, 5)
+            .task(1, 10)
+            .build()
+            .unwrap();
+        let alg = RmTs::new()
+            .with_budget(AnalysisBudget::unlimited().with_max_iterations(0))
+            .with_degrade(true);
+        let part = alg.partition(&ts, 2).unwrap();
+        assert!(!part.is_exact());
+        assert!(part.covers(&ts));
+        assert!(part.verify_rta());
     }
 
     #[test]

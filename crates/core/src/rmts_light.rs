@@ -14,9 +14,10 @@
 use crate::admission::AdmissionPolicy;
 pub use crate::engine::Select as FitSelect;
 use crate::engine::{queue_increasing_priority, run_phase, Select};
+use crate::ladder::AnalysisControl;
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::ProcessorState;
-use rmts_taskmodel::TaskSet;
+use rmts_taskmodel::{AnalysisBudget, TaskSet};
 
 /// The RM-TS/light partitioning algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +29,14 @@ pub struct RmTsLight {
     /// Processor selection. The paper (and the utilization-bound proof)
     /// uses worst-fit; first-fit is exposed for the ABL-2 ablation only.
     pub select: Select,
+    /// Analysis budget for one `partition()` call. Unlimited by default.
+    pub budget: AnalysisBudget,
+    /// On budget exhaustion, walk the degradation ladder (RTA → TDA →
+    /// `Θ(n)` threshold) instead of rejecting with a typed error.
+    pub degrade: bool,
+    /// Fault-injection override for the ladder's rung-3 threshold (verify
+    /// harness only; `None` = the sound `Θ(n)` default).
+    pub degrade_theta: Option<f64>,
 }
 
 impl Default for RmTsLight {
@@ -35,6 +44,9 @@ impl Default for RmTsLight {
         RmTsLight {
             policy: AdmissionPolicy::exact(),
             select: Select::WorstFit,
+            budget: AnalysisBudget::unlimited(),
+            degrade: false,
+            degrade_theta: None,
         }
     }
 }
@@ -59,6 +71,34 @@ impl RmTsLight {
         self.select = select;
         self
     }
+
+    /// Caps the analysis work of each `partition()` call.
+    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables (or disables) the degradation ladder on budget exhaustion.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Fault injection: overrides the ladder's rung-3 density threshold.
+    /// `θ = 1.0` deliberately manufactures unsound degraded accepts for the
+    /// verify harness; production callers must leave this unset.
+    pub fn with_degrade_theta(mut self, theta: f64) -> Self {
+        self.degrade_theta = Some(theta);
+        self
+    }
+
+    fn control(&self) -> AnalysisControl {
+        let ctl = AnalysisControl::new(self.budget, self.degrade);
+        match self.degrade_theta {
+            Some(theta) => ctl.with_theta_override(theta),
+            None => ctl,
+        }
+    }
 }
 
 impl Partitioner for RmTsLight {
@@ -78,6 +118,7 @@ impl Partitioner for RmTsLight {
 
     fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
+        let ctl = self.control();
         let mut processors: Vec<ProcessorState> = (0..m).map(ProcessorState::new).collect();
         let mut queue = queue_increasing_priority(ts, |_| true);
         let mut sealed = Vec::with_capacity(ts.len());
@@ -90,31 +131,34 @@ impl Partitioner for RmTsLight {
                 &mut queue,
                 &self.policy,
                 &mut sealed,
+                &ctl,
             )
         };
         let mut unassigned: Vec<_> = queue.iter().map(|p| p.task().id).collect();
         let rejected = unassigned.first().copied();
-        let (rejected, reason) = match phase {
+        let (rejected, reason, analysis) = match phase {
             Err(e) => {
                 unassigned.push(e.task);
-                let reason = format!("synthetic deadline underflow for {}: {}", e.task, e.cause);
-                (Some(e.task), reason)
+                let reason = format!("placement of {} failed: {}", e.task, e.cause);
+                (Some(e.task), reason, e.analysis())
             }
             Ok(()) if unassigned.is_empty() => {
-                return Ok(Partition::new(processors, sealed));
+                return Ok(Partition::new(processors, sealed).with_exactness(ctl.exactness()));
             }
             Ok(()) => (
                 rejected,
                 "all processors full with tasks remaining".to_string(),
+                None,
             ),
         };
         Err(PartitionReject::new(
             PartitionPhase::AssignNormal,
             rejected,
             unassigned,
-            Partition::new(processors, sealed),
+            Partition::new(processors, sealed).with_exactness(ctl.exactness()),
             reason,
-        ))
+        )
+        .with_analysis(analysis))
     }
 }
 
@@ -253,5 +297,72 @@ mod tests {
     fn accepts_helper() {
         let ts = TaskSetBuilder::new().task(1, 4).build().unwrap();
         assert!(RmTsLight::new().accepts(&ts, 1));
+    }
+
+    #[test]
+    fn unlimited_budget_partitions_stay_labeled_exact() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(2, 8).build().unwrap();
+        let part = RmTsLight::new().partition(&ts, 2).unwrap();
+        assert!(part.is_exact());
+    }
+
+    #[test]
+    fn iteration_starved_partition_degrades_but_stays_sound() {
+        // The acceptance scenario: a 0-iteration RTA budget forces every
+        // admission verdict down the ladder, yet the partition completes,
+        // is labeled degraded, and still passes exact RTA verification
+        // (the TDA rung decides the same predicate as RTA).
+        let mut b = TaskSetBuilder::new();
+        for _ in 0..4 {
+            b = b.task(1, 4).task(2, 8);
+        }
+        let ts = b.build().unwrap();
+        let alg = RmTsLight::new()
+            .with_budget(rmts_taskmodel::AnalysisBudget::unlimited().with_max_iterations(0))
+            .with_degrade(true);
+        let part = alg.partition(&ts, 2).unwrap();
+        assert!(!part.is_exact(), "ladder must have been walked");
+        assert!(part.covers(&ts));
+        assert!(part.verify_rta(), "degraded accepts must stay sound");
+    }
+
+    #[test]
+    fn budget_exhaustion_without_degrade_is_a_typed_reject() {
+        let ts = TaskSetBuilder::new().task(1, 4).task(2, 8).build().unwrap();
+        let alg = RmTsLight::new()
+            .with_budget(rmts_taskmodel::AnalysisBudget::unlimited().with_max_iterations(0));
+        let err = alg.partition(&ts, 2).unwrap_err();
+        assert!(
+            err.analysis.is_some(),
+            "rejection must carry the typed error"
+        );
+        assert!(err.to_string().contains("analysis:"));
+    }
+
+    #[test]
+    fn zero_slack_tasks_at_the_ladder_boundary() {
+        // Zero-slack tasks (C = T, density exactly 1.0) sit exactly on the
+        // rung-3 boundary Θ(1) = 1.0: one is admitted per empty processor,
+        // a second is refused, and MaxSplit's density slack is non-positive
+        // so nothing is ever split. The run must terminate cleanly — the
+        // x == cap clamp and the Time::ZERO slack path are both exercised.
+        let ts = TaskSetBuilder::new()
+            .task(8, 8)
+            .task(8, 8)
+            .task(8, 8)
+            .build()
+            .unwrap();
+        let alg = RmTsLight::new()
+            .with_budget(rmts_taskmodel::AnalysisBudget::unlimited().with_max_probes(0))
+            .with_degrade(true);
+        let err = alg.partition(&ts, 2).unwrap_err();
+        assert_eq!(err.unassigned.len(), 1);
+        assert!(!err.partial.is_exact());
+        // Each processor hosts exactly one zero-slack task, unsplit.
+        for p in &err.partial.processors {
+            assert_eq!(p.len(), 1);
+            assert!((p.utilization() - 1.0).abs() < 1e-12);
+        }
+        assert!(err.partial.verify_rta(), "boundary accepts are sound");
     }
 }

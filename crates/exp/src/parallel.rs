@@ -5,16 +5,56 @@
 //! bit-identical regardless of worker count. Following the HPC guidance to
 //! parallelize at the coarsest grain with no shared mutable state, workers
 //! process contiguous chunks and the chunks are concatenated in order.
+//!
+//! Two entry points share the chunked runner:
+//!
+//! * [`parallel_map`] — the strict mapper: a panicking trial propagates and
+//!   aborts the whole map (the historical behavior).
+//! * [`parallel_map_isolated`] — the campaign-grade mapper: each trial runs
+//!   under `catch_unwind`, a panic costs only that trial's result, and the
+//!   faults come back as data ([`TrialFault`]) so a long campaign survives
+//!   one poisoned input and can report exactly which trial died. Because
+//!   trials share no mutable state, a panicked trial cannot leave broken
+//!   state behind for its neighbors — which is what makes the
+//!   `AssertUnwindSafe` below sound.
 
 use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Maps `f` over `0..trials` using all available cores; the result vector
-/// is in trial order. `f` must be deterministic in its argument for
-/// reproducibility (give it a derived RNG, not a shared one).
-pub fn parallel_map<T, F>(trials: u64, f: F) -> Vec<T>
+/// A trial that panicked instead of returning: its index plus the panic
+/// payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialFault {
+    /// The trial index that panicked.
+    pub trial: u64,
+    /// The panic payload (`&str`/`String` payloads verbatim; anything else
+    /// is labeled opaque).
+    pub payload: String,
+}
+
+impl std::fmt::Display for TrialFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} panicked: {}", self.trial, self.payload)
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The shared chunked runner: maps `g` over `0..trials` on all cores,
+/// results in trial order.
+fn run_chunked<T, G>(trials: u64, g: &G) -> Vec<T>
 where
     T: Send,
-    F: Fn(u64) -> T + Sync,
+    G: Fn(u64) -> T + Sync,
 {
     if trials == 0 {
         return Vec::new();
@@ -25,17 +65,16 @@ where
         .min(trials as usize)
         .max(1);
     if workers == 1 {
-        return (0..trials).map(f).collect();
+        return (0..trials).map(g).collect();
     }
     let chunk = trials.div_ceil(workers as u64);
-    let f = &f;
     thread::scope(|s| {
         let handles: Vec<_> = (0..workers as u64)
             .map(|w| {
                 s.spawn(move |_| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(trials);
-                    (lo..hi).map(f).collect::<Vec<T>>()
+                    (lo..hi).map(g).collect::<Vec<T>>()
                 })
             })
             .collect();
@@ -46,6 +85,58 @@ where
         out
     })
     .expect("scope panicked")
+}
+
+/// Maps `f` over `0..trials` using all available cores; the result vector
+/// is in trial order. `f` must be deterministic in its argument for
+/// reproducibility (give it a derived RNG, not a shared one). A panicking
+/// trial propagates the panic to the caller.
+pub fn parallel_map<T, F>(trials: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let (results, faults) = parallel_map_isolated(trials, f);
+    if let Some(fault) = faults.first() {
+        std::panic::resume_unwind(Box::new(fault.to_string()));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("no faults were recorded"))
+        .collect()
+}
+
+/// Panic-isolated [`parallel_map`]: every trial runs to completion even if
+/// some panic. Returns the results in trial order (`None` exactly for the
+/// panicked trials) plus the ordered fault list. Non-faulted trials are
+/// bit-identical to what the strict mapper would have produced — isolation
+/// adds a `catch_unwind` frame, nothing else.
+pub fn parallel_map_isolated<T, F>(trials: u64, f: F) -> (Vec<Option<T>>, Vec<TrialFault>)
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let f = &f;
+    let guarded = move |i: u64| -> Result<T, TrialFault> {
+        // Sound because trials share no mutable state: a panicked trial can
+        // poison nothing but its own (discarded) result.
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| TrialFault {
+            trial: i,
+            payload: panic_text(p.as_ref()),
+        })
+    };
+    let mut faults = Vec::new();
+    let results = run_chunked(trials, &guarded)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Some(v),
+            Err(fault) => {
+                faults.push(fault);
+                None
+            }
+        })
+        .collect();
+    (results, faults)
 }
 
 #[cfg(test)]
@@ -78,5 +169,73 @@ mod tests {
         use rmts_gen::trial_rng;
         let run = || parallel_map(64, |t| trial_rng(5, t).gen::<u64>());
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn isolated_map_survives_a_panicking_trial() {
+        let (results, faults) = parallel_map_isolated(100, |i| {
+            if i == 37 {
+                panic!("injected fault at {i}");
+            }
+            i * 3
+        });
+        assert_eq!(results.len(), 100);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].trial, 37);
+        assert!(faults[0].payload.contains("injected fault at 37"));
+        for (i, r) in results.iter().enumerate() {
+            if i == 37 {
+                assert!(r.is_none());
+            } else {
+                assert_eq!(*r, Some(i as u64 * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_is_deterministic_on_non_faulted_trials() {
+        use rand::Rng;
+        use rmts_gen::trial_rng;
+        let run = || {
+            parallel_map_isolated(64, |t| {
+                if t % 17 == 3 {
+                    panic!("boom");
+                }
+                trial_rng(5, t).gen::<u64>()
+            })
+        };
+        let (r1, f1) = run();
+        let (r2, f2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), 4); // trials 3, 20, 37, 54
+    }
+
+    #[test]
+    fn strict_map_propagates_the_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(8, |i| {
+                if i == 5 {
+                    panic!("dead trial");
+                }
+                i
+            })
+        });
+        let payload = caught.unwrap_err();
+        let text = payload
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(text.contains("trial 5 panicked"), "{text}");
+        assert!(text.contains("dead trial"));
+    }
+
+    #[test]
+    fn fault_renders_readably() {
+        let f = TrialFault {
+            trial: 9,
+            payload: "x".into(),
+        };
+        assert_eq!(f.to_string(), "trial 9 panicked: x");
     }
 }

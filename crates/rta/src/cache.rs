@@ -28,7 +28,7 @@
 use crate::budget::NewcomerSpec;
 use crate::rta::{fixed_point_from, interference};
 use crate::tda::scheduling_points_into;
-use rmts_taskmodel::{Subtask, Time};
+use rmts_taskmodel::{AnalysisError, BudgetMeter, Subtask, Time};
 
 /// Local tally of one probe (or probe batch): accumulated in plain stack
 /// integers on the hot path and flushed to `rmts-obs` in one step, so a
@@ -62,6 +62,12 @@ impl ProbeTally {
     #[inline]
     fn miss(&mut self) {
         self.probes += 1;
+    }
+
+    /// Number of full fixed-point evaluations this tally saw (misses).
+    #[inline]
+    fn fixed_points(&self) -> u64 {
+        self.probes - self.hits
     }
 
     fn flush(&self) {
@@ -220,6 +226,9 @@ impl RtaCache {
                 for (i, &r) in memo.resp[1..].iter().enumerate() {
                     let k = pos + 1 + i;
                     let me = self.sorted[k];
+                    // Invariant: the memo exists only after a *successful*
+                    // probe, which proved every affected subtask meets its
+                    // deadline — so no cached response below `pos` is None.
                     let prev = self.resp[k].expect("probe succeeded, so no prior miss");
                     let old_safe = self.safe[k];
                     // If the memoized fixed point is exactly the O(1) demand
@@ -378,13 +387,44 @@ impl RtaCache {
     /// them in instead of re-deriving them. Verdicts are bit-identical to
     /// [`Self::probe`].
     pub fn probe_remember(&mut self, new: &NewcomerSpec, x: Time) -> bool {
+        let mut tally = ProbeTally::default();
+        let ok = self.probe_remember_counted(new, x, &mut tally);
+        tally.flush();
+        ok
+    }
+
+    /// Budget-aware [`Self::probe_remember`]: charges one probe up front
+    /// (which also reads the wall clock) and the probe's fixed-point
+    /// evaluations as iterations once the verdict is known. Every single
+    /// evaluation is deadline-bounded, so post-charging still bounds the
+    /// total work of a budgeted partitioning run while keeping the
+    /// memoized fast path bit-identical to the unmetered one.
+    pub fn probe_remember_metered(
+        &mut self,
+        new: &NewcomerSpec,
+        x: Time,
+        meter: &BudgetMeter,
+    ) -> Result<bool, AnalysisError> {
+        meter.charge_probe()?;
+        let mut tally = ProbeTally::default();
+        let ok = self.probe_remember_counted(new, x, &mut tally);
+        tally.flush();
+        meter.charge_iterations(tally.fixed_points())?;
+        Ok(ok)
+    }
+
+    /// [`Self::probe_remember`] body with the tally accumulated locally.
+    fn probe_remember_counted(
+        &mut self,
+        new: &NewcomerSpec,
+        x: Time,
+        tally: &mut ProbeTally,
+    ) -> bool {
         let mut warm = WarmProbe::default();
         if let Some(old) = self.memo.take() {
             warm.scratch = old.resp; // reuse the allocation
         }
-        let mut tally = ProbeTally::default();
-        let ok = self.probe_warm(new, x, &mut warm, &mut tally);
-        tally.flush();
+        let ok = self.probe_warm(new, x, &mut warm, tally);
         if ok {
             self.memo = Some(ProbeMemo {
                 priority: new.priority,
@@ -414,6 +454,26 @@ impl RtaCache {
         tally.flush();
         rmts_obs::count("rta.maxsplit.bsearch_iters", iters);
         out
+    }
+
+    /// Budget-aware [`Self::max_budget_bsearch`]: one probe charge for the
+    /// search plus one iteration charge per fixed-point evaluation across
+    /// all of its warm-started probes (same post-charge rationale as
+    /// [`Self::probe_remember_metered`]).
+    pub fn max_budget_bsearch_metered(
+        &self,
+        new: &NewcomerSpec,
+        cap: Time,
+        meter: &BudgetMeter,
+    ) -> Result<Time, AnalysisError> {
+        meter.charge_probe()?;
+        let mut tally = ProbeTally::default();
+        let mut iters = 0u64;
+        let out = self.max_budget_bsearch_counted(new, cap, &mut tally, &mut iters);
+        tally.flush();
+        rmts_obs::count("rta.maxsplit.bsearch_iters", iters);
+        meter.charge_iterations(tally.fixed_points())?;
+        Ok(out)
     }
 
     fn max_budget_bsearch_counted(
@@ -465,6 +525,8 @@ impl RtaCache {
         // (responses are monotone in the budget).
         let seeded = !warm.resp.is_empty() && x >= warm.x;
         let dx = if seeded {
+            // Invariant: `seeded` is true only under `x >= warm.x` (checked
+            // two lines up), so the subtraction cannot underflow.
             x.checked_sub(warm.x).expect("seeded probe budgets ascend")
         } else {
             Time::ZERO

@@ -54,8 +54,18 @@ pub mod rta;
 pub mod sensitivity;
 pub mod tda;
 
-pub use budget::{max_admissible_budget, max_admissible_budget_bsearch, NewcomerSpec};
+pub use budget::{
+    admits_budget_metered, max_admissible_budget, max_admissible_budget_bsearch,
+    max_admissible_budget_metered, NewcomerSpec,
+};
 pub use cache::RtaCache;
-pub use rta::{is_schedulable, response_time, response_times};
+pub use rta::{
+    is_schedulable, is_schedulable_metered, response_time, response_time_metered, response_times,
+};
 pub use sensitivity::{scaling_factor, wcet_slack};
-pub use tda::{tda_schedulable, tda_task_schedulable};
+pub use tda::{tda_admits_metered, tda_response_bound, tda_schedulable, tda_task_schedulable};
+
+// The budget/error vocabulary lives in `rmts-taskmodel` (the shared base
+// crate) so `rmts-sim` can use it without depending on this crate; re-export
+// it here because analysis callers reach for it alongside the metered APIs.
+pub use rmts_taskmodel::{AnalysisBudget, AnalysisError, BudgetMeter, BudgetResource};

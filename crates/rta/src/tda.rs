@@ -17,7 +17,7 @@
 //! admissible-budget computation in [`crate::budget`].
 
 use crate::rta::interference;
-use rmts_taskmodel::{Subtask, Time};
+use rmts_taskmodel::{AnalysisError, BudgetMeter, Subtask, Time};
 
 /// Enumerates the scheduling points for a deadline `d` and a set of
 /// higher-priority periods: all multiples of each period in `(0, d]`, plus
@@ -87,6 +87,97 @@ pub fn tda_schedulable(workload: &[Subtask]) -> bool {
     (0..workload.len()).all(|i| tda_task_schedulable(workload, i))
 }
 
+/// A sound upper bound on the response time of `workload[index]`, or
+/// `None` if no scheduling point `t ≤ Δ` satisfies `W(t) ≤ t` (the subtask
+/// misses its deadline). At the first such point the bound returned is
+/// `W(t)` itself, not `t`: since `W` is monotone, `W(t) ≤ t` gives
+/// `W(W(t)) ≤ W(t)`, so `W(t)` is a prefixed point and the exact response
+/// `R` (the *least* fixed point) satisfies `R ≤ W(t) ≤ t ≤ Δ`. The
+/// tightening matters downstream: the degradation ladder records this
+/// value as the body response feeding Eq. (1) synthetic deadlines, and
+/// returning `t` (often `Δ` exactly) would zero out the tail's deadline.
+pub fn tda_response_bound(workload: &[Subtask], index: usize) -> Option<Time> {
+    let me = &workload[index];
+    if me.wcet > me.deadline {
+        return None;
+    }
+    let hp: Vec<(Time, Time)> = workload
+        .iter()
+        .enumerate()
+        .filter(|&(j, s)| j != index && s.priority.is_higher_than(me.priority))
+        .map(|(_, s)| (s.wcet, s.period))
+        .collect();
+    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
+    scheduling_points(me.deadline, &periods)
+        .into_iter()
+        .map(|t| (t, time_demand(me.wcet, &hp, t)))
+        .find(|&(t, w)| w <= t)
+        .map(|(_, w)| w)
+}
+
+/// Budget-aware [`tda_feasible`]: charges one iteration per scheduling
+/// point evaluated, so a starved meter turns the point sweep into a typed
+/// [`AnalysisError`].
+pub fn tda_feasible_metered(
+    c: Time,
+    deadline: Time,
+    hp: &[(Time, Time)],
+    meter: &BudgetMeter,
+) -> Result<bool, AnalysisError> {
+    if c > deadline {
+        return Ok(false);
+    }
+    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
+    for t in scheduling_points(deadline, &periods) {
+        meter.charge_iterations(1)?;
+        if time_demand(c, hp, t) <= t {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Budget-aware [`tda_task_schedulable`].
+pub fn tda_task_schedulable_metered(
+    workload: &[Subtask],
+    index: usize,
+    meter: &BudgetMeter,
+) -> Result<bool, AnalysisError> {
+    let me = &workload[index];
+    let hp: Vec<(Time, Time)> = workload
+        .iter()
+        .enumerate()
+        .filter(|&(j, s)| j != index && s.priority.is_higher_than(me.priority))
+        .map(|(_, s)| (s.wcet, s.period))
+        .collect();
+    tda_feasible_metered(me.wcet, me.deadline, &hp, meter)
+}
+
+/// TDA admission probe: would `workload ∪ {newcomer}` stay schedulable?
+/// Checks the newcomer plus every subtask the newcomer can preempt (tasks
+/// of strictly higher priority are unaffected by the insertion). This is
+/// the degradation ladder's second rung — the same exact criterion as RTA,
+/// implemented independently, with its own budget accounting: one probe
+/// charge per call, one iteration charge per scheduling point.
+pub fn tda_admits_metered(
+    workload: &[Subtask],
+    newcomer: &Subtask,
+    meter: &BudgetMeter,
+) -> Result<bool, AnalysisError> {
+    meter.charge_probe()?;
+    let mut combined: Vec<Subtask> = Vec::with_capacity(workload.len() + 1);
+    combined.extend(workload.iter().copied());
+    combined.push(*newcomer);
+    let new_index = combined.len() - 1;
+    for i in 0..combined.len() {
+        let affected = i == new_index || !combined[i].priority.is_higher_than(newcomer.priority);
+        if affected && !tda_task_schedulable_metered(&combined, i, meter)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +230,41 @@ mod tests {
         let hp = [(Time::new(2), Time::new(4))];
         assert!(tda_feasible(Time::new(2), Time::new(4), &hp));
         assert!(!tda_feasible(Time::new(3), Time::new(4), &hp));
+    }
+
+    #[test]
+    fn metered_tda_matches_exact_and_exhausts_when_starved() {
+        use rmts_taskmodel::AnalysisBudget;
+        let w = [sub(0, 0, 1, 4, 4), sub(1, 1, 2, 6, 6)];
+        let newcomer = sub(2, 2, 3, 12, 12);
+        let meter = BudgetMeter::unlimited();
+        assert_eq!(tda_admits_metered(&w, &newcomer, &meter), Ok(true));
+        let starved = AnalysisBudget::unlimited().with_max_iterations(0).start();
+        assert!(tda_admits_metered(&w, &newcomer, &starved).is_err());
+        let probeless = AnalysisBudget::unlimited().with_max_probes(0).start();
+        assert!(tda_admits_metered(&w, &newcomer, &probeless).is_err());
+    }
+
+    #[test]
+    fn response_bound_dominates_exact_response() {
+        let w = [sub(0, 0, 1, 4, 4), sub(1, 1, 2, 6, 6), sub(2, 2, 3, 12, 12)];
+        for i in 0..w.len() {
+            let exact = response_time(&w, i).unwrap();
+            let bound = tda_response_bound(&w, i).unwrap();
+            assert!(bound >= exact, "index {i}: bound {bound} < exact {exact}");
+            assert!(bound <= w[i].deadline);
+        }
+        // An unschedulable subtask has no bound.
+        let bad = [sub(0, 0, 2, 4, 4), sub(1, 1, 3, 6, 6)];
+        assert_eq!(tda_response_bound(&bad, 1), None);
+    }
+
+    #[test]
+    fn metered_tda_rejects_infeasible_newcomer() {
+        let w = [sub(0, 0, 2, 4, 4)];
+        let newcomer = sub(1, 1, 3, 6, 6);
+        let meter = BudgetMeter::unlimited();
+        assert_eq!(tda_admits_metered(&w, &newcomer, &meter), Ok(false));
     }
 
     proptest! {

@@ -1,8 +1,8 @@
 //! Shared simulation plumbing: task chains, horizons, job bookkeeping.
 
 use crate::check::{DeadlineMiss, SimReport, DEFAULT_HORIZON_CAP};
-use rmts_taskmodel::time::lcm;
-use rmts_taskmodel::{Priority, Subtask, TaskId, Time};
+use rmts_taskmodel::time::checked_lcm;
+use rmts_taskmodel::{AnalysisError, Priority, Subtask, TaskId, Time};
 
 /// One stage of a task's execution: a subtask pinned to a processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,15 +83,53 @@ pub fn build_chains(workloads: &[&[Subtask]]) -> Vec<TaskChain> {
     chains
 }
 
-/// The simulation horizon: one hyperperiod of the chains, capped.
+/// The exact hyperperiod of the chains, or `None` on `u64` overflow
+/// (adversarial coprime periods).
+pub fn checked_hyperperiod_of(chains: &[TaskChain]) -> Option<Time> {
+    chains
+        .iter()
+        .try_fold(1u64, |acc, c| checked_lcm(acc, c.period.ticks()))
+        .map(Time::new)
+}
+
+/// The simulation horizon: one hyperperiod of the chains, capped at
+/// [`DEFAULT_HORIZON_CAP`]. When the exact hyperperiod overflows `u64`
+/// the cap is used — an *explicit* fallback (counted as
+/// `sim.horizon.capped`, with overflow additionally flagged as
+/// `sim.horizon.overflowed`) rather than a silently saturated `lcm`.
+/// Callers that must not settle for a partial horizon use
+/// [`checked_horizon_for`] instead.
 pub fn horizon_for(chains: &[TaskChain], requested: Option<Time>) -> Time {
     if let Some(h) = requested {
         return h;
     }
-    let hyper = chains
-        .iter()
-        .fold(1u64, |acc, c| lcm(acc, c.period.ticks()));
-    Time::new(hyper.min(DEFAULT_HORIZON_CAP))
+    match checked_hyperperiod_of(chains) {
+        Some(hyper) if hyper.ticks() <= DEFAULT_HORIZON_CAP => hyper,
+        overflow_or_huge => {
+            if overflow_or_huge.is_none() {
+                rmts_obs::count("sim.horizon.overflowed", 1);
+            }
+            rmts_obs::count("sim.horizon.capped", 1);
+            Time::new(DEFAULT_HORIZON_CAP)
+        }
+    }
+}
+
+/// Strict horizon selection: the requested horizon, or the exact
+/// hyperperiod if it fits in `u64`, else a typed
+/// [`AnalysisError::HorizonOverflow`] naming the cap a caller would have
+/// to settle for. Use this when "one full hyperperiod" is a soundness
+/// requirement, not a convenience.
+pub fn checked_horizon_for(
+    chains: &[TaskChain],
+    requested: Option<Time>,
+) -> Result<Time, AnalysisError> {
+    if let Some(h) = requested {
+        return Ok(h);
+    }
+    checked_hyperperiod_of(chains).ok_or(AnalysisError::HorizonOverflow {
+        cap: DEFAULT_HORIZON_CAP,
+    })
 }
 
 /// Mutable per-task job state during a run.
@@ -268,5 +306,50 @@ mod tests {
         ];
         let chains = build_chains(&[&w0]);
         assert_eq!(horizon_for(&chains, None), Time::new(DEFAULT_HORIZON_CAP));
+    }
+
+    /// Three large pairwise-coprime periods whose lcm overflows `u64`.
+    fn overflow_chains() -> Vec<TaskChain> {
+        let w0 = vec![
+            whole(0, 0, 1, 999_999_937),
+            whole(1, 1, 1, 999_999_893),
+            whole(2, 2, 1, 999_999_883),
+        ];
+        build_chains(&[&w0])
+    }
+
+    #[test]
+    fn hyperperiod_overflow_detected_and_capped_loudly() {
+        let chains = overflow_chains();
+        assert_eq!(checked_hyperperiod_of(&chains), None);
+        // The permissive selector falls back to the cap, and says so.
+        let rec = rmts_obs::Recording::start();
+        assert_eq!(horizon_for(&chains, None), Time::new(DEFAULT_HORIZON_CAP));
+        let snap = rec.finish();
+        assert_eq!(snap.counter("sim.horizon.capped"), 1);
+        assert_eq!(snap.counter("sim.horizon.overflowed"), 1);
+    }
+
+    #[test]
+    fn checked_horizon_returns_typed_overflow() {
+        let chains = overflow_chains();
+        assert_eq!(
+            checked_horizon_for(&chains, None),
+            Err(AnalysisError::HorizonOverflow {
+                cap: DEFAULT_HORIZON_CAP
+            })
+        );
+        // An explicit request is honored regardless of the hyperperiod.
+        assert_eq!(
+            checked_horizon_for(&chains, Some(Time::new(64))),
+            Ok(Time::new(64))
+        );
+        // A merely *huge* (non-overflowing) hyperperiod is still exact.
+        let w0 = vec![whole(0, 0, 1, 999_999_937), whole(1, 1, 1, 2)];
+        let big = build_chains(&[&w0]);
+        assert_eq!(
+            checked_horizon_for(&big, None),
+            Ok(Time::new(2 * 999_999_937))
+        );
     }
 }

@@ -83,6 +83,8 @@ pub fn simulate_global(ts: &TaskSet, m: usize, config: SimConfig) -> SimReport {
 
         let mut t_next = Time::MAX;
         for &i in &running {
+            // Invariant: `running` is rebuilt each step from chains whose
+            // `active` is `Some` (the scheduler picks among active jobs).
             let (_, _, rem) = st[i].active.expect("running jobs are active");
             t_next = t_next.min(now + rem);
         }
@@ -160,10 +162,13 @@ pub fn dhall_adversary(m: usize, period: u64, epsilon: u64) -> TaskSet {
     assert!(m >= 1 && epsilon >= 1 && period > 2 * epsilon);
     let mut tasks = Vec::with_capacity(m + 1);
     for i in 0..m {
+        // Invariant: the assert above guarantees 0 < 2ε < T, a valid task.
         tasks.push(Task::from_ticks(i as u32, 2 * epsilon, period).unwrap());
     }
     // The long task: period just above the short ones so it gets the lowest
     // RM priority, and C = period (it needs a whole processor's worth).
+    // Invariant: 0 < T ≤ T+ε and the ids 0..=m are distinct, so both the
+    // task and the set construction are infallible here.
     tasks.push(Task::from_ticks(m as u32, period, period + epsilon).unwrap());
     TaskSet::new(tasks).unwrap()
 }

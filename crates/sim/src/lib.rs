@@ -44,6 +44,7 @@ pub mod reference;
 pub mod trace;
 
 pub use check::{DeadlineMiss, ReleaseModel, ResponseStats, SimConfig, SimReport};
+pub use engine::{checked_horizon_for, checked_hyperperiod_of, horizon_for};
 pub use global::simulate_global;
 pub use partitioned::{simulate_partitioned, simulate_partitioned_traced};
 pub use reference::simulate_reference;

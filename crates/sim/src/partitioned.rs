@@ -126,6 +126,8 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
         if let Some(tr) = trace.as_deref_mut() {
             for q in 0..n_proc {
                 let occupant = top[q].map(|ci| {
+                    // Invariant: `top[q]` only ever holds chains selected
+                    // from the ready set, whose `active` is `Some`.
                     let stage = jobs[ci].active.as_ref().expect("running is active").stage;
                     (ci, stage)
                 });
@@ -152,6 +154,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
         // Next event: earliest stage completion or job release.
         let mut t_next = Time::MAX;
         for ci in top.iter().flatten() {
+            // Invariant: see above — `top` holds ready (active) chains only.
             let rem = jobs[*ci]
                 .active
                 .as_ref()
@@ -176,6 +179,7 @@ fn run(workloads: &[&[Subtask]], config: SimConfig, mut trace: Option<&mut Trace
         // Advance the running stages.
         if !dt.is_zero() {
             for ci in top.iter().flatten() {
+                // Invariant: see above — `top` holds active chains only.
                 let active = jobs[*ci].active.as_mut().expect("running is active");
                 active.remaining = active.remaining.saturating_sub(dt);
             }

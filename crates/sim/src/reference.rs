@@ -101,6 +101,8 @@ pub fn simulate_reference(workloads: &[&[Subtask]], config: SimConfig) -> SimRep
             prev_running[q] = chosen[q];
         }
         for ci in chosen.into_iter().flatten() {
+            // Invariant: `chosen` is filled from chains with `active` jobs
+            // whose current stage is on this processor.
             let (job, released, stage, remaining) =
                 st[ci].active.expect("chosen chains are active");
             let remaining = remaining - Time::new(1);

@@ -1,0 +1,326 @@
+//! Analysis budgets and typed analysis failures.
+//!
+//! Every non-trivial analysis in the workspace — the RTA fixed point, TDA
+//! over scheduling points, MaxSplit probing, hyperperiod simulation — is
+//! pseudo-polynomial or worse, so a hostile (or merely unlucky) input can
+//! make "run the exact analysis" take arbitrarily long. An
+//! [`AnalysisBudget`] lets the caller put a box around that work: a
+//! wall-clock deadline, caps on fixed-point iterations and admission
+//! probes, and a cap on how far a simulation may run. When the box is
+//! exceeded the analysis returns a typed [`AnalysisError`] instead of
+//! hanging, and budget-aware callers (the partitioner's degradation
+//! ladder) can fall back to a cheaper, still-sound test.
+//!
+//! The budget itself is a plain value (a *spec*); arming it with
+//! [`AnalysisBudget::start`] produces a [`BudgetMeter`] that carries the
+//! mutable remaining-allowance state plus the absolute wall-clock deadline
+//! for this particular run. Keeping the two separate means a partitioner
+//! can hold a budget across calls without a stale `Instant` leaking from
+//! one `partition()` invocation into the next.
+//!
+//! Charging is deliberately coarse-grained: iteration charges are batched
+//! by the caller (one charge per fixed-point step or per block of
+//! scheduling points), and the wall clock is consulted only every
+//! `CLOCK_STRIDE` (256) iteration charges and on every probe charge, so
+//! an unlimited meter costs a `Cell` load and a compare on the hot path.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many iteration charges elapse between wall-clock reads. Probe
+/// charges (admission-level granularity) always read the clock.
+const CLOCK_STRIDE: u32 = 256;
+
+/// Which budget dimension ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetResource {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The fixed-point / scheduling-point iteration cap was consumed.
+    Iterations,
+    /// The admission-probe cap was consumed.
+    Probes,
+}
+
+impl BudgetResource {
+    /// Stable short label (obs counter suffixes, degradation reasons).
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetResource::WallClock => "wall-clock",
+            BudgetResource::Iterations => "iterations",
+            BudgetResource::Probes => "probes",
+        }
+    }
+}
+
+/// A typed analysis failure: the analysis did not produce an answer, and
+/// here is exactly why. Distinct from a *negative* answer ("not
+/// schedulable") — an `AnalysisError` means the question was not decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalysisError {
+    /// The [`AnalysisBudget`] was exhausted before the analysis converged.
+    BudgetExhausted {
+        /// The dimension that ran out.
+        resource: BudgetResource,
+    },
+    /// An exact horizon (hyperperiod) does not fit in `u64`, so "simulate
+    /// one full hyperperiod" is not a meaningful request.
+    HorizonOverflow {
+        /// The cap the caller would have to settle for instead.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BudgetExhausted { resource } => {
+                write!(f, "analysis budget exhausted ({})", resource.label())
+            }
+            AnalysisError::HorizonOverflow { cap } => {
+                write!(f, "hyperperiod overflows u64; capped horizon is {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// A caller-set box around analysis work. `Default` is unlimited; builder
+/// setters tighten individual dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisBudget {
+    /// Wall-clock allowance for one analysis run (one `partition()` call).
+    pub deadline: Option<Duration>,
+    /// Cap on fixed-point iterations / scheduling-point evaluations.
+    pub max_iterations: Option<u64>,
+    /// Cap on admission probes (one probe = one schedulability question).
+    pub max_probes: Option<u64>,
+    /// Cap on simulation horizons derived under this budget.
+    pub horizon_cap: Option<u64>,
+}
+
+impl AnalysisBudget {
+    /// The budget that never exhausts (identical to `Default`).
+    pub fn unlimited() -> Self {
+        AnalysisBudget::default()
+    }
+
+    /// True iff no dimension is capped.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_iterations.is_none()
+            && self.max_probes.is_none()
+            && self.horizon_cap.is_none()
+    }
+
+    /// Caps wall-clock time for one analysis run.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Caps fixed-point / scheduling-point iterations.
+    pub fn with_max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Caps admission probes.
+    pub fn with_max_probes(mut self, n: u64) -> Self {
+        self.max_probes = Some(n);
+        self
+    }
+
+    /// Caps simulation horizons.
+    pub fn with_horizon_cap(mut self, n: u64) -> Self {
+        self.horizon_cap = Some(n);
+        self
+    }
+
+    /// Arms the budget for one analysis run: fixes the absolute wall-clock
+    /// deadline *now* and loads the remaining-allowance counters.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            deadline: self.deadline.map(|d| Instant::now() + d),
+            iters_left: Cell::new(self.max_iterations.unwrap_or(u64::MAX)),
+            probes_left: Cell::new(self.max_probes.unwrap_or(u64::MAX)),
+            clock_stride: Cell::new(0),
+            horizon_cap: self.horizon_cap,
+        }
+    }
+}
+
+/// The armed, run-scoped form of an [`AnalysisBudget`]: remaining
+/// allowances plus the absolute deadline. Interior mutability (`Cell`)
+/// lets one meter be threaded by shared reference through deep call
+/// chains; meters are per-thread by construction and are never shared
+/// across threads.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    deadline: Option<Instant>,
+    iters_left: Cell<u64>,
+    probes_left: Cell<u64>,
+    clock_stride: Cell<u32>,
+    horizon_cap: Option<u64>,
+}
+
+impl BudgetMeter {
+    /// A meter that never exhausts — the zero-cost default for callers
+    /// that did not ask for a budget.
+    pub fn unlimited() -> Self {
+        AnalysisBudget::unlimited().start()
+    }
+
+    /// Charges `n` iterations (fixed-point steps, scheduling-point
+    /// evaluations). Reads the wall clock only every `CLOCK_STRIDE`
+    /// charges.
+    pub fn charge_iterations(&self, n: u64) -> Result<(), AnalysisError> {
+        let left = self.iters_left.get();
+        if left < n {
+            self.iters_left.set(0);
+            return Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Iterations,
+            });
+        }
+        self.iters_left.set(left - n);
+        if self.deadline.is_some() {
+            let stride = self.clock_stride.get() + 1;
+            if stride >= CLOCK_STRIDE {
+                self.clock_stride.set(0);
+                self.check_wall_clock()?;
+            } else {
+                self.clock_stride.set(stride);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one admission probe and reads the wall clock.
+    pub fn charge_probe(&self) -> Result<(), AnalysisError> {
+        let left = self.probes_left.get();
+        if left == 0 {
+            return Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Probes,
+            });
+        }
+        self.probes_left.set(left - 1);
+        self.check_wall_clock()
+    }
+
+    /// Fails iff the wall-clock deadline has passed.
+    pub fn check_wall_clock(&self) -> Result<(), AnalysisError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::WallClock,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The simulation-horizon cap, or `default` when uncapped.
+    pub fn horizon_cap_or(&self, default: u64) -> u64 {
+        self.horizon_cap.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_exhausts() {
+        let m = BudgetMeter::unlimited();
+        for _ in 0..10_000 {
+            m.charge_iterations(17).unwrap();
+            m.charge_probe().unwrap();
+        }
+        m.check_wall_clock().unwrap();
+    }
+
+    #[test]
+    fn iteration_cap_is_exact() {
+        let m = AnalysisBudget::unlimited().with_max_iterations(5).start();
+        m.charge_iterations(3).unwrap();
+        m.charge_iterations(2).unwrap();
+        assert_eq!(
+            m.charge_iterations(1),
+            Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Iterations
+            })
+        );
+    }
+
+    #[test]
+    fn zero_iteration_budget_fails_first_charge() {
+        let m = AnalysisBudget::unlimited().with_max_iterations(0).start();
+        assert!(m.charge_iterations(1).is_err());
+        // Probes remain available: the dimensions are independent.
+        m.charge_probe().unwrap();
+    }
+
+    #[test]
+    fn probe_cap_is_exact() {
+        let m = AnalysisBudget::unlimited().with_max_probes(2).start();
+        m.charge_probe().unwrap();
+        m.charge_probe().unwrap();
+        assert_eq!(
+            m.charge_probe(),
+            Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Probes
+            })
+        );
+        // Iterations remain available.
+        m.charge_iterations(100).unwrap();
+    }
+
+    #[test]
+    fn elapsed_deadline_trips_wall_clock() {
+        let m = AnalysisBudget::unlimited()
+            .with_deadline(Duration::from_nanos(1))
+            .start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(
+            m.check_wall_clock(),
+            Err(AnalysisError::BudgetExhausted {
+                resource: BudgetResource::WallClock
+            })
+        );
+        assert!(m.charge_probe().is_err());
+    }
+
+    #[test]
+    fn horizon_cap_defaults_through() {
+        let m = BudgetMeter::unlimited();
+        assert_eq!(m.horizon_cap_or(42), 42);
+        let m = AnalysisBudget::unlimited().with_horizon_cap(7).start();
+        assert_eq!(m.horizon_cap_or(42), 7);
+    }
+
+    #[test]
+    fn analysis_error_display_and_serde() {
+        let e = AnalysisError::BudgetExhausted {
+            resource: BudgetResource::WallClock,
+        };
+        assert!(e.to_string().contains("wall-clock"));
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<AnalysisError>(&json).unwrap(), e);
+        let h = AnalysisError::HorizonOverflow { cap: 9 };
+        assert!(h.to_string().contains("capped horizon is 9"));
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(serde_json::from_str::<AnalysisError>(&json).unwrap(), h);
+    }
+
+    #[test]
+    fn budget_spec_is_reusable_across_starts() {
+        let b = AnalysisBudget::unlimited().with_max_probes(1);
+        let m1 = b.start();
+        m1.charge_probe().unwrap();
+        assert!(m1.charge_probe().is_err());
+        // A second start() re-arms the full allowance.
+        let m2 = b.start();
+        m2.charge_probe().unwrap();
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod builder;
 pub mod error;
 pub mod harmonic;
@@ -44,6 +45,7 @@ pub mod taskset;
 pub mod time;
 pub mod transform;
 
+pub use analysis::{AnalysisBudget, AnalysisError, BudgetMeter, BudgetResource};
 pub use builder::TaskSetBuilder;
 pub use error::ModelError;
 pub use priority::Priority;

@@ -3,7 +3,7 @@
 use crate::error::ModelError;
 use crate::priority::Priority;
 use crate::task::{Task, TaskId};
-use crate::time::{lcm, Time};
+use crate::time::{checked_lcm, lcm, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -115,6 +115,18 @@ impl TaskSet {
                 .iter()
                 .fold(1u64, |acc, t| lcm(acc, t.period.ticks())),
         )
+    }
+
+    /// The hyperperiod, or `None` if `lcm(T_1, …, T_N)` overflows `u64`
+    /// (adversarial coprime periods). Callers that simulate "one full
+    /// hyperperiod" must use this and handle overflow explicitly — the
+    /// saturating [`TaskSet::hyperperiod`] cannot tell a genuine
+    /// `u64::MAX`-tick hyperperiod from an overflowed one.
+    pub fn checked_hyperperiod(&self) -> Option<Time> {
+        self.tasks
+            .iter()
+            .try_fold(1u64, |acc, t| checked_lcm(acc, t.period.ticks()))
+            .map(Time::new)
     }
 
     /// All distinct periods, ascending.

@@ -258,6 +258,20 @@ pub fn lcm(a: u64, b: u64) -> u64 {
     (a / g).saturating_mul(b)
 }
 
+/// Least common multiple, or `None` if the exact value does not fit in
+/// `u64`. This is the overflow-honest sibling of [`lcm`]: horizon selection
+/// must be able to *distinguish* "the hyperperiod is astronomically large"
+/// from "the hyperperiod happens to be `u64::MAX`", because simulating to a
+/// silently saturated bound is neither exhaustive nor finished.
+#[inline]
+pub fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,20 +6,28 @@
 //! configuration ⇒ bit-identical [`CampaignReport`] (and hence identical
 //! rendered text/JSON), regardless of worker-thread count, because trials
 //! derive their RNG from [`trial_rng`] and run through the
-//! order-preserving [`parallel_map`].
+//! order-preserving [`parallel_map_isolated`].
 //!
-//! Inputs rotate over three generator families per trial — UUniFast on a
-//! divisor-friendly period grid, harmonic chains, and the automotive
-//! period mix — and sweep total utilization from lightly loaded to
-//! overloaded (~1.25·m), so both acceptance and rejection paths are
-//! exercised. Period grids are chosen so hyperperiods stay small enough
-//! for the exhaustive simulation oracle to be a complete witness.
+//! Trials are panic-isolated: a trial that panics (a bug in an SUT, an
+//! oracle, or an injected fault) is contained by per-trial `catch_unwind`,
+//! recorded as a [`CampaignFault`], and the campaign carries on — the
+//! report on the *other* trials stays bit-identical to a fault-free run.
+//!
+//! Inputs rotate over four generator families per trial — UUniFast on a
+//! divisor-friendly period grid, harmonic chains, the automotive period
+//! mix, and an adversarial lcm-overflow family — and sweep total
+//! utilization from lightly loaded to overloaded (~1.25·m), so both
+//! acceptance and rejection paths are exercised. The first three families
+//! keep hyperperiods small enough for the exhaustive simulation oracle to
+//! be a complete witness; the overflow family deliberately breaks that
+//! assumption to exercise every capped-horizon fallback.
 
 use crate::corpus::{Expectation, Reproducer, REPRO_SCHEMA};
 use crate::oracle::{run_check, CheckKind};
 use crate::shrink::shrink;
 use crate::sut::SystemUnderTest;
-use rmts_exp::parallel::parallel_map;
+use rand::Rng;
+use rmts_exp::parallel::parallel_map_isolated;
 use rmts_gen::{automotive_taskset, trial_rng, GenConfig, PeriodGen, UtilizationSpec};
 use rmts_taskmodel::TaskSet;
 use serde::{Deserialize, Serialize};
@@ -34,14 +42,20 @@ pub enum GeneratorKind {
     Harmonic,
     /// The automotive period mix.
     Automotive,
+    /// Adversarial lcm-overflow family: large pairwise-coprime (prime)
+    /// periods near `10^9` whose hyperperiod overflows `u64`, forcing
+    /// every "simulate one hyperperiod" consumer through the checked
+    /// (`HorizonOverflow` / capped-fallback) path.
+    CoprimeOverflow,
 }
 
 impl GeneratorKind {
     /// All generator families, in rotation order.
-    pub const ALL: [GeneratorKind; 3] = [
+    pub const ALL: [GeneratorKind; 4] = [
         GeneratorKind::UUniFast,
         GeneratorKind::Harmonic,
         GeneratorKind::Automotive,
+        GeneratorKind::CoprimeOverflow,
     ];
 
     /// Stable display name.
@@ -50,6 +64,7 @@ impl GeneratorKind {
             GeneratorKind::UUniFast => "uunifast",
             GeneratorKind::Harmonic => "harmonic",
             GeneratorKind::Automotive => "automotive",
+            GeneratorKind::CoprimeOverflow => "coprime-overflow",
         }
     }
 
@@ -80,6 +95,10 @@ pub struct CampaignConfig {
     pub sim_cap: u64,
     /// Harder horizon cap for the `O(horizon × tasks)` reference simulator.
     pub ref_sim_cap: u64,
+    /// Fault injection (tests/CI only): the trial that panics instead of
+    /// running its checks, proving the campaign's per-trial isolation
+    /// really contains a poisoned trial. `None` in production.
+    pub panic_trial: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -95,6 +114,7 @@ impl CampaignConfig {
             checks: CheckKind::ALL.to_vec(),
             sim_cap: 2_000_000,
             ref_sim_cap: 200_000,
+            panic_trial: None,
         }
     }
 
@@ -140,8 +160,55 @@ impl CampaignConfig {
                 .with_utilization(UtilizationSpec::any())
                 .generate(&mut rng),
             GeneratorKind::Automotive => automotive_taskset(&mut rng, self.n, total_u, 0.90),
+            GeneratorKind::CoprimeOverflow => coprime_overflow_taskset(&mut rng, self.n, total_u),
         }
     }
+}
+
+/// Pairwise-coprime primes near `10^9`: the lcm of any three already
+/// overflows `u64`, so every set drawn from this family has no
+/// representable hyperperiod.
+const OVERFLOW_PRIMES: [u64; 8] = [
+    999_999_937,
+    999_999_893,
+    999_999_883,
+    999_999_797,
+    999_999_761,
+    999_999_757,
+    999_999_751,
+    999_999_739,
+];
+
+/// Draws an lcm-overflow adversary: `n` tasks on distinct (cycled) large
+/// coprime periods, per-task utilizations jittered around an even split of
+/// `total_u` and clamped to `[1/T, 0.95]`.
+fn coprime_overflow_taskset(rng: &mut impl Rng, n: usize, total_u: f64) -> Option<TaskSet> {
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+    let sum: f64 = weights.iter().sum();
+    let pairs: Vec<(u64, u64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let t = OVERFLOW_PRIMES[i % OVERFLOW_PRIMES.len()];
+            let u = (total_u * w / sum).min(0.95);
+            let c = ((t as f64) * u) as u64;
+            (c.clamp(1, t), t)
+        })
+        .collect();
+    TaskSet::from_pairs(&pairs).ok()
+}
+
+/// A trial that panicked instead of completing its checks. The campaign
+/// survives it (per-trial `catch_unwind` isolation) but is *not* clean:
+/// the fault is reported with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignFault {
+    /// The campaign's master seed (replay key, together with `trial`).
+    pub seed: u64,
+    /// The trial index that panicked.
+    pub trial: u64,
+    /// The panic payload rendered as text.
+    pub payload: String,
 }
 
 /// Deterministic aggregate of one campaign run.
@@ -153,16 +220,19 @@ pub struct CampaignReport {
     pub generated: u64,
     /// Individual oracle executions.
     pub checks_run: u64,
-    /// Divergence tally by [`Divergence::kind`] (empty when clean).
+    /// Divergence tally by [`Divergence::kind`](crate::Divergence::kind)
+    /// (empty when clean).
     pub divergence_counts: BTreeMap<String, u64>,
     /// Shrunk reproducers, in trial order.
     pub reproducers: Vec<Reproducer>,
+    /// Panicked trials, in trial order (empty when clean).
+    pub faults: Vec<CampaignFault>,
 }
 
 impl CampaignReport {
-    /// `true` iff no oracle diverged.
+    /// `true` iff no oracle diverged *and* no trial panicked.
     pub fn clean(&self) -> bool {
-        self.reproducers.is_empty()
+        self.reproducers.is_empty() && self.faults.is_empty()
     }
 
     /// Renders the deterministic human-readable report.
@@ -222,15 +292,26 @@ impl CampaignReport {
                     .unwrap_or_default()
             );
         }
-        let _ = writeln!(
-            out,
-            "status: {}",
-            if self.clean() {
-                "CLEAN".to_string()
-            } else {
-                format!("{} DIVERGENCES", self.reproducers.len())
+        for f in &self.faults {
+            let _ = writeln!(
+                out,
+                "  fault s{}-t{}: trial panicked: {}",
+                f.seed, f.trial, f.payload
+            );
+        }
+        let status = if self.clean() {
+            "CLEAN".to_string()
+        } else {
+            let mut parts = Vec::new();
+            if !self.reproducers.is_empty() {
+                parts.push(format!("{} DIVERGENCES", self.reproducers.len()));
             }
-        );
+            if !self.faults.is_empty() {
+                parts.push(format!("{} FAULTS", self.faults.len()));
+            }
+            parts.join(", ")
+        };
+        let _ = writeln!(out, "status: {status}");
         out
     }
 }
@@ -245,7 +326,10 @@ struct TrialOutcome {
 /// Runs the campaign. Deterministic per configuration; parallel over
 /// trials.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    let outcomes: Vec<TrialOutcome> = parallel_map(cfg.trials, |t| {
+    let (outcomes, trial_faults) = parallel_map_isolated(cfg.trials, |t| {
+        if cfg.panic_trial == Some(t) {
+            panic!("injected campaign fault at trial {t}");
+        }
         let mut out = TrialOutcome::default();
         let Some(ts) = cfg.generate_trial(t) else {
             return out;
@@ -292,8 +376,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         checks_run: 0,
         divergence_counts: BTreeMap::new(),
         reproducers: Vec::new(),
+        faults: trial_faults
+            .into_iter()
+            .map(|f| CampaignFault {
+                seed: cfg.seed,
+                trial: f.trial,
+                payload: f.payload,
+            })
+            .collect(),
     };
-    for o in outcomes {
+    for o in outcomes.into_iter().flatten() {
         report.generated += o.generated;
         report.checks_run += o.checks_run;
         for r in o.reproducers {
@@ -316,6 +408,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             "verify.campaign.divergences",
             report.reproducers.len() as u64,
         );
+        rmts_obs::count("verify.campaign.faults", report.faults.len() as u64);
     }
     report
 }
@@ -335,13 +428,31 @@ mod tests {
     #[test]
     fn generator_rotation_covers_all_families() {
         let cfg = CampaignConfig::quick(3);
-        let mut seen = [false; 3];
-        for t in 0..30 {
+        let mut seen = [false; 4];
+        for t in 0..40 {
             if cfg.generate_trial(t).is_some() {
-                seen[(t % 3) as usize] = true;
+                seen[(t % 4) as usize] = true;
             }
         }
-        assert_eq!(seen, [true, true, true]);
+        assert_eq!(seen, [true, true, true, true]);
+    }
+
+    #[test]
+    fn coprime_overflow_sets_have_no_representable_hyperperiod() {
+        let cfg = CampaignConfig::quick(9);
+        let mut found = 0;
+        for t in 0..40 {
+            if t % 4 != 3 {
+                continue; // CoprimeOverflow is the 4th family in rotation.
+            }
+            let Some(ts) = cfg.generate_trial(t) else {
+                continue;
+            };
+            found += 1;
+            assert!(ts.checked_hyperperiod().is_none(), "lcm must overflow u64");
+            assert_eq!(ts.hyperperiod().0, u64::MAX, "saturating fallback");
+        }
+        assert!(found > 0, "the overflow family never generated");
     }
 
     #[test]
@@ -360,5 +471,58 @@ mod tests {
             serde_json::to_string(&b).unwrap()
         );
         assert!(a.generated > 10);
+    }
+
+    #[test]
+    fn campaign_survives_a_panicking_trial_and_reports_the_fault() {
+        let clean_cfg = CampaignConfig {
+            trials: 30,
+            ..CampaignConfig::quick(5)
+        };
+        let faulty_cfg = CampaignConfig {
+            panic_trial: Some(13),
+            ..clean_cfg.clone()
+        };
+        let clean = run_campaign(&clean_cfg);
+        let faulty = run_campaign(&faulty_cfg);
+
+        // The campaign finished, is not clean, and names the fault.
+        assert!(!faulty.clean());
+        assert_eq!(faulty.faults.len(), 1);
+        let fault = &faulty.faults[0];
+        assert_eq!((fault.seed, fault.trial), (5, 13));
+        assert!(fault
+            .payload
+            .contains("injected campaign fault at trial 13"));
+        assert!(faulty.render().contains("fault s5-t13"));
+        assert!(faulty.render().contains("1 FAULTS"));
+
+        // Non-faulted trials are bit-identical to the fault-free run:
+        // trial 13 generates in the clean run, so exactly its contribution
+        // is missing — nothing else moved.
+        assert!(clean.clean());
+        assert_eq!(faulty.reproducers, clean.reproducers);
+        assert_eq!(faulty.divergence_counts, clean.divergence_counts);
+        let lost = clean_cfg.generate_trial(13).is_some() as u64;
+        assert_eq!(faulty.generated, clean.generated - lost);
+
+        // And the faulty run itself is deterministic.
+        let again = run_campaign(&faulty_cfg);
+        assert_eq!(faulty, again);
+        assert_eq!(faulty.render(), again.render());
+    }
+
+    #[test]
+    fn degradation_injector_campaign_stays_clean() {
+        // The sound budget-starvation injectors survive every oracle,
+        // including the degraded-soundness check their accepts exist for.
+        let cfg = CampaignConfig {
+            trials: 24,
+            suts: SystemUnderTest::DEGRADATION_INJECTORS.to_vec(),
+            ..CampaignConfig::quick(7)
+        };
+        let report = run_campaign(&cfg);
+        assert!(report.clean(), "injector divergence:\n{}", report.render());
+        assert!(report.generated > 8);
     }
 }

@@ -85,6 +85,17 @@ pub enum Divergence {
         /// Human-readable summary of the first difference.
         detail: String,
     },
+    /// A *degraded* accept (an admission verdict produced below the exact
+    /// rung of the degradation ladder) missed a deadline in exhaustive
+    /// simulation — the ladder's bound-soundness contract is broken.
+    DegradedUnsound {
+        /// Partitioner that produced the degraded partition.
+        algorithm: String,
+        /// Task whose job missed.
+        task: u32,
+        /// Absolute miss time (ticks).
+        at: u64,
+    },
 }
 
 impl Divergence {
@@ -100,6 +111,7 @@ impl Divergence {
             Divergence::BoundUnsound { .. } => "bound-unsound",
             Divergence::RtaTdaDisagreement { .. } => "rta-tda-disagreement",
             Divergence::EngineMismatch { .. } => "engine-mismatch",
+            Divergence::DegradedUnsound { .. } => "degraded-unsound",
         }
     }
 }
@@ -150,6 +162,14 @@ impl fmt::Display for Divergence {
             Divergence::EngineMismatch { detail } => {
                 write!(f, "event-driven vs reference simulator: {detail}")
             }
+            Divergence::DegradedUnsound {
+                algorithm,
+                task,
+                at,
+            } => write!(
+                f,
+                "{algorithm}: degraded accept is unsound — task {task} missed at t={at}"
+            ),
         }
     }
 }

@@ -15,8 +15,9 @@
 //!   processors and tasks, shave WCETs, snap periods toward harmonic, while
 //!   the divergence persists.
 //! * [`campaign`] — seeded fuzz campaigns over the `rmts-gen` families
-//!   through the deterministic `parallel_map`; same seed ⇒ bit-identical
-//!   report.
+//!   through the deterministic, panic-isolated `parallel_map_isolated`;
+//!   same seed ⇒ bit-identical report, and a panicking trial is contained
+//!   and reported as a [`CampaignFault`] instead of killing the run.
 //! * [`corpus`] — self-contained JSON reproducers under `tests/corpus/`,
 //!   replayed by the tier-1 suite.
 //! * [`sut`] — named, serializable partitioner configurations, including
@@ -42,7 +43,7 @@ pub mod oracle;
 pub mod shrink;
 pub mod sut;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport, GeneratorKind};
+pub use campaign::{run_campaign, CampaignConfig, CampaignFault, CampaignReport, GeneratorKind};
 pub use corpus::{load_corpus, replay_corpus, save_corpus, Expectation, Reproducer, REPRO_SCHEMA};
 pub use divergence::Divergence;
 pub use oracle::{run_check, CheckKind};

@@ -52,16 +52,22 @@ pub enum CheckKind {
     /// Event-driven and tick-wise reference simulators must agree exactly.
     /// Input-global.
     SimEngines,
+    /// Partitions labeled `Degraded` (the degradation ladder fell below
+    /// exact analysis) must still survive exhaustive hyperperiod
+    /// simulation — a degraded *accept* is allowed to be conservative,
+    /// never unsound. No-op on SUTs whose partitions stay exact.
+    DegradedSoundness,
 }
 
 impl CheckKind {
     /// All checks, in campaign execution order.
-    pub const ALL: [CheckKind; 5] = [
+    pub const ALL: [CheckKind; 6] = [
         CheckKind::Admission,
         CheckKind::CacheEquivalence,
         CheckKind::BoundSoundness,
         CheckKind::RtaTda,
         CheckKind::SimEngines,
+        CheckKind::DegradedSoundness,
     ];
 
     /// Stable display name.
@@ -72,6 +78,7 @@ impl CheckKind {
             CheckKind::BoundSoundness => "bounds",
             CheckKind::RtaTda => "rta-tda",
             CheckKind::SimEngines => "sim-engines",
+            CheckKind::DegradedSoundness => "degraded",
         }
     }
 
@@ -113,7 +120,42 @@ pub fn run_check(
         CheckKind::BoundSoundness => check_bound_soundness(ts, m),
         CheckKind::RtaTda => check_rta_tda(ts),
         CheckKind::SimEngines => check_sim_engines(ts, m, sim_cap),
+        CheckKind::DegradedSoundness => check_degraded_soundness(sut, ts, m, sim_cap),
     }
+}
+
+/// Degraded accepts must be bound-sound: any partition the SUT produced
+/// *below* the exact ladder rung is replayed under exhaustive simulation,
+/// and a single deadline miss refutes the ladder. Exact partitions and
+/// rejections are out of scope (the `admission` oracle owns those).
+pub fn check_degraded_soundness(
+    sut: SystemUnderTest,
+    ts: &TaskSet,
+    m: usize,
+    sim_cap: u64,
+) -> Option<Divergence> {
+    let alg = sut.build();
+    let algorithm = alg.name();
+    let partition = alg.partition(ts, m).ok()?;
+    if partition.is_exact() {
+        return None;
+    }
+    let report = simulate_partitioned(
+        &partition.workloads(),
+        SimConfig {
+            horizon: Some(oracle_horizon(ts, sim_cap)),
+            stop_on_first_miss: true,
+            ..SimConfig::default()
+        },
+    );
+    report
+        .misses
+        .first()
+        .map(|miss| Divergence::DegradedUnsound {
+            algorithm,
+            task: miss.task.0,
+            at: miss.deadline.ticks(),
+        })
 }
 
 /// Oracle 1+2 against one SUT's acceptance decision.
@@ -364,6 +406,36 @@ mod tests {
         for sut in SystemUnderTest::PRODUCTION {
             assert!(sut.build().partition(&ts, 1).is_err());
             assert_eq!(check_admission(sut, &ts, 1, 1_000_000), None);
+        }
+    }
+
+    #[test]
+    fn starved_suts_pass_every_check_including_degraded_soundness() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
+        for sut in SystemUnderTest::DEGRADATION_INJECTORS {
+            for check in CheckKind::ALL {
+                assert_eq!(
+                    run_check(check, sut, &ts, 2, 1_000_000),
+                    None,
+                    "{} × {check:?}",
+                    sut.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsound_degrade_is_refuted_by_the_degraded_oracle() {
+        let ts = TaskSet::from_pairs(&[(2, 4), (3, 6)]).unwrap();
+        let d = check_degraded_soundness(SystemUnderTest::UnsoundDegrade, &ts, 1, 1_000_000)
+            .expect("θ = 1.0 degraded accepts must miss in simulation");
+        assert!(
+            matches!(d, Divergence::DegradedUnsound { .. }),
+            "unexpected divergence: {d}"
+        );
+        // Production SUTs never degrade, so the oracle is a no-op on them.
+        for sut in SystemUnderTest::PRODUCTION {
+            assert_eq!(check_degraded_soundness(sut, &ts, 1, 1_000_000), None);
         }
     }
 

@@ -14,7 +14,7 @@
 //!    about by hand), then halve it.
 //!
 //! Each accepted step must keep the *check* failing — not necessarily with
-//! the same [`Divergence`](crate::Divergence) variant, since a shrink can
+//! the same [`Divergence`] variant, since a shrink can
 //! legitimately convert e.g. an RTA-verification failure into the
 //! underlying deadline miss. The descent is a fixpoint iteration: a pass
 //! with zero accepted candidates terminates it. Candidate order and

@@ -8,7 +8,7 @@
 //! exact configuration that diverged, months later, from JSON alone.
 
 use rmts_core::baselines::PartitionedRm;
-use rmts_core::{AdmissionPolicy, Partitioner, RmTs, RmTsLight};
+use rmts_core::{AdmissionPolicy, AnalysisBudget, Partitioner, RmTs, RmTsLight};
 use serde::{Deserialize, Serialize};
 
 /// A named, reconstructible partitioner configuration.
@@ -27,6 +27,23 @@ pub enum SystemUnderTest {
     /// the oracles actually catch bugs; never part of
     /// [`SystemUnderTest::PRODUCTION`].
     WeakenedAdmission,
+    /// **Fault-injection hook**: RM-TS/light under a 0-iteration analysis
+    /// budget with degradation on — every exact-RTA fixed point exhausts
+    /// and the ladder's TDA rung decides admission. Sound (TDA is exact),
+    /// so campaigns stay clean; its accepts are labeled degraded, which is
+    /// what the `degraded` oracle exists to scrutinize.
+    StarvedRta,
+    /// **Fault-injection hook**: RM-TS/light under a 0-probe budget with
+    /// degradation on — rungs 1 *and* 2 exhaust (the TDA meter carries the
+    /// probe cap) and only the `Θ(n)` density threshold answers. Sound but
+    /// maximally conservative; exercises the terminal ladder rung.
+    StarvedTda,
+    /// **Fault-injection hook**: [`SystemUnderTest::StarvedTda`] with the
+    /// rung-3 threshold overridden to `θ = 1.0`, deliberately manufacturing
+    /// *unsound degraded accepts*. Campaigns including this SUT must
+    /// diverge on the `degraded` oracle — the proof that degraded-accept
+    /// soundness is actually being checked, not assumed.
+    UnsoundDegrade,
 }
 
 impl SystemUnderTest {
@@ -38,6 +55,11 @@ impl SystemUnderTest {
         SystemUnderTest::PartitionedRm,
     ];
 
+    /// The budget-exhaustion fault injectors: one per ladder rung the
+    /// exact analysis can fall to, plus the deliberately unsound override.
+    pub const DEGRADATION_INJECTORS: [SystemUnderTest; 2] =
+        [SystemUnderTest::StarvedRta, SystemUnderTest::StarvedTda];
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -45,6 +67,9 @@ impl SystemUnderTest {
             SystemUnderTest::RmTsLight => "light",
             SystemUnderTest::PartitionedRm => "prm",
             SystemUnderTest::WeakenedAdmission => "weakened",
+            SystemUnderTest::StarvedRta => "starved-rta",
+            SystemUnderTest::StarvedTda => "starved-tda",
+            SystemUnderTest::UnsoundDegrade => "unsound-degrade",
         }
     }
 
@@ -55,6 +80,9 @@ impl SystemUnderTest {
             "light" => Some(SystemUnderTest::RmTsLight),
             "prm" => Some(SystemUnderTest::PartitionedRm),
             "weakened" => Some(SystemUnderTest::WeakenedAdmission),
+            "starved-rta" => Some(SystemUnderTest::StarvedRta),
+            "starved-tda" => Some(SystemUnderTest::StarvedTda),
+            "unsound-degrade" => Some(SystemUnderTest::UnsoundDegrade),
             _ => None,
         }
     }
@@ -68,6 +96,22 @@ impl SystemUnderTest {
             SystemUnderTest::WeakenedAdmission => {
                 Box::new(RmTsLight::with_policy(AdmissionPolicy::threshold(1.0)))
             }
+            SystemUnderTest::StarvedRta => Box::new(
+                RmTsLight::new()
+                    .with_budget(AnalysisBudget::unlimited().with_max_iterations(0))
+                    .with_degrade(true),
+            ),
+            SystemUnderTest::StarvedTda => Box::new(
+                RmTsLight::new()
+                    .with_budget(AnalysisBudget::unlimited().with_max_probes(0))
+                    .with_degrade(true),
+            ),
+            SystemUnderTest::UnsoundDegrade => Box::new(
+                RmTsLight::new()
+                    .with_budget(AnalysisBudget::unlimited().with_max_probes(0))
+                    .with_degrade(true)
+                    .with_degrade_theta(1.0),
+            ),
         }
     }
 
@@ -85,7 +129,14 @@ impl SystemUnderTest {
                 Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().cached())),
                 Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().uncached())),
             )),
-            SystemUnderTest::PartitionedRm | SystemUnderTest::WeakenedAdmission => None,
+            // No exact pair to compare: threshold admission, or metered
+            // ladder paths whose cached/uncached equivalence is covered by
+            // the rmts-rta property tests instead.
+            SystemUnderTest::PartitionedRm
+            | SystemUnderTest::WeakenedAdmission
+            | SystemUnderTest::StarvedRta
+            | SystemUnderTest::StarvedTda
+            | SystemUnderTest::UnsoundDegrade => None,
         }
     }
 }
@@ -102,12 +153,41 @@ mod tests {
             SystemUnderTest::RmTsLight,
             SystemUnderTest::PartitionedRm,
             SystemUnderTest::WeakenedAdmission,
+            SystemUnderTest::StarvedRta,
+            SystemUnderTest::StarvedTda,
+            SystemUnderTest::UnsoundDegrade,
         ] {
             assert_eq!(SystemUnderTest::parse(sut.name()), Some(sut));
             let json = serde_json::to_string(&sut).unwrap();
             assert_eq!(serde_json::from_str::<SystemUnderTest>(&json).unwrap(), sut);
         }
         assert_eq!(SystemUnderTest::parse("nope"), None);
+    }
+
+    #[test]
+    fn starved_injectors_produce_sound_degraded_partitions() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
+        for sut in SystemUnderTest::DEGRADATION_INJECTORS {
+            let part = sut
+                .build()
+                .partition(&ts, 2)
+                .unwrap_or_else(|e| panic!("{} rejected an easy set: {e}", sut.name()));
+            assert!(!part.is_exact(), "{} must walk the ladder", sut.name());
+            assert!(part.verify_rta(), "{} degraded accepts unsound", sut.name());
+        }
+    }
+
+    #[test]
+    fn unsound_degrade_accepts_a_known_rm_infeasible_set() {
+        // Same adversary as the weakened-admission hook: density exactly
+        // 1.0 sneaks past the overridden θ = 1.0 rung-3 threshold.
+        let ts = TaskSet::from_pairs(&[(2, 4), (3, 6)]).unwrap();
+        let part = SystemUnderTest::UnsoundDegrade
+            .build()
+            .partition(&ts, 1)
+            .expect("θ = 1.0 must admit the density-1.0 set");
+        assert!(!part.is_exact());
+        assert!(!part.verify_rta(), "the injected unsoundness must be real");
     }
 
     #[test]

@@ -22,8 +22,8 @@ fn production_suts_survive_a_seeded_campaign() {
         report.generated,
         cfg.trials
     );
-    // 2 per-SUT checks × 3 SUTs + 3 input-global checks per generated set.
-    assert_eq!(report.checks_run, report.generated * 9);
+    // 3 per-SUT checks × 3 SUTs + 3 input-global checks per generated set.
+    assert_eq!(report.checks_run, report.generated * 12);
 }
 
 #[test]

@@ -3,12 +3,13 @@
 //! ```text
 //! rmts-cli bounds    <taskset.json>
 //! rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm]
-//!                    [--bound ll|hc|t|r] [--simulate] [--gantt] [--stats]
+//!                    [--bound ll|hc|t|r] [--deadline-ms MS] [--degrade]
+//!                    [--simulate] [--gantt] [--stats]
 //! rmts-cli check     <taskset.json> -m M          # all algorithms side by side
 //! rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic]
 //!                    [--seed S] [--cap U]          # JSON on stdout
 //! rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M]
-//!                    [--save-corpus DIR] [--json] [--stats]
+//!                    [--panic-trial T] [--save-corpus DIR] [--json] [--stats]
 //! rmts-cli fuzz      --replay DIR                  # replay saved reproducers
 //! ```
 //!
@@ -38,13 +39,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rmts-cli bounds    <taskset.json>
-  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r] [--simulate] [--gantt] [--stats]
+  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r]
+                     [--deadline-ms MS] [--degrade] [--simulate] [--gantt] [--stats]
   rmts-cli check     <taskset.json> -m M
   rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]
-  rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M] [--save-corpus DIR] [--json] [--stats]
+  rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M] [--panic-trial T]
+                     [--save-corpus DIR] [--json] [--stats]
   rmts-cli fuzz      --replay DIR
 
-fuzz runs a seeded differential campaign (exit code 2 on divergence):
+partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
+--degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
+instead of rejecting on exhaustion.
+
+fuzz runs a seeded differential campaign (exit code 2 on divergence or trial fault):
   rmts-cli fuzz --quick --seed 42          # 200-trial smoke, deterministic per seed
   rmts-cli fuzz --trials 10000 --seed 1    # acceptance-scale sweep
   rmts-cli fuzz --replay tests/corpus      # replay shrunk reproducers";
@@ -146,9 +153,35 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
             self.0.value(ts)
         }
     }
+    // `--deadline-ms` bounds the analysis wall clock; `--degrade` lets the
+    // partitioner fall down the degradation ladder (exact RTA → TDA →
+    // density threshold) instead of rejecting when the budget runs out.
+    let deadline_ms: Option<u64> = flag_value(args, "--deadline-ms")
+        .map(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
+        .transpose()?;
+    let degrade = has_flag(args, "--degrade");
+    let budget = deadline_ms
+        .map(|ms| AnalysisBudget::unlimited().with_deadline(std::time::Duration::from_millis(ms)));
+    if (budget.is_some() || degrade) && !matches!(alg_name, "rmts" | "light") {
+        return Err(format!(
+            "--deadline-ms/--degrade only apply to the budgeted algorithms (rmts|light), not {alg_name:?}"
+        ));
+    }
     let alg: Box<dyn Partitioner> = match alg_name {
-        "rmts" => Box::new(RmTs::with_bound(DynBound(bound))),
-        "light" => Box::new(RmTsLight::new()),
+        "rmts" => {
+            let mut a = RmTs::with_bound(DynBound(bound));
+            if let Some(b) = budget {
+                a = a.with_budget(b);
+            }
+            Box::new(a.with_degrade(degrade))
+        }
+        "light" => {
+            let mut a = RmTsLight::new();
+            if let Some(b) = budget {
+                a = a.with_budget(b);
+            }
+            Box::new(a.with_degrade(degrade))
+        }
         "spa1" => Box::new(spa1(ts.len())),
         "spa2" => Box::new(spa2(ts.len())),
         "prm" => Box::new(PartitionedRm::ffd_rta()),
@@ -170,6 +203,11 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         Ok(p) => p,
         Err(e) => {
             let mut msg = e.to_string();
+            if let Some(a) = &e.analysis {
+                msg.push_str(&format!(
+                    "\n  analysis budget: {a} (re-run with --degrade for a sound fallback)"
+                ));
+            }
             for b in &e.bottlenecks {
                 msg.push_str(&format!("\n  bottleneck {b}"));
             }
@@ -178,12 +216,13 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     };
     println!("{partition}");
     println!(
-        "splits: {:?}; RTA verification: {}",
+        "splits: {:?}; exactness: {}; RTA verification: {}",
         partition
             .split_tasks()
             .iter()
             .map(|t| t.0)
             .collect::<Vec<_>>(),
+        partition.exactness,
         if partition.verify_rta() {
             "OK"
         } else {
@@ -302,6 +341,12 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     }
     if let Some(m) = flag_value(args, "-m") {
         cfg.m = m.parse().map_err(|e| format!("-m: {e}"))?;
+    }
+    // Fault injection: panic inside the named trial to demonstrate the
+    // campaign's per-trial isolation (the run finishes, lists the fault,
+    // and exits 2).
+    if let Some(t) = flag_value(args, "--panic-trial") {
+        cfg.panic_trial = Some(t.parse().map_err(|e| format!("--panic-trial: {e}"))?);
     }
 
     let recording = has_flag(args, "--stats").then(rmts::obs::Recording::start);

@@ -64,8 +64,9 @@ pub mod prelude {
     };
     pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
     pub use rmts_core::{
-        audit, AdmissionPolicy, Bottleneck, MaxSplitStrategy, OverheadModel, Partition,
-        PartitionPhase, PartitionReject, Partitioner, RmTs, RmTsLight,
+        audit, AdmissionPolicy, AnalysisBudget, AnalysisError, Bottleneck, Exactness,
+        MaxSplitStrategy, OverheadModel, Partition, PartitionPhase, PartitionReject, Partitioner,
+        RmTs, RmTsLight,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_obs::{Recording, StatsSnapshot};

@@ -228,6 +228,78 @@ fn fuzz_replay_of_missing_directory_fails() {
 }
 
 #[test]
+fn partition_reports_exactness_and_accepts_a_budget() {
+    let ts = write_demo_taskset();
+    // A generous wall-clock deadline: the budget machinery engages but
+    // never exhausts, so the partition stays labeled exact.
+    let out = cli()
+        .args([
+            "partition",
+            ts.as_str(),
+            "-m",
+            "2",
+            "--alg",
+            "light",
+            "--deadline-ms",
+            "60000",
+            "--degrade",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exactness: exact"), "{stdout}");
+    assert!(stdout.contains("RTA verification: OK"));
+}
+
+#[test]
+fn budget_flags_are_rejected_for_unbudgeted_algorithms() {
+    let ts = write_demo_taskset();
+    let out = cli()
+        .args([
+            "partition",
+            ts.as_str(),
+            "-m",
+            "2",
+            "--alg",
+            "spa1",
+            "--degrade",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms/--degrade"));
+}
+
+#[test]
+fn fuzz_panic_trial_finishes_lists_the_fault_and_exits_2() {
+    let out = cli()
+        .args([
+            "fuzz",
+            "--quick",
+            "--seed",
+            "42",
+            "--trials",
+            "20",
+            "--panic-trial",
+            "7",
+        ])
+        .output()
+        .unwrap();
+    // The campaign completed (a real panic would kill the process with a
+    // different status) and signals "not clean" via exit code 2.
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fault s42-t7"), "{stdout}");
+    assert!(stdout.contains("injected campaign fault at trial 7"));
+    assert!(stdout.contains("1 FAULTS"));
+}
+
+#[test]
 fn overloaded_set_reports_failure() {
     let ts = temppath::TempPath::new(
         "rmts_cli_overload.json",
