@@ -16,7 +16,7 @@ fn print_quick_table() {
     let rmts = RmTs::new();
     let spa = spa2(4 * m);
     let prm = PartitionedRm::ffd_rta();
-    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm];
+    let algs: Vec<&dyn Partitioner> = vec![&rmts, &spa, &prm];
     let points = acceptance_sweep(
         &algs,
         m,

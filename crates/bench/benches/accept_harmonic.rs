@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let m = 4;
     let light = RmTsLight::new();
     let s1 = spa1(6 * m);
-    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1];
+    let algs: Vec<&dyn Partitioner> = vec![&light, &s1];
     let points = acceptance_sweep(
         &algs,
         m,

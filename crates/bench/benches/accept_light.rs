@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rmts_bench::{light_cfg, QUICK_TRIALS, SEED};
 use rmts_core::baselines::spa1;
-use rmts_core::{AdmissionPolicy, Partitioner, RmTsLight};
+use rmts_core::{AdmissionPolicy, Configure, Partitioner, RmTsLight};
 use rmts_exp::acceptance::{acceptance_sweep, sweep_table};
 use rmts_exp::CheckLevel;
 use rmts_gen::trial_rng;
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let m = 8;
     let light = RmTsLight::new();
     let s1 = spa1(6 * m);
-    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1];
+    let algs: Vec<&dyn Partitioner> = vec![&light, &s1];
     let points = acceptance_sweep(
         &algs,
         m,
@@ -47,7 +47,7 @@ fn bench(c: &mut Criterion) {
     // Same engine with the scratch (uncached) exact-RTA policy: decision-
     // identical, isolates what the incremental admission cache saves here.
     group.bench_function("rmts_light_scratch_m8_u090", |b| {
-        let alg = RmTsLight::with_policy(AdmissionPolicy::exact().uncached());
+        let alg = RmTsLight::new().with_policy(AdmissionPolicy::exact().uncached());
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % sets.len();

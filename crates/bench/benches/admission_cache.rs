@@ -21,7 +21,7 @@
 use criterion::{BenchmarkId, Criterion};
 use rand::Rng;
 use rmts_bench::{general_cfg, SEED};
-use rmts_core::{AdmissionPolicy, Partitioner, ProcessorState, RmTsLight};
+use rmts_core::{AdmissionPolicy, Configure, Partitioner, ProcessorState, RmTsLight};
 use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
 use rmts_rta::budget::{admits_budget, max_admissible_budget_bsearch, NewcomerSpec};
 use rmts_rta::RtaCache;
@@ -191,7 +191,7 @@ fn bench(c: &mut Criterion) {
         ("partition_scratch", AdmissionPolicy::exact().uncached()),
     ] {
         group.bench_with_input(BenchmarkId::new(label, m), &sets, |b, sets| {
-            let alg = RmTsLight::with_policy(policy);
+            let alg = RmTsLight::new().with_policy(policy);
             let mut i = 0;
             b.iter(|| {
                 i += 1;
@@ -203,8 +203,12 @@ fn bench(c: &mut Criterion) {
 
     // Replay sanity on the partition kernel inputs: identical outcomes.
     for ts in &exp1_sets(m, 8) {
-        let a = RmTsLight::with_policy(AdmissionPolicy::exact()).partition(ts, m);
-        let b = RmTsLight::with_policy(AdmissionPolicy::exact().uncached()).partition(ts, m);
+        let a = RmTsLight::new()
+            .with_policy(AdmissionPolicy::exact())
+            .partition(ts, m);
+        let b = RmTsLight::new()
+            .with_policy(AdmissionPolicy::exact().uncached())
+            .partition(ts, m);
         assert_eq!(a.is_ok(), b.is_ok(), "cached/scratch verdicts diverged");
     }
 

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     let cfg = general_cfg(m)(1.0);
     let rmts = RmTs::new();
     let spa = spa2(4 * m);
-    for alg in [&rmts as &(dyn Partitioner + Sync), &spa] {
+    for alg in [&rmts as &dyn Partitioner, &spa] {
         let stats = average_breakdown(alg, m, &cfg, 15, SEED);
         println!(
             "EXP-5 (quick): {} M={m}: mean breakdown {:.4} (min {:.4}, max {:.4})",

@@ -47,22 +47,44 @@ pub struct PartitionedRm {
     pub admission: UniAdmission,
 }
 
-impl PartitionedRm {
-    /// First-fit-decreasing with exact RTA admission — the strongest
-    /// strict-partitioning baseline.
-    pub fn ffd_rta() -> Self {
+impl Default for PartitionedRm {
+    fn default() -> Self {
         PartitionedRm {
             fit: Fit::First,
             admission: UniAdmission::ExactRta,
         }
     }
+}
+
+impl PartitionedRm {
+    /// First-fit-decreasing with exact RTA admission — the strongest
+    /// strict-partitioning baseline, and the uniform-API starting point
+    /// (chain [`Self::with_fit`] / [`Self::with_admission`] to vary it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the bin-packing placement heuristic.
+    pub fn with_fit(mut self, fit: Fit) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Overrides the per-processor admission test.
+    pub fn with_admission(mut self, admission: UniAdmission) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// First-fit-decreasing with exact RTA admission — the strongest
+    /// strict-partitioning baseline.
+    pub fn ffd_rta() -> Self {
+        Self::new()
+    }
 
     /// First-fit-decreasing with L&L admission — the textbook baseline.
     pub fn ffd_ll() -> Self {
-        PartitionedRm {
-            fit: Fit::First,
-            admission: UniAdmission::LiuLayland,
-        }
+        Self::new().with_admission(UniAdmission::LiuLayland)
     }
 
     fn admits(&self, proc: &mut ProcessorState, candidate: &Subtask) -> bool {

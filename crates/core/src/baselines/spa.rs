@@ -16,6 +16,7 @@
 //! the exact algorithmic delta the paper claims credit for.
 
 use crate::admission::AdmissionPolicy;
+use crate::config::Configure;
 use crate::rmts::RmTs;
 use crate::rmts_light::RmTsLight;
 use rmts_bounds::{ll_bound, LiuLayland};
@@ -30,7 +31,7 @@ pub type Spa2 = RmTs<LiuLayland>;
 
 /// Builds the SPA1-style baseline for a task set of `n` tasks.
 pub fn spa1(n: usize) -> Spa1 {
-    RmTsLight::with_policy(AdmissionPolicy::threshold(ll_bound(n)))
+    RmTsLight::new().with_policy(AdmissionPolicy::threshold(ll_bound(n)))
 }
 
 /// Builds the SPA2-style baseline for a task set of `n` tasks.

@@ -1,0 +1,72 @@
+//! The uniform builder surface shared by every partitioner.
+//!
+//! Historically each algorithm grew its own entry points — `RmTsLight`'s
+//! `with_policy` was a *constructor* while `RmTs`'s was a *builder method*,
+//! and `RmTs::with_bound` was a constructor again. The service layer
+//! (`rmts-svc`) dispatches every algorithm through one code path, which is
+//! only tenable if configuration is spelled identically everywhere:
+//!
+//! ```
+//! use rmts_core::{AdmissionPolicy, Configure, RmTs, RmTsLight, WithBound};
+//! use rmts_bounds::HarmonicChain;
+//! use rmts_taskmodel::AnalysisBudget;
+//!
+//! let _light = RmTsLight::new()
+//!     .with_policy(AdmissionPolicy::exact())
+//!     .with_budget(AnalysisBudget::unlimited())
+//!     .with_degrade(true);
+//! let _rmts = RmTs::new()
+//!     .with_bound(HarmonicChain)
+//!     .with_degrade(true);
+//! ```
+//!
+//! [`Configure`] carries the settings every budgeted splitting partitioner
+//! shares (admission policy, analysis budget, degradation ladder);
+//! [`WithBound`] is split out because swapping the parametric bound changes
+//! the partitioner's *type* (`RmTs<B> → RmTs<B2>`), which a plain
+//! `fn(self) -> Self` cannot express.
+//!
+//! The pre-redesign constructor spellings (`RmTsLight::with_policy(policy)`,
+//! `RmTs::with_bound(bound)`) survive for one release as `#[deprecated]`
+//! associated functions. Rust resolves the path form to the inherent
+//! (deprecated) constructor and the method-call form to these traits, so old
+//! code keeps compiling with a warning while new code reads uniformly.
+
+use crate::admission::AdmissionPolicy;
+use rmts_taskmodel::AnalysisBudget;
+
+/// Chainable configuration shared by the budgeted splitting partitioners
+/// (`RmTs`, `RmTsLight`, and their SPA-style threshold variants).
+///
+/// Every method takes and returns `self` by value, so configurations chain
+/// from [`new()`](crate::RmTsLight::new) without intermediate bindings.
+pub trait Configure: Sized {
+    /// Overrides the admission policy (exact RTA by default; a density
+    /// threshold turns the same skeleton into the \[16\]-style baselines).
+    fn with_policy(self, policy: AdmissionPolicy) -> Self;
+
+    /// Caps the analysis work of each `partition()` call.
+    fn with_budget(self, budget: AnalysisBudget) -> Self;
+
+    /// Enables (or disables) the degradation ladder on budget exhaustion.
+    fn with_degrade(self, degrade: bool) -> Self;
+
+    /// Fault injection: overrides the ladder's rung-3 density threshold.
+    /// `θ = 1.0` deliberately manufactures unsound degraded accepts for the
+    /// verify harness; production callers must leave this unset.
+    fn with_degrade_theta(self, theta: f64) -> Self;
+}
+
+/// Chainable bound selection for partitioners parameterized by a
+/// [`ParametricBound`](rmts_bounds::ParametricBound).
+///
+/// Separate from [`Configure`] because the bound is a type parameter:
+/// `RmTs::<LiuLayland>::new().with_bound(HarmonicChain)` produces an
+/// `RmTs<HarmonicChain>`, a different type.
+pub trait WithBound<B>: Sized {
+    /// The partitioner type produced by installing `bound`.
+    type Out;
+
+    /// Retargets the partitioner at `bound`, keeping every other setting.
+    fn with_bound(self, bound: B) -> Self::Out;
+}

@@ -48,6 +48,7 @@
 pub mod admission;
 pub mod audit;
 pub mod baselines;
+pub mod config;
 pub mod engine;
 pub mod ladder;
 pub mod maxsplit;
@@ -56,18 +57,22 @@ pub mod partition;
 pub mod processor;
 pub mod rmts;
 pub mod rmts_light;
+pub mod spec;
 
 pub use admission::AdmissionPolicy;
 pub use audit::{audit, AuditError};
+pub use config::{Configure, WithBound};
 pub use ladder::{AnalysisControl, Exactness};
 pub use maxsplit::MaxSplitStrategy;
 pub use overhead::{inflate, overhead_tolerance, OverheadModel};
 #[allow(deprecated)]
 pub use partition::PartitionFailure;
 pub use partition::{
-    Bottleneck, Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner,
+    Bottleneck, DynPartitioner, Partition, PartitionPhase, PartitionReject, PartitionResult,
+    Partitioner,
 };
 pub use processor::{ProcessorRole, ProcessorState};
 pub use rmts::RmTs;
 pub use rmts_light::RmTsLight;
 pub use rmts_taskmodel::{AnalysisBudget, AnalysisError, BudgetResource};
+pub use spec::{AlgorithmSpec, BoundSpec, EngineOptions, SpecError};

@@ -36,8 +36,19 @@ impl Partition {
 
     /// Relabels the partition's exactness (budgeted partitioners call this
     /// with the analysis control's verdict after the run).
+    ///
+    /// Monotone: exactness only ever moves *down*. Once a partition is
+    /// labeled [`Exactness::Degraded`], a later call cannot upgrade it back
+    /// to [`Exactness::Exact`] — the first ladder fallback is a fact about
+    /// verdicts already baked into the assignment, so an `Exact` relabel
+    /// (e.g. from a second analysis pass that happened to stay within
+    /// budget) would misreport the partition's provenance. A `Degraded`
+    /// label with an earlier exhaustion reason also sticks: first
+    /// exhaustion wins, mirroring [`crate::AnalysisControl`].
     pub fn with_exactness(mut self, exactness: Exactness) -> Self {
-        self.exactness = exactness;
+        if self.exactness.is_exact() {
+            self.exactness = exactness;
+        }
         self
     }
 
@@ -351,7 +362,12 @@ pub type PartitionFailure = PartitionReject;
 pub type PartitionResult = Result<Partition, Box<PartitionReject>>;
 
 /// A partitioned-scheduling algorithm (with or without task splitting).
-pub trait Partitioner {
+///
+/// `Send + Sync` is a supertrait: every implementation is a plain
+/// configuration value, and the sweep harness (`rmts-exp`) and the batch
+/// service (`rmts-svc`) both share `&dyn Partitioner` / boxed trait objects
+/// across worker threads.
+pub trait Partitioner: Send + Sync {
     /// Algorithm name for tables and reports.
     fn name(&self) -> String;
 
@@ -363,6 +379,17 @@ pub trait Partitioner {
         self.partition(ts, m).is_ok()
     }
 }
+
+impl std::fmt::Debug for dyn Partitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Partitioner({})", self.name())
+    }
+}
+
+/// An owned, thread-shareable partitioner handle — the currency of the
+/// unified dispatch layer ([`crate::spec::AlgorithmSpec`], the verify
+/// harness's systems under test, and the `rmts-svc` shards).
+pub type DynPartitioner = Box<dyn Partitioner>;
 
 #[cfg(test)]
 mod tests {
@@ -431,6 +458,38 @@ mod tests {
         assert_eq!(part.processor_of(TaskId(1)), Some(1));
         assert_eq!(part.processor_of(TaskId(9)), None);
         assert_eq!(part.migration_points(), 0);
+    }
+
+    #[test]
+    fn exactness_relabeling_is_monotone() {
+        // Regression: after a ladder fallback labeled the partition
+        // `Degraded`, a later `with_exactness(Exact)` (e.g. from a
+        // re-analysis pass that stayed within budget) silently upgraded the
+        // label, misreporting provenance. Downgrades apply; upgrades and
+        // reason rewrites do not.
+        use rmts_taskmodel::{AnalysisError, BudgetResource};
+        let first = Exactness::Degraded {
+            reason: AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Iterations,
+            },
+        };
+        let later = Exactness::Degraded {
+            reason: AnalysisError::BudgetExhausted {
+                resource: BudgetResource::Probes,
+            },
+        };
+
+        // Exact → Degraded: the downgrade applies.
+        let part = demo_partition().with_exactness(first);
+        assert_eq!(part.exactness, first);
+        // Degraded → Exact: the upgrade must NOT apply.
+        let part = part.with_exactness(Exactness::Exact);
+        assert_eq!(part.exactness, first, "degraded label was upgraded");
+        // Degraded → Degraded(other reason): first exhaustion wins.
+        let part = part.with_exactness(later);
+        assert_eq!(part.exactness, first);
+        // Exact → Exact stays a no-op.
+        assert!(demo_partition().with_exactness(Exactness::Exact).is_exact());
     }
 
     #[test]

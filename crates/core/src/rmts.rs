@@ -22,6 +22,7 @@
 //! then RM-TS succeeds and all deadlines are met.
 
 use crate::admission::AdmissionPolicy;
+use crate::config::{Configure, WithBound};
 use crate::engine::{queue_increasing_priority, run_phase, EngineError, Select};
 use crate::ladder::{AnalysisControl, Exactness};
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
@@ -78,7 +79,12 @@ impl RmTs<LiuLayland> {
 }
 
 impl<B: ParametricBound> RmTs<B> {
-    /// RM-TS targeting the given D-PUB (with the standard cap).
+    /// Pre-redesign constructor spelling, kept for one release. The
+    /// uniform API chains from [`RmTs::new`] instead; see [`WithBound`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `RmTs::new().with_bound(bound)` (the uniform builder API)"
+    )]
     pub fn with_bound(bound: B) -> Self {
         RmTs {
             bound,
@@ -90,28 +96,10 @@ impl<B: ParametricBound> RmTs<B> {
         }
     }
 
-    /// Overrides the admission policy (used by the SPA2 baseline).
-    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Caps the analysis work of each `partition()` call.
-    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
-        self.budget = budget;
-        self
-    }
-
-    /// Enables (or disables) the degradation ladder on budget exhaustion.
-    pub fn with_degrade(mut self, degrade: bool) -> Self {
-        self.degrade = degrade;
-        self
-    }
-
-    /// Fault injection: overrides the ladder's rung-3 density threshold
-    /// (verify harness only).
-    pub fn with_degrade_theta(mut self, theta: f64) -> Self {
-        self.degrade_theta = Some(theta);
+    /// Toggles the `2Θ/(1+Θ)` cap on the targeted bound (Section V). On by
+    /// default; ablations disable it to study what breaks without it.
+    pub fn with_cap(mut self, apply_cap: bool) -> Self {
+        self.apply_cap = apply_cap;
         self
     }
 
@@ -192,6 +180,43 @@ impl<B: ParametricBound> RmTs<B> {
         plan.seal_tail(q, response)
             .expect("whole task always has positive remaining budget");
         plan
+    }
+}
+
+impl<B: ParametricBound> Configure for RmTs<B> {
+    fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    fn with_degrade_theta(mut self, theta: f64) -> Self {
+        self.degrade_theta = Some(theta);
+        self
+    }
+}
+
+impl<B, B2: ParametricBound> WithBound<B2> for RmTs<B> {
+    type Out = RmTs<B2>;
+
+    fn with_bound(self, bound: B2) -> RmTs<B2> {
+        RmTs {
+            bound,
+            policy: self.policy,
+            apply_cap: self.apply_cap,
+            budget: self.budget,
+            degrade: self.degrade,
+            degrade_theta: self.degrade_theta,
+        }
     }
 }
 
@@ -461,14 +486,11 @@ mod tests {
             .task(1, 16)
             .build()
             .unwrap();
-        let alg = RmTs::with_bound(HarmonicChain);
+        let alg = RmTs::new().with_bound(HarmonicChain);
         let lambda = alg.effective_bound(&ts);
         let cap = rmts_cap(ll_bound(3));
         assert!((lambda - cap).abs() < 1e-12);
-        let uncapped = RmTs {
-            apply_cap: false,
-            ..RmTs::with_bound(HarmonicChain)
-        };
+        let uncapped = RmTs::new().with_bound(HarmonicChain).with_cap(false);
         assert_eq!(uncapped.effective_bound(&ts), 1.0);
     }
 
@@ -487,7 +509,7 @@ mod tests {
             .build()
             .unwrap();
         let u_m = ts.normalized_utilization(2);
-        let alg = RmTs::with_bound(HarmonicChain);
+        let alg = RmTs::new().with_bound(HarmonicChain);
         assert!(
             u_m <= alg.effective_bound(&ts),
             "test setup: U_M = {u_m} must be ≤ Λ = {}",
@@ -534,10 +556,34 @@ mod tests {
     fn names() {
         assert_eq!(RmTs::new().name(), "RM-TS[Liu&Layland]");
         assert_eq!(
-            RmTs::with_bound(HarmonicChain).name(),
+            RmTs::new().with_bound(HarmonicChain).name(),
             "RM-TS[harmonic-chain]"
         );
         let spa2 = RmTs::new().with_policy(AdmissionPolicy::threshold(0.69));
         assert_eq!(spa2.name(), "SPA2");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shim_matches_the_builder() {
+        let shim = RmTs::with_bound(HarmonicChain);
+        let chained = RmTs::new().with_bound(HarmonicChain);
+        assert_eq!(shim.name(), chained.name());
+        assert_eq!(shim.policy, chained.policy);
+        assert_eq!(shim.apply_cap, chained.apply_cap);
+    }
+
+    #[test]
+    fn retargeting_the_bound_preserves_other_settings() {
+        // `with_bound` changes the partitioner's type; every other knob
+        // must ride across unchanged.
+        let alg = RmTs::new()
+            .with_policy(AdmissionPolicy::threshold(0.6))
+            .with_degrade(true)
+            .with_cap(false)
+            .with_bound(HarmonicChain);
+        assert_eq!(alg.policy, AdmissionPolicy::threshold(0.6));
+        assert!(alg.degrade);
+        assert!(!alg.apply_cap);
     }
 }

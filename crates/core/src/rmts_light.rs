@@ -12,6 +12,7 @@
 //! its deadline at run time (Lemma 4).
 
 use crate::admission::AdmissionPolicy;
+use crate::config::Configure;
 pub use crate::engine::Select as FitSelect;
 use crate::engine::{queue_increasing_priority, run_phase, Select};
 use crate::ladder::AnalysisControl;
@@ -57,7 +58,13 @@ impl RmTsLight {
         Self::default()
     }
 
-    /// RM-TS/light with a custom admission policy.
+    /// Pre-redesign constructor spelling, kept for one release. The
+    /// uniform API chains from [`RmTsLight::new`] instead; see
+    /// [`Configure`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `RmTsLight::new().with_policy(policy)` (the uniform builder API)"
+    )]
     pub fn with_policy(policy: AdmissionPolicy) -> Self {
         RmTsLight {
             policy,
@@ -72,32 +79,34 @@ impl RmTsLight {
         self
     }
 
-    /// Caps the analysis work of each `partition()` call.
-    pub fn with_budget(mut self, budget: AnalysisBudget) -> Self {
-        self.budget = budget;
-        self
-    }
-
-    /// Enables (or disables) the degradation ladder on budget exhaustion.
-    pub fn with_degrade(mut self, degrade: bool) -> Self {
-        self.degrade = degrade;
-        self
-    }
-
-    /// Fault injection: overrides the ladder's rung-3 density threshold.
-    /// `θ = 1.0` deliberately manufactures unsound degraded accepts for the
-    /// verify harness; production callers must leave this unset.
-    pub fn with_degrade_theta(mut self, theta: f64) -> Self {
-        self.degrade_theta = Some(theta);
-        self
-    }
-
     fn control(&self) -> AnalysisControl {
         let ctl = AnalysisControl::new(self.budget, self.degrade);
         match self.degrade_theta {
             Some(theta) => ctl.with_theta_override(theta),
             None => ctl,
         }
+    }
+}
+
+impl Configure for RmTsLight {
+    fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn with_budget(mut self, budget: AnalysisBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    fn with_degrade_theta(mut self, theta: f64) -> Self {
+        self.degrade_theta = Some(theta);
+        self
     }
 }
 
@@ -259,7 +268,7 @@ mod tests {
     #[test]
     fn name_reflects_policy() {
         assert_eq!(RmTsLight::new().name(), "RM-TS/light");
-        let spa = RmTsLight::with_policy(AdmissionPolicy::threshold(0.693));
+        let spa = RmTsLight::new().with_policy(AdmissionPolicy::threshold(0.693));
         assert!(spa.name().starts_with("SPA1"));
     }
 
@@ -291,6 +300,19 @@ mod tests {
         let part = ff.partition(&easy, 2).unwrap();
         assert!(part.covers(&easy));
         assert!(part.verify_rta());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shim_matches_the_builder() {
+        // `RmTsLight::with_policy(policy)` (the pre-redesign constructor)
+        // must configure exactly what the uniform chain does, for one
+        // release of migration headroom.
+        let policy = AdmissionPolicy::threshold(0.5);
+        let shim = RmTsLight::with_policy(policy);
+        let chained = RmTsLight::new().with_policy(policy);
+        assert_eq!(shim.policy, chained.policy);
+        assert_eq!(shim.name(), chained.name());
     }
 
     #[test]

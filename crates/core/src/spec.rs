@@ -1,0 +1,351 @@
+//! Serializable algorithm specifications: the unified dispatch layer.
+//!
+//! An [`AlgorithmSpec`] is a *name* for one of the five partitioning
+//! algorithms the workspace implements — RM-TS, RM-TS/light, the
+//! RTAS'10-style SPA1/SPA2 baselines, and strictly partitioned RM — plus
+//! the knobs that select a concrete configuration (parametric bound,
+//! admission-policy override, analysis budget, degradation ladder).
+//! Everything that used to be a per-algorithm `match` arm (the CLI's
+//! `--alg` handling, the batch service's request decoding) routes through
+//! [`AlgorithmSpec::build`] and receives an opaque [`DynPartitioner`] to
+//! dispatch through the [`Partitioner`](crate::Partitioner) trait.
+//!
+//! Specs are `serde`-serializable so batch requests (`rmts-svc` JSONL) and
+//! saved reproducers can reconstruct the exact configuration later.
+
+use crate::admission::AdmissionPolicy;
+use crate::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
+use crate::config::{Configure, WithBound};
+use crate::partition::DynPartitioner;
+use crate::rmts::RmTs;
+use crate::rmts_light::RmTsLight;
+use rmts_bounds::{HarmonicChain, LiuLayland, ParametricBound, RBound, TBound};
+use rmts_taskmodel::{AnalysisBudget, TaskSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named deflatable parametric utilization bound (the `--bound` / request
+/// `bound` vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BoundSpec {
+    /// `Θ(N) = N(2^{1/N} − 1)` (Liu & Layland).
+    LiuLayland,
+    /// `K(2^{1/K} − 1)` over harmonic chains (Kuo & Mok) — the default:
+    /// it dominates L&L and reaches 100% on harmonic sets.
+    #[default]
+    HarmonicChain,
+    /// The T-Bound (Lauzac, Melhem & Mossé).
+    TBound,
+    /// The R-Bound.
+    RBound,
+}
+
+impl BoundSpec {
+    /// Stable lower-case name (`ll|hc|t|r`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BoundSpec::LiuLayland => "ll",
+            BoundSpec::HarmonicChain => "hc",
+            BoundSpec::TBound => "t",
+            BoundSpec::RBound => "r",
+        }
+    }
+
+    /// Parses [`BoundSpec::as_str`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ll" => Some(BoundSpec::LiuLayland),
+            "hc" => Some(BoundSpec::HarmonicChain),
+            "t" => Some(BoundSpec::TBound),
+            "r" => Some(BoundSpec::RBound),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BoundSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `BoundSpec` as a live bound. A unit-struct dispatcher (rather than
+/// `Arc<dyn ParametricBound>`) keeps `RmTs<SpecBound>` `Copy`-cheap and the
+/// spec layer allocation-free.
+#[derive(Debug, Clone, Copy)]
+struct SpecBound(BoundSpec);
+
+impl ParametricBound for SpecBound {
+    fn name(&self) -> &str {
+        match self.0 {
+            BoundSpec::LiuLayland => LiuLayland.name(),
+            BoundSpec::HarmonicChain => HarmonicChain.name(),
+            BoundSpec::TBound => TBound.name(),
+            BoundSpec::RBound => RBound.name(),
+        }
+    }
+
+    fn value(&self, ts: &TaskSet) -> f64 {
+        match self.0 {
+            BoundSpec::LiuLayland => LiuLayland.value(ts),
+            BoundSpec::HarmonicChain => HarmonicChain.value(ts),
+            BoundSpec::TBound => TBound.value(ts),
+            BoundSpec::RBound => RBound.value(ts),
+        }
+    }
+}
+
+/// Which of the five algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// RM-TS (Section V) targeting `bound`.
+    RmTs {
+        /// The D-PUB to target (capped at `2Θ/(1+Θ)` as always).
+        bound: BoundSpec,
+    },
+    /// RM-TS/light (Section IV).
+    RmTsLight,
+    /// SPA1-style `Θ(N)`-threshold baseline on the light skeleton. The
+    /// threshold depends on the task-set size, which is why
+    /// [`AlgorithmSpec::build`] takes `n`.
+    Spa1,
+    /// SPA2-style `Θ(N)`-threshold baseline on the RM-TS skeleton.
+    Spa2,
+    /// Strictly partitioned RM (no splitting).
+    PartitionedRm {
+        /// Bin-packing placement heuristic.
+        fit: Fit,
+        /// Per-processor admission test.
+        admission: UniAdmission,
+    },
+}
+
+/// Configuration shared across algorithms when building from a spec: an
+/// optional admission-policy override plus the analysis budget and
+/// degradation switch of the budgeted engines.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineOptions {
+    /// Replaces the algorithm's default admission policy (RM-TS and
+    /// RM-TS/light families only).
+    pub policy: Option<AdmissionPolicy>,
+    /// Analysis budget for each `partition()` call.
+    pub budget: AnalysisBudget,
+    /// Walk the degradation ladder on budget exhaustion instead of
+    /// rejecting.
+    pub degrade: bool,
+}
+
+/// Why a spec refused to build an engine (the options were not
+/// representable for the chosen algorithm).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid algorithm options: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl AlgorithmSpec {
+    /// The default configuration of every algorithm, for catalogue-style
+    /// iteration (conformance tests, `rmts-cli check`).
+    pub const ALL: [AlgorithmSpec; 5] = [
+        AlgorithmSpec::RmTs {
+            bound: BoundSpec::HarmonicChain,
+        },
+        AlgorithmSpec::RmTsLight,
+        AlgorithmSpec::Spa1,
+        AlgorithmSpec::Spa2,
+        AlgorithmSpec::PartitionedRm {
+            fit: Fit::First,
+            admission: UniAdmission::ExactRta,
+        },
+    ];
+
+    /// Stable lower-case name (`rmts|light|spa1|spa2|prm`, the CLI `--alg`
+    /// vocabulary).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::RmTs { .. } => "rmts",
+            AlgorithmSpec::RmTsLight => "light",
+            AlgorithmSpec::Spa1 => "spa1",
+            AlgorithmSpec::Spa2 => "spa2",
+            AlgorithmSpec::PartitionedRm { .. } => "prm",
+        }
+    }
+
+    /// Parses an [`AlgorithmSpec::as_str`] name back, with the default
+    /// knobs for that algorithm.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rmts" => Some(AlgorithmSpec::RmTs {
+                bound: BoundSpec::default(),
+            }),
+            "light" => Some(AlgorithmSpec::RmTsLight),
+            "spa1" => Some(AlgorithmSpec::Spa1),
+            "spa2" => Some(AlgorithmSpec::Spa2),
+            "prm" => Some(AlgorithmSpec::PartitionedRm {
+                fit: Fit::First,
+                admission: UniAdmission::ExactRta,
+            }),
+            _ => None,
+        }
+    }
+
+    /// `true` when the algorithm runs the budgeted splitting engine (and
+    /// therefore honors [`EngineOptions::budget`] / `degrade` / `policy`).
+    pub fn is_budgeted(&self) -> bool {
+        !matches!(self, AlgorithmSpec::PartitionedRm { .. })
+    }
+
+    /// Builds the partitioner with default options. `n` is the task-set
+    /// size (the SPA thresholds are `Θ(n)`).
+    pub fn build(&self, n: usize) -> DynPartitioner {
+        self.build_with(n, &EngineOptions::default())
+            .expect("default options are representable for every algorithm")
+    }
+
+    /// Builds the partitioner this spec + options denote. Errors instead of
+    /// silently dropping options the algorithm cannot honor: strictly
+    /// partitioned RM has no metered analysis, so a budget, a degradation
+    /// request, or a policy override on `prm` is a caller bug — under the
+    /// batch service it would break the per-request-isolation promise.
+    pub fn build_with(&self, n: usize, opts: &EngineOptions) -> Result<DynPartitioner, SpecError> {
+        if !self.is_budgeted()
+            && (opts.policy.is_some() || !opts.budget.is_unlimited() || opts.degrade)
+        {
+            return Err(SpecError(format!(
+                "{} has no budgeted analysis: policy/budget/degrade options do not apply",
+                self.as_str()
+            )));
+        }
+        Ok(match *self {
+            AlgorithmSpec::RmTs { bound } => {
+                let mut alg = RmTs::new()
+                    .with_bound(SpecBound(bound))
+                    .with_budget(opts.budget)
+                    .with_degrade(opts.degrade);
+                if let Some(policy) = opts.policy {
+                    alg = alg.with_policy(policy);
+                }
+                Box::new(alg)
+            }
+            AlgorithmSpec::RmTsLight => {
+                let mut alg = RmTsLight::new()
+                    .with_budget(opts.budget)
+                    .with_degrade(opts.degrade);
+                if let Some(policy) = opts.policy {
+                    alg = alg.with_policy(policy);
+                }
+                Box::new(alg)
+            }
+            AlgorithmSpec::Spa1 => {
+                let mut alg = spa1(n).with_budget(opts.budget).with_degrade(opts.degrade);
+                if let Some(policy) = opts.policy {
+                    alg = alg.with_policy(policy);
+                }
+                Box::new(alg)
+            }
+            AlgorithmSpec::Spa2 => {
+                let mut alg = spa2(n).with_budget(opts.budget).with_degrade(opts.degrade);
+                if let Some(policy) = opts.policy {
+                    alg = alg.with_policy(policy);
+                }
+                Box::new(alg)
+            }
+            AlgorithmSpec::PartitionedRm { fit, admission } => {
+                Box::new(PartitionedRm::new().with_fit(fit).with_admission(admission))
+            }
+        })
+    }
+}
+
+impl fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use rmts_taskmodel::TaskSet;
+
+    #[test]
+    fn names_round_trip() {
+        for spec in AlgorithmSpec::ALL {
+            assert_eq!(AlgorithmSpec::parse(spec.as_str()), Some(spec));
+        }
+        assert_eq!(AlgorithmSpec::parse("nope"), None);
+        for b in [
+            BoundSpec::LiuLayland,
+            BoundSpec::HarmonicChain,
+            BoundSpec::TBound,
+            BoundSpec::RBound,
+        ] {
+            assert_eq!(BoundSpec::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(BoundSpec::parse("zz"), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in AlgorithmSpec::ALL {
+            let json = serde_json::to_string(&spec).unwrap();
+            assert_eq!(serde_json::from_str::<AlgorithmSpec>(&json).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn built_engines_match_their_handwritten_counterparts() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
+        let n = ts.len();
+        let expected = [
+            "RM-TS[harmonic-chain]".to_string(),
+            "RM-TS/light".to_string(),
+            spa1(n).name(),
+            "SPA2".to_string(),
+            "P-RM-FFD/RTA".to_string(),
+        ];
+        for (spec, want) in AlgorithmSpec::ALL.iter().zip(expected) {
+            let alg = spec.build(n);
+            assert_eq!(alg.name(), want);
+            // All five accept this easy light set, through the same trait
+            // object call.
+            assert!(alg.accepts(&ts, 2), "{} rejected the easy set", want);
+        }
+    }
+
+    #[test]
+    fn options_reach_the_built_engine() {
+        let ts = TaskSet::from_pairs(&[(1, 4), (2, 8)]).unwrap();
+        let opts = EngineOptions {
+            policy: None,
+            budget: AnalysisBudget::unlimited().with_max_iterations(0),
+            degrade: true,
+        };
+        let alg = AlgorithmSpec::RmTsLight
+            .build_with(ts.len(), &opts)
+            .unwrap();
+        let part = alg.partition(&ts, 2).unwrap();
+        assert!(!part.is_exact(), "budget must have forced the ladder");
+    }
+
+    #[test]
+    fn unrepresentable_options_are_refused() {
+        let spec = AlgorithmSpec::PartitionedRm {
+            fit: Fit::First,
+            admission: UniAdmission::ExactRta,
+        };
+        let opts = EngineOptions {
+            degrade: true,
+            ..EngineOptions::default()
+        };
+        let err = spec.build_with(4, &opts).unwrap_err();
+        assert!(err.to_string().contains("prm"));
+        assert!(spec.build_with(4, &EngineOptions::default()).is_ok());
+    }
+}

@@ -3,7 +3,9 @@
 
 use rmts_bounds::HarmonicChain;
 use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
-use rmts_core::{AdmissionPolicy, Partition, Partitioner, ProcessorRole, RmTs, RmTsLight};
+use rmts_core::{
+    AdmissionPolicy, Partition, Partitioner, ProcessorRole, RmTs, RmTsLight, WithBound,
+};
 use rmts_taskmodel::{TaskId, TaskSet, TaskSetBuilder};
 
 fn harmonic(n: usize, c: u64, t: u64) -> TaskSet {
@@ -148,7 +150,7 @@ fn rmts_with_harmonic_bound_beats_ll_bound_guarantee() {
     // accept (exact RTA), but the *effective bounds* must order correctly.
     // cap for N = 12 is 2Θ(12)/(1+Θ(12)) ≈ 0.8328; pick U_M = 0.828.
     let ts = harmonic(12, 138, 1000); // 12 × 0.138 = 1.656 → U_M = 0.828 on 2
-    let with_hc = RmTs::with_bound(HarmonicChain);
+    let with_hc = RmTs::new().with_bound(HarmonicChain);
     let with_ll = RmTs::new();
     assert!(with_hc.effective_bound(&ts) > with_ll.effective_bound(&ts));
     assert!(ts.normalized_utilization(2) <= with_hc.effective_bound(&ts));

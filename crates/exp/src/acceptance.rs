@@ -63,7 +63,7 @@ pub struct SweepPoint {
 ///   vary `n` and period style with `u_norm`);
 /// * `check` — how strictly accepted partitions are double-checked.
 pub fn acceptance_sweep(
-    algorithms: &[&(dyn Partitioner + Sync)],
+    algorithms: &[&dyn Partitioner],
     m: usize,
     grid: &[f64],
     trials: u64,
@@ -194,7 +194,7 @@ mod tests {
         let rmts = RmTs::new();
         let light = RmTsLight::new();
         let prm = PartitionedRm::ffd_rta();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &light, &prm];
+        let algs: Vec<&dyn Partitioner> = vec![&rmts, &light, &prm];
         let points = acceptance_sweep(
             &algs,
             2,
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn sim_check_level_runs() {
         let rmts = RmTs::new();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts];
+        let algs: Vec<&dyn Partitioner> = vec![&rmts];
         let points = acceptance_sweep(
             &algs,
             2,
@@ -251,7 +251,7 @@ mod tests {
     #[test]
     fn recording_captures_trial_timings() {
         let rmts = RmTs::new();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts];
+        let algs: Vec<&dyn Partitioner> = vec![&rmts];
         let (points, snap) = rmts_obs::record(|| {
             acceptance_sweep(&algs, 2, &[0.5], 10, 3, &quick_cfg(2), CheckLevel::None)
         });

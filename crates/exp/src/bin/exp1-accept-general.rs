@@ -35,7 +35,7 @@ fn main() {
         let spa = spa2(n);
         let prm_rta = PartitionedRm::ffd_rta();
         let prm_ll = PartitionedRm::ffd_ll();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm_rta, &prm_ll];
+        let algs: Vec<&dyn Partitioner> = vec![&rmts, &spa, &prm_rta, &prm_ll];
         let points = acceptance_sweep(
             &algs,
             m,

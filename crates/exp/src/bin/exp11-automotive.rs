@@ -11,7 +11,7 @@
 use rmts_bounds::thresholds::rmts_cap_of;
 use rmts_bounds::{HarmonicChain, ParametricBound};
 use rmts_core::baselines::{spa2, PartitionedRm};
-use rmts_core::RmTs;
+use rmts_core::{RmTs, WithBound};
 use rmts_exp::cli::ExpOptions;
 use rmts_exp::table::{f, Table};
 use rmts_exp::weighted::weighted_schedulability;
@@ -31,7 +31,7 @@ fn main() {
     for n in [16usize, 24, 32, 48] {
         let make =
             |rng: &mut rand::rngs::StdRng, u: f64| automotive_taskset(rng, n, u * m as f64, 0.8);
-        let rmts_alg = RmTs::with_bound(HarmonicChain);
+        let rmts_alg = RmTs::new().with_bound(HarmonicChain);
         let w_rmts =
             weighted_schedulability(&rmts_alg, m, (0.5, 1.0), opts.trials, opts.seed, &make);
         let w_spa = weighted_schedulability(&spa2(n), m, (0.5, 1.0), opts.trials, opts.seed, &make);

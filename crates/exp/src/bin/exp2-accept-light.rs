@@ -34,7 +34,7 @@ fn main() {
     let rmts = RmTs::new();
     let s1 = spa1(n);
     let s2 = spa2(n);
-    let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &rmts, &s1, &s2];
+    let algs: Vec<&dyn Partitioner> = vec![&light, &rmts, &s1, &s2];
     let points = acceptance_sweep(
         &algs,
         m,

@@ -32,7 +32,7 @@ fn main() {
         let light = RmTsLight::new();
         let s1 = spa1(n);
         let prm = PartitionedRm::ffd_rta();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&light, &s1, &prm];
+        let algs: Vec<&dyn Partitioner> = vec![&light, &s1, &prm];
         let points = acceptance_sweep(
             &algs,
             m,

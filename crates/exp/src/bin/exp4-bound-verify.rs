@@ -6,7 +6,7 @@
 //! partitions. Per Theorems 8 / Section V-B every count must be **zero**.
 
 use rmts_bounds::{standard_catalogue, ParametricBound};
-use rmts_core::{Partitioner, RmTs, RmTsLight};
+use rmts_core::{Partitioner, RmTs, RmTsLight, WithBound};
 use rmts_exp::cli::ExpOptions;
 use rmts_exp::table::Table;
 use rmts_exp::verify::{verify_campaign, BoundDomain};
@@ -133,7 +133,7 @@ fn run_rmts_cell(
             self.0.value(ts)
         }
     }
-    let alg = RmTs::with_bound(Dyn(bound));
+    let alg = RmTs::new().with_bound(Dyn(bound));
     let out = verify_campaign(
         &alg,
         bound,

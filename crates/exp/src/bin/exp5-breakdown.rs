@@ -36,7 +36,7 @@ fn main() {
         let spa = spa2(n);
         let prm_rta = PartitionedRm::ffd_rta();
         let prm_ll = PartitionedRm::ffd_ll();
-        let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm_rta, &prm_ll];
+        let algs: Vec<&dyn Partitioner> = vec![&rmts, &spa, &prm_rta, &prm_ll];
         for alg in algs {
             let stats = average_breakdown(alg, m, &cfg, opts.trials, opts.seed);
             table.push_row(vec![

@@ -30,7 +30,7 @@ fn main() {
             let rmts = RmTs::new();
             let spa = spa2(n);
             let prm = PartitionedRm::ffd_rta();
-            let algs: Vec<&(dyn Partitioner + Sync)> = vec![&rmts, &spa, &prm];
+            let algs: Vec<&dyn Partitioner> = vec![&rmts, &spa, &prm];
             let make = |u: f64| {
                 GenConfig::new(n, u * m as f64)
                     .with_periods(PeriodGen::LogUniform {

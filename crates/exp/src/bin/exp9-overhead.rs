@@ -24,13 +24,7 @@ struct Cell {
     splits_sum: f64,
 }
 
-fn measure(
-    alg: &(dyn Partitioner + Sync),
-    m: usize,
-    cfg: &GenConfig,
-    trials: u64,
-    seed: u64,
-) -> Cell {
+fn measure(alg: &dyn Partitioner, m: usize, cfg: &GenConfig, trials: u64, seed: u64) -> Cell {
     let rows: Vec<(bool, bool, f64, f64)> = parallel_map(trials, |t| {
         let mut rng = trial_rng(seed, t);
         let Some(ts) = cfg.generate(&mut rng) else {

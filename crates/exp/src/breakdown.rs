@@ -60,7 +60,7 @@ pub fn breakdown_of(alg: &dyn Partitioner, m: usize, base: &TaskSet) -> f64 {
 /// Runs a breakdown campaign: `shapes` random base sets from `cfg` (which
 /// should target `total_utilization ≈ m`), bisected per algorithm.
 pub fn average_breakdown(
-    alg: &(dyn Partitioner + Sync),
+    alg: &dyn Partitioner,
     m: usize,
     cfg: &GenConfig,
     shapes: u64,

@@ -61,7 +61,7 @@ pub fn min_processors_by_partitioning(
 mod tests {
     use super::*;
     use rmts_bounds::{HarmonicChain, LiuLayland};
-    use rmts_core::RmTs;
+    use rmts_core::{RmTs, WithBound};
     use rmts_taskmodel::TaskSetBuilder;
 
     fn harmonic(n: usize, c: u64, t: u64) -> TaskSet {
@@ -86,14 +86,15 @@ mod tests {
         for (n, c, t) in [(6usize, 300u64, 1000u64), (10, 220, 1000), (16, 150, 1000)] {
             let ts = harmonic(n, c, t);
             let by_bound = min_processors_by_bound(&ts, &HarmonicChain);
-            let exact = min_processors_by_partitioning(&ts, &RmTs::with_bound(HarmonicChain), 32)
-                .expect("feasible within 32 processors");
+            let exact =
+                min_processors_by_partitioning(&ts, &RmTs::new().with_bound(HarmonicChain), 32)
+                    .expect("feasible within 32 processors");
             assert!(
                 by_bound >= exact,
                 "bound sizing {by_bound} below exact {exact} for n={n}"
             );
             // The guarantee: the bound-sized platform is actually accepted.
-            assert!(RmTs::with_bound(HarmonicChain).accepts(&ts, by_bound));
+            assert!(RmTs::new().with_bound(HarmonicChain).accepts(&ts, by_bound));
         }
     }
 

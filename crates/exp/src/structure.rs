@@ -31,7 +31,7 @@ pub struct StructureStats {
 
 /// Measures partition structure for `alg` over random sets from `cfg`.
 pub fn structure_stats(
-    alg: &(dyn Partitioner + Sync),
+    alg: &dyn Partitioner,
     m: usize,
     cfg: &GenConfig,
     trials: u64,

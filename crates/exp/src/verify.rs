@@ -90,7 +90,7 @@ fn scale_into_bound(
 /// it must also cap individual utilizations at the light threshold.
 #[allow(clippy::too_many_arguments)]
 pub fn verify_campaign(
-    alg: &(dyn Partitioner + Sync),
+    alg: &dyn Partitioner,
     bound: &(dyn ParametricBound + Sync),
     domain: BoundDomain,
     m: usize,

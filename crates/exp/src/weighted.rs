@@ -34,7 +34,7 @@ pub struct Weighted {
 /// `make(rng, u_norm)` must return a task set targeting `u_norm · m` total
 /// utilization (or `None` when infeasible).
 pub fn weighted_schedulability(
-    alg: &(dyn Partitioner + Sync),
+    alg: &dyn Partitioner,
     m: usize,
     u_range: (f64, f64),
     trials: u64,

@@ -1,0 +1,77 @@
+//! # `rmts-svc` — sharded, batched schedulability analysis
+//!
+//! A long-lived analysis **service** over the unified
+//! [`Partitioner`](rmts_core::Partitioner) API: callers submit
+//! [`AnalyzeRequest`]s (task set + processor count + [`AlgorithmSpec`] +
+//! budget) and receive [`AnalysisOutcome`]s, instead of constructing
+//! engines by hand per call. The service owns `N` worker shards; each shard
+//! holds long-lived engines per algorithm configuration and a memo table of
+//! results for task sets it has already analyzed.
+//!
+//! The pipeline for one request:
+//!
+//! 1. **Canonicalize** ([`CanonicalSet`]): tasks are sorted by
+//!    `(period, wcet)`, relabeled `0..n`, and all times divided by their
+//!    collective gcd. Integer response-time analysis is exactly invariant
+//!    under both transformations (`⌈k·x / k·T⌉ = ⌈x/T⌉`), so the canonical
+//!    form answers the original schedulability question — and syntactically
+//!    different duplicates of the same set become byte-identical.
+//! 2. **Route**: the canonical form's FNV-1a hash picks the shard, so every
+//!    duplicate of a task set lands on the shard that already holds its
+//!    memoized result. Submission applies **backpressure**: each shard's
+//!    queue is bounded, and `submit` blocks (never drops, never buffers
+//!    unboundedly) while the shard is saturated.
+//! 3. **Analyze**: the shard looks up `(canonical pairs, m, engine
+//!    fingerprint)` in its memo table. On a miss it runs the engine —
+//!    panic-isolated, so a poisoned request yields an
+//!    [`Verdict::Invalid`] response instead of killing the shard — and
+//!    memoizes the outcome. On a hit it returns the stored outcome, which
+//!    is **bit-identical** to what a fresh analysis would produce whenever
+//!    the request's budget is deterministic (iteration/probe caps; a
+//!    wall-clock deadline is inherently racy, so a memo hit then simply
+//!    replays the first run's sound verdict).
+//!
+//! Because both the memo-hit and the fresh path analyze the *canonical*
+//! form, memo-hit ≡ fresh reduces to determinism of the engines, which the
+//! conformance suite pins down. Task ids appearing in verdicts refer to
+//! canonical indices (position after the `(period, wcet)` sort);
+//! [`CanonicalSet::permutation`] maps them back to the caller's ids.
+//!
+//! ```
+//! use rmts_core::AlgorithmSpec;
+//! use rmts_svc::{AnalyzeRequest, Service, ServiceConfig, Verdict};
+//!
+//! let svc = Service::new(ServiceConfig::default());
+//! let reqs: Vec<AnalyzeRequest> = (0..64)
+//!     .map(|_| {
+//!         AnalyzeRequest::new(
+//!             vec![(1, 4), (2, 8), (2, 8), (4, 16)],
+//!             2,
+//!             AlgorithmSpec::RmTsLight,
+//!         )
+//!     })
+//!     .collect();
+//! let responses = svc.analyze_batch(reqs);
+//! assert!(responses
+//!     .iter()
+//!     .all(|r| matches!(r.outcome.verdict, Verdict::Accepted { .. })));
+//! // 64 identical requests → 1 analysis, 63 memo hits.
+//! assert_eq!(svc.stats().memo_misses, 1);
+//! assert_eq!(svc.stats().memo_hits, 63);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod queue;
+pub mod request;
+pub mod service;
+mod shard;
+pub mod wire;
+
+pub use canonical::CanonicalSet;
+pub use queue::BoundedQueue;
+pub use request::{AnalysisOutcome, AnalyzeRequest, BudgetSpec, Response, Verdict};
+pub use rmts_core::{AlgorithmSpec, BoundSpec};
+pub use service::{Service, ServiceConfig, ServiceStats, Ticket};

@@ -1,0 +1,255 @@
+//! The service's request/response vocabulary.
+//!
+//! Everything here is serde-serializable: a JSONL line is a complete,
+//! reconstructible analysis question ([`AnalyzeRequest`]) or answer
+//! ([`AnalysisOutcome`]), which is what `rmts-cli serve-batch` streams.
+//! The vendored serde derive has no field defaults, so requests carry
+//! every field explicitly; in Rust, build them with the same uniform
+//! chaining idiom as the engines (`AnalyzeRequest::new(..).with_degrade(true)`).
+
+use rmts_core::{
+    AdmissionPolicy, AlgorithmSpec, AnalysisBudget, EngineOptions, Exactness, PartitionPhase,
+};
+use rmts_taskmodel::AnalysisError;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A serializable [`AnalysisBudget`]: same dimensions, with the wall-clock
+/// deadline in milliseconds (`Duration` has no serde support in the
+/// vendored stub, and ms is the CLI's existing `--deadline-ms` granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BudgetSpec {
+    /// Wall-clock allowance in milliseconds. **Non-deterministic**: results
+    /// under a deadline may legitimately differ between runs, so the
+    /// memo-hit ≡ fresh guarantee only covers the other dimensions.
+    pub deadline_ms: Option<u64>,
+    /// Cap on fixed-point iterations / scheduling-point evaluations.
+    pub max_iterations: Option<u64>,
+    /// Cap on admission probes.
+    pub max_probes: Option<u64>,
+    /// Cap on derived simulation horizons.
+    pub horizon_cap: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// The budget that never exhausts (identical to `Default`).
+    pub fn unlimited() -> Self {
+        BudgetSpec::default()
+    }
+
+    /// Lowers into the analysis-layer budget.
+    pub fn to_budget(&self) -> AnalysisBudget {
+        AnalysisBudget {
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            max_iterations: self.max_iterations,
+            max_probes: self.max_probes,
+            horizon_cap: self.horizon_cap,
+        }
+    }
+
+    /// `true` when any dimension depends on wall-clock time, voiding the
+    /// bit-identity guarantee for memoized results.
+    pub fn is_wall_clock(&self) -> bool {
+        self.deadline_ms.is_some()
+    }
+}
+
+/// One schedulability question: can `taskset` be partitioned onto `m`
+/// processors by `algorithm` under the given options?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeRequest {
+    /// `(wcet, period)` pairs in ticks. Order and labels do not matter —
+    /// the service canonicalizes before analysis.
+    pub taskset: Vec<(u64, u64)>,
+    /// Number of processors.
+    pub m: usize,
+    /// Which algorithm to run.
+    pub algorithm: AlgorithmSpec,
+    /// Optional admission-policy override (budgeted algorithms only).
+    pub policy: Option<AdmissionPolicy>,
+    /// Analysis budget per request.
+    pub budget: BudgetSpec,
+    /// Walk the degradation ladder on exhaustion instead of rejecting.
+    pub degrade: bool,
+}
+
+impl AnalyzeRequest {
+    /// A request with default options (no policy override, unlimited
+    /// budget, no degradation). Chain `with_*` to refine — the same
+    /// uniform-builder idiom as the engines themselves.
+    pub fn new(taskset: Vec<(u64, u64)>, m: usize, algorithm: AlgorithmSpec) -> Self {
+        AnalyzeRequest {
+            taskset,
+            m,
+            algorithm,
+            policy: None,
+            budget: BudgetSpec::unlimited(),
+            degrade: false,
+        }
+    }
+
+    /// Overrides the admission policy.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the analysis budget.
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables/disables ladder degradation.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// The engine options this request denotes.
+    pub fn options(&self) -> EngineOptions {
+        EngineOptions {
+            policy: self.policy,
+            budget: self.budget.to_budget(),
+            degrade: self.degrade,
+        }
+    }
+}
+
+/// The answer to one request. Task ids refer to **canonical indices**
+/// (position after the `(period, wcet)` sort); map back with
+/// [`CanonicalSet::permutation`](crate::CanonicalSet::permutation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// A valid partition exists.
+    Accepted {
+        /// Processors the partition actually uses (non-empty workloads).
+        processors_used: usize,
+        /// Canonical ids of the tasks that were split.
+        splits: Vec<u32>,
+        /// Whether every admission verdict came from exact analysis.
+        exactness: Exactness,
+    },
+    /// The algorithm rejected the set.
+    Rejected {
+        /// The phase that gave up.
+        phase: PartitionPhase,
+        /// The canonical id whose placement failed, when identifiable.
+        task: Option<u32>,
+        /// All canonical ids left (partially) unassigned.
+        unassigned: Vec<u32>,
+        /// The typed budget-exhaustion error, when the rejection came from
+        /// running out of budget rather than infeasibility.
+        analysis: Option<AnalysisError>,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The request could not be analyzed at all: malformed task set,
+    /// unrepresentable options, or a panic in the engine (isolated to this
+    /// request — the shard survives).
+    Invalid {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// The full, serializable analysis answer — exactly what the memo table
+/// stores, so a memo hit is *definitionally* the same bytes as the first
+/// fresh analysis of that canonical form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisOutcome {
+    /// Engine display name (e.g. `RM-TS[harmonic-chain]`).
+    pub algorithm: String,
+    /// Processor count the question was asked for.
+    pub m: usize,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// A completed request: the outcome plus service-side metadata. The
+/// metadata (shard, memo hit) is deliberately *outside* [`AnalysisOutcome`]
+/// so that memoized and fresh responses carry identical outcomes.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Position of the request in its batch (or submission order).
+    pub index: usize,
+    /// Routing hash of the canonical task set.
+    pub canonical_hash: u64,
+    /// Shard that served the request.
+    pub shard: usize,
+    /// Whether the outcome came from the memo table.
+    pub memo_hit: bool,
+    /// The analysis answer (shared with the memo table).
+    pub outcome: Arc<AnalysisOutcome>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = AnalyzeRequest::new(
+            vec![(1, 4), (2, 8)],
+            2,
+            AlgorithmSpec::RmTs {
+                bound: rmts_core::BoundSpec::HarmonicChain,
+            },
+        )
+        .with_budget(BudgetSpec {
+            max_iterations: Some(1000),
+            ..BudgetSpec::unlimited()
+        })
+        .with_degrade(true);
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<AnalyzeRequest>(&json).unwrap(), req);
+    }
+
+    #[test]
+    fn outcome_round_trips_through_json() {
+        for verdict in [
+            Verdict::Accepted {
+                processors_used: 2,
+                splits: vec![3],
+                exactness: Exactness::Exact,
+            },
+            Verdict::Rejected {
+                phase: PartitionPhase::AssignNormal,
+                task: Some(1),
+                unassigned: vec![1, 2],
+                analysis: None,
+                reason: "does not fit".into(),
+            },
+            Verdict::Invalid {
+                reason: "wcet exceeds period".into(),
+            },
+        ] {
+            let out = AnalysisOutcome {
+                algorithm: "RM-TS/light".into(),
+                m: 2,
+                verdict,
+            };
+            let json = serde_json::to_string(&out).unwrap();
+            assert_eq!(serde_json::from_str::<AnalysisOutcome>(&json).unwrap(), out);
+        }
+    }
+
+    #[test]
+    fn budget_spec_lowers_faithfully() {
+        let spec = BudgetSpec {
+            deadline_ms: Some(5),
+            max_iterations: Some(7),
+            max_probes: None,
+            horizon_cap: Some(9),
+        };
+        let b = spec.to_budget();
+        assert_eq!(b.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(b.max_iterations, Some(7));
+        assert_eq!(b.max_probes, None);
+        assert_eq!(b.horizon_cap, Some(9));
+        assert!(spec.is_wall_clock());
+        assert!(!BudgetSpec::unlimited().is_wall_clock());
+        assert!(BudgetSpec::unlimited().to_budget().is_unlimited());
+    }
+}

@@ -1,0 +1,262 @@
+//! The service façade: shard fleet, submission, batching, statistics.
+
+use crate::canonical::CanonicalSet;
+use crate::queue::BoundedQueue;
+use crate::request::{AnalyzeRequest, Response};
+use crate::shard::{Job, Shard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing knobs for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Number of worker shards (min 1). Duplicate task sets always land on
+    /// the same shard, so memo hit rates do not degrade with more shards.
+    pub shards: usize,
+    /// Per-shard bounded queue capacity (min 1): the backpressure limit.
+    /// Each shard holds at most `queue_capacity` queued requests plus one
+    /// drained run being analyzed; further submissions block.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Default sizing. Chain [`Self::with_shards`] /
+    /// [`Self::with_queue_capacity`] — the uniform-builder idiom.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the shard count (min 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-shard queue capacity (min 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Cross-thread counters shared by the shards (plain atomics: the `obs`
+/// recorders are thread-local, so worker threads cannot see the caller's
+/// recording — the caller mirrors these into `obs` instead, see
+/// [`Service::analyze_batch`]).
+pub(crate) struct SharedStats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub memo_hits: AtomicU64,
+    pub memo_misses: AtomicU64,
+    pub panics: AtomicU64,
+    pub busy_ns: Vec<AtomicU64>,
+}
+
+/// A point-in-time statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted by `submit`/`analyze_batch`.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Answers served from the memo table.
+    pub memo_hits: u64,
+    /// Answers computed fresh.
+    pub memo_misses: u64,
+    /// Requests whose engine panicked (isolated; answered as `Invalid`).
+    pub panics: u64,
+    /// Queue high-water mark across shards.
+    pub max_queue_depth: usize,
+    /// Submissions that had to block on a saturated shard queue.
+    pub backpressure_waits: u64,
+    /// Per-shard busy time in nanoseconds.
+    pub shard_busy_ns: Vec<u64>,
+}
+
+/// A pending single-request submission; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .expect("shard dropped a job without replying (worker died?)")
+    }
+}
+
+/// The sharded, batched analysis service (crate docs for the model).
+pub struct Service {
+    queues: Vec<Arc<BoundedQueue<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<SharedStats>,
+    seq: AtomicUsize,
+}
+
+impl Service {
+    /// Spawns the shard fleet.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let shards = cfg.shards.max(1);
+        let stats = Arc::new(SharedStats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            busy_ns: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let queues: Vec<Arc<BoundedQueue<Job>>> = (0..shards)
+            .map(|_| Arc::new(BoundedQueue::new(cfg.queue_capacity)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(idx, q)| {
+                let q = Arc::clone(q);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("rmts-svc-shard-{idx}"))
+                    .spawn(move || Shard::run(idx, q, stats))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Service {
+            queues,
+            workers,
+            stats,
+            seq: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Submits one request; blocks only if the target shard's queue is
+    /// full (backpressure). The returned [`Ticket`] resolves to the
+    /// response; its `index` is the service-wide submission sequence
+    /// number.
+    pub fn submit(&self, req: AnalyzeRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let index = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(index, req, tx);
+        Ticket { rx }
+    }
+
+    /// Analyzes a whole batch, returning responses in request order.
+    /// Memory stays flat regardless of batch size: at most
+    /// `shards × queue_capacity` requests are in flight (submission blocks
+    /// on saturated shards), and each response is collected as it lands.
+    ///
+    /// When an `obs` recording is active on the calling thread, the batch
+    /// emits `svc.*` counters/histograms (requests, memo hits/misses,
+    /// queue high-water mark, per-shard busy time, wall latency).
+    pub fn analyze_batch(&self, reqs: Vec<AnalyzeRequest>) -> Vec<Response> {
+        let t0 = Instant::now();
+        let before = self.stats_inner();
+        let n = reqs.len();
+        let (tx, rx) = mpsc::channel();
+        // Submit-then-collect cannot deadlock: shards reply through this
+        // unbounded mpsc channel and never block sending, so saturated
+        // request queues always drain even while we are still submitting.
+        for (i, req) in reqs.into_iter().enumerate() {
+            self.enqueue(i, req, tx.clone());
+        }
+        drop(tx);
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        for resp in rx {
+            let slot = resp.index;
+            out[slot] = Some(resp);
+        }
+        let responses: Vec<Response> = out
+            .into_iter()
+            .map(|r| r.expect("every submitted request gets exactly one response"))
+            .collect();
+        if rmts_obs::enabled() {
+            let after = self.stats_inner();
+            rmts_obs::count("svc.batch.requests", n as u64);
+            rmts_obs::count("svc.memo.hits", after.memo_hits - before.memo_hits);
+            rmts_obs::count("svc.memo.misses", after.memo_misses - before.memo_misses);
+            rmts_obs::count("svc.panics", after.panics - before.panics);
+            rmts_obs::count(
+                "svc.queue.backpressure_waits",
+                after.backpressure_waits - before.backpressure_waits,
+            );
+            rmts_obs::observe("svc.queue.max_depth", after.max_queue_depth as u64);
+            rmts_obs::observe("svc.batch.latency_us", t0.elapsed().as_micros() as u64);
+            for (a, b) in after.shard_busy_ns.iter().zip(before.shard_busy_ns.iter()) {
+                rmts_obs::observe("svc.shard.busy_us", (a - b) / 1_000);
+            }
+        }
+        responses
+    }
+
+    fn enqueue(&self, index: usize, req: AnalyzeRequest, reply: mpsc::Sender<Response>) {
+        let canon = CanonicalSet::of_pairs(&req.taskset);
+        // Route by canonical hash: all duplicates of a task set share a
+        // shard, so the second duplicate always finds the first's memo
+        // entry (or queues behind the job that will create it).
+        let shard = (canon.hash() % self.queues.len() as u64) as usize;
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queues[shard]
+            .push(Job {
+                index,
+                canon,
+                req,
+                reply,
+            })
+            .expect("service queues close only on drop");
+    }
+
+    fn stats_inner(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            memo_hits: self.stats.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.stats.memo_misses.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            max_queue_depth: self.queues.iter().map(|q| q.max_depth()).max().unwrap_or(0),
+            backpressure_waits: self.queues.iter().map(|q| q.push_waits()).sum(),
+            shard_busy_ns: self
+                .stats
+                .busy_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats_inner()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        for q in &self.queues {
+            q.close();
+        }
+        for w in self.workers.drain(..) {
+            // A shard that panicked outside catch_unwind is a bug; don't
+            // double-panic while unwinding, though.
+            if w.join().is_err() && !std::thread::panicking() {
+                panic!("rmts-svc shard worker panicked");
+            }
+        }
+    }
+}

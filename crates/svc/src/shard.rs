@@ -1,0 +1,230 @@
+//! A worker shard: long-lived engines, a memo table, and panic isolation.
+//!
+//! Each shard is one OS thread owning two maps:
+//!
+//! * an **engine arena** — one built [`DynPartitioner`] per distinct
+//!   engine fingerprint (algorithm + options + task-set size for the
+//!   size-dependent SPA thresholds), so a million requests against the
+//!   same configuration construct the engine once; and
+//! * a **memo table** — `(canonical pairs, m, engine fingerprint) →
+//!   Arc<AnalysisOutcome>`. The key stores the *full* canonical pair list,
+//!   not a hash, so collisions are impossible; the routing hash only
+//!   decides which shard a request lands on.
+//!
+//! A request that panics inside the engine (e.g. `m = 0` trips the
+//! engines' `assert!(m > 0)`) is contained by per-request `catch_unwind`
+//! — sound because engines are plain configuration values: all mutable
+//! analysis state (processor lists, RTA caches) lives in the panicked
+//! call's own frame and is discarded with it. The requester receives a
+//! [`Verdict::Invalid`] response and the shard keeps serving.
+
+use crate::canonical::CanonicalSet;
+use crate::queue::BoundedQueue;
+use crate::request::{AnalysisOutcome, AnalyzeRequest, Response, Verdict};
+use crate::service::SharedStats;
+use rmts_core::DynPartitioner;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One unit of work: a canonicalized request plus its reply channel.
+pub(crate) struct Job {
+    pub index: usize,
+    pub canon: CanonicalSet,
+    pub req: AnalyzeRequest,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Exact-equality memo key (see the module docs).
+#[derive(PartialEq, Eq)]
+struct MemoKey {
+    pairs: Vec<(u64, u64)>,
+    m: usize,
+    engine: String,
+}
+
+/// The engine-fingerprint inputs of the last job, plus the rendered
+/// string. Batches are typically homogeneous in their options, so this
+/// one-entry cache makes the per-job fingerprint a handful of `Copy`
+/// comparisons instead of a `format!`.
+struct FingerprintCache {
+    algorithm: rmts_core::AlgorithmSpec,
+    policy: Option<rmts_core::AdmissionPolicy>,
+    budget: crate::request::BudgetSpec,
+    degrade: bool,
+    n: usize,
+    text: String,
+}
+
+type MemoBucket = Vec<(MemoKey, Arc<AnalysisOutcome>)>;
+
+pub(crate) struct Shard {
+    idx: usize,
+    engines: HashMap<String, DynPartitioner>,
+    /// Memo buckets keyed by `(canonical routing hash, m)`; each bucket is
+    /// scanned with full exact-equality [`MemoKey`] comparison, so hash
+    /// collisions cost a compare, never a wrong answer. The bucket layout
+    /// keeps the hit path allocation-free (no owned key to build).
+    memo: HashMap<(u64, usize), MemoBucket>,
+    last_fp: Option<FingerprintCache>,
+    stats: Arc<SharedStats>,
+}
+
+impl Shard {
+    pub(crate) fn run(idx: usize, queue: Arc<BoundedQueue<Job>>, stats: Arc<SharedStats>) {
+        let mut shard = Shard {
+            idx,
+            engines: HashMap::new(),
+            memo: HashMap::new(),
+            last_fp: None,
+            stats,
+        };
+        // Drain the queue in runs: one condvar round-trip (and, on a busy
+        // machine, one context switch) buys up to `capacity` jobs.
+        let run_len = queue.capacity();
+        while let Some(jobs) = queue.pop_many(run_len) {
+            let t0 = Instant::now();
+            for job in jobs {
+                shard.serve(job);
+            }
+            let ns = t0.elapsed().as_nanos() as u64;
+            shard.stats.busy_ns[idx].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    fn serve(&mut self, job: Job) {
+        let (outcome, memo_hit) = self.outcome_for(&job);
+        let counter = if memo_hit {
+            &self.stats.memo_hits
+        } else {
+            &self.stats.memo_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        // A dropped receiver (caller gave up on the ticket) is not an
+        // error for the shard.
+        let _ = job.reply.send(Response {
+            index: job.index,
+            canonical_hash: job.canon.hash(),
+            shard: self.idx,
+            memo_hit,
+            outcome,
+        });
+    }
+
+    fn outcome_for(&mut self, job: &Job) -> (Arc<AnalysisOutcome>, bool) {
+        // `Debug` of the request's option fields is deterministic (unit
+        // enums, integers), making the fingerprint stable across runs. The
+        // task-set size is folded in because the SPA thresholds Θ(n) make
+        // engines size-dependent.
+        let n = job.canon.pairs().len();
+        let reuse = self.last_fp.as_ref().is_some_and(|c| {
+            c.algorithm == job.req.algorithm
+                && c.policy == job.req.policy
+                && c.budget == job.req.budget
+                && c.degrade == job.req.degrade
+                && c.n == n
+        });
+        if !reuse {
+            self.last_fp = Some(FingerprintCache {
+                algorithm: job.req.algorithm,
+                policy: job.req.policy,
+                budget: job.req.budget,
+                degrade: job.req.degrade,
+                n,
+                text: format!(
+                    "{:?}|{:?}|{:?}|{}|{}",
+                    job.req.algorithm, job.req.policy, job.req.budget, job.req.degrade, n
+                ),
+            });
+        }
+        let fp = &self.last_fp.as_ref().expect("just filled").text;
+        let bucket_key = (job.canon.hash(), job.req.m);
+        if let Some(bucket) = self.memo.get(&bucket_key) {
+            if let Some((_, hit)) = bucket
+                .iter()
+                .find(|(k, _)| k.engine == *fp && k.pairs == job.canon.pairs())
+            {
+                return (Arc::clone(hit), true);
+            }
+        }
+        let engine_key = fp.clone();
+        let memo_key = MemoKey {
+            pairs: job.canon.pairs().to_vec(),
+            m: job.req.m,
+            engine: engine_key.clone(),
+        };
+        let outcome = Arc::new(self.analyze(job, n, engine_key));
+        self.memo
+            .entry(bucket_key)
+            .or_default()
+            .push((memo_key, Arc::clone(&outcome)));
+        (outcome, false)
+    }
+
+    fn analyze(&mut self, job: &Job, n: usize, engine_key: String) -> AnalysisOutcome {
+        let invalid = |algorithm: String, reason: String| AnalysisOutcome {
+            algorithm,
+            m: job.req.m,
+            verdict: Verdict::Invalid { reason },
+        };
+        let ts = match job.canon.to_taskset() {
+            Ok(ts) => ts,
+            Err(e) => {
+                return invalid(
+                    job.req.algorithm.to_string(),
+                    format!("invalid task set: {e}"),
+                )
+            }
+        };
+        let engine = match self.engines.entry(engine_key) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => match job.req.algorithm.build_with(n, &job.req.options()) {
+                Ok(built) => v.insert(built),
+                Err(e) => return invalid(job.req.algorithm.to_string(), e.to_string()),
+            },
+        };
+        let m = job.req.m;
+        match catch_unwind(AssertUnwindSafe(|| engine.partition(&ts, m))) {
+            Ok(Ok(p)) => AnalysisOutcome {
+                algorithm: engine.name(),
+                m,
+                verdict: Verdict::Accepted {
+                    processors_used: p.processors.iter().filter(|q| !q.is_empty()).count(),
+                    splits: p.split_tasks().iter().map(|t| t.0).collect(),
+                    exactness: p.exactness,
+                },
+            },
+            Ok(Err(rej)) => AnalysisOutcome {
+                algorithm: engine.name(),
+                m,
+                verdict: Verdict::Rejected {
+                    phase: rej.phase,
+                    task: rej.task.map(|t| t.0),
+                    unassigned: rej.unassigned.iter().map(|t| t.0).collect(),
+                    analysis: rej.analysis,
+                    reason: rej.reason.clone(),
+                },
+            },
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                let name = engine.name();
+                invalid(name, format!("engine panicked: {}", panic_text(&payload)))
+            }
+        }
+    }
+}
+
+/// Renders a panic payload (`&str`/`String` verbatim, opaque otherwise).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-text panic payload".to_string()
+    }
+}

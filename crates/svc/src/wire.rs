@@ -1,0 +1,107 @@
+//! JSONL wire format for `rmts-cli serve-batch`.
+//!
+//! One request per input line, one response record per output line, same
+//! order. A request line is a serialized [`AnalyzeRequest`]; a response
+//! line is a [`ResponseRecord`] — the [`AnalysisOutcome`] plus routing
+//! metadata (shard, memo hit, canonical hash).
+
+use crate::request::{AnalysisOutcome, AnalyzeRequest, Response};
+use serde::{Deserialize, Serialize};
+
+/// The serialized form of a [`Response`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseRecord {
+    /// Position in the batch.
+    pub index: usize,
+    /// Canonical-form routing hash, hex.
+    pub canonical_hash: String,
+    /// Shard that served the request.
+    pub shard: usize,
+    /// Whether the memo table answered.
+    pub memo_hit: bool,
+    /// The analysis answer.
+    pub outcome: AnalysisOutcome,
+}
+
+impl From<&Response> for ResponseRecord {
+    fn from(r: &Response) -> Self {
+        ResponseRecord {
+            index: r.index,
+            canonical_hash: format!("{:016x}", r.canonical_hash),
+            shard: r.shard,
+            memo_hit: r.memo_hit,
+            outcome: (*r.outcome).clone(),
+        }
+    }
+}
+
+/// Parses a JSONL request stream. Blank lines and `#` comments are
+/// skipped; the error names the offending (1-based) line.
+pub fn parse_requests(input: &str) -> Result<Vec<AnalyzeRequest>, String> {
+    let mut reqs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let req: AnalyzeRequest =
+            serde_json::from_str(line).map_err(|e| format!("request line {}: {e}", i + 1))?;
+        reqs.push(req);
+    }
+    Ok(reqs)
+}
+
+/// Renders responses as JSONL, one [`ResponseRecord`] per line, in the
+/// given order.
+pub fn render_responses(responses: &[Response]) -> String {
+    let mut out = String::new();
+    for r in responses {
+        let record = ResponseRecord::from(r);
+        out.push_str(&serde_json::to_string(&record).expect("response records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Verdict;
+    use crate::{Service, ServiceConfig};
+    use rmts_core::AlgorithmSpec;
+
+    #[test]
+    fn request_lines_round_trip_and_bad_lines_are_located() {
+        let req = AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight);
+        let line = serde_json::to_string(&req).unwrap();
+        let input = format!("# comment\n\n{line}\n{line}\n");
+        let parsed = parse_requests(&input).unwrap();
+        assert_eq!(parsed, vec![req.clone(), req]);
+
+        let err = parse_requests("# ok\nnot json\n").unwrap_err();
+        assert!(err.starts_with("request line 2:"), "{err}");
+    }
+
+    #[test]
+    fn responses_render_one_record_per_line_in_order() {
+        let svc = Service::new(ServiceConfig::new().with_shards(2));
+        let reqs = vec![
+            AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight),
+            AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight),
+        ];
+        let responses = svc.analyze_batch(reqs);
+        let jsonl = render_responses(&responses);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let rec: ResponseRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.index, i);
+            assert!(matches!(rec.outcome.verdict, Verdict::Accepted { .. }));
+        }
+        // The duplicate's record differs only in metadata, not outcome.
+        let a: ResponseRecord = serde_json::from_str(lines[0]).unwrap();
+        let b: ResponseRecord = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.canonical_hash, b.canonical_hash);
+    }
+}

@@ -1,0 +1,245 @@
+//! Service-level guarantees: memo-hit ≡ fresh bit-identity, bounded
+//! queues under backpressure, per-request budget isolation, and panic
+//! isolation.
+
+use rmts_core::{AlgorithmSpec, BoundSpec};
+use rmts_svc::{AnalyzeRequest, BudgetSpec, CanonicalSet, Service, ServiceConfig, Verdict};
+
+fn light_pairs(seed: u64) -> Vec<(u64, u64)> {
+    // A small deterministic family of valid task sets, keyed by seed.
+    let base = [(1u64, 4u64), (2, 8), (2, 8), (4, 16)];
+    base.iter()
+        .map(|&(c, t)| (c, t + (seed % 3) * t)) // stretch periods per seed
+        .collect()
+}
+
+/// Duplicate-heavy batch: every memoized outcome must serialize to exactly
+/// the same bytes as a fresh, service-free analysis of the same request.
+#[test]
+fn memo_hits_are_bit_identical_to_fresh_analysis() {
+    let svc = Service::new(ServiceConfig::new().with_shards(4));
+    let algorithms = [
+        AlgorithmSpec::RmTs {
+            bound: BoundSpec::HarmonicChain,
+        },
+        AlgorithmSpec::RmTsLight,
+        AlgorithmSpec::Spa1,
+        AlgorithmSpec::PartitionedRm {
+            fit: rmts_core::baselines::Fit::First,
+            admission: rmts_core::baselines::UniAdmission::ExactRta,
+        },
+    ];
+    let mut reqs = Vec::new();
+    for _round in 0..6 {
+        for seed in 0..3u64 {
+            for alg in algorithms {
+                reqs.push(AnalyzeRequest::new(light_pairs(seed), 2, alg));
+            }
+        }
+    }
+    let n = reqs.len();
+    let responses = svc.analyze_batch(reqs.clone());
+    assert_eq!(responses.len(), n);
+
+    let stats = svc.stats();
+    assert_eq!(stats.memo_misses, 12, "3 sets × 4 algorithms unique");
+    assert_eq!(stats.memo_hits as usize, n - 12);
+
+    for (req, resp) in reqs.iter().zip(&responses) {
+        // Fresh, service-free reference: same canonicalization, engine
+        // built directly from the spec.
+        let canon = CanonicalSet::of_pairs(&req.taskset);
+        let ts = canon.to_taskset().unwrap();
+        let engine = req.algorithm.build_with(ts.len(), &req.options()).unwrap();
+        let fresh_verdict = match engine.partition(&ts, req.m) {
+            Ok(p) => Verdict::Accepted {
+                processors_used: p.processors.iter().filter(|q| !q.is_empty()).count(),
+                splits: p.split_tasks().iter().map(|t| t.0).collect(),
+                exactness: p.exactness,
+            },
+            Err(rej) => Verdict::Rejected {
+                phase: rej.phase,
+                task: rej.task.map(|t| t.0),
+                unassigned: rej.unassigned.iter().map(|t| t.0).collect(),
+                analysis: rej.analysis,
+                reason: rej.reason.clone(),
+            },
+        };
+        let fresh = rmts_svc::AnalysisOutcome {
+            algorithm: engine.name(),
+            m: req.m,
+            verdict: fresh_verdict,
+        };
+        assert_eq!(
+            serde_json::to_string(&*resp.outcome).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "memoized outcome differs from fresh analysis for {req:?}"
+        );
+    }
+}
+
+/// Relabeled and time-scaled duplicates of one set must share a single
+/// analysis.
+#[test]
+fn canonicalization_dedups_disguised_duplicates() {
+    let svc = Service::new(ServiceConfig::new().with_shards(2));
+    let reqs = vec![
+        AnalyzeRequest::new(vec![(1, 4), (2, 8), (4, 16)], 2, AlgorithmSpec::RmTsLight),
+        // shuffled
+        AnalyzeRequest::new(vec![(4, 16), (1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight),
+        // uniformly scaled ×7
+        AnalyzeRequest::new(
+            vec![(7, 28), (14, 56), (28, 112)],
+            2,
+            AlgorithmSpec::RmTsLight,
+        ),
+    ];
+    let responses = svc.analyze_batch(reqs);
+    assert_eq!(svc.stats().memo_misses, 1);
+    assert_eq!(svc.stats().memo_hits, 2);
+    let first = serde_json::to_string(&*responses[0].outcome).unwrap();
+    for r in &responses[1..] {
+        assert_eq!(serde_json::to_string(&*r.outcome).unwrap(), first);
+        assert_eq!(r.canonical_hash, responses[0].canonical_hash);
+        assert_eq!(r.shard, responses[0].shard, "duplicates share a shard");
+    }
+}
+
+/// With one shard and a capacity-2 queue, a batch of expensive unique sets
+/// must never hold more than 2 requests in the queue — submission blocks
+/// instead (bounded memory), and at least one push had to wait.
+#[test]
+fn backpressure_bounds_the_queue() {
+    let svc = Service::new(ServiceConfig::new().with_shards(1).with_queue_capacity(2));
+    // 40 distinct sets: no memoization, every request does real work.
+    let reqs: Vec<AnalyzeRequest> = (0..40u64)
+        .map(|i| {
+            AnalyzeRequest::new(
+                vec![(1, 4 + i), (2, 8 + i), (3, 16 + i), (5, 32 + i)],
+                2,
+                AlgorithmSpec::RmTsLight,
+            )
+        })
+        .collect();
+    let responses = svc.analyze_batch(reqs);
+    assert_eq!(responses.len(), 40);
+    let stats = svc.stats();
+    assert!(
+        stats.max_queue_depth <= 2,
+        "queue exceeded its bound: {}",
+        stats.max_queue_depth
+    );
+    assert!(
+        stats.backpressure_waits >= 1,
+        "a 40-request batch through a capacity-2 queue must block at least once"
+    );
+    assert_eq!(stats.memo_hits, 0);
+}
+
+/// A starved budget on one request must not leak into its neighbors: the
+/// same task set analyzed with and without the budget gets different memo
+/// entries and different exactness.
+#[test]
+fn per_request_budgets_are_isolated() {
+    let svc = Service::new(ServiceConfig::new().with_shards(2));
+    let pairs = vec![(1u64, 4u64), (2, 8), (2, 8), (4, 16)];
+    let starved = AnalyzeRequest::new(pairs.clone(), 2, AlgorithmSpec::RmTsLight)
+        .with_budget(BudgetSpec {
+            max_iterations: Some(0),
+            ..BudgetSpec::unlimited()
+        })
+        .with_degrade(true);
+    let normal = AnalyzeRequest::new(pairs, 2, AlgorithmSpec::RmTsLight);
+    let responses = svc.analyze_batch(vec![starved.clone(), normal.clone(), starved, normal]);
+    // Same canonical set, different engine fingerprints: 2 misses, 2 hits.
+    assert_eq!(svc.stats().memo_misses, 2);
+    assert_eq!(svc.stats().memo_hits, 2);
+    match (&responses[0].outcome.verdict, &responses[1].outcome.verdict) {
+        (
+            Verdict::Accepted {
+                exactness: starved_e,
+                ..
+            },
+            Verdict::Accepted {
+                exactness: normal_e,
+                ..
+            },
+        ) => {
+            assert!(
+                !starved_e.is_exact(),
+                "a 0-iteration budget must force the ladder"
+            );
+            assert!(normal_e.is_exact(), "the unbudgeted twin must stay exact");
+        }
+        other => panic!("both verdicts should accept: {other:?}"),
+    }
+}
+
+/// `m = 0` trips the engines' `assert!(m > 0)`; the shard must answer
+/// `Invalid` and keep serving subsequent requests.
+#[test]
+fn engine_panics_are_isolated_to_their_request() {
+    let svc = Service::new(ServiceConfig::new().with_shards(1));
+    let poisoned = AnalyzeRequest::new(vec![(1, 4), (2, 8)], 0, AlgorithmSpec::RmTsLight);
+    let healthy = AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight);
+    let responses = svc.analyze_batch(vec![poisoned, healthy.clone(), healthy]);
+    match &responses[0].outcome.verdict {
+        Verdict::Invalid { reason } => {
+            assert!(reason.contains("panic"), "unexpected reason: {reason}")
+        }
+        other => panic!("m = 0 must be Invalid, got {other:?}"),
+    }
+    for r in &responses[1..] {
+        assert!(
+            matches!(r.outcome.verdict, Verdict::Accepted { .. }),
+            "the shard must survive the panic"
+        );
+    }
+    assert_eq!(svc.stats().panics, 1);
+}
+
+/// Unrepresentable options (budget flags on the unbudgeted strict
+/// baseline) are answered as `Invalid`, not panics or silent drops.
+#[test]
+fn unrepresentable_options_are_answered_as_invalid() {
+    let svc = Service::new(ServiceConfig::default());
+    let req = AnalyzeRequest::new(
+        vec![(1, 4), (2, 8)],
+        2,
+        AlgorithmSpec::PartitionedRm {
+            fit: rmts_core::baselines::Fit::First,
+            admission: rmts_core::baselines::UniAdmission::ExactRta,
+        },
+    )
+    .with_degrade(true);
+    let responses = svc.analyze_batch(vec![req]);
+    match &responses[0].outcome.verdict {
+        Verdict::Invalid { reason } => assert!(reason.contains("prm"), "{reason}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+/// Single-request submission path: tickets resolve, order metadata is the
+/// submission sequence.
+#[test]
+fn submit_tickets_resolve_out_of_band() {
+    let svc = Service::new(ServiceConfig::default());
+    let t1 = svc.submit(AnalyzeRequest::new(
+        vec![(1, 4), (2, 8)],
+        2,
+        AlgorithmSpec::RmTsLight,
+    ));
+    let t2 = svc.submit(AnalyzeRequest::new(
+        vec![(1, 4), (2, 8)],
+        1,
+        AlgorithmSpec::RmTsLight,
+    ));
+    let r1 = t1.wait();
+    let r2 = t2.wait();
+    assert_eq!(r1.index, 0);
+    assert_eq!(r2.index, 1);
+    assert!(matches!(r1.outcome.verdict, Verdict::Accepted { .. }));
+    assert!(matches!(r2.outcome.verdict, Verdict::Accepted { .. }));
+    // Same set, different m → distinct memo entries.
+    assert_eq!(svc.stats().memo_misses, 2);
+}

@@ -24,7 +24,7 @@ use crate::divergence::Divergence;
 use crate::sut::SystemUnderTest;
 use rmts_bounds::thresholds::{light_threshold_of, rmts_cap_of};
 use rmts_bounds::{standard_catalogue, BestOf, BoundRef, ParametricBound};
-use rmts_core::{audit, Partitioner, RmTs, RmTsLight};
+use rmts_core::{audit, Partitioner, RmTs, RmTsLight, WithBound};
 use rmts_rta::is_schedulable;
 use rmts_rta::tda::tda_schedulable;
 use rmts_sim::{simulate_partitioned, simulate_reference, SimConfig, SimReport};
@@ -303,7 +303,8 @@ pub fn check_bound_soundness(ts: &TaskSet, m: usize) -> Option<Divergence> {
         // Section V (RM-TS): any set at U_M ≤ min(Λ(τ), 2Θ/(1+Θ)).
         let capped = lambda.min(rmts_cap_of(ts));
         if let Some(scaled) = deflate_to(ts, m, capped) {
-            if RmTs::with_bound(Dyn(bound.clone()))
+            if RmTs::new()
+                .with_bound(Dyn(bound.clone()))
                 .partition(&scaled, m)
                 .is_err()
             {

@@ -1,14 +1,24 @@
 //! Systems under test: the acceptance deciders the oracles cross-check.
 //!
 //! A [`SystemUnderTest`] is a *name* for a partitioner configuration, not
-//! the partitioner itself — campaigns run trials on worker threads, and
-//! `dyn Partitioner` is neither `Send` nor cheap to share, so each worker
-//! rebuilds its partitioner from the name. Names are serializable, which is
+//! the partitioner itself — campaigns rebuild engines per worker so each
+//! trial starts from pristine caches, and names are serializable, which is
 //! what lets a corpus [`Reproducer`](crate::Reproducer) reconstruct the
 //! exact configuration that diverged, months later, from JSON alone.
+//!
+//! Production SUTs delegate to [`AlgorithmSpec`], the unified dispatch
+//! layer in `rmts-core` — there is exactly one place that knows how to turn
+//! an algorithm name into an engine. The fault-injection hooks are built by
+//! hand: they are deliberately *unrepresentable* as production specs
+//! (weakened thresholds, starved budgets, unsound degradation overrides),
+//! and keeping them outside the spec vocabulary means no batch-service
+//! request can ever ask for one.
 
-use rmts_core::baselines::PartitionedRm;
-use rmts_core::{AdmissionPolicy, AnalysisBudget, Partitioner, RmTs, RmTsLight};
+use rmts_core::baselines::{Fit, UniAdmission};
+use rmts_core::{
+    AdmissionPolicy, AlgorithmSpec, AnalysisBudget, BoundSpec, Configure, DynPartitioner,
+    Partitioner, RmTs, RmTsLight,
+};
 use serde::{Deserialize, Serialize};
 
 /// A named, reconstructible partitioner configuration.
@@ -87,14 +97,37 @@ impl SystemUnderTest {
         }
     }
 
-    /// Builds the partitioner this name denotes.
-    pub fn build(self) -> Box<dyn Partitioner> {
+    /// The unified-dispatch spec for this SUT, when the configuration is a
+    /// production algorithm. Fault injectors return `None`: they must stay
+    /// outside the spec vocabulary (see the module docs).
+    pub fn spec(self) -> Option<AlgorithmSpec> {
         match self {
-            SystemUnderTest::RmTs => Box::new(RmTs::new()),
-            SystemUnderTest::RmTsLight => Box::new(RmTsLight::new()),
-            SystemUnderTest::PartitionedRm => Box::new(PartitionedRm::ffd_rta()),
+            SystemUnderTest::RmTs => Some(AlgorithmSpec::RmTs {
+                // The verify default: L&L, the most conservative bound.
+                bound: BoundSpec::LiuLayland,
+            }),
+            SystemUnderTest::RmTsLight => Some(AlgorithmSpec::RmTsLight),
+            SystemUnderTest::PartitionedRm => Some(AlgorithmSpec::PartitionedRm {
+                fit: Fit::First,
+                admission: UniAdmission::ExactRta,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Builds the partitioner this name denotes.
+    pub fn build(self) -> DynPartitioner {
+        match self {
+            SystemUnderTest::RmTs | SystemUnderTest::RmTsLight | SystemUnderTest::PartitionedRm => {
+                self.spec()
+                    .expect("production SUTs have specs")
+                    // The production algorithms are size-independent (only the
+                    // SPA thresholds consume `n`), so any `n` builds the same
+                    // engine.
+                    .build(0)
+            }
             SystemUnderTest::WeakenedAdmission => {
-                Box::new(RmTsLight::with_policy(AdmissionPolicy::threshold(1.0)))
+                Box::new(RmTsLight::new().with_policy(AdmissionPolicy::threshold(1.0)))
             }
             SystemUnderTest::StarvedRta => Box::new(
                 RmTsLight::new()
@@ -126,8 +159,8 @@ impl SystemUnderTest {
                 Box::new(RmTs::new().with_policy(AdmissionPolicy::exact().uncached())),
             )),
             SystemUnderTest::RmTsLight => Some((
-                Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().cached())),
-                Box::new(RmTsLight::with_policy(AdmissionPolicy::exact().uncached())),
+                Box::new(RmTsLight::new().with_policy(AdmissionPolicy::exact().cached())),
+                Box::new(RmTsLight::new().with_policy(AdmissionPolicy::exact().uncached())),
             )),
             // No exact pair to compare: threshold admission, or metered
             // ladder paths whose cached/uncached equivalence is covered by

@@ -45,7 +45,7 @@ fn main() {
         HarmonicChain.value(&ts)
     );
 
-    let exact = min_processors_by_partitioning(&ts, &RmTs::with_bound(HarmonicChain), 32)
+    let exact = min_processors_by_partitioning(&ts, &RmTs::new().with_bound(HarmonicChain), 32)
         .expect("feasible");
     println!("exact minimum (RM-TS accepts)  : M = {exact}\n");
 
@@ -53,7 +53,8 @@ fn main() {
     assert!(exact <= by_hc, "the bound never undershoots");
 
     // Demonstrate the guarantee end-to-end on the bound-sized platform.
-    let partition = RmTs::with_bound(HarmonicChain)
+    let partition = RmTs::new()
+        .with_bound(HarmonicChain)
         .partition(&ts, by_hc)
         .expect("guaranteed by the parametric bound");
     assert!(partition.verify_rta());

@@ -53,7 +53,7 @@ fn main() {
             .filter(|t| t.utilization() > light_threshold_of(&ts))
             .count()
     );
-    let alg = RmTs::with_bound(HarmonicChain);
+    let alg = RmTs::new().with_bound(HarmonicChain);
     println!(
         "effective RM-TS bound min(HC, 2Θ/(1+Θ)) = {:.4} (cap = {:.4})",
         alg.effective_bound(&ts),

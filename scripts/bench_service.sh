@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Record the batch-service baseline: runs the 8-shard rmts-svc service
+# against a serial fresh-analysis loop on a 10k-request duplicate-heavy
+# batch, asserts every service answer is bit-identical to fresh analysis,
+# and captures the speedup report in BENCH_service.json at the repository
+# root (the bench target writes the file itself and fails below 4x).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo bench -p rmts-bench --bench service_throughput "$@"
+
+echo
+echo "Recorded: $(pwd)/BENCH_service.json"

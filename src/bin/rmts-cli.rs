@@ -11,13 +11,15 @@
 //! rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M]
 //!                    [--panic-trial T] [--save-corpus DIR] [--json] [--stats]
 //! rmts-cli fuzz      --replay DIR                  # replay saved reproducers
+//! rmts-cli serve-batch [requests.jsonl] [--shards N] [--queue N] [--stats]
+//!                    # JSONL requests on stdin/file -> JSONL responses on stdout
 //! ```
 //!
 //! Task sets are JSON arrays of `{ "id": u32, "wcet": ticks, "period": ticks }`
 //! (1 tick = 1 µs by convention).
 
+use rmts::bounds::standard_catalogue;
 use rmts::bounds::thresholds::{light_threshold_of, rmts_cap_of};
-use rmts::bounds::{standard_catalogue, BoundRef, HarmonicChain, LiuLayland, RBound, TBound};
 use rmts::gen::trial_rng;
 use rmts::prelude::*;
 use rmts::sim::simulate_partitioned_traced;
@@ -46,6 +48,7 @@ const USAGE: &str = "usage:
   rmts-cli fuzz      [--seed S] [--trials T] [--quick] [-n N] [-m M] [--panic-trial T]
                      [--save-corpus DIR] [--json] [--stats]
   rmts-cli fuzz      --replay DIR
+  rmts-cli serve-batch [requests.jsonl] [--shards N] [--queue N] [--stats]
 
 partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
 --degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
@@ -54,7 +57,12 @@ instead of rejecting on exhaustion.
 fuzz runs a seeded differential campaign (exit code 2 on divergence or trial fault):
   rmts-cli fuzz --quick --seed 42          # 200-trial smoke, deterministic per seed
   rmts-cli fuzz --trials 10000 --seed 1    # acceptance-scale sweep
-  rmts-cli fuzz --replay tests/corpus      # replay shrunk reproducers";
+  rmts-cli fuzz --replay tests/corpus      # replay shrunk reproducers
+
+serve-batch runs the sharded batch-analysis service over a JSONL request stream
+(one serialized AnalyzeRequest per line; blank lines and # comments skipped) read
+from the file argument or stdin. Responses are JSONL on stdout in request order;
+service statistics (memo hits, queue depth, per-shard busy time) go to stderr.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
@@ -63,6 +71,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("check") => cmd_check(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve-batch") => cmd_serve_batch(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -95,14 +104,9 @@ fn parse_m(args: &[String]) -> Result<usize, String> {
         .map_err(|e| format!("-m: {e}"))
 }
 
-fn pick_bound(args: &[String]) -> Result<BoundRef, String> {
-    Ok(match flag_value(args, "--bound").unwrap_or("hc") {
-        "ll" => std::sync::Arc::new(LiuLayland),
-        "hc" => std::sync::Arc::new(HarmonicChain),
-        "t" => std::sync::Arc::new(TBound),
-        "r" => std::sync::Arc::new(RBound),
-        other => return Err(format!("unknown bound {other:?} (ll|hc|t|r)")),
-    })
+fn pick_bound(args: &[String]) -> Result<BoundSpec, String> {
+    let name = flag_value(args, "--bound").unwrap_or("hc");
+    BoundSpec::parse(name).ok_or_else(|| format!("unknown bound {name:?} (ll|hc|t|r)"))
 }
 
 fn cmd_bounds(args: &[String]) -> Result<(), String> {
@@ -142,16 +146,10 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let ts = load(path)?;
     let m = parse_m(args)?;
     let alg_name = flag_value(args, "--alg").unwrap_or("rmts");
-    let bound = pick_bound(args)?;
-
-    struct DynBound(BoundRef);
-    impl ParametricBound for DynBound {
-        fn name(&self) -> &str {
-            self.0.name()
-        }
-        fn value(&self, ts: &TaskSet) -> f64 {
-            self.0.value(ts)
-        }
+    let mut spec =
+        AlgorithmSpec::parse(alg_name).ok_or_else(|| format!("unknown algorithm {alg_name:?}"))?;
+    if let AlgorithmSpec::RmTs { bound } = &mut spec {
+        *bound = pick_bound(args)?;
     }
     // `--deadline-ms` bounds the analysis wall clock; `--degrade` lets the
     // partitioner fall down the degradation ladder (exact RTA → TDA →
@@ -159,34 +157,18 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let deadline_ms: Option<u64> = flag_value(args, "--deadline-ms")
         .map(|v| v.parse().map_err(|e| format!("--deadline-ms: {e}")))
         .transpose()?;
-    let degrade = has_flag(args, "--degrade");
-    let budget = deadline_ms
-        .map(|ms| AnalysisBudget::unlimited().with_deadline(std::time::Duration::from_millis(ms)));
-    if (budget.is_some() || degrade) && !matches!(alg_name, "rmts" | "light") {
-        return Err(format!(
-            "--deadline-ms/--degrade only apply to the budgeted algorithms (rmts|light), not {alg_name:?}"
-        ));
+    let mut budget = AnalysisBudget::unlimited();
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
     }
-    let alg: Box<dyn Partitioner> = match alg_name {
-        "rmts" => {
-            let mut a = RmTs::with_bound(DynBound(bound));
-            if let Some(b) = budget {
-                a = a.with_budget(b);
-            }
-            Box::new(a.with_degrade(degrade))
-        }
-        "light" => {
-            let mut a = RmTsLight::new();
-            if let Some(b) = budget {
-                a = a.with_budget(b);
-            }
-            Box::new(a.with_degrade(degrade))
-        }
-        "spa1" => Box::new(spa1(ts.len())),
-        "spa2" => Box::new(spa2(ts.len())),
-        "prm" => Box::new(PartitionedRm::ffd_rta()),
-        other => return Err(format!("unknown algorithm {other:?}")),
+    let opts = EngineOptions {
+        policy: None,
+        budget,
+        degrade: has_flag(args, "--degrade"),
     };
+    let alg = spec
+        .build_with(ts.len(), &opts)
+        .map_err(|e| format!("{e} (re-run without --deadline-ms/--degrade)"))?;
 
     println!(
         "{}: partitioning N = {} tasks (U_M = {:.4}) onto M = {m}",
@@ -261,15 +243,25 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let ts = load(path)?;
     let m = parse_m(args)?;
     let n = ts.len();
-    let algs: Vec<Box<dyn Partitioner>> = vec![
-        Box::new(RmTs::new()),
-        Box::new(RmTs::with_bound(HarmonicChain)),
-        Box::new(RmTsLight::new()),
-        Box::new(spa1(n)),
-        Box::new(spa2(n)),
-        Box::new(PartitionedRm::ffd_rta()),
-        Box::new(PartitionedRm::ffd_ll()),
+    // The spec catalogue (every algorithm at its defaults) plus the
+    // side-by-side variants the comparison table has always shown.
+    let mut algs: Vec<DynPartitioner> = vec![
+        AlgorithmSpec::RmTs {
+            bound: BoundSpec::LiuLayland,
+        }
+        .build(n),
+        AlgorithmSpec::RmTs {
+            bound: BoundSpec::HarmonicChain,
+        }
+        .build(n),
     ];
+    algs.extend(
+        AlgorithmSpec::ALL
+            .iter()
+            .filter(|s| !matches!(s, AlgorithmSpec::RmTs { .. }))
+            .map(|s| s.build(n)),
+    );
+    algs.push(Box::new(PartitionedRm::ffd_ll()));
     println!(
         "N = {n}, U_M = {:.4} on M = {m}\n",
         ts.normalized_utilization(m)
@@ -300,6 +292,64 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                     .unwrap_or_default()
             ),
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
+    use rmts::svc::{wire, Service, ServiceConfig};
+    use std::io::Read;
+
+    let input = match args.first().filter(|a| !a.starts_with('-')) {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("read stdin: {e}"))?;
+            buf
+        }
+    };
+    let reqs = wire::parse_requests(&input)?;
+    let shards: usize = flag_value(args, "--shards")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("--shards: {e}"))?;
+    let queue: usize = flag_value(args, "--queue")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|e| format!("--queue: {e}"))?;
+
+    let recording = has_flag(args, "--stats").then(rmts::obs::Recording::start);
+    let svc = Service::new(
+        ServiceConfig::new()
+            .with_shards(shards)
+            .with_queue_capacity(queue),
+    );
+    let n = reqs.len();
+    let t0 = std::time::Instant::now();
+    let responses = svc.analyze_batch(reqs);
+    let elapsed = t0.elapsed();
+    print!("{}", wire::render_responses(&responses));
+
+    let stats = svc.stats();
+    eprintln!(
+        "served {n} request(s) in {:.1} ms on {shards} shard(s): \
+         {} memo hit(s), {} miss(es), {} panic(s) isolated, \
+         queue high-water {}, {} backpressure wait(s)",
+        elapsed.as_secs_f64() * 1e3,
+        stats.memo_hits,
+        stats.memo_misses,
+        stats.panics,
+        stats.max_queue_depth,
+        stats.backpressure_waits,
+    );
+    if let Some(rec) = recording {
+        let snap = rec.finish();
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        );
     }
     Ok(())
 }

@@ -21,6 +21,7 @@
 //! | [`exp`] | experiment harness regenerating the paper's evaluation |
 //! | [`obs`] | opt-in observability: counters, histograms, span timers |
 //! | [`verify`] | differential oracles, counterexample shrinking, fuzz campaigns |
+//! | [`svc`] | sharded, batched analysis service with canonicalizing memo tables |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use rmts_gen as gen;
 pub use rmts_obs as obs;
 pub use rmts_rta as rta;
 pub use rmts_sim as sim;
+pub use rmts_svc as svc;
 pub use rmts_taskmodel as taskmodel;
 pub use rmts_verify as verify;
 
@@ -64,13 +66,15 @@ pub mod prelude {
     };
     pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
     pub use rmts_core::{
-        audit, AdmissionPolicy, AnalysisBudget, AnalysisError, Bottleneck, Exactness,
-        MaxSplitStrategy, OverheadModel, Partition, PartitionPhase, PartitionReject, Partitioner,
-        RmTs, RmTsLight,
+        audit, AdmissionPolicy, AlgorithmSpec, AnalysisBudget, AnalysisError, Bottleneck,
+        BoundSpec, Configure, DynPartitioner, EngineOptions, Exactness, MaxSplitStrategy,
+        OverheadModel, Partition, PartitionPhase, PartitionReject, Partitioner, RmTs, RmTsLight,
+        WithBound,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_obs::{Recording, StatsSnapshot};
     pub use rmts_sim::{simulate_global, simulate_partitioned, SimConfig, SimReport};
+    pub use rmts_svc::{AnalyzeRequest, BudgetSpec, Service, ServiceConfig, Verdict};
     pub use rmts_taskmodel::{
         Priority, Subtask, SubtaskKind, Task, TaskId, TaskSet, TaskSetBuilder, Time,
     };

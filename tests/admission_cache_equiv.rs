@@ -63,8 +63,8 @@ proptest! {
     fn rmts_light_cached_equals_scratch((ts, m) in arb_instance()) {
         for strategy in [MaxSplitStrategy::BinarySearch, MaxSplitStrategy::SchedulingPoints] {
             let (cached, scratch) = policy_pair(strategy);
-            let a = RmTsLight::with_policy(cached).partition(&ts, m);
-            let b = RmTsLight::with_policy(scratch).partition(&ts, m);
+            let a = RmTsLight::new().with_policy(cached).partition(&ts, m);
+            let b = RmTsLight::new().with_policy(scratch).partition(&ts, m);
             match (a, b) {
                 (Ok(pa), Ok(pb)) => prop_assert_eq!(pa, pb, "{:?}: partitions differ", strategy),
                 (Err(fa), Err(fb)) => {

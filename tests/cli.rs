@@ -258,6 +258,8 @@ fn partition_reports_exactness_and_accepts_a_budget() {
 
 #[test]
 fn budget_flags_are_rejected_for_unbudgeted_algorithms() {
+    // `prm` is the one algorithm with no metered analysis; the budgeted
+    // splitting family (rmts/light/spa1/spa2) all honor the flags.
     let ts = write_demo_taskset();
     let out = cli()
         .args([
@@ -266,7 +268,7 @@ fn budget_flags_are_rejected_for_unbudgeted_algorithms() {
             "-m",
             "2",
             "--alg",
-            "spa1",
+            "prm",
             "--degrade",
         ])
         .output()
@@ -297,6 +299,61 @@ fn fuzz_panic_trial_finishes_lists_the_fault_and_exits_2() {
     assert!(stdout.contains("fault s42-t7"), "{stdout}");
     assert!(stdout.contains("injected campaign fault at trial 7"));
     assert!(stdout.contains("1 FAULTS"));
+}
+
+#[test]
+fn serve_batch_answers_jsonl_in_order_with_memoization() {
+    use rmts::svc::wire::ResponseRecord;
+    use rmts::svc::{AlgorithmSpec, AnalyzeRequest, Verdict};
+
+    let dup = AnalyzeRequest::new(
+        vec![(2_000, 10_000), (5_000, 20_000), (4_000, 10_000)],
+        2,
+        AlgorithmSpec::RmTsLight,
+    );
+    let distinct =
+        AnalyzeRequest::new(vec![(1_000, 4_000), (3_000, 9_000)], 1, AlgorithmSpec::Spa2);
+    let mut lines = String::from("# rmts-cli serve-batch smoke input\n\n");
+    for req in [&dup, &dup, &distinct] {
+        lines.push_str(&serde_json::to_string(req).unwrap());
+        lines.push('\n');
+    }
+    let input = temppath::TempPath::new("rmts_cli_batch.jsonl", &lines);
+    let out = cli()
+        .args(["serve-batch", input.as_str(), "--shards", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let records: Vec<ResponseRecord> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("response line parses"))
+        .collect();
+    assert_eq!(records.len(), 3);
+    for (i, rec) in records.iter().enumerate() {
+        assert_eq!(rec.index, i, "responses come back in request order");
+        assert!(matches!(rec.outcome.verdict, Verdict::Accepted { .. }));
+    }
+    // The duplicate was served from the memo table, bit-identically.
+    assert!(records[1].memo_hit);
+    assert_eq!(records[0].outcome, records[1].outcome);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 memo hit(s), 2 miss(es)"), "{stderr}");
+}
+
+#[test]
+fn serve_batch_locates_malformed_request_lines() {
+    let input = temppath::TempPath::new("rmts_cli_bad_batch.jsonl", "# ok\nnot json\n");
+    let out = cli()
+        .args(["serve-batch", input.as_str()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("request line 2"));
 }
 
 #[test]

@@ -42,7 +42,7 @@ fn full_design_flow() {
     assert!(m >= (h.total_utilization().ceil() as usize));
 
     // 3. Partition on the sized platform; the bound guarantees success.
-    let alg = RmTs::with_bound(HarmonicChain);
+    let alg = RmTs::new().with_bound(HarmonicChain);
     assert!(h.normalized_utilization(m) <= alg.effective_bound(&h) + 1e-12);
     let partition = alg.partition(&h, m).expect("guaranteed by the bound");
 
@@ -70,7 +70,7 @@ fn bound_sizing_matches_theorem_on_the_original_set() {
     // RM-TS must still accept on that many processors.
     let ts = workload();
     let m = min_processors_by_bound(&ts, &HarmonicChain);
-    let alg = RmTs::with_bound(HarmonicChain);
+    let alg = RmTs::new().with_bound(HarmonicChain);
     assert!(ts.normalized_utilization(m) <= alg.effective_bound(&ts) + 1e-12);
     let partition = alg.partition(&ts, m).expect("inside the bound");
     assert!(audit(&partition, &ts).is_empty());

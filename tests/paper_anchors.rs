@@ -54,7 +54,7 @@ fn three_chain_bound_is_achieved() {
     assert_eq!(chain_count(&ts), 3);
 
     let m = 2;
-    let alg = RmTs::with_bound(HarmonicChain);
+    let alg = RmTs::new().with_bound(HarmonicChain);
     let lambda = alg.effective_bound(&ts);
     // The effective bound is min(HC(3), 2Θ(7)/(1+Θ(7))).
     assert!(lambda >= hc_bound(3).min(rmts_cap(ll_bound(7))) - 1e-12);

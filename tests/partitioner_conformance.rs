@@ -1,0 +1,163 @@
+//! Conformance suite for the unified `Partitioner` dispatch layer.
+//!
+//! Every algorithm in the [`AlgorithmSpec`] catalogue, exercised purely
+//! through `dyn Partitioner` trait objects over generated workloads, must
+//! uphold the API contract the batch service (and every other caller)
+//! relies on:
+//!
+//! * an **accept** yields a partition that covers the task set, passes the
+//!   structural audit, and verifies under exact RTA;
+//! * a **reject** yields a well-formed [`PartitionReject`] (phase set,
+//!   rejected task identified and listed, unassigned ids sorted/deduped);
+//! * two runs of the same engine on the same input produce **identical**
+//!   results — the determinism the service's memo table turns into its
+//!   memo-hit ≡ fresh guarantee.
+
+use rmts::gen::trial_rng;
+use rmts::prelude::*;
+
+fn workloads() -> Vec<TaskSet> {
+    // A spread of generator families and loads: light/harmonic (mostly
+    // accepted), log-uniform at moderate load, and overloaded (mostly
+    // rejected) — both verdict paths get real coverage.
+    let mut sets = Vec::new();
+    for (trial, &(n, u)) in [(8usize, 1.4f64), (8, 1.9), (12, 2.4), (6, 1.0)]
+        .iter()
+        .enumerate()
+    {
+        let cfg = GenConfig::new(n, u).with_utilization(UtilizationSpec::capped(0.45));
+        sets.push(cfg.generate(&mut trial_rng(7, trial as u64)).unwrap());
+        let cfg = GenConfig::new(n, u).with_periods(PeriodGen::Harmonic {
+            base: 10_000,
+            octaves: 4,
+        });
+        sets.push(cfg.generate(&mut trial_rng(11, trial as u64)).unwrap());
+    }
+    sets
+}
+
+fn catalogue(n: usize) -> Vec<DynPartitioner> {
+    AlgorithmSpec::ALL.iter().map(|s| s.build(n)).collect()
+}
+
+#[test]
+fn accepts_are_audit_clean_and_rta_verified() {
+    for (si, ts) in workloads().iter().enumerate() {
+        for m in [2usize, 4] {
+            for alg in catalogue(ts.len()) {
+                if let Ok(p) = alg.partition(ts, m) {
+                    assert!(
+                        p.covers(ts),
+                        "{} lost budget on set {si}, m = {m}",
+                        alg.name()
+                    );
+                    let defects = audit(&p, ts);
+                    assert!(
+                        defects.is_empty(),
+                        "{} structural audit on set {si}, m = {m}: {defects:?}",
+                        alg.name()
+                    );
+                    assert!(
+                        p.verify_rta(),
+                        "{} accepted an RTA-invalid partition on set {si}, m = {m}",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rejects_are_well_formed_diagnostics() {
+    let mut rejects_seen = 0usize;
+    for ts in &workloads() {
+        // m = 1 under total utilization > 1 forces rejections everywhere.
+        for m in [1usize, 2] {
+            for alg in catalogue(ts.len()) {
+                if let Err(rej) = alg.partition(ts, m) {
+                    rejects_seen += 1;
+                    assert!(
+                        !rej.unassigned.is_empty(),
+                        "{}: a reject must name at least one unassigned task",
+                        alg.name()
+                    );
+                    let mut sorted = rej.unassigned.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(
+                        rej.unassigned,
+                        sorted,
+                        "{}: unassigned ids must be sorted and deduped",
+                        alg.name()
+                    );
+                    let task = rej
+                        .task
+                        .unwrap_or_else(|| panic!("{}: reject without a task", alg.name()));
+                    assert!(
+                        rej.unassigned.contains(&task) || ts.tasks().iter().any(|t| t.id == task),
+                        "{}: rejected task {task:?} is not from the set",
+                        alg.name()
+                    );
+                    assert!(
+                        !rej.reason.is_empty(),
+                        "{}: reject without a reason",
+                        alg.name()
+                    );
+                    // The partial partition must still be structurally
+                    // sane for the tasks it did place.
+                    for b in &rej.bottlenecks {
+                        assert!(b.processor < m, "{}: bottleneck off-range", alg.name());
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        rejects_seen >= 10,
+        "the workload family must actually exercise the reject path (saw {rejects_seen})"
+    );
+}
+
+#[test]
+fn partitioning_is_deterministic_across_runs() {
+    for ts in &workloads() {
+        for m in [2usize, 3] {
+            for spec in AlgorithmSpec::ALL {
+                let a = spec.build(ts.len());
+                let b = spec.build(ts.len());
+                match (a.partition(ts, m), b.partition(ts, m)) {
+                    (Ok(p1), Ok(p2)) => {
+                        assert_eq!(p1, p2, "{} accept is not deterministic (m = {m})", a.name())
+                    }
+                    (Err(r1), Err(r2)) => {
+                        assert_eq!(r1, r2, "{} reject is not deterministic (m = {m})", a.name())
+                    }
+                    (r1, r2) => panic!(
+                        "{} verdict flipped between runs (m = {m}): {} vs {}",
+                        a.name(),
+                        r1.is_ok(),
+                        r2.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spec_names_and_engines_agree_across_the_catalogue() {
+    // `accepts` through the trait object must agree with a full
+    // `partition` call — the default-method contract.
+    let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
+    for spec in AlgorithmSpec::ALL {
+        let alg = spec.build(ts.len());
+        assert_eq!(
+            alg.accepts(&ts, 2),
+            alg.partition(&ts, 2).is_ok(),
+            "{}: accepts() diverges from partition()",
+            alg.name()
+        );
+        assert_eq!(AlgorithmSpec::parse(spec.as_str()), Some(spec));
+    }
+}

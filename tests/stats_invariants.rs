@@ -50,10 +50,15 @@ fn cache_hits_plus_misses_equal_probes() {
 fn cached_and_scratch_report_identical_decision_counters() {
     let sets = [tight_set(), overloaded_set()];
     for (i, ts) in sets.iter().enumerate() {
-        let (a, cached) =
-            obs::record(|| RmTsLight::with_policy(AdmissionPolicy::exact()).partition(ts, 2));
+        let (a, cached) = obs::record(|| {
+            RmTsLight::new()
+                .with_policy(AdmissionPolicy::exact())
+                .partition(ts, 2)
+        });
         let (b, scratch) = obs::record(|| {
-            RmTsLight::with_policy(AdmissionPolicy::exact().uncached()).partition(ts, 2)
+            RmTsLight::new()
+                .with_policy(AdmissionPolicy::exact().uncached())
+                .partition(ts, 2)
         });
         assert_eq!(a.is_ok(), b.is_ok(), "set {i}: verdicts diverged");
         for key in [
