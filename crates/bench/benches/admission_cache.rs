@@ -105,7 +105,7 @@ fn exp1_sets(m: usize, count: u64) -> Vec<TaskSet> {
 fn bench(c: &mut Criterion) {
     // Correctness gate before timing: cached and scratch agree everywhere.
     for trial in 0..50 {
-        let sc = scenario(16, trial);
+        let mut sc = scenario(16, trial);
         for &x in &sc.budgets {
             assert_eq!(
                 sc.cache.probe(&sc.spec, x),
@@ -151,19 +151,20 @@ fn bench(c: &mut Criterion) {
             })
         });
 
-        // MaxSplit by binary search: ~log₂ C probes per call.
-        group.bench_with_input(
-            BenchmarkId::new("maxsplit_cached", n),
-            &scenarios,
-            |b, sc| {
-                let mut i = 0;
-                b.iter(|| {
-                    i += 1;
-                    let s = &sc[i % sc.len()];
-                    black_box(s.cache.max_budget_bsearch(&s.spec, s.spec.deadline))
-                })
-            },
-        );
+        // MaxSplit by binary search: ~log₂ C probes per call. The cached
+        // search is `&mut` now (it recycles its probe buffers through the
+        // cache's spare pool), so these scenarios are owned mutably by the
+        // closure rather than passed as bench input.
+        let mut ms_scenarios: Vec<Scenario> = (0..16).map(|t| scenario(n, t)).collect();
+        group.bench_function(BenchmarkId::new("maxsplit_cached", n), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                let idx = i % ms_scenarios.len();
+                let s = &mut ms_scenarios[idx];
+                black_box(s.cache.max_budget_bsearch(&s.spec, s.spec.deadline))
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("maxsplit_scratch", n),
             &scenarios,
@@ -232,6 +233,9 @@ fn bench(c: &mut Criterion) {
 fn record_stats(m: usize, sets: &[TaskSet]) -> String {
     let alg = RmTsLight::new();
     let (_, snap) = rmts_obs::record(|| {
+        // Pre-touch the rebuild counter so the snapshot always carries the
+        // key — a run with zero rebuilds should report `0`, not omit it.
+        rmts_obs::count("rta.cache.rebuilds", 0);
         for ts in sets {
             black_box(alg.partition(ts, m).is_ok());
         }
@@ -240,6 +244,11 @@ fn record_stats(m: usize, sets: &[TaskSet]) -> String {
         snap.counter("rta.cache.hits") + snap.counter("rta.cache.misses"),
         snap.counter("rta.cache.probes"),
         "cache probe accounting out of balance"
+    );
+    assert!(
+        snap.counter("rta.cache.rebuilds") <= m as u64,
+        "cross-processor cache reuse regressed: {} rebuilds on the reference run (cap: m = {m})",
+        snap.counter("rta.cache.rebuilds")
     );
     serde_json::to_string_pretty(&snap).expect("render stats JSON")
 }

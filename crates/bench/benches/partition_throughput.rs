@@ -1,0 +1,248 @@
+//! End-to-end partition throughput: the optimized whole-set RM-TS/light
+//! hot path against a reconstruction of the PR-1 baseline.
+//!
+//! The earlier `admission_cache` bench showed 3.7–5.8× *kernel* speedups
+//! while the end-to-end `partition/8` ratio sat at 0.97× — the probe wins
+//! were being refunded as cache maintenance, per-call allocation, and
+//! unpruned TDA scheduling points. This bench times the whole partitioning
+//! call on deep sets (n = 64–256 tasks, m = 16–64 processors) two ways:
+//!
+//! * `baseline_*` — the PR-1 path: scratch (uncached) admission on every
+//!   probe, fresh allocations per call (`partition()` with no workspace);
+//! * `optimized_*` — the current hot path: incremental `RtaCache`
+//!   admission carried across processors, a recycled
+//!   [`PartitionWorkspace`] (pooled processors + plan queue, allocation-
+//!   free steady state), and lazily-merged, deduplicated TDA scheduling
+//!   points.
+//!
+//! Before timing, every set is partitioned both ways and the results are
+//! asserted **bit-identical** (same `Partition`, including response-time
+//! bit patterns). After timing, a recorded pass checks that the reference
+//! workload triggers at most `m` cache rebuilds (the cross-processor reuse
+//! contract; it is 0 in practice). The geometric-mean speedup across the
+//! grid is the headline, written with everything else to
+//! `BENCH_partition.json`; the harness itself enforces the ≥ 1.5× CI
+//! floor.
+
+use criterion::{BenchmarkId, Criterion};
+use rmts_bench::SEED;
+use rmts_core::{AdmissionPolicy, Configure, PartitionWorkspace, Partitioner, RmTsLight};
+use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+use rmts_taskmodel::TaskSet;
+use serde::Value;
+use std::hint::black_box;
+
+/// The deep-set grid: `(n, m)` points spanning the ISSUE's target range,
+/// from shallow packing (n/m = 4, processors close after a handful of
+/// placements) to the deepest case (n/m = 16, where per-processor
+/// workloads grow long and incremental admission pays off most).
+const GRID: [(usize, usize); 5] = [(64, 16), (128, 16), (256, 16), (256, 32), (256, 64)];
+
+/// Sets per grid point (rotated through each timed iteration).
+const SETS: u64 = 4;
+
+/// EXP-1-style deep sets: log-uniform periods on the 10 ms grid,
+/// unconstrained UUniFast utilizations, total utilization at 85% of
+/// capacity — high enough that admission works for its verdicts, low
+/// enough that most sets are accepted end-to-end.
+fn deep_sets(n: usize, m: usize) -> Vec<TaskSet> {
+    (0..SETS)
+        .map(|trial| {
+            let cfg = GenConfig::new(n, 0.85 * m as f64)
+                .with_periods(PeriodGen::LogUniform {
+                    min: 10_000,
+                    max: 1_000_000,
+                    granularity: 10_000,
+                })
+                .with_utilization(UtilizationSpec::any());
+            cfg.generate(&mut trial_rng(
+                SEED ^ 0xDEE9,
+                (n as u64) << 32 | (m as u64) << 16 | trial,
+            ))
+            .expect("generator")
+        })
+        .collect()
+}
+
+/// The PR-1 reconstruction: scratch admission, no buffer reuse.
+fn baseline_engine() -> RmTsLight {
+    RmTsLight::new().with_policy(AdmissionPolicy::exact().uncached())
+}
+
+/// The optimized hot path: cached admission (the default policy).
+fn optimized_engine() -> RmTsLight {
+    RmTsLight::new()
+}
+
+fn bench(c: &mut Criterion) -> u64 {
+    // Bit-identity gate: on every grid set, the optimized path (cached
+    // admission + recycled workspace) must reproduce the baseline's
+    // partition exactly — accepted or rejected.
+    let mut ws = PartitionWorkspace::new();
+    for &(n, m) in &GRID {
+        for (i, ts) in deep_sets(n, m).iter().enumerate() {
+            let base = baseline_engine().partition(ts, m);
+            let opt = optimized_engine().partition_with(ts, m, &mut ws);
+            match (base, opt) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "n={n} m={m} set {i}: partitions diverge");
+                    ws.recycle(b);
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(*a, *b, "n={n} m={m} set {i}: rejects diverge");
+                    ws.recycle(b.partial);
+                }
+                (a, b) => panic!(
+                    "n={n} m={m} set {i}: verdicts diverge (baseline ok={}, optimized ok={})",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+    println!("partition_throughput: optimized ≡ baseline on the whole grid; timing\n");
+
+    let mut group = c.benchmark_group("partition_throughput");
+    group.sample_size(50);
+    for &(n, m) in &GRID {
+        let sets = deep_sets(n, m);
+        let param = format!("{n}x{m}");
+        group.bench_with_input(BenchmarkId::new("baseline", &param), &sets, |b, sets| {
+            let engine = baseline_engine();
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                black_box(engine.partition(&sets[i % sets.len()], m).is_ok())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", &param), &sets, |b, sets| {
+            let engine = optimized_engine();
+            let mut ws = PartitionWorkspace::new();
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                let ok = match engine.partition_with(&sets[i % sets.len()], m, &mut ws) {
+                    Ok(p) => {
+                        let ok = true;
+                        ws.recycle(p);
+                        ok
+                    }
+                    Err(rej) => {
+                        ws.recycle(rej.partial);
+                        false
+                    }
+                };
+                black_box(ok)
+            })
+        });
+    }
+    group.finish();
+
+    // Cross-processor cache reuse contract on a recorded reference pass:
+    // fresh processors must not rebuild their (empty) caches, so a whole
+    // grid point triggers at most m rebuilds — 0 in practice.
+    let (_, snap) = rmts_obs::record(|| {
+        rmts_obs::count("rta.cache.rebuilds", 0);
+        let engine = optimized_engine();
+        let mut ws = PartitionWorkspace::new();
+        for ts in &deep_sets(128, 16) {
+            match engine.partition_with(ts, 16, &mut ws) {
+                Ok(p) => ws.recycle(p),
+                Err(rej) => ws.recycle(rej.partial),
+            }
+        }
+    });
+    let rebuilds = snap.counter("rta.cache.rebuilds");
+    assert!(
+        rebuilds <= 16,
+        "cross-processor cache reuse regressed: {rebuilds} rebuilds (cap: m = 16)"
+    );
+    println!("rta.cache.rebuilds on the recorded reference pass: {rebuilds}");
+    rebuilds
+}
+
+fn render(results: &[criterion::BenchResult], rebuilds: u64) -> String {
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("group".into(), Value::Str(r.group.clone())),
+                ("name".into(), Value::Str(r.name.clone())),
+                ("mean_ns".into(), Value::Float(r.mean_ns)),
+                ("iters".into(), Value::UInt(r.iters)),
+            ])
+        })
+        .collect();
+
+    let mut speedups = Vec::new();
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    let mut min_speedup = f64::INFINITY;
+    for r in results {
+        let Some(rest) = r.name.strip_prefix("baseline/") else {
+            continue;
+        };
+        let opt_name = format!("optimized/{rest}");
+        let Some(o) = results.iter().find(|x| x.name == opt_name) else {
+            continue;
+        };
+        let speedup = r.mean_ns / o.mean_ns;
+        min_speedup = min_speedup.min(speedup);
+        log_sum += speedup.ln();
+        count += 1;
+        speedups.push(Value::Object(vec![
+            ("grid".into(), Value::Str(rest.to_string())),
+            ("baseline_ns".into(), Value::Float(r.mean_ns)),
+            ("optimized_ns".into(), Value::Float(o.mean_ns)),
+            ("speedup".into(), Value::Float(speedup)),
+        ]));
+    }
+    assert!(count > 0, "no baseline/optimized pairs were timed");
+    let geomean = (log_sum / count as f64).exp();
+    assert!(
+        geomean >= 1.5,
+        "end-to-end partition speedup floor violated: geomean {geomean:.2}x < 1.5x"
+    );
+
+    let report = Value::Object(vec![
+        ("bench".into(), Value::Str("partition_throughput".into())),
+        (
+            "description".into(),
+            Value::Str(
+                "whole-set RM-TS/light partitioning on deep sets (n=64-256, m=16-64): \
+                 optimized hot path (cross-processor RtaCache reuse + recycled \
+                 PartitionWorkspace + pruned TDA points) vs the PR-1 baseline \
+                 (scratch admission, fresh allocations per call); results asserted \
+                 bit-identical before timing"
+                    .into(),
+            ),
+        ),
+        ("seed".into(), Value::UInt(SEED)),
+        ("sets_per_grid_point".into(), Value::UInt(SETS)),
+        ("results".into(), Value::Array(entries)),
+        ("speedups".into(), Value::Array(speedups)),
+        ("min_speedup".into(), Value::Float(min_speedup)),
+        ("end_to_end_geomean_speedup".into(), Value::Float(geomean)),
+        (
+            "rta_cache_rebuilds_reference_pass".into(),
+            Value::UInt(rebuilds),
+        ),
+        ("bit_identity".into(), Value::Str("verified".into())),
+    ]);
+    serde_json::to_string_pretty(&report).expect("render JSON")
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let rebuilds = bench(&mut c);
+    let json = render(c.results(), rebuilds);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_partition.json");
+    std::fs::write(path, &json).expect("write BENCH_partition.json");
+    println!("\nreport written to {path}");
+    for line in json
+        .lines()
+        .filter(|l| l.contains("speedup") || l.contains("rebuilds"))
+    {
+        println!("  {}", line.trim());
+    }
+}

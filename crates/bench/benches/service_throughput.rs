@@ -27,6 +27,9 @@ use std::hint::black_box;
 const UNIQUE_SETS: usize = 150;
 const BATCH: usize = 10_000;
 const SHARDS: usize = 8;
+/// Size of the 0%-duplicate batch (every request a distinct set — all
+/// memo misses, isolating fresh-analysis throughput).
+const FRESH_BATCH: usize = 600;
 
 /// ~150 unique task sets in the EXP-1 style (log-uniform periods on the
 /// 10 ms grid). Deep sets near the schedulability edge: admission-control
@@ -71,6 +74,41 @@ fn batch() -> Vec<AnalyzeRequest> {
                 4,
                 algorithms[(i / sets.len()) % algorithms.len()],
             )
+        })
+        .collect()
+}
+
+/// A 0%-duplicate batch: every request carries a distinct task set, so the
+/// memo table never hits and every answer is a fresh analysis. This is the
+/// complement of [`batch`]: it measures the service's un-memoizable hot
+/// path (canonicalization, queueing, engine reuse, workspace-recycled
+/// partitioning) rather than deduplication.
+fn fresh_only_batch() -> Vec<AnalyzeRequest> {
+    let algorithms = [
+        AlgorithmSpec::RmTsLight,
+        AlgorithmSpec::RmTs {
+            bound: BoundSpec::HarmonicChain,
+        },
+    ];
+    (0..FRESH_BATCH as u64)
+        .map(|trial| {
+            let n = 52 + (trial % 8) as usize;
+            let cfg = GenConfig::new(n, 0.87 * 4.0)
+                .with_periods(PeriodGen::LogUniform {
+                    min: 10_000,
+                    max: 1_000_000,
+                    granularity: 10_000,
+                })
+                .with_utilization(UtilizationSpec::capped(0.6));
+            let ts = cfg
+                .generate(&mut trial_rng(SEED ^ 0xF0, trial))
+                .expect("generator");
+            let pairs = ts
+                .tasks()
+                .iter()
+                .map(|t| (t.wcet.ticks(), t.period.ticks()))
+                .collect();
+            AnalyzeRequest::new(pairs, 4, algorithms[(trial % 2) as usize])
         })
         .collect()
 }
@@ -165,6 +203,54 @@ fn bench(c: &mut Criterion) -> (u64, u64) {
             black_box(svc.analyze_batch(reqs.clone()).len())
         })
     });
+
+    // The 0%-duplicate variant: every request distinct, every answer a
+    // fresh analysis. Gate first: the batch really is duplicate-free and
+    // still bit-identical to serial analysis.
+    let fresh_reqs = fresh_only_batch();
+    let svc = Service::new(
+        ServiceConfig::new()
+            .with_shards(SHARDS)
+            .with_queue_capacity(1_500),
+    );
+    let responses = svc.analyze_batch(fresh_reqs.clone());
+    for (req, resp) in fresh_reqs.iter().zip(&responses) {
+        let fresh = fresh_outcome(req);
+        assert_eq!(
+            serde_json::to_string(&*resp.outcome).unwrap(),
+            serde_json::to_string(&fresh).unwrap(),
+            "0%-duplicate service outcome diverged from fresh analysis"
+        );
+    }
+    let fresh_stats = svc.stats();
+    assert_eq!(
+        fresh_stats.memo_misses as usize,
+        fresh_reqs.len(),
+        "the 0%-duplicate batch must be all memo misses: {fresh_stats:?}"
+    );
+    drop(svc);
+
+    group.bench_function("serial_0dup", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for req in &fresh_reqs {
+                if matches!(fresh_outcome(req).verdict, Verdict::Accepted { .. }) {
+                    accepted += 1;
+                }
+            }
+            black_box(accepted)
+        })
+    });
+    group.bench_function("service_0dup", |b| {
+        b.iter(|| {
+            let svc = Service::new(
+                ServiceConfig::new()
+                    .with_shards(SHARDS)
+                    .with_queue_capacity(1_500),
+            );
+            black_box(svc.analyze_batch(fresh_reqs.clone()).len())
+        })
+    });
     group.finish();
     (hits, misses)
 }
@@ -184,6 +270,19 @@ fn render(results: &[criterion::BenchResult], memo_hits: u64, memo_misses: u64) 
         speedup >= 4.0,
         "the service must beat the serial loop by >= 4x on the duplicate-heavy \
          batch (got {speedup:.2}x: serial {serial:.0} ns vs service {service:.0} ns)"
+    );
+    let serial_0dup = mean("serial_0dup");
+    let service_0dup = mean("service_0dup");
+    let fresh_speedup = serial_0dup / service_0dup;
+    // With zero duplicates the memo never helps; the win comes from shard
+    // parallelism (absent on single-core CI boxes) plus engine/workspace
+    // reuse on the miss path. Gate only against pathological overhead —
+    // the recorded `fresh_speedup_0dup` is the honest headline.
+    assert!(
+        fresh_speedup >= 0.7,
+        "service overhead swamps fresh analysis on the 0%-duplicate batch \
+         (got {fresh_speedup:.2}x: serial {serial_0dup:.0} ns vs \
+         service {service_0dup:.0} ns)"
     );
 
     let entries: Vec<Value> = results
@@ -213,8 +312,10 @@ fn render(results: &[criterion::BenchResult], memo_hits: u64, memo_misses: u64) 
         ("shards".into(), Value::UInt(SHARDS as u64)),
         ("memo_hits".into(), Value::UInt(memo_hits)),
         ("memo_misses".into(), Value::UInt(memo_misses)),
+        ("fresh_batch_size".into(), Value::UInt(FRESH_BATCH as u64)),
         ("results".into(), Value::Array(entries)),
         ("speedup".into(), Value::Float(speedup)),
+        ("fresh_speedup_0dup".into(), Value::Float(fresh_speedup)),
         ("bit_identity".into(), Value::Str("verified".into())),
     ]);
     serde_json::to_string_pretty(&report).expect("render JSON")

@@ -79,13 +79,28 @@ pub fn queue_increasing_priority(
     ts: &TaskSet,
     include: impl Fn(TaskId) -> bool,
 ) -> VecDeque<SplitPlan> {
-    let mut items: Vec<SplitPlan> = ts
-        .iter_prioritized()
-        .filter(|(_, t)| include(t.id))
-        .map(|(p, t)| SplitPlan::new(*t, p))
-        .collect();
-    items.reverse(); // index N−1 (lowest priority) first
-    items.into()
+    let mut queue = VecDeque::new();
+    queue_increasing_priority_into(ts, include, &mut queue);
+    queue
+}
+
+/// Allocation-recycling form of [`queue_increasing_priority`]: clears
+/// `out` and fills it with the identical deque (front = lowest priority),
+/// reusing its capacity. Used by the workspace-backed partition entry
+/// points.
+pub fn queue_increasing_priority_into(
+    ts: &TaskSet,
+    include: impl Fn(TaskId) -> bool,
+    out: &mut VecDeque<SplitPlan>,
+) {
+    out.clear();
+    // Pushing each prioritized task to the *front* yields the same order as
+    // collect + reverse: the lowest-priority task ends up first.
+    for (p, t) in ts.iter_prioritized() {
+        if include(t.id) {
+            out.push_front(SplitPlan::new(*t, p));
+        }
+    }
 }
 
 /// Picks the next processor for a phase, or `None` when every eligible
@@ -109,6 +124,46 @@ pub fn pick_processor(
     }
 }
 
+/// Sentinel selection key for a full or phase-ineligible processor. No
+/// candidate key can collide with it: candidate keys are `to_bits` of
+/// finite non-negative utilizations, all below the NaN bit patterns.
+const CLOSED: u64 = u64::MAX;
+
+/// Selection key for a candidate processor: the IEEE-754 bit pattern of
+/// its utilization. For non-negative floats `to_bits` is strictly
+/// monotone in `total_cmp` order, so an integer minimum scan replicates
+/// [`pick_processor`]'s worst-fit comparator exactly (ties on
+/// utilization resolve to the smaller index, because the scan keeps the
+/// first strict minimum). Adding `0.0` first normalizes the `-0.0` an
+/// empty workload sums to — `-0.0` has the sign bit set and would
+/// otherwise order *above* every positive utilization.
+#[inline]
+fn selection_key(utilization: f64) -> u64 {
+    (utilization + 0.0).to_bits()
+}
+
+/// Selection over the compact key cache ([`CLOSED`] marks
+/// full-or-ineligible processors). Branch-light integer comparisons —
+/// this scan runs once per placement, so it is the partition loop's
+/// hottest read path at large `m`.
+fn pick_cached(utils: &[u64], select: Select) -> Option<usize> {
+    match select {
+        Select::WorstFit => {
+            let mut best: Option<usize> = None;
+            let mut best_key = CLOSED;
+            for (i, &k) in utils.iter().enumerate() {
+                if k < best_key {
+                    best_key = k;
+                    best = Some(i);
+                }
+            }
+            best
+        }
+        Select::LargestIndexFirstFit => utils.iter().rposition(|&k| k != CLOSED),
+        Select::SmallestIndexFirstFit => utils.iter().position(|&k| k != CLOSED),
+    }
+}
+
 /// Runs one assignment phase. Work items are consumed from the front of
 /// `queue`; fully placed plans are appended to `sealed`. The phase ends
 /// when the queue is empty or no eligible processor remains non-full
@@ -117,6 +172,16 @@ pub fn pick_processor(
 /// `ctl` carries the per-run analysis budget and degradation switch; with
 /// [`AnalysisControl::unlimited`] the phase is bit-identical to the
 /// historical unbudgeted engine.
+///
+/// `utils` is the phase's selection scratch (any `Vec`; the workspace
+/// lends its recycled one). Candidate selection reads one contiguous
+/// integer key per processor (see [`selection_key`]) instead of
+/// re-scanning the processor structs on every placement — `eligible` is
+/// therefore evaluated **once per phase** per processor, which is
+/// equivalent because every in-tree eligibility rule depends only on
+/// phase-stable state (role, index); fullness is tracked in the cache as
+/// it changes.
+#[allow(clippy::too_many_arguments)] // free function mirroring the paper's Assign loop; the extra arg is the workspace scratch
 pub fn run_phase(
     processors: &mut [ProcessorState],
     eligible: &dyn Fn(&ProcessorState) -> bool,
@@ -125,9 +190,22 @@ pub fn run_phase(
     policy: &AdmissionPolicy,
     sealed: &mut Vec<SplitPlan>,
     ctl: &AnalysisControl,
+    utils: &mut Vec<u64>,
 ) -> Result<(), EngineError> {
+    utils.clear();
+    utils.extend(processors.iter().map(|p| {
+        if !p.full && eligible(p) {
+            selection_key(p.utilization())
+        } else {
+            CLOSED
+        }
+    }));
     while !queue.is_empty() {
-        let Some(q) = pick_processor(processors, &eligible, select) else {
+        let picked = {
+            let _span = rmts_obs::span("core.phase.candidate_scan_ns");
+            pick_cached(utils, select)
+        };
+        let Some(q) = picked else {
             return Ok(()); // all eligible processors full; leftovers remain
         };
         // Invariant: the loop guard checked `!queue.is_empty()`, so a front
@@ -162,6 +240,7 @@ pub fn run_phase(
             };
             proc.push(spec.with_budget(cap, seq, kind));
             let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
+            utils[q] = selection_key(proc.utilization());
             plan.seal_tail(q, response).map_err(|cause| EngineError {
                 task: spec.parent,
                 cause: EngineFault::Model(cause),
@@ -171,12 +250,14 @@ pub fn run_phase(
         } else {
             // MaxSplit: place the largest feasible first part, then close
             // the processor (Definition 3 guarantees a bottleneck exists).
-            let x = policy
-                .max_budget_ctl(proc, &spec, cap, ctl)
-                .map_err(|e| EngineError {
-                    task: spec.parent,
-                    cause: EngineFault::Budget(e),
-                })?;
+            let x = {
+                let _span = rmts_obs::span("core.phase.maxsplit_ns");
+                policy.max_budget_ctl(proc, &spec, cap, ctl)
+            }
+            .map_err(|e| EngineError {
+                task: spec.parent,
+                cause: EngineFault::Budget(e),
+            })?;
             // With a single operative test, `fits_whole == false` implies
             // `x < cap`. Mixed-rung verdicts under a degrading budget can
             // nominate `x == cap` (fits decided on one rung, the budget on a
@@ -194,6 +275,7 @@ pub fn run_phase(
                 rmts_obs::count("core.engine.splits", 1);
             }
             proc.full = true;
+            utils[q] = CLOSED;
             rmts_obs::count("core.engine.processors_closed", 1);
         }
     }
@@ -324,6 +406,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &AnalysisControl::unlimited(),
+            &mut Vec::new(),
         )
         .unwrap();
         assert!(q.is_empty());
@@ -355,6 +438,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &AnalysisControl::unlimited(),
+            &mut Vec::new(),
         )
         .unwrap();
         assert!(q.is_empty());
@@ -394,6 +478,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &ctl,
+            &mut Vec::new(),
         )
         .unwrap();
         assert!(q.is_empty());
@@ -435,6 +520,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &ctl,
+            &mut Vec::new(),
         )
         .unwrap();
         assert!(q.is_empty(), "the light set passes the threshold test");
@@ -459,6 +545,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &ctl,
+            &mut Vec::new(),
         )
         .unwrap_err();
         assert!(matches!(
@@ -489,6 +576,7 @@ mod tests {
             &AdmissionPolicy::exact(),
             &mut sealed,
             &AnalysisControl::unlimited(),
+            &mut Vec::new(),
         )
         .unwrap();
         assert!(!q.is_empty(), "the third task cannot fit");

@@ -58,6 +58,7 @@ pub mod processor;
 pub mod rmts;
 pub mod rmts_light;
 pub mod spec;
+pub mod workspace;
 
 pub use admission::AdmissionPolicy;
 pub use audit::{audit, AuditError};
@@ -76,3 +77,4 @@ pub use rmts::RmTs;
 pub use rmts_light::RmTsLight;
 pub use rmts_taskmodel::{AnalysisBudget, AnalysisError, BudgetResource};
 pub use spec::{AlgorithmSpec, BoundSpec, EngineOptions, SpecError};
+pub use workspace::PartitionWorkspace;

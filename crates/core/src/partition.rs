@@ -374,6 +374,21 @@ pub trait Partitioner: Send + Sync {
     /// Attempts to partition `ts` onto `m` processors.
     fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult;
 
+    /// [`Self::partition`] against a reusable buffer arena: implementations
+    /// that support it draw their processor states and work queue from `ws`
+    /// instead of allocating, with **bit-identical** results. The default
+    /// ignores the workspace (correct for every engine; merely slower), so
+    /// callers can drive any [`DynPartitioner`] through one loop.
+    fn partition_with(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut crate::workspace::PartitionWorkspace,
+    ) -> PartitionResult {
+        let _ = ws;
+        self.partition(ts, m)
+    }
+
     /// Convenience: did partitioning succeed?
     fn accepts(&self, ts: &TaskSet, m: usize) -> bool {
         self.partition(ts, m).is_ok()

@@ -73,6 +73,11 @@ impl ProcessorState {
         full: bool,
         subtasks: Vec<Subtask>,
     ) -> Self {
+        // An empty workload needs no rebuild: the empty cache is already
+        // exact, so fresh processors never pay `RtaCache::from_workload`
+        // (previously every partition run counted one `rta.cache.rebuilds`
+        // per processor just for this trivial case).
+        let cache_fresh = subtasks.is_empty();
         let mut p = ProcessorState {
             index,
             role,
@@ -83,10 +88,29 @@ impl ProcessorState {
             budget_sum: Time::ZERO,
             revision: 0,
             cache: RtaCache::new(),
-            cache_fresh: false,
+            cache_fresh,
         };
         p.recompute_totals();
         p
+    }
+
+    /// Resets to a fresh, empty, normal processor with the given index,
+    /// keeping every internal buffer's capacity (workload vector, admission
+    /// cache). Observationally identical to `*self = ProcessorState::new(i)`
+    /// — used by [`crate::workspace::PartitionWorkspace`] so recycled
+    /// processors re-enter the partition loop without reallocating.
+    pub fn reset(&mut self, index: usize) {
+        self.index = index;
+        self.role = ProcessorRole::Normal;
+        self.full = false;
+        self.subtasks.clear();
+        self.revision = 0;
+        self.cache.clear();
+        self.cache_fresh = true;
+        // Re-derive the totals with the shared fold so even the empty sums
+        // are bit-identical to a fresh processor's (std's empty f64 sum is
+        // `-0.0`, and the incremental `+=` path builds on that identity).
+        self.recompute_totals();
     }
 
     /// Assigned utilization `U(P_q) = Σ C_s / T_s` over hosted subtasks.
@@ -334,11 +358,33 @@ mod tests {
 
     #[test]
     fn equality_ignores_derived_state() {
+        // Build both sides from the same subtask value — no owned copy of
+        // `a`'s workload needed (audit-style consumers borrow workloads).
+        let s = sub(1, 1, 4, 4);
         let mut a = ProcessorState::new(0);
-        a.push(sub(1, 1, 4, 4));
-        let b = ProcessorState::from_parts(0, ProcessorRole::Normal, false, a.workload().to_vec());
+        a.push(s);
+        let b = ProcessorState::from_parts(0, ProcessorRole::Normal, false, vec![s]);
         // Different revision histories, same observable state.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_matches_fresh_processor() {
+        let mut p = ProcessorState::new(0);
+        p.push(sub(2, 3, 12, 12));
+        p.push(sub(0, 1, 4, 4));
+        p.full = true;
+        p.role = ProcessorRole::Dedicated;
+        p.reset(3);
+        let fresh = ProcessorState::new(3);
+        assert_eq!(p, fresh);
+        assert_eq!(p.revision(), fresh.revision());
+        assert_eq!(p.utilization().to_bits(), fresh.utilization().to_bits());
+        assert_eq!(p.budget(), fresh.budget());
+        // The recycled cache answers like a fresh one.
+        assert!(p.rta_cache().is_empty());
+        p.push(sub(1, 2, 8, 8));
+        assert_eq!(p.cached_response(0), Some(Time::new(2)));
     }
 
     #[test]

@@ -23,10 +23,11 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::config::{Configure, WithBound};
-use crate::engine::{queue_increasing_priority, run_phase, EngineError, Select};
+use crate::engine::{queue_increasing_priority_into, run_phase, EngineError, Select};
 use crate::ladder::{AnalysisControl, Exactness};
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::{ProcessorRole, ProcessorState};
+use crate::workspace::PartitionWorkspace;
 use rmts_bounds::thresholds::{light_threshold, rmts_cap};
 use rmts_bounds::{ll_bound, LiuLayland, ParametricBound};
 use rmts_taskmodel::{AnalysisBudget, Priority, SplitPlan, Subtask, Task, TaskId, TaskSet};
@@ -229,13 +230,24 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
     }
 
     fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
+        // Single code path: a fresh workspace makes this identical to the
+        // historical scratch run (same allocations, same results).
+        self.partition_with(ts, m, &mut PartitionWorkspace::new())
+    }
+
+    fn partition_with(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+    ) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
         let ctl = self.control();
         let theta = ll_bound(ts.len());
         let light_thr = light_threshold(theta);
         let lambda = self.effective_bound(ts);
 
-        let mut processors: Vec<ProcessorState> = (0..m).map(ProcessorState::new).collect();
+        let mut processors = ws.take_processors(m);
         let mut sealed: Vec<SplitPlan> = Vec::with_capacity(ts.len());
         let mut reserved: HashSet<TaskId> = HashSet::new();
 
@@ -318,7 +330,8 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
         drop(phase1);
 
         // Phases 2 and 3 share one work queue, in increasing priority order.
-        let mut queue = queue_increasing_priority(ts, |id| !reserved.contains(&id));
+        queue_increasing_priority_into(ts, |id| !reserved.contains(&id), &mut ws.queue);
+        let queue = &mut ws.queue;
 
         let phase2 = {
             let _span = rmts_obs::span("core.phase.assign_normal_ns");
@@ -326,10 +339,11 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut processors,
                 &|p: &ProcessorState| p.role == ProcessorRole::Normal,
                 Select::WorstFit,
-                &mut queue,
+                queue,
                 &self.policy,
                 &mut sealed,
                 &ctl,
+                &mut ws.select,
             )
         };
         if let Err(e) = phase2 {
@@ -350,10 +364,11 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut processors,
                 &|p: &ProcessorState| p.role == ProcessorRole::PreAssigned,
                 Select::LargestIndexFirstFit,
-                &mut queue,
+                queue,
                 &self.policy,
                 &mut sealed,
                 &ctl,
+                &mut ws.select,
             )
         };
         if let Err(e) = phase3 {

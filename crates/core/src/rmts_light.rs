@@ -14,10 +14,10 @@
 use crate::admission::AdmissionPolicy;
 use crate::config::Configure;
 pub use crate::engine::Select as FitSelect;
-use crate::engine::{queue_increasing_priority, run_phase, Select};
+use crate::engine::{queue_increasing_priority_into, run_phase, Select};
 use crate::ladder::AnalysisControl;
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
-use crate::processor::ProcessorState;
+use crate::workspace::PartitionWorkspace;
 use rmts_taskmodel::{AnalysisBudget, TaskSet};
 
 /// The RM-TS/light partitioning algorithm.
@@ -126,10 +126,21 @@ impl Partitioner for RmTsLight {
     }
 
     fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
+        // Single code path: a fresh workspace makes this identical to the
+        // historical scratch run (same allocations, same results).
+        self.partition_with(ts, m, &mut PartitionWorkspace::new())
+    }
+
+    fn partition_with(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+    ) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
         let ctl = self.control();
-        let mut processors: Vec<ProcessorState> = (0..m).map(ProcessorState::new).collect();
-        let mut queue = queue_increasing_priority(ts, |_| true);
+        let mut processors = ws.take_processors(m);
+        queue_increasing_priority_into(ts, |_| true, &mut ws.queue);
         let mut sealed = Vec::with_capacity(ts.len());
         let phase = {
             let _span = rmts_obs::span("core.phase.assign_normal_ns");
@@ -137,13 +148,14 @@ impl Partitioner for RmTsLight {
                 &mut processors,
                 &|_| true,
                 self.select,
-                &mut queue,
+                &mut ws.queue,
                 &self.policy,
                 &mut sealed,
                 &ctl,
+                &mut ws.select,
             )
         };
-        let mut unassigned: Vec<_> = queue.iter().map(|p| p.task().id).collect();
+        let mut unassigned: Vec<_> = ws.queue.iter().map(|p| p.task().id).collect();
         let rejected = unassigned.first().copied();
         let (rejected, reason, analysis) = match phase {
             Err(e) => {

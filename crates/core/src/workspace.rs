@@ -1,0 +1,106 @@
+//! Reusable buffers for repeated partition runs.
+//!
+//! A single RM-TS partition call is cheap on the analysis side (the
+//! incremental [`RtaCache`](rmts_rta::RtaCache) answers probes in near-O(1))
+//! but, run from scratch, pays a fixed allocation tax: a fresh processor
+//! vector, per-processor workload and cache buffers, and the phase work
+//! queue. On deep campaign workloads — millions of partition calls over
+//! sets where each processor hosts only a handful of subtasks — that tax
+//! dominates the kernel wins.
+//!
+//! [`PartitionWorkspace`] amortizes it. Callers that partition in a loop
+//! keep one workspace, pass it to
+//! [`Partitioner::partition_with`](crate::partition::Partitioner::partition_with),
+//! and hand accepted partitions back via [`PartitionWorkspace::recycle`].
+//! Recycled [`ProcessorState`]s are [`reset`](ProcessorState::reset) — a
+//! capacity-preserving wipe that is observationally identical to a freshly
+//! constructed processor — so results are **bit-identical** to workspace-free
+//! runs (property-tested in `tests/admission_cache_equiv.rs`), while the
+//! steady-state admission loop performs no heap allocation at all.
+
+use crate::partition::Partition;
+use crate::processor::ProcessorState;
+use rmts_taskmodel::SplitPlan;
+use std::collections::VecDeque;
+
+/// Recyclable buffer arena for the partition hot path: a processor pool
+/// whose internal buffers (workload vectors, RTA caches) survive across
+/// runs, plus the phase work queue.
+#[derive(Debug, Default)]
+pub struct PartitionWorkspace {
+    /// Retired processor states, buffers intact, awaiting reset + reuse.
+    pool: Vec<ProcessorState>,
+    /// The phase work queue, reused across runs.
+    pub(crate) queue: VecDeque<SplitPlan>,
+    /// Worst-fit selection cache (one integer key per processor), reused
+    /// across phases by [`run_phase`](crate::engine::run_phase).
+    pub(crate) select: Vec<u64>,
+}
+
+impl PartitionWorkspace {
+    /// An empty workspace. The first run through it allocates like a
+    /// scratch run; subsequent runs reuse everything it retired.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out `m` fresh processors indexed `0..m`, recycling pooled
+    /// states (and their internal buffers) before constructing new ones.
+    /// Every returned state is observationally identical to
+    /// `ProcessorState::new(i)`.
+    pub(crate) fn take_processors(&mut self, m: usize) -> Vec<ProcessorState> {
+        let mut procs = std::mem::take(&mut self.pool);
+        procs.truncate(m);
+        for (i, p) in procs.iter_mut().enumerate() {
+            p.reset(i);
+        }
+        for i in procs.len()..m {
+            procs.push(ProcessorState::new(i));
+        }
+        procs
+    }
+
+    /// Returns a finished partition's processors to the pool so the next
+    /// [`take_processors`](Self::take_processors) reuses their buffers.
+    /// Purely an optimization — skipping it only costs allocations.
+    pub fn recycle(&mut self, partition: Partition) {
+        self.recycle_processors(partition.processors);
+    }
+
+    /// [`Self::recycle`] for a bare processor vector (the engine-level
+    /// loops and the allocation tests drive processors directly).
+    pub fn recycle_processors(&mut self, processors: Vec<ProcessorState>) {
+        if processors.capacity() > self.pool.capacity() || processors.len() > self.pool.len() {
+            self.pool = processors;
+        }
+    }
+
+    /// Number of pooled processor states (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_matches_fresh_construction() {
+        let mut ws = PartitionWorkspace::new();
+        let first = ws.take_processors(3);
+        assert_eq!(first.len(), 3);
+        ws.recycle_processors(first);
+        assert_eq!(ws.pooled(), 3);
+        // Shrinking and growing both hand out exactly fresh-equivalent
+        // states with the right indices.
+        for m in [2usize, 5] {
+            let procs = ws.take_processors(m);
+            assert_eq!(procs.len(), m);
+            for (i, p) in procs.iter().enumerate() {
+                assert_eq!(p, &ProcessorState::new(i));
+            }
+            ws.recycle_processors(procs);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Debug allocation counting for zero-alloc invariants.
+//!
+//! The partition hot path (DESIGN.md §5) promises that the steady-state
+//! admission loop performs **zero heap allocations** once its buffers are
+//! warm. Promises rot; counters don't. A test binary installs
+//! [`CountingAllocator`] as its `#[global_allocator]` and brackets the
+//! region under test with [`thread_allocations`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rmts_obs::alloc::CountingAllocator =
+//!     rmts_obs::alloc::CountingAllocator;
+//!
+//! let before = rmts_obs::alloc::thread_allocations();
+//! hot_loop();
+//! assert_eq!(rmts_obs::alloc::thread_allocations() - before, 0);
+//! ```
+//!
+//! The counter is **per thread**, so allocator traffic from unrelated
+//! threads (test harness, service shards) cannot flip a verdict. Only
+//! allocation events count (`alloc`, `alloc_zeroed`, `realloc`);
+//! deallocations are free to the invariant and are not tracked.
+//!
+//! This is a debug hook, not an observability source: it bypasses the
+//! `Recording` tables entirely (the counter must work while recorders are
+//! off, and counting into a thread-local table from inside the allocator
+//! would recurse).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap allocation events this thread has performed since it
+/// started (under a [`CountingAllocator`]; always 0 otherwise).
+pub fn thread_allocations() -> u64 {
+    // `try_with`: reads during TLS teardown just see 0 instead of aborting.
+    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[inline]
+fn bump() {
+    // `try_with` keeps allocations during TLS teardown from aborting the
+    // process (the counter silently misses those — fine for a debug hook).
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// A [`System`]-backed global allocator that counts allocation events into
+/// a thread-local counter read by [`thread_allocations`]. Install with
+/// `#[global_allocator]` in test binaries that assert zero-alloc
+/// invariants; behavior is otherwise identical to [`System`].
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The unit-test binary does not install the allocator (that would tax
+    // every other test); the end-to-end behavior lives in the workspace
+    // `zero_alloc` integration test. Here we only pin the counter API.
+    #[test]
+    fn counter_reads_zero_without_installation() {
+        assert_eq!(thread_allocations(), 0);
+    }
+
+    #[test]
+    fn bump_is_visible_on_the_same_thread() {
+        let before = thread_allocations();
+        bump();
+        bump();
+        assert_eq!(thread_allocations() - before, 2);
+        // Another thread's counter is independent.
+        std::thread::spawn(|| assert_eq!(thread_allocations(), 0))
+            .join()
+            .unwrap();
+    }
+}

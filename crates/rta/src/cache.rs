@@ -112,6 +112,12 @@ pub struct RtaCache {
     /// pattern of the partitioning engine), which then needs no fixed-point
     /// work at all. Cleared by any push.
     memo: Option<ProbeMemo>,
+    /// Retired response buffer recycled between probes: consumed memo
+    /// splices and failed probes park their `Vec<Time>` here so the
+    /// steady-state probe→push cycle never allocates. Never observable.
+    spare: Vec<Time>,
+    /// Second retired buffer (binary search threads two: seed + in-flight).
+    spare2: Vec<Time>,
 }
 
 /// See [`RtaCache::memo`].
@@ -142,11 +148,33 @@ impl RtaCache {
             safe: Vec::with_capacity(workload.len()),
             points: Vec::new(),
             memo: None,
+            spare: Vec::new(),
+            spare2: Vec::new(),
         };
         for &s in workload {
             cache.push(s);
         }
         cache
+    }
+
+    /// Empties the cache while keeping every internal buffer's capacity
+    /// (subtasks, responses, scheduling points, retired probe buffers), so
+    /// a recycled cache reaches its steady state without reallocating.
+    /// Equivalent to `*self = RtaCache::new()` in every observable way.
+    pub fn clear(&mut self) {
+        self.sorted.clear();
+        self.resp.clear();
+        self.safe.clear();
+        if let Some(memo) = self.memo.take() {
+            self.stash_spare(memo.resp);
+        }
+    }
+
+    /// Parks a retired response buffer for reuse, keeping the larger one.
+    fn stash_spare(&mut self, v: Vec<Time>) {
+        if v.capacity() > self.spare.capacity() {
+            self.spare = v;
+        }
     }
 
     /// Number of cached subtasks.
@@ -210,11 +238,13 @@ impl RtaCache {
         // (The responses depend only on the probed parameters and the
         // workload, which is unchanged since any push clears the memo.)
         if let Some(memo) = self.memo.take() {
-            if memo.priority == s.priority
-                && memo.period == s.period
-                && memo.deadline == s.deadline
-                && memo.budget == s.wcet
+            if memo.priority != s.priority
+                || memo.period != s.period
+                || memo.deadline != s.deadline
+                || memo.budget != s.wcet
             {
+                self.stash_spare(memo.resp);
+            } else {
                 let pos = self.le_end(s.priority.0);
                 self.sorted.insert(pos, s);
                 let lt = self.lt_end(s.priority.0);
@@ -249,6 +279,7 @@ impl RtaCache {
                     };
                 }
                 rmts_obs::count("rta.cache.memo_hits", 1);
+                self.stash_spare(memo.resp);
                 return Some(own);
             }
         }
@@ -420,10 +451,13 @@ impl RtaCache {
         x: Time,
         tally: &mut ProbeTally,
     ) -> bool {
-        let mut warm = WarmProbe::default();
-        if let Some(old) = self.memo.take() {
-            warm.scratch = old.resp; // reuse the allocation
-        }
+        let mut warm = WarmProbe {
+            scratch: match self.memo.take() {
+                Some(old) => old.resp, // reuse the allocation
+                None => std::mem::take(&mut self.spare),
+            },
+            ..WarmProbe::default()
+        };
         let ok = self.probe_warm(new, x, &mut warm, tally);
         if ok {
             self.memo = Some(ProbeMemo {
@@ -433,6 +467,11 @@ impl RtaCache {
                 budget: x,
                 resp: warm.resp,
             });
+            self.stash_spare(warm.scratch);
+        } else {
+            // Failed probe: both buffers retire (no memo to carry them).
+            self.stash_spare(warm.scratch);
+            self.stash_spare(warm.resp);
         }
         ok
     }
@@ -447,7 +486,7 @@ impl RtaCache {
     /// response times are monotone in the probed budget, so the fixed
     /// points found by the last *feasible* probe are valid (and much
     /// tighter) starting points for every later, larger budget.
-    pub fn max_budget_bsearch(&self, new: &NewcomerSpec, cap: Time) -> Time {
+    pub fn max_budget_bsearch(&mut self, new: &NewcomerSpec, cap: Time) -> Time {
         let mut tally = ProbeTally::default();
         let mut iters = 0u64;
         let out = self.max_budget_bsearch_counted(new, cap, &mut tally, &mut iters);
@@ -461,7 +500,7 @@ impl RtaCache {
     /// all of its warm-started probes (same post-charge rationale as
     /// [`Self::probe_remember_metered`]).
     pub fn max_budget_bsearch_metered(
-        &self,
+        &mut self,
         new: &NewcomerSpec,
         cap: Time,
         meter: &BudgetMeter,
@@ -477,26 +516,48 @@ impl RtaCache {
     }
 
     fn max_budget_bsearch_counted(
-        &self,
+        &mut self,
         new: &NewcomerSpec,
         cap: Time,
         tally: &mut ProbeTally,
         iters: &mut u64,
     ) -> Time {
-        let mut warm = WarmProbe::default();
-        if !self.probe_warm(new, Time::ZERO, &mut warm, tally) {
+        // The search threads two buffers (seed + in-flight); both come from
+        // and return to the retired-buffer pool, so repeated searches on a
+        // warm cache allocate nothing.
+        let mut warm = WarmProbe {
+            x: Time::ZERO,
+            resp: std::mem::take(&mut self.spare2),
+            scratch: std::mem::take(&mut self.spare),
+        };
+        warm.resp.clear();
+        let out = self.bsearch_with_warm(new, cap, &mut warm, tally, iters);
+        self.spare = warm.scratch;
+        self.spare2 = warm.resp;
+        out
+    }
+
+    fn bsearch_with_warm(
+        &self,
+        new: &NewcomerSpec,
+        cap: Time,
+        warm: &mut WarmProbe,
+        tally: &mut ProbeTally,
+        iters: &mut u64,
+    ) -> Time {
+        if !self.probe_warm(new, Time::ZERO, warm, tally) {
             return Time::ZERO;
         }
         let mut lo = Time::ZERO; // feasible
         let mut hi = cap.min(new.deadline); // candidate upper end
-        if self.probe_warm(new, hi, &mut warm, tally) {
+        if self.probe_warm(new, hi, warm, tally) {
             return hi;
         }
         // Invariant: lo feasible, hi infeasible.
         while hi.ticks() - lo.ticks() > 1 {
             *iters += 1;
             let mid = Time::new((lo.ticks() + hi.ticks()) / 2);
-            if self.probe_warm(new, mid, &mut warm, tally) {
+            if self.probe_warm(new, mid, warm, tally) {
                 lo = mid;
             } else {
                 hi = mid;

@@ -15,6 +15,14 @@
 //! [`crate::rta`]; the two are cross-checked against each other by property
 //! tests, and TDA's scheduling-point enumeration is reused by the efficient
 //! admissible-budget computation in [`crate::budget`].
+//!
+//! Feasibility sweeps do **not** materialize the point set: because `W` is
+//! constant between consecutive points and each sweep stops at the first
+//! witness of `W(t) ≤ t`, the points are generated lazily in ascending
+//! deduplicated order ([`visit_points_ascending`]) and everything past the
+//! witness is pruned — never built, sorted, or evaluated. Only the slack
+//! computations in [`crate::budget`], which genuinely need every point,
+//! still use the materialized [`scheduling_points`] form.
 
 use crate::rta::interference;
 use rmts_taskmodel::{AnalysisError, BudgetMeter, Subtask, Time};
@@ -58,16 +66,56 @@ pub fn time_demand(c: Time, hp: &[(Time, Time)], t: Time) -> Time {
     })
 }
 
+/// Visits the scheduling points for `deadline` and the periods of `hp` in
+/// ascending, deduplicated order — the same point set as
+/// [`scheduling_points`] — stopping at the first point `visit` accepts.
+/// Returns whether a point was accepted.
+///
+/// This is the monotone-pruned form of the sweep: points past the first
+/// witness are never generated (a k-way lazy merge over per-period
+/// next-multiple cursors replaces materialize + sort + dedup), so a typical
+/// feasibility check touches only a short prefix of the point set.
+fn visit_points_ascending(
+    deadline: Time,
+    hp: &[(Time, Time)],
+    mut visit: impl FnMut(Time) -> bool,
+) -> bool {
+    // `(next multiple, period)` cursor per interferer; zero periods cannot
+    // contribute points (matching `scheduling_points_into`).
+    let mut next: Vec<(u64, u64)> = hp
+        .iter()
+        .filter(|&&(_, t)| !t.is_zero())
+        .map(|&(_, t)| (t.ticks(), t.ticks()))
+        .collect();
+    let d = deadline.ticks();
+    loop {
+        let mut t = d;
+        for &(n, _) in &next {
+            if n < t {
+                t = n;
+            }
+        }
+        if visit(Time::new(t)) {
+            return true;
+        }
+        if t == d {
+            return false; // the deadline is always the last point
+        }
+        for cursor in &mut next {
+            if cursor.0 == t {
+                cursor.0 = cursor.0.saturating_add(cursor.1);
+            }
+        }
+    }
+}
+
 /// TDA test for a single "virtual task" `(c, deadline)` against
 /// higher-priority `(C_j, T_j)` interferers.
 pub fn tda_feasible(c: Time, deadline: Time, hp: &[(Time, Time)]) -> bool {
     if c > deadline {
         return false;
     }
-    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
-    scheduling_points(deadline, &periods)
-        .into_iter()
-        .any(|t| time_demand(c, hp, t) <= t)
+    visit_points_ascending(deadline, hp, |t| time_demand(c, hp, t) <= t)
 }
 
 /// TDA schedulability of `workload[index]` against its synthetic deadline.
@@ -107,12 +155,17 @@ pub fn tda_response_bound(workload: &[Subtask], index: usize) -> Option<Time> {
         .filter(|&(j, s)| j != index && s.priority.is_higher_than(me.priority))
         .map(|(_, s)| (s.wcet, s.period))
         .collect();
-    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
-    scheduling_points(me.deadline, &periods)
-        .into_iter()
-        .map(|t| (t, time_demand(me.wcet, &hp, t)))
-        .find(|&(t, w)| w <= t)
-        .map(|(_, w)| w)
+    let mut bound = None;
+    visit_points_ascending(me.deadline, &hp, |t| {
+        let w = time_demand(me.wcet, &hp, t);
+        if w <= t {
+            bound = Some(w);
+            true
+        } else {
+            false
+        }
+    });
+    bound
 }
 
 /// Budget-aware [`tda_feasible`]: charges one iteration per scheduling
@@ -127,14 +180,18 @@ pub fn tda_feasible_metered(
     if c > deadline {
         return Ok(false);
     }
-    let periods: Vec<Time> = hp.iter().map(|&(_, t)| t).collect();
-    for t in scheduling_points(deadline, &periods) {
-        meter.charge_iterations(1)?;
-        if time_demand(c, hp, t) <= t {
-            return Ok(true);
+    let mut err = None;
+    let found = visit_points_ascending(deadline, hp, |t| {
+        if let Err(e) = meter.charge_iterations(1) {
+            err = Some(e);
+            return true; // stop the sweep; the error wins below
         }
+        time_demand(c, hp, t) <= t
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(found),
     }
-    Ok(false)
 }
 
 /// Budget-aware [`tda_task_schedulable`].
@@ -165,17 +222,38 @@ pub fn tda_admits_metered(
     meter: &BudgetMeter,
 ) -> Result<bool, AnalysisError> {
     meter.charge_probe()?;
-    let mut combined: Vec<Subtask> = Vec::with_capacity(workload.len() + 1);
-    combined.extend(workload.iter().copied());
-    combined.push(*newcomer);
-    let new_index = combined.len() - 1;
-    for i in 0..combined.len() {
-        let affected = i == new_index || !combined[i].priority.is_higher_than(newcomer.priority);
-        if affected && !tda_task_schedulable_metered(&combined, i, meter)? {
+    // One reused interferer buffer instead of materializing the combined
+    // workload plus a fresh prefix per member. Verdicts and meter charges
+    // are identical to checking `workload ∪ {newcomer}` member by member:
+    // affected members in workload order, then the newcomer last.
+    let mut hp: Vec<(Time, Time)> = Vec::with_capacity(workload.len());
+    for (i, me) in workload.iter().enumerate() {
+        if me.priority.is_higher_than(newcomer.priority) {
+            continue; // the newcomer cannot preempt it — unaffected
+        }
+        hp.clear();
+        hp.extend(
+            workload
+                .iter()
+                .enumerate()
+                .filter(|&(j, s)| j != i && s.priority.is_higher_than(me.priority))
+                .map(|(_, s)| (s.wcet, s.period)),
+        );
+        if newcomer.priority.is_higher_than(me.priority) {
+            hp.push((newcomer.wcet, newcomer.period));
+        }
+        if !tda_feasible_metered(me.wcet, me.deadline, &hp, meter)? {
             return Ok(false);
         }
     }
-    Ok(true)
+    hp.clear();
+    hp.extend(
+        workload
+            .iter()
+            .filter(|s| s.priority.is_higher_than(newcomer.priority))
+            .map(|s| (s.wcet, s.period)),
+    );
+    tda_feasible_metered(newcomer.wcet, newcomer.deadline, &hp, meter)
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ pub mod service;
 mod shard;
 pub mod wire;
 
-pub use canonical::CanonicalSet;
+pub use canonical::{CanonicalBatch, CanonicalSet};
 pub use queue::BoundedQueue;
 pub use request::{AnalysisOutcome, AnalyzeRequest, BudgetSpec, Response, Verdict};
 pub use rmts_core::{AlgorithmSpec, BoundSpec};

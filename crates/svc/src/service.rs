@@ -1,9 +1,9 @@
 //! The service façade: shard fleet, submission, batching, statistics.
 
-use crate::canonical::CanonicalSet;
+use crate::canonical::{CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
 use crate::request::{AnalyzeRequest, Response};
-use crate::shard::{Job, Shard};
+use crate::shard::{CanonJob, Job, Shard};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -153,7 +153,8 @@ impl Service {
     pub fn submit(&self, req: AnalyzeRequest) -> Ticket {
         let (tx, rx) = mpsc::channel();
         let index = self.seq.fetch_add(1, Ordering::Relaxed);
-        self.enqueue(index, req, tx);
+        let canon = CanonJob::Owned(CanonicalSet::of_pairs(&req.taskset));
+        self.enqueue(index, req, canon, tx);
         Ticket { rx }
     }
 
@@ -170,11 +171,23 @@ impl Service {
         let before = self.stats_inner();
         let n = reqs.len();
         let (tx, rx) = mpsc::channel();
+        // Canonicalize the whole batch into one structure-of-arrays arena
+        // up front: one shared allocation the shards read slices of,
+        // instead of three `Vec`s per request (see `CanonicalBatch`).
+        let mut batch = CanonicalBatch::with_capacity(n);
+        for req in &reqs {
+            batch.push(&req.taskset);
+        }
+        let batch = Arc::new(batch);
         // Submit-then-collect cannot deadlock: shards reply through this
         // unbounded mpsc channel and never block sending, so saturated
         // request queues always drain even while we are still submitting.
         for (i, req) in reqs.into_iter().enumerate() {
-            self.enqueue(i, req, tx.clone());
+            let canon = CanonJob::Shared {
+                batch: Arc::clone(&batch),
+                idx: i,
+            };
+            self.enqueue(i, req, canon, tx.clone());
         }
         drop(tx);
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
@@ -205,8 +218,13 @@ impl Service {
         responses
     }
 
-    fn enqueue(&self, index: usize, req: AnalyzeRequest, reply: mpsc::Sender<Response>) {
-        let canon = CanonicalSet::of_pairs(&req.taskset);
+    fn enqueue(
+        &self,
+        index: usize,
+        req: AnalyzeRequest,
+        canon: CanonJob,
+        reply: mpsc::Sender<Response>,
+    ) {
         // Route by canonical hash: all duplicates of a task set share a
         // shard, so the second duplicate always finds the first's memo
         // entry (or queues behind the job that will create it).

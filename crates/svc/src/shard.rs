@@ -18,22 +18,63 @@
 //! call's own frame and is discarded with it. The requester receives a
 //! [`Verdict::Invalid`] response and the shard keeps serving.
 
-use crate::canonical::CanonicalSet;
+use crate::canonical::{CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
 use crate::request::{AnalysisOutcome, AnalyzeRequest, Response, Verdict};
 use crate::service::SharedStats;
-use rmts_core::DynPartitioner;
-use std::collections::hash_map::Entry;
+use rmts_core::{DynPartitioner, PartitionWorkspace};
+use rmts_taskmodel::{ModelError, TaskSet};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
+/// A job's canonical form: either its own [`CanonicalSet`] (single
+/// submissions) or a slice of the batch-wide [`CanonicalBatch`] arena
+/// (batch submissions — one shared allocation instead of three `Vec`s per
+/// request).
+pub(crate) enum CanonJob {
+    /// A per-request canonical set ([`crate::Service::submit`]).
+    Owned(CanonicalSet),
+    /// Set `idx` of a batch-wide arena
+    /// ([`crate::Service::analyze_batch`]).
+    Shared {
+        batch: Arc<CanonicalBatch>,
+        idx: usize,
+    },
+}
+
+impl CanonJob {
+    /// The canonical `(wcet, period)` pairs — exact memo key material.
+    pub(crate) fn pairs(&self) -> &[(u64, u64)] {
+        match self {
+            CanonJob::Owned(c) => c.pairs(),
+            CanonJob::Shared { batch, idx } => batch.pairs(*idx),
+        }
+    }
+
+    /// FNV-1a routing hash of the canonical pairs.
+    pub(crate) fn hash(&self) -> u64 {
+        match self {
+            CanonJob::Owned(c) => c.hash(),
+            CanonJob::Shared { batch, idx } => batch.hash(*idx),
+        }
+    }
+
+    /// Materializes the canonical task set.
+    pub(crate) fn to_taskset(&self) -> Result<TaskSet, ModelError> {
+        match self {
+            CanonJob::Owned(c) => c.to_taskset(),
+            CanonJob::Shared { batch, idx } => batch.to_taskset(*idx),
+        }
+    }
+}
+
 /// One unit of work: a canonicalized request plus its reply channel.
 pub(crate) struct Job {
     pub index: usize,
-    pub canon: CanonicalSet,
+    pub canon: CanonJob,
     pub req: AnalyzeRequest,
     pub reply: mpsc::Sender<Response>,
 }
@@ -70,6 +111,11 @@ pub(crate) struct Shard {
     /// keeps the hit path allocation-free (no owned key to build).
     memo: HashMap<(u64, usize), MemoBucket>,
     last_fp: Option<FingerprintCache>,
+    /// Recycled partitioning buffers (processor pool + plan queue), reused
+    /// across every fresh analysis this shard runs. Steady-state misses
+    /// against same-sized sets admit without heap allocation in the
+    /// engine's inner loop (DESIGN.md §5, "Partition hot path").
+    ws: PartitionWorkspace,
     stats: Arc<SharedStats>,
 }
 
@@ -80,6 +126,7 @@ impl Shard {
             engines: HashMap::new(),
             memo: HashMap::new(),
             last_fp: None,
+            ws: PartitionWorkspace::new(),
             stats,
         };
         // Drain the queue in runs: one condvar round-trip (and, on a busy
@@ -151,13 +198,16 @@ impl Shard {
                 return (Arc::clone(hit), true);
             }
         }
+        // One `String` clone per miss: the fingerprint is cloned once for
+        // the memo key and lent to `analyze` (which only clones it again on
+        // the cold first-build of an engine).
         let engine_key = fp.clone();
+        let outcome = Arc::new(self.analyze(job, n, &engine_key));
         let memo_key = MemoKey {
             pairs: job.canon.pairs().to_vec(),
             m: job.req.m,
-            engine: engine_key.clone(),
+            engine: engine_key,
         };
-        let outcome = Arc::new(self.analyze(job, n, engine_key));
         self.memo
             .entry(bucket_key)
             .or_default()
@@ -165,7 +215,7 @@ impl Shard {
         (outcome, false)
     }
 
-    fn analyze(&mut self, job: &Job, n: usize, engine_key: String) -> AnalysisOutcome {
+    fn analyze(&mut self, job: &Job, n: usize, engine_key: &str) -> AnalysisOutcome {
         let invalid = |algorithm: String, reason: String| AnalysisOutcome {
             algorithm,
             m: job.req.m,
@@ -180,38 +230,55 @@ impl Shard {
                 )
             }
         };
-        let engine = match self.engines.entry(engine_key) {
-            Entry::Occupied(o) => o.into_mut(),
-            Entry::Vacant(v) => match job.req.algorithm.build_with(n, &job.req.options()) {
-                Ok(built) => v.insert(built),
+        if !self.engines.contains_key(engine_key) {
+            match job.req.algorithm.build_with(n, &job.req.options()) {
+                Ok(built) => {
+                    self.engines.insert(engine_key.to_string(), built);
+                }
                 Err(e) => return invalid(job.req.algorithm.to_string(), e.to_string()),
-            },
-        };
+            }
+        }
+        let engine = self.engines.get_mut(engine_key).expect("just ensured");
+        let name = engine.name();
         let m = job.req.m;
-        match catch_unwind(AssertUnwindSafe(|| engine.partition(&ts, m))) {
-            Ok(Ok(p)) => AnalysisOutcome {
-                algorithm: engine.name(),
-                m,
-                verdict: Verdict::Accepted {
+        // Disjoint-field reborrow so the closure can use the workspace
+        // while `engine` borrows `self.engines`. Unwind safety: a panic
+        // mid-partition leaves the workspace merely cold (its pool was
+        // `mem::take`n into the call's own frame and dies with it; the plan
+        // queue is cleared on next use), never inconsistent.
+        let ws = &mut self.ws;
+        match catch_unwind(AssertUnwindSafe(|| engine.partition_with(&ts, m, ws))) {
+            Ok(Ok(p)) => {
+                let verdict = Verdict::Accepted {
                     processors_used: p.processors.iter().filter(|q| !q.is_empty()).count(),
                     splits: p.split_tasks().iter().map(|t| t.0).collect(),
                     exactness: p.exactness,
-                },
-            },
-            Ok(Err(rej)) => AnalysisOutcome {
-                algorithm: engine.name(),
-                m,
-                verdict: Verdict::Rejected {
+                };
+                self.ws.recycle(p);
+                AnalysisOutcome {
+                    algorithm: name,
+                    m,
+                    verdict,
+                }
+            }
+            Ok(Err(rej)) => {
+                let rej = *rej;
+                let verdict = Verdict::Rejected {
                     phase: rej.phase,
                     task: rej.task.map(|t| t.0),
                     unassigned: rej.unassigned.iter().map(|t| t.0).collect(),
                     analysis: rej.analysis,
-                    reason: rej.reason.clone(),
-                },
-            },
+                    reason: rej.reason,
+                };
+                self.ws.recycle(rej.partial);
+                AnalysisOutcome {
+                    algorithm: name,
+                    m,
+                    verdict,
+                }
+            }
             Err(payload) => {
                 self.stats.panics.fetch_add(1, Ordering::Relaxed);
-                let name = engine.name();
                 invalid(name, format!("engine panicked: {}", panic_text(&payload)))
             }
         }

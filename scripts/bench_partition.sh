@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Record the end-to-end partition-throughput report: times whole-set
+# RM-TS/light partitioning on deep sets (n=64-256, m=16-64) through the
+# optimized hot path (cross-processor RtaCache reuse, recycled
+# PartitionWorkspace, pruned TDA scheduling points) against the PR-1
+# baseline (scratch admission, fresh allocations per call), asserts the
+# two produce bit-identical partitions, and writes BENCH_partition.json at
+# the repository root (the bench target writes the file itself and fails
+# below a 1.5x geomean).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo bench -p rmts-bench --bench partition_throughput "$@"
+
+echo
+echo "Recorded: $(pwd)/BENCH_partition.json"

@@ -68,8 +68,8 @@ pub mod prelude {
     pub use rmts_core::{
         audit, AdmissionPolicy, AlgorithmSpec, AnalysisBudget, AnalysisError, Bottleneck,
         BoundSpec, Configure, DynPartitioner, EngineOptions, Exactness, MaxSplitStrategy,
-        OverheadModel, Partition, PartitionPhase, PartitionReject, Partitioner, RmTs, RmTsLight,
-        WithBound,
+        OverheadModel, Partition, PartitionPhase, PartitionReject, PartitionWorkspace, Partitioner,
+        RmTs, RmTsLight, WithBound,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_obs::{Recording, StatsSnapshot};

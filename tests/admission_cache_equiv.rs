@@ -15,6 +15,38 @@ use rmts::core::admission::AdmissionPolicy;
 use rmts::prelude::*;
 use rmts::taskmodel::TaskSet;
 
+/// Runs one instance through a warm, possibly dirty [`PartitionWorkspace`]
+/// and asserts the result is bit-identical to a fresh `partition()` call —
+/// the cross-processor/cross-set reuse contract. Recycles the outcome so
+/// the *next* call through the same workspace starts from this instance's
+/// leftovers, which is exactly the state the property must hold under.
+fn assert_workspace_parity(
+    engine: &dyn Partitioner,
+    ts: &TaskSet,
+    m: usize,
+    ws: &mut PartitionWorkspace,
+    ctx: &str,
+) {
+    let fresh = engine.partition(ts, m);
+    let warm = engine.partition_with(ts, m, ws);
+    match (fresh, warm) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a, b, "{ctx}: warm workspace diverged from fresh run");
+            ws.recycle(b);
+        }
+        (Err(a), Err(b)) => {
+            let (a, b) = (*a, *b);
+            assert_eq!(a, b, "{ctx}: warm workspace reject diverged");
+            ws.recycle(b.partial);
+        }
+        (a, b) => panic!(
+            "{ctx}: verdicts differ (fresh ok={}, warm ok={})",
+            a.is_ok(),
+            b.is_ok()
+        ),
+    }
+}
+
 /// A feasible-ish random task set plus a processor count (same shape as the
 /// `splitting_invariants` generator: utilization 40–95% of capacity, so both
 /// accepted and rejected instances occur).
@@ -107,5 +139,98 @@ proptest! {
         let Ok(part) = PartitionedRm::ffd_rta().partition(&ts, m) else { return Ok(()) };
         prop_assert!(part.verify_rta());
         prop_assert!(audit(&part, &ts).is_empty());
+    }
+
+    /// Cross-set workspace reuse: ONE workspace carried dirty across a
+    /// sequence of instances, alternating engines and strategies, always
+    /// produces partitions bit-identical to fresh scratch-workspace runs.
+    /// This is the reuse contract the service shards and the partition
+    /// bench rely on.
+    #[test]
+    fn workspace_reuse_equals_fresh(instances in proptest::collection::vec(arb_instance(), 2..4)) {
+        let mut ws = PartitionWorkspace::new();
+        for (i, (ts, m)) in instances.iter().enumerate() {
+            for strategy in [MaxSplitStrategy::BinarySearch, MaxSplitStrategy::SchedulingPoints] {
+                let policy = AdmissionPolicy::exact().with_strategy(strategy);
+                assert_workspace_parity(
+                    &RmTsLight::new().with_policy(policy),
+                    ts, *m, &mut ws,
+                    &format!("instance {i}, RM-TS/light, {strategy:?}"),
+                );
+                assert_workspace_parity(
+                    &RmTs::new().with_policy(policy),
+                    ts, *m, &mut ws,
+                    &format!("instance {i}, RM-TS, {strategy:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// The EXP-1 generator mix (log-uniform periods, unconstrained
+/// utilizations, `n = 4·m`), deterministic seeds: the same distribution
+/// the paper's acceptance-ratio experiment and the partition bench draw
+/// from, pushed through one reused workspace.
+#[test]
+fn exp1_generator_mix_workspace_parity() {
+    let mut ws = PartitionWorkspace::new();
+    let mut generated = 0;
+    for m in [4usize, 8] {
+        for trial in 0..4u64 {
+            let cfg = GenConfig::new(4 * m, 0.72 * m as f64)
+                .with_periods(PeriodGen::LogUniform {
+                    min: 10_000,
+                    max: 1_000_000,
+                    granularity: 10_000,
+                })
+                .with_utilization(UtilizationSpec::any());
+            let mut rng = rmts::gen::trial_rng(0x52_4D_54_53, (m as u64) << 8 | trial);
+            let Some(ts) = cfg.generate(&mut rng) else {
+                continue;
+            };
+            generated += 1;
+            assert_workspace_parity(
+                &RmTsLight::new(),
+                &ts,
+                m,
+                &mut ws,
+                &format!("EXP-1 m={m} trial={trial}, RM-TS/light"),
+            );
+            assert_workspace_parity(
+                &RmTs::new(),
+                &ts,
+                m,
+                &mut ws,
+                &format!("EXP-1 m={m} trial={trial}, RM-TS"),
+            );
+        }
+    }
+    assert!(generated >= 4, "generator produced too few instances");
+}
+
+/// Every reproducer in the checked-in fuzz corpus — shrunk counterexample
+/// task sets that historically exposed analysis drift — also partitions
+/// identically through a warm reused workspace.
+#[test]
+fn fuzz_corpus_workspace_parity() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let repros = rmts::verify::load_corpus(&dir).expect("corpus parses");
+    assert!(!repros.is_empty(), "corpus is empty");
+    let mut ws = PartitionWorkspace::new();
+    for r in &repros {
+        assert_workspace_parity(
+            &RmTsLight::new(),
+            &r.taskset,
+            r.m,
+            &mut ws,
+            &format!("corpus {} RM-TS/light", r.name),
+        );
+        assert_workspace_parity(
+            &RmTs::new(),
+            &r.taskset,
+            r.m,
+            &mut ws,
+            &format!("corpus {} RM-TS", r.name),
+        );
     }
 }
