@@ -1,0 +1,256 @@
+//! Incremental re-partitioning vs full re-partition on deep sets.
+//!
+//! The session API's pitch is that a single-task delta should not pay for
+//! re-admitting `n` tasks onto `m` processors. This bench measures exactly
+//! that on the ISSUE's target grid (n = 128–256, m = 32–64): a live
+//! [`PartitionSession`] absorbing a single-task WCET update via guided
+//! replay, against a full `partition_with` of the post-delta set (itself
+//! the PR-6-optimized hot path with a recycled workspace — the strongest
+//! fair baseline).
+//!
+//! Two delta positions are timed per grid point: `tail` updates the
+//! lowest-priority task (the best case — everything before it replays) and
+//! `mid` updates the median task (representative — the prefix replays, the
+//! updated task and any processors it touches re-run live, the rest of the
+//! suffix replays unless its processor was dirtied).
+//!
+//! Before timing, every toggle is applied both ways and asserted
+//! **bit-identical** (`Partition` equality, including response-time bit
+//! patterns), and every apply is asserted to take the *incremental* path —
+//! a silent fallback to full re-partition would otherwise report a bogus
+//! 1×. The geometric-mean speedup across the grid is the headline, written
+//! with everything else to `BENCH_repartition.json`; the harness enforces
+//! the ISSUE's ≥ 5× floor for single-task deltas.
+
+use criterion::{BenchmarkId, Criterion};
+use rmts_bench::SEED;
+use rmts_core::{PartitionSession, PartitionWorkspace, Partitioner, RepartitionPath, RmTsLight};
+use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+use rmts_taskmodel::{Task, TaskSet, TaskSetDelta, Time};
+use serde::Value;
+use std::hint::black_box;
+
+/// The ISSUE grid: deep sets, n = 128–256 tasks on m = 32–64 processors.
+const GRID: [(usize, usize); 3] = [(128, 32), (192, 48), (256, 64)];
+
+/// Where the updated task sits in the canonical (period, id) order.
+const POSITIONS: [&str; 2] = ["tail", "mid"];
+
+/// An EXP-1-style deep set this engine *accepts* (sessions need a live
+/// base partition). Seeds are retried deterministically until acceptance.
+fn accepted_deep_set(n: usize, m: usize) -> TaskSet {
+    for attempt in 0..32u64 {
+        let cfg = GenConfig::new(n, 0.80 * m as f64)
+            .with_periods(PeriodGen::LogUniform {
+                min: 10_000,
+                max: 1_000_000,
+                granularity: 10_000,
+            })
+            .with_utilization(UtilizationSpec::any());
+        let Some(ts) = cfg.generate(&mut trial_rng(
+            SEED ^ 0x9E9A,
+            (n as u64) << 32 | (m as u64) << 16 | attempt,
+        )) else {
+            continue;
+        };
+        if RmTsLight::new().accepts(&ts, m) {
+            return ts;
+        }
+    }
+    panic!("no accepted deep set for n={n} m={m} in 32 attempts");
+}
+
+/// The single-task toggle for the task at `pos`: lowers its WCET by one
+/// tick (stays accepted — utilization only drops), plus the inverse delta
+/// restoring the original. Skips to a neighbor if the task's WCET is 1.
+fn toggle_for(ts: &TaskSet, pos: &str) -> (TaskSetDelta, TaskSetDelta) {
+    let tasks = ts.tasks();
+    let start = match pos {
+        "tail" => tasks.len() - 1,
+        "mid" => tasks.len() / 2,
+        other => panic!("unknown position {other}"),
+    };
+    for back in 0..tasks.len() {
+        let t = tasks[start.saturating_sub(back)];
+        if t.wcet.ticks() > 1 {
+            let lowered = Task::new(t.id.0, Time::new(t.wcet.ticks() - 1), t.period)
+                .expect("lowering a WCET keeps the task valid");
+            return (TaskSetDelta::update(lowered), TaskSetDelta::update(t));
+        }
+    }
+    panic!("no task with WCET > 1");
+}
+
+fn session_for(ts: &TaskSet, m: usize) -> PartitionSession {
+    let engine = Box::new(RmTsLight::new());
+    PartitionSession::start(engine, ts.clone(), m).expect("base set was pre-checked accepted")
+}
+
+fn bench(c: &mut Criterion) {
+    // Bit-identity + path gate: each toggle, applied through the session,
+    // must equal the from-scratch partition of the post-delta set exactly,
+    // and must be served by guided replay (not the full fallback).
+    let scratch = RmTsLight::new();
+    let mut ws = PartitionWorkspace::new();
+    for &(n, m) in &GRID {
+        let base = accepted_deep_set(n, m);
+        for pos in POSITIONS {
+            let (delta_a, delta_b) = toggle_for(&base, pos);
+            let mut session = session_for(&base, m);
+            for (round, delta) in [&delta_a, &delta_b, &delta_a, &delta_b].iter().enumerate() {
+                let expected_ts = delta
+                    .apply_to(session.taskset())
+                    .expect("toggle deltas are valid");
+                let expected = scratch
+                    .partition_with(&expected_ts, m, &mut ws)
+                    .unwrap_or_else(|_| {
+                        panic!("n={n} m={m} {pos}: lowering a WCET must stay accepted")
+                    });
+                let ok = session.apply(delta).unwrap_or_else(|e| {
+                    panic!("n={n} m={m} {pos} round {round}: apply failed: {e}")
+                });
+                assert_eq!(
+                    ok.path,
+                    RepartitionPath::Incremental,
+                    "n={n} m={m} {pos}: single-task delta fell back to {}",
+                    ok.path
+                );
+                assert_eq!(
+                    *ok.partition, expected,
+                    "n={n} m={m} {pos} round {round}: incremental diverged from scratch"
+                );
+                ws.recycle(expected);
+            }
+        }
+    }
+    println!("repartition_throughput: incremental ≡ scratch on the whole grid; timing\n");
+
+    let mut group = c.benchmark_group("repartition_throughput");
+    group.sample_size(30);
+    for &(n, m) in &GRID {
+        let base = accepted_deep_set(n, m);
+        for pos in POSITIONS {
+            let (delta_a, delta_b) = toggle_for(&base, pos);
+            let param = format!("{n}x{m}/{pos}");
+
+            // Full re-partition of the post-delta set, with the recycled
+            // workspace (the optimized PR-6 hot path — the fair baseline).
+            let ts_a = delta_a.apply_to(&base).expect("valid");
+            let ts_b = &base;
+            group.bench_with_input(BenchmarkId::new("full", &param), &ts_a, |b, ts_a| {
+                let engine = RmTsLight::new();
+                let mut ws = PartitionWorkspace::new();
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let ts = if i.is_multiple_of(2) { ts_a } else { ts_b };
+                    let p = engine
+                        .partition_with(ts, m, &mut ws)
+                        .expect("grid sets are accepted");
+                    let used = p.processors.len();
+                    ws.recycle(p);
+                    black_box(used)
+                })
+            });
+
+            // The session absorbing the same toggles incrementally.
+            group.bench_with_input(
+                BenchmarkId::new("incremental", &param),
+                &(delta_a, delta_b),
+                |b, (delta_a, delta_b)| {
+                    let mut session = session_for(&base, m);
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        i += 1;
+                        let delta = if i % 2 == 1 { delta_a } else { delta_b };
+                        let ok = session.apply(delta).expect("toggles stay accepted");
+                        black_box(ok.partition.processors.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn render(results: &[criterion::BenchResult]) -> String {
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("group".into(), Value::Str(r.group.clone())),
+                ("name".into(), Value::Str(r.name.clone())),
+                ("mean_ns".into(), Value::Float(r.mean_ns)),
+                ("iters".into(), Value::UInt(r.iters)),
+            ])
+        })
+        .collect();
+
+    let mut speedups = Vec::new();
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    let mut min_speedup = f64::INFINITY;
+    for r in results {
+        let Some(rest) = r.name.strip_prefix("full/") else {
+            continue;
+        };
+        let inc_name = format!("incremental/{rest}");
+        let Some(o) = results.iter().find(|x| x.name == inc_name) else {
+            continue;
+        };
+        let speedup = r.mean_ns / o.mean_ns;
+        min_speedup = min_speedup.min(speedup);
+        log_sum += speedup.ln();
+        count += 1;
+        speedups.push(Value::Object(vec![
+            ("grid".into(), Value::Str(rest.to_string())),
+            ("full_ns".into(), Value::Float(r.mean_ns)),
+            ("incremental_ns".into(), Value::Float(o.mean_ns)),
+            ("speedup".into(), Value::Float(speedup)),
+        ]));
+    }
+    assert!(count > 0, "no full/incremental pairs were timed");
+    let geomean = (log_sum / count as f64).exp();
+    assert!(
+        geomean >= 5.0,
+        "single-task delta speedup floor violated: geomean {geomean:.2}x < 5x"
+    );
+
+    let report = Value::Object(vec![
+        ("bench".into(), Value::Str("repartition_throughput".into())),
+        (
+            "description".into(),
+            Value::Str(
+                "single-task WCET toggles on deep sets (n=128-256, m=32-64) through a \
+                 PartitionSession (guided-replay incremental apply) vs a full \
+                 re-partition of the post-delta set on the optimized workspace-reuse \
+                 hot path; results asserted bit-identical and incremental-path before \
+                 timing"
+                    .into(),
+            ),
+        ),
+        ("seed".into(), Value::UInt(SEED)),
+        ("results".into(), Value::Array(entries)),
+        ("speedups".into(), Value::Array(speedups)),
+        ("min_speedup".into(), Value::Float(min_speedup)),
+        (
+            "single_task_delta_geomean_speedup".into(),
+            Value::Float(geomean),
+        ),
+        ("bit_identity".into(), Value::Str("verified".into())),
+        ("path".into(), Value::Str("incremental (asserted)".into())),
+    ]);
+    serde_json::to_string_pretty(&report).expect("render JSON")
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench(&mut c);
+    let json = render(c.results());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repartition.json");
+    std::fs::write(path, &json).expect("write BENCH_repartition.json");
+    println!("\nreport written to {path}");
+    for line in json.lines().filter(|l| l.contains("speedup")) {
+        println!("  {}", line.trim());
+    }
+}

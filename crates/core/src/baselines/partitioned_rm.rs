@@ -194,6 +194,10 @@ impl Partitioner for PartitionedRm {
     }
 }
 
+// Default implementation: sessions over strictly partitioned RM always
+// re-partition in full (no splitting engine, no placement trace to replay).
+impl crate::session::Repartitioner for PartitionedRm {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,10 +27,9 @@
 //! `fn(self) -> Self` cannot express.
 //!
 //! The pre-redesign constructor spellings (`RmTsLight::with_policy(policy)`,
-//! `RmTs::with_bound(bound)`) survive for one release as `#[deprecated]`
-//! associated functions. Rust resolves the path form to the inherent
-//! (deprecated) constructor and the method-call form to these traits, so old
-//! code keeps compiling with a warning while new code reads uniformly.
+//! `RmTs::with_bound(bound)`) survived one release as `#[deprecated]`
+//! associated functions and have since been removed; the chained builder
+//! forms above are the only spellings.
 
 use crate::admission::AdmissionPolicy;
 use rmts_taskmodel::AnalysisBudget;

@@ -11,9 +11,12 @@
 
 use crate::admission::AdmissionPolicy;
 use crate::ladder::AnalysisControl;
+use crate::partition::Partition;
 use crate::processor::ProcessorState;
+use crate::session::{Guide, ItemTrace, SessionTrace, StepEvent};
+use crate::workspace::PartitionWorkspace;
 use rmts_rta::budget::NewcomerSpec;
-use rmts_taskmodel::{AnalysisError, ModelError, SplitPlan, SubtaskKind, TaskId, TaskSet};
+use rmts_taskmodel::{AnalysisError, ModelError, SplitPlan, SubtaskKind, TaskId, TaskSet, Time};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -181,7 +184,13 @@ fn pick_cached(utils: &[u64], select: Select) -> Option<usize> {
 /// equivalent because every in-tree eligibility rule depends only on
 /// phase-stable state (role, index); fullness is tracked in the cache as
 /// it changes.
-#[allow(clippy::too_many_arguments)] // free function mirroring the paper's Assign loop; the extra arg is the workspace scratch
+///
+/// `guide` (see [`crate::session`]) records every placement decision and,
+/// in guided mode, substitutes recorded outcomes for RTA probes when the
+/// step is provably identical to a prior run's. Pass `None` for a plain
+/// run — the placement sequence is bit-identical either way, because a
+/// reused event is by construction the value the live probe would return.
+#[allow(clippy::too_many_arguments)] // free function mirroring the paper's Assign loop; the extra args are the workspace scratch and the replay guide
 pub fn run_phase(
     processors: &mut [ProcessorState],
     eligible: &dyn Fn(&ProcessorState) -> bool,
@@ -191,6 +200,7 @@ pub fn run_phase(
     sealed: &mut Vec<SplitPlan>,
     ctl: &AnalysisControl,
     utils: &mut Vec<u64>,
+    mut guide: Option<&mut Guide<'_>>,
 ) -> Result<(), EngineError> {
     utils.clear();
     utils.extend(processors.iter().map(|p| {
@@ -211,6 +221,9 @@ pub fn run_phase(
         // Invariant: the loop guard checked `!queue.is_empty()`, so a front
         // element exists (both here and at the `pop_front` below).
         let plan = queue.front_mut().expect("queue checked non-empty");
+        if let Some(g) = guide.as_deref_mut() {
+            g.align_front(plan);
+        }
         let deadline = plan.next_deadline().map_err(|cause| EngineError {
             task: plan.task().id,
             cause: EngineFault::Model(cause),
@@ -223,6 +236,48 @@ pub fn run_phase(
         };
         let cap = plan.remaining();
         let seq = (plan.body_count() + 1) as u32;
+        if let Some(ev) = guide.as_deref_mut().and_then(|g| g.try_reuse(q)) {
+            // Guided replay: the recorded outcome of this exact step on a
+            // clean processor. Subtasks are rebuilt with the *new* spec
+            // (priorities may have been relabeled); only the admission
+            // verdict, budget, and response time are reused — values RTA
+            // would reproduce, since it depends only on the workload's
+            // relative order and `(C, T, Δ)`.
+            let proc = &mut processors[q];
+            match ev {
+                StepEvent::Sealed { response, .. } => {
+                    let kind = if plan.is_split() {
+                        SubtaskKind::Tail
+                    } else {
+                        SubtaskKind::Whole
+                    };
+                    proc.push_uncached(spec.with_budget(cap, seq, kind));
+                    utils[q] = selection_key(proc.utilization());
+                    plan.seal_tail(q, response).map_err(|cause| EngineError {
+                        task: spec.parent,
+                        cause: EngineFault::Model(cause),
+                    })?;
+                    sealed.push(queue.pop_front().expect("front exists"));
+                    rmts_obs::count("core.engine.whole_assignments", 1);
+                }
+                StepEvent::Closed { body, .. } => {
+                    if let Some((x, response)) = body {
+                        proc.push_uncached(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
+                        plan.push_body(x, q, response)
+                            .map_err(|cause| EngineError {
+                                task: spec.parent,
+                                cause: EngineFault::Model(cause),
+                            })?;
+                        rmts_obs::count("core.engine.splits", 1);
+                    }
+                    proc.full = true;
+                    utils[q] = CLOSED;
+                    rmts_obs::count("core.engine.processors_closed", 1);
+                }
+            }
+            rmts_obs::count("core.engine.replayed_steps", 1);
+            continue;
+        }
         let proc = &mut processors[q];
         let fits = policy
             .fits_whole_ctl(proc, &spec, cap, ctl)
@@ -247,6 +302,9 @@ pub fn run_phase(
             })?;
             sealed.push(queue.pop_front().expect("front exists"));
             rmts_obs::count("core.engine.whole_assignments", 1);
+            if let Some(g) = guide.as_deref_mut() {
+                g.on_live(StepEvent::Sealed { proc: q, response });
+            }
         } else {
             // MaxSplit: place the largest feasible first part, then close
             // the processor (Definition 3 guarantees a bottleneck exists).
@@ -264,6 +322,7 @@ pub fn run_phase(
             // cheaper one); MaxSplit semantics require a strict split, so
             // clamp — a no-op on the exact path.
             let x = x.min(cap - rmts_taskmodel::Time::new(1));
+            let mut body = None;
             if !x.is_zero() {
                 proc.push(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
                 let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
@@ -273,13 +332,375 @@ pub fn run_phase(
                         cause: EngineFault::Model(cause),
                     })?;
                 rmts_obs::count("core.engine.splits", 1);
+                body = Some((x, response));
             }
             proc.full = true;
             utils[q] = CLOSED;
             rmts_obs::count("core.engine.processors_closed", 1);
+            if let Some(g) = guide.as_deref_mut() {
+                g.on_live(StepEvent::Closed { proc: q, body });
+            }
         }
     }
     Ok(())
+}
+
+/// Scratch state of one splice attempt (see [`try_splice`]).
+struct SpliceState {
+    /// The result's processors; materialized lazily from the prior run.
+    procs: Vec<ProcessorState>,
+    /// Worst-fit selection keys, exactly as [`run_phase`] maintains them.
+    utils: Vec<u64>,
+    /// Per-processor utilization sum of the *dry* state: accumulated with
+    /// the same `+=` fold (and the same empty-sum seed) as
+    /// `ProcessorState::push`, so selection keys are bit-identical to the
+    /// keys a materialized run would compute.
+    dry_util: Vec<f64>,
+    /// Subtasks placed on each processor so far (dry or live): for a clean
+    /// processor this is the length of the prefix of the prior run's final
+    /// workload that equals its current state.
+    pushes: Vec<u32>,
+    /// Whether each processor has been closed in the new run.
+    fullv: Vec<bool>,
+    /// `dirty[p]` ⇒ `p`'s state may differ from the prior run's at the
+    /// aligned point (a recorded event on it was voided, or a live
+    /// placement touched it): recorded events on `p` must not be reused.
+    dirty: Vec<bool>,
+    /// The dirty processors, as a list (the set stays tiny for small
+    /// deltas — pick verification scans it instead of all `m` keys).
+    dirty_list: Vec<usize>,
+    /// `live[p]` ⇒ `procs[p]` has been materialized and holds real state.
+    live: Vec<bool>,
+    /// Observability tallies.
+    reused: u64,
+    live_steps: u64,
+}
+
+impl SpliceState {
+    fn new(procs: Vec<ProcessorState>) -> Self {
+        let m = procs.len();
+        let dry_util: Vec<f64> = procs.iter().map(ProcessorState::utilization).collect();
+        let utils = dry_util.iter().map(|&u| selection_key(u)).collect();
+        SpliceState {
+            procs,
+            utils,
+            dry_util,
+            pushes: vec![0; m],
+            fullv: vec![false; m],
+            dirty: vec![false; m],
+            dirty_list: Vec::new(),
+            live: vec![false; m],
+            reused: 0,
+            live_steps: 0,
+        }
+    }
+
+    fn mark_dirty(&mut self, p: usize) {
+        if !self.dirty[p] {
+            self.dirty[p] = true;
+            self.dirty_list.push(p);
+        }
+    }
+
+    /// Whether the recorded pick `p` (clean) is still the worst-fit choice.
+    ///
+    /// At a clean processor's aligned point, its selection key equals the
+    /// prior run's, so the recorded pick `p` was the first strict minimum
+    /// over the *prior* keys: every clean `r < p` keys strictly above `p`,
+    /// every clean `r > p` at or above. Only dirty processors deviate from
+    /// that trajectory, so `p` stays the pick iff no dirty `q` now beats it
+    /// under the same first-strict-minimum rule.
+    fn pick_holds(&self, p: usize) -> bool {
+        let kp = self.utils[p];
+        self.dirty_list.iter().all(|&q| {
+            if q < p {
+                self.utils[q] > kp
+            } else {
+                self.utils[q] >= kp
+            }
+        })
+    }
+
+    /// Materializes `procs[q]` as a copy of the prior run's state at this
+    /// point: workloads are append-only, so that state is exactly the
+    /// first `pushes[q]` entries of the prior *final* workload (valid
+    /// because `q` is clean — every recorded event on it was replayed).
+    fn materialize(&mut self, prior: &Partition, q: usize) -> Option<()> {
+        let src = &prior.processors[q];
+        let k = self.pushes[q] as usize;
+        if k > src.len() {
+            return None; // trace/partition inconsistency
+        }
+        self.procs[q].copy_prefix_from(src, k, self.fullv[q]);
+        self.live[q] = true;
+        Some(())
+    }
+}
+
+/// Splice fast path for WCET-only deltas (see [`crate::session`]).
+///
+/// Guided replay re-runs the whole placement loop even when nearly every
+/// step is reused; at deep `n` the loop scaffolding alone (per-item trace
+/// buffers, per-step candidate scans, plan construction) costs a large
+/// fraction of a full run. When the delta changed only WCETs — the queue
+/// has the same `(period, id)` key sequence as the prior trace, hence
+/// identical priorities — the placement history can instead be *spliced*:
+///
+/// * **Dry replay.** While the pick provably matches the prior run's, a
+///   recorded event is applied as `O(1)` float updates to shadow state
+///   (`dry_util`, `pushes`, `fullv`) without constructing subtasks. Before
+///   the first divergence the input prefix is identical and the algorithm
+///   deterministic, so no pick verification is needed at all; afterwards,
+///   clean processors still track the prior key trajectory exactly, so the
+///   recorded pick holds iff no *dirty* processor beats it
+///   ([`SpliceState::pick_holds`] — an `O(|dirty|)` check, not `O(m)`).
+/// * **Live items.** A changed or diverged item runs the real admission
+///   loop against materialized processors ([`SpliceState::materialize`]);
+///   its remaining recorded events are voided, dirtying their processors.
+/// * **Finalization.** Never-materialized processors become truncated
+///   copies of their prior final state (`pushes[p]` entries — equal to the
+///   new run's pushes because every one was replayed), and the plans map
+///   is the prior one with live items patched in: a fully replayed item's
+///   recorded events reproduce its prior plan bit-for-bit.
+///
+/// Every substituted value is one the live computation is proven to
+/// reproduce, so the result is **bit-identical to a from-scratch run** —
+/// the same contract as guided replay, at a fraction of the constant
+/// factor. Anything unusual — structural deltas, non-worst-fit selection,
+/// reserved placements, rejects, engine errors, trace inconsistencies —
+/// returns `None`, and the caller falls back to the guided loop (which
+/// reproduces diagnostics through the shared code path).
+#[allow(clippy::too_many_arguments)] // mirrors run_phase: engine knobs + prior state + trace sink
+pub(crate) fn try_splice(
+    ts: &TaskSet,
+    m: usize,
+    ws: &mut PartitionWorkspace,
+    policy: &AdmissionPolicy,
+    ctl: &AnalysisControl,
+    select: Select,
+    prior_partition: &Partition,
+    prior_trace: &SessionTrace,
+    rec: &mut SessionTrace,
+) -> Option<Partition> {
+    if select != Select::WorstFit || prior_trace.has_reserved() {
+        return None;
+    }
+    let items = prior_trace.items();
+    let n = ts.len();
+    if items.len() != n || prior_partition.processors.len() != m {
+        return None;
+    }
+    // WCET-only gate: the recorded items (descending queue order) must
+    // carry the same (period, id) keys as the new set — then every task
+    // keeps its priority label and the queues align index-for-index.
+    let tasks = ts.tasks();
+    if items
+        .iter()
+        .zip(tasks.iter().rev())
+        .any(|(it, t)| it.task != t.id || it.period != t.period)
+    {
+        return None;
+    }
+    queue_increasing_priority_into(ts, |_| true, &mut ws.queue);
+    let mut st = SpliceState::new(ws.take_processors(m));
+    rec.reset();
+    rec.set_supported();
+    match splice_run(
+        &mut st,
+        &mut ws.queue,
+        items,
+        prior_partition,
+        policy,
+        ctl,
+        rec,
+    ) {
+        Some(patches) => {
+            // Processors never touched live: the new run replayed every
+            // recorded push to them, so their state is the (possibly
+            // truncated — voided events!) prefix of the prior final state.
+            for p in 0..m {
+                if st.live[p] {
+                    continue;
+                }
+                let src = &prior_partition.processors[p];
+                let k = st.pushes[p] as usize;
+                if k > src.len() {
+                    ws.recycle_processors(st.procs);
+                    return None;
+                }
+                st.procs[p].copy_prefix_from(src, k, st.fullv[p]);
+            }
+            let mut plans = prior_partition.plans.clone();
+            for plan in patches {
+                plans.insert(plan.task().id.0, plan);
+            }
+            rmts_obs::count("core.session.reused_steps", st.reused);
+            rmts_obs::count("core.session.live_steps", st.live_steps);
+            rmts_obs::count("core.session.spliced_applies", 1);
+            Some(Partition {
+                processors: st.procs,
+                plans,
+                exactness: ctl.exactness(),
+            })
+        }
+        None => {
+            ws.recycle_processors(st.procs);
+            None
+        }
+    }
+}
+
+/// The splice item loop: dry-replays unchanged items, runs changed or
+/// diverged ones live. Returns the live items' sealed plans (the patches
+/// against the prior plans map), or `None` to bail to guided replay.
+fn splice_run(
+    st: &mut SpliceState,
+    queue: &mut VecDeque<SplitPlan>,
+    items: &[ItemTrace],
+    prior: &Partition,
+    policy: &AdmissionPolicy,
+    ctl: &AnalysisControl,
+    rec: &mut SessionTrace,
+) -> Option<Vec<SplitPlan>> {
+    let mut patches = Vec::new();
+    let mut pristine = true;
+    for (i, it) in items.iter().enumerate() {
+        let plan = queue.get_mut(i).expect("queue aligned with items");
+        let wcet = plan.task().wcet;
+        // Dry replay: apply recorded events as shadow-state updates while
+        // the pick provably matches. `live_from` is the first event index
+        // that must run live instead (0 for a changed item).
+        let mut live_from = None;
+        if wcet == it.wcet {
+            let mut placed = Time::ZERO;
+            for (k, ev) in it.events.iter().enumerate() {
+                let p = ev.proc();
+                if st.fullv[p] || st.dirty[p] || !(pristine || st.pick_holds(p)) {
+                    live_from = Some(k);
+                    break;
+                }
+                st.reused += 1;
+                match *ev {
+                    StepEvent::Sealed { .. } => {
+                        if placed >= wcet {
+                            return None; // corrupt trace
+                        }
+                        let cap = wcet - placed;
+                        st.dry_util[p] += cap.ratio(it.period);
+                        st.utils[p] = selection_key(st.dry_util[p]);
+                        st.pushes[p] += 1;
+                    }
+                    StepEvent::Closed { body, .. } => {
+                        if let Some((x, _)) = body {
+                            if x.is_zero() || placed + x >= wcet {
+                                return None; // corrupt trace
+                            }
+                            st.dry_util[p] += x.ratio(it.period);
+                            st.pushes[p] += 1;
+                            placed += x;
+                        }
+                        st.fullv[p] = true;
+                        st.utils[p] = CLOSED;
+                    }
+                }
+            }
+            if live_from.is_none() {
+                // Fully replayed. A well-formed item ends sealed; anything
+                // else is a trace from a rejected run — not spliceable.
+                if !matches!(it.events.last(), Some(StepEvent::Sealed { .. })) {
+                    return None;
+                }
+                rec.copy_item(it);
+                continue;
+            }
+        } else {
+            live_from = Some(0);
+        }
+        // Live item: void its unreplayed recorded events (their processors
+        // leave the prior trajectory), rebuild the dry prefix into the
+        // plan, then run the remainder for real.
+        pristine = false;
+        let k = live_from.expect("checked above");
+        for ev in &it.events[k..] {
+            st.mark_dirty(ev.proc());
+        }
+        rec.begin_item(it.task, wcet, it.period);
+        for ev in &it.events[..k] {
+            rec.push_event(*ev);
+            if let StepEvent::Closed {
+                proc,
+                body: Some((x, response)),
+            } = *ev
+            {
+                plan.push_body(x, proc, response).ok()?;
+            }
+        }
+        splice_item_live(st, prior, plan, policy, ctl, rec)?;
+        patches.push(plan.clone());
+    }
+    Some(patches)
+}
+
+/// Runs one item's remaining placements live against materialized
+/// processors — the same admission sequence as [`run_phase`]'s live
+/// branch. Returns `None` (bail to guided) on a reject or engine error;
+/// the guided fallback reproduces the diagnostics identically.
+fn splice_item_live(
+    st: &mut SpliceState,
+    prior: &Partition,
+    plan: &mut SplitPlan,
+    policy: &AdmissionPolicy,
+    ctl: &AnalysisControl,
+    rec: &mut SessionTrace,
+) -> Option<()> {
+    loop {
+        let q = pick_cached(&st.utils, Select::WorstFit)?;
+        if !st.live[q] {
+            st.materialize(prior, q)?;
+        }
+        st.mark_dirty(q);
+        st.live_steps += 1;
+        let deadline = plan.next_deadline().ok()?;
+        let spec = NewcomerSpec {
+            parent: plan.task().id,
+            period: plan.task().period,
+            deadline,
+            priority: plan.priority(),
+        };
+        let cap = plan.remaining();
+        let seq = (plan.body_count() + 1) as u32;
+        let proc = &mut st.procs[q];
+        let fits = policy.fits_whole_ctl(proc, &spec, cap, ctl).ok()?;
+        if fits {
+            let kind = if plan.is_split() {
+                SubtaskKind::Tail
+            } else {
+                SubtaskKind::Whole
+            };
+            proc.push(spec.with_budget(cap, seq, kind));
+            let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
+            st.utils[q] = selection_key(st.procs[q].utilization());
+            plan.seal_tail(q, response).ok()?;
+            rec.push_event(StepEvent::Sealed { proc: q, response });
+            rmts_obs::count("core.engine.whole_assignments", 1);
+            return Some(());
+        }
+        let x = policy.max_budget_ctl(proc, &spec, cap, ctl).ok()?;
+        let x = x.min(cap - Time::new(1));
+        let mut body = None;
+        if !x.is_zero() {
+            proc.push(spec.with_budget(x, seq, SubtaskKind::Body(seq)));
+            let response = policy.record_response_ctl(proc, proc.len() - 1, ctl);
+            plan.push_body(x, q, response).ok()?;
+            rmts_obs::count("core.engine.splits", 1);
+            body = Some((x, response));
+        }
+        st.procs[q].full = true;
+        st.utils[q] = CLOSED;
+        st.fullv[q] = true;
+        rmts_obs::count("core.engine.processors_closed", 1);
+        rec.push_event(StepEvent::Closed { proc: q, body });
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +828,7 @@ mod tests {
             &mut sealed,
             &AnalysisControl::unlimited(),
             &mut Vec::new(),
+            None,
         )
         .unwrap();
         assert!(q.is_empty());
@@ -439,6 +861,7 @@ mod tests {
             &mut sealed,
             &AnalysisControl::unlimited(),
             &mut Vec::new(),
+            None,
         )
         .unwrap();
         assert!(q.is_empty());
@@ -479,6 +902,7 @@ mod tests {
             &mut sealed,
             &ctl,
             &mut Vec::new(),
+            None,
         )
         .unwrap();
         assert!(q.is_empty());
@@ -521,6 +945,7 @@ mod tests {
             &mut sealed,
             &ctl,
             &mut Vec::new(),
+            None,
         )
         .unwrap();
         assert!(q.is_empty(), "the light set passes the threshold test");
@@ -546,6 +971,7 @@ mod tests {
             &mut sealed,
             &ctl,
             &mut Vec::new(),
+            None,
         )
         .unwrap_err();
         assert!(matches!(
@@ -577,6 +1003,7 @@ mod tests {
             &mut sealed,
             &AnalysisControl::unlimited(),
             &mut Vec::new(),
+            None,
         )
         .unwrap();
         assert!(!q.is_empty(), "the third task cannot fit");

@@ -57,6 +57,7 @@ pub mod partition;
 pub mod processor;
 pub mod rmts;
 pub mod rmts_light;
+pub mod session;
 pub mod spec;
 pub mod workspace;
 
@@ -66,8 +67,6 @@ pub use config::{Configure, WithBound};
 pub use ladder::{AnalysisControl, Exactness};
 pub use maxsplit::MaxSplitStrategy;
 pub use overhead::{inflate, overhead_tolerance, OverheadModel};
-#[allow(deprecated)]
-pub use partition::PartitionFailure;
 pub use partition::{
     Bottleneck, DynPartitioner, Partition, PartitionPhase, PartitionReject, PartitionResult,
     Partitioner,
@@ -76,5 +75,9 @@ pub use processor::{ProcessorRole, ProcessorState};
 pub use rmts::RmTs;
 pub use rmts_light::RmTsLight;
 pub use rmts_taskmodel::{AnalysisBudget, AnalysisError, BudgetResource};
+pub use session::{
+    FullRepartition, PartitionSession, PriorRun, RepartitionError, RepartitionOk, RepartitionPath,
+    RepartitionResult, Repartitioner, SessionTrace,
+};
 pub use spec::{AlgorithmSpec, BoundSpec, EngineOptions, SpecError};
 pub use workspace::PartitionWorkspace;

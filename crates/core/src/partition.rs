@@ -354,10 +354,6 @@ impl fmt::Display for PartitionReject {
 
 impl std::error::Error for PartitionReject {}
 
-/// Former name of [`PartitionReject`], kept for one release.
-#[deprecated(since = "0.2.0", note = "renamed to `PartitionReject`")]
-pub type PartitionFailure = PartitionReject;
-
 /// Outcome of a partitioning attempt.
 pub type PartitionResult = Result<Partition, Box<PartitionReject>>;
 
@@ -389,9 +385,12 @@ pub trait Partitioner: Send + Sync {
         self.partition(ts, m)
     }
 
-    /// Convenience: did partitioning succeed?
+    /// Convenience: did partitioning succeed? Routed through
+    /// [`Self::partition_with`] so engines that support workspace reuse
+    /// get it even behind the boolean helper.
     fn accepts(&self, ts: &TaskSet, m: usize) -> bool {
-        self.partition(ts, m).is_ok()
+        self.partition_with(ts, m, &mut crate::workspace::PartitionWorkspace::new())
+            .is_ok()
     }
 }
 

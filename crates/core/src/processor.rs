@@ -165,6 +165,50 @@ impl ProcessorState {
         }
     }
 
+    /// [`Self::push`] without the incremental cache update: the admission
+    /// cache is invalidated instead and lazily rebuilt on its next use.
+    /// Used by guided replay (`crate::session`) when a recorded placement
+    /// is reused verbatim — the host processor may never be probed again,
+    /// so paying the cache insertion up front would waste the reuse win.
+    /// Totals still update incrementally (same fold, bit-identical sums).
+    pub fn push_uncached(&mut self, s: Subtask) {
+        self.subtasks.push(s);
+        self.util_sum += s.utilization();
+        self.density_sum += s.density();
+        self.budget_sum += s.wcet;
+        self.revision += 1;
+        self.cache_fresh = false;
+    }
+
+    /// Becomes a copy of the first `k` subtasks of `src`'s workload, with
+    /// `src`'s role and the given `full` flag. Totals are re-derived with
+    /// the shared fold (bit-identical to pushing the same prefix); the
+    /// admission cache is invalidated and rebuilt lazily on first probe.
+    /// Used by the session splice path: workloads are append-only, so the
+    /// prior run's state after its first `k` pushes to a processor *is*
+    /// the first `k` entries of its final workload.
+    pub(crate) fn copy_prefix_from(&mut self, src: &ProcessorState, k: usize, full: bool) {
+        debug_assert_eq!(self.index, src.index);
+        self.role = src.role;
+        self.full = full;
+        self.subtasks.clear();
+        self.subtasks.extend_from_slice(&src.subtasks[..k]);
+        self.revision += 1;
+        self.cache_fresh = self.subtasks.is_empty();
+        if self.cache_fresh {
+            self.cache.clear();
+        }
+        if k == src.subtasks.len() {
+            // Full copy: `src`'s running totals are the same left-to-right
+            // fold over the same workload — reuse them bit-for-bit.
+            self.util_sum = src.util_sum;
+            self.density_sum = src.density_sum;
+            self.budget_sum = src.budget_sum;
+        } else {
+            self.recompute_totals();
+        }
+    }
+
     /// Arbitrary in-place mutation of the workload (overhead inflation,
     /// tampering tests). Bumps the revision, recomputes the running totals
     /// and invalidates the admission cache, which is rebuilt from scratch
@@ -385,6 +429,32 @@ mod tests {
         assert!(p.rta_cache().is_empty());
         p.push(sub(1, 2, 8, 8));
         assert_eq!(p.cached_response(0), Some(Time::new(2)));
+    }
+
+    #[test]
+    fn push_uncached_is_observationally_push() {
+        // Same subtasks via push vs push_uncached: equal observable state,
+        // bit-identical totals, and the lazily rebuilt cache answers the
+        // same responses.
+        let subs = [sub(3, 2, 7, 7), sub(1, 3, 11, 9), sub(8, 1, 13, 13)];
+        let mut a = ProcessorState::new(0);
+        let mut b = ProcessorState::new(0);
+        for s in subs {
+            a.push(s);
+            b.push_uncached(s);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.utilization().to_bits(), b.utilization().to_bits());
+        assert_eq!(a.density().to_bits(), b.density().to_bits());
+        assert_eq!(a.budget(), b.budget());
+        for i in 0..subs.len() {
+            assert_eq!(a.cached_response(i), b.cached_response(i));
+        }
+        // Mixed histories converge too: cached push after uncached ones.
+        let extra = sub(0, 1, 5, 5);
+        a.push(extra);
+        b.push(extra);
+        assert_eq!(a.cached_response(3), b.cached_response(3));
     }
 
     #[test]

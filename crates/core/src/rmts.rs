@@ -27,6 +27,9 @@ use crate::engine::{queue_increasing_priority_into, run_phase, EngineError, Sele
 use crate::ladder::{AnalysisControl, Exactness};
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
 use crate::processor::{ProcessorRole, ProcessorState};
+use crate::session::{
+    replayable, Guide, PriorRun, RepartitionPath, Repartitioner, ReservedPlace, SessionTrace,
+};
 use crate::workspace::PartitionWorkspace;
 use rmts_bounds::thresholds::{light_threshold, rmts_cap};
 use rmts_bounds::{ll_bound, LiuLayland, ParametricBound};
@@ -80,23 +83,6 @@ impl RmTs<LiuLayland> {
 }
 
 impl<B: ParametricBound> RmTs<B> {
-    /// Pre-redesign constructor spelling, kept for one release. The
-    /// uniform API chains from [`RmTs::new`] instead; see [`WithBound`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `RmTs::new().with_bound(bound)` (the uniform builder API)"
-    )]
-    pub fn with_bound(bound: B) -> Self {
-        RmTs {
-            bound,
-            policy: AdmissionPolicy::exact(),
-            apply_cap: true,
-            budget: AnalysisBudget::unlimited(),
-            degrade: false,
-            degrade_theta: None,
-        }
-    }
-
     /// Toggles the `2Θ/(1+Θ)` cap on the targeted bound (Section V). On by
     /// default; ablations disable it to study what breaks without it.
     pub fn with_cap(mut self, apply_cap: bool) -> Self {
@@ -241,6 +227,21 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
         m: usize,
         ws: &mut PartitionWorkspace,
     ) -> PartitionResult {
+        self.partition_inner(ts, m, ws, None)
+    }
+}
+
+impl<B: ParametricBound> RmTs<B> {
+    /// The single assignment pipeline behind every entry point; `guide`
+    /// adds trace recording and guided replay (see [`crate::session`])
+    /// without changing any placement decision.
+    fn partition_inner(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        mut guide: Option<&mut Guide<'_>>,
+    ) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
         let ctl = self.control();
         let theta = ll_bound(ts.len());
@@ -283,6 +284,15 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
             processors[q].role = ProcessorRole::Dedicated;
             processors[q].full = true;
             reserved.insert(task.id);
+            if let Some(g) = guide.as_deref_mut() {
+                g.record_reserved(ReservedPlace {
+                    task: task.id,
+                    wcet: task.wcet,
+                    period: task.period,
+                    role: ProcessorRole::Dedicated,
+                    proc: q,
+                });
+            }
             rmts_obs::count("core.rmts.dedicated", 1);
         }
         drop(phase0);
@@ -324,10 +334,24 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 ));
                 processors[q].role = ProcessorRole::PreAssigned;
                 reserved.insert(task.id);
+                if let Some(g) = guide.as_deref_mut() {
+                    g.record_reserved(ReservedPlace {
+                        task: task.id,
+                        wcet: task.wcet,
+                        period: task.period,
+                        role: ProcessorRole::PreAssigned,
+                        proc: q,
+                    });
+                }
                 rmts_obs::count("core.rmts.preassigned", 1);
             }
         }
         drop(phase1);
+        // Reserved placements always run live (O(n) pushes onto empty or
+        // near-empty processors); replay keys off the recorded diff.
+        if let Some(g) = guide.as_deref_mut() {
+            g.finish_reserved();
+        }
 
         // Phases 2 and 3 share one work queue, in increasing priority order.
         queue_increasing_priority_into(ts, |id| !reserved.contains(&id), &mut ws.queue);
@@ -344,6 +368,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut sealed,
                 &ctl,
                 &mut ws.select,
+                guide.as_deref_mut(),
             )
         };
         if let Err(e) = phase2 {
@@ -369,6 +394,7 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 &mut sealed,
                 &ctl,
                 &mut ws.select,
+                guide,
             )
         };
         if let Err(e) = phase3 {
@@ -398,6 +424,48 @@ impl<B: ParametricBound> Partitioner for RmTs<B> {
                 ctl.exactness(),
             )
         }
+    }
+}
+
+impl<B: ParametricBound> Repartitioner for RmTs<B> {
+    fn partition_traced(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        trace: &mut SessionTrace,
+    ) -> PartitionResult {
+        if !self.budget.is_unlimited() {
+            // A metered run's verdicts depend on meter state, which does
+            // not align across runs: leave the trace unsupported so every
+            // apply re-partitions in full.
+            trace.reset();
+            return self.partition_with(ts, m, ws);
+        }
+        let mut guide = Guide::record(trace);
+        self.partition_inner(ts, m, ws, Some(&mut guide))
+    }
+
+    fn repartition(
+        &self,
+        prior: PriorRun<'_>,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        trace: &mut SessionTrace,
+    ) -> (PartitionResult, RepartitionPath) {
+        if !self.budget.is_unlimited() || !replayable(prior.trace, m) {
+            return (
+                self.partition_traced(ts, m, ws, trace),
+                RepartitionPath::Full,
+            );
+        }
+        let mut guide = Guide::guided(trace, prior.trace, m);
+        let result = self.partition_inner(ts, m, ws, Some(&mut guide));
+        let (reused, live) = guide.step_counts();
+        rmts_obs::count("core.session.reused_steps", reused);
+        rmts_obs::count("core.session.live_steps", live);
+        (result, RepartitionPath::Incremental)
     }
 }
 
@@ -576,16 +644,6 @@ mod tests {
         );
         let spa2 = RmTs::new().with_policy(AdmissionPolicy::threshold(0.69));
         assert_eq!(spa2.name(), "SPA2");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shim_matches_the_builder() {
-        let shim = RmTs::with_bound(HarmonicChain);
-        let chained = RmTs::new().with_bound(HarmonicChain);
-        assert_eq!(shim.name(), chained.name());
-        assert_eq!(shim.policy, chained.policy);
-        assert_eq!(shim.apply_cap, chained.apply_cap);
     }
 
     #[test]

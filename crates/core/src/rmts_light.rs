@@ -14,9 +14,10 @@
 use crate::admission::AdmissionPolicy;
 use crate::config::Configure;
 pub use crate::engine::Select as FitSelect;
-use crate::engine::{queue_increasing_priority_into, run_phase, Select};
+use crate::engine::{queue_increasing_priority_into, run_phase, try_splice, Select};
 use crate::ladder::AnalysisControl;
 use crate::partition::{Partition, PartitionPhase, PartitionReject, PartitionResult, Partitioner};
+use crate::session::{replayable, Guide, PriorRun, RepartitionPath, Repartitioner, SessionTrace};
 use crate::workspace::PartitionWorkspace;
 use rmts_taskmodel::{AnalysisBudget, TaskSet};
 
@@ -56,20 +57,6 @@ impl RmTsLight {
     /// RM-TS/light with exact RTA admission (the paper's algorithm).
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Pre-redesign constructor spelling, kept for one release. The
-    /// uniform API chains from [`RmTsLight::new`] instead; see
-    /// [`Configure`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `RmTsLight::new().with_policy(policy)` (the uniform builder API)"
-    )]
-    pub fn with_policy(policy: AdmissionPolicy) -> Self {
-        RmTsLight {
-            policy,
-            ..Self::default()
-        }
     }
 
     /// Ablation variant with a different processor-selection rule. The
@@ -137,6 +124,21 @@ impl Partitioner for RmTsLight {
         m: usize,
         ws: &mut PartitionWorkspace,
     ) -> PartitionResult {
+        self.partition_inner(ts, m, ws, None)
+    }
+}
+
+impl RmTsLight {
+    /// The single assignment pipeline behind every entry point; `guide`
+    /// adds trace recording and guided replay (see [`crate::session`])
+    /// without changing any placement decision.
+    fn partition_inner(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        guide: Option<&mut Guide<'_>>,
+    ) -> PartitionResult {
         assert!(m > 0, "need at least one processor");
         let ctl = self.control();
         let mut processors = ws.take_processors(m);
@@ -153,6 +155,7 @@ impl Partitioner for RmTsLight {
                 &mut sealed,
                 &ctl,
                 &mut ws.select,
+                guide,
             )
         };
         let mut unassigned: Vec<_> = ws.queue.iter().map(|p| p.task().id).collect();
@@ -180,6 +183,65 @@ impl Partitioner for RmTsLight {
             reason,
         )
         .with_analysis(analysis))
+    }
+}
+
+impl Repartitioner for RmTsLight {
+    fn partition_traced(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        trace: &mut SessionTrace,
+    ) -> PartitionResult {
+        if !self.budget.is_unlimited() {
+            // A metered run's verdicts depend on meter state, which does
+            // not align across runs: leave the trace unsupported so every
+            // apply re-partitions in full.
+            trace.reset();
+            return self.partition_with(ts, m, ws);
+        }
+        let mut guide = Guide::record(trace);
+        self.partition_inner(ts, m, ws, Some(&mut guide))
+    }
+
+    fn repartition(
+        &self,
+        prior: PriorRun<'_>,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        trace: &mut SessionTrace,
+    ) -> (PartitionResult, RepartitionPath) {
+        if !self.budget.is_unlimited() || !replayable(prior.trace, m) {
+            return (
+                self.partition_traced(ts, m, ws, trace),
+                RepartitionPath::Full,
+            );
+        }
+        // WCET-only deltas take the splice fast path: recorded placements
+        // are applied as O(1) shadow-state updates instead of re-running
+        // the full placement loop. Bails to guided replay on anything
+        // structural (and on rejects, which re-run for full diagnostics).
+        if let Some(partition) = try_splice(
+            ts,
+            m,
+            ws,
+            &self.policy,
+            &self.control(),
+            self.select,
+            prior.partition,
+            prior.trace,
+            trace,
+        ) {
+            return (Ok(partition), RepartitionPath::Incremental);
+        }
+        let mut guide = Guide::guided(trace, prior.trace, m);
+        let result = self.partition_inner(ts, m, ws, Some(&mut guide));
+        let (reused, live) = guide.step_counts();
+        rmts_obs::count("core.session.reused_steps", reused);
+        rmts_obs::count("core.session.live_steps", live);
+        (result, RepartitionPath::Incremental)
     }
 }
 
@@ -312,19 +374,6 @@ mod tests {
         let part = ff.partition(&easy, 2).unwrap();
         assert!(part.covers(&easy));
         assert!(part.verify_rta());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shim_matches_the_builder() {
-        // `RmTsLight::with_policy(policy)` (the pre-redesign constructor)
-        // must configure exactly what the uniform chain does, for one
-        // release of migration headroom.
-        let policy = AdmissionPolicy::threshold(0.5);
-        let shim = RmTsLight::with_policy(policy);
-        let chained = RmTsLight::new().with_policy(policy);
-        assert_eq!(shim.policy, chained.policy);
-        assert_eq!(shim.name(), chained.name());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::config::{Configure, WithBound};
 use crate::partition::DynPartitioner;
 use crate::rmts::RmTs;
 use crate::rmts_light::RmTsLight;
+use crate::session::Repartitioner;
 use rmts_bounds::{HarmonicChain, LiuLayland, ParametricBound, RBound, TBound};
 use rmts_taskmodel::{AnalysisBudget, TaskSet};
 use serde::{Deserialize, Serialize};
@@ -213,6 +214,21 @@ impl AlgorithmSpec {
     /// request, or a policy override on `prm` is a caller bug — under the
     /// batch service it would break the per-request-isolation promise.
     pub fn build_with(&self, n: usize, opts: &EngineOptions) -> Result<DynPartitioner, SpecError> {
+        self.build_repartitioner(n, opts)
+            .map(|engine| engine as DynPartitioner)
+    }
+
+    /// Builds the engine behind the session API
+    /// ([`crate::PartitionSession`]). Same configuration rules and
+    /// resulting algorithm as [`Self::build_with`]; the RM-TS family
+    /// (including the SPA baselines riding its skeleton) additionally
+    /// supports incremental guided replay, while strictly partitioned RM
+    /// re-partitions in full on every apply.
+    pub fn build_repartitioner(
+        &self,
+        n: usize,
+        opts: &EngineOptions,
+    ) -> Result<Box<dyn Repartitioner>, SpecError> {
         if !self.is_budgeted()
             && (opts.policy.is_some() || !opts.budget.is_unlimited() || opts.degrade)
         {

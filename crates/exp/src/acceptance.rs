@@ -7,7 +7,7 @@
 //! verify (Lemma 4); threshold baselines may be run outside their proven
 //! domain, in which case the `verified` column is the honest number.
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, with_workspace};
 use crate::table::{pct, Table};
 use rmts_core::Partitioner;
 use rmts_gen::{trial_rng, GenConfig};
@@ -92,30 +92,36 @@ pub fn acceptance_sweep(
                 let mut rng = trial_rng(seed ^ (u_norm * 1e6) as u64, t);
                 let ts = cfg.generate(&mut rng)?;
                 let start = recording.then(Instant::now);
-                let row: Vec<(bool, bool)> = algorithms
-                    .iter()
-                    .map(|alg| match alg.partition(&ts, m) {
-                        Ok(part) => {
-                            let ok = match check {
-                                CheckLevel::None => true,
-                                CheckLevel::Rta => part.verify_rta(),
-                                CheckLevel::Sim { horizon } => {
-                                    part.verify_rta()
-                                        && simulate_partitioned(
-                                            &part.workloads(),
-                                            SimConfig {
-                                                horizon: Some(Time::new(horizon)),
-                                                ..SimConfig::default()
-                                            },
-                                        )
-                                        .all_deadlines_met()
-                                }
-                            };
-                            (true, ok)
-                        }
-                        Err(_) => (false, false),
-                    })
-                    .collect();
+                // The worker's recycled workspace, threaded through every
+                // algorithm: processor-state and plan-queue allocations
+                // are paid once per thread, not once per column per trial.
+                let row: Vec<(bool, bool)> = with_workspace(|ws| {
+                    algorithms
+                        .iter()
+                        .map(|alg| match alg.partition_with(&ts, m, ws) {
+                            Ok(part) => {
+                                let ok = match check {
+                                    CheckLevel::None => true,
+                                    CheckLevel::Rta => part.verify_rta(),
+                                    CheckLevel::Sim { horizon } => {
+                                        part.verify_rta()
+                                            && simulate_partitioned(
+                                                &part.workloads(),
+                                                SimConfig {
+                                                    horizon: Some(Time::new(horizon)),
+                                                    ..SimConfig::default()
+                                                },
+                                            )
+                                            .all_deadlines_met()
+                                    }
+                                };
+                                ws.recycle(part);
+                                (true, ok)
+                            }
+                            Err(_) => (false, false),
+                        })
+                        .collect()
+                });
                 let micros = start.map_or(0, |s| s.elapsed().as_micros() as u64);
                 Some((row, micros))
             });

@@ -8,6 +8,7 @@
 use rmts_core::{Partitioner, RmTs};
 use rmts_exp::cli::ExpOptions;
 use rmts_exp::table::{f, Table};
+use rmts_exp::with_workspace;
 use rmts_sim::global::dhall_adversary;
 use rmts_sim::{simulate_global, simulate_partitioned, SimConfig};
 
@@ -33,20 +34,20 @@ fn main() {
             let miss = &global.misses[0];
             format!("MISS τ{} @ {}", miss.task.0, miss.deadline)
         };
-        let (part_cell, sim_cell) = match RmTs::new().partition(&ts, m) {
-            Ok(part) => {
-                let report = simulate_partitioned(&part.workloads(), SimConfig::default());
-                (
-                    "accepted".to_string(),
-                    if report.all_deadlines_met() {
+        let (part_cell, sim_cell) =
+            with_workspace(|ws| match RmTs::new().partition_with(&ts, m, ws) {
+                Ok(part) => {
+                    let report = simulate_partitioned(&part.workloads(), SimConfig::default());
+                    let verdict = if report.all_deadlines_met() {
                         "meets deadlines".to_string()
                     } else {
                         "MISS (bug!)".to_string()
-                    },
-                )
-            }
-            Err(e) => (format!("REJECTED ({e})"), "-".to_string()),
-        };
+                    };
+                    ws.recycle(part);
+                    ("accepted".to_string(), verdict)
+                }
+                Err(e) => (format!("REJECTED ({e})"), "-".to_string()),
+            });
         table.push_row(vec![
             m.to_string(),
             f(u_m, 4),

@@ -13,8 +13,8 @@
 use rmts_core::baselines::PartitionedRm;
 use rmts_core::{overhead_tolerance, Partitioner, RmTs};
 use rmts_exp::cli::ExpOptions;
-use rmts_exp::parallel_map;
 use rmts_exp::table::{f, pct, Table};
+use rmts_exp::{parallel_map, with_workspace};
 use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
 
 struct Cell {
@@ -30,14 +30,15 @@ fn measure(alg: &dyn Partitioner, m: usize, cfg: &GenConfig, trials: u64, seed: 
         let Some(ts) = cfg.generate(&mut rng) else {
             return (false, false, 0.0, 0.0);
         };
-        match alg.partition(&ts, m) {
+        with_workspace(|ws| match alg.partition_with(&ts, m, ws) {
             Ok(part) => {
                 let tol = overhead_tolerance(&part).ticks() as f64;
                 let splits = part.split_tasks().len() as f64;
+                ws.recycle(part);
                 (true, true, tol, splits)
             }
             Err(_) => (true, false, 0.0, 0.0),
-        }
+        })
     });
     let mut cell = Cell {
         accepted: 0,

@@ -45,7 +45,7 @@ pub mod weighted;
 
 pub use acceptance::{acceptance_sweep, AcceptanceRate, CheckLevel, SweepPoint};
 pub use breakdown::{average_breakdown, BreakdownStats};
-pub use parallel::{parallel_map, parallel_map_isolated, TrialFault};
+pub use parallel::{parallel_map, parallel_map_isolated, with_workspace, TrialFault};
 pub use sizing::{min_processors_by_bound, min_processors_by_partitioning};
 pub use structure::{structure_stats, StructureStats};
 pub use table::wilson95;

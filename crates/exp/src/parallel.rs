@@ -19,8 +19,26 @@
 //!   `AssertUnwindSafe` below sound.
 
 use crossbeam::thread;
+use rmts_core::PartitionWorkspace;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    static TRIAL_WS: RefCell<PartitionWorkspace> = RefCell::new(PartitionWorkspace::new());
+}
+
+/// Hands the calling worker thread its reusable [`PartitionWorkspace`].
+///
+/// Trial closures partition in a tight loop; routing them through
+/// `partition_with` against a per-thread workspace amortizes processor
+/// and plan-queue allocations across every trial the worker runs, while
+/// keeping workers free of shared mutable state (the workspace recycles
+/// allocations, never results, so trial output stays bit-identical).
+/// Not reentrant: `f` must not call `with_workspace` itself.
+pub fn with_workspace<R>(f: impl FnOnce(&mut PartitionWorkspace) -> R) -> R {
+    TRIAL_WS.with(|ws| f(&mut ws.borrow_mut()))
+}
 
 /// A trial that panicked instead of returning: its index plus the panic
 /// payload rendered as text.

@@ -5,7 +5,7 @@
 //! migration point at run time), how many processors were pre-assigned or
 //! dedicated, and how long partitioning takes.
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, with_workspace};
 use rmts_core::Partitioner;
 use rmts_gen::{trial_rng, GenConfig};
 use std::time::Instant;
@@ -57,30 +57,34 @@ pub fn structure_stats(
                 micros: 0.0,
             };
         };
-        let start = Instant::now();
-        let result = alg.partition(&ts, m);
-        let micros = start.elapsed().as_secs_f64() * 1e6;
-        match result {
-            Ok(part) => {
-                let (_, pre, ded) = part.role_counts();
-                Row {
-                    generated: true,
-                    accepted: true,
-                    split: part.split_tasks().len(),
-                    pre,
-                    ded,
-                    micros,
+        with_workspace(|ws| {
+            let start = Instant::now();
+            let result = alg.partition_with(&ts, m, ws);
+            let micros = start.elapsed().as_secs_f64() * 1e6;
+            match result {
+                Ok(part) => {
+                    let (_, pre, ded) = part.role_counts();
+                    let row = Row {
+                        generated: true,
+                        accepted: true,
+                        split: part.split_tasks().len(),
+                        pre,
+                        ded,
+                        micros,
+                    };
+                    ws.recycle(part);
+                    row
                 }
+                Err(_) => Row {
+                    generated: true,
+                    accepted: false,
+                    split: 0,
+                    pre: 0,
+                    ded: 0,
+                    micros,
+                },
             }
-            Err(_) => Row {
-                generated: true,
-                accepted: false,
-                split: 0,
-                pre: 0,
-                ded: 0,
-                micros,
-            },
-        }
+        })
     });
     // Timing histograms are observed here on the calling thread: the
     // recorder is thread-local, so worker threads inside `parallel_map`

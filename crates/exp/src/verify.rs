@@ -6,7 +6,7 @@
 //! the claimed bound and counts rejections — the expected count is **zero**
 //! — and optionally cross-checks accepted partitions in the simulator.
 
-use crate::parallel::parallel_map;
+use crate::parallel::{parallel_map, with_workspace};
 use rmts_bounds::thresholds::{light_threshold_of, rmts_cap_of};
 use rmts_bounds::ParametricBound;
 use rmts_core::{audit, Partitioner};
@@ -117,7 +117,7 @@ pub fn verify_campaign(
             return cell;
         };
         cell.tested = 1;
-        match alg.partition(&ts, m) {
+        with_workspace(|ws| match alg.partition_with(&ts, m, ws) {
             Err(_) => cell.rejections = 1,
             Ok(part) => {
                 if !part.verify_rta() {
@@ -138,8 +138,9 @@ pub fn verify_campaign(
                         cell.sim_failures = 1;
                     }
                 }
+                ws.recycle(part);
             }
-        }
+        });
         cell
     });
     let mut out = VerifyOutcome {

@@ -72,6 +72,13 @@ pub mod wire;
 
 pub use canonical::{CanonicalBatch, CanonicalSet};
 pub use queue::BoundedQueue;
-pub use request::{AnalysisOutcome, AnalyzeRequest, BudgetSpec, Response, Verdict};
+pub use request::{
+    AnalysisOutcome, AnalyzeRequest, BudgetSpec, RepartitionRequest, Request, Response,
+    SessionMeta, SessionOp, Verdict, WIRE_V1, WIRE_V2,
+};
 pub use rmts_core::{AlgorithmSpec, BoundSpec};
 pub use service::{Service, ServiceConfig, ServiceStats, Ticket};
+pub use wire::{
+    parse_requests, parse_stream, render_responses, render_stream_responses, ResponseRecord,
+    SessionRecord,
+};

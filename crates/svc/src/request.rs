@@ -10,10 +10,18 @@
 use rmts_core::{
     AdmissionPolicy, AlgorithmSpec, AnalysisBudget, EngineOptions, Exactness, PartitionPhase,
 };
-use rmts_taskmodel::AnalysisError;
+use rmts_taskmodel::{AnalysisError, TaskSetDelta};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Wire protocol version of the classic analyze line. Implicit: a request
+/// line without a `version` field is a v1 [`AnalyzeRequest`], so every
+/// recorded corpus keeps parsing unchanged.
+pub const WIRE_V1: u64 = 1;
+
+/// Wire protocol version of session lines ([`RepartitionRequest`]).
+pub const WIRE_V2: u64 = 2;
 
 /// A serializable [`AnalysisBudget`]: same dimensions, with the wall-clock
 /// deadline in milliseconds (`Duration` has no serde support in the
@@ -117,6 +125,80 @@ impl AnalyzeRequest {
     }
 }
 
+/// One operation against a named partition session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionOp {
+    /// Opens the session by partitioning a base request (replacing any
+    /// prior session under the same name).
+    Open {
+        /// The base analysis question; its task set is canonicalized, so
+        /// subsequent deltas refer to **canonical indices** (position
+        /// after the `(period, wcet)` sort).
+        base: AnalyzeRequest,
+    },
+    /// Applies a delta to the open session. On rejection or an invalid
+    /// delta the session keeps its prior state (admission control).
+    Delta {
+        /// Ops against the session's canonical task ids; `Add` ops must
+        /// pick fresh ids (≥ the base set's size is always safe).
+        delta: TaskSetDelta,
+    },
+}
+
+/// A v2 wire request: one [`SessionOp`] against a named session. All ops
+/// for a session name are routed to one shard and served in submission
+/// order, so a JSONL stream reads as a session script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepartitionRequest {
+    /// Wire protocol version; always [`WIRE_V2`].
+    pub version: u64,
+    /// Client-chosen session name.
+    pub session: String,
+    /// The operation.
+    pub op: SessionOp,
+}
+
+impl RepartitionRequest {
+    /// An `Open` line for `session`.
+    pub fn open(session: impl Into<String>, base: AnalyzeRequest) -> Self {
+        RepartitionRequest {
+            version: WIRE_V2,
+            session: session.into(),
+            op: SessionOp::Open { base },
+        }
+    }
+
+    /// A `Delta` line for `session`.
+    pub fn delta(session: impl Into<String>, delta: TaskSetDelta) -> Self {
+        RepartitionRequest {
+            version: WIRE_V2,
+            session: session.into(),
+            op: SessionOp::Delta { delta },
+        }
+    }
+}
+
+/// Any wire request, across protocol versions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// v1: a stateless analysis question.
+    Analyze(AnalyzeRequest),
+    /// v2: a session operation.
+    Repartition(RepartitionRequest),
+}
+
+/// Session metadata attached to a [`Response`] answering a v2 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// The session name the operation addressed.
+    pub session: String,
+    /// How the answer was produced: `open` for `Open` ops, the
+    /// [`RepartitionPath`](rmts_core::RepartitionPath) (`noop` /
+    /// `incremental` / `full`) for committed or rejected deltas, `error`
+    /// when the operation itself was invalid.
+    pub path: String,
+}
+
 /// The answer to one request. Task ids refer to **canonical indices**
 /// (position after the `(period, wcet)` sort); map back with
 /// [`CanonicalSet::permutation`](crate::CanonicalSet::permutation).
@@ -180,6 +262,8 @@ pub struct Response {
     pub shard: usize,
     /// Whether the outcome came from the memo table.
     pub memo_hit: bool,
+    /// Session metadata (v2 requests only; `None` for plain analyzes).
+    pub session: Option<SessionMeta>,
     /// The analysis answer (shared with the memo table).
     pub outcome: Arc<AnalysisOutcome>,
 }

@@ -2,8 +2,8 @@
 
 use crate::canonical::{CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
-use crate::request::{AnalyzeRequest, Response};
-use crate::shard::{CanonJob, Job, Shard};
+use crate::request::{AnalyzeRequest, RepartitionRequest, Request, Response};
+use crate::shard::{AnalyzeJob, CanonJob, Job, SessionJob, Shard};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -84,6 +84,17 @@ pub struct ServiceStats {
     pub shard_busy_ns: Vec<u64>,
 }
 
+/// FNV-1a over raw bytes — the session-name routing hash (the canonical
+/// task-set hash in `canonical.rs` uses the same function over pairs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A pending single-request submission; redeem with [`Ticket::wait`].
 pub struct Ticket {
     rx: mpsc::Receiver<Response>,
@@ -156,6 +167,42 @@ impl Service {
         let canon = CanonJob::Owned(CanonicalSet::of_pairs(&req.taskset));
         self.enqueue(index, req, canon, tx);
         Ticket { rx }
+    }
+
+    /// Submits one session operation (v2). Ops for the same session name
+    /// always land on the same shard and are served in submission order.
+    pub fn submit_repartition(&self, req: RepartitionRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let index = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_session(index, req, tx);
+        Ticket { rx }
+    }
+
+    /// Runs a mixed v1/v2 request stream, returning responses in request
+    /// order. Same-session ops serialize through one shard FIFO, so a
+    /// JSONL session script behaves exactly like sequential submission;
+    /// unrelated requests still fan out across the fleet.
+    pub fn run_stream(&self, reqs: Vec<Request>) -> Vec<Response> {
+        let n = reqs.len();
+        let (tx, rx) = mpsc::channel();
+        for (i, req) in reqs.into_iter().enumerate() {
+            match req {
+                Request::Analyze(req) => {
+                    let canon = CanonJob::Owned(CanonicalSet::of_pairs(&req.taskset));
+                    self.enqueue(i, req, canon, tx.clone());
+                }
+                Request::Repartition(req) => self.enqueue_session(i, req, tx.clone()),
+            }
+        }
+        drop(tx);
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        for resp in rx {
+            let slot = resp.index;
+            out[slot] = Some(resp);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every submitted request gets exactly one response"))
+            .collect()
     }
 
     /// Analyzes a whole batch, returning responses in request order.
@@ -231,12 +278,33 @@ impl Service {
         let shard = (canon.hash() % self.queues.len() as u64) as usize;
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.queues[shard]
-            .push(Job {
+            .push(Job::Analyze(AnalyzeJob {
                 index,
                 canon,
                 req,
                 reply,
-            })
+            }))
+            .expect("service queues close only on drop");
+    }
+
+    fn enqueue_session(
+        &self,
+        index: usize,
+        req: RepartitionRequest,
+        reply: mpsc::Sender<Response>,
+    ) {
+        // Route by session name: the session's state lives on exactly one
+        // shard, and that shard's FIFO serializes its ops.
+        let hash = fnv1a(req.session.as_bytes());
+        let shard = (hash % self.queues.len() as u64) as usize;
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queues[shard]
+            .push(Job::Session(SessionJob {
+                index,
+                hash,
+                req,
+                reply,
+            }))
             .expect("service queues close only on drop");
     }
 

@@ -20,9 +20,14 @@
 
 use crate::canonical::{CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
-use crate::request::{AnalysisOutcome, AnalyzeRequest, Response, Verdict};
+use crate::request::{
+    AnalysisOutcome, AnalyzeRequest, RepartitionRequest, Response, SessionMeta, SessionOp, Verdict,
+};
 use crate::service::SharedStats;
-use rmts_core::{DynPartitioner, PartitionWorkspace};
+use rmts_core::{
+    DynPartitioner, Partition, PartitionReject, PartitionSession, PartitionWorkspace,
+    RepartitionError,
+};
 use rmts_taskmodel::{ModelError, TaskSet};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -71,11 +76,30 @@ impl CanonJob {
     }
 }
 
-/// One unit of work: a canonicalized request plus its reply channel.
-pub(crate) struct Job {
+/// One unit of work.
+pub(crate) enum Job {
+    /// A stateless v1 analysis (routed by canonical hash).
+    Analyze(AnalyzeJob),
+    /// A v2 session operation (routed by session-name hash, so all ops of
+    /// a session serialize through one shard's FIFO).
+    Session(SessionJob),
+}
+
+/// A canonicalized analyze request plus its reply channel.
+pub(crate) struct AnalyzeJob {
     pub index: usize,
     pub canon: CanonJob,
     pub req: AnalyzeRequest,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// A session operation plus its reply channel.
+pub(crate) struct SessionJob {
+    pub index: usize,
+    /// Routing hash of the session name (echoed as the response's
+    /// `canonical_hash` so records stay traceable to their shard).
+    pub hash: u64,
+    pub req: RepartitionRequest,
     pub reply: mpsc::Sender<Response>,
 }
 
@@ -116,6 +140,9 @@ pub(crate) struct Shard {
     /// against same-sized sets admit without heap allocation in the
     /// engine's inner loop (DESIGN.md §5, "Partition hot path").
     ws: PartitionWorkspace,
+    /// Live partition sessions keyed by session name (v2 requests). Each
+    /// owns its engine, task set, partition, trace, and workspace.
+    sessions: HashMap<String, PartitionSession>,
     stats: Arc<SharedStats>,
 }
 
@@ -127,6 +154,7 @@ impl Shard {
             memo: HashMap::new(),
             last_fp: None,
             ws: PartitionWorkspace::new(),
+            sessions: HashMap::new(),
             stats,
         };
         // Drain the queue in runs: one condvar round-trip (and, on a busy
@@ -135,14 +163,17 @@ impl Shard {
         while let Some(jobs) = queue.pop_many(run_len) {
             let t0 = Instant::now();
             for job in jobs {
-                shard.serve(job);
+                match job {
+                    Job::Analyze(job) => shard.serve(job),
+                    Job::Session(job) => shard.serve_session(job),
+                }
             }
             let ns = t0.elapsed().as_nanos() as u64;
             shard.stats.busy_ns[idx].fetch_add(ns, Ordering::Relaxed);
         }
     }
 
-    fn serve(&mut self, job: Job) {
+    fn serve(&mut self, job: AnalyzeJob) {
         let (outcome, memo_hit) = self.outcome_for(&job);
         let counter = if memo_hit {
             &self.stats.memo_hits
@@ -158,11 +189,166 @@ impl Shard {
             canonical_hash: job.canon.hash(),
             shard: self.idx,
             memo_hit,
+            session: None,
             outcome,
         });
     }
 
-    fn outcome_for(&mut self, job: &Job) -> (Arc<AnalysisOutcome>, bool) {
+    fn serve_session(&mut self, job: SessionJob) {
+        let (outcome, meta) = self.session_outcome(&job.req);
+        // Session answers are stateful, never memoized.
+        self.stats.memo_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Response {
+            index: job.index,
+            canonical_hash: job.hash,
+            shard: self.idx,
+            memo_hit: false,
+            session: Some(meta),
+            outcome: Arc::new(outcome),
+        });
+    }
+
+    fn session_outcome(&mut self, req: &RepartitionRequest) -> (AnalysisOutcome, SessionMeta) {
+        let meta = |path: &str| SessionMeta {
+            session: req.session.clone(),
+            path: path.to_string(),
+        };
+        match &req.op {
+            SessionOp::Open { base } => {
+                let (outcome, path) = self.open_session(&req.session, base);
+                (outcome, meta(path))
+            }
+            SessionOp::Delta { delta } => {
+                let (outcome, path) = self.apply_session_delta(&req.session, delta);
+                (outcome, meta(&path))
+            }
+        }
+    }
+
+    /// Opens (or replaces) a session by a traced base partition.
+    fn open_session(
+        &mut self,
+        name: &str,
+        base: &AnalyzeRequest,
+    ) -> (AnalysisOutcome, &'static str) {
+        let m = base.m;
+        let invalid = |algorithm: String, reason: String| {
+            (
+                AnalysisOutcome {
+                    algorithm,
+                    m,
+                    verdict: Verdict::Invalid { reason },
+                },
+                "error",
+            )
+        };
+        let ts = match CanonicalSet::of_pairs(&base.taskset).to_taskset() {
+            Ok(ts) => ts,
+            Err(e) => return invalid(base.algorithm.to_string(), format!("invalid task set: {e}")),
+        };
+        let engine = match base
+            .algorithm
+            .build_repartitioner(ts.len(), &base.options())
+        {
+            Ok(e) => e,
+            Err(e) => return invalid(base.algorithm.to_string(), e.to_string()),
+        };
+        let algorithm = engine.name();
+        match catch_unwind(AssertUnwindSafe(|| PartitionSession::start(engine, ts, m))) {
+            Ok(Ok(session)) => {
+                let verdict = accepted_verdict(session.partition());
+                self.sessions.insert(name.to_string(), session);
+                (
+                    AnalysisOutcome {
+                        algorithm,
+                        m,
+                        verdict,
+                    },
+                    "open",
+                )
+            }
+            Ok(Err(rej)) => (
+                AnalysisOutcome {
+                    algorithm,
+                    m,
+                    verdict: rejected_verdict(&rej),
+                },
+                "open",
+            ),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                invalid(
+                    algorithm,
+                    format!("engine panicked: {}", panic_text(&payload)),
+                )
+            }
+        }
+    }
+
+    /// Applies one delta to an open session. On rejection or an invalid
+    /// delta the session keeps its prior state; on a panic the session is
+    /// torn down (its state can no longer be trusted).
+    fn apply_session_delta(
+        &mut self,
+        name: &str,
+        delta: &rmts_taskmodel::TaskSetDelta,
+    ) -> (AnalysisOutcome, String) {
+        let Some(session) = self.sessions.get_mut(name) else {
+            return (
+                AnalysisOutcome {
+                    algorithm: String::new(),
+                    m: 0,
+                    verdict: Verdict::Invalid {
+                        reason: format!("unknown session `{name}` (send an Open line first)"),
+                    },
+                },
+                "error".to_string(),
+            );
+        };
+        let m = session.m();
+        let algorithm = session.engine_name();
+        match catch_unwind(AssertUnwindSafe(|| match session.apply(delta) {
+            Ok(ok) => (accepted_verdict(ok.partition), ok.path.as_str().to_string()),
+            Err(RepartitionError::Rejected { reject, path }) => {
+                (rejected_verdict(&reject), path.as_str().to_string())
+            }
+            Err(RepartitionError::Delta(e)) => (
+                Verdict::Invalid {
+                    reason: format!("invalid delta: {e}"),
+                },
+                "error".to_string(),
+            ),
+        })) {
+            Ok((verdict, path)) => (
+                AnalysisOutcome {
+                    algorithm,
+                    m,
+                    verdict,
+                },
+                path,
+            ),
+            Err(payload) => {
+                self.sessions.remove(name);
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                (
+                    AnalysisOutcome {
+                        algorithm,
+                        m,
+                        verdict: Verdict::Invalid {
+                            reason: format!(
+                                "engine panicked (session torn down): {}",
+                                panic_text(&payload)
+                            ),
+                        },
+                    },
+                    "error".to_string(),
+                )
+            }
+        }
+    }
+
+    fn outcome_for(&mut self, job: &AnalyzeJob) -> (Arc<AnalysisOutcome>, bool) {
         // `Debug` of the request's option fields is deterministic (unit
         // enums, integers), making the fingerprint stable across runs. The
         // task-set size is folded in because the SPA thresholds Θ(n) make
@@ -215,7 +401,7 @@ impl Shard {
         (outcome, false)
     }
 
-    fn analyze(&mut self, job: &Job, n: usize, engine_key: &str) -> AnalysisOutcome {
+    fn analyze(&mut self, job: &AnalyzeJob, n: usize, engine_key: &str) -> AnalysisOutcome {
         let invalid = |algorithm: String, reason: String| AnalysisOutcome {
             algorithm,
             m: job.req.m,
@@ -282,6 +468,26 @@ impl Shard {
                 invalid(name, format!("engine panicked: {}", panic_text(&payload)))
             }
         }
+    }
+}
+
+/// The `Accepted` verdict describing a partition (canonical ids).
+fn accepted_verdict(p: &Partition) -> Verdict {
+    Verdict::Accepted {
+        processors_used: p.processors.iter().filter(|q| !q.is_empty()).count(),
+        splits: p.split_tasks().iter().map(|t| t.0).collect(),
+        exactness: p.exactness,
+    }
+}
+
+/// The `Rejected` verdict describing a rejection (canonical ids).
+fn rejected_verdict(rej: &PartitionReject) -> Verdict {
+    Verdict::Rejected {
+        phase: rej.phase,
+        task: rej.task.map(|t| t.0),
+        unassigned: rej.unassigned.iter().map(|t| t.0).collect(),
+        analysis: rej.analysis,
+        reason: rej.reason.clone(),
     }
 }
 

@@ -1,12 +1,22 @@
-//! JSONL wire format for `rmts-cli serve-batch`.
+//! JSONL wire format for `rmts-cli serve-batch` / `rmts-cli repartition`.
 //!
 //! One request per input line, one response record per output line, same
-//! order. A request line is a serialized [`AnalyzeRequest`]; a response
-//! line is a [`ResponseRecord`] — the [`AnalysisOutcome`] plus routing
-//! metadata (shard, memo hit, canonical hash).
+//! order. The protocol is **versioned by line**: a request line carrying
+//! no `version` field (or `"version": 1`) is a classic v1
+//! [`AnalyzeRequest`] — every recorded corpus predates the field and keeps
+//! parsing unchanged — while `"version": 2` selects the session-oriented
+//! [`RepartitionRequest`]. Unknown versions are rejected with the line
+//! number, never guessed at.
+//!
+//! Responses mirror the split: a v1 answer renders as a
+//! [`ResponseRecord`] (byte-identical to the pre-versioning format), a v2
+//! answer as a [`SessionRecord`] carrying the session name and the
+//! repartition path taken.
 
-use crate::request::{AnalysisOutcome, AnalyzeRequest, Response};
-use serde::{Deserialize, Serialize};
+use crate::request::{
+    AnalysisOutcome, AnalyzeRequest, RepartitionRequest, Request, Response, WIRE_V1, WIRE_V2,
+};
+use serde::{Deserialize, Serialize, Value};
 
 /// The serialized form of a [`Response`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,20 +45,83 @@ impl From<&Response> for ResponseRecord {
     }
 }
 
-/// Parses a JSONL request stream. Blank lines and `#` comments are
-/// skipped; the error names the offending (1-based) line.
-pub fn parse_requests(input: &str) -> Result<Vec<AnalyzeRequest>, String> {
+/// A v2 response line: the session name and repartition path alongside
+/// the analysis answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Wire protocol version; always 2.
+    pub version: u64,
+    /// Position in the stream.
+    pub index: usize,
+    /// The session the operation addressed.
+    pub session: String,
+    /// `open`, `noop`, `incremental`, `full`, or `error`.
+    pub path: String,
+    /// Shard that owns the session.
+    pub shard: usize,
+    /// The analysis answer for the session's current state.
+    pub outcome: AnalysisOutcome,
+}
+
+/// The protocol version a request line declares: absent → 1 (the field
+/// postdates the recorded corpora), a non-negative integer otherwise.
+fn line_version(v: &Value) -> Result<u64, String> {
+    let Some(obj) = v.as_object() else {
+        return Err("request is not a JSON object".to_string());
+    };
+    match serde::get_field(obj, "version") {
+        None => Ok(WIRE_V1),
+        Some(Value::UInt(n)) => Ok(*n),
+        Some(other) => Err(format!("`version` must be an integer, got {other:?}")),
+    }
+}
+
+/// Parses a mixed-version JSONL request stream. Blank lines and `#`
+/// comments are skipped; errors (bad JSON, malformed request, unknown
+/// version) name the offending (1-based) line.
+pub fn parse_stream(input: &str) -> Result<Vec<Request>, String> {
     let mut reqs = Vec::new();
     for (i, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let req: AnalyzeRequest =
-            serde_json::from_str(line).map_err(|e| format!("request line {}: {e}", i + 1))?;
-        reqs.push(req);
+        let at = |e: String| format!("request line {}: {e}", i + 1);
+        let value: Value = serde_json::from_str(line).map_err(|e| at(e.to_string()))?;
+        match line_version(&value).map_err(at)? {
+            WIRE_V1 => {
+                let req = AnalyzeRequest::from_value(&value)
+                    .map_err(|e| at(format!("v1 analyze request: {e}")))?;
+                reqs.push(Request::Analyze(req));
+            }
+            WIRE_V2 => {
+                let req = RepartitionRequest::from_value(&value)
+                    .map_err(|e| at(format!("v2 repartition request: {e}")))?;
+                reqs.push(Request::Repartition(req));
+            }
+            v => {
+                return Err(at(format!(
+                    "unsupported protocol version {v} (this build speaks v1 and v2)"
+                )))
+            }
+        }
     }
     Ok(reqs)
+}
+
+/// Parses a v1-only JSONL request stream (the `serve-batch` input format).
+/// v2 lines are rejected with a pointer at the `repartition` subcommand.
+pub fn parse_requests(input: &str) -> Result<Vec<AnalyzeRequest>, String> {
+    parse_stream(input)?
+        .into_iter()
+        .map(|req| match req {
+            Request::Analyze(r) => Ok(r),
+            Request::Repartition(r) => Err(format!(
+                "session request for `{}` in a serve-batch stream (use the `repartition` subcommand)",
+                r.session
+            )),
+        })
+        .collect()
 }
 
 /// Renders responses as JSONL, one [`ResponseRecord`] per line, in the
@@ -58,6 +131,29 @@ pub fn render_responses(responses: &[Response]) -> String {
     for r in responses {
         let record = ResponseRecord::from(r);
         out.push_str(&serde_json::to_string(&record).expect("response records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a mixed-version response stream: v1 answers as
+/// [`ResponseRecord`] lines (unchanged bytes), v2 answers as
+/// [`SessionRecord`] lines.
+pub fn render_stream_responses(responses: &[Response]) -> String {
+    let mut out = String::new();
+    for r in responses {
+        let line = match &r.session {
+            None => serde_json::to_string(&ResponseRecord::from(r)),
+            Some(meta) => serde_json::to_string(&SessionRecord {
+                version: WIRE_V2,
+                index: r.index,
+                session: meta.session.clone(),
+                path: meta.path.clone(),
+                shard: r.shard,
+                outcome: (*r.outcome).clone(),
+            }),
+        };
+        out.push_str(&line.expect("response records always serialize"));
         out.push('\n');
     }
     out
@@ -80,6 +176,168 @@ mod tests {
 
         let err = parse_requests("# ok\nnot json\n").unwrap_err();
         assert!(err.starts_with("request line 2:"), "{err}");
+    }
+
+    #[test]
+    fn v2_requests_round_trip_and_unknown_versions_are_rejected() {
+        use rmts_taskmodel::{Task, TaskSetDelta};
+        let open = RepartitionRequest::open(
+            "sess-a",
+            AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight),
+        );
+        let delta = RepartitionRequest::delta(
+            "sess-a",
+            TaskSetDelta::add(Task::from_ticks(7, 1, 16).unwrap()),
+        );
+        let input = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&open).unwrap(),
+            serde_json::to_string(&delta).unwrap()
+        );
+        let parsed = parse_stream(&input).unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                Request::Repartition(open.clone()),
+                Request::Repartition(delta)
+            ]
+        );
+
+        // An explicit `"version": 1` still selects the classic line.
+        let v1 = AnalyzeRequest::new(vec![(1, 4)], 1, AlgorithmSpec::RmTsLight);
+        let mut line = serde_json::to_string(&v1).unwrap();
+        line.insert_str(1, "\"version\":1,");
+        assert_eq!(
+            parse_stream(&line).unwrap(),
+            vec![Request::Analyze(v1.clone())]
+        );
+
+        // Unknown versions are rejected with the line number, not guessed.
+        let good = serde_json::to_string(&v1).unwrap();
+        let err = parse_stream(&format!("{good}\n{{\"version\":3}}\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("unsupported protocol version 3"), "{err}");
+
+        // serve-batch's v1-only parser refuses session lines by name.
+        let err = parse_requests(&serde_json::to_string(&open).unwrap()).unwrap_err();
+        assert!(err.contains("sess-a"), "{err}");
+        assert!(err.contains("repartition"), "{err}");
+    }
+
+    #[test]
+    fn session_stream_serves_deltas_incrementally_and_in_order() {
+        use crate::request::Verdict;
+        use rmts_taskmodel::{Task, TaskId, TaskSetDelta};
+        let svc = Service::new(ServiceConfig::new().with_shards(2));
+        let base = AnalyzeRequest::new(
+            vec![(1, 4), (2, 8), (2, 8), (4, 16), (3, 12)],
+            2,
+            AlgorithmSpec::RmTsLight,
+        );
+        let stream = vec![
+            Request::Repartition(RepartitionRequest::open("s", base.clone())),
+            Request::Repartition(RepartitionRequest::delta(
+                "s",
+                TaskSetDelta::update(Task::from_ticks(1, 3, 8).unwrap()),
+            )),
+            Request::Repartition(RepartitionRequest::delta(
+                "s",
+                TaskSetDelta::remove(TaskId(4)),
+            )),
+            // A delta against a session nobody opened.
+            Request::Repartition(RepartitionRequest::delta("ghost", TaskSetDelta::empty())),
+        ];
+        let responses = svc.run_stream(stream);
+        assert_eq!(responses.len(), 4);
+        let meta: Vec<_> = responses
+            .iter()
+            .map(|r| r.session.as_ref().expect("all v2"))
+            .collect();
+        assert_eq!(meta[0].path, "open");
+        assert!(
+            meta[1].path == "incremental" && meta[2].path == "incremental",
+            "splitting engines must take the guided path: {:?}",
+            [&meta[1].path, &meta[2].path]
+        );
+        assert_eq!(meta[3].path, "error");
+        for r in &responses[..3] {
+            assert!(
+                matches!(r.outcome.verdict, Verdict::Accepted { .. }),
+                "{:?}",
+                r.outcome
+            );
+        }
+        assert!(matches!(
+            responses[3].outcome.verdict,
+            Verdict::Invalid { ref reason } if reason.contains("unknown session")
+        ));
+        // Same-session ops all landed on one shard.
+        assert_eq!(responses[0].shard, responses[1].shard);
+        assert_eq!(responses[0].shard, responses[2].shard);
+
+        // The rendered stream mixes SessionRecords in stream order.
+        let jsonl = render_stream_responses(&responses);
+        for (i, line) in jsonl.lines().enumerate() {
+            let rec: SessionRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.version, 2);
+            assert_eq!(rec.index, i);
+        }
+    }
+
+    #[test]
+    fn session_answers_match_stateless_analysis_of_the_post_delta_set() {
+        use crate::request::Verdict;
+        use rmts_taskmodel::{Task, TaskSetDelta};
+        // Apply a WCET update through a session, then ask the same
+        // question statelessly: the verdicts must agree field-for-field.
+        let pairs = vec![(1u64, 4u64), (2, 8), (2, 8), (4, 16)];
+        let svc = Service::new(ServiceConfig::new().with_shards(1));
+        let base = AnalyzeRequest::new(pairs.clone(), 2, AlgorithmSpec::RmTsLight);
+        // Canonical order sorts by (period, wcet): index 0 is (1,4).
+        let delta = TaskSetDelta::update(Task::from_ticks(0, 2, 4).unwrap());
+        let responses = svc.run_stream(vec![
+            Request::Repartition(RepartitionRequest::open("s", base)),
+            Request::Repartition(RepartitionRequest::delta("s", delta)),
+        ]);
+        let session_verdict = &responses[1].outcome.verdict;
+        assert!(matches!(session_verdict, Verdict::Accepted { .. }));
+
+        let post = AnalyzeRequest::new(
+            vec![(2, 4), (2, 8), (2, 8), (4, 16)],
+            2,
+            AlgorithmSpec::RmTsLight,
+        );
+        let fresh = svc.analyze_batch(vec![post]);
+        assert_eq!(*session_verdict, fresh[0].outcome.verdict);
+    }
+
+    #[test]
+    fn rejected_deltas_keep_the_session_usable() {
+        use crate::request::Verdict;
+        use rmts_taskmodel::{Task, TaskSetDelta};
+        let svc = Service::new(ServiceConfig::new().with_shards(1));
+        let base = AnalyzeRequest::new(vec![(1, 4), (2, 8)], 1, AlgorithmSpec::RmTsLight);
+        let responses = svc.run_stream(vec![
+            Request::Repartition(RepartitionRequest::open("s", base)),
+            // Infeasible on one processor: three tasks of utilization ~1.
+            Request::Repartition(RepartitionRequest::delta(
+                "s",
+                TaskSetDelta::add(Task::from_ticks(9, 15, 16).unwrap()),
+            )),
+            // The session survives rejection and still answers.
+            Request::Repartition(RepartitionRequest::delta(
+                "s",
+                TaskSetDelta::add(Task::from_ticks(10, 1, 16).unwrap()),
+            )),
+        ]);
+        assert!(matches!(
+            responses[1].outcome.verdict,
+            Verdict::Rejected { .. }
+        ));
+        assert!(matches!(
+            responses[2].outcome.verdict,
+            Verdict::Accepted { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Task-set deltas: the vocabulary of online workload change.
+//!
+//! Production schedulers field *deltas* — one task arrives, one leaves,
+//! one changes its WCET — not fresh task sets. A [`TaskSetDelta`] is an
+//! ordered batch of [`DeltaOp`]s applied atomically to a [`TaskSet`]:
+//! either every op validates and [`TaskSetDelta::apply_to`] returns the
+//! new set, or a typed [`DeltaError`] names the first op that failed and
+//! the base set is left untouched (the caller still holds it unchanged).
+//!
+//! The delta layer is pure data: it knows nothing about partitions. The
+//! incremental re-partitioning machinery (`rmts-core`'s session API)
+//! consumes deltas; the wire protocol (`rmts-svc` v2 requests) and the
+//! delta-stream fuzzer (`rmts-verify`) serialize them.
+
+use crate::error::ModelError;
+use crate::task::{Task, TaskId};
+use crate::taskset::TaskSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One atomic change to a task set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaOp {
+    /// A new task arrives. Its id must not be present.
+    Add(Task),
+    /// The task with this id leaves. It must be present, and removing it
+    /// must not empty the set.
+    Remove(TaskId),
+    /// The task with this id changes parameters (same id, new `⟨C, T⟩`).
+    Update(Task),
+}
+
+impl DeltaOp {
+    /// The id the op concerns.
+    pub fn id(&self) -> TaskId {
+        match self {
+            DeltaOp::Add(t) | DeltaOp::Update(t) => t.id,
+            DeltaOp::Remove(id) => *id,
+        }
+    }
+}
+
+impl fmt::Display for DeltaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaOp::Add(t) => write!(f, "add {t}"),
+            DeltaOp::Remove(id) => write!(f, "remove {id}"),
+            DeltaOp::Update(t) => write!(f, "update {t}"),
+        }
+    }
+}
+
+/// Why a delta failed validation against its base set. The base set is
+/// never modified on failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaError {
+    /// `Add` of an id that is already present.
+    DuplicateId {
+        /// The offending id.
+        id: TaskId,
+    },
+    /// `Remove`/`Update` of an id that is not present.
+    UnknownId {
+        /// The offending id.
+        id: TaskId,
+    },
+    /// `Remove` would leave the set empty.
+    WouldEmpty {
+        /// The id whose removal was refused.
+        id: TaskId,
+    },
+    /// The resulting tasks violate the model (`C = 0`, `C > T`, …).
+    Model(ModelError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::DuplicateId { id } => write!(f, "add: {id} already present"),
+            DeltaError::UnknownId { id } => write!(f, "no task {id} in the base set"),
+            DeltaError::WouldEmpty { id } => {
+                write!(f, "removing {id} would empty the task set")
+            }
+            DeltaError::Model(e) => write!(f, "invalid resulting task set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ModelError> for DeltaError {
+    fn from(e: ModelError) -> Self {
+        DeltaError::Model(e)
+    }
+}
+
+/// An ordered batch of [`DeltaOp`]s, applied atomically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct TaskSetDelta {
+    /// The ops, applied in order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl TaskSetDelta {
+    /// An empty delta (a no-op; sessions short-circuit it).
+    pub fn empty() -> Self {
+        TaskSetDelta::default()
+    }
+
+    /// A delta from explicit ops.
+    pub fn new(ops: Vec<DeltaOp>) -> Self {
+        TaskSetDelta { ops }
+    }
+
+    /// A single-op `Add` delta.
+    pub fn add(task: Task) -> Self {
+        TaskSetDelta::new(vec![DeltaOp::Add(task)])
+    }
+
+    /// A single-op `Remove` delta.
+    pub fn remove(id: TaskId) -> Self {
+        TaskSetDelta::new(vec![DeltaOp::Remove(id)])
+    }
+
+    /// A single-op `Update` delta.
+    pub fn update(task: Task) -> Self {
+        TaskSetDelta::new(vec![DeltaOp::Update(task)])
+    }
+
+    /// `true` iff the delta carries no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The ids this delta touches, in op order (with duplicates when
+    /// several ops address the same id).
+    pub fn touched_ids(&self) -> Vec<TaskId> {
+        self.ops.iter().map(DeltaOp::id).collect()
+    }
+
+    /// Applies the delta to `base`, returning the new set. Ops validate
+    /// in order against the evolving intermediate state, so e.g.
+    /// `Remove(3)` followed by `Add(τ3')` re-admits an id within one
+    /// delta. The base set is untouched; on error nothing is returned.
+    pub fn apply_to(&self, base: &TaskSet) -> Result<TaskSet, DeltaError> {
+        if let Some(fast) = self.apply_updates_in_place(base) {
+            return fast;
+        }
+        let mut tasks: Vec<Task> = base.tasks().to_vec();
+        for op in &self.ops {
+            match *op {
+                DeltaOp::Add(t) => {
+                    if tasks.iter().any(|x| x.id == t.id) {
+                        return Err(DeltaError::DuplicateId { id: t.id });
+                    }
+                    // Re-validate the task parameters: deltas arrive from
+                    // the wire, where `Task`'s construction-time checks
+                    // were never run.
+                    let t = Task::new(t.id.0, t.wcet, t.period)?;
+                    tasks.push(t);
+                }
+                DeltaOp::Remove(id) => {
+                    let Some(pos) = tasks.iter().position(|x| x.id == id) else {
+                        return Err(DeltaError::UnknownId { id });
+                    };
+                    if tasks.len() == 1 {
+                        return Err(DeltaError::WouldEmpty { id });
+                    }
+                    tasks.remove(pos);
+                }
+                DeltaOp::Update(t) => {
+                    let Some(pos) = tasks.iter().position(|x| x.id == t.id) else {
+                        return Err(DeltaError::UnknownId { id: t.id });
+                    };
+                    let t = Task::new(t.id.0, t.wcet, t.period)?;
+                    tasks[pos] = t;
+                }
+            }
+        }
+        // `TaskSet::new` re-sorts into RM priority order and re-checks the
+        // global invariants (cheap insurance; the per-op checks above make
+        // a failure here unreachable).
+        TaskSet::new(tasks).map_err(DeltaError::Model)
+    }
+
+    /// Fast path for WCET-only update batches: every `(period, id)` key is
+    /// unchanged, so the result is the base vector with entries replaced
+    /// in place — the sort is a provable no-op and the set-global
+    /// invariants (unique ids, non-empty) carry over. Returns `None` when
+    /// any op is not an update or changes a period; the general path
+    /// handles those (and produces the identical result, since the checks
+    /// here mirror its per-op validation in the same order).
+    fn apply_updates_in_place(&self, base: &TaskSet) -> Option<Result<TaskSet, DeltaError>> {
+        if self.ops.is_empty() || !self.ops.iter().all(|op| matches!(op, DeltaOp::Update(_))) {
+            return None;
+        }
+        let mut tasks: Vec<Task> = base.tasks().to_vec();
+        for op in &self.ops {
+            let DeltaOp::Update(t) = op else {
+                unreachable!()
+            };
+            let Some(pos) = tasks.iter().position(|x| x.id == t.id) else {
+                return Some(Err(DeltaError::UnknownId { id: t.id }));
+            };
+            if tasks[pos].period != t.period {
+                return None; // re-sort territory: general path
+            }
+            match Task::new(t.id.0, t.wcet, t.period) {
+                Ok(t) => tasks[pos] = t,
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+        Some(Ok(TaskSet::from_sorted_unchecked(tasks)))
+    }
+}
+
+impl fmt::Display for TaskSetDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delta[")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    fn base() -> TaskSet {
+        TaskSet::from_pairs(&[(1, 4), (2, 8), (4, 16)]).unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let ts = base();
+        let out = TaskSetDelta::empty().apply_to(&ts).unwrap();
+        assert_eq!(out, ts);
+        assert!(TaskSetDelta::empty().is_empty());
+    }
+
+    #[test]
+    fn add_appends_and_resorts() {
+        let ts = base();
+        let t = Task::from_ticks(7, 1, 2).unwrap();
+        let out = TaskSetDelta::add(t).apply_to(&ts).unwrap();
+        assert_eq!(out.len(), 4);
+        // Shortest period → highest priority after the re-sort.
+        assert_eq!(out.tasks()[0].id, TaskId(7));
+        // Base untouched.
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn add_duplicate_rejected() {
+        let t = Task::from_ticks(1, 1, 2).unwrap();
+        let err = TaskSetDelta::add(t).apply_to(&base()).unwrap_err();
+        assert_eq!(err, DeltaError::DuplicateId { id: TaskId(1) });
+    }
+
+    #[test]
+    fn remove_unknown_and_would_empty() {
+        let err = TaskSetDelta::remove(TaskId(9))
+            .apply_to(&base())
+            .unwrap_err();
+        assert_eq!(err, DeltaError::UnknownId { id: TaskId(9) });
+        let single = TaskSet::from_pairs(&[(1, 4)]).unwrap();
+        let err = TaskSetDelta::remove(TaskId(0))
+            .apply_to(&single)
+            .unwrap_err();
+        assert_eq!(err, DeltaError::WouldEmpty { id: TaskId(0) });
+    }
+
+    #[test]
+    fn update_changes_parameters_in_place() {
+        let t = Task::from_ticks(1, 3, 8).unwrap();
+        let out = TaskSetDelta::update(t).apply_to(&base()).unwrap();
+        let (_, got) = out.find(TaskId(1)).unwrap();
+        assert_eq!(got.wcet, Time::new(3));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn update_unknown_rejected() {
+        let t = Task::from_ticks(9, 1, 8).unwrap();
+        let err = TaskSetDelta::update(t).apply_to(&base()).unwrap_err();
+        assert_eq!(err, DeltaError::UnknownId { id: TaskId(9) });
+    }
+
+    #[test]
+    fn wire_shaped_invalid_task_rejected() {
+        // A `Task` value with C > T can be built field-wise (as the wire
+        // does); `apply_to` must re-validate.
+        let bogus = Task {
+            id: TaskId(9),
+            wcet: Time::new(10),
+            period: Time::new(4),
+        };
+        let err = TaskSetDelta::add(bogus).apply_to(&base()).unwrap_err();
+        assert!(matches!(err, DeltaError::Model(_)));
+        let err = TaskSetDelta::new(vec![DeltaOp::Update(Task {
+            id: TaskId(1),
+            ..bogus
+        })])
+        .apply_to(&base())
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::Model(_)));
+    }
+
+    #[test]
+    fn ops_apply_in_order_against_intermediate_state() {
+        // Remove then re-add the same id within one delta.
+        let replacement = Task::from_ticks(1, 1, 3).unwrap();
+        let delta = TaskSetDelta::new(vec![DeltaOp::Remove(TaskId(1)), DeltaOp::Add(replacement)]);
+        let out = delta.apply_to(&base()).unwrap();
+        assert_eq!(out.len(), 3);
+        let (_, got) = out.find(TaskId(1)).unwrap();
+        assert_eq!(got.period, Time::new(3));
+    }
+
+    #[test]
+    fn failure_is_atomic() {
+        // First op fine, second op bad → error, base unchanged, nothing
+        // half-applied (apply_to works on a scratch copy).
+        let ts = base();
+        let delta = TaskSetDelta::new(vec![
+            DeltaOp::Remove(TaskId(0)),
+            DeltaOp::Remove(TaskId(42)),
+        ]);
+        assert!(delta.apply_to(&ts).is_err());
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let delta = TaskSetDelta::new(vec![
+            DeltaOp::Add(Task::from_ticks(7, 1, 2).unwrap()),
+            DeltaOp::Remove(TaskId(2)),
+            DeltaOp::Update(Task::from_ticks(1, 3, 8).unwrap()),
+        ]);
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: TaskSetDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn touched_ids_in_op_order() {
+        let delta = TaskSetDelta::new(vec![
+            DeltaOp::Remove(TaskId(2)),
+            DeltaOp::Add(Task::from_ticks(7, 1, 2).unwrap()),
+        ]);
+        assert_eq!(delta.touched_ids(), vec![TaskId(2), TaskId(7)]);
+        assert_eq!(delta.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let delta = TaskSetDelta::new(vec![
+            DeltaOp::Remove(TaskId(2)),
+            DeltaOp::Add(Task::from_ticks(7, 1, 2).unwrap()),
+        ]);
+        let s = delta.to_string();
+        assert!(s.contains("remove τ2"));
+        assert!(s.contains("add τ7"));
+    }
+}

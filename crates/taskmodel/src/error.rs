@@ -1,10 +1,11 @@
 //! Validation errors for task-model construction.
 
 use crate::time::Time;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised while building or validating tasks and task sets.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ModelError {
     /// A task's worst-case execution time is zero.
     ZeroWcet {

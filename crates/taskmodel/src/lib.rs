@@ -34,6 +34,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod delta;
 pub mod error;
 pub mod harmonic;
 pub mod priority;
@@ -47,6 +48,7 @@ pub mod transform;
 
 pub use analysis::{AnalysisBudget, AnalysisError, BudgetMeter, BudgetResource};
 pub use builder::TaskSetBuilder;
+pub use delta::{DeltaError, DeltaOp, TaskSetDelta};
 pub use error::ModelError;
 pub use priority::Priority;
 pub use split::SplitPlan;

@@ -36,6 +36,18 @@ impl TaskSet {
         Ok(TaskSet { tasks })
     }
 
+    /// Rebuilds a set from tasks already in RM `(period, id)` order with
+    /// unique ids, skipping the sort and the invariant re-checks. Used by
+    /// the update-in-place fast path of `TaskSetDelta::apply_to`, where
+    /// the keys are provably unchanged from an existing set.
+    pub(crate) fn from_sorted_unchecked(tasks: Vec<Task>) -> Self {
+        debug_assert!(!tasks.is_empty());
+        debug_assert!(tasks
+            .windows(2)
+            .all(|w| (w[0].period, w[0].id) < (w[1].period, w[1].id)));
+        TaskSet { tasks }
+    }
+
     /// Convenience constructor from `(wcet, period)` tick pairs; ids are
     /// assigned from position in the input slice (before sorting).
     pub fn from_pairs(pairs: &[(u64, u64)]) -> Result<Self, ModelError> {

@@ -96,6 +96,17 @@ pub enum Divergence {
         /// Absolute miss time (ticks).
         at: u64,
     },
+    /// An incremental session `apply` and a from-scratch re-partition of
+    /// the same post-delta set produced different results — the guided
+    /// replay's bit-identity contract is broken.
+    RepartitionMismatch {
+        /// Engine whose session diverged.
+        algorithm: String,
+        /// Index of the delta (within the stream) whose apply diverged.
+        delta_index: usize,
+        /// Human-readable summary of the first difference.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -112,6 +123,7 @@ impl Divergence {
             Divergence::RtaTdaDisagreement { .. } => "rta-tda-disagreement",
             Divergence::EngineMismatch { .. } => "engine-mismatch",
             Divergence::DegradedUnsound { .. } => "degraded-unsound",
+            Divergence::RepartitionMismatch { .. } => "repartition-mismatch",
         }
     }
 }
@@ -169,6 +181,14 @@ impl fmt::Display for Divergence {
             } => write!(
                 f,
                 "{algorithm}: degraded accept is unsound — task {task} missed at t={at}"
+            ),
+            Divergence::RepartitionMismatch {
+                algorithm,
+                delta_index,
+                detail,
+            } => write!(
+                f,
+                "{algorithm}: incremental apply of delta #{delta_index} diverged from scratch: {detail}"
             ),
         }
     }

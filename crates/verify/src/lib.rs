@@ -40,6 +40,7 @@ pub mod campaign;
 pub mod corpus;
 pub mod divergence;
 pub mod oracle;
+pub mod repartition;
 pub mod shrink;
 pub mod sut;
 
@@ -47,5 +48,9 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignFault, CampaignReport, 
 pub use corpus::{load_corpus, replay_corpus, save_corpus, Expectation, Reproducer, REPRO_SCHEMA};
 pub use divergence::Divergence;
 pub use oracle::{run_check, CheckKind};
+pub use repartition::{
+    check_delta_stream, run_delta_campaign, shrink_delta_stream, DeltaCampaignConfig,
+    DeltaCampaignReport, DeltaFault, DeltaReproducer, PathStats, ShrunkDeltas, StaleRepartition,
+};
 pub use shrink::{shrink, Shrunk, MAX_SHRINK_STEPS};
 pub use sut::SystemUnderTest;

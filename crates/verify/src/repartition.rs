@@ -1,0 +1,826 @@
+//! Delta-stream differential fuzzing: incremental ≡ from-scratch.
+//!
+//! The session API's contract is absolute: [`PartitionSession::apply`]
+//! must produce **bit-identically** the partition (or rejection) that a
+//! from-scratch `partition_with` of the post-delta task set produces.
+//! This module fuzzes that contract over randomized delta streams — for
+//! each trial, a base set drawn from the campaign generator families,
+//! then a stream of random `Add`/`Remove`/`Update` deltas applied through
+//! a live session, every apply cross-checked against a scratch run via
+//! `PartialEq` on both the accept and reject sides.
+//!
+//! On divergence, the *delta sequence* is minimized by
+//! [`shrink_delta_stream`]: greedy descent that drops whole deltas, then
+//! single ops, then shaves op parameters, while the divergence persists —
+//! the delta-level analogue of the task-set shrinker in
+//! [`shrink`](crate::shrink).
+//!
+//! The deliberately broken [`StaleRepartition`] engine — its incremental
+//! path returns the prior partition unchanged — is the negative control
+//! proving the oracle catches real staleness bugs.
+
+use crate::campaign::GeneratorKind;
+use crate::divergence::Divergence;
+use crate::shrink::MAX_SHRINK_STEPS;
+use rand::Rng;
+use rmts_core::{
+    AlgorithmSpec, EngineOptions, Partition, PartitionReject, PartitionResult, PartitionSession,
+    PartitionWorkspace, Partitioner, PriorRun, RepartitionError, RepartitionPath, Repartitioner,
+    SessionTrace,
+};
+use rmts_exp::parallel::parallel_map_isolated;
+use rmts_gen::trial_rng;
+use rmts_taskmodel::{DeltaOp, Task, TaskSet, TaskSetDelta, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of one delta-stream campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaCampaignConfig {
+    /// Master seed; every trial RNG derives from it.
+    pub seed: u64,
+    /// Number of (base set, delta stream) trials.
+    pub trials: u64,
+    /// Tasks per base set.
+    pub n: usize,
+    /// Processors per trial.
+    pub m: usize,
+    /// Deltas per stream.
+    pub deltas_per_trial: usize,
+    /// Workload families for the base sets, rotated per trial.
+    pub generators: Vec<GeneratorKind>,
+    /// Engines to drive through sessions.
+    pub engines: Vec<AlgorithmSpec>,
+    /// Fault injection (tests/CI only): wrap every engine in
+    /// [`StaleRepartition`], which must make the campaign dirty.
+    pub inject_stale: bool,
+}
+
+impl DeltaCampaignConfig {
+    /// The standard campaign: all generators, the whole algorithm
+    /// catalogue, 6-delta streams.
+    pub fn new(seed: u64) -> Self {
+        DeltaCampaignConfig {
+            seed,
+            trials: 2_000,
+            n: 8,
+            m: 2,
+            deltas_per_trial: 6,
+            generators: GeneratorKind::ALL.to_vec(),
+            engines: AlgorithmSpec::ALL.to_vec(),
+            inject_stale: false,
+        }
+    }
+
+    /// A fast smoke configuration.
+    pub fn quick(seed: u64) -> Self {
+        DeltaCampaignConfig {
+            trials: 100,
+            ..Self::new(seed)
+        }
+    }
+
+    /// The deterministic base set of trial `t` (same generator rotation
+    /// and utilization sweep as the main campaign).
+    pub fn generate_base(&self, t: u64) -> Option<TaskSet> {
+        let proxy = crate::campaign::CampaignConfig {
+            n: self.n,
+            m: self.m,
+            generators: self.generators.clone(),
+            ..crate::campaign::CampaignConfig::quick(self.seed)
+        };
+        proxy.generate_trial(t)
+    }
+
+    /// The deterministic delta stream of trial `t` against `base`.
+    pub fn generate_deltas(&self, t: u64, base: &TaskSet) -> Vec<TaskSetDelta> {
+        // Offset the stream's RNG lane away from the base set's so the two
+        // draws never alias.
+        let mut rng = trial_rng(self.seed ^ 0x5eed_de17a, t);
+        let mut view: Vec<Task> = base.tasks().to_vec();
+        let mut next_id = view.iter().map(|t| t.id.0).max().unwrap_or(0) + 1;
+        (0..self.deltas_per_trial)
+            .map(|_| random_delta(&mut rng, &mut view, &mut next_id))
+            .collect()
+    }
+}
+
+/// Draws one random delta of 1–3 ops against (and mutating) the simulated
+/// task view, so streams are mostly valid while still exercising every op
+/// kind and occasional rejections.
+fn random_delta(rng: &mut impl Rng, view: &mut Vec<Task>, next_id: &mut u32) -> TaskSetDelta {
+    let n_ops = rng.gen_range(1..=3usize);
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                // Add: parameters riffed off a random existing task.
+                let donor = view[rng.gen_range(0..view.len())];
+                let period = donor.period;
+                let max_w = period.ticks();
+                let wcet = rng.gen_range(1..=max_w.max(1));
+                let id = *next_id;
+                *next_id += 1;
+                if let Ok(task) = Task::new(id, Time::new(wcet), period) {
+                    view.push(task);
+                    ops.push(DeltaOp::Add(task));
+                }
+            }
+            1 => {
+                // Remove (kept non-emptying most of the time).
+                if view.len() > 1 {
+                    let i = rng.gen_range(0..view.len());
+                    let victim = view.remove(i);
+                    ops.push(DeltaOp::Remove(victim.id));
+                }
+            }
+            _ => {
+                // Update: re-draw the WCET of a random task (same period).
+                let i = rng.gen_range(0..view.len());
+                let t = view[i];
+                let wcet = rng.gen_range(1..=t.period.ticks());
+                if let Ok(task) = Task::new(t.id.0, Time::new(wcet), t.period) {
+                    view[i] = task;
+                    ops.push(DeltaOp::Update(task));
+                }
+            }
+        }
+    }
+    TaskSetDelta::new(ops)
+}
+
+/// Summarizes the first difference between an incremental apply outcome
+/// and the scratch result, or `None` when they agree bit-identically.
+fn diff_outcomes(
+    incremental: &Result<&Partition, &PartitionReject>,
+    scratch: &PartitionResult,
+) -> Option<String> {
+    match (incremental, scratch) {
+        (Ok(inc), Ok(scr)) => {
+            if *inc == scr {
+                None
+            } else {
+                Some(format!(
+                    "both accepted but partitions differ \
+                     (incremental: {} plans, {} procs, exact={}; \
+                     scratch: {} plans, {} procs, exact={})",
+                    inc.plans.len(),
+                    inc.processors.len(),
+                    inc.is_exact(),
+                    scr.plans.len(),
+                    scr.processors.len(),
+                    scr.is_exact(),
+                ))
+            }
+        }
+        (Err(inc), Err(scr)) => {
+            if **inc == **scr {
+                None
+            } else {
+                Some(format!(
+                    "both rejected but rejections differ (incremental: {inc}; scratch: {scr})"
+                ))
+            }
+        }
+        (Ok(_), Err(scr)) => Some(format!("incremental accepted, scratch rejected: {scr}")),
+        (Err(inc), Ok(_)) => Some(format!("incremental rejected, scratch accepted: {inc}")),
+    }
+}
+
+/// Runs one delta stream through a session of `engine_spec`, cross-checking
+/// every apply against a from-scratch run. Returns the first divergence,
+/// or `None` when the whole stream is bit-identical.
+///
+/// `stats`, when given, tallies committed applies by path.
+pub fn check_delta_stream(
+    engine_spec: &AlgorithmSpec,
+    inject_stale: bool,
+    base: &TaskSet,
+    m: usize,
+    deltas: &[TaskSetDelta],
+    mut stats: Option<&mut PathStats>,
+) -> Option<Divergence> {
+    let opts = EngineOptions::default();
+    let n = base.len();
+    let build = |spec: &AlgorithmSpec| -> Box<dyn Repartitioner> {
+        let engine = spec
+            .build_repartitioner(n, &opts)
+            .expect("default options are representable");
+        if inject_stale {
+            Box::new(StaleRepartition(engine))
+        } else {
+            engine
+        }
+    };
+    let session_engine = build(engine_spec);
+    let scratch_engine = build(engine_spec);
+    let algorithm = scratch_engine.name();
+    let mut scratch_ws = PartitionWorkspace::new();
+
+    let mut session = match PartitionSession::start(session_engine, base.clone(), m) {
+        Ok(s) => s,
+        Err(reject) => {
+            // The base set is infeasible: the traced start must reject
+            // exactly like a scratch run, and there is no session to fuzz.
+            let scratch = scratch_engine.partition_with(base, m, &mut scratch_ws);
+            return diff_outcomes(&Err(&reject), &scratch).map(|detail| {
+                Divergence::RepartitionMismatch {
+                    algorithm: algorithm.clone(),
+                    delta_index: 0,
+                    detail: format!("traced start diverged: {detail}"),
+                }
+            });
+        }
+    };
+    // The traced start itself must match scratch.
+    let scratch0 = scratch_engine.partition_with(base, m, &mut scratch_ws);
+    if let Some(detail) = diff_outcomes(&Ok(session.partition()), &scratch0) {
+        return Some(Divergence::RepartitionMismatch {
+            algorithm,
+            delta_index: 0,
+            detail: format!("traced start diverged: {detail}"),
+        });
+    }
+
+    for (k, delta) in deltas.iter().enumerate() {
+        let new_ts = match delta.apply_to(session.taskset()) {
+            Ok(ts) => ts,
+            Err(_) => {
+                // Invalid delta: the session must refuse with a typed
+                // error and keep its state untouched.
+                let before = session.taskset().clone();
+                let got = match session.apply(delta) {
+                    Err(RepartitionError::Delta(_)) => None,
+                    Ok(ok) => Some(format!("commit via {}", ok.path)),
+                    Err(e) => Some(e.to_string()),
+                };
+                if got.is_none() && session.taskset() == &before {
+                    continue;
+                }
+                return Some(Divergence::RepartitionMismatch {
+                    algorithm,
+                    delta_index: k,
+                    detail: format!(
+                        "invalid delta not refused cleanly (got {})",
+                        got.unwrap_or_else(|| "refusal, but session state mutated".into())
+                    ),
+                });
+            }
+        };
+        let scratch = scratch_engine.partition_with(&new_ts, m, &mut scratch_ws);
+        match session.apply(delta) {
+            Ok(ok) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.record(ok.path);
+                }
+                let path = ok.path;
+                if let Some(detail) = diff_outcomes(&Ok(ok.partition), &scratch) {
+                    return Some(Divergence::RepartitionMismatch {
+                        algorithm,
+                        delta_index: k,
+                        detail: format!("{detail} [{path} path]"),
+                    });
+                }
+            }
+            Err(RepartitionError::Rejected { reject, path }) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.rejects += 1;
+                }
+                if let Some(detail) = diff_outcomes(&Err(&reject), &scratch) {
+                    return Some(Divergence::RepartitionMismatch {
+                        algorithm,
+                        delta_index: k,
+                        detail: format!("{detail} [{path} path]"),
+                    });
+                }
+            }
+            Err(RepartitionError::Delta(e)) => {
+                return Some(Divergence::RepartitionMismatch {
+                    algorithm,
+                    delta_index: k,
+                    detail: format!("valid delta refused as invalid: {e}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Committed-apply tallies by [`RepartitionPath`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStats {
+    /// Applies short-circuited by an empty delta.
+    pub noop: u64,
+    /// Applies served by guided replay.
+    pub incremental: u64,
+    /// Applies served by a full traced re-partition.
+    pub full: u64,
+    /// Applies rejected (post-delta set infeasible; session state kept).
+    pub rejects: u64,
+}
+
+impl PathStats {
+    fn record(&mut self, path: RepartitionPath) {
+        match path {
+            RepartitionPath::Noop => self.noop += 1,
+            RepartitionPath::Incremental => self.incremental += 1,
+            RepartitionPath::Full => self.full += 1,
+        }
+    }
+
+    fn absorb(&mut self, other: PathStats) {
+        self.noop += other.noop;
+        self.incremental += other.incremental;
+        self.full += other.full;
+        self.rejects += other.rejects;
+    }
+}
+
+/// A minimized delta stream reproducing a divergence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShrunkDeltas {
+    /// The minimized stream (applies to the *unshrunk* base set).
+    pub deltas: Vec<TaskSetDelta>,
+    /// The divergence the minimized stream still triggers.
+    pub divergence: Divergence,
+    /// Shrink steps that made progress.
+    pub steps: u64,
+}
+
+/// Greedily minimizes a diverging delta stream: repeatedly drop whole
+/// deltas, then single ops, then halve `Add`/`Update` WCETs, keeping each
+/// candidate iff `check` still diverges; repeats to a fixpoint (or
+/// [`MAX_SHRINK_STEPS`]). Returns `None` if the input does not diverge.
+pub fn shrink_delta_stream(
+    deltas: &[TaskSetDelta],
+    check: impl Fn(&[TaskSetDelta]) -> Option<Divergence>,
+) -> Option<ShrunkDeltas> {
+    let mut cur = deltas.to_vec();
+    let mut divergence = check(&cur)?;
+    let mut steps = 0u64;
+    let mut attempts = 0usize;
+    loop {
+        let mut progressed = false;
+        // 1. Drop whole deltas.
+        let mut i = 0;
+        while i < cur.len() && attempts < MAX_SHRINK_STEPS {
+            attempts += 1;
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if let Some(d) = check(&cand) {
+                cur = cand;
+                divergence = d;
+                steps += 1;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        // 2. Drop single ops.
+        let mut di = 0;
+        'outer: while di < cur.len() && attempts < MAX_SHRINK_STEPS {
+            let mut oi = 0;
+            while oi < cur[di].ops.len() {
+                if attempts >= MAX_SHRINK_STEPS {
+                    break 'outer;
+                }
+                attempts += 1;
+                let mut cand = cur.clone();
+                cand[di].ops.remove(oi);
+                if let Some(d) = check(&cand) {
+                    cur = cand;
+                    divergence = d;
+                    steps += 1;
+                    progressed = true;
+                } else {
+                    oi += 1;
+                }
+            }
+            di += 1;
+        }
+        // 3. Shave op parameters: halve WCETs toward 1.
+        'param: for di in 0..cur.len() {
+            for oi in 0..cur[di].ops.len() {
+                let shaved = match cur[di].ops[oi] {
+                    DeltaOp::Add(t) if t.wcet.ticks() > 1 => {
+                        Task::new(t.id.0, Time::new(t.wcet.ticks() / 2), t.period)
+                            .ok()
+                            .map(DeltaOp::Add)
+                    }
+                    DeltaOp::Update(t) if t.wcet.ticks() > 1 => {
+                        Task::new(t.id.0, Time::new(t.wcet.ticks() / 2), t.period)
+                            .ok()
+                            .map(DeltaOp::Update)
+                    }
+                    _ => None,
+                };
+                let Some(op) = shaved else { continue };
+                if attempts >= MAX_SHRINK_STEPS {
+                    break 'param;
+                }
+                attempts += 1;
+                let mut cand = cur.clone();
+                cand[di].ops[oi] = op;
+                if let Some(d) = check(&cand) {
+                    cur = cand;
+                    divergence = d;
+                    steps += 1;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed || attempts >= MAX_SHRINK_STEPS {
+            break;
+        }
+    }
+    Some(ShrunkDeltas {
+        deltas: cur,
+        divergence,
+        steps,
+    })
+}
+
+/// A self-contained reproducer for one delta-stream divergence: the base
+/// set, the minimized stream, and the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaReproducer {
+    /// Stable name (`s<seed>-t<trial>-<engine>`).
+    pub name: String,
+    /// The engine whose session diverged.
+    pub engine: AlgorithmSpec,
+    /// Processor count.
+    pub m: usize,
+    /// The (unshrunk) base task set.
+    pub taskset: TaskSet,
+    /// The minimized delta stream.
+    pub deltas: Vec<TaskSetDelta>,
+    /// The divergence it triggers.
+    pub divergence: Divergence,
+    /// Shrink steps that made progress.
+    pub shrink_steps: u64,
+}
+
+/// Panicked delta trial (mirrors [`crate::CampaignFault`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaFault {
+    /// The campaign's master seed.
+    pub seed: u64,
+    /// The trial index that panicked.
+    pub trial: u64,
+    /// The panic payload rendered as text.
+    pub payload: String,
+}
+
+/// Deterministic aggregate of one delta-stream campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaCampaignReport {
+    /// The configuration that produced this report.
+    pub config: DeltaCampaignConfig,
+    /// Trials whose base-set generation succeeded.
+    pub generated: u64,
+    /// (engine × stream) oracle executions.
+    pub streams_checked: u64,
+    /// Committed-apply tallies across all sessions.
+    pub paths: PathStats,
+    /// Divergence tally by kind (empty when clean).
+    pub divergence_counts: BTreeMap<String, u64>,
+    /// Minimized reproducers, in trial order.
+    pub reproducers: Vec<DeltaReproducer>,
+    /// Panicked trials, in trial order.
+    pub faults: Vec<DeltaFault>,
+}
+
+impl DeltaCampaignReport {
+    /// `true` iff every stream was bit-identical and no trial panicked.
+    pub fn clean(&self) -> bool {
+        self.reproducers.is_empty() && self.faults.is_empty()
+    }
+
+    /// Renders the deterministic human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rmts-verify repartition campaign: seed={} trials={} n={} m={} deltas/trial={}",
+            self.config.seed,
+            self.config.trials,
+            self.config.n,
+            self.config.m,
+            self.config.deltas_per_trial
+        );
+        let _ = writeln!(
+            out,
+            "  engines: {}",
+            self.config
+                .engines
+                .iter()
+                .map(|e| e.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let _ = writeln!(
+            out,
+            "  generated {}/{} base sets, checked {} streams",
+            self.generated, self.config.trials, self.streams_checked
+        );
+        let _ = writeln!(
+            out,
+            "  applies: {} incremental, {} full, {} noop, {} rejected",
+            self.paths.incremental, self.paths.full, self.paths.noop, self.paths.rejects
+        );
+        for (kind, count) in &self.divergence_counts {
+            let _ = writeln!(out, "  divergence[{kind}] = {count}");
+        }
+        for r in &self.reproducers {
+            let _ = writeln!(
+                out,
+                "  repro {}: n={} m={} stream of {} deltas ({} shrink steps): {}",
+                r.name,
+                r.taskset.len(),
+                r.m,
+                r.deltas.len(),
+                r.shrink_steps,
+                r.divergence
+            );
+        }
+        for f in &self.faults {
+            let _ = writeln!(
+                out,
+                "  fault s{}-t{}: trial panicked: {}",
+                f.seed, f.trial, f.payload
+            );
+        }
+        let _ = writeln!(
+            out,
+            "status: {}",
+            if self.clean() {
+                "CLEAN".to_string()
+            } else {
+                format!(
+                    "{} DIVERGENCES, {} FAULTS",
+                    self.reproducers.len(),
+                    self.faults.len()
+                )
+            }
+        );
+        out
+    }
+}
+
+#[derive(Default)]
+struct TrialOutcome {
+    generated: u64,
+    streams_checked: u64,
+    paths: PathStats,
+    reproducers: Vec<DeltaReproducer>,
+}
+
+/// Runs the delta-stream campaign. Deterministic per configuration;
+/// parallel and panic-isolated over trials.
+pub fn run_delta_campaign(cfg: &DeltaCampaignConfig) -> DeltaCampaignReport {
+    let (outcomes, trial_faults) = parallel_map_isolated(cfg.trials, |t| {
+        let mut out = TrialOutcome::default();
+        let Some(base) = cfg.generate_base(t) else {
+            return out;
+        };
+        out.generated = 1;
+        let deltas = cfg.generate_deltas(t, &base);
+        for spec in &cfg.engines {
+            out.streams_checked += 1;
+            let found = check_delta_stream(
+                spec,
+                cfg.inject_stale,
+                &base,
+                cfg.m,
+                &deltas,
+                Some(&mut out.paths),
+            );
+            if found.is_none() {
+                continue;
+            }
+            let shrunk = shrink_delta_stream(&deltas, |ds| {
+                check_delta_stream(spec, cfg.inject_stale, &base, cfg.m, ds, None)
+            })
+            .expect("stream diverged on the unshrunk input");
+            out.reproducers.push(DeltaReproducer {
+                name: format!("s{}-t{}-{}", cfg.seed, t, spec.as_str()),
+                engine: *spec,
+                m: cfg.m,
+                taskset: base.clone(),
+                deltas: shrunk.deltas,
+                divergence: shrunk.divergence,
+                shrink_steps: shrunk.steps,
+            });
+        }
+        out
+    });
+
+    let mut report = DeltaCampaignReport {
+        config: cfg.clone(),
+        generated: 0,
+        streams_checked: 0,
+        paths: PathStats::default(),
+        divergence_counts: BTreeMap::new(),
+        reproducers: Vec::new(),
+        faults: trial_faults
+            .into_iter()
+            .map(|f| DeltaFault {
+                seed: cfg.seed,
+                trial: f.trial,
+                payload: f.payload,
+            })
+            .collect(),
+    };
+    for o in outcomes.into_iter().flatten() {
+        report.generated += o.generated;
+        report.streams_checked += o.streams_checked;
+        report.paths.absorb(o.paths);
+        for r in o.reproducers {
+            *report
+                .divergence_counts
+                .entry(r.divergence.kind().to_string())
+                .or_insert(0) += 1;
+            report.reproducers.push(r);
+        }
+    }
+    if rmts_obs::enabled() {
+        rmts_obs::count("verify.repartition.trials", report.config.trials);
+        rmts_obs::count("verify.repartition.streams", report.streams_checked);
+        rmts_obs::count("verify.repartition.incremental", report.paths.incremental);
+        rmts_obs::count(
+            "verify.repartition.divergences",
+            report.reproducers.len() as u64,
+        );
+    }
+    report
+}
+
+/// Fault injector: an engine whose *incremental* path returns the prior
+/// partition unchanged — the classic staleness bug the oracle exists to
+/// catch. Traced starts and full re-partitions delegate faithfully, so
+/// only guided applies are poisoned.
+pub struct StaleRepartition(pub Box<dyn Repartitioner>);
+
+impl Partitioner for StaleRepartition {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn partition(&self, ts: &TaskSet, m: usize) -> PartitionResult {
+        self.0.partition(ts, m)
+    }
+
+    fn partition_with(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+    ) -> PartitionResult {
+        self.0.partition_with(ts, m, ws)
+    }
+}
+
+impl Repartitioner for StaleRepartition {
+    fn partition_traced(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        ws: &mut PartitionWorkspace,
+        trace: &mut SessionTrace,
+    ) -> PartitionResult {
+        self.0.partition_traced(ts, m, ws, trace)
+    }
+
+    fn repartition(
+        &self,
+        prior: PriorRun<'_>,
+        _ts: &TaskSet,
+        _m: usize,
+        _ws: &mut PartitionWorkspace,
+        _trace: &mut SessionTrace,
+    ) -> (PartitionResult, RepartitionPath) {
+        (Ok(prior.partition.clone()), RepartitionPath::Incremental)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmts_taskmodel::TaskId;
+
+    #[test]
+    fn delta_generation_is_deterministic() {
+        let cfg = DeltaCampaignConfig::quick(17);
+        for t in [0u64, 1, 5, 23] {
+            let Some(base) = cfg.generate_base(t) else {
+                continue;
+            };
+            assert_eq!(cfg.generate_deltas(t, &base), cfg.generate_deltas(t, &base));
+        }
+    }
+
+    #[test]
+    fn delta_streams_mix_op_kinds() {
+        let cfg = DeltaCampaignConfig::quick(7);
+        let (mut adds, mut removes, mut updates) = (0, 0, 0);
+        for t in 0..24 {
+            let Some(base) = cfg.generate_base(t) else {
+                continue;
+            };
+            for d in cfg.generate_deltas(t, &base) {
+                for op in &d.ops {
+                    match op {
+                        DeltaOp::Add(_) => adds += 1,
+                        DeltaOp::Remove(_) => removes += 1,
+                        DeltaOp::Update(_) => updates += 1,
+                    }
+                }
+            }
+        }
+        assert!(adds > 0 && removes > 0 && updates > 0);
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_deterministic() {
+        let cfg = DeltaCampaignConfig {
+            trials: 40,
+            ..DeltaCampaignConfig::quick(5)
+        };
+        let a = run_delta_campaign(&cfg);
+        let b = run_delta_campaign(&cfg);
+        assert!(a.clean(), "unexpected divergences:\n{}", a.render());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert!(a.generated > 20);
+        assert!(
+            a.paths.incremental > a.paths.full,
+            "incremental path must dominate: {:?}",
+            a.paths
+        );
+    }
+
+    #[test]
+    fn stale_injector_is_caught_and_shrunk() {
+        let cfg = DeltaCampaignConfig {
+            trials: 12,
+            inject_stale: true,
+            // The splitting engines take the guided path; the stale
+            // injector only poisons incremental applies.
+            engines: vec![AlgorithmSpec::RmTsLight],
+            ..DeltaCampaignConfig::quick(3)
+        };
+        let report = run_delta_campaign(&cfg);
+        assert!(
+            !report.clean(),
+            "the stale-repartition injector must be caught"
+        );
+        assert!(report
+            .divergence_counts
+            .contains_key("repartition-mismatch"));
+        // Shrinking made progress: some reproducer stream is shorter than
+        // the generated one (or at least the shrinker ran to fixpoint).
+        let r = &report.reproducers[0];
+        assert!(r.deltas.len() <= cfg.deltas_per_trial);
+        assert!(!r.deltas.is_empty(), "an empty stream cannot diverge");
+        assert!(matches!(
+            r.divergence,
+            Divergence::RepartitionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn shrinker_minimizes_to_the_culprit_delta() {
+        // Craft a stream where only one delta can diverge under the stale
+        // injector (the others are no-ops), then check the shrinker strips
+        // the no-ops.
+        let base = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8)]).unwrap();
+        let stream = vec![
+            TaskSetDelta::empty(),
+            TaskSetDelta::update(Task::from_ticks(0, 2, 4).unwrap()),
+            TaskSetDelta::empty(),
+        ];
+        let spec = AlgorithmSpec::RmTsLight;
+        let check = |ds: &[TaskSetDelta]| check_delta_stream(&spec, true, &base, 2, ds, None);
+        let shrunk = shrink_delta_stream(&stream, check).expect("stream must diverge");
+        assert_eq!(shrunk.deltas.len(), 1, "no-op deltas must be dropped");
+        assert_eq!(shrunk.deltas[0].ops.len(), 1);
+        assert!(shrunk.steps >= 2);
+    }
+
+    #[test]
+    fn full_catalogue_sessions_agree_with_scratch() {
+        // One hand-picked stream through every engine in the catalogue.
+        let base = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16), (3, 12)]).unwrap();
+        let deltas = vec![
+            TaskSetDelta::update(Task::from_ticks(1, 3, 8).unwrap()),
+            TaskSetDelta::remove(TaskId(4)),
+            TaskSetDelta::add(Task::from_ticks(9, 2, 10).unwrap()),
+        ];
+        for spec in AlgorithmSpec::ALL {
+            let mut stats = PathStats::default();
+            let div = check_delta_stream(&spec, false, &base, 2, &deltas, Some(&mut stats));
+            assert!(div.is_none(), "{}: {}", spec.as_str(), div.unwrap());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Workspace-reuse audit: hot-path crates (exp, svc, the CLI) must route
+# partitioning through `partition_with` so processor-state and plan-queue
+# allocations are recycled — `Partitioner::partition(&ts, m)` builds a
+# fresh workspace on every call. Code at or below a `#[cfg(test)]` marker
+# is exempt (tests value brevity over reuse), as are core/verify, whose
+# internals implement the trait itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+offenders=$(
+    find crates/exp/src crates/svc/src src/bin -name '*.rs' -print0 |
+        xargs -0 -I{} awk '
+            /#\[cfg\(test\)\]/ { exit }
+            /\.partition\(&/   { print FILENAME ":" FNR ": " $0 }
+        ' {}
+)
+
+if [ -n "$offenders" ]; then
+    echo "fresh .partition(&ts, m) call sites found — route through partition_with + PartitionWorkspace:"
+    echo "$offenders"
+    exit 1
+fi
+echo "workspace audit clean: exp/svc/cli partition only through partition_with"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Record the incremental re-partitioning report: times single-task-delta
+# session applies (WCET toggles on deep sets, n=128-256, m=32-64) through
+# the splice/guided-replay path against full from-scratch re-partitioning
+# of the post-delta set, asserts every incremental partition bit-identical
+# to its from-scratch counterpart (and that the incremental path was
+# actually taken), and writes BENCH_repartition.json at the repository
+# root (the bench target writes the file itself and fails below a 5x
+# geomean).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo bench -p rmts-bench --bench repartition_throughput "$@"
+
+echo
+echo "Recorded: $(pwd)/BENCH_repartition.json"

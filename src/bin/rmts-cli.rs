@@ -13,6 +13,10 @@
 //! rmts-cli fuzz      --replay DIR                  # replay saved reproducers
 //! rmts-cli serve-batch [requests.jsonl] [--shards N] [--queue N] [--stats]
 //!                    # JSONL requests on stdin/file -> JSONL responses on stdout
+//! rmts-cli repartition [stream.jsonl] [--shards N] [--queue N]
+//!                    # versioned JSONL session stream (v1 analyze + v2 open/delta lines)
+//! rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M]
+//!                    [--deltas K] [--json]   # delta-stream differential campaign
 //! ```
 //!
 //! Task sets are JSON arrays of `{ "id": u32, "wcet": ticks, "period": ticks }`
@@ -49,6 +53,8 @@ const USAGE: &str = "usage:
                      [--save-corpus DIR] [--json] [--stats]
   rmts-cli fuzz      --replay DIR
   rmts-cli serve-batch [requests.jsonl] [--shards N] [--queue N] [--stats]
+  rmts-cli repartition [stream.jsonl] [--shards N] [--queue N]
+  rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M] [--deltas K] [--json]
 
 partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
 --degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
@@ -62,7 +68,16 @@ fuzz runs a seeded differential campaign (exit code 2 on divergence or trial fau
 serve-batch runs the sharded batch-analysis service over a JSONL request stream
 (one serialized AnalyzeRequest per line; blank lines and # comments skipped) read
 from the file argument or stdin. Responses are JSONL on stdout in request order;
-service statistics (memo hits, queue depth, per-shard busy time) go to stderr.";
+service statistics (memo hits, queue depth, per-shard busy time) go to stderr.
+
+repartition replays a *versioned* JSONL stream through the same service: lines
+without a version field (or \"version\":1) are classic AnalyzeRequests, lines with
+\"version\":2 are session operations ({version, session, op: {Open{base}} or
+{Delta{delta}}}). Ops for one session serialize through one shard; deltas are
+applied incrementally (guided replay) with full re-partition as the fallback.
+With --fuzz it instead runs the delta-stream differential campaign (incremental
+apply must equal a from-scratch partition bit-identically; exit code 2 on
+divergence, with the delta sequence shrunk in the report).";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
@@ -72,6 +87,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("generate") => cmd_generate(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve-batch") => cmd_serve_batch(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("repartition") => cmd_repartition(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -181,7 +197,8 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     // end. It implies a simulation run so the snapshot covers `sim.*`.
     let want_stats = has_flag(args, "--stats");
     let recording = want_stats.then(rmts::obs::Recording::start);
-    let partition = match alg.partition(&ts, m) {
+    let mut ws = PartitionWorkspace::new();
+    let partition = match alg.partition_with(&ts, m, &mut ws) {
         Ok(p) => p,
         Err(e) => {
             let mut msg = e.to_string();
@@ -271,15 +288,21 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         "algorithm", "result", "splits", "RTA"
     );
     println!("{}", "-".repeat(72));
+    // One workspace across the whole catalogue: each row recycles the
+    // previous row's processor allocations.
+    let mut ws = PartitionWorkspace::new();
     for alg in algs {
-        match alg.partition(&ts, m) {
-            Ok(p) => println!(
-                "{:<24} {:>10} {:>8} {:>8}",
-                alg.name(),
-                "accepted",
-                p.split_tasks().len(),
-                if p.verify_rta() { "ok" } else { "FAIL" }
-            ),
+        match alg.partition_with(&ts, m, &mut ws) {
+            Ok(p) => {
+                println!(
+                    "{:<24} {:>10} {:>8} {:>8}",
+                    alg.name(),
+                    "accepted",
+                    p.split_tasks().len(),
+                    if p.verify_rta() { "ok" } else { "FAIL" }
+                );
+                ws.recycle(p);
+            }
             Err(e) => println!(
                 "{:<24} {:>10} {:>8} {:>8}  {} phase{}",
                 alg.name(),
@@ -352,6 +375,93 @@ fn cmd_serve_batch(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_repartition(args: &[String]) -> Result<ExitCode, String> {
+    if has_flag(args, "--fuzz") {
+        return cmd_repartition_fuzz(args);
+    }
+    use rmts::svc::{wire, Service, ServiceConfig};
+    use std::io::Read;
+
+    let input = match args.first().filter(|a| !a.starts_with('-')) {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("read stdin: {e}"))?;
+            buf
+        }
+    };
+    let reqs = wire::parse_stream(&input)?;
+    let shards: usize = flag_value(args, "--shards")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("--shards: {e}"))?;
+    let queue: usize = flag_value(args, "--queue")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|e| format!("--queue: {e}"))?;
+
+    let svc = Service::new(
+        ServiceConfig::new()
+            .with_shards(shards)
+            .with_queue_capacity(queue),
+    );
+    let n = reqs.len();
+    let t0 = std::time::Instant::now();
+    let responses = svc.run_stream(reqs);
+    let elapsed = t0.elapsed();
+    print!("{}", wire::render_stream_responses(&responses));
+
+    let sessions = responses.iter().filter(|r| r.session.is_some()).count();
+    eprintln!(
+        "served {n} request(s) ({sessions} session op(s)) in {:.1} ms on {shards} shard(s)",
+        elapsed.as_secs_f64() * 1e3,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_repartition_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    use rmts::verify::{run_delta_campaign, DeltaCampaignConfig};
+
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))?;
+    let mut cfg = if has_flag(args, "--quick") {
+        DeltaCampaignConfig::quick(seed)
+    } else {
+        DeltaCampaignConfig::new(seed)
+    };
+    if let Some(t) = flag_value(args, "--trials") {
+        cfg.trials = t.parse().map_err(|e| format!("--trials: {e}"))?;
+    }
+    if let Some(n) = flag_value(args, "-n") {
+        cfg.n = n.parse().map_err(|e| format!("-n: {e}"))?;
+    }
+    if let Some(m) = flag_value(args, "-m") {
+        cfg.m = m.parse().map_err(|e| format!("-m: {e}"))?;
+    }
+    if let Some(k) = flag_value(args, "--deltas") {
+        cfg.deltas_per_trial = k.parse().map_err(|e| format!("--deltas: {e}"))?;
+    }
+
+    let report = run_delta_campaign(&cfg);
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {

@@ -67,16 +67,19 @@ pub mod prelude {
     pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
     pub use rmts_core::{
         audit, AdmissionPolicy, AlgorithmSpec, AnalysisBudget, AnalysisError, Bottleneck,
-        BoundSpec, Configure, DynPartitioner, EngineOptions, Exactness, MaxSplitStrategy,
-        OverheadModel, Partition, PartitionPhase, PartitionReject, PartitionWorkspace, Partitioner,
-        RmTs, RmTsLight, WithBound,
+        BoundSpec, Configure, DynPartitioner, EngineOptions, Exactness, FullRepartition,
+        MaxSplitStrategy, OverheadModel, Partition, PartitionPhase, PartitionReject,
+        PartitionSession, PartitionWorkspace, Partitioner, PriorRun, RepartitionError,
+        RepartitionOk, RepartitionPath, RepartitionResult, Repartitioner, RmTs, RmTsLight,
+        SessionTrace, WithBound,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_obs::{Recording, StatsSnapshot};
     pub use rmts_sim::{simulate_global, simulate_partitioned, SimConfig, SimReport};
     pub use rmts_svc::{AnalyzeRequest, BudgetSpec, Service, ServiceConfig, Verdict};
     pub use rmts_taskmodel::{
-        Priority, Subtask, SubtaskKind, Task, TaskId, TaskSet, TaskSetBuilder, Time,
+        DeltaError, DeltaOp, Priority, Subtask, SubtaskKind, Task, TaskId, TaskSet, TaskSetBuilder,
+        TaskSetDelta, Time,
     };
     pub use rmts_verify::{run_campaign, CampaignConfig, CampaignReport, CheckKind, Divergence};
 }

@@ -145,6 +145,158 @@ fn partitioning_is_deterministic_across_runs() {
     }
 }
 
+/// A delta stream that every schedulable base set survives: shrink the
+/// lowest-priority task's budget, restore it, drop the task, re-add it.
+/// The stream ends on the original membership, and the WCET-only edits
+/// exercise the incremental (splice/replay) paths of session engines.
+fn evolution(ts: &TaskSet) -> Vec<TaskSetDelta> {
+    let t = *ts.tasks().last().unwrap();
+    let mut deltas = Vec::new();
+    if t.wcet.ticks() > 1 {
+        let lowered = Task::new(t.id.0, Time::new(t.wcet.ticks() - 1), t.period).unwrap();
+        deltas.push(TaskSetDelta::update(lowered));
+        deltas.push(TaskSetDelta::update(t));
+    }
+    if ts.len() > 1 {
+        deltas.push(TaskSetDelta::remove(t.id));
+        deltas.push(TaskSetDelta::add(t));
+    }
+    deltas
+}
+
+#[test]
+fn sessions_noop_delta_is_bit_identical_across_the_catalogue() {
+    let mut sessions_opened = 0usize;
+    for ts in &workloads() {
+        for m in [2usize, 4] {
+            for spec in AlgorithmSpec::ALL {
+                let engine = spec
+                    .build_repartitioner(ts.len(), &EngineOptions::default())
+                    .unwrap();
+                let Ok(mut session) = PartitionSession::start(engine, ts.clone(), m) else {
+                    continue;
+                };
+                sessions_opened += 1;
+                let before = session.partition().clone();
+                let ok = session
+                    .apply(&TaskSetDelta::empty())
+                    .unwrap_or_else(|e| panic!("{spec}: no-op delta failed: {e}"));
+                assert_eq!(
+                    ok.path,
+                    RepartitionPath::Noop,
+                    "{spec}: empty delta must take the no-op path (m = {m})"
+                );
+                assert_eq!(
+                    *ok.partition, before,
+                    "{spec}: no-op apply must leave the partition bit-identical (m = {m})"
+                );
+            }
+        }
+    }
+    assert!(
+        sessions_opened >= 20,
+        "the workload family must open real sessions (saw {sessions_opened})"
+    );
+}
+
+#[test]
+fn session_delta_streams_match_from_scratch_partitions() {
+    let mut commits = 0usize;
+    let mut incremental_commits = 0usize;
+    for ts in &workloads() {
+        for m in [2usize, 4] {
+            for spec in AlgorithmSpec::ALL {
+                let engine = spec
+                    .build_repartitioner(ts.len(), &EngineOptions::default())
+                    .unwrap();
+                let Ok(mut session) = PartitionSession::start(engine, ts.clone(), m) else {
+                    continue;
+                };
+                for (di, delta) in evolution(ts).iter().enumerate() {
+                    let evolved = delta.apply_to(session.taskset()).unwrap();
+                    // The reference engine must share the session engine's
+                    // configuration — SPA thresholds are parameterized by
+                    // the *opening* set size, not the evolved one.
+                    let scratch = spec.build(ts.len()).partition(&evolved, m);
+                    match session.apply(delta) {
+                        Ok(ok) => {
+                            commits += 1;
+                            if ok.path == RepartitionPath::Incremental {
+                                incremental_commits += 1;
+                            }
+                            let fresh = scratch.unwrap_or_else(|r| {
+                                panic!(
+                                    "{spec}: session committed delta {di} but a fresh \
+                                     run rejects (m = {m}): {r}"
+                                )
+                            });
+                            assert_eq!(
+                                *ok.partition, fresh,
+                                "{spec}: incremental apply diverged from a from-scratch \
+                                 partition on delta {di} (m = {m})"
+                            );
+                        }
+                        Err(RepartitionError::Rejected { .. }) => {
+                            assert!(
+                                scratch.is_err(),
+                                "{spec}: session rejected delta {di} but a fresh run \
+                                 accepts (m = {m})"
+                            );
+                            // Admission-control semantics: the rejected delta
+                            // must leave the session's set untouched.
+                            assert_eq!(session.taskset().len(), ts.len());
+                        }
+                        Err(RepartitionError::Delta(e)) => {
+                            panic!("{spec}: evolution delta {di} was invalid: {e}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        commits >= 40,
+        "the evolution streams must actually commit (saw {commits})"
+    );
+    assert!(
+        incremental_commits >= 1,
+        "at least one commit must take the incremental path"
+    );
+}
+
+#[test]
+fn sessions_are_deterministic_across_runs() {
+    for ts in &workloads() {
+        for spec in AlgorithmSpec::ALL {
+            let m = 3usize;
+            let open = |_| {
+                let engine = spec
+                    .build_repartitioner(ts.len(), &EngineOptions::default())
+                    .unwrap();
+                PartitionSession::start(engine, ts.clone(), m).ok()
+            };
+            let (Some(mut a), Some(mut b)) = (open(0), open(1)) else {
+                continue;
+            };
+            assert_eq!(
+                a.partition(),
+                b.partition(),
+                "{spec}: divergent session open"
+            );
+            for delta in &evolution(ts) {
+                let ra = a.apply(delta).map(|ok| ok.path).map_err(drop);
+                let rb = b.apply(delta).map(|ok| ok.path).map_err(drop);
+                assert_eq!(ra, rb, "{spec}: sessions took different paths (m = {m})");
+                assert_eq!(
+                    a.partition(),
+                    b.partition(),
+                    "{spec}: identical delta streams produced different partitions"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn spec_names_and_engines_agree_across_the_catalogue() {
     // `accepts` through the trait object must agree with a full
