@@ -1,0 +1,214 @@
+//! Bounded JSONL framing and typed wire errors.
+//!
+//! The protocol is newline-delimited JSON over a persistent TCP
+//! connection. The reader enforces a **maximum line length** before
+//! buffering (a client cannot make the server allocate unboundedly by
+//! never sending a newline) and reports timeouts and half-closed sockets
+//! as typed events instead of errors, so the connection loop can decide
+//! deliberately: answer a typed error line, or drop the connection
+//! cleanly — never panic, never hang.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read};
+
+/// Classification of a protocol failure, rendered as the `error` field of
+/// an [`ErrorRecord`] line. String-typed on the wire so clients can
+/// switch on it without sharing Rust types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not a parsable v1/v2 request.
+    Malformed,
+    /// The line exceeded the server's maximum line length.
+    Oversized,
+    /// The client exceeded its per-connection token-bucket rate.
+    RateLimited,
+    /// The server is past its load-shedding bound (or connection pool
+    /// limit) and refuses the request rather than queue it unboundedly.
+    Overloaded,
+}
+
+impl ErrorKind {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::RateLimited => "rate_limited",
+            ErrorKind::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// A typed error line: what the server writes when a request cannot be
+/// served. Distinguished from success lines by the presence of the
+/// `error` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRecord {
+    /// The error class: `malformed`, `oversized`, `rate_limited`, or
+    /// `overloaded`.
+    pub error: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl ErrorRecord {
+    /// Builds a typed error line.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        ErrorRecord {
+            error: kind.as_str().to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Serializes to one JSONL line (without the trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("error records always serialize")
+    }
+}
+
+/// One framing event from a [`LineReader`].
+#[derive(Debug)]
+pub enum LineEvent {
+    /// A complete line (newline stripped, may be empty).
+    Line(String),
+    /// The pending line exceeded the maximum length; the buffered prefix
+    /// is discarded. The connection should answer typed and drop.
+    Oversized,
+    /// The read timed out. `mid_line` means a partial line was pending —
+    /// a slow-loris writer — as opposed to a quietly idle connection.
+    Timeout {
+        /// Whether unterminated bytes were buffered when time ran out.
+        mid_line: bool,
+    },
+    /// The peer closed (or half-closed) the connection. `mid_line` means
+    /// it disconnected with an unterminated line buffered.
+    Eof {
+        /// Whether unterminated bytes were buffered at EOF.
+        mid_line: bool,
+    },
+    /// A transport error (connection reset, …).
+    Err(io::Error),
+}
+
+/// A line reader with a hard length bound (see the module docs).
+pub struct LineReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Scan position: bytes before this offset are known newline-free.
+    scanned: usize,
+    max_line: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a readable transport; lines longer than `max_line` bytes
+    /// (exclusive of the newline) are rejected as [`LineEvent::Oversized`].
+    pub fn new(inner: R, max_line: usize) -> Self {
+        LineReader {
+            inner,
+            buf: Vec::new(),
+            scanned: 0,
+            max_line: max_line.max(1),
+        }
+    }
+
+    /// Reads until one framing event is available.
+    pub fn next_event(&mut self) -> LineEvent {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|p| p + self.scanned)
+            {
+                if pos > self.max_line {
+                    self.buf.drain(..=pos);
+                    self.scanned = 0;
+                    return LineEvent::Oversized;
+                }
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > self.max_line {
+                self.buf.clear();
+                self.scanned = 0;
+                return LineEvent::Oversized;
+            }
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    let mid_line = !self.buf.is_empty();
+                    self.buf.clear();
+                    self.scanned = 0;
+                    return LineEvent::Eof { mid_line };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return LineEvent::Timeout {
+                        mid_line: !self.buf.is_empty(),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return LineEvent::Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines_and_reports_midline_eof() {
+        let data: &[u8] = b"one\ntwo\r\npartial";
+        let mut r = LineReader::new(data, 64);
+        assert!(matches!(r.next_event(), LineEvent::Line(l) if l == "one"));
+        assert!(matches!(r.next_event(), LineEvent::Line(l) if l == "two"));
+        assert!(matches!(r.next_event(), LineEvent::Eof { mid_line: true }));
+    }
+
+    #[test]
+    fn clean_eof_after_final_newline() {
+        let data: &[u8] = b"only\n";
+        let mut r = LineReader::new(data, 64);
+        assert!(matches!(r.next_event(), LineEvent::Line(l) if l == "only"));
+        assert!(matches!(r.next_event(), LineEvent::Eof { mid_line: false }));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_not_buffered() {
+        let long = vec![b'x'; 100];
+        let mut data = long.clone();
+        data.push(b'\n');
+        data.extend_from_slice(b"after\n");
+        let mut r = LineReader::new(&data[..], 16);
+        assert!(matches!(r.next_event(), LineEvent::Oversized));
+        // The reader resynchronizes on the next newline boundary.
+        assert!(matches!(r.next_event(), LineEvent::Line(l) if l == "after"));
+    }
+
+    #[test]
+    fn oversized_without_newline_trips_the_bound() {
+        let data = [b'x'; 100];
+        let mut r = LineReader::new(&data[..], 16);
+        assert!(matches!(r.next_event(), LineEvent::Oversized));
+    }
+
+    #[test]
+    fn error_records_round_trip() {
+        let rec = ErrorRecord::new(ErrorKind::RateLimited, "0.5 tokens left");
+        let parsed: ErrorRecord = serde_json::from_str(&rec.to_line()).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.error, "rate_limited");
+    }
+}

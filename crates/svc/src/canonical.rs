@@ -206,8 +206,9 @@ impl CanonicalBatch {
     }
 }
 
-/// FNV-1a over the little-endian bytes of each pair.
-fn fnv1a(pairs: &[(u64, u64)]) -> u64 {
+/// FNV-1a over the little-endian bytes of each pair. Crate-visible so
+/// restored memo entries can recompute their routing hash.
+pub(crate) fn fnv1a(pairs: &[(u64, u64)]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |v: u64| {
         for b in v.to_le_bytes() {

@@ -68,6 +68,7 @@ pub mod queue;
 pub mod request;
 pub mod service;
 mod shard;
+pub mod snapshot;
 pub mod wire;
 
 pub use canonical::{CanonicalBatch, CanonicalSet};
@@ -78,7 +79,10 @@ pub use request::{
 };
 pub use rmts_core::{AlgorithmSpec, BoundSpec};
 pub use service::{Service, ServiceConfig, ServiceStats, Ticket};
+pub use snapshot::{
+    engine_fingerprint, read_snapshot, write_snapshot, MemoEntry, RestoreReport, SnapshotReport,
+};
 pub use wire::{
-    parse_requests, parse_stream, render_responses, render_stream_responses, ResponseRecord,
-    SessionRecord,
+    parse_line, parse_requests, parse_stream, render_responses, render_stream_responses,
+    ResponseRecord, SessionRecord,
 };

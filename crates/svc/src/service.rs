@@ -1,11 +1,13 @@
 //! The service façade: shard fleet, submission, batching, statistics.
 
-use crate::canonical::{CanonicalBatch, CanonicalSet};
+use crate::canonical::{fnv1a as canonical_hash, CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
 use crate::request::{AnalyzeRequest, RepartitionRequest, Request, Response};
 use crate::shard::{AnalyzeJob, CanonJob, Job, SessionJob, Shard};
+use crate::snapshot::{self, MemoEntry, RestoreReport, SnapshotReport};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -112,15 +114,48 @@ impl Ticket {
 /// The sharded, batched analysis service (crate docs for the model).
 pub struct Service {
     queues: Vec<Arc<BoundedQueue<Job>>>,
-    workers: Vec<JoinHandle<()>>,
+    /// Behind a mutex so [`Service::shutdown`] can join from `&self`
+    /// (network front ends hold the service in an `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<SharedStats>,
     seq: AtomicUsize,
 }
 
 impl Service {
-    /// Spawns the shard fleet.
+    /// Spawns the shard fleet with cold memo tables.
     pub fn new(cfg: ServiceConfig) -> Self {
+        Self::new_seeded(cfg, Vec::new())
+    }
+
+    /// Spawns the shard fleet warm: restores the memo snapshot at `path`
+    /// (if any) and seeds each shard with the entries that route to it.
+    /// A missing, stale, or corrupt snapshot degrades to a (partially)
+    /// cold start — see [`snapshot`](crate::snapshot) for the trust
+    /// policy — with `svc.memo.restored` / `svc.memo.stale` /
+    /// `svc.memo.corrupt` counters emitted when an `obs` recording is
+    /// live on the calling thread.
+    pub fn with_restored(cfg: ServiceConfig, path: &Path) -> (Self, RestoreReport) {
+        let (entries, report) = snapshot::read_snapshot(path);
+        rmts_obs::count("svc.memo.restored", report.restored as u64);
+        if report.stale {
+            rmts_obs::count("svc.memo.stale", 1);
+        }
+        if report.corrupt {
+            rmts_obs::count("svc.memo.corrupt", 1);
+        }
+        (Self::new_seeded(cfg, entries), report)
+    }
+
+    fn new_seeded(cfg: ServiceConfig, entries: Vec<MemoEntry>) -> Self {
         let shards = cfg.shards.max(1);
+        // Route each restored entry exactly like a live request: by the
+        // FNV-1a hash of its canonical pairs. A future request for the
+        // same set lands on the shard that now holds its memo entry.
+        let mut seeds: Vec<Vec<MemoEntry>> = (0..shards).map(|_| Vec::new()).collect();
+        for entry in entries {
+            let shard = (canonical_hash(&entry.pairs) % shards as u64) as usize;
+            seeds[shard].push(entry);
+        }
         let stats = Arc::new(SharedStats {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -134,19 +169,20 @@ impl Service {
             .collect();
         let workers = queues
             .iter()
+            .zip(seeds)
             .enumerate()
-            .map(|(idx, q)| {
+            .map(|(idx, (q, seed))| {
                 let q = Arc::clone(q);
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("rmts-svc-shard-{idx}"))
-                    .spawn(move || Shard::run(idx, q, stats))
+                    .spawn(move || Shard::run(idx, q, stats, seed))
                     .expect("spawn shard worker")
             })
             .collect();
         Service {
             queues,
-            workers,
+            workers: Mutex::new(workers),
             stats,
             seq: AtomicUsize::new(0),
         }
@@ -162,8 +198,15 @@ impl Service {
     /// response; its `index` is the service-wide submission sequence
     /// number.
     pub fn submit(&self, req: AnalyzeRequest) -> Ticket {
-        let (tx, rx) = mpsc::channel();
         let index = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.submit_indexed(index, req)
+    }
+
+    /// [`Service::submit`] with a caller-chosen response index — network
+    /// front ends use per-connection ordinals so a connection's response
+    /// stream is indexed exactly like a `serve-batch` JSONL stream.
+    pub fn submit_indexed(&self, index: usize, req: AnalyzeRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
         let canon = CanonJob::Owned(CanonicalSet::of_pairs(&req.taskset));
         self.enqueue(index, req, canon, tx);
         Ticket { rx }
@@ -172,8 +215,14 @@ impl Service {
     /// Submits one session operation (v2). Ops for the same session name
     /// always land on the same shard and are served in submission order.
     pub fn submit_repartition(&self, req: RepartitionRequest) -> Ticket {
-        let (tx, rx) = mpsc::channel();
         let index = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.submit_repartition_indexed(index, req)
+    }
+
+    /// [`Service::submit_repartition`] with a caller-chosen response
+    /// index (see [`Service::submit_indexed`]).
+    pub fn submit_repartition_indexed(&self, index: usize, req: RepartitionRequest) -> Ticket {
+        let (tx, rx) = mpsc::channel();
         self.enqueue_session(index, req, tx);
         Ticket { rx }
     }
@@ -284,7 +333,7 @@ impl Service {
                 req,
                 reply,
             }))
-            .expect("service queues close only on drop");
+            .expect("submission after Service::shutdown (queues are closed)");
     }
 
     fn enqueue_session(
@@ -305,7 +354,7 @@ impl Service {
                 req,
                 reply,
             }))
-            .expect("service queues close only on drop");
+            .expect("submission after Service::shutdown (queues are closed)");
     }
 
     fn stats_inner(&self) -> ServiceStats {
@@ -330,6 +379,64 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         self.stats_inner()
     }
+
+    /// Graceful shutdown: drains every in-flight and queued request,
+    /// stops the shard fleet, and returns the final statistics.
+    ///
+    /// The drain is a **barrier**, not a best-effort flush: an export job
+    /// is enqueued behind every previously accepted request on each
+    /// shard's FIFO, so by the time it answers, every accepted request
+    /// has been served (its response delivered, its outcome memoized).
+    /// Submissions racing past shutdown are refused by the closed queues,
+    /// never half-served. Idempotent — a second call is a no-op.
+    pub fn shutdown(&self) -> ServiceStats {
+        let _ = self.drain_and_join();
+        self.stats_inner()
+    }
+
+    /// [`Service::shutdown`], then writes the drained memo tables to
+    /// `path` atomically (temp file + rename). Every request accepted
+    /// before the call is analyzed, answered, and — via the FIFO drain
+    /// barrier — present in the written snapshot.
+    pub fn shutdown_with_snapshot(&self, path: &Path) -> std::io::Result<SnapshotReport> {
+        let entries = self.drain_and_join();
+        snapshot::write_snapshot(path, &entries)
+    }
+
+    /// The shared drain machinery: barrier-export every shard's memo,
+    /// close the queues, join the workers. Returns the merged memo.
+    fn drain_and_join(&self) -> Vec<MemoEntry> {
+        let mut exports = Vec::with_capacity(self.queues.len());
+        for q in &self.queues {
+            let (tx, rx) = mpsc::channel();
+            // An already-closed queue (second shutdown, post-Drop) simply
+            // yields no export for that shard.
+            if q.push(Job::Export(tx)).is_ok() {
+                exports.push(rx);
+            }
+        }
+        for q in &self.queues {
+            q.close();
+        }
+        let mut entries: Vec<MemoEntry> = exports
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .flatten()
+            .collect();
+        // Shard-merge order must not depend on shard count: keep the
+        // per-shard sorted runs globally sorted.
+        entries.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().expect("worker registry poisoned");
+            guard.drain(..).collect()
+        };
+        for w in workers {
+            if w.join().is_err() && !std::thread::panicking() {
+                panic!("rmts-svc shard worker panicked");
+            }
+        }
+        entries
+    }
 }
 
 impl Drop for Service {
@@ -337,7 +444,11 @@ impl Drop for Service {
         for q in &self.queues {
             q.close();
         }
-        for w in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().expect("worker registry poisoned");
+            guard.drain(..).collect()
+        };
+        for w in workers {
             // A shard that panicked outside catch_unwind is a bug; don't
             // double-panic while unwinding, though.
             if w.join().is_err() && !std::thread::panicking() {

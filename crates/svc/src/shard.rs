@@ -18,12 +18,13 @@
 //! call's own frame and is discarded with it. The requester receives a
 //! [`Verdict::Invalid`] response and the shard keeps serving.
 
-use crate::canonical::{CanonicalBatch, CanonicalSet};
+use crate::canonical::{fnv1a, CanonicalBatch, CanonicalSet};
 use crate::queue::BoundedQueue;
 use crate::request::{
     AnalysisOutcome, AnalyzeRequest, RepartitionRequest, Response, SessionMeta, SessionOp, Verdict,
 };
 use crate::service::SharedStats;
+use crate::snapshot::MemoEntry;
 use rmts_core::{
     DynPartitioner, Partition, PartitionReject, PartitionSession, PartitionWorkspace,
     RepartitionError,
@@ -83,6 +84,12 @@ pub(crate) enum Job {
     /// A v2 session operation (routed by session-name hash, so all ops of
     /// a session serialize through one shard's FIFO).
     Session(SessionJob),
+    /// A memo-table export (the snapshot/drain barrier): the shard
+    /// answers with every memoized entry it holds. Because shard queues
+    /// are FIFO, the export observes every job enqueued before it — this
+    /// is what makes [`Service::shutdown`](crate::Service::shutdown) a
+    /// drain barrier rather than a best-effort flush.
+    Export(mpsc::Sender<Vec<MemoEntry>>),
 }
 
 /// A canonicalized analyze request plus its reply channel.
@@ -147,7 +154,12 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn run(idx: usize, queue: Arc<BoundedQueue<Job>>, stats: Arc<SharedStats>) {
+    pub(crate) fn run(
+        idx: usize,
+        queue: Arc<BoundedQueue<Job>>,
+        stats: Arc<SharedStats>,
+        seed: Vec<MemoEntry>,
+    ) {
         let mut shard = Shard {
             idx,
             engines: HashMap::new(),
@@ -157,6 +169,7 @@ impl Shard {
             sessions: HashMap::new(),
             stats,
         };
+        shard.seed_memo(seed);
         // Drain the queue in runs: one condvar round-trip (and, on a busy
         // machine, one context switch) buys up to `capacity` jobs.
         let run_len = queue.capacity();
@@ -166,11 +179,56 @@ impl Shard {
                 match job {
                     Job::Analyze(job) => shard.serve(job),
                     Job::Session(job) => shard.serve_session(job),
+                    Job::Export(reply) => {
+                        let _ = reply.send(shard.export_memo());
+                    }
                 }
             }
             let ns = t0.elapsed().as_nanos() as u64;
             shard.stats.busy_ns[idx].fetch_add(ns, Ordering::Relaxed);
         }
+    }
+
+    /// Pre-populates the memo from restored snapshot entries. Duplicate
+    /// keys keep the first entry (snapshots never contain two outcomes
+    /// for one key, but a hostile file must not corrupt the table).
+    fn seed_memo(&mut self, seed: Vec<MemoEntry>) {
+        for entry in seed {
+            let bucket_key = (fnv1a(&entry.pairs), entry.m);
+            let bucket = self.memo.entry(bucket_key).or_default();
+            if bucket
+                .iter()
+                .any(|(k, _)| k.engine == entry.engine && k.pairs == entry.pairs)
+            {
+                continue;
+            }
+            bucket.push((
+                MemoKey {
+                    pairs: entry.pairs,
+                    m: entry.m,
+                    engine: entry.engine,
+                },
+                Arc::new(entry.outcome),
+            ));
+        }
+    }
+
+    /// Serializes the memo table for a snapshot (or a drain barrier).
+    fn export_memo(&self) -> Vec<MemoEntry> {
+        let mut out: Vec<MemoEntry> = self
+            .memo
+            .values()
+            .flatten()
+            .map(|(k, outcome)| MemoEntry {
+                pairs: k.pairs.clone(),
+                m: k.m,
+                engine: k.engine.clone(),
+                outcome: (**outcome).clone(),
+            })
+            .collect();
+        // Deterministic file order regardless of HashMap iteration.
+        out.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+        out
     }
 
     fn serve(&mut self, job: AnalyzeJob) {

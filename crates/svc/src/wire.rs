@@ -76,34 +76,41 @@ fn line_version(v: &Value) -> Result<u64, String> {
     }
 }
 
+/// Parses one JSONL request line. Returns `Ok(None)` for blank lines and
+/// `#` comments, the versioned request otherwise. This is the unit the
+/// TCP front end (`rmts-net`) parses per received line; [`parse_stream`]
+/// is the same parser folded over a whole document.
+pub fn parse_line(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    match line_version(&value)? {
+        WIRE_V1 => {
+            let req = AnalyzeRequest::from_value(&value)
+                .map_err(|e| format!("v1 analyze request: {e}"))?;
+            Ok(Some(Request::Analyze(req)))
+        }
+        WIRE_V2 => {
+            let req = RepartitionRequest::from_value(&value)
+                .map_err(|e| format!("v2 repartition request: {e}"))?;
+            Ok(Some(Request::Repartition(req)))
+        }
+        v => Err(format!(
+            "unsupported protocol version {v} (this build speaks v1 and v2)"
+        )),
+    }
+}
+
 /// Parses a mixed-version JSONL request stream. Blank lines and `#`
 /// comments are skipped; errors (bad JSON, malformed request, unknown
 /// version) name the offending (1-based) line.
 pub fn parse_stream(input: &str) -> Result<Vec<Request>, String> {
     let mut reqs = Vec::new();
     for (i, line) in input.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let at = |e: String| format!("request line {}: {e}", i + 1);
-        let value: Value = serde_json::from_str(line).map_err(|e| at(e.to_string()))?;
-        match line_version(&value).map_err(at)? {
-            WIRE_V1 => {
-                let req = AnalyzeRequest::from_value(&value)
-                    .map_err(|e| at(format!("v1 analyze request: {e}")))?;
-                reqs.push(Request::Analyze(req));
-            }
-            WIRE_V2 => {
-                let req = RepartitionRequest::from_value(&value)
-                    .map_err(|e| at(format!("v2 repartition request: {e}")))?;
-                reqs.push(Request::Repartition(req));
-            }
-            v => {
-                return Err(at(format!(
-                    "unsupported protocol version {v} (this build speaks v1 and v2)"
-                )))
-            }
+        if let Some(req) = parse_line(line).map_err(|e| format!("request line {}: {e}", i + 1))? {
+            reqs.push(req);
         }
     }
     Ok(reqs)

@@ -10,5 +10,9 @@ cd "$(dirname "$0")/.."
 
 cargo bench -p rmts-bench --bench service_throughput "$@"
 
+# The TCP front-end load generator merges its throughput and p50/p95/p99
+# round-trip latencies into the same report under the "net" key.
+cargo bench -p rmts-bench --bench net_load
+
 echo
 echo "Recorded: $(pwd)/BENCH_service.json"

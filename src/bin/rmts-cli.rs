@@ -17,6 +17,9 @@
 //!                    # versioned JSONL session stream (v1 analyze + v2 open/delta lines)
 //! rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M]
 //!                    [--deltas K] [--json]   # delta-stream differential campaign
+//! rmts-cli serve     [--addr A] [--shards N] [--queue N] [--clients N] [--rate R]
+//!                    [--burst B] [--max-line BYTES] [--snapshot PATH] [--stats]
+//!                    # TCP JSONL server; stops gracefully on stdin EOF
 //! ```
 //!
 //! Task sets are JSON arrays of `{ "id": u32, "wcet": ticks, "period": ticks }`
@@ -55,6 +58,8 @@ const USAGE: &str = "usage:
   rmts-cli serve-batch [requests.jsonl] [--shards N] [--queue N] [--stats]
   rmts-cli repartition [stream.jsonl] [--shards N] [--queue N]
   rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M] [--deltas K] [--json]
+  rmts-cli serve     [--addr A] [--shards N] [--queue N] [--clients N] [--rate R] [--burst B]
+                     [--max-line BYTES] [--snapshot PATH] [--stats]
 
 partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
 --degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
@@ -77,7 +82,16 @@ without a version field (or \"version\":1) are classic AnalyzeRequests, lines wi
 applied incrementally (guided replay) with full re-partition as the fallback.
 With --fuzz it instead runs the delta-stream differential campaign (incremental
 apply must equal a from-scratch partition bit-identically; exit code 2 on
-divergence, with the delta sequence shrunk in the report).";
+divergence, with the delta sequence shrunk in the report).
+
+serve runs the same versioned JSONL protocol over TCP: persistent connections,
+one response line per request line in order, per-client token-bucket rate
+limiting (typed rate_limited lines), and load shedding that degrades through the
+analysis-budget ladder before answering typed overloaded lines — requests are
+never silently dropped. --snapshot persists the memo tables atomically on stop
+and restores them on the next start (corrupt or stale snapshots degrade to a
+cold start). The server prints `listening on ADDR` to stdout, serves until
+stdin reaches EOF, then drains every accepted request before exiting.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
@@ -88,6 +102,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve-batch") => cmd_serve_batch(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("repartition") => cmd_repartition(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -421,6 +436,115 @@ fn cmd_repartition(args: &[String]) -> Result<ExitCode, String> {
         elapsed.as_secs_f64() * 1e3,
     );
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use rmts::net::{NetConfig, Server};
+    use rmts::svc::ServiceConfig;
+    use std::io::{BufRead, Write};
+
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let shards: usize = flag_value(args, "--shards")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("--shards: {e}"))?;
+    let queue: usize = flag_value(args, "--queue")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|e| format!("--queue: {e}"))?;
+    let clients: usize = flag_value(args, "--clients")
+        .unwrap_or("32")
+        .parse()
+        .map_err(|e| format!("--clients: {e}"))?;
+    let rate: f64 = flag_value(args, "--rate")
+        .unwrap_or("10000")
+        .parse()
+        .map_err(|e| format!("--rate: {e}"))?;
+    let burst: f64 = match flag_value(args, "--burst") {
+        Some(b) => b.parse().map_err(|e| format!("--burst: {e}"))?,
+        None => rate,
+    };
+    let max_line: usize = flag_value(args, "--max-line")
+        .unwrap_or("1048576")
+        .parse()
+        .map_err(|e| format!("--max-line: {e}"))?;
+
+    let mut cfg = NetConfig::new()
+        .with_addr(addr)
+        .with_service(
+            ServiceConfig::new()
+                .with_shards(shards)
+                .with_queue_capacity(queue),
+        )
+        .with_max_clients(clients)
+        .with_rate(rate, burst)
+        .with_max_line_len(max_line);
+    if let Some(path) = flag_value(args, "--snapshot") {
+        cfg = cfg.with_snapshot(path);
+    }
+
+    let recording = has_flag(args, "--stats").then(rmts::obs::Recording::start);
+    let server = Server::start(cfg).map_err(|e| format!("start server on {addr}: {e}"))?;
+    let restore = server.restore_report();
+    if restore.restored > 0 || restore.stale || restore.corrupt {
+        eprintln!(
+            "snapshot restore: {} memo entr{} restored{}{}",
+            restore.restored,
+            if restore.restored == 1 { "y" } else { "ies" },
+            if restore.stale {
+                " (stale snapshot ignored)"
+            } else {
+                ""
+            },
+            if restore.corrupt {
+                " (corrupt tail discarded)"
+            } else {
+                ""
+            },
+        );
+    }
+    // The resolved address goes to stdout (and is flushed) so a parent
+    // process can connect the moment the line appears.
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Serve until stdin closes — the idiomatic way to run under a
+    // supervisor or test harness: close the pipe, get a graceful drain.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let stats = server
+        .stop()
+        .map_err(|e| format!("stop (snapshot write): {e}"))?;
+    let net = server.net_stats();
+    eprintln!(
+        "served {} request(s) over {} connection(s): {} memo hit(s), {} miss(es), \
+         {} degraded, {} overloaded, {} rate-limited, {} malformed, {} oversized, \
+         {} rejected connection(s), {} unclean disconnect(s)",
+        net.served,
+        net.accepted,
+        stats.memo_hits,
+        stats.memo_misses,
+        net.shed_degraded,
+        net.shed_overloaded,
+        net.rate_limited,
+        net.malformed,
+        net.oversized,
+        net.rejected,
+        net.disconnects,
+    );
+    if let Some(rec) = recording {
+        net.mirror_into_obs();
+        let snap = rec.finish();
+        eprintln!(
+            "{}",
+            serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(())
 }
 
 fn cmd_repartition_fuzz(args: &[String]) -> Result<ExitCode, String> {

@@ -22,6 +22,7 @@
 //! | [`obs`] | opt-in observability: counters, histograms, span timers |
 //! | [`verify`] | differential oracles, counterexample shrinking, fuzz campaigns |
 //! | [`svc`] | sharded, batched analysis service with canonicalizing memo tables |
+//! | [`net`] | TCP front end: JSONL over persistent connections, load shedding, memo snapshots |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use rmts_bounds as bounds;
 pub use rmts_core as core;
 pub use rmts_exp as exp;
 pub use rmts_gen as gen;
+pub use rmts_net as net;
 pub use rmts_obs as obs;
 pub use rmts_rta as rta;
 pub use rmts_sim as sim;
@@ -74,6 +76,7 @@ pub mod prelude {
         SessionTrace, WithBound,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
+    pub use rmts_net::{NetConfig, Server, ShedPolicy};
     pub use rmts_obs::{Recording, StatsSnapshot};
     pub use rmts_sim::{simulate_global, simulate_partitioned, SimConfig, SimReport};
     pub use rmts_svc::{AnalyzeRequest, BudgetSpec, Service, ServiceConfig, Verdict};
