@@ -1,0 +1,230 @@
+//! Crash-recovery cost: how long a restart takes to rebuild a loaded
+//! service from its journal, and the replay throughput that implies.
+//!
+//! Setup: a durable service takes `SESSIONS` live sessions (generated
+//! task sets, `DELTAS` committed deltas each) plus a memo workload, then
+//! "crashes" — dropped without a shutdown checkpoint, exactly what
+//! SIGKILL leaves on disk: generation-0 journal, no memo snapshot. The
+//! measured kernel is [`Service::with_durability`] on that directory —
+//! journal verification plus replaying every op through the session
+//! machinery.
+//!
+//! Correctness gate before the numbers are recorded: the recovered
+//! fleet's checkpoint digest equals a no-crash control's digest
+//! (bit-identical recovery), and every session is recovered.
+//!
+//! The report merges into `BENCH_service.json` under the `"recovery"`
+//! key, next to the service and net numbers.
+
+use rmts_bench::SEED;
+use rmts_core::AlgorithmSpec;
+use rmts_gen::{trial_rng, GenConfig, PeriodGen, UtilizationSpec};
+use rmts_svc::{
+    AnalyzeRequest, DurabilityConfig, RepartitionRequest, Request, Service, ServiceConfig,
+};
+use rmts_taskmodel::{Task, TaskSetDelta};
+use serde::Value;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const SESSIONS: usize = 48;
+const DELTAS: usize = 8;
+const MEMO_SETS: usize = 64;
+const RUNS: usize = 10;
+const SHARDS: usize = 8;
+
+fn quiet(dir: &PathBuf) -> DurabilityConfig {
+    DurabilityConfig::new(dir)
+        .with_snapshot_interval(Duration::from_secs(3600))
+        .with_snapshot_every_mutations(u64::MAX)
+}
+
+fn session_base(trial: u64) -> AnalyzeRequest {
+    let n = 16 + (trial % 8) as usize;
+    let cfg = GenConfig::new(n, 0.55 * 4.0)
+        .with_periods(PeriodGen::LogUniform {
+            min: 10_000,
+            max: 1_000_000,
+            granularity: 10_000,
+        })
+        .with_utilization(UtilizationSpec::capped(0.5));
+    let ts = cfg
+        .generate(&mut trial_rng(SEED ^ 0x5EC0, trial))
+        .expect("generator");
+    let pairs: Vec<(u64, u64)> = ts
+        .tasks()
+        .iter()
+        .map(|t| (t.wcet.ticks(), t.period.ticks()))
+        .collect();
+    AnalyzeRequest::new(pairs, 4, AlgorithmSpec::RmTsLight)
+}
+
+/// The full op stream: open every session, then round-robin deltas that
+/// nudge task 0's WCET up and back (each one a real committed change).
+fn workload() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    let bases: Vec<AnalyzeRequest> = (0..SESSIONS as u64).map(session_base).collect();
+    for (i, base) in bases.iter().enumerate() {
+        reqs.push(Request::Repartition(RepartitionRequest::open(
+            format!("s{i:03}"),
+            base.clone(),
+        )));
+    }
+    for round in 0..DELTAS {
+        for (i, base) in bases.iter().enumerate() {
+            let (w0, p0) = base.taskset[0];
+            let wcet = if round % 2 == 0 { w0 + 1 } else { w0 };
+            reqs.push(Request::Repartition(RepartitionRequest::delta(
+                format!("s{i:03}"),
+                TaskSetDelta::update(Task::from_ticks(0, wcet, p0).expect("valid task")),
+            )));
+        }
+    }
+    reqs
+}
+
+fn memo_batch() -> Vec<AnalyzeRequest> {
+    (0..MEMO_SETS as u64)
+        .map(|t| session_base(0x1000 + t))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("rmts_bench_recovery_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create bench dir");
+    p
+}
+
+fn main() {
+    let reqs = workload();
+    let memo = memo_batch();
+
+    // Control: same stream, graceful checkpoint — the digest oracle.
+    let control_dir = temp_dir("control");
+    let (control, _) = Service::with_durability(
+        ServiceConfig::new().with_shards(SHARDS),
+        quiet(&control_dir),
+    )
+    .expect("control service");
+    control.run_stream(reqs.clone());
+    let control_digest = control
+        .checkpoint()
+        .expect("control checkpoint io")
+        .expect("control checkpoint")
+        .sessions_digest;
+    drop(control);
+
+    // The crashed directory under measurement.
+    let crash_dir = temp_dir("crash");
+    let journal_appends;
+    {
+        let (svc, _) =
+            Service::with_durability(ServiceConfig::new().with_shards(SHARDS), quiet(&crash_dir))
+                .expect("crash service");
+        svc.run_stream(reqs.clone());
+        svc.analyze_batch(memo.clone());
+        journal_appends = svc
+            .durability_stats()
+            .expect("durable service has stats")
+            .journal_appends;
+        drop(svc); // crash: journal only, no checkpoint
+    }
+    let journal_bytes = std::fs::metadata(crash_dir.join("journal.g0.log"))
+        .expect("journal exists")
+        .len();
+
+    println!(
+        "recovery: {SESSIONS} sessions x {DELTAS} deltas ({journal_appends} journal ops, \
+         {journal_bytes} bytes), {MEMO_SETS} memo sets lost to the crash, {SHARDS} shards"
+    );
+
+    let mut times_ns: Vec<u64> = (0..RUNS)
+        .map(|run| {
+            let t0 = Instant::now();
+            let (svc, rec) = Service::with_durability(
+                ServiceConfig::new().with_shards(SHARDS),
+                quiet(&crash_dir),
+            )
+            .expect("recovery");
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            assert_eq!(rec.sessions_recovered, SESSIONS, "run {run}: {rec:?}");
+            assert_eq!(rec.sessions_failed, 0, "run {run}: {rec:?}");
+            assert!(!rec.journal.corrupt, "run {run}: {rec:?}");
+            drop(svc);
+            elapsed
+        })
+        .collect();
+    times_ns.sort_unstable();
+    let median_ns = times_ns[times_ns.len() / 2];
+    let ops_replayed = journal_appends as f64;
+    let replay_rps = ops_replayed / (median_ns as f64 / 1e9);
+
+    // Bit-identity gate: the recovered fleet equals the no-crash control.
+    let (svc, rec) =
+        Service::with_durability(ServiceConfig::new().with_shards(SHARDS), quiet(&crash_dir))
+            .expect("final recovery");
+    assert_eq!(rec.sessions_recovered, SESSIONS);
+    let digest = svc
+        .checkpoint()
+        .expect("recovered checkpoint io")
+        .expect("recovered checkpoint")
+        .sessions_digest;
+    assert_eq!(
+        digest, control_digest,
+        "recovered fleet must be bit-identical to the no-crash control"
+    );
+    drop(svc);
+
+    println!(
+        "  median recovery {:.2} ms over {RUNS} runs (min {:.2}, max {:.2}); \
+         replay throughput {replay_rps:.0} ops/s; digest gate ok",
+        median_ns as f64 / 1e6,
+        times_ns[0] as f64 / 1e6,
+        times_ns[times_ns.len() - 1] as f64 / 1e6,
+    );
+
+    let report = Value::Object(vec![
+        ("bench".into(), Value::Str("recovery".into())),
+        (
+            "description".into(),
+            Value::Str(format!(
+                "journal-replay recovery of {SESSIONS} sessions x {DELTAS} committed deltas \
+                 on {SHARDS} shards; median of {RUNS} cold restarts, digest-checked against \
+                 a no-crash control"
+            )),
+        ),
+        ("seed".into(), Value::UInt(SEED)),
+        ("sessions".into(), Value::UInt(SESSIONS as u64)),
+        ("journal_ops".into(), Value::UInt(journal_appends)),
+        ("journal_bytes".into(), Value::UInt(journal_bytes)),
+        ("recovery_median_ns".into(), Value::UInt(median_ns)),
+        ("recovery_min_ns".into(), Value::UInt(times_ns[0])),
+        (
+            "recovery_max_ns".into(),
+            Value::UInt(times_ns[times_ns.len() - 1]),
+        ),
+        ("replay_ops_per_sec".into(), Value::Float(replay_rps)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    let merged = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+    {
+        Some(Value::Object(fields)) => {
+            let mut fields: Vec<(String, Value)> = fields
+                .into_iter()
+                .filter(|(k, _)| k != "recovery")
+                .collect();
+            fields.push(("recovery".into(), report));
+            Value::Object(fields)
+        }
+        _ => Value::Object(vec![("recovery".into(), report)]),
+    };
+    std::fs::write(path, serde_json::to_string_pretty(&merged).expect("render"))
+        .expect("write BENCH_service.json");
+    println!("  report merged into {path} under \"recovery\"");
+
+    let _ = std::fs::remove_dir_all(&control_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}

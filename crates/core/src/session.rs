@@ -669,6 +669,36 @@ impl PartitionSession {
         self.engine.name()
     }
 
+    /// A structural FNV-1a digest over the session's complete observable
+    /// state: engine name, processor count, task set, committed partition,
+    /// and placement trace. Two sessions with equal digests answer every
+    /// future delta identically (the trace drives guided replay), which is
+    /// what crash-recovery tests mean by "recovered bit-identical".
+    pub fn state_digest(&self) -> u64 {
+        // `Debug` of the components is deterministic (integers, unit
+        // enums, Vecs in committed order), so the digest is stable across
+        // processes of the same build. The trace's buffer pool is an
+        // allocation cache whose size depends on non-committed history
+        // (rejected applies), so only the trace *content* is folded in —
+        // matching `SessionTrace::eq`.
+        let text = format!(
+            "{}|{}|{:?}|{:?}|{}|{:?}|{:?}",
+            self.engine.name(),
+            self.m,
+            self.ts,
+            self.partition,
+            self.trace.supported,
+            self.trace.reserved,
+            self.trace.items
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Applies a delta. On success the new task set, partition, and trace
     /// are committed and the partition is returned (with the path taken).
     /// On failure — invalid delta or rejected post-delta set — the session

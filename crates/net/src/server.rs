@@ -15,7 +15,8 @@ use crate::framing::{ErrorKind, ErrorRecord, LineEvent, LineReader};
 use crate::limiter::TokenBucket;
 use crate::shed::{Admission, PressureGauge, ShedPolicy};
 use rmts_svc::{
-    render_stream_responses, RestoreReport, Service, ServiceConfig, ServiceStats, Ticket,
+    render_stream_responses, DurabilityConfig, RecoveryReport, RestoreReport, Service,
+    ServiceConfig, ServiceStats, Ticket,
 };
 use std::collections::HashMap;
 use std::io::{self, Write};
@@ -53,6 +54,13 @@ pub struct NetConfig {
     /// Memo snapshot path: restored on start (missing/stale/corrupt
     /// degrades to a cold start), written atomically on [`Server::stop`].
     pub snapshot: Option<PathBuf>,
+    /// Crash durability: a journal + checkpoint directory. When set, the
+    /// service recovers memo and live sessions from the newest generation
+    /// on start, journals every committed session op before the response
+    /// line is written to the socket, and checkpoints in the background.
+    /// Takes precedence over `snapshot` for startup restore; a `snapshot`
+    /// path is still honored as an extra export on [`Server::stop`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for NetConfig {
@@ -67,6 +75,7 @@ impl Default for NetConfig {
             service: ServiceConfig::default(),
             shed: None,
             snapshot: None,
+            durability: None,
         }
     }
 }
@@ -125,6 +134,13 @@ impl NetConfig {
     /// Sets the memo snapshot path (restore on start, write on stop).
     pub fn with_snapshot(mut self, path: impl Into<PathBuf>) -> Self {
         self.snapshot = Some(path.into());
+        self
+    }
+
+    /// Enables crash durability (journal + background checkpoints) rooted
+    /// at the configuration's directory.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 }
@@ -217,6 +233,7 @@ pub struct Server {
     svc: Arc<Service>,
     stats: Arc<NetStats>,
     restore: RestoreReport,
+    recovery: Option<RecoveryReport>,
     snapshot: Option<PathBuf>,
     stopping: Arc<AtomicBool>,
     stopped: AtomicBool,
@@ -227,12 +244,17 @@ pub struct Server {
 impl Server {
     /// Binds, restores the snapshot (if configured), and starts accepting.
     pub fn start(cfg: NetConfig) -> io::Result<Server> {
-        let (svc, restore) = match &cfg.snapshot {
-            Some(path) => {
-                let (svc, report) = Service::with_restored(cfg.service, path);
-                (svc, report)
+        let (svc, restore, recovery) = match (&cfg.durability, &cfg.snapshot) {
+            (Some(dcfg), _) => {
+                let (svc, recovery) = Service::with_durability(cfg.service, dcfg.clone())?;
+                let restore = recovery.memo;
+                (svc, restore, Some(recovery))
             }
-            None => (Service::new(cfg.service), RestoreReport::default()),
+            (None, Some(path)) => {
+                let (svc, report) = Service::with_restored(cfg.service, path);
+                (svc, report, None)
+            }
+            (None, None) => (Service::new(cfg.service), RestoreReport::default(), None),
         };
         let svc = Arc::new(svc);
         let shed = cfg.shed.unwrap_or_else(|| {
@@ -261,6 +283,7 @@ impl Server {
             svc,
             stats,
             restore,
+            recovery,
             snapshot: cfg.snapshot,
             stopping,
             stopped: AtomicBool::new(false),
@@ -283,6 +306,13 @@ impl Server {
     /// What the snapshot restore found at startup.
     pub fn restore_report(&self) -> &RestoreReport {
         &self.restore
+    }
+
+    /// What crash recovery found at startup: generation, memo restore,
+    /// journal verification, and sessions rebuilt by replay. `None` when
+    /// the server runs without [`NetConfig::durability`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Front-end counters so far.

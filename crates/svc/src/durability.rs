@@ -1,0 +1,464 @@
+//! Crash durability: generation-numbered checkpoints and the background
+//! snapshot scheduler.
+//!
+//! A durable [`Service`](crate::Service) keeps two files per
+//! **generation** `g` in its durability directory:
+//!
+//! * `memo.g{g}.snap` — the memo store, in the `RMTSMEM1` snapshot format;
+//! * `journal.g{g}.log` — the session journal (`RMTSJRN1`), whose prefix
+//!   is the checkpoint *compaction*: for every session live at the
+//!   checkpoint, its original `Open` plus every committed delta, in order.
+//!   Operations committed after the checkpoint append behind that prefix.
+//!
+//! ## Checkpoint rule
+//!
+//! A checkpoint is a stop-the-world barrier: a [`Job::Checkpoint`] rides
+//! every shard's FIFO, so it observes every previously accepted operation;
+//! each shard sends its export and then *pauses* until the checkpointer
+//! finishes. With all shards paused no operation can commit, so generation
+//! `g+1` is a consistent cut — no per-op sequence numbers needed. The new
+//! memo snapshot and compacted journal are written atomically, the live
+//! append handle is swapped to the new journal, and older generations are
+//! deleted. Closed sessions and rejected deltas simply vanish at
+//! compaction — that is the journal truncation.
+//!
+//! ## Recovery rule
+//!
+//! Recovery reads the **newest valid** journal for sessions and the
+//! **newest valid** memo snapshot for the memo — independently, so a crash
+//! between the two writes of a checkpoint is safe (the journal is only
+//! swapped *after* both files exist). The loss bound: memo entries newer
+//! than the last checkpoint are gone (≤ one snapshot interval); session
+//! state loses **nothing acknowledged**, because every committed op was
+//! journaled write-ahead.
+
+use crate::journal::{self, JournalOp, JournalReport, JournalWriter};
+use crate::queue::BoundedQueue;
+use crate::shard::{Job, SessionState};
+use crate::snapshot::{self, RestoreReport};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Durability knobs for a [`Service`](crate::Service).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding the generation files (created if absent).
+    pub dir: PathBuf,
+    /// Background checkpoint cadence (min 1ms; default 30s).
+    pub snapshot_interval: Duration,
+    /// Also checkpoint once this many mutations (fresh memo entries +
+    /// committed session ops) accumulate (min 1; default 4096).
+    pub snapshot_every_mutations: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with default cadence. Chain `with_*`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            snapshot_interval: Duration::from_secs(30),
+            snapshot_every_mutations: 4096,
+        }
+    }
+
+    /// Sets the background checkpoint interval (clamped to ≥ 1ms).
+    pub fn with_snapshot_interval(mut self, interval: Duration) -> Self {
+        self.snapshot_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the mutation-count checkpoint trigger (min 1).
+    pub fn with_snapshot_every_mutations(mut self, mutations: u64) -> Self {
+        self.snapshot_every_mutations = mutations.max(1);
+        self
+    }
+}
+
+/// What recovery found and rebuilt (returned by
+/// [`Service::with_durability`](crate::Service::with_durability)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The generation recovery resumed at (0 on first boot).
+    pub generation: u64,
+    /// Memo snapshot restore outcome.
+    pub memo: RestoreReport,
+    /// Journal read outcome.
+    pub journal: JournalReport,
+    /// Journal operations replayed through the session machinery.
+    pub ops_replayed: usize,
+    /// Sessions live again after replay.
+    pub sessions_recovered: usize,
+    /// Sessions whose replay did not reproduce a committed op (torn down
+    /// rather than left half-applied; 0 in any honest run — replay is
+    /// deterministic).
+    pub sessions_failed: usize,
+}
+
+/// What one checkpoint wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// The generation number written.
+    pub generation: u64,
+    /// Memo entries in the snapshot.
+    pub memo_entries: usize,
+    /// Live sessions in the compacted journal.
+    pub sessions: usize,
+    /// Size of the compacted journal in bytes.
+    pub journal_bytes: usize,
+    /// FNV-1a fold of every live session's state digest (name order) —
+    /// two services with equal folds hold bit-identical session fleets.
+    pub sessions_digest: u64,
+}
+
+/// Durability counters (mirror into `obs` as `svc.journal.*` /
+/// `svc.checkpoint.*` via [`DurabilityStats::mirror_into_obs`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Current checkpoint generation.
+    pub generation: u64,
+    /// Journal records appended since start.
+    pub journal_appends: u64,
+    /// Journal bytes appended since start.
+    pub journal_bytes: u64,
+    /// Appends that failed with an I/O error (the service keeps serving,
+    /// degraded to in-memory only — watch this counter).
+    pub journal_append_errors: u64,
+    /// Checkpoints completed since start.
+    pub checkpoints: u64,
+    /// Mutations accumulated since the last checkpoint.
+    pub mutations_since_checkpoint: u64,
+}
+
+impl DurabilityStats {
+    /// Mirrors the counters into the calling thread's `obs` recording
+    /// (`svc.journal.appends`, `svc.journal.bytes`,
+    /// `svc.journal.append_errors`, `svc.checkpoint.count`,
+    /// `svc.checkpoint.generation`).
+    pub fn mirror_into_obs(&self) {
+        rmts_obs::count("svc.journal.appends", self.journal_appends);
+        rmts_obs::count("svc.journal.bytes", self.journal_bytes);
+        rmts_obs::count("svc.journal.append_errors", self.journal_append_errors);
+        rmts_obs::count("svc.checkpoint.count", self.checkpoints);
+        rmts_obs::count("svc.checkpoint.generation", self.generation);
+    }
+}
+
+/// Shared durability state: the live journal handle plus counters. Shards
+/// append through it (write-ahead, before replying); the checkpoint path
+/// swaps the handle under the mutex while every shard is paused.
+pub(crate) struct DurabilityState {
+    pub(crate) dir: PathBuf,
+    pub(crate) journal: Mutex<JournalWriter>,
+    pub(crate) generation: AtomicU64,
+    /// Serializes checkpoints against each other and against shutdown —
+    /// the snapshot-generation lock that keeps a background snapshot and
+    /// `shutdown_with_snapshot` off each other's target files.
+    pub(crate) checkpoint_lock: Mutex<()>,
+    pub(crate) mutations: AtomicU64,
+    pub(crate) appends: AtomicU64,
+    pub(crate) append_bytes: AtomicU64,
+    pub(crate) append_errors: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+}
+
+impl DurabilityState {
+    pub(crate) fn new(dir: PathBuf, writer: JournalWriter, generation: u64) -> Self {
+        DurabilityState {
+            dir,
+            journal: Mutex::new(writer),
+            generation: AtomicU64::new(generation),
+            checkpoint_lock: Mutex::new(()),
+            mutations: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            append_bytes: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one committed op (write-ahead: call **before** sending the
+    /// response). An I/O failure is counted, not propagated — the service
+    /// keeps serving with degraded durability rather than failing live
+    /// traffic.
+    pub(crate) fn append(&self, op: &JournalOp) {
+        let mut writer = self.journal.lock().expect("journal writer poisoned");
+        match writer.append(op) {
+            Ok(bytes) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.append_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                self.mutations.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Counts a non-journaled mutation (a fresh memo entry) toward the
+    /// mutation-triggered checkpoint.
+    pub(crate) fn note_mutation(&self) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            generation: self.generation.load(Ordering::Relaxed),
+            journal_appends: self.appends.load(Ordering::Relaxed),
+            journal_bytes: self.append_bytes.load(Ordering::Relaxed),
+            journal_append_errors: self.append_errors.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            mutations_since_checkpoint: self.mutations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Path of generation `g`'s memo snapshot.
+pub(crate) fn memo_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("memo.g{generation}.snap"))
+}
+
+/// Path of generation `g`'s session journal.
+pub(crate) fn journal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("journal.g{generation}.log"))
+}
+
+/// Generation numbers present in `dir` for files shaped
+/// `{prefix}{N}{suffix}`, ascending.
+fn scan_generations(dir: &Path, prefix: &str, suffix: &str) -> Vec<u64> {
+    let mut gens = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return gens;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(mid) = name
+            .strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix(suffix))
+        {
+            if let Ok(g) = mid.parse::<u64>() {
+                gens.push(g);
+            }
+        }
+    }
+    gens.sort_unstable();
+    gens
+}
+
+/// `(newest memo generation, newest journal generation)` present in `dir`.
+pub(crate) fn newest_generations(dir: &Path) -> (Option<u64>, Option<u64>) {
+    let memo = scan_generations(dir, "memo.g", ".snap").pop();
+    let journal = scan_generations(dir, "journal.g", ".log").pop();
+    (memo, journal)
+}
+
+/// Best-effort removal of every generation file strictly older than
+/// `keep` (crash stragglers included — they get another chance next
+/// checkpoint).
+fn remove_older_generations(dir: &Path, keep: u64) {
+    for g in scan_generations(dir, "memo.g", ".snap") {
+        if g < keep {
+            let _ = std::fs::remove_file(memo_path(dir, g));
+        }
+    }
+    for g in scan_generations(dir, "journal.g", ".log") {
+        if g < keep {
+            let _ = std::fs::remove_file(journal_path(dir, g));
+        }
+    }
+}
+
+/// The compaction records for a session fleet: per live session (name
+/// order), its original `Open` plus every committed delta.
+pub(crate) fn compaction_ops(sessions: &[SessionState]) -> Vec<JournalOp> {
+    let mut ops = Vec::with_capacity(sessions.iter().map(|s| 1 + s.deltas.len()).sum());
+    for s in sessions {
+        ops.push(JournalOp::Open {
+            session: s.name.clone(),
+            base: s.base.clone(),
+        });
+        for delta in &s.deltas {
+            ops.push(JournalOp::Delta {
+                session: s.name.clone(),
+                delta: delta.clone(),
+            });
+        }
+    }
+    ops
+}
+
+/// FNV-1a fold of the fleet's per-session digests, in name order.
+pub(crate) fn fold_digests(sessions: &[SessionState]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in sessions {
+        for b in s.name.bytes().chain(s.digest.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Writes generation `generation` (memo snapshot, then compacted journal,
+/// both atomic), swaps the live journal handle onto the new file, resets
+/// the mutation counter, and deletes older generations. Caller must hold
+/// the checkpoint lock and guarantee the fleet is quiescent (shards
+/// paused, or drained and joined).
+pub(crate) fn write_generation(
+    dur: &DurabilityState,
+    generation: u64,
+    memo: &[snapshot::MemoEntry],
+    sessions: &[SessionState],
+) -> io::Result<CheckpointReport> {
+    snapshot::write_snapshot(&memo_path(&dur.dir, generation), memo)?;
+    let jpath = journal_path(&dur.dir, generation);
+    let fp = snapshot::engine_fingerprint();
+    let ops = compaction_ops(sessions);
+    let journal_bytes = journal::write_journal(&jpath, &fp, &ops)?;
+    let writer = JournalWriter::open_end(&jpath)?;
+    *dur.journal.lock().expect("journal writer poisoned") = writer;
+    dur.generation.store(generation, Ordering::Relaxed);
+    dur.mutations.store(0, Ordering::Relaxed);
+    dur.checkpoints.fetch_add(1, Ordering::Relaxed);
+    remove_older_generations(&dur.dir, generation);
+    Ok(CheckpointReport {
+        generation,
+        memo_entries: memo.len(),
+        sessions: sessions.len(),
+        journal_bytes,
+        sessions_digest: fold_digests(sessions),
+    })
+}
+
+/// Runs one stop-the-world checkpoint against a live fleet. Returns
+/// `Ok(None)` when the service is shutting down (closed queues) — the
+/// graceful-shutdown path writes its own final generation under the same
+/// lock, so skipping here loses nothing.
+pub(crate) fn run_checkpoint(
+    queues: &[Arc<BoundedQueue<Job>>],
+    dur: &DurabilityState,
+) -> io::Result<Option<CheckpointReport>> {
+    let _guard = dur
+        .checkpoint_lock
+        .lock()
+        .expect("checkpoint lock poisoned");
+    // `resumes` holds every paused shard's wake-up sender; dropping it —
+    // on *any* exit path, including errors — resumes the fleet.
+    let mut resumes = Vec::with_capacity(queues.len());
+    let mut pending = Vec::with_capacity(queues.len());
+    for q in queues {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let (resume_tx, resume_rx) = mpsc::channel();
+        if q.push(Job::Checkpoint {
+            reply: reply_tx,
+            resume: resume_rx,
+        })
+        .is_err()
+        {
+            return Ok(None); // shutting down; drop(resumes) unpauses
+        }
+        resumes.push(resume_tx);
+        pending.push(reply_rx);
+    }
+    let mut memo = Vec::new();
+    let mut sessions = Vec::new();
+    for rx in pending {
+        match rx.recv() {
+            Ok(export) => {
+                memo.extend(export.memo);
+                sessions.extend(export.sessions);
+            }
+            Err(_) => return Ok(None), // worker raced shutdown
+        }
+    }
+    // Every shard is paused now: no op can commit, no journal append can
+    // land — the cut is consistent.
+    memo.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+    sessions.sort_by(|a, b| a.name.cmp(&b.name));
+    let generation = dur.generation.load(Ordering::Relaxed) + 1;
+    let report = write_generation(dur, generation, &memo, &sessions)?;
+    drop(resumes);
+    Ok(Some(report))
+}
+
+/// The background snapshot scheduler: a thread that checkpoints every
+/// `interval` or once `every_mutations` mutations accumulate, whichever
+/// comes first. Stopping joins the thread; an in-flight checkpoint
+/// completes first.
+pub(crate) struct SchedulerHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    pub(crate) fn spawn(
+        queues: Vec<Arc<BoundedQueue<Job>>>,
+        dur: Arc<DurabilityState>,
+        interval: Duration,
+        every_mutations: u64,
+    ) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        // Wake often enough to notice the mutation trigger without
+        // spinning; the interval itself can be much longer.
+        let tick = interval
+            .min(Duration::from_millis(25))
+            .max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("rmts-svc-snapshots".to_string())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                let mut last = Instant::now();
+                let mut stopped = lock.lock().expect("scheduler stop flag poisoned");
+                loop {
+                    let (guard, _timeout) = cv
+                        .wait_timeout(stopped, tick)
+                        .expect("scheduler stop flag poisoned");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    let due_time = last.elapsed() >= interval;
+                    let due_load = dur.mutations.load(Ordering::Relaxed) >= every_mutations;
+                    if !(due_time || due_load) {
+                        continue;
+                    }
+                    if dur.mutations.load(Ordering::Relaxed) == 0 {
+                        last = Instant::now(); // nothing new — skip the rewrite
+                        continue;
+                    }
+                    drop(stopped);
+                    // Best-effort: an I/O failure leaves the previous
+                    // generation intact and the next tick retries.
+                    let _ = run_checkpoint(&queues, &dur);
+                    last = Instant::now();
+                    stopped = lock.lock().expect("scheduler stop flag poisoned");
+                }
+            })
+            .expect("spawn snapshot scheduler");
+        SchedulerHandle {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread and joins it (idempotent).
+    pub(crate) fn stop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("scheduler stop flag poisoned") = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SchedulerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,412 @@
+//! Write-ahead session journal: crash durability for live sessions.
+//!
+//! Memo snapshots ([`crate::snapshot`]) make the *memo* durable, but only
+//! at graceful shutdown; a crash still loses every live
+//! [`PartitionSession`](rmts_core::PartitionSession). This module closes
+//! that gap: every **committed** session mutation (`Open`, a non-noop
+//! `Delta`, `Close`, and panic teardowns) is appended to an on-disk
+//! journal *before* the response is sent. Because guided replay is
+//! deterministic and bit-identical to from-scratch partitioning, replaying
+//! the journal through the ordinary session machinery rebuilds every
+//! acknowledged session exactly — state digests and all.
+//!
+//! ## File format (all integers little-endian)
+//!
+//! The framing discipline is identical to the memo snapshot (`RMTSMEM1`):
+//!
+//! ```text
+//! header:
+//!   magic        8  bytes   b"RMTSJRN1"
+//!   fp_len       u32        length of the build fingerprint
+//!   fingerprint  fp_len     engine build fingerprint (utf-8)
+//! record (repeated until EOF):
+//!   payload_len  u32        length of the payload that follows the checksum
+//!   checksum     u64        FNV-1a over the payload bytes
+//!   payload      payload_len  one JournalOp as JSON (utf-8)
+//! ```
+//!
+//! ## Trust policy
+//!
+//! Same verified-prefix discipline as the snapshot: wrong magic or build
+//! fingerprint → **stale**, the whole file is ignored (session state is
+//! not portable across engine builds); a truncated record, failing
+//! checksum, or unparsable payload → **corrupt**, replay stops at the last
+//! good record and [`JournalReport::valid_bytes`] marks the boundary so
+//! the writer can truncate the torn tail before appending again. A torn
+//! record can lose at most the operations that were never acknowledged —
+//! an acknowledged op was `write(2)`-complete before its response line
+//! existed, so it survives any *process* crash (the bytes live in the
+//! kernel page cache; machine-crash durability would add an fsync per
+//! append, which this service deliberately does not pay).
+
+use crate::request::AnalyzeRequest;
+use crate::snapshot::{self, Cursor};
+use rmts_taskmodel::TaskSetDelta;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Leading magic of a session journal file (the `1` is the format version).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RMTSJRN1";
+
+/// One committed session mutation, exactly as replay needs it. The `Open`
+/// record keeps the **original** base request (not a re-expressed current
+/// set): engines are built against the opening set's size (the SPA
+/// thresholds are Θ(n)-dependent), so recovery must rebuild from the same
+/// base and re-apply the same deltas to reach the same state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalOp {
+    /// A session was opened (or replaced) by partitioning `base`.
+    Open {
+        /// The session name.
+        session: String,
+        /// The base analysis question the session was opened with.
+        base: AnalyzeRequest,
+    },
+    /// A non-noop delta was committed against the session.
+    Delta {
+        /// The session name.
+        session: String,
+        /// The committed delta.
+        delta: TaskSetDelta,
+    },
+    /// The session was closed — explicitly, or torn down after an engine
+    /// panic (either way its state is gone and must not resurrect).
+    Close {
+        /// The session name.
+        session: String,
+    },
+}
+
+impl JournalOp {
+    /// The session this operation addresses.
+    pub fn session(&self) -> &str {
+        match self {
+            JournalOp::Open { session, .. }
+            | JournalOp::Delta { session, .. }
+            | JournalOp::Close { session } => session,
+        }
+    }
+}
+
+/// What reading a journal found. Mirrors
+/// [`RestoreReport`](crate::snapshot::RestoreReport) for the memo
+/// snapshot, plus the verified-prefix length the writer resumes at.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalReport {
+    /// Operations in the verified prefix.
+    pub records: usize,
+    /// No journal file existed (first boot) — a clean cold start.
+    pub missing: bool,
+    /// The file's build fingerprint (or magic) did not match this engine:
+    /// the whole journal was ignored.
+    pub stale: bool,
+    /// A truncated or checksum-failing record stopped the read early;
+    /// operations before the damage were kept.
+    pub corrupt: bool,
+    /// Byte length of the verified prefix (header + intact records). The
+    /// writer truncates to this before appending, so a torn tail can never
+    /// corrupt later records.
+    pub valid_bytes: usize,
+}
+
+/// Serializes the journal header for `fingerprint`.
+pub fn header_bytes(fingerprint: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(JOURNAL_MAGIC.len() + 4 + fingerprint.len());
+    buf.extend_from_slice(JOURNAL_MAGIC);
+    snapshot::put_u32(&mut buf, fingerprint.len() as u32);
+    buf.extend_from_slice(fingerprint.as_bytes());
+    buf
+}
+
+/// Serializes one operation as a framed record (length + checksum +
+/// payload) ready to append.
+pub fn encode_record(op: &JournalOp) -> io::Result<Vec<u8>> {
+    let payload = serde_json::to_string(op).map_err(io::Error::other)?;
+    let payload = payload.as_bytes();
+    let mut buf = Vec::with_capacity(12 + payload.len());
+    snapshot::put_u32(&mut buf, payload.len() as u32);
+    snapshot::put_u64(&mut buf, snapshot::fnv1a_bytes(payload));
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Serializes a whole journal (header + records) to bytes.
+pub fn journal_bytes(fingerprint: &str, ops: &[JournalOp]) -> io::Result<Vec<u8>> {
+    let mut buf = header_bytes(fingerprint);
+    for op in ops {
+        buf.extend_from_slice(&encode_record(op)?);
+    }
+    Ok(buf)
+}
+
+/// Parses journal bytes, verifying the fingerprint and every record
+/// checksum (trust policy in the module docs). Never fails — damage
+/// degrades to a shorter verified prefix.
+pub fn read_journal_bytes(data: &[u8], fingerprint: &str) -> (Vec<JournalOp>, JournalReport) {
+    let mut report = JournalReport::default();
+    let mut c = Cursor { data, at: 0 };
+    let header_ok = (|| {
+        let magic = c.take(JOURNAL_MAGIC.len())?;
+        if magic != JOURNAL_MAGIC {
+            return None;
+        }
+        let fp_len = c.u32()? as usize;
+        let fp = std::str::from_utf8(c.take(fp_len)?).ok()?;
+        (fp == fingerprint).then_some(())
+    })();
+    if header_ok.is_none() {
+        report.stale = true;
+        return (Vec::new(), report);
+    }
+    let mut ops = Vec::new();
+    let mut verified = c.at;
+    while !c.done() {
+        let record = (|| {
+            let payload_len = c.u32()? as usize;
+            let checksum = c.u64()?;
+            let payload = c.take(payload_len)?;
+            if snapshot::fnv1a_bytes(payload) != checksum {
+                return None;
+            }
+            let text = std::str::from_utf8(payload).ok()?;
+            serde_json::from_str::<JournalOp>(text).ok()
+        })();
+        match record {
+            Some(op) => {
+                ops.push(op);
+                verified = c.at;
+            }
+            None => {
+                report.corrupt = true;
+                break;
+            }
+        }
+    }
+    report.records = ops.len();
+    report.valid_bytes = verified;
+    (ops, report)
+}
+
+/// Reads a journal file (trust policy in the module docs).
+pub fn read_journal(path: &Path, fingerprint: &str) -> (Vec<JournalOp>, JournalReport) {
+    let mut data = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            if f.read_to_end(&mut data).is_err() {
+                return (
+                    Vec::new(),
+                    JournalReport {
+                        corrupt: true,
+                        ..JournalReport::default()
+                    },
+                );
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return (
+                Vec::new(),
+                JournalReport {
+                    missing: true,
+                    ..JournalReport::default()
+                },
+            );
+        }
+        Err(_) => {
+            return (
+                Vec::new(),
+                JournalReport {
+                    corrupt: true,
+                    ..JournalReport::default()
+                },
+            );
+        }
+    }
+    read_journal_bytes(&data, fingerprint)
+}
+
+/// Writes a complete journal atomically (temp file + fsync + rename) —
+/// the checkpoint compaction path. A crash mid-write leaves the previous
+/// generation intact.
+pub fn write_journal(path: &Path, fingerprint: &str, ops: &[JournalOp]) -> io::Result<usize> {
+    let buf = journal_bytes(fingerprint, ops)?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    drop(file);
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(buf.len()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// An append handle over an open journal file. Appends are plain
+/// `write_all` calls — durable against process death (SIGKILL) the moment
+/// they return, without a per-record fsync (see the module docs).
+pub struct JournalWriter {
+    file: File,
+    bytes: u64,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates to) a fresh journal containing only the
+    /// header.
+    pub fn create(path: &Path, fingerprint: &str) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        let header = header_bytes(fingerprint);
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(JournalWriter {
+            file,
+            bytes: header.len() as u64,
+        })
+    }
+
+    /// Opens `path` for appending, first reading back its verified prefix.
+    /// A missing or stale file is replaced by a fresh header; a corrupt
+    /// tail is truncated away (so later appends can never be shadowed by
+    /// torn bytes). Returns the writer plus the verified operations and
+    /// the read report — exactly what recovery replays.
+    pub fn resume(
+        path: &Path,
+        fingerprint: &str,
+    ) -> io::Result<(Self, Vec<JournalOp>, JournalReport)> {
+        let (ops, report) = read_journal(path, fingerprint);
+        if report.missing || report.stale {
+            let writer = Self::create(path, fingerprint)?;
+            return Ok((writer, Vec::new(), report));
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        if report.corrupt {
+            file.set_len(report.valid_bytes as u64)?;
+            file.sync_all()?;
+        }
+        let writer = JournalWriter {
+            file,
+            bytes: report.valid_bytes as u64,
+        };
+        Ok((writer, ops, report))
+    }
+
+    /// Opens an existing, just-written journal for appending at its end
+    /// (the post-checkpoint writer swap; the file was written atomically
+    /// a moment ago, so no verification pass is needed).
+    pub fn open_end(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(JournalWriter { file, bytes })
+    }
+
+    /// Appends one operation. Returns the record's size in bytes.
+    pub fn append(&mut self, op: &JournalOp) -> io::Result<usize> {
+        let record = encode_record(op)?;
+        self.file.write_all(&record)?;
+        self.bytes += record.len() as u64;
+        Ok(record.len())
+    }
+
+    /// Total bytes in the journal (header + appended records).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Flushes file contents to stable storage (checkpoint boundary).
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::engine_fingerprint;
+    use rmts_core::AlgorithmSpec;
+    use rmts_taskmodel::{Task, TaskId};
+
+    fn demo_ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::Open {
+                session: "a".into(),
+                base: AnalyzeRequest::new(vec![(1, 4), (2, 8)], 2, AlgorithmSpec::RmTsLight),
+            },
+            JournalOp::Delta {
+                session: "a".into(),
+                delta: TaskSetDelta::update(Task::from_ticks(0, 2, 4).unwrap()),
+            },
+            JournalOp::Delta {
+                session: "a".into(),
+                delta: TaskSetDelta::remove(TaskId(1)),
+            },
+            JournalOp::Close {
+                session: "a".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_ops_bit_identically() {
+        let fp = engine_fingerprint();
+        let ops = demo_ops();
+        let bytes = journal_bytes(&fp, &ops).unwrap();
+        let (read, report) = read_journal_bytes(&bytes, &fp);
+        assert_eq!(read, ops);
+        assert_eq!(report.records, ops.len());
+        assert!(!report.corrupt && !report.stale && !report.missing);
+        assert_eq!(report.valid_bytes, bytes.len());
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_stale() {
+        let bytes = journal_bytes("rmts-engine/9.9.9/memo-fmt1", &demo_ops()).unwrap();
+        let (read, report) = read_journal_bytes(&bytes, &engine_fingerprint());
+        assert!(read.is_empty());
+        assert!(report.stale);
+    }
+
+    #[test]
+    fn writer_resume_round_trip_and_truncates_torn_tail() {
+        let fp = engine_fingerprint();
+        let dir = std::env::temp_dir().join(format!("rmts_jrn_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.g0.log");
+        let ops = demo_ops();
+        {
+            let mut w = JournalWriter::create(&path, &fp).unwrap();
+            for op in &ops {
+                w.append(op).unwrap();
+            }
+        }
+        // Tear the tail: append garbage that parses as no valid record.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 7]).unwrap();
+        }
+        let (mut w, read, report) = JournalWriter::resume(&path, &fp).unwrap();
+        assert_eq!(read, ops);
+        assert!(report.corrupt);
+        assert_eq!(report.valid_bytes as u64, clean_len);
+        // The torn bytes are gone; a fresh append reads back clean.
+        w.append(&JournalOp::Close {
+            session: "b".into(),
+        })
+        .unwrap();
+        drop(w);
+        let (read2, report2) = read_journal(&path, &fp);
+        assert_eq!(read2.len(), ops.len() + 1);
+        assert!(!report2.corrupt);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_clean_cold_start() {
+        let (ops, report) = read_journal(Path::new("/nonexistent/rmts/journal.log"), "fp");
+        assert!(ops.is_empty());
+        assert!(report.missing && !report.corrupt && !report.stale);
+    }
+}

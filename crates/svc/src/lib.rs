@@ -64,6 +64,8 @@
 #![warn(missing_docs)]
 
 pub mod canonical;
+pub mod durability;
+pub mod journal;
 pub mod queue;
 pub mod request;
 pub mod service;
@@ -72,6 +74,8 @@ pub mod snapshot;
 pub mod wire;
 
 pub use canonical::{CanonicalBatch, CanonicalSet};
+pub use durability::{CheckpointReport, DurabilityConfig, DurabilityStats, RecoveryReport};
+pub use journal::{read_journal, write_journal, JournalOp, JournalReport};
 pub use queue::BoundedQueue;
 pub use request::{
     AnalysisOutcome, AnalyzeRequest, BudgetSpec, RepartitionRequest, Request, Response,

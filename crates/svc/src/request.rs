@@ -143,6 +143,11 @@ pub enum SessionOp {
         /// pick fresh ids (≥ the base set's size is always safe).
         delta: TaskSetDelta,
     },
+    /// Closes the session, discarding its state. The answer echoes the
+    /// final committed partition's verdict; closing an unknown session is
+    /// `Invalid`. A closed session drops out of the durability journal at
+    /// the next checkpoint.
+    Close,
 }
 
 /// A v2 wire request: one [`SessionOp`] against a named session. All ops
@@ -174,6 +179,15 @@ impl RepartitionRequest {
             version: WIRE_V2,
             session: session.into(),
             op: SessionOp::Delta { delta },
+        }
+    }
+
+    /// A `Close` line for `session`.
+    pub fn close(session: impl Into<String>) -> Self {
+        RepartitionRequest {
+            version: WIRE_V2,
+            session: session.into(),
+            op: SessionOp::Close,
         }
     }
 }

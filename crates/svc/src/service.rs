@@ -1,10 +1,16 @@
 //! The service façade: shard fleet, submission, batching, statistics.
 
 use crate::canonical::{fnv1a as canonical_hash, CanonicalBatch, CanonicalSet};
+use crate::durability::{
+    self, CheckpointReport, DurabilityConfig, DurabilityState, DurabilityStats, RecoveryReport,
+    SchedulerHandle,
+};
+use crate::journal::{JournalOp, JournalWriter};
 use crate::queue::BoundedQueue;
-use crate::request::{AnalyzeRequest, RepartitionRequest, Request, Response};
-use crate::shard::{AnalyzeJob, CanonJob, Job, SessionJob, Shard};
+use crate::request::{AnalyzeRequest, RepartitionRequest, Request, Response, Verdict};
+use crate::shard::{AnalyzeJob, CanonJob, Job, SessionJob, SessionState, Shard};
 use crate::snapshot::{self, MemoEntry, RestoreReport, SnapshotReport};
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -119,6 +125,11 @@ pub struct Service {
     workers: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<SharedStats>,
     seq: AtomicUsize,
+    /// Crash-durability state ([`Service::with_durability`] only).
+    durability: Option<Arc<DurabilityState>>,
+    /// The background snapshot scheduler (durable services only); behind a
+    /// mutex so shutdown can stop it from `&self`.
+    scheduler: Mutex<Option<SchedulerHandle>>,
 }
 
 impl Service {
@@ -146,7 +157,162 @@ impl Service {
         (Self::new_seeded(cfg, entries), report)
     }
 
+    /// Spawns a **crash-durable** fleet rooted at `cfg.dir` (created if
+    /// absent): recovers the newest valid memo snapshot and session
+    /// journal (see [`crate::durability`] for the generation layout and
+    /// [`crate::journal`] for the trust policy), replays every journaled
+    /// session op through the ordinary session machinery — guided replay
+    /// is deterministic, so recovered sessions are bit-identical to their
+    /// pre-crash state — and starts the background snapshot scheduler.
+    /// Every committed session op is thereafter journaled write-ahead.
+    pub fn with_durability(
+        cfg: ServiceConfig,
+        dcfg: DurabilityConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(&dcfg.dir)?;
+        let fp = snapshot::engine_fingerprint();
+        let (memo_gen, journal_gen) = durability::newest_generations(&dcfg.dir);
+        let mut report = RecoveryReport::default();
+        let entries = match memo_gen {
+            Some(g) => {
+                let (entries, memo_report) =
+                    snapshot::read_snapshot(&durability::memo_path(&dcfg.dir, g));
+                report.memo = memo_report;
+                entries
+            }
+            None => {
+                report.memo.missing = true;
+                Vec::new()
+            }
+        };
+        // Sessions come from the newest journal *file*; the generation
+        // counter continues from the newest file of either kind, so the
+        // next checkpoint never collides with a crash straggler (a memo
+        // snapshot written just before the crash cut off its journal).
+        let journal_file_gen = journal_gen.unwrap_or(0);
+        let (writer, ops, journal_report) =
+            JournalWriter::resume(&durability::journal_path(&dcfg.dir, journal_file_gen), &fp)?;
+        report.journal = journal_report;
+        report.generation = memo_gen.unwrap_or(0).max(journal_file_gen);
+        let dur = Arc::new(DurabilityState::new(
+            dcfg.dir.clone(),
+            writer,
+            report.generation,
+        ));
+        let svc = Self::new_seeded_durable(cfg, entries, Some(Arc::clone(&dur)));
+        rmts_obs::count("svc.memo.restored", report.memo.restored as u64);
+        if report.memo.stale {
+            rmts_obs::count("svc.memo.stale", 1);
+        }
+        if report.memo.corrupt {
+            rmts_obs::count("svc.memo.corrupt", 1);
+        }
+        let (replayed, recovered, failed) = svc.replay_journal(&ops);
+        report.ops_replayed = replayed;
+        report.sessions_recovered = recovered;
+        report.sessions_failed = failed;
+        rmts_obs::count("svc.journal.replayed", replayed as u64);
+        if report.journal.stale {
+            rmts_obs::count("svc.journal.stale", 1);
+        }
+        if report.journal.corrupt {
+            rmts_obs::count("svc.journal.corrupt", 1);
+        }
+        // The scheduler starts only after replay: recovery is complete
+        // before the first background checkpoint can cut a generation.
+        *svc.scheduler.lock().expect("scheduler registry poisoned") = Some(SchedulerHandle::spawn(
+            svc.queues.clone(),
+            Arc::clone(&dur),
+            dcfg.snapshot_interval,
+            dcfg.snapshot_every_mutations,
+        ));
+        Ok((svc, report))
+    }
+
+    /// Replays journal ops through the session machinery (un-journaled —
+    /// they are already in the journal being replayed). Returns
+    /// `(ops replayed, sessions recovered, sessions failed)`; a failed
+    /// session — one whose journaled commit did not replay cleanly — is
+    /// torn down rather than left half-applied. Replay is deterministic,
+    /// so failures never happen outside hand-corrupted journals.
+    fn replay_journal(&self, ops: &[JournalOp]) -> (usize, usize, usize) {
+        if ops.is_empty() {
+            return (0, 0, 0);
+        }
+        let (tx, rx) = mpsc::channel();
+        for (i, op) in ops.iter().enumerate() {
+            let req = match op {
+                JournalOp::Open { session, base } => {
+                    RepartitionRequest::open(session.clone(), base.clone())
+                }
+                JournalOp::Delta { session, delta } => {
+                    RepartitionRequest::delta(session.clone(), delta.clone())
+                }
+                JournalOp::Close { session } => RepartitionRequest::close(session.clone()),
+            };
+            self.enqueue_session(i, req, tx.clone(), false);
+        }
+        drop(tx);
+        let mut responses: Vec<Option<Response>> = (0..ops.len()).map(|_| None).collect();
+        for resp in rx {
+            let slot = resp.index;
+            responses[slot] = Some(resp);
+        }
+        let mut alive: HashMap<&str, bool> = HashMap::new();
+        let mut failed: HashSet<&str> = HashSet::new();
+        for (op, resp) in ops.iter().zip(&responses) {
+            let resp = resp.as_ref().expect("every replayed op gets one response");
+            let ok = match op {
+                JournalOp::Open { .. } | JournalOp::Delta { .. } => {
+                    matches!(resp.outcome.verdict, Verdict::Accepted { .. })
+                }
+                JournalOp::Close { .. } => true,
+            };
+            match op {
+                JournalOp::Open { session, .. } => {
+                    alive.insert(session.as_str(), true);
+                }
+                JournalOp::Delta { .. } => {}
+                JournalOp::Close { session } => {
+                    alive.insert(session.as_str(), false);
+                }
+            }
+            if !ok {
+                failed.insert(op.session());
+            }
+        }
+        let teardown: Vec<String> = failed
+            .iter()
+            .filter(|name| alive.get(**name).copied().unwrap_or(false))
+            .map(|name| name.to_string())
+            .collect();
+        let (tx, rx) = mpsc::channel();
+        for (i, name) in teardown.iter().enumerate() {
+            self.enqueue_session(
+                i,
+                RepartitionRequest::close(name.clone()),
+                tx.clone(),
+                false,
+            );
+        }
+        drop(tx);
+        for _ in rx {}
+        let recovered = alive
+            .iter()
+            .filter(|(name, live)| **live && !failed.contains(*name))
+            .count();
+        (ops.len(), recovered, failed.len())
+    }
+
     fn new_seeded(cfg: ServiceConfig, entries: Vec<MemoEntry>) -> Self {
+        Self::new_seeded_durable(cfg, entries, None)
+    }
+
+    fn new_seeded_durable(
+        cfg: ServiceConfig,
+        entries: Vec<MemoEntry>,
+        durability: Option<Arc<DurabilityState>>,
+    ) -> Self {
         let shards = cfg.shards.max(1);
         // Route each restored entry exactly like a live request: by the
         // FNV-1a hash of its canonical pairs. A future request for the
@@ -174,9 +340,10 @@ impl Service {
             .map(|(idx, (q, seed))| {
                 let q = Arc::clone(q);
                 let stats = Arc::clone(&stats);
+                let dur = durability.clone();
                 std::thread::Builder::new()
                     .name(format!("rmts-svc-shard-{idx}"))
-                    .spawn(move || Shard::run(idx, q, stats, seed))
+                    .spawn(move || Shard::run(idx, q, stats, seed, dur))
                     .expect("spawn shard worker")
             })
             .collect();
@@ -185,6 +352,8 @@ impl Service {
             workers: Mutex::new(workers),
             stats,
             seq: AtomicUsize::new(0),
+            durability,
+            scheduler: Mutex::new(None),
         }
     }
 
@@ -223,7 +392,7 @@ impl Service {
     /// index (see [`Service::submit_indexed`]).
     pub fn submit_repartition_indexed(&self, index: usize, req: RepartitionRequest) -> Ticket {
         let (tx, rx) = mpsc::channel();
-        self.enqueue_session(index, req, tx);
+        self.enqueue_session(index, req, tx, true);
         Ticket { rx }
     }
 
@@ -240,7 +409,7 @@ impl Service {
                     let canon = CanonJob::Owned(CanonicalSet::of_pairs(&req.taskset));
                     self.enqueue(i, req, canon, tx.clone());
                 }
-                Request::Repartition(req) => self.enqueue_session(i, req, tx.clone()),
+                Request::Repartition(req) => self.enqueue_session(i, req, tx.clone(), true),
             }
         }
         drop(tx);
@@ -341,6 +510,7 @@ impl Service {
         index: usize,
         req: RepartitionRequest,
         reply: mpsc::Sender<Response>,
+        record: bool,
     ) {
         // Route by session name: the session's state lives on exactly one
         // shard, and that shard's FIFO serializes its ops.
@@ -353,6 +523,7 @@ impl Service {
                 hash,
                 req,
                 reply,
+                record,
             }))
             .expect("submission after Service::shutdown (queues are closed)");
     }
@@ -380,6 +551,36 @@ impl Service {
         self.stats_inner()
     }
 
+    /// Durability counters (`None` for non-durable services).
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.durability.as_ref().map(|d| d.stats())
+    }
+
+    /// Runs one checkpoint **now** (durable services only): a
+    /// stop-the-world consistent cut of the whole fleet, written as a new
+    /// generation (memo snapshot + compacted journal), after which the
+    /// prior generation is deleted. Serialized against the background
+    /// scheduler and shutdown by the snapshot-generation lock. Returns
+    /// `Ok(None)` on a non-durable service or when shutdown won the race.
+    pub fn checkpoint(&self) -> std::io::Result<Option<CheckpointReport>> {
+        match &self.durability {
+            Some(dur) => durability::run_checkpoint(&self.queues, dur),
+            None => Ok(None),
+        }
+    }
+
+    /// Stops (and joins) the background snapshot scheduler, if any.
+    fn stop_scheduler(&self) {
+        let handle = self
+            .scheduler
+            .lock()
+            .expect("scheduler registry poisoned")
+            .take();
+        if let Some(mut handle) = handle {
+            handle.stop();
+        }
+    }
+
     /// Graceful shutdown: drains every in-flight and queued request,
     /// stops the shard fleet, and returns the final statistics.
     ///
@@ -389,23 +590,68 @@ impl Service {
     /// has been served (its response delivered, its outcome memoized).
     /// Submissions racing past shutdown are refused by the closed queues,
     /// never half-served. Idempotent — a second call is a no-op.
+    ///
+    /// On a durable service the scheduler is stopped first and a final
+    /// generation is written under the snapshot-generation lock, so a
+    /// background checkpoint can never race the shutdown files.
     pub fn shutdown(&self) -> ServiceStats {
-        let _ = self.drain_and_join();
+        self.stop_scheduler();
+        match self.durability.clone() {
+            Some(dur) => {
+                let _guard = dur
+                    .checkpoint_lock
+                    .lock()
+                    .expect("checkpoint lock poisoned");
+                if let Some((memo, sessions)) = self.drain_and_join() {
+                    let generation = dur.generation.load(Ordering::Relaxed) + 1;
+                    // Best-effort: failure leaves the previous generation
+                    // (plus the live journal) intact — recovery replays it.
+                    let _ = durability::write_generation(&dur, generation, &memo, &sessions);
+                }
+            }
+            None => {
+                let _ = self.drain_and_join();
+            }
+        }
         self.stats_inner()
     }
 
     /// [`Service::shutdown`], then writes the drained memo tables to
     /// `path` atomically (temp file + rename). Every request accepted
     /// before the call is analyzed, answered, and — via the FIFO drain
-    /// barrier — present in the written snapshot.
+    /// barrier — present in the written snapshot. On a durable service a
+    /// final generation is also written, under the same
+    /// snapshot-generation lock the background scheduler takes, so the
+    /// two writers are serialized — never interleaved on the same paths.
+    /// A second call is a no-op that leaves the first snapshot in place.
     pub fn shutdown_with_snapshot(&self, path: &Path) -> std::io::Result<SnapshotReport> {
-        let entries = self.drain_and_join();
-        snapshot::write_snapshot(path, &entries)
+        self.stop_scheduler();
+        let dur = self.durability.clone();
+        let _guard = dur
+            .as_ref()
+            .map(|d| d.checkpoint_lock.lock().expect("checkpoint lock poisoned"));
+        match self.drain_and_join() {
+            Some((memo, sessions)) => {
+                if let Some(dur) = &dur {
+                    let generation = dur.generation.load(Ordering::Relaxed) + 1;
+                    durability::write_generation(dur, generation, &memo, &sessions)?;
+                }
+                snapshot::write_snapshot(path, &memo)
+            }
+            // Already drained by an earlier shutdown: do not overwrite the
+            // snapshot it wrote with an empty one.
+            None => Ok(SnapshotReport {
+                entries: 0,
+                bytes: 0,
+            }),
+        }
     }
 
-    /// The shared drain machinery: barrier-export every shard's memo,
-    /// close the queues, join the workers. Returns the merged memo.
-    fn drain_and_join(&self) -> Vec<MemoEntry> {
+    /// The shared drain machinery: barrier-export every shard's memo and
+    /// sessions, close the queues, join the workers. Returns the merged
+    /// state, or `None` when the fleet was already drained (second
+    /// shutdown, post-Drop).
+    fn drain_and_join(&self) -> Option<(Vec<MemoEntry>, Vec<SessionState>)> {
         let mut exports = Vec::with_capacity(self.queues.len());
         for q in &self.queues {
             let (tx, rx) = mpsc::channel();
@@ -418,14 +664,19 @@ impl Service {
         for q in &self.queues {
             q.close();
         }
-        let mut entries: Vec<MemoEntry> = exports
-            .into_iter()
-            .filter_map(|rx| rx.recv().ok())
-            .flatten()
-            .collect();
+        let drained = !exports.is_empty();
+        let mut memo: Vec<MemoEntry> = Vec::new();
+        let mut sessions: Vec<SessionState> = Vec::new();
+        for rx in exports {
+            if let Ok(export) = rx.recv() {
+                memo.extend(export.memo);
+                sessions.extend(export.sessions);
+            }
+        }
         // Shard-merge order must not depend on shard count: keep the
         // per-shard sorted runs globally sorted.
-        entries.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+        memo.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+        sessions.sort_by(|a, b| a.name.cmp(&b.name));
         let workers: Vec<JoinHandle<()>> = {
             let mut guard = self.workers.lock().expect("worker registry poisoned");
             guard.drain(..).collect()
@@ -435,12 +686,15 @@ impl Service {
                 panic!("rmts-svc shard worker panicked");
             }
         }
-        entries
+        drained.then_some((memo, sessions))
     }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
+        // Stop the snapshot scheduler before closing the queues so an
+        // in-flight checkpoint completes against a live fleet.
+        self.stop_scheduler();
         for q in &self.queues {
             q.close();
         }

@@ -19,6 +19,8 @@
 //! [`Verdict::Invalid`] response and the shard keeps serving.
 
 use crate::canonical::{fnv1a, CanonicalBatch, CanonicalSet};
+use crate::durability::DurabilityState;
+use crate::journal::JournalOp;
 use crate::queue::BoundedQueue;
 use crate::request::{
     AnalysisOutcome, AnalyzeRequest, RepartitionRequest, Response, SessionMeta, SessionOp, Verdict,
@@ -84,12 +86,48 @@ pub(crate) enum Job {
     /// A v2 session operation (routed by session-name hash, so all ops of
     /// a session serialize through one shard's FIFO).
     Session(SessionJob),
-    /// A memo-table export (the snapshot/drain barrier): the shard
-    /// answers with every memoized entry it holds. Because shard queues
-    /// are FIFO, the export observes every job enqueued before it — this
-    /// is what makes [`Service::shutdown`](crate::Service::shutdown) a
-    /// drain barrier rather than a best-effort flush.
-    Export(mpsc::Sender<Vec<MemoEntry>>),
+    /// A full-state export (the snapshot/drain barrier): the shard
+    /// answers with every memoized entry and live session it holds.
+    /// Because shard queues are FIFO, the export observes every job
+    /// enqueued before it — this is what makes
+    /// [`Service::shutdown`](crate::Service::shutdown) a drain barrier
+    /// rather than a best-effort flush.
+    Export(mpsc::Sender<ShardExport>),
+    /// A checkpoint barrier: like `Export`, but the shard then **pauses**
+    /// (blocks on `resume`) until the checkpointer finishes writing the
+    /// generation. With every shard paused no op can commit, so the
+    /// checkpoint is a consistent cut of the whole fleet. Dropping the
+    /// resume sender — on any checkpointer exit path — resumes the shard.
+    Checkpoint {
+        /// Where to send this shard's export.
+        reply: mpsc::Sender<ShardExport>,
+        /// Blocks the shard until the checkpointer drops its sender.
+        resume: mpsc::Receiver<()>,
+    },
+}
+
+/// Everything a shard owns that durability cares about.
+pub(crate) struct ShardExport {
+    /// The memo table (sorted).
+    pub memo: Vec<MemoEntry>,
+    /// The live sessions (sorted by name).
+    pub sessions: Vec<SessionState>,
+}
+
+/// One live session's durable form: the original base request plus every
+/// committed delta — exactly what replay needs to rebuild the session
+/// bit-identically (engines are built against the *opening* set size, so
+/// the base must never be re-expressed against the current set).
+#[derive(Debug, Clone)]
+pub(crate) struct SessionState {
+    /// Session name.
+    pub name: String,
+    /// The base request the session was opened with.
+    pub base: AnalyzeRequest,
+    /// Every committed non-noop delta, in commit order.
+    pub deltas: Vec<rmts_taskmodel::TaskSetDelta>,
+    /// The session's current state digest (bit-identity oracle).
+    pub digest: u64,
 }
 
 /// A canonicalized analyze request plus its reply channel.
@@ -108,6 +146,10 @@ pub(crate) struct SessionJob {
     pub hash: u64,
     pub req: RepartitionRequest,
     pub reply: mpsc::Sender<Response>,
+    /// Whether committed mutations are journaled. `true` for live
+    /// submissions; `false` only for recovery replay, whose ops are
+    /// *already* in the journal being replayed.
+    pub record: bool,
 }
 
 /// Exact-equality memo key (see the module docs).
@@ -148,9 +190,19 @@ pub(crate) struct Shard {
     /// engine's inner loop (DESIGN.md §5, "Partition hot path").
     ws: PartitionWorkspace,
     /// Live partition sessions keyed by session name (v2 requests). Each
-    /// owns its engine, task set, partition, trace, and workspace.
-    sessions: HashMap<String, PartitionSession>,
+    /// entry owns its engine, task set, partition, trace, and workspace,
+    /// plus the durable op history (base + committed deltas).
+    sessions: HashMap<String, LiveSession>,
     stats: Arc<SharedStats>,
+    /// Write-ahead journal handle (durable services only).
+    dur: Option<Arc<DurabilityState>>,
+}
+
+/// A live session plus its durable op history.
+struct LiveSession {
+    session: PartitionSession,
+    base: AnalyzeRequest,
+    deltas: Vec<rmts_taskmodel::TaskSetDelta>,
 }
 
 impl Shard {
@@ -159,6 +211,7 @@ impl Shard {
         queue: Arc<BoundedQueue<Job>>,
         stats: Arc<SharedStats>,
         seed: Vec<MemoEntry>,
+        dur: Option<Arc<DurabilityState>>,
     ) {
         let mut shard = Shard {
             idx,
@@ -168,6 +221,7 @@ impl Shard {
             ws: PartitionWorkspace::new(),
             sessions: HashMap::new(),
             stats,
+            dur,
         };
         shard.seed_memo(seed);
         // Drain the queue in runs: one condvar round-trip (and, on a busy
@@ -180,7 +234,13 @@ impl Shard {
                     Job::Analyze(job) => shard.serve(job),
                     Job::Session(job) => shard.serve_session(job),
                     Job::Export(reply) => {
-                        let _ = reply.send(shard.export_memo());
+                        let _ = reply.send(shard.export_state());
+                    }
+                    Job::Checkpoint { reply, resume } => {
+                        let _ = reply.send(shard.export_state());
+                        // Pause until the checkpointer finishes (or drops
+                        // its sender on an abort path — same wake-up).
+                        let _ = resume.recv();
                     }
                 }
             }
@@ -213,9 +273,10 @@ impl Shard {
         }
     }
 
-    /// Serializes the memo table for a snapshot (or a drain barrier).
-    fn export_memo(&self) -> Vec<MemoEntry> {
-        let mut out: Vec<MemoEntry> = self
+    /// Serializes the memo table and session fleet for a checkpoint (or a
+    /// drain barrier).
+    fn export_state(&self) -> ShardExport {
+        let mut memo: Vec<MemoEntry> = self
             .memo
             .values()
             .flatten()
@@ -227,8 +288,19 @@ impl Shard {
             })
             .collect();
         // Deterministic file order regardless of HashMap iteration.
-        out.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
-        out
+        memo.sort_by(|a, b| (&a.pairs, a.m, &a.engine).cmp(&(&b.pairs, b.m, &b.engine)));
+        let mut sessions: Vec<SessionState> = self
+            .sessions
+            .iter()
+            .map(|(name, live)| SessionState {
+                name: name.clone(),
+                base: live.base.clone(),
+                deltas: live.deltas.clone(),
+                digest: live.session.state_digest(),
+            })
+            .collect();
+        sessions.sort_by(|a, b| a.name.cmp(&b.name));
+        ShardExport { memo, sessions }
     }
 
     fn serve(&mut self, job: AnalyzeJob) {
@@ -253,7 +325,16 @@ impl Shard {
     }
 
     fn serve_session(&mut self, job: SessionJob) {
-        let (outcome, meta) = self.session_outcome(&job.req);
+        let (outcome, meta, mutation) = self.session_outcome(&job.req);
+        // Write-ahead: the committed mutation must be journal-durable
+        // *before* the response exists, so an acknowledged op can never be
+        // lost to a crash. Replayed ops (`record == false`) are already in
+        // the journal being replayed.
+        if job.record {
+            if let (Some(op), Some(dur)) = (mutation, self.dur.as_deref()) {
+                dur.append(&op);
+            }
+        }
         // Session answers are stateful, never memoized.
         self.stats.memo_misses.fetch_add(1, Ordering::Relaxed);
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -267,29 +348,73 @@ impl Shard {
         });
     }
 
-    fn session_outcome(&mut self, req: &RepartitionRequest) -> (AnalysisOutcome, SessionMeta) {
+    /// Serves one session op. The third return is the journal record the
+    /// op earned: `Some` exactly when durable state changed (an `Open`
+    /// that stuck, a committed non-noop `Delta`, a `Close` of a live
+    /// session, or a panic teardown — journaled as `Close` so the session
+    /// cannot resurrect half-applied). Rejected and invalid ops change
+    /// nothing and journal nothing.
+    fn session_outcome(
+        &mut self,
+        req: &RepartitionRequest,
+    ) -> (AnalysisOutcome, SessionMeta, Option<JournalOp>) {
         let meta = |path: &str| SessionMeta {
             session: req.session.clone(),
             path: path.to_string(),
         };
         match &req.op {
             SessionOp::Open { base } => {
-                let (outcome, path) = self.open_session(&req.session, base);
-                (outcome, meta(path))
+                let (outcome, path, journaled) = self.open_session(&req.session, base);
+                (outcome, meta(path), journaled)
             }
             SessionOp::Delta { delta } => {
-                let (outcome, path) = self.apply_session_delta(&req.session, delta);
-                (outcome, meta(&path))
+                let (outcome, path, journaled) = self.apply_session_delta(&req.session, delta);
+                (outcome, meta(&path), journaled)
+            }
+            SessionOp::Close => {
+                let (outcome, path, journaled) = self.close_session(&req.session);
+                (outcome, meta(path), journaled)
             }
         }
     }
 
-    /// Opens (or replaces) a session by a traced base partition.
+    /// Closes a live session (the answer echoes its final partition);
+    /// closing an unknown session is `Invalid` and journals nothing.
+    fn close_session(&mut self, name: &str) -> (AnalysisOutcome, &'static str, Option<JournalOp>) {
+        match self.sessions.remove(name) {
+            Some(live) => (
+                AnalysisOutcome {
+                    algorithm: live.session.engine_name(),
+                    m: live.session.m(),
+                    verdict: accepted_verdict(live.session.partition()),
+                },
+                "close",
+                Some(JournalOp::Close {
+                    session: name.to_string(),
+                }),
+            ),
+            None => (
+                AnalysisOutcome {
+                    algorithm: String::new(),
+                    m: 0,
+                    verdict: Verdict::Invalid {
+                        reason: format!("unknown session `{name}` (send an Open line first)"),
+                    },
+                },
+                "error",
+                None,
+            ),
+        }
+    }
+
+    /// Opens (or replaces) a session by a traced base partition. A
+    /// successful open is journaled; a rejected or invalid open leaves any
+    /// prior same-name session (and the journal) untouched.
     fn open_session(
         &mut self,
         name: &str,
         base: &AnalyzeRequest,
-    ) -> (AnalysisOutcome, &'static str) {
+    ) -> (AnalysisOutcome, &'static str, Option<JournalOp>) {
         let m = base.m;
         let invalid = |algorithm: String, reason: String| {
             (
@@ -299,6 +424,7 @@ impl Shard {
                     verdict: Verdict::Invalid { reason },
                 },
                 "error",
+                None,
             )
         };
         let ts = match CanonicalSet::of_pairs(&base.taskset).to_taskset() {
@@ -316,7 +442,14 @@ impl Shard {
         match catch_unwind(AssertUnwindSafe(|| PartitionSession::start(engine, ts, m))) {
             Ok(Ok(session)) => {
                 let verdict = accepted_verdict(session.partition());
-                self.sessions.insert(name.to_string(), session);
+                self.sessions.insert(
+                    name.to_string(),
+                    LiveSession {
+                        session,
+                        base: base.clone(),
+                        deltas: Vec::new(),
+                    },
+                );
                 (
                     AnalysisOutcome {
                         algorithm,
@@ -324,6 +457,10 @@ impl Shard {
                         verdict,
                     },
                     "open",
+                    Some(JournalOp::Open {
+                        session: name.to_string(),
+                        base: base.clone(),
+                    }),
                 )
             }
             Ok(Err(rej)) => (
@@ -333,6 +470,7 @@ impl Shard {
                     verdict: rejected_verdict(&rej),
                 },
                 "open",
+                None,
             ),
             Err(payload) => {
                 self.stats.panics.fetch_add(1, Ordering::Relaxed);
@@ -345,14 +483,17 @@ impl Shard {
     }
 
     /// Applies one delta to an open session. On rejection or an invalid
-    /// delta the session keeps its prior state; on a panic the session is
-    /// torn down (its state can no longer be trusted).
+    /// delta the session keeps its prior state (and journals nothing); on
+    /// a panic the session is torn down (its state can no longer be
+    /// trusted) and the teardown is journaled as a `Close`, so recovery
+    /// can never resurrect it half-applied. A committed non-noop delta is
+    /// appended to the session's durable history and journaled.
     fn apply_session_delta(
         &mut self,
         name: &str,
         delta: &rmts_taskmodel::TaskSetDelta,
-    ) -> (AnalysisOutcome, String) {
-        let Some(session) = self.sessions.get_mut(name) else {
+    ) -> (AnalysisOutcome, String, Option<JournalOp>) {
+        let Some(live) = self.sessions.get_mut(name) else {
             return (
                 AnalysisOutcome {
                     algorithm: String::new(),
@@ -362,30 +503,47 @@ impl Shard {
                     },
                 },
                 "error".to_string(),
+                None,
             );
         };
+        let session = &mut live.session;
         let m = session.m();
         let algorithm = session.engine_name();
         match catch_unwind(AssertUnwindSafe(|| match session.apply(delta) {
-            Ok(ok) => (accepted_verdict(ok.partition), ok.path.as_str().to_string()),
+            Ok(ok) => (
+                accepted_verdict(ok.partition),
+                ok.path.as_str().to_string(),
+                !matches!(ok.path, rmts_core::RepartitionPath::Noop),
+            ),
             Err(RepartitionError::Rejected { reject, path }) => {
-                (rejected_verdict(&reject), path.as_str().to_string())
+                (rejected_verdict(&reject), path.as_str().to_string(), false)
             }
             Err(RepartitionError::Delta(e)) => (
                 Verdict::Invalid {
                     reason: format!("invalid delta: {e}"),
                 },
                 "error".to_string(),
+                false,
             ),
         })) {
-            Ok((verdict, path)) => (
-                AnalysisOutcome {
-                    algorithm,
-                    m,
-                    verdict,
-                },
-                path,
-            ),
+            Ok((verdict, path, committed)) => {
+                let journaled = committed.then(|| {
+                    live.deltas.push(delta.clone());
+                    JournalOp::Delta {
+                        session: name.to_string(),
+                        delta: delta.clone(),
+                    }
+                });
+                (
+                    AnalysisOutcome {
+                        algorithm,
+                        m,
+                        verdict,
+                    },
+                    path,
+                    journaled,
+                )
+            }
             Err(payload) => {
                 self.sessions.remove(name);
                 self.stats.panics.fetch_add(1, Ordering::Relaxed);
@@ -401,6 +559,9 @@ impl Shard {
                         },
                     },
                     "error".to_string(),
+                    Some(JournalOp::Close {
+                        session: name.to_string(),
+                    }),
                 )
             }
         }
@@ -456,6 +617,11 @@ impl Shard {
             .entry(bucket_key)
             .or_default()
             .push((memo_key, Arc::clone(&outcome)));
+        // A fresh memo entry is not journaled (the memo is an optimization,
+        // re-derivable from requests), but it does age the checkpoint.
+        if let Some(dur) = self.dur.as_deref() {
+            dur.note_mutation();
+        }
         (outcome, false)
     }
 

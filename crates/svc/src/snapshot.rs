@@ -61,7 +61,8 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"RMTSMEM1";
 
 /// Upper bound on any declared length field, checked **before**
 /// allocating: a corrupt length can waste at most this much memory.
-const MAX_FIELD_LEN: usize = 64 << 20;
+/// Shared with the session journal, which uses the same framing.
+pub(crate) const MAX_FIELD_LEN: usize = 64 << 20;
 
 /// The build fingerprint stamped into snapshot headers. Snapshots written
 /// by a different engine build are rejected as stale — analysis outcomes
@@ -110,8 +111,8 @@ pub struct RestoreReport {
     pub corrupt: bool,
 }
 
-/// FNV-1a over raw bytes — the record checksum.
-fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+/// FNV-1a over raw bytes — the record checksum (shared with the journal).
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -120,11 +121,11 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     h
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -190,14 +191,14 @@ pub fn write_snapshot_as(
 
 /// A bounds-checked cursor over the snapshot bytes. Every read returns
 /// `None` past the end — truncation surfaces as a typed failure, never a
-/// panic or a partial parse.
-struct Cursor<'a> {
-    data: &'a [u8],
-    at: usize,
+/// panic or a partial parse. Shared with the journal reader.
+pub(crate) struct Cursor<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         if n > MAX_FIELD_LEN || self.at.checked_add(n)? > self.data.len() {
             return None;
         }
@@ -206,17 +207,17 @@ impl<'a> Cursor<'a> {
         Some(s)
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.at == self.data.len()
     }
 }

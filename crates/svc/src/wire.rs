@@ -232,6 +232,50 @@ mod tests {
     }
 
     #[test]
+    fn close_lines_round_trip_and_end_the_session() {
+        use crate::request::Verdict;
+        use rmts_taskmodel::TaskSetDelta;
+        // The unit variant externally tags as a bare string.
+        let close = RepartitionRequest::close("sess-a");
+        let line = serde_json::to_string(&close).unwrap();
+        assert!(line.contains("\"op\":\"Close\""), "{line}");
+        assert_eq!(
+            parse_stream(&line).unwrap(),
+            vec![Request::Repartition(close.clone())]
+        );
+
+        // Close echoes the final committed verdict; after it the session
+        // is gone, so a follow-up delta is refused as unknown.
+        let svc = Service::new(ServiceConfig::new().with_shards(2));
+        let base = AnalyzeRequest::new(vec![(1, 4), (2, 8), (2, 8)], 2, AlgorithmSpec::RmTsLight);
+        let responses = svc.run_stream(vec![
+            Request::Repartition(RepartitionRequest::open("sess-a", base)),
+            Request::Repartition(close),
+            Request::Repartition(RepartitionRequest::delta("sess-a", TaskSetDelta::empty())),
+            Request::Repartition(RepartitionRequest::close("ghost")),
+        ]);
+        let meta: Vec<_> = responses
+            .iter()
+            .map(|r| r.session.as_ref().expect("all v2"))
+            .collect();
+        assert_eq!(meta[1].path, "close");
+        assert!(matches!(
+            responses[1].outcome.verdict,
+            Verdict::Accepted { .. }
+        ));
+        assert_eq!(meta[2].path, "error");
+        assert!(matches!(
+            responses[2].outcome.verdict,
+            Verdict::Invalid { ref reason } if reason.contains("unknown session")
+        ));
+        assert_eq!(meta[3].path, "error");
+        assert!(matches!(
+            responses[3].outcome.verdict,
+            Verdict::Invalid { ref reason } if reason.contains("unknown session")
+        ));
+    }
+
+    #[test]
     fn session_stream_serves_deltas_incrementally_and_in_order() {
         use crate::request::Verdict;
         use rmts_taskmodel::{Task, TaskId, TaskSetDelta};

@@ -20,6 +20,10 @@
 //!   and reported as a [`CampaignFault`] instead of killing the run.
 //! * [`corpus`] — self-contained JSON reproducers under `tests/corpus/`,
 //!   replayed by the tier-1 suite.
+//! * [`crash`] — kill–recover fault injection for the durable service:
+//!   the exhaustive torn-write sweep over the session journal's framing,
+//!   plus a child-process harness that SIGKILLs a real `rmts-cli serve`
+//!   at seeded points mid-load and checks recovery.
 //! * [`sut`] — named, serializable partitioner configurations, including
 //!   the deliberately unsound [`SystemUnderTest::WeakenedAdmission`]
 //!   fault-injection hook that proves the oracles catch real bugs.
@@ -38,6 +42,7 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod crash;
 pub mod divergence;
 pub mod oracle;
 pub mod repartition;
@@ -46,6 +51,7 @@ pub mod sut;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignFault, CampaignReport, GeneratorKind};
 pub use corpus::{load_corpus, replay_corpus, save_corpus, Expectation, Reproducer, REPRO_SCHEMA};
+pub use crash::{kill_points, torn_write_sweep, JsonlClient, ServerProc, TornSweepReport};
 pub use divergence::Divergence;
 pub use oracle::{run_check, CheckKind};
 pub use repartition::{

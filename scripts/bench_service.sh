@@ -14,5 +14,10 @@ cargo bench -p rmts-bench --bench service_throughput "$@"
 # round-trip latencies into the same report under the "net" key.
 cargo bench -p rmts-bench --bench net_load
 
+# Crash-recovery cost: journal-replay restart time and replay throughput
+# for a crashed durable service, digest-checked against a no-crash
+# control; merges under the "recovery" key.
+cargo bench -p rmts-bench --bench recovery
+
 echo
 echo "Recorded: $(pwd)/BENCH_service.json"

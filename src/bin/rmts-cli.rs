@@ -18,7 +18,9 @@
 //! rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M]
 //!                    [--deltas K] [--json]   # delta-stream differential campaign
 //! rmts-cli serve     [--addr A] [--shards N] [--queue N] [--clients N] [--rate R]
-//!                    [--burst B] [--max-line BYTES] [--snapshot PATH] [--stats]
+//!                    [--burst B] [--max-line BYTES] [--idle-timeout SECS]
+//!                    [--snapshot PATH] [--journal DIR] [--snapshot-interval SECS]
+//!                    [--snapshot-mutations M] [--stats]
 //!                    # TCP JSONL server; stops gracefully on stdin EOF
 //! ```
 //!
@@ -59,7 +61,8 @@ const USAGE: &str = "usage:
   rmts-cli repartition [stream.jsonl] [--shards N] [--queue N]
   rmts-cli repartition --fuzz [--seed S] [--trials T] [--quick] [-n N] [-m M] [--deltas K] [--json]
   rmts-cli serve     [--addr A] [--shards N] [--queue N] [--clients N] [--rate R] [--burst B]
-                     [--max-line BYTES] [--snapshot PATH] [--stats]
+                     [--max-line BYTES] [--idle-timeout SECS] [--snapshot PATH]
+                     [--journal DIR] [--snapshot-interval SECS] [--snapshot-mutations M] [--stats]
 
 partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
 --degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
@@ -90,8 +93,14 @@ limiting (typed rate_limited lines), and load shedding that degrades through the
 analysis-budget ladder before answering typed overloaded lines — requests are
 never silently dropped. --snapshot persists the memo tables atomically on stop
 and restores them on the next start (corrupt or stale snapshots degrade to a
-cold start). The server prints `listening on ADDR` to stdout, serves until
-stdin reaches EOF, then drains every accepted request before exiting.";
+cold start). --idle-timeout drops connections idle longer than SECS (a positive
+number). --journal DIR makes the server crash-durable: every committed session
+op is journaled write-ahead under DIR, the memo store is checkpointed there in
+the background (--snapshot-interval seconds and/or --snapshot-mutations
+mutations between checkpoints, both positive), and a restart recovers the
+newest checkpoint plus every acknowledged session op by journal replay. The
+server prints `listening on ADDR` to stdout, serves until stdin reaches EOF,
+then drains every accepted request before exiting.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     match args.first().map(String::as_str) {
@@ -468,6 +477,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or("1048576")
         .parse()
         .map_err(|e| format!("--max-line: {e}"))?;
+    // Timing flags refuse zero and negatives up front — a zero idle
+    // timeout would drop every connection instantly, and a zero snapshot
+    // interval would checkpoint in a hot loop.
+    let idle_timeout = flag_value(args, "--idle-timeout")
+        .map(|v| parse_positive_secs("--idle-timeout", v))
+        .transpose()?;
+    let snapshot_interval = flag_value(args, "--snapshot-interval")
+        .map(|v| parse_positive_secs("--snapshot-interval", v))
+        .transpose()?;
+    let snapshot_mutations: Option<u64> = flag_value(args, "--snapshot-mutations")
+        .map(|v| match v.parse::<i64>() {
+            Ok(n) if n > 0 => Ok(n as u64),
+            Ok(n) => Err(format!("--snapshot-mutations: {n} is not positive")),
+            Err(e) => Err(format!("--snapshot-mutations: {e}")),
+        })
+        .transpose()?;
 
     let mut cfg = NetConfig::new()
         .with_addr(addr)
@@ -478,15 +503,89 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         )
         .with_max_clients(clients)
         .with_rate(rate, burst)
-        .with_max_line_len(max_line);
+        .with_max_line_len(max_line)
+        .with_read_timeout(idle_timeout);
     if let Some(path) = flag_value(args, "--snapshot") {
         cfg = cfg.with_snapshot(path);
     }
+    match flag_value(args, "--journal") {
+        Some(dir) => {
+            let mut dcfg = rmts::svc::DurabilityConfig::new(dir);
+            if let Some(interval) = snapshot_interval {
+                dcfg = dcfg.with_snapshot_interval(interval);
+            }
+            if let Some(mutations) = snapshot_mutations {
+                dcfg = dcfg.with_snapshot_every_mutations(mutations);
+            }
+            cfg = cfg.with_durability(dcfg);
+        }
+        None => {
+            if snapshot_interval.is_some() || snapshot_mutations.is_some() {
+                return Err(
+                    "--snapshot-interval/--snapshot-mutations require --journal DIR".into(),
+                );
+            }
+        }
+    }
 
     let recording = has_flag(args, "--stats").then(rmts::obs::Recording::start);
-    let server = Server::start(cfg).map_err(|e| format!("start server on {addr}: {e}"))?;
+    let server = Server::start(cfg.clone()).map_err(|e| format!("start server on {addr}: {e}"))?;
+    // Echo the effective durability configuration so operators (and the
+    // crash harness) can read back what the server will actually do.
+    match &cfg.durability {
+        Some(d) => eprintln!(
+            "durability: journal {} (checkpoint every {:.3}s or {} mutations); idle timeout {}",
+            d.dir.display(),
+            d.snapshot_interval.as_secs_f64(),
+            d.snapshot_every_mutations,
+            match cfg.read_timeout {
+                Some(t) => format!("{:.3}s", t.as_secs_f64()),
+                None => "none".to_string(),
+            },
+        ),
+        None => eprintln!(
+            "durability: off (memory only{}); idle timeout {}",
+            if cfg.snapshot.is_some() {
+                ", snapshot on stop"
+            } else {
+                ""
+            },
+            match cfg.read_timeout {
+                Some(t) => format!("{:.3}s", t.as_secs_f64()),
+                None => "none".to_string(),
+            },
+        ),
+    }
+    if let Some(rec) = server.recovery_report() {
+        eprintln!(
+            "recovery: generation {}, {} memo entr{} restored, {} journal op(s) replayed, \
+             {} session(s) recovered{}{}{}",
+            rec.generation,
+            rec.memo.restored,
+            if rec.memo.restored == 1 { "y" } else { "ies" },
+            rec.ops_replayed,
+            rec.sessions_recovered,
+            if rec.sessions_failed > 0 {
+                format!(", {} session(s) failed replay", rec.sessions_failed)
+            } else {
+                String::new()
+            },
+            if rec.journal.stale || rec.memo.stale {
+                " (stale generation ignored)"
+            } else {
+                ""
+            },
+            if rec.journal.corrupt || rec.memo.corrupt {
+                " (corrupt tail discarded)"
+            } else {
+                ""
+            },
+        );
+    }
     let restore = server.restore_report();
-    if restore.restored > 0 || restore.stale || restore.corrupt {
+    if server.recovery_report().is_none()
+        && (restore.restored > 0 || restore.stale || restore.corrupt)
+    {
         eprintln!(
             "snapshot restore: {} memo entr{} restored{}{}",
             restore.restored,
@@ -536,8 +635,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         net.rejected,
         net.disconnects,
     );
+    let durability = server.service().durability_stats();
+    if let Some(d) = &durability {
+        eprintln!(
+            "durability: generation {}, {} journal append(s) ({} bytes, {} error(s)), \
+             {} checkpoint(s)",
+            d.generation,
+            d.journal_appends,
+            d.journal_bytes,
+            d.journal_append_errors,
+            d.checkpoints,
+        );
+    }
     if let Some(rec) = recording {
         net.mirror_into_obs();
+        if let Some(d) = &durability {
+            d.mirror_into_obs();
+        }
         let snap = rec.finish();
         eprintln!(
             "{}",
@@ -545,6 +659,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Parses a strictly positive seconds value (fractions allowed) into a
+/// `Duration`; zero, negatives, and non-numbers are flag errors.
+fn parse_positive_secs(flag: &str, value: &str) -> Result<std::time::Duration, String> {
+    let secs: f64 = value.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!(
+            "{flag}: {value} is not a positive number of seconds"
+        ));
+    }
+    Ok(std::time::Duration::from_secs_f64(secs))
 }
 
 fn cmd_repartition_fuzz(args: &[String]) -> Result<ExitCode, String> {
