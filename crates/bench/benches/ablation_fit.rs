@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rmts_bench::{light_cfg, SEED};
-use rmts_core::baselines::{spa1, Fit, PartitionedRm, UniAdmission};
+use rmts_core::baselines::{spa1, Fit, PartitionedRm};
 use rmts_core::rmts_light::FitSelect;
 use rmts_core::{Partitioner, RmTsLight};
 use rmts_gen::trial_rng;
@@ -43,10 +43,7 @@ fn bench(c: &mut Criterion) {
         100.0 * accept_rate(&s1, &probe, m)
     );
     for fit in [Fit::First, Fit::Best, Fit::Worst] {
-        let alg = PartitionedRm {
-            fit,
-            admission: UniAdmission::ExactRta,
-        };
+        let alg = PartitionedRm::new().with_fit(fit);
         println!(
             "  fit ablation: {} accepts {:.1}%",
             alg.name(),
@@ -82,10 +79,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     for fit in [Fit::First, Fit::Best, Fit::Worst] {
-        let alg = PartitionedRm {
-            fit,
-            admission: UniAdmission::ExactRta,
-        };
+        let alg = PartitionedRm::new().with_fit(fit);
         group.bench_function(format!("prm_{}", alg.name()), |b| {
             let mut i = 0;
             b.iter(|| {

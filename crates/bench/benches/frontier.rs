@@ -1,0 +1,70 @@
+//! EXP-12 bench: the algorithm frontier.
+//!
+//! Prints a quick smoke-sized frontier reproduction (acceptance sweep +
+//! breakdown distribution over the whole `AlgorithmSpec` catalogue), then
+//! times the two kernels the committed `results/exp12_frontier.json`
+//! artifact is built from: one full catalogue sweep grid point, and one
+//! shape's breakdown bisection across every catalogue engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmts_bench::{general_cfg, SEED};
+use rmts_core::{AlgorithmSpec, DynPartitioner};
+use rmts_exp::breakdown::breakdown_of;
+use rmts_exp::frontier::{frontier, frontier_breakdown_table, frontier_sweep_table};
+use rmts_exp::FrontierConfig;
+use rmts_gen::trial_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let report = frontier(&FrontierConfig::smoke(SEED));
+    println!(
+        "EXP-12 (quick): {} catalogue entries",
+        report.algorithms.len()
+    );
+    for machine in &report.machines {
+        println!("{}", frontier_sweep_table(&report, machine).to_text());
+        println!("{}", frontier_breakdown_table(machine).to_text());
+    }
+
+    let m = 4usize;
+    let n = 4 * m;
+    let engines: Vec<DynPartitioner> = AlgorithmSpec::catalogue()
+        .iter()
+        .map(|s| s.build(n))
+        .collect();
+    let cfg = general_cfg(m)(0.85);
+    let sets: Vec<_> = (0..24)
+        .filter_map(|t| cfg.generate(&mut trial_rng(SEED, t)))
+        .collect();
+    let full = general_cfg(m)(1.0);
+    let shape = (0..24)
+        .find_map(|t| full.generate(&mut trial_rng(SEED ^ 1, t)))
+        .expect("full-load shape");
+
+    let mut group = c.benchmark_group("exp12_frontier");
+    group.sample_size(10);
+    group.bench_function("catalogue_sweep_point_m4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            let accepted: usize = engines
+                .iter()
+                .filter(|alg| alg.accepts(&sets[i], m))
+                .count();
+            black_box(accepted)
+        })
+    });
+    group.bench_function("catalogue_breakdown_shape_m4", |b| {
+        b.iter(|| {
+            let total: f64 = engines
+                .iter()
+                .map(|alg| breakdown_of(alg.as_ref(), m, &shape))
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

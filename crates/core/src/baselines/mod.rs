@@ -1,10 +1,13 @@
 //! Baseline algorithms the paper's evaluation compares against.
 //!
-//! * [`PartitionedRm`] — strict partitioned RM (no task splitting) with
-//!   first/best/worst-fit-decreasing bin packing and selectable
-//!   per-processor admission (exact RTA, L&L bound, or the hyperbolic
-//!   bound). Strict partitioning cannot exceed a 50% worst-case bound,
-//!   which is the motivation for task splitting (Section I).
+//! * [`PartitionedRm`] — strict partitioned RM (no task splitting) as the
+//!   full bin-packing heuristic matrix: first/best/worst/next-fit
+//!   placement × selectable task ordering (decreasing utilization /
+//!   density / period, or canonical RM order) × selectable per-processor
+//!   admission (exact RTA, L&L bound, hyperbolic bound, or the Chen-style
+//!   response-time bound). Strict partitioning cannot exceed a 50%
+//!   worst-case bound, which is the motivation for task splitting
+//!   (Section I).
 //! * [`spa`] — the \[16\]-style task-splitting algorithms `SPA1`/`SPA2`:
 //!   the same partitioning skeletons as RM-TS/light and RM-TS, but with
 //!   utilization/density-threshold admission instead of exact RTA. These
@@ -13,5 +16,5 @@
 pub mod partitioned_rm;
 pub mod spa;
 
-pub use partitioned_rm::{Fit, PartitionedRm, UniAdmission};
+pub use partitioned_rm::{Fit, PartitionedRm, SortOrder, UniAdmission};
 pub use spa::{spa1, spa2, Spa1, Spa2};

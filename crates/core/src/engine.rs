@@ -178,7 +178,7 @@ fn pick_cached(utils: &[u64], select: Select) -> Option<usize> {
 ///
 /// `utils` is the phase's selection scratch (any `Vec`; the workspace
 /// lends its recycled one). Candidate selection reads one contiguous
-/// integer key per processor (see [`selection_key`]) instead of
+/// integer key per processor (see `selection_key`) instead of
 /// re-scanning the processor structs on every placement — `eligible` is
 /// therefore evaluated **once per phase** per processor, which is
 /// equivalent because every in-tree eligibility rule depends only on

@@ -844,6 +844,7 @@ mod tests {
             crate::spec::AlgorithmSpec::PartitionedRm {
                 fit: crate::baselines::Fit::First,
                 admission: crate::baselines::UniAdmission::ExactRta,
+                sort: crate::baselines::SortOrder::DecreasingUtilization,
             }
             .build(4),
         );

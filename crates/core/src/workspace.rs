@@ -61,7 +61,7 @@ impl PartitionWorkspace {
     }
 
     /// Returns a finished partition's processors to the pool so the next
-    /// [`take_processors`](Self::take_processors) reuses their buffers.
+    /// `take_processors` reuses their buffers.
     /// Purely an optimization — skipping it only costs allocations.
     pub fn recycle(&mut self, partition: Partition) {
         self.recycle_processors(partition.processors);

@@ -2,7 +2,7 @@
 //! interactions, determinism, serialization.
 
 use rmts_bounds::HarmonicChain;
-use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
+use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm};
 use rmts_core::{
     AdmissionPolicy, Partition, Partitioner, ProcessorRole, RmTs, RmTsLight, WithBound,
 };
@@ -125,20 +125,16 @@ fn best_fit_prefers_fuller_processors() {
     // 4 tasks that all fit anywhere: BFD should stack them while WFD
     // spreads them.
     let ts = harmonic(4, 1, 10);
-    let bfd = PartitionedRm {
-        fit: Fit::Best,
-        admission: UniAdmission::ExactRta,
-    }
-    .partition(&ts, 4)
-    .unwrap();
+    let bfd = PartitionedRm::new()
+        .with_fit(Fit::Best)
+        .partition(&ts, 4)
+        .unwrap();
     let used_bfd = bfd.processors.iter().filter(|p| !p.is_empty()).count();
     assert_eq!(used_bfd, 1, "best-fit must stack onto one processor");
-    let wfd = PartitionedRm {
-        fit: Fit::Worst,
-        admission: UniAdmission::ExactRta,
-    }
-    .partition(&ts, 4)
-    .unwrap();
+    let wfd = PartitionedRm::new()
+        .with_fit(Fit::Worst)
+        .partition(&ts, 4)
+        .unwrap();
     let used_wfd = wfd.processors.iter().filter(|p| !p.is_empty()).count();
     assert_eq!(used_wfd, 4, "worst-fit must spread across all processors");
 }

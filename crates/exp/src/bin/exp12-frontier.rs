@@ -1,0 +1,59 @@
+//! EXP-12: the algorithm frontier — the whole `AlgorithmSpec` catalogue
+//! head to head.
+//!
+//! Runs the acceptance-ratio sweep and the breakdown-utilization
+//! distribution study over every catalogue entry, renders both as tables,
+//! and writes the combined JSON artifact (the committed copy lives at
+//! `results/exp12_frontier.json`).
+//!
+//! Arguments:
+//!
+//! * `--smoke` — the small seeded CI configuration (m ∈ {2, 4}); its
+//!   artifact is byte-compared against `results/exp12_frontier_smoke.json`
+//!   by the `sweep-smoke` job, so any nondeterminism fails CI;
+//! * `--seed S` — master seed (default the workspace seed);
+//! * `--json FILE` — where to write the artifact (skipped if absent).
+
+use rmts_exp::cli::DEFAULT_SEED;
+use rmts_exp::frontier::{frontier, frontier_breakdown_table, frontier_sweep_table};
+use rmts_exp::FrontierConfig;
+
+fn main() {
+    let mut seed = DEFAULT_SEED;
+    let mut smoke = false;
+    let mut json: Option<std::path::PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                seed = v.parse().expect("--seed must be an integer");
+            }
+            "--json" => {
+                let v = it.next().expect("--json needs a path");
+                json = Some(std::path::PathBuf::from(v));
+            }
+            other => panic!("unknown argument: {other} (expected --smoke/--seed/--json)"),
+        }
+    }
+
+    let cfg = if smoke {
+        FrontierConfig::smoke(seed)
+    } else {
+        FrontierConfig::full(seed)
+    };
+    let report = frontier(&cfg);
+    for machine in &report.machines {
+        println!("{}", frontier_sweep_table(&report, machine).to_text());
+        println!("{}", frontier_breakdown_table(machine).to_text());
+    }
+    if let Some(path) = json {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create artifact dir");
+        }
+        let body = serde_json::to_string_pretty(&report).expect("serialize report");
+        std::fs::write(&path, body + "\n").expect("write artifact");
+        eprintln!("wrote {}", path.display());
+    }
+}

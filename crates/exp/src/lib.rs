@@ -36,6 +36,7 @@
 pub mod acceptance;
 pub mod breakdown;
 pub mod cli;
+pub mod frontier;
 pub mod parallel;
 pub mod sizing;
 pub mod structure;
@@ -45,6 +46,7 @@ pub mod weighted;
 
 pub use acceptance::{acceptance_sweep, AcceptanceRate, CheckLevel, SweepPoint};
 pub use breakdown::{average_breakdown, BreakdownStats};
+pub use frontier::{frontier, FrontierConfig, FrontierReport};
 pub use parallel::{parallel_map, parallel_map_isolated, with_workspace, TrialFault};
 pub use sizing::{min_processors_by_bound, min_processors_by_partitioning};
 pub use structure::{structure_stats, StructureStats};

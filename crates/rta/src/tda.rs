@@ -19,7 +19,7 @@
 //! Feasibility sweeps do **not** materialize the point set: because `W` is
 //! constant between consecutive points and each sweep stops at the first
 //! witness of `W(t) ≤ t`, the points are generated lazily in ascending
-//! deduplicated order ([`visit_points_ascending`]) and everything past the
+//! deduplicated order (`visit_points_ascending`) and everything past the
 //! witness is pruned — never built, sorted, or evaluated. Only the slack
 //! computations in [`crate::budget`], which genuinely need every point,
 //! still use the materialized [`scheduling_points`] form.

@@ -12,7 +12,7 @@
 //!
 //! ## Checkpoint rule
 //!
-//! A checkpoint is a stop-the-world barrier: a [`Job::Checkpoint`] rides
+//! A checkpoint is a stop-the-world barrier: a `Job::Checkpoint` rides
 //! every shard's FIFO, so it observes every previously accepted operation;
 //! each shard sends its export and then *pauses* until the checkpointer
 //! finishes. With all shards paused no operation can commit, so generation

@@ -141,7 +141,7 @@ impl Service {
     /// Spawns the shard fleet warm: restores the memo snapshot at `path`
     /// (if any) and seeds each shard with the entries that route to it.
     /// A missing, stale, or corrupt snapshot degrades to a (partially)
-    /// cold start — see [`snapshot`](crate::snapshot) for the trust
+    /// cold start — see [`crate::snapshot`] for the trust
     /// policy — with `svc.memo.restored` / `svc.memo.stale` /
     /// `svc.memo.corrupt` counters emitted when an `obs` recording is
     /// live on the calling thread.

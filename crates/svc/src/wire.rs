@@ -170,7 +170,7 @@ pub fn render_stream_responses(responses: &[Response]) -> String {
 mod tests {
     use super::*;
     use crate::request::Verdict;
-    use crate::{Service, ServiceConfig};
+    use crate::{Service, ServiceConfig, SessionOp};
     use rmts_core::AlgorithmSpec;
 
     #[test]
@@ -183,6 +183,56 @@ mod tests {
 
         let err = parse_requests("# ok\nnot json\n").unwrap_err();
         assert!(err.starts_with("request line 2:"), "{err}");
+    }
+
+    #[test]
+    fn algorithm_field_accepts_grammar_strings_on_both_wire_versions() {
+        use rmts_core::baselines::{Fit, SortOrder, UniAdmission};
+        // A hand-written v1 line naming the algorithm by its grammar
+        // string — the form sweep artifacts and humans write.
+        let line = r#"{"taskset":[[1,4],[2,8]],"m":2,"algorithm":"prm:bf-chen:dp","policy":null,"budget":{"deadline_ms":null,"max_iterations":null,"max_probes":null,"horizon_cap":null},"degrade":false}"#;
+        let parsed = parse_requests(line).unwrap();
+        assert_eq!(
+            parsed[0].algorithm,
+            AlgorithmSpec::PartitionedRm {
+                fit: Fit::Best,
+                admission: UniAdmission::Chen,
+                sort: SortOrder::DecreasingPeriod,
+            }
+        );
+
+        // The same grammar string inside a v2 session-open line.
+        let v2 = format!(
+            r#"{{"version":2,"session":"s","op":{{"Open":{{"base":{}}}}}}}"#,
+            line
+        );
+        let parsed = parse_stream(&v2).unwrap();
+        let Request::Repartition(rep) = &parsed[0] else {
+            panic!("expected a v2 line");
+        };
+        let SessionOp::Open { base } = &rep.op else {
+            panic!("expected an open op");
+        };
+        assert_eq!(base.algorithm.to_string(), "prm:bf-chen:dp");
+
+        // Legacy structured forms keep parsing: the bare unit-variant
+        // string and the externally-tagged object (without `sort`).
+        for legacy in [
+            r#""RmTsLight""#,
+            r#"{"RmTs":{"bound":"HarmonicChain"}}"#,
+            r#"{"PartitionedRm":{"fit":"Best","admission":"ExactRta"}}"#,
+        ] {
+            let line = line.replace(r#""prm:bf-chen:dp""#, legacy);
+            assert!(
+                parse_requests(&line).is_ok(),
+                "legacy algorithm form {legacy} stopped parsing"
+            );
+        }
+
+        // A bad grammar string is refused with the offending token named.
+        let bad = line.replace("prm:bf-chen:dp", "prm:zf-chen:dp");
+        let err = parse_requests(&bad).unwrap_err();
+        assert!(err.contains("zf"), "{err}");
     }
 
     #[test]

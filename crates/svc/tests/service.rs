@@ -27,6 +27,7 @@ fn memo_hits_are_bit_identical_to_fresh_analysis() {
         AlgorithmSpec::PartitionedRm {
             fit: rmts_core::baselines::Fit::First,
             admission: rmts_core::baselines::UniAdmission::ExactRta,
+            sort: rmts_core::baselines::SortOrder::DecreasingUtilization,
         },
     ];
     let mut reqs = Vec::new();
@@ -209,6 +210,7 @@ fn unrepresentable_options_are_answered_as_invalid() {
         AlgorithmSpec::PartitionedRm {
             fit: rmts_core::baselines::Fit::First,
             admission: rmts_core::baselines::UniAdmission::ExactRta,
+            sort: rmts_core::baselines::SortOrder::DecreasingUtilization,
         },
     )
     .with_degrade(true);

@@ -134,7 +134,7 @@ pub fn check_degraded_soundness(
     m: usize,
     sim_cap: u64,
 ) -> Option<Divergence> {
-    let alg = sut.build();
+    let alg = sut.build_for(ts.len());
     let algorithm = alg.name();
     let partition = alg.partition(ts, m).ok()?;
     if partition.is_exact() {
@@ -165,7 +165,7 @@ pub fn check_admission(
     m: usize,
     sim_cap: u64,
 ) -> Option<Divergence> {
-    let alg = sut.build();
+    let alg = sut.build_for(ts.len());
     let algorithm = alg.name();
     match alg.partition(ts, m) {
         Ok(partition) => {
@@ -249,7 +249,7 @@ pub fn check_cache_equivalence(sut: SystemUnderTest, ts: &TaskSet, m: usize) -> 
         (Err(_), Ok(_)) => "cached rejected, uncached accepted".to_string(),
     };
     Some(Divergence::CacheDisagreement {
-        algorithm: sut.name().to_string(),
+        algorithm: sut.name(),
         detail,
     })
 }

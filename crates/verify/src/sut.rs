@@ -14,7 +14,7 @@
 //! and keeping them outside the spec vocabulary means no batch-service
 //! request can ever ask for one.
 
-use rmts_core::baselines::{Fit, UniAdmission};
+use rmts_core::baselines::{Fit, SortOrder, UniAdmission};
 use rmts_core::{
     AdmissionPolicy, AlgorithmSpec, AnalysisBudget, BoundSpec, Configure, DynPartitioner,
     Partitioner, RmTs, RmTsLight,
@@ -30,6 +30,11 @@ pub enum SystemUnderTest {
     RmTsLight,
     /// Strictly partitioned RM, first-fit-decreasing with exact RTA.
     PartitionedRm,
+    /// Any production algorithm by its full [`AlgorithmSpec`] — the door
+    /// through which the generated catalogue (every fit × sort × admission
+    /// cell, every RM-TS bound) enters the fuzz oracles. Named by the spec
+    /// grammar's canonical form.
+    Spec(AlgorithmSpec),
     /// **Fault-injection hook**: RM-TS/light with admission weakened to a
     /// density threshold of 1.0 — unsound for RM (e.g. `{(2,4),(3,6)}` has
     /// density exactly 1.0 yet misses a deadline), so every campaign that
@@ -70,20 +75,34 @@ impl SystemUnderTest {
     pub const DEGRADATION_INJECTORS: [SystemUnderTest; 2] =
         [SystemUnderTest::StarvedRta, SystemUnderTest::StarvedTda];
 
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
+    /// Every catalogue algorithm as a SUT: what the catalogue-wide
+    /// fuzz-smoke campaign quantifies over.
+    pub fn catalogue() -> Vec<SystemUnderTest> {
+        AlgorithmSpec::catalogue()
+            .into_iter()
+            .map(SystemUnderTest::Spec)
+            .collect()
+    }
+
+    /// Stable display name. Legacy SUTs keep their historical short names;
+    /// spec SUTs are named by the spec grammar's canonical form.
+    pub fn name(self) -> String {
         match self {
-            SystemUnderTest::RmTs => "rmts",
-            SystemUnderTest::RmTsLight => "light",
-            SystemUnderTest::PartitionedRm => "prm",
-            SystemUnderTest::WeakenedAdmission => "weakened",
-            SystemUnderTest::StarvedRta => "starved-rta",
-            SystemUnderTest::StarvedTda => "starved-tda",
-            SystemUnderTest::UnsoundDegrade => "unsound-degrade",
+            SystemUnderTest::RmTs => "rmts".to_string(),
+            SystemUnderTest::RmTsLight => "light".to_string(),
+            SystemUnderTest::PartitionedRm => "prm".to_string(),
+            SystemUnderTest::Spec(spec) => spec.to_string(),
+            SystemUnderTest::WeakenedAdmission => "weakened".to_string(),
+            SystemUnderTest::StarvedRta => "starved-rta".to_string(),
+            SystemUnderTest::StarvedTda => "starved-tda".to_string(),
+            SystemUnderTest::UnsoundDegrade => "unsound-degrade".to_string(),
         }
     }
 
-    /// Parses a [`SystemUnderTest::name`] back (CLI `--sut`).
+    /// Parses a [`SystemUnderTest::name`] back (CLI `--sut`). The legacy
+    /// short names win over the grammar (`light` is the historical
+    /// RM-TS/light SUT, not `Spec(light)` — both build the same engine);
+    /// any other valid spec string becomes a [`SystemUnderTest::Spec`].
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "rmts" => Some(SystemUnderTest::RmTs),
@@ -93,7 +112,7 @@ impl SystemUnderTest {
             "starved-rta" => Some(SystemUnderTest::StarvedRta),
             "starved-tda" => Some(SystemUnderTest::StarvedTda),
             "unsound-degrade" => Some(SystemUnderTest::UnsoundDegrade),
-            _ => None,
+            other => other.parse().ok().map(SystemUnderTest::Spec),
         }
     }
 
@@ -110,22 +129,22 @@ impl SystemUnderTest {
             SystemUnderTest::PartitionedRm => Some(AlgorithmSpec::PartitionedRm {
                 fit: Fit::First,
                 admission: UniAdmission::ExactRta,
+                sort: SortOrder::DecreasingUtilization,
             }),
+            SystemUnderTest::Spec(spec) => Some(spec),
             _ => None,
         }
     }
 
-    /// Builds the partitioner this name denotes.
-    pub fn build(self) -> DynPartitioner {
+    /// Builds the partitioner this name denotes, for a task set of size
+    /// `n` (the SPA thresholds reachable through [`SystemUnderTest::Spec`]
+    /// are `Θ(n)`; every other configuration is size-independent).
+    pub fn build_for(self, n: usize) -> DynPartitioner {
         match self {
-            SystemUnderTest::RmTs | SystemUnderTest::RmTsLight | SystemUnderTest::PartitionedRm => {
-                self.spec()
-                    .expect("production SUTs have specs")
-                    // The production algorithms are size-independent (only the
-                    // SPA thresholds consume `n`), so any `n` builds the same
-                    // engine.
-                    .build(0)
-            }
+            SystemUnderTest::RmTs
+            | SystemUnderTest::RmTsLight
+            | SystemUnderTest::PartitionedRm
+            | SystemUnderTest::Spec(_) => self.spec().expect("production SUTs have specs").build(n),
             SystemUnderTest::WeakenedAdmission => {
                 Box::new(RmTsLight::new().with_policy(AdmissionPolicy::threshold(1.0)))
             }
@@ -148,6 +167,14 @@ impl SystemUnderTest {
         }
     }
 
+    /// Builds the partitioner this name denotes. Equivalent to
+    /// [`SystemUnderTest::build_for`] with `n = 0`, which is exact for
+    /// every SUT except the size-dependent SPA specs — those must go
+    /// through `build_for`.
+    pub fn build(self) -> DynPartitioner {
+        self.build_for(0)
+    }
+
     /// The cached/uncached exact-RTA admission pair for this SUT, when the
     /// configuration admits by exact RTA (the cache-equivalence oracle has
     /// nothing to compare on threshold-admission SUTs).
@@ -166,6 +193,7 @@ impl SystemUnderTest {
             // ladder paths whose cached/uncached equivalence is covered by
             // the rmts-rta property tests instead.
             SystemUnderTest::PartitionedRm
+            | SystemUnderTest::Spec(_)
             | SystemUnderTest::WeakenedAdmission
             | SystemUnderTest::StarvedRta
             | SystemUnderTest::StarvedTda
@@ -190,7 +218,7 @@ mod tests {
             SystemUnderTest::StarvedTda,
             SystemUnderTest::UnsoundDegrade,
         ] {
-            assert_eq!(SystemUnderTest::parse(sut.name()), Some(sut));
+            assert_eq!(SystemUnderTest::parse(&sut.name()), Some(sut));
             let json = serde_json::to_string(&sut).unwrap();
             assert_eq!(serde_json::from_str::<SystemUnderTest>(&json).unwrap(), sut);
         }

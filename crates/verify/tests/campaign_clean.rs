@@ -6,7 +6,7 @@
 //! sweep across all three algorithm pairs (run it in release:
 //! `cargo test -p rmts-verify --release -- --ignored`).
 
-use rmts_verify::{run_campaign, CampaignConfig};
+use rmts_verify::{run_campaign, CampaignConfig, CheckKind, SystemUnderTest};
 
 #[test]
 fn production_suts_survive_a_seeded_campaign() {
@@ -39,6 +39,28 @@ fn wider_processor_counts_are_also_clean() {
         assert!(report.clean(), "m={m}:\n{}", report.render());
         assert!(report.generated >= 20, "m={m}: too few sets generated");
     }
+}
+
+/// The catalogue fuzz-smoke: *every* `AlgorithmSpec::catalogue()` entry —
+/// all bin-packing matrix cells, every uniprocessor admission test, every
+/// parametric bound — through the admission oracle (accept ⇒ covers +
+/// audit + exact RTA + exhaustive hyperperiod simulation clean; reject ⇒
+/// well-formed diagnostics). The Chen admitter rides the same placements
+/// as `ExactRta` here, so any unsound accept it produced would surface as
+/// a simulation deadline miss.
+#[test]
+fn the_whole_catalogue_survives_a_fuzz_smoke() {
+    let suts = SystemUnderTest::catalogue();
+    assert!(suts.len() >= 20, "catalogue shrank: {}", suts.len());
+    let cfg = CampaignConfig {
+        trials: 25,
+        suts,
+        checks: vec![CheckKind::Admission, CheckKind::DegradedSoundness],
+        ..CampaignConfig::new(211)
+    };
+    let report = run_campaign(&cfg);
+    assert!(report.clean(), "{}", report.render());
+    assert!(report.generated >= 20, "too few sets generated");
 }
 
 /// The acceptance-criteria campaign: ≥ 10 000 task sets, all three

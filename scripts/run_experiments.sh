@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates every experiment table (EXP-1..EXP-10) into results/.
+# Regenerates every experiment table (EXP-1..EXP-12) into results/.
 # Usage: scripts/run_experiments.sh [--quick]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,3 +15,12 @@ mkdir -p results
     echo
   done
 } | tee results/full_run.txt
+# EXP-12 has its own artifact format (JSON + rendered tables); the smoke
+# golden regenerates only on demand (it is byte-compared by CI).
+echo "===== exp12-frontier ====="
+if [ "$EXTRA" = "--quick" ]; then
+  ./target/release/exp12-frontier --smoke --json results/exp12_frontier_smoke.json
+else
+  ./target/release/exp12-frontier --json results/exp12_frontier.json \
+    > results/exp12_frontier.txt
+fi

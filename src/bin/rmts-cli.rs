@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rmts-cli bounds    <taskset.json>
-//! rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm]
+//! rmts-cli partition <taskset.json> -m M [--alg SPEC]
 //!                    [--bound ll|hc|t|r] [--deadline-ms MS] [--degrade]
 //!                    [--simulate] [--gantt] [--stats]
 //! rmts-cli check     <taskset.json> -m M          # all algorithms side by side
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rmts-cli bounds    <taskset.json>
-  rmts-cli partition <taskset.json> -m M [--alg rmts|light|spa1|spa2|prm] [--bound ll|hc|t|r]
+  rmts-cli partition <taskset.json> -m M [--alg SPEC] [--bound ll|hc|t|r]
                      [--deadline-ms MS] [--degrade] [--simulate] [--gantt] [--stats]
   rmts-cli check     <taskset.json> -m M
   rmts-cli generate  -n N -u TOTAL [--periods loguniform|harmonic] [--seed S] [--cap U]
@@ -63,6 +63,17 @@ const USAGE: &str = "usage:
   rmts-cli serve     [--addr A] [--shards N] [--queue N] [--clients N] [--rate R] [--burst B]
                      [--max-line BYTES] [--idle-timeout SECS] [--snapshot PATH]
                      [--journal DIR] [--snapshot-interval SECS] [--snapshot-mutations M] [--stats]
+
+partition's --alg takes an algorithm spec:
+  rmts[:ll|hc|t|r]     RM-TS under a parametric bound (default hc)
+  light | spa1 | spa2  RM-TS/light and the [16]-style baselines
+  prm[:FIT[-ADM]][:SORT]  strict partitioned RM across the bin-packing matrix:
+    FIT  = ff|bf|wf|nf      first/best/worst/next fit        (default ff)
+    ADM  = rta|ll|hyp|chen  per-processor admission test     (default rta)
+    SORT = du|dd|dp|in      decreasing utilization/density/period, input order
+                                                             (default du)
+  e.g. --alg prm:wf:dp or --alg prm:bf-chen. Legacy short names (rmts, prm)
+  keep meaning their defaults; check runs the whole catalogue side by side.
 
 partition accepts an analysis budget: --deadline-ms bounds analysis wall time, and
 --degrade falls back RTA -> TDA -> density threshold (sound, labeled degraded)
@@ -186,9 +197,9 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     let ts = load(path)?;
     let m = parse_m(args)?;
     let alg_name = flag_value(args, "--alg").unwrap_or("rmts");
-    let mut spec =
-        AlgorithmSpec::parse(alg_name).ok_or_else(|| format!("unknown algorithm {alg_name:?}"))?;
-    if let AlgorithmSpec::RmTs { bound } = &mut spec {
+    let mut spec: AlgorithmSpec = alg_name.parse().map_err(|e| format!("--alg: {e}"))?;
+    // `--bound` overrides the grammar's bound knob (and the `rmts` default).
+    if let (AlgorithmSpec::RmTs { bound }, Some(_)) = (&mut spec, flag_value(args, "--bound")) {
         *bound = pick_bound(args)?;
     }
     // `--deadline-ms` bounds the analysis wall clock; `--degrade` lets the
@@ -284,25 +295,12 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let ts = load(path)?;
     let m = parse_m(args)?;
     let n = ts.len();
-    // The spec catalogue (every algorithm at its defaults) plus the
-    // side-by-side variants the comparison table has always shown.
-    let mut algs: Vec<DynPartitioner> = vec![
-        AlgorithmSpec::RmTs {
-            bound: BoundSpec::LiuLayland,
-        }
-        .build(n),
-        AlgorithmSpec::RmTs {
-            bound: BoundSpec::HarmonicChain,
-        }
-        .build(n),
-    ];
-    algs.extend(
-        AlgorithmSpec::ALL
-            .iter()
-            .filter(|s| !matches!(s, AlgorithmSpec::RmTs { .. }))
-            .map(|s| s.build(n)),
-    );
-    algs.push(Box::new(PartitionedRm::ffd_ll()));
+    // The generated spec catalogue: every RM-TS bound, the splitting
+    // baselines, and the whole fit × sort × admission bin-packing matrix.
+    let algs: Vec<DynPartitioner> = AlgorithmSpec::catalogue()
+        .iter()
+        .map(|s| s.build(n))
+        .collect();
     println!(
         "N = {n}, U_M = {:.4} on M = {m}\n",
         ts.normalized_utilization(m)

@@ -66,14 +66,14 @@ pub mod prelude {
     pub use rmts_bounds::{
         ll_bound, BestOf, HarmonicChain, LiuLayland, ParametricBound, RBound, TBound,
     };
-    pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, UniAdmission};
+    pub use rmts_core::baselines::{spa1, spa2, Fit, PartitionedRm, SortOrder, UniAdmission};
     pub use rmts_core::{
         audit, AdmissionPolicy, AlgorithmSpec, AnalysisBudget, AnalysisError, Bottleneck,
         BoundSpec, Configure, DynPartitioner, EngineOptions, Exactness, FullRepartition,
         MaxSplitStrategy, OverheadModel, Partition, PartitionPhase, PartitionReject,
         PartitionSession, PartitionWorkspace, Partitioner, PriorRun, RepartitionError,
         RepartitionOk, RepartitionPath, RepartitionResult, Repartitioner, RmTs, RmTsLight,
-        SessionTrace, WithBound,
+        SessionTrace, SpecError, WithBound,
     };
     pub use rmts_gen::{GenConfig, PeriodGen, UtilizationSpec};
     pub use rmts_net::{NetConfig, Server, ShedPolicy};

@@ -37,7 +37,10 @@ fn workloads() -> Vec<TaskSet> {
 }
 
 fn catalogue(n: usize) -> Vec<DynPartitioner> {
-    AlgorithmSpec::ALL.iter().map(|s| s.build(n)).collect()
+    AlgorithmSpec::catalogue()
+        .iter()
+        .map(|s| s.build(n))
+        .collect()
 }
 
 #[test]
@@ -123,7 +126,7 @@ fn rejects_are_well_formed_diagnostics() {
 fn partitioning_is_deterministic_across_runs() {
     for ts in &workloads() {
         for m in [2usize, 3] {
-            for spec in AlgorithmSpec::ALL {
+            for spec in AlgorithmSpec::catalogue() {
                 let a = spec.build(ts.len());
                 let b = spec.build(ts.len());
                 match (a.partition(ts, m), b.partition(ts, m)) {
@@ -169,7 +172,7 @@ fn sessions_noop_delta_is_bit_identical_across_the_catalogue() {
     let mut sessions_opened = 0usize;
     for ts in &workloads() {
         for m in [2usize, 4] {
-            for spec in AlgorithmSpec::ALL {
+            for spec in AlgorithmSpec::catalogue() {
                 let engine = spec
                     .build_repartitioner(ts.len(), &EngineOptions::default())
                     .unwrap();
@@ -205,7 +208,7 @@ fn session_delta_streams_match_from_scratch_partitions() {
     let mut incremental_commits = 0usize;
     for ts in &workloads() {
         for m in [2usize, 4] {
-            for spec in AlgorithmSpec::ALL {
+            for spec in AlgorithmSpec::catalogue() {
                 let engine = spec
                     .build_repartitioner(ts.len(), &EngineOptions::default())
                     .unwrap();
@@ -267,7 +270,7 @@ fn session_delta_streams_match_from_scratch_partitions() {
 #[test]
 fn sessions_are_deterministic_across_runs() {
     for ts in &workloads() {
-        for spec in AlgorithmSpec::ALL {
+        for spec in AlgorithmSpec::catalogue() {
             let m = 3usize;
             let open = |_| {
                 let engine = spec
@@ -302,7 +305,7 @@ fn spec_names_and_engines_agree_across_the_catalogue() {
     // `accepts` through the trait object must agree with a full
     // `partition` call — the default-method contract.
     let ts = TaskSet::from_pairs(&[(1, 4), (2, 8), (2, 8), (4, 16)]).unwrap();
-    for spec in AlgorithmSpec::ALL {
+    for spec in AlgorithmSpec::catalogue() {
         let alg = spec.build(ts.len());
         assert_eq!(
             alg.accepts(&ts, 2),
@@ -310,6 +313,51 @@ fn spec_names_and_engines_agree_across_the_catalogue() {
             "{}: accepts() diverges from partition()",
             alg.name()
         );
-        assert_eq!(AlgorithmSpec::parse(spec.as_str()), Some(spec));
+        // The grammar must round-trip every catalogue entry losslessly.
+        assert_eq!(spec.to_string().parse::<AlgorithmSpec>(), Ok(spec));
+    }
+}
+
+#[test]
+fn equal_key_tasks_partition_identically_under_input_permutation() {
+    // Tie-break regression: every sort order must fall back to the total
+    // `(key, period, id)` order, so a partition is a function of the task
+    // *set* alone — permuting equal-utilization tasks in the input vector
+    // must not change a single placement.
+    let tasks = [
+        // Three identical-utilization (0.25) tasks at distinct periods,
+        // plus two true clones of the same (wcet, period) differing only
+        // by id — ties in *every* sort key.
+        Task::new(1, Time::new(2), Time::new(8)).unwrap(),
+        Task::new(2, Time::new(4), Time::new(16)).unwrap(),
+        Task::new(3, Time::new(8), Time::new(32)).unwrap(),
+        Task::new(4, Time::new(3), Time::new(12)).unwrap(),
+        Task::new(5, Time::new(3), Time::new(12)).unwrap(),
+    ];
+    // A handful of distinct input orders, including reversed and
+    // interleaved — cheap stand-ins for all 120 permutations.
+    let orders: [&[usize]; 4] = [
+        &[0, 1, 2, 3, 4],
+        &[4, 3, 2, 1, 0],
+        &[2, 4, 0, 3, 1],
+        &[3, 0, 4, 1, 2],
+    ];
+    for spec in AlgorithmSpec::catalogue() {
+        let alg = spec.build(tasks.len());
+        let mut reference = None;
+        for order in orders {
+            let permuted: Vec<Task> = order.iter().map(|&i| tasks[i]).collect();
+            let ts = TaskSet::new(permuted).unwrap();
+            let got = alg.partition(&ts, 2);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    &got,
+                    want,
+                    "{}: permuting equal-key input tasks changed the partition",
+                    alg.name()
+                ),
+            }
+        }
     }
 }

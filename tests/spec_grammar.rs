@@ -1,0 +1,117 @@
+//! Property tests for the `AlgorithmSpec` grammar.
+//!
+//! The spec string is the algorithm's identity everywhere results are
+//! recorded — sweep artifacts, wire requests, fuzz reproducers — so the
+//! grammar must be *lossless*: `parse ∘ display == id` over the entire
+//! spec space, not just the catalogue. A lossy rename (the old
+//! `as_str`/`parse` pair collapsed every `PartitionedRm` configuration to
+//! `"prm"`) silently mislabels whichever variant produced a result.
+
+use proptest::prelude::*;
+use rmts::core::baselines::SortOrder;
+use rmts::prelude::*;
+
+/// The *full* spec space — every representable configuration, including
+/// matrix cells the curated catalogue omits: 4 bounds + 3 fixed
+/// algorithms + the 4 × 4 × 4 `fit × admission × sort` cube.
+fn full_space() -> Vec<AlgorithmSpec> {
+    let mut v: Vec<AlgorithmSpec> = BoundSpec::ALL
+        .iter()
+        .map(|&bound| AlgorithmSpec::RmTs { bound })
+        .collect();
+    v.extend([
+        AlgorithmSpec::RmTsLight,
+        AlgorithmSpec::Spa1,
+        AlgorithmSpec::Spa2,
+    ]);
+    for fit in Fit::ALL {
+        for admission in UniAdmission::ALL {
+            for sort in SortOrder::ALL {
+                v.push(AlgorithmSpec::PartitionedRm {
+                    fit,
+                    admission,
+                    sort,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Strategy: uniform draw over the full spec space.
+fn arb_spec() -> impl Strategy<Value = AlgorithmSpec> {
+    let space = full_space();
+    (0..space.len()).prop_map(move |i| space[i])
+}
+
+/// Strategy: an arbitrary short ASCII string (printable range, which
+/// covers the grammar's `:` and `-` separators).
+fn arb_ascii(max_len: usize) -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0..max_len)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+/// Strategy: a short lowercase token, the shape grammar tokens take.
+fn arb_token() -> impl Strategy<Value = String> {
+    collection::vec(b'a'..=b'z', 1..7).prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline property: displaying any spec and parsing the result
+    /// back is the identity.
+    #[test]
+    fn parse_after_display_is_identity(spec in arb_spec()) {
+        let rendered = spec.to_string();
+        prop_assert_eq!(rendered.parse::<AlgorithmSpec>(), Ok(spec), "via {}", rendered);
+    }
+
+    /// Canonical strings are *fixed points*: re-rendering a parsed spec
+    /// reproduces the exact input string, so spec names in artifacts can
+    /// be compared textually.
+    #[test]
+    fn display_is_canonical(spec in arb_spec()) {
+        let rendered = spec.to_string();
+        let reparsed: AlgorithmSpec = rendered.parse().unwrap();
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// The parser never panics, whatever the input — it either produces a
+    /// spec or a `SpecError` naming the offending token.
+    #[test]
+    fn parser_is_total(s in arb_ascii(24)) {
+        let _ = s.parse::<AlgorithmSpec>();
+    }
+
+    /// Near-grammar garbage (valid shape, scrambled tokens) is rejected
+    /// with an error that quotes the token that broke parsing.
+    #[test]
+    fn errors_name_the_offending_token(tok in arb_token()) {
+        prop_assume!(Fit::from_token(&tok).is_none());
+        let s = format!("prm:{tok}-rta:du");
+        match s.parse::<AlgorithmSpec>() {
+            Ok(spec) => prop_assert!(false, "{} unexpectedly parsed as {}", s, spec),
+            Err(e) => prop_assert!(
+                e.to_string().contains(tok.as_str()),
+                "error for {} does not name the token: {}", s, e
+            ),
+        }
+    }
+}
+
+#[test]
+fn catalogue_round_trips_and_is_distinct() {
+    // Belt and braces alongside the property: the concrete catalogue both
+    // round-trips and renders pairwise-distinct names.
+    let mut seen = std::collections::BTreeSet::new();
+    for spec in AlgorithmSpec::catalogue() {
+        let rendered = spec.to_string();
+        assert_eq!(rendered.parse::<AlgorithmSpec>(), Ok(spec));
+        assert!(
+            seen.insert(rendered.clone()),
+            "duplicate spec name {rendered}"
+        );
+    }
+    assert!(seen.len() >= 20, "catalogue too small: {}", seen.len());
+}
